@@ -1,0 +1,22 @@
+"""Shared benchmark plumbing.
+
+Each ``test_bench_*`` module regenerates one of the paper's tables or
+figures.  The scale divisor defaults to 32 (tuple counts and buffer pages
+at 1/32 of the paper's, physical page/tuple geometry unchanged) and can be
+overridden with ``REPRO_SCALE=<divisor>``.
+"""
+
+import pytest
+
+from repro.bench.experiments import default_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    return default_scale()
+
+
+def emit(result) -> None:
+    """Print an experiment table so it lands in the benchmark log."""
+    print()
+    print(result.format())

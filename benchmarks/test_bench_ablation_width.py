@@ -1,0 +1,79 @@
+"""Ablation: dangling tuples in Rng(r) as interval width grows.
+
+Section 3 warns that the extended merge-join degrades when values are
+"excessively" fuzzy: wide supports drag extra tuples into ``Rng(r)``,
+each costing a fuzzy evaluation, and the Section 9 conclusion notes that
+temporal-style long intervals "could have an adverse effect on the
+merge-join method".  This sweep draws join values *uniformly* (no anchor
+structure) and widens their supports: the number of examined pairs per
+R-tuple must grow with the width while the page I/O stays flat.
+"""
+
+import random
+
+import pytest
+from conftest import emit
+
+from repro.bench.experiments import ExperimentResult, PAGE_SIZE
+from repro.bench.methods import run_merge_join
+from repro.data import FuzzyTuple
+from repro.fuzzy import CrispNumber, TrapezoidalNumber
+from repro.storage import HeapFile, OperationStats, SimulatedDisk
+from repro.workload.generator import JOIN_SCHEMA, JoinWorkload, WorkloadSpec
+
+
+def uniform_workload(n, width, seed=101, domain=5000.0):
+    rng = random.Random(seed)
+    disk = SimulatedDisk(page_size=PAGE_SIZE)
+    scratch = OperationStats()
+
+    def tuples(id_base):
+        out = []
+        for i in range(n):
+            center = rng.uniform(0, domain)
+            # Variable widths (1 .. width): the resulting non-monotone right
+            # endpoints are what create dangling tuples inside Rng(r).
+            half = rng.uniform(1.0, width)
+            core = rng.uniform(0, half / 2)
+            value = TrapezoidalNumber(center - half, center - core, center + core, center + half)
+            out.append(FuzzyTuple([CrispNumber(id_base + i), value], 1.0))
+        return out
+
+    with disk.use_stats(scratch):
+        outer = HeapFile("R", JOIN_SCHEMA, disk, fixed_tuple_size=128).load(tuples(0))
+        inner = HeapFile("S", JOIN_SCHEMA, disk, fixed_tuple_size=128).load(tuples(10**6))
+    spec = WorkloadSpec(n_outer=n, n_inner=n, max_width=width)
+    return JoinWorkload(spec=spec, disk=disk, outer=outer, inner=inner)
+
+
+def width_sweep(scale, widths=(2.0, 8.0, 32.0, 128.0)):
+    n = max(64, 16000 // scale)
+    rows = []
+    for width in widths:
+        workload = uniform_workload(n, width)
+        mj = run_merge_join(workload, buffer_pages=64)
+        rows.append(
+            {
+                "support_halfwidth": width,
+                "fuzzy_evals_per_tuple": mj.stats.total.fuzzy_evaluations / n,
+                "page_ios": mj.page_ios,
+                "response_s": mj.response_seconds,
+            }
+        )
+    return ExperimentResult(
+        name="Ablation: merge-join examined pairs vs interval width",
+        headers=["support_halfwidth", "fuzzy_evals_per_tuple", "page_ios", "response_s"],
+        rows=rows,
+        notes="uniform join values; wider supports -> wider Rng(r) (Section 3)",
+    )
+
+
+def test_width_ablation(benchmark, scale):
+    result = benchmark.pedantic(lambda: width_sweep(scale), rounds=1, iterations=1)
+    emit(result)
+    per_tuple = [row["fuzzy_evals_per_tuple"] for row in result.rows]
+    ios = [row["page_ios"] for row in result.rows]
+    # Examined pairs per tuple grow with the width; I/O stays flat.
+    assert all(a <= b for a, b in zip(per_tuple, per_tuple[1:]))
+    assert per_tuple[-1] > 4 * per_tuple[0]
+    assert max(ios) <= 1.2 * min(ios)

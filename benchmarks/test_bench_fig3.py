@@ -1,0 +1,27 @@
+"""Fig. 3: merge-join vs the average join fan-out C (1 to 128) at 8 MB.
+
+Paper shape: "As C increases, the number of IOs remains more or less the
+same, but the CPU time increases due to the increase in the number of
+calls to the fuzzy library functions and the number of comparisons for
+merge and join."
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import fig3
+
+
+def test_fig3(benchmark, scale):
+    result = benchmark.pedantic(lambda: fig3(scale=scale), rounds=1, iterations=1)
+    emit(result)
+
+    ios = [row["page_ios"] for row in result.rows]
+    cpu = [row["cpu_s"] for row in result.rows]
+    evals = [row["fuzzy_evals"] for row in result.rows]
+
+    # IOs stay essentially flat across the whole sweep.
+    assert max(ios) <= 1.25 * min(ios)
+    # CPU time increases with C...
+    assert cpu[-1] > 2.0 * cpu[0]
+    # ...because the fuzzy-library call count tracks C.
+    assert evals[-1] > 20 * evals[0]

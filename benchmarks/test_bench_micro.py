@@ -1,0 +1,69 @@
+"""Microbenchmarks of the kernels the cost model charges for.
+
+These measure this machine's actual per-event costs (one fuzzy predicate
+evaluation, one interval comparison, one tuple encode/decode) — the
+quantities the 1992 calibration constants in ``repro.storage.costs``
+abstract over.
+"""
+
+import random
+
+from repro.data import FuzzyTuple, Schema
+from repro.fuzzy import CrispNumber, Op, TrapezoidalNumber, possibility
+from repro.fuzzy.interval_order import sort_key
+from repro.storage import TupleSerializer
+
+SCHEMA = Schema(["ID", "X"])
+
+
+def _random_traps(n, seed=3):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        c = rng.uniform(0, 1000)
+        w = rng.uniform(0.5, 10)
+        cw = rng.uniform(0, w)
+        out.append(TrapezoidalNumber(c - w, c - cw, c + cw, c + w))
+    return out
+
+
+def test_fuzzy_equality_evaluation(benchmark):
+    traps = _random_traps(200)
+
+    def run():
+        total = 0.0
+        for i in range(0, 200, 2):
+            total += possibility(traps[i], Op.EQ, traps[i + 1])
+        return total
+
+    benchmark(run)
+
+
+def test_fuzzy_order_evaluation(benchmark):
+    traps = _random_traps(200)
+
+    def run():
+        total = 0.0
+        for i in range(0, 200, 2):
+            total += possibility(traps[i], Op.LE, traps[i + 1])
+        return total
+
+    benchmark(run)
+
+
+def test_interval_sort_key(benchmark):
+    traps = _random_traps(500)
+    benchmark(lambda: sorted(traps, key=sort_key))
+
+
+def test_tuple_serialize_roundtrip(benchmark):
+    ser = TupleSerializer(SCHEMA, fixed_size=128)
+    tuples = [
+        FuzzyTuple([CrispNumber(i), trap], 0.9)
+        for i, trap in enumerate(_random_traps(100))
+    ]
+
+    def run():
+        return [ser.decode(ser.encode(t)) for t in tuples]
+
+    assert benchmark(run) == tuples

@@ -1,0 +1,29 @@
+"""Table 1: nested loop vs merge-join response time, equal relations 1-32 MB.
+
+Paper shape: the merge-join wins by an order of magnitude and the speedup
+grows with relation size; nested loop becomes infeasible beyond 8 MB.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import table1
+
+
+def test_table1(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: table1(scale=scale), rounds=1, iterations=1
+    )
+    emit(result)
+
+    rows = {row["size_mb"]: row for row in result.rows}
+    measured = [row for row in result.rows if row["speedup"] is not None]
+    # Merge-join must win at the largest size where both were run.
+    assert measured[-1]["speedup"] > 1.0
+    # The speedup grows monotonically with relation size (paper: 12.5 -> 36).
+    speedups = [row["speedup"] for row in measured]
+    assert all(a < b for a, b in zip(speedups, speedups[1:]))
+    # Merge-join response grows subquadratically: doubling size less than
+    # triples the response time (n log n, paper Table 1 column 3).
+    for small, large in [(1, 2), (2, 4), (4, 8), (8, 16), (16, 32)]:
+        ratio = rows[large]["merge_join_s"] / rows[small]["merge_join_s"]
+        assert ratio < 3.0, f"merge-join grew {ratio:.1f}x from {small} to {large} MB"

@@ -1,0 +1,25 @@
+"""Table 2: outer fixed at 4 MB, inner growing 2-16 MB.
+
+Paper shape: "the response time of the nested loop method increases
+linearly with the size of the inner relation"; the merge-join stays an
+order of magnitude below throughout.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import table2
+
+
+def test_table2(benchmark, scale):
+    result = benchmark.pedantic(lambda: table2(scale=scale), rounds=1, iterations=1)
+    emit(result)
+
+    rows = {row["inner_mb"]: row for row in result.rows}
+    # Nested loop grows roughly linearly in the inner size: 8x the inner
+    # relation gives between 4x and 12x the response time.
+    growth = rows[16]["nested_loop_s"] / rows[2]["nested_loop_s"]
+    assert 4.0 <= growth <= 12.0
+    # Merge-join beats nested loop where the quadratic term dominates
+    # (the largest inner size); at very small scales the smallest runs may
+    # sit before the crossover.
+    assert result.rows[-1]["speedup"] > 1.0

@@ -1,0 +1,28 @@
+"""Table 3: merge-join time breakdown (CPU share, sorting share).
+
+Paper shape: "as the size of the inner table increases, the join becomes
+more IO intensive and the majority of the time is spent on sorting"
+(sorting share 38.7% -> 84.1%).  Our event-count model reproduces the
+sorting-share trend; the paper's absolute CPU percentages also absorb OS
+memory-management effects that a deterministic simulator has no analogue
+for (see EXPERIMENTS.md).
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import table3
+
+
+def test_table3(benchmark, scale):
+    result = benchmark.pedantic(lambda: table3(scale=scale), rounds=1, iterations=1)
+    emit(result)
+
+    sorting = [row["sorting_pct"] for row in result.rows]
+    # Sorting dominates and its share grows with the inner size.
+    assert sorting == sorted(sorting)
+    assert sorting[-1] > 50.0
+    # The CPU share must not *rise* materially with the inner size (the
+    # paper's steep 76% -> 24% decline additionally reflects OS paging,
+    # which the event-count model does not simulate).
+    cpu = [row["cpu_pct"] for row in result.rows]
+    assert cpu[-1] <= cpu[0] + 5.0

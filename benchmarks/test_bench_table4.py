@@ -1,0 +1,22 @@
+"""Table 4: tuple size sweep 128-2048 B at 8,000 tuples, C=1.
+
+Paper shape: both methods slow down as tuples grow (more page I/O for the
+same tuple count) and the CPU share of the response time drops for both.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import table4
+
+
+def test_table4(benchmark, scale):
+    result = benchmark.pedantic(lambda: table4(scale=scale), rounds=1, iterations=1)
+    emit(result)
+
+    nl = [row["nested_loop_s"] for row in result.rows]
+    mj = [row["merge_join_s"] for row in result.rows]
+    assert nl == sorted(nl), "nested loop must slow down with tuple size"
+    assert mj == sorted(mj), "merge-join must slow down with tuple size"
+    # CPU percentage drops for the nested loop as I/O grows (paper text).
+    nl_cpu = [row["nl_cpu_pct"] for row in result.rows]
+    assert nl_cpu[-1] < nl_cpu[0]

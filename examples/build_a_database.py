@@ -1,0 +1,83 @@
+"""Building a fuzzy database from scratch: DDL, CSV loading, persistence.
+
+A sensor-fleet scenario: readings are imprecise (each instrument reports
+an interval or a trapezoid), maintenance thresholds are linguistic, and
+the analyst asks nested questions that the engine unnests automatically.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import FuzzyDatabase
+from repro.data import Schema, Attribute, AttributeType, load_csv
+
+READINGS_CSV = """\
+SENSOR,TEMP,D
+alpha,"[60, 64, 66, 70]",1.0
+beta,"[71, 74, 76, 79]",1.0
+gamma,68,1.0
+delta,"[82, 85, 87, 90]",0.9
+epsilon,"[58, 60, 62, 64]",1.0
+"""
+
+
+def main():
+    db = FuzzyDatabase()
+
+    # --- DDL + vocabulary ------------------------------------------------
+    print(db.execute(
+        "CREATE TABLE LIMITS (ZONE LABEL, MAX_TEMP NUMERIC ON 'TEMP')"
+    ))
+    print(db.execute("DEFINE 'hot' ON 'TEMP' AS '[70, 78, 120, 120]'"))
+    print(db.execute("DEFINE 'comfortable' ON 'TEMP' AS '[55, 60, 70, 78]'"))
+    print(db.execute(
+        "INSERT INTO LIMITS VALUES ('server-room', '[70, 75, 75, 80]'), "
+        "('office', 74)"
+    ))
+
+    # --- Bulk-load imprecise readings from CSV ----------------------------
+    readings_schema = Schema(
+        [
+            Attribute("SENSOR", AttributeType.LABEL, domain="SENSOR"),
+            Attribute("TEMP", AttributeType.NUMERIC, domain="TEMP"),
+        ]
+    )
+    db.register("READINGS", load_csv(READINGS_CSV, readings_schema, db.catalog.vocabulary))
+    print(f"loaded {len(db.table('READINGS'))} readings from CSV")
+
+    # --- Flat fuzzy queries ----------------------------------------------
+    print("\nWhich sensors are possibly running hot?")
+    print(db.execute("SELECT READINGS.SENSOR FROM READINGS WHERE READINGS.TEMP = 'hot'").pretty())
+
+    # --- A nested query, unnested automatically ---------------------------
+    nested = (
+        "SELECT READINGS.SENSOR FROM READINGS WHERE READINGS.TEMP > ALL "
+        "(SELECT LIMITS.MAX_TEMP FROM LIMITS)"
+    )
+    print("\nSensors possibly exceeding every zone limit (op ALL, unnested):")
+    print(db.explain(nested))
+    print(db.execute(nested).pretty())
+
+    # --- Aggregates over fuzzy values -------------------------------------
+    print("\nFleet COUNT and fuzzy AVG temperature:")
+    print(db.execute(
+        "SELECT COUNT(READINGS.TEMP), AVG(READINGS.TEMP) FROM READINGS"
+    ).pretty())
+
+    # --- Persist and reload ------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        db.save(tmp)
+        files = sorted(p.name for p in Path(tmp).rglob("*.json"))
+        print(f"\nsaved to {len(files)} JSON files: {files}")
+        reloaded = FuzzyDatabase.load(tmp)
+        again = reloaded.execute(
+            "SELECT READINGS.SENSOR FROM READINGS WHERE READINGS.TEMP = 'hot'"
+        )
+        original = db.execute(
+            "SELECT READINGS.SENSOR FROM READINGS WHERE READINGS.TEMP = 'hot'"
+        )
+        print("reloaded answers identical:", again.same_as(original, 1e-12))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""An interactive Fuzzy SQL shell.
+
+Starts with the paper's dating-service relations F and M loaded; supports
+the full statement surface (terminate statements with a semicolon or a
+blank line):
+
+    SELECT ... FROM ... WHERE ... [WITH D >= z] [GROUPBY ...] [HAVING ...]
+    CREATE TABLE name (col NUMERIC|LABEL [ON 'domain'], ...)
+    INSERT INTO name VALUES (v, ...) [, (...)] [WITH D z]
+    DEFINE 'term' [ON 'domain'] AS '[a, b, c, d]'
+    DROP TABLE name
+
+Meta commands:
+
+    \\tables            list relations
+    \\show <name>       print a relation
+    \\terms             list linguistic terms
+    \\plan <query>      show the unnesting rewrite without executing
+    \\quit              leave
+
+Also usable non-interactively:
+    echo "SELECT F.NAME FROM F;" | python examples/fuzzy_shell.py
+"""
+
+import sys
+
+from repro import DatabaseError, FuzzyDatabase
+from repro.sql import FuzzySQLError
+from repro.workload.paper_data import dating_catalog
+
+
+def print_relation(relation):
+    from repro.fuzzy import CrispLabel, CrispNumber, TrapezoidalNumber
+
+    def short(value):
+        if isinstance(value, CrispLabel):
+            return value.value
+        if isinstance(value, CrispNumber):
+            return f"{value.value:g}"
+        if isinstance(value, TrapezoidalNumber):
+            return f"trap({value.a:g},{value.b:g},{value.c:g},{value.d:g})"
+        return repr(value)
+
+    print(relation.pretty(value_format=short))
+
+
+def make_database() -> FuzzyDatabase:
+    catalog = dating_catalog()
+    db = FuzzyDatabase(catalog.vocabulary)
+    for name in catalog.names():
+        db.register(name, catalog.get(name))
+    return db
+
+
+def handle_meta(command: str, db: FuzzyDatabase) -> bool:
+    """Process a backslash command; returns False to exit the shell."""
+    parts = command.split(None, 1)
+    head = parts[0].lower()
+    if head in ("\\quit", "\\q", "\\exit"):
+        return False
+    if head == "\\tables":
+        for name in db.tables():
+            print(f"  {name} ({len(db.table(name))} tuples)")
+    elif head == "\\show" and len(parts) > 1:
+        try:
+            print_relation(db.table(parts[1].strip()))
+        except DatabaseError as exc:
+            print(exc)
+    elif head == "\\terms":
+        for name, domain, dist in db.catalog.vocabulary.export():
+            scope = f" [on {domain}]" if domain else ""
+            print(f"  {name}{scope}: {dist}")
+    elif head == "\\plan" and len(parts) > 1:
+        try:
+            print(db.explain(parts[1]))
+        except (FuzzySQLError, DatabaseError) as exc:
+            print(f"cannot plan: {exc}")
+    else:
+        print("commands: \\tables  \\show <name>  \\terms  \\plan <query>  \\quit")
+    return True
+
+
+def run_statement(sql: str, db: FuzzyDatabase) -> None:
+    try:
+        result = db.execute(sql)
+    except (FuzzySQLError, DatabaseError) as exc:
+        print(f"error: {exc}")
+        return
+    if isinstance(result, str):
+        print(result)
+    else:
+        print_relation(result)
+        print(f"({len(result)} tuples)")
+
+
+def main():
+    db = make_database()
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print("Fuzzy SQL shell — relations F and M loaded; \\quit to exit.")
+    buffer = []
+    while True:
+        if interactive:
+            sys.stdout.write("...> " if buffer else "fsql> ")
+            sys.stdout.flush()
+        line = sys.stdin.readline()
+        if not line:
+            break
+        stripped = line.strip()
+        if not buffer and stripped.startswith("\\"):
+            if not handle_meta(stripped, db):
+                break
+            continue
+        if stripped.endswith(";"):
+            buffer.append(stripped[:-1])
+            run_statement(" ".join(buffer), db)
+            buffer = []
+        elif stripped == "" and buffer:
+            run_statement(" ".join(buffer), db)
+            buffer = []
+        elif stripped:
+            buffer.append(stripped)
+    if buffer:
+        run_statement(" ".join(buffer), db)
+
+
+if __name__ == "__main__":
+    main()

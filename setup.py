@@ -1,0 +1,5 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+`pip install -e .` (PEP 660) cannot build; `python setup.py develop` works."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""Reproduction of "Efficient Processing of Nested Fuzzy SQL Queries in a
+Fuzzy Database" (Yang, Zhang, Liu, Wu, Yu, Nakajima, Rishe — ICDE 1995 /
+IEEE TKDE 13(6), 2001).
+
+Subpackages:
+
+* :mod:`repro.fuzzy`    — possibility distributions, comparison degrees,
+  fuzzy logic/arithmetic, the interval order, linguistic vocabularies;
+* :mod:`repro.data`     — the fuzzy relational model;
+* :mod:`repro.storage`  — paged storage with I/O accounting + cost model;
+* :mod:`repro.sort`     — external merge sort on the interval order;
+* :mod:`repro.join`     — the extended merge-join and the nested loop;
+* :mod:`repro.sql`      — the Fuzzy SQL frontend;
+* :mod:`repro.engine`   — naive nested-semantics evaluator, aggregates,
+  physical operators, flat compiler, join-order optimizer;
+* :mod:`repro.unnest`   — the unnesting rewrites (the paper's contribution);
+* :mod:`repro.workload` — paper data and synthetic experiment workloads;
+* :mod:`repro.bench`    — the Section 9 experiment harness.
+"""
+
+__version__ = "1.0.0"
+
+from .data import Catalog, FuzzyRelation, FuzzyTuple, Schema
+from .db import DatabaseError, FuzzyDatabase
+from .persist import load_database, save_database
+from .session import StorageSession
+from .engine import NaiveEvaluator
+from .fuzzy import (
+    CrispLabel,
+    CrispNumber,
+    DiscreteDistribution,
+    Op,
+    TrapezoidalNumber,
+    Vocabulary,
+    possibility,
+)
+from .sql import parse
+from .unnest import execute_unnested, unnest
+
+__all__ = [
+    "__version__",
+    "FuzzyDatabase",
+    "DatabaseError",
+    "save_database",
+    "load_database",
+    "StorageSession",
+    "Catalog",
+    "FuzzyRelation",
+    "FuzzyTuple",
+    "Schema",
+    "NaiveEvaluator",
+    "CrispNumber",
+    "CrispLabel",
+    "DiscreteDistribution",
+    "TrapezoidalNumber",
+    "Vocabulary",
+    "Op",
+    "possibility",
+    "parse",
+    "unnest",
+    "execute_unnested",
+]

@@ -1,0 +1,28 @@
+"""Benchmark harness reproducing the paper's Tables 1-4 and Fig. 3."""
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    default_scale,
+    fig3,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from .methods import MethodResult, run_merge_join, run_nested_loop, verify_methods_agree
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig3",
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "default_scale",
+    "MethodResult",
+    "run_nested_loop",
+    "run_merge_join",
+    "verify_methods_agree",
+]

@@ -1,0 +1,101 @@
+"""Experiment driver: run every table/figure and render a report."""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, Iterable, Optional
+
+from .experiments import ALL_EXPERIMENTS, ExperimentResult, default_scale
+
+
+def run_all(
+    scale: Optional[int] = None,
+    only: Optional[Iterable[str]] = None,
+    stream=None,
+) -> Dict[str, ExperimentResult]:
+    """Run all (or selected) experiments, printing each table as it lands."""
+    stream = stream if stream is not None else sys.stdout
+    names = list(only) if only else list(ALL_EXPERIMENTS)
+    results: Dict[str, ExperimentResult] = {}
+    for name in names:
+        fn = ALL_EXPERIMENTS[name]
+        started = time.perf_counter()
+        result = fn(scale=scale)
+        elapsed = time.perf_counter() - started
+        results[name] = result
+        print(result.format(), file=stream)
+        print(f"[{name} ran in {elapsed:.1f}s wall]", file=stream)
+        print(file=stream)
+    return results
+
+
+def to_markdown(results: Dict[str, ExperimentResult], scale: Optional[int] = None) -> str:
+    """Render experiment results as a Markdown report."""
+    lines = ["# Experiment results", ""]
+    lines.append(f"Scale divisor: {scale if scale is not None else default_scale()}")
+    lines.append("")
+    for name, result in results.items():
+        lines.append(f"## {result.name}")
+        if result.notes:
+            lines.append("")
+            lines.append(f"*{result.notes}*")
+        lines.append("")
+        headers = result.headers
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "---|" * len(headers))
+        for row in result.rows:
+            lines.append(
+                "| " + " | ".join(_md_cell(row.get(h)) for h in headers) + " |"
+            )
+        if result.paper:
+            lines.append("")
+            lines.append("Paper reference:")
+            lines.append("")
+            pheaders = list(result.paper[0].keys())
+            lines.append("| " + " | ".join(pheaders) + " |")
+            lines.append("|" + "---|" * len(pheaders))
+            for row in result.paper:
+                lines.append(
+                    "| " + " | ".join(_md_cell(row.get(h)) for h in pheaders) + " |"
+                )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _md_cell(value) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def main(argv=None) -> int:
+    """CLI: ``python -m repro.bench.harness [--markdown FILE] [experiment ...]``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    markdown_path = None
+    if "--markdown" in argv:
+        index = argv.index("--markdown")
+        try:
+            markdown_path = argv[index + 1]
+        except IndexError:
+            print("--markdown needs a file path")
+            return 2
+        del argv[index:index + 2]
+    scale = default_scale()
+    only = [a for a in argv if a in ALL_EXPERIMENTS]
+    unknown = [a for a in argv if a not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; known: {sorted(ALL_EXPERIMENTS)}")
+        return 2
+    results = run_all(scale=scale, only=only or None)
+    if markdown_path is not None:
+        with open(markdown_path, "w") as handle:
+            handle.write(to_markdown(results, scale))
+        print(f"markdown report written to {markdown_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

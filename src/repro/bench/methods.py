@@ -1,0 +1,186 @@
+"""The two evaluation methods the experiments compare.
+
+For the type-J query shape used throughout Section 9 —
+
+    SELECT R.ID FROM R WHERE R.Y in (SELECT S.Z FROM S WHERE S.V = R.U)
+
+— the satisfaction degree of an outer tuple is
+
+    d_r = min(mu_R(r), max_s min(mu_S(s), d(joins)))
+
+so both methods reduce to a per-R-tuple *max* fold over pair degrees:
+
+* :func:`run_nested_loop` — the only strategy available to the nested
+  form: block nested loop, examining all ``n_R * n_S`` pairs;
+* :func:`run_merge_join` — the unnested form on the extended merge-join,
+  examining only the pairs inside each ``Rng(r)``.
+
+Both return a :class:`MethodResult` with the answer cardinality, raw event
+counters, cost-model response time, and wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..data.relation import FuzzyRelation
+from ..data.schema import Schema
+from ..data.tuples import FuzzyTuple
+from ..fuzzy.compare import Op, intervals_intersect, possibility
+from ..join.merge_join import MergeJoin
+from ..join.nested_loop import NestedLoopJoin
+from ..storage.costs import PAPER_1992, CostModel
+from ..storage.stats import OperationStats
+from ..workload.generator import JoinWorkload
+
+
+@dataclass
+class MethodResult:
+    """Everything one method run reports."""
+
+    method: str
+    n_answers: int
+    stats: OperationStats
+    wall_seconds: float
+    cost_model: CostModel = PAPER_1992
+
+    @property
+    def page_ios(self) -> int:
+        return self.stats.total.page_ios
+
+    @property
+    def response_seconds(self) -> float:
+        return self.cost_model.response_time(self.stats)
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.cost_model.cpu_seconds(self.stats.total)
+
+    @property
+    def io_seconds(self) -> float:
+        return self.cost_model.io_seconds(self.stats.total)
+
+    @property
+    def cpu_fraction(self) -> float:
+        return self.cost_model.cpu_fraction(self.stats)
+
+    def phase_fraction(self, phase: str) -> float:
+        return self.cost_model.phase_fraction(self.stats, phase)
+
+
+def _pair_degree_factory(left_index: int, right_index: int, op: Op):
+    """Equi-join pair degree with a support-overlap fast path.
+
+    The overlap test mirrors what a real fuzzy library does first; the
+    evaluation is charged as one fuzzy evaluation either way.
+    """
+
+    def degree(r: FuzzyTuple, s: FuzzyTuple, stats: Optional[OperationStats]) -> float:
+        if stats is not None:
+            stats.count_fuzzy()
+        left, right = r[left_index], s[right_index]
+        if op is Op.EQ and not intervals_intersect(left, right):
+            return 0.0
+        return min(r.degree, s.degree, possibility(left, op, right))
+
+    return degree
+
+
+def _project_answers(
+    results, outer_schema: Schema, project_attr: str
+) -> FuzzyRelation:
+    """max-dedup projection of ``(r, degree)`` results onto one attribute."""
+    index = outer_schema.index_of(project_attr)
+    out = FuzzyRelation(outer_schema.project([project_attr]))
+    for r, degree in results:
+        if degree > 0.0:
+            out.add(FuzzyTuple((r[index],), degree))
+    return out
+
+
+def run_nested_loop(
+    workload: JoinWorkload,
+    buffer_pages: int,
+    join_attr: str = "X",
+    project_attr: str = "ID",
+    op: Op = Op.EQ,
+    cost_model: CostModel = PAPER_1992,
+) -> MethodResult:
+    """Evaluate the nested query with the block nested-loop strategy."""
+    stats = OperationStats()
+    outer, inner = workload.outer, workload.inner
+    pair = _pair_degree_factory(
+        outer.schema.index_of(join_attr), inner.schema.index_of(join_attr), op
+    )
+    join = NestedLoopJoin(workload.disk, buffer_pages, stats)
+    start = time.perf_counter()
+    folded = join.fold(
+        outer,
+        inner,
+        pair,
+        init=lambda r: 0.0,
+        step=lambda best, s, degree: degree if degree > best else best,
+    )
+    answers = _project_answers(folded, outer.schema, project_attr)
+    wall = time.perf_counter() - start
+    return MethodResult("nested-loop", len(answers), stats, wall, cost_model)
+
+
+def run_merge_join(
+    workload: JoinWorkload,
+    buffer_pages: int,
+    join_attr: str = "X",
+    project_attr: str = "ID",
+    op: Op = Op.EQ,
+    cost_model: CostModel = PAPER_1992,
+) -> MethodResult:
+    """Evaluate the unnested query with the extended merge-join."""
+    stats = OperationStats()
+    outer, inner = workload.outer, workload.inner
+    pair = _pair_degree_factory(
+        outer.schema.index_of(join_attr), inner.schema.index_of(join_attr), op
+    )
+    join = MergeJoin(workload.disk, buffer_pages, stats)
+    start = time.perf_counter()
+    folded = join.fold(
+        outer,
+        join_attr,
+        inner,
+        join_attr,
+        pair,
+        init=lambda r: 0.0,
+        step=lambda best, s, degree: degree if degree > best else best,
+    )
+    answers = _project_answers(folded, outer.schema, project_attr)
+    wall = time.perf_counter() - start
+    return MethodResult("merge-join", len(answers), stats, wall, cost_model)
+
+
+def verify_methods_agree(
+    workload: JoinWorkload, buffer_pages: int
+) -> Tuple[MethodResult, MethodResult]:
+    """Run both methods and assert identical fuzzy answers (for tests)."""
+    stats_nl = OperationStats()
+    stats_mj = OperationStats()
+    outer, inner = workload.outer, workload.inner
+    pair = _pair_degree_factory(1, 1, Op.EQ)
+    nl: List[Tuple[float, float, float]] = sorted(
+        (r[0].value, s[0].value, round(d, 9))
+        for r, s, d in NestedLoopJoin(workload.disk, buffer_pages, stats_nl).pairs(
+            outer, inner, pair
+        )
+    )
+    mj = sorted(
+        (r[0].value, s[0].value, round(d, 9))
+        for r, s, d in MergeJoin(workload.disk, buffer_pages, stats_mj).pairs(
+            outer, "X", inner, "X", pair
+        )
+    )
+    if nl != mj:
+        raise AssertionError("nested-loop and merge-join produced different joins")
+    return (
+        MethodResult("nested-loop", len(nl), stats_nl, 0.0),
+        MethodResult("merge-join", len(mj), stats_mj, 0.0),
+    )

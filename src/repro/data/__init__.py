@@ -1,0 +1,26 @@
+"""The fuzzy relational data model: schemas, tuples, relations, catalogs,
+composable algebra, and CSV/JSON loaders."""
+
+from . import algebra
+from .catalog import Catalog, UnknownRelationError
+from .io import LoadError, dump_json, load_csv, load_json, parse_value
+from .relation import FuzzyRelation
+from .schema import Attribute, Schema
+from .tuples import FuzzyTuple
+from .types import AttributeType
+
+__all__ = [
+    "AttributeType",
+    "Attribute",
+    "Schema",
+    "FuzzyTuple",
+    "FuzzyRelation",
+    "Catalog",
+    "UnknownRelationError",
+    "algebra",
+    "load_csv",
+    "load_json",
+    "dump_json",
+    "parse_value",
+    "LoadError",
+]

@@ -1,0 +1,158 @@
+"""Composable fuzzy relational algebra over in-memory relations.
+
+Section 2 of the paper argues that measuring satisfaction by possibility
+*alone* is what keeps the algebra composable ("it is guaranteed that
+algebraic operations can be composed and nested query becomes practical")
+— unlike the possibility/necessity double-measure system, where every
+operation yields two relations and composition breaks down.
+
+These operators close over :class:`~repro.data.relation.FuzzyRelation`:
+each takes fuzzy relations and returns one, threading membership degrees
+by ``min`` through conjunction/join and ``max`` through duplicate
+elimination and union, exactly as the query engine does.  They are the
+algebraic backbone the SQL semantics is defined against, and they are
+also handy on their own for programmatic use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..fuzzy.compare import Op, possibility
+from ..fuzzy.distribution import Distribution
+from .relation import FuzzyRelation
+from .schema import Schema
+from .tuples import FuzzyTuple
+
+Predicate = Callable[[FuzzyTuple], float]
+
+
+def select(relation: FuzzyRelation, predicate: Predicate) -> FuzzyRelation:
+    """Fuzzy selection: each tuple's degree becomes ``min(mu, d(p))``."""
+    out = FuzzyRelation(relation.schema)
+    for t in relation:
+        degree = min(t.degree, predicate(t))
+        if degree > 0.0:
+            out.add(t.with_degree(degree))
+    return out
+
+
+def select_compare(
+    relation: FuzzyRelation,
+    attribute: str,
+    op: Op,
+    value: Distribution,
+) -> FuzzyRelation:
+    """Selection by a fuzzy comparison against a constant distribution."""
+    index = relation.schema.index_of(attribute)
+    return select(relation, lambda t: possibility(t[index], op, value))
+
+
+def project(relation: FuzzyRelation, attributes: Sequence[str]) -> FuzzyRelation:
+    """Projection with fuzzy-OR duplicate elimination."""
+    return relation.project(attributes)
+
+
+def cross(left: FuzzyRelation, right: FuzzyRelation) -> FuzzyRelation:
+    """Cross product; degrees combine by min."""
+    from ..engine.operators import concat_schemas
+
+    out = FuzzyRelation(concat_schemas(left.schema, right.schema))
+    for r in left:
+        for s in right:
+            out.add(r.concat(s, min(r.degree, s.degree)))
+    return out
+
+
+def join(
+    left: FuzzyRelation,
+    left_attr: str,
+    op: Op,
+    right: FuzzyRelation,
+    right_attr: str,
+) -> FuzzyRelation:
+    """Fuzzy theta-join: pair degree ``min(mu_r, mu_s, d(r.A op s.B))``."""
+    from ..engine.operators import concat_schemas
+
+    li = left.schema.index_of(left_attr)
+    ri = right.schema.index_of(right_attr)
+    out = FuzzyRelation(concat_schemas(left.schema, right.schema))
+    for r in left:
+        for s in right:
+            degree = min(r.degree, s.degree)
+            if degree == 0.0:
+                continue
+            degree = min(degree, possibility(r[li], op, s[ri]))
+            if degree > 0.0:
+                out.add(r.concat(s, degree))
+    return out
+
+
+def union(left: FuzzyRelation, right: FuzzyRelation) -> FuzzyRelation:
+    """Fuzzy union: degrees combine by max (Zadeh OR)."""
+    _check_compatible(left, right)
+    out = FuzzyRelation(left.schema)
+    for t in left:
+        out.add(t)
+    for t in right:
+        out.add(t)
+    return out
+
+
+def intersect(left: FuzzyRelation, right: FuzzyRelation) -> FuzzyRelation:
+    """Fuzzy intersection: degrees combine by min (Zadeh AND)."""
+    _check_compatible(left, right)
+    out = FuzzyRelation(left.schema)
+    for t in left:
+        other = right.degree_of(t.values)
+        degree = min(t.degree, other)
+        if degree > 0.0:
+            out.add(t.with_degree(degree))
+    return out
+
+
+def difference(left: FuzzyRelation, right: FuzzyRelation) -> FuzzyRelation:
+    """Fuzzy difference: ``min(mu_L(t), 1 - mu_R(t))``."""
+    _check_compatible(left, right)
+    out = FuzzyRelation(left.schema)
+    for t in left:
+        degree = min(t.degree, 1.0 - right.degree_of(t.values))
+        if degree > 0.0:
+            out.add(t.with_degree(degree))
+    return out
+
+
+def rename(relation: FuzzyRelation, mapping: dict) -> FuzzyRelation:
+    """Rename attributes (schema-level only; tuples are shared)."""
+    from .schema import Attribute
+
+    attrs = [
+        Attribute(mapping.get(a.name, a.name), a.type, a.domain)
+        for a in relation.schema
+    ]
+    out = FuzzyRelation(Schema(attrs))
+    for t in relation:
+        out.add(t)
+    return out
+
+
+def alpha_cut(relation: FuzzyRelation, alpha: float) -> FuzzyRelation:
+    """The crisp-membership core: keep tuples with degree >= alpha at 1.0.
+
+    Useful for presenting "sure enough" answers; note this is a *relation*
+    alpha-cut (on membership degrees), not a distribution alpha-cut.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+    out = FuzzyRelation(relation.schema)
+    for t in relation:
+        if t.degree >= alpha:
+            out.add(t.with_degree(1.0))
+    return out
+
+
+def _check_compatible(left: FuzzyRelation, right: FuzzyRelation) -> None:
+    if len(left.schema) != len(right.schema):
+        raise ValueError(
+            f"incompatible schemas: {left.schema.names()} vs {right.schema.names()}"
+        )

@@ -1,0 +1,59 @@
+"""A catalog of named fuzzy relations plus the session vocabulary."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..fuzzy.linguistic import Vocabulary
+from .relation import FuzzyRelation
+
+
+class UnknownRelationError(KeyError):
+    """Raised when a query references a relation not in the catalog."""
+
+
+class Catalog:
+    """Name -> relation mapping used by binders and evaluators."""
+
+    def __init__(self, vocabulary: Optional[Vocabulary] = None):
+        self._relations: Dict[str, FuzzyRelation] = {}
+        self.vocabulary = vocabulary if vocabulary is not None else Vocabulary()
+
+    @staticmethod
+    def _norm(name: str) -> str:
+        return name.upper()
+
+    def register(self, name: str, relation: FuzzyRelation) -> None:
+        self._relations[self._norm(name)] = relation
+
+    def remove(self, name: str) -> None:
+        """Forget a relation; raises for unknown names."""
+        try:
+            del self._relations[self._norm(name)]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def get(self, name: str) -> FuzzyRelation:
+        try:
+            return self._relations[self._norm(name)]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return self._norm(name) in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def names(self):
+        return sorted(self._relations)
+
+    def copy(self) -> "Catalog":
+        """A shallow copy: same relations and vocabulary, separate namespace.
+
+        Used by unnesting pipelines to register temporary relations without
+        polluting the caller's catalog.
+        """
+        clone = Catalog(self.vocabulary)
+        clone._relations.update(self._relations)
+        return clone

@@ -1,0 +1,180 @@
+"""Loading fuzzy relations from CSV and JSON.
+
+Textual value syntax (shared by both formats):
+
+* ``42`` / ``42.5``             — crisp numbers
+* ``medium young``              — linguistic terms (resolved against the
+  vocabulary in the attribute's domain) or, failing that, crisp labels
+* ``[a, b, c, d]``              — trapezoid abscissae
+* ``[a, d]``                    — a rectangular (interval) distribution
+* ``{"x": 1.0, "y": 0.8}``      — discrete possibility distributions
+  (JSON objects; in CSV, embedded as a JSON string)
+
+Each row may carry a ``D`` column with the tuple's membership degree
+(default 1.0).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, List, Optional, Union
+
+from ..fuzzy.crisp import CrispLabel, CrispNumber
+from ..fuzzy.discrete import DiscreteDistribution
+from ..fuzzy.distribution import Distribution
+from ..fuzzy.linguistic import Vocabulary, lift
+from ..fuzzy.trapezoid import TrapezoidalNumber
+from .relation import FuzzyRelation
+from .schema import Schema
+from .tuples import FuzzyTuple
+
+
+class LoadError(ValueError):
+    """A row or value could not be interpreted."""
+
+
+def parse_value(
+    raw: Union[str, int, float, list, dict],
+    vocabulary: Optional[Vocabulary] = None,
+    domain: Optional[str] = None,
+) -> Distribution:
+    """Interpret one textual/JSON value as a possibility distribution."""
+    if isinstance(raw, Distribution):
+        return raw
+    if isinstance(raw, bool):
+        raise LoadError("boolean values are not supported")
+    if isinstance(raw, (int, float)):
+        return CrispNumber(raw)
+    if isinstance(raw, list):
+        return _from_list(raw)
+    if isinstance(raw, dict):
+        return _from_dict(raw)
+    if not isinstance(raw, str):
+        raise LoadError(f"cannot interpret {raw!r}")
+    text = raw.strip()
+    if not text:
+        raise LoadError("empty value")
+    if text[0] in "[{":
+        try:
+            return parse_value(json.loads(text), vocabulary, domain)
+        except json.JSONDecodeError as exc:
+            raise LoadError(f"malformed structured value {text!r}: {exc}") from exc
+    try:
+        return CrispNumber(float(text))
+    except ValueError:
+        pass
+    return lift(text, vocabulary, domain)
+
+
+def _from_dict(items: dict) -> DiscreteDistribution:
+    """JSON object -> discrete distribution; numeric-looking keys become
+    numbers so a dump/load round trip preserves the domain type."""
+    def convert(key):
+        if isinstance(key, str):
+            try:
+                return float(key)
+            except ValueError:
+                return key
+        return key
+
+    converted = {convert(k): v for k, v in items.items()}
+    kinds = {isinstance(k, float) for k in converted}
+    if len(kinds) > 1:
+        # Mixed numeric/symbolic keys: keep everything symbolic.
+        converted = {str(k): v for k, v in items.items()}
+    return DiscreteDistribution(converted)
+
+
+def _from_list(values: list) -> Distribution:
+    numbers = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            raise LoadError(f"trapezoid abscissae must be numbers, got {v!r}")
+        numbers.append(float(v))
+    if len(numbers) == 4:
+        return TrapezoidalNumber(*numbers)
+    if len(numbers) == 2:
+        return TrapezoidalNumber.rectangular(*numbers)
+    if len(numbers) == 3:
+        return TrapezoidalNumber.triangular(*numbers)
+    raise LoadError(f"expected 2, 3, or 4 abscissae, got {len(numbers)}")
+
+
+def relation_from_records(
+    schema: Schema,
+    records: Iterable[dict],
+    vocabulary: Optional[Vocabulary] = None,
+) -> FuzzyRelation:
+    """Build a relation from dict records keyed by attribute name."""
+    out = FuzzyRelation(schema)
+    for i, record in enumerate(records):
+        values: List[Distribution] = []
+        for attr in schema:
+            if attr.name not in record:
+                raise LoadError(f"record {i} is missing attribute {attr.name!r}")
+            values.append(parse_value(record[attr.name], vocabulary, attr.domain))
+        degree = float(record.get("D", 1.0))
+        out.add(FuzzyTuple(values, degree))
+    return out
+
+
+def load_csv(
+    source: Union[str, io.TextIOBase],
+    schema: Schema,
+    vocabulary: Optional[Vocabulary] = None,
+) -> FuzzyRelation:
+    """Load a relation from CSV text or a file-like object.
+
+    The header must name every schema attribute (extra columns besides
+    ``D`` are rejected to catch typos).
+    """
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    reader = csv.DictReader(source)
+    if reader.fieldnames is None:
+        raise LoadError("CSV input has no header row")
+    expected = set(schema.names()) | {"D"}
+    unknown = [f for f in reader.fieldnames if f not in expected]
+    if unknown:
+        raise LoadError(f"unknown CSV columns: {unknown}")
+    return relation_from_records(schema, reader, vocabulary)
+
+
+def load_json(
+    source: Union[str, io.TextIOBase],
+    schema: Schema,
+    vocabulary: Optional[Vocabulary] = None,
+) -> FuzzyRelation:
+    """Load a relation from a JSON array of objects."""
+    if not isinstance(source, str):
+        source = source.read()
+    records = json.loads(source)
+    if not isinstance(records, list):
+        raise LoadError("JSON input must be an array of objects")
+    return relation_from_records(schema, records, vocabulary)
+
+
+def dump_json(relation: FuzzyRelation) -> str:
+    """Serialize a relation to the JSON record format (round-trippable)."""
+    records = []
+    for t in relation:
+        record = {}
+        for attr, value in zip(relation.schema, t.values):
+            record[attr.name] = _value_to_json(value)
+        record["D"] = t.degree
+        records.append(record)
+    return json.dumps(records, indent=2, sort_keys=True)
+
+
+def _value_to_json(value: Distribution):
+    if isinstance(value, CrispNumber):
+        return value.value
+    if isinstance(value, CrispLabel):
+        return value.value
+    if isinstance(value, TrapezoidalNumber):
+        return [value.a, value.b, value.c, value.d]
+    if isinstance(value, DiscreteDistribution):
+        return {str(k) if not isinstance(k, float) else k: v for k, v in value.items.items()}
+    raise LoadError(f"cannot serialize {type(value).__name__}")

@@ -1,0 +1,169 @@
+"""In-memory fuzzy relations: fuzzy sets of fuzzy tuples.
+
+This is the logical representation the correctness oracle
+(:mod:`repro.engine.semantics`) computes over; the storage-backed
+counterpart used by the cost experiments is :class:`repro.storage.heap.HeapFile`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence
+
+from ..fuzzy.distribution import Distribution
+from ..fuzzy.linguistic import Vocabulary, lift
+from ..fuzzy.logic import meets_threshold
+from .schema import Schema
+from .tuples import FuzzyTuple
+
+
+class FuzzyRelation:
+    """An ordinary container for a fuzzy set of tuples.
+
+    Tuples with identical values are merged under fuzzy OR: the stored
+    degree is the maximum of the inserted degrees.  Tuples whose degree is 0
+    are never members (``mu_R(r) > 0`` defines membership).
+    """
+
+    def __init__(self, schema: Schema, tuples: Iterable[FuzzyTuple] = ()):
+        self.schema = schema
+        self._tuples: Dict[Hashable, FuzzyTuple] = {}
+        for t in tuples:
+            self.add(t)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Sequence],
+        vocabulary: Optional[Vocabulary] = None,
+        degrees: Optional[Sequence[float]] = None,
+    ) -> "FuzzyRelation":
+        """Build a relation from plain Python rows.
+
+        Each row supplies one value per schema attribute; an optional extra
+        trailing element is the membership degree (defaults to 1).  Strings
+        are resolved against the vocabulary within the attribute's domain.
+        """
+        relation = cls(schema)
+        rows = list(rows)
+        if degrees is not None and len(degrees) != len(rows):
+            raise ValueError("degrees must align with rows")
+        for i, row in enumerate(rows):
+            row = list(row)
+            if degrees is not None:
+                degree = degrees[i]
+            elif len(row) == len(schema) + 1:
+                degree = float(row.pop())
+            else:
+                degree = 1.0
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"row has {len(row)} values but schema has {len(schema)} attributes"
+                )
+            values = [
+                lift(value, vocabulary, attr.domain)
+                for value, attr in zip(row, schema.attributes)
+            ]
+            relation.add(FuzzyTuple(values, degree))
+        return relation
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, t: FuzzyTuple) -> None:
+        """Insert a tuple, merging duplicates by max degree (fuzzy OR)."""
+        if len(t) != len(self.schema):
+            raise ValueError(
+                f"tuple arity {len(t)} does not match schema arity {len(self.schema)}"
+            )
+        if t.degree <= 0.0:
+            return
+        key = t.value_key()
+        existing = self._tuples.get(key)
+        if existing is None or t.degree > existing.degree:
+            self._tuples[key] = t
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[FuzzyTuple]:
+        return iter(self._tuples.values())
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def tuples(self) -> List[FuzzyTuple]:
+        return list(self._tuples.values())
+
+    def degree_of(self, values: Sequence[Distribution]) -> float:
+        """Membership degree of the tuple with these values (0 if absent)."""
+        probe = FuzzyTuple(values, 1.0)
+        existing = self._tuples.get(probe.value_key())
+        return existing.degree if existing is not None else 0.0
+
+    def column(self, name: str) -> List[Distribution]:
+        idx = self.schema.index_of(name)
+        return [t[idx] for t in self]
+
+    # ------------------------------------------------------------------
+    # Relational helpers
+    # ------------------------------------------------------------------
+    def with_threshold(self, threshold: float) -> "FuzzyRelation":
+        """Apply a WITH clause: keep tuples meeting the degree threshold."""
+        out = FuzzyRelation(self.schema)
+        for t in self:
+            if meets_threshold(t.degree, threshold):
+                out.add(t)
+        return out
+
+    def project(self, names: Sequence[str]) -> "FuzzyRelation":
+        """Projection with duplicate elimination under fuzzy OR."""
+        indices = [self.schema.index_of(n) for n in names]
+        out = FuzzyRelation(self.schema.project(names))
+        for t in self:
+            out.add(t.project(indices))
+        return out
+
+    def same_as(self, other: "FuzzyRelation", tolerance: float = 1e-9) -> bool:
+        """Fuzzy-relation equality: same tuples with (near-)equal degrees.
+
+        The paper's notion of query equivalence requires "not only the
+        answers contain the same set of tuples but also the corresponding
+        tuples have the same membership degree".
+        """
+        if len(self) != len(other):
+            return False
+        for key, t in self._tuples.items():
+            o = other._tuples.get(key)
+            if o is None or abs(o.degree - t.degree) > tolerance:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def pretty(self, value_format=repr, sort: bool = True) -> str:
+        """A fixed-width text rendering (for examples and debugging)."""
+        header = self.schema.names() + ["D"]
+        rows = []
+        for t in self:
+            rows.append([value_format(v) for v in t.values] + [f"{t.degree:.4g}"])
+        if sort:
+            rows.sort()
+        widths = [len(h) for h in header]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def line(cells):
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        return "\n".join([line(header), sep] + [line(r) for r in rows])
+
+    def __repr__(self) -> str:
+        return f"FuzzyRelation({self.schema.names()}, {len(self)} tuples)"

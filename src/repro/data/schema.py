@@ -1,0 +1,115 @@
+"""Relation schemas.
+
+A fuzzy relation with schema ``A1, ..., An`` is a fuzzy subset of
+``P(A1) x ... x P(An)`` — every attribute holds a possibility distribution
+over its domain, and the system-supplied membership-degree attribute ``D``
+is carried on the tuple itself (see :mod:`repro.data.tuples`), not in the
+schema.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from .types import AttributeType
+
+
+class Attribute:
+    """A named attribute with a typed domain.
+
+    ``domain`` optionally names the vocabulary scope for linguistic terms
+    (e.g. both ``M.AGE`` and ``F.AGE`` share the ``AGE`` domain).
+    """
+
+    __slots__ = ("name", "type", "domain")
+
+    def __init__(self, name: str, type: AttributeType = AttributeType.NUMERIC,
+                 domain: Optional[str] = None):
+        self.name = name
+        self.type = type
+        self.domain = domain if domain is not None else name
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name!r}, {self.type.value}, domain={self.domain!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return (self.name, self.type, self.domain) == (other.name, other.type, other.domain)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.type, self.domain))
+
+
+AttributeSpec = Union[Attribute, str, Tuple[str, AttributeType]]
+
+
+class Schema:
+    """An ordered list of attributes with name-based lookup.
+
+    Attribute specs may be full :class:`Attribute` objects, bare names
+    (defaulting to numeric), or ``(name, type)`` pairs.
+    """
+
+    __slots__ = ("attributes", "_index")
+
+    def __init__(self, attributes: Iterable[AttributeSpec]):
+        attrs: List[Attribute] = []
+        for spec in attributes:
+            if isinstance(spec, Attribute):
+                attrs.append(spec)
+            elif isinstance(spec, str):
+                attrs.append(Attribute(spec))
+            else:
+                name, atype = spec
+                attrs.append(Attribute(name, atype))
+        self.attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._index = {a.name: i for i, a in enumerate(self.attributes)}
+        if len(self._index) != len(self.attributes):
+            raise ValueError("duplicate attribute names in schema")
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def index_of(self, name: str) -> int:
+        """Position of the attribute named ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"no attribute {name!r} in schema {self.names()}") from None
+
+    def attribute(self, name: str) -> Attribute:
+        return self.attributes[self.index_of(name)]
+
+    def names(self) -> List[str]:
+        return [a.name for a in self.attributes]
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """The schema of a projection onto ``names`` (order preserved)."""
+        return Schema([self.attribute(n) for n in names])
+
+    def concat(self, other: "Schema", prefix_self: str = "", prefix_other: str = "") -> "Schema":
+        """Schema of a cross product; optional prefixes disambiguate clashes."""
+        attrs: List[Attribute] = []
+        for a in self.attributes:
+            attrs.append(Attribute(prefix_self + a.name, a.type, a.domain))
+        for a in other.attributes:
+            attrs.append(Attribute(prefix_other + a.name, a.type, a.domain))
+        return Schema(attrs)
+
+    def __repr__(self) -> str:
+        return f"Schema({self.names()})"

@@ -1,0 +1,17 @@
+"""Attribute domain types for the fuzzy relational model."""
+
+from __future__ import annotations
+
+import enum
+
+
+class AttributeType(enum.Enum):
+    """The crisp universe of discourse underlying an attribute.
+
+    ``NUMERIC`` domains support the interval order, fuzzy arithmetic, and
+    order comparisons; ``LABEL`` domains are symbolic (names, categories)
+    and compare by equality or an explicit similarity table.
+    """
+
+    NUMERIC = "numeric"
+    LABEL = "label"

@@ -1,0 +1,199 @@
+"""The user-facing facade: a fuzzy database session.
+
+:class:`FuzzyDatabase` bundles a catalog, a vocabulary, and the query
+machinery behind one ``execute()`` method that accepts both DDL/DML and
+queries::
+
+    db = FuzzyDatabase()
+    db.execute("CREATE TABLE M (ID NUMERIC, NAME LABEL, AGE NUMERIC ON 'AGE')")
+    db.execute("DEFINE 'medium young' ON 'AGE' AS '[20, 25, 30, 35]'")
+    db.execute("INSERT INTO M VALUES (201, 'Allen', 24)")
+    answer = db.execute("SELECT M.NAME FROM M WHERE M.AGE = 'medium young'")
+
+Queries are unnested automatically when a rewrite applies (the point of
+the paper); ``db.explain(sql)`` shows what the optimizer would do.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from .data.catalog import Catalog
+from .data.io import parse_value
+from .data.relation import FuzzyRelation
+from .data.schema import Attribute, Schema
+from .data.tuples import FuzzyTuple
+from .data.types import AttributeType
+from .engine.aggregates import DegreePolicy
+from .engine.semantics import NaiveEvaluator
+from .fuzzy.linguistic import Vocabulary
+from .sql.ast import SelectQuery
+from .sql.classify import classify
+from .sql.statements import (
+    CreateTable,
+    DefineTerm,
+    DropTable,
+    InsertInto,
+    Statement,
+    parse_statement,
+)
+from .unnest.common import UnnestError
+from .unnest.rewriter import unnest
+
+
+class DatabaseError(Exception):
+    """A statement could not be executed (unknown table, arity, ...)."""
+
+
+class FuzzyDatabase:
+    """An in-memory fuzzy relational database session."""
+
+    def __init__(
+        self,
+        vocabulary: Optional[Vocabulary] = None,
+        aggregate_policy: DegreePolicy = DegreePolicy.ONE,
+        similarity=None,
+        auto_unnest: bool = True,
+    ):
+        self.catalog = Catalog(vocabulary)
+        self.aggregate_policy = aggregate_policy
+        self.similarity = similarity
+        self.auto_unnest = auto_unnest
+
+    # ------------------------------------------------------------------
+    # The one entry point
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> Union[FuzzyRelation, str]:
+        """Run one statement; queries return relations, DDL returns messages."""
+        statement = parse_statement(sql)
+        return self.execute_statement(statement)
+
+    def execute_statement(self, statement: Statement) -> Union[FuzzyRelation, str]:
+        if isinstance(statement, SelectQuery):
+            return self.query(statement)
+        if isinstance(statement, CreateTable):
+            return self._create(statement)
+        if isinstance(statement, InsertInto):
+            return self._insert(statement)
+        if isinstance(statement, DefineTerm):
+            return self._define(statement)
+        if isinstance(statement, DropTable):
+            return self._drop(statement)
+        raise DatabaseError(f"unsupported statement {statement!r}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, query: Union[str, SelectQuery]) -> FuzzyRelation:
+        if isinstance(query, str):
+            statement = parse_statement(query)
+            if not isinstance(statement, SelectQuery):
+                raise DatabaseError("query() expects a SELECT statement")
+            query = statement
+        if self.auto_unnest:
+            try:
+                plan = unnest(query, self.catalog)
+                return plan.execute(self.catalog, self._make_evaluator)
+            except UnnestError:
+                pass
+        return self._make_evaluator(self.catalog).evaluate(query)
+
+    def explain(self, sql: Union[str, SelectQuery]) -> str:
+        """Describe how a query would be executed."""
+        query = parse_statement(sql) if isinstance(sql, str) else sql
+        if not isinstance(query, SelectQuery):
+            return str(query)
+        nesting = classify(query, self.catalog)
+        try:
+            plan = unnest(query, self.catalog)
+        except UnnestError:
+            return f"nesting type: {nesting.value}\nnaive nested-loop evaluation"
+        return f"nesting type: {nesting.value}\n{plan.explain()}"
+
+    def _make_evaluator(self, catalog: Catalog) -> NaiveEvaluator:
+        return NaiveEvaluator(
+            catalog,
+            aggregate_policy=self.aggregate_policy,
+            similarity=self.similarity,
+        )
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+    def _create(self, statement: CreateTable) -> str:
+        if statement.name in self.catalog:
+            raise DatabaseError(f"table {statement.name!r} already exists")
+        attrs = []
+        for column in statement.columns:
+            attr_type = (
+                AttributeType.LABEL if column.type_name == "LABEL" else AttributeType.NUMERIC
+            )
+            attrs.append(Attribute(column.name, attr_type, column.domain))
+        self.catalog.register(statement.name, FuzzyRelation(Schema(attrs)))
+        return f"table {statement.name} created"
+
+    def _insert(self, statement: InsertInto) -> str:
+        relation = self._table(statement.table)
+        degree = statement.degree if statement.degree is not None else 1.0
+        for row in statement.rows:
+            if len(row) != len(relation.schema):
+                raise DatabaseError(
+                    f"row has {len(row)} values but {statement.table} has "
+                    f"{len(relation.schema)} attributes"
+                )
+            values = [
+                parse_value(raw, self.catalog.vocabulary, attr.domain)
+                for raw, attr in zip(row, relation.schema.attributes)
+            ]
+            relation.add(FuzzyTuple(values, degree))
+        n = len(statement.rows)
+        return f"{n} tuple{'s' if n != 1 else ''} inserted into {statement.table}"
+
+    def _define(self, statement: DefineTerm) -> str:
+        value = parse_value(statement.shape, self.catalog.vocabulary, statement.domain)
+        self.catalog.vocabulary.define(statement.term, value, statement.domain)
+        where = f" on {statement.domain}" if statement.domain else ""
+        return f"term '{statement.term}' defined{where}"
+
+    def _drop(self, statement: DropTable) -> str:
+        self._table(statement.name)  # raises if absent
+        self.catalog.remove(statement.name)
+        return f"table {statement.name} dropped"
+
+    # ------------------------------------------------------------------
+    # Programmatic access
+    # ------------------------------------------------------------------
+    def _table(self, name: str) -> FuzzyRelation:
+        try:
+            return self.catalog.get(name)
+        except KeyError:
+            raise DatabaseError(f"no table {name!r}") from None
+
+    def register(self, name: str, relation: FuzzyRelation) -> None:
+        """Register a programmatically built relation."""
+        self.catalog.register(name, relation)
+
+    def table(self, name: str) -> FuzzyRelation:
+        return self._table(name)
+
+    def tables(self) -> List[str]:
+        return self.catalog.names()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.catalog
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist tables and vocabulary as JSON under ``path``."""
+        from .persist import save_database
+
+        save_database(self, path)
+
+    @classmethod
+    def load(cls, path, **kwargs) -> "FuzzyDatabase":
+        """Reconstruct a database saved with :meth:`save`."""
+        from .persist import load_database
+
+        return load_database(path, **kwargs)

@@ -1,0 +1,107 @@
+"""Fuzzy aggregate functions (Section 6 semantics).
+
+* ``COUNT`` returns the number of values in the fuzzy set (crisp);
+* ``SUM`` folds fuzzy addition over the values' 0- and 1-cuts;
+* ``AVG`` is the fuzzy SUM divided by the crisp count;
+* ``MIN``/``MAX`` defuzzify each value by the center of its 1-cut and
+  return the (original, still fuzzy) value with the smallest/largest
+  center;
+* the empty set yields NULL (``None``) for everything except ``COUNT``,
+  which yields 0.
+
+The degree ``D(A(r))`` attached to an aggregate result is a function of
+the group; Fuzzy SQL fixes ``D(A(r)) = 1`` but the paper notes it "can
+also be defined as the average membership degree, or weighted average
+membership degree" — :class:`DegreePolicy` exposes all three.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from ..fuzzy import arithmetic
+from ..fuzzy.crisp import CrispNumber
+from ..fuzzy.distribution import Distribution
+
+Member = Tuple[Distribution, float]  # (value, membership degree)
+
+AGGREGATE_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+class DegreePolicy(enum.Enum):
+    """How ``D(A(r))`` is derived from the group ``T(r)``."""
+
+    ONE = "one"              # Fuzzy SQL: always 1
+    AVERAGE = "average"      # arithmetic mean of member degrees
+    WEIGHTED = "weighted"    # degree-weighted mean of member degrees
+
+    def degree(self, members: Sequence[Member]) -> float:
+        if not members:
+            return 1.0
+        if self is DegreePolicy.ONE:
+            return 1.0
+        degrees = [d for _, d in members]
+        if self is DegreePolicy.AVERAGE:
+            return sum(degrees) / len(degrees)
+        total = sum(degrees)
+        if total == 0.0:
+            return 0.0
+        return sum(d * d for d in degrees) / total
+
+
+def apply_aggregate(
+    func: str,
+    members: Sequence[Member],
+    policy: DegreePolicy = DegreePolicy.ONE,
+) -> Optional[Tuple[Distribution, float]]:
+    """Apply ``func`` to a fuzzy set of values; ``None`` encodes NULL.
+
+    ``members`` are the *distinct* values of the group with their
+    membership degrees (zero-degree values must already be excluded).
+    """
+    func = func.upper()
+    if func not in AGGREGATE_FUNCS:
+        raise ValueError(f"unknown aggregate function {func!r}")
+    if not members:
+        if func == "COUNT":
+            return CrispNumber(0.0), 1.0
+        return None
+    degree = policy.degree(members)
+    if func == "COUNT":
+        return CrispNumber(float(len(members))), degree
+    if func == "SUM":
+        total: Distribution = members[0][0]
+        for value, _ in members[1:]:
+            total = arithmetic.add(total, value)
+        return total, degree
+    if func == "AVG":
+        total = members[0][0]
+        for value, _ in members[1:]:
+            total = arithmetic.add(total, value)
+        return arithmetic.scale(total, 1.0 / len(members)), degree
+    # MIN / MAX by defuzzified 1-cut center.  Distinct values may share a
+    # center (the paper's defuzzification is not injective); break ties by
+    # the canonical value representation so every evaluation order —
+    # naive, pipelined, storage — picks the same member.
+    chooser = min if func == "MIN" else max
+    best = chooser(members, key=lambda m: (m[0].defuzzify(), repr(m[0].key())))
+    return best[0], degree
+
+
+def aggregate_degrees(func: str, degrees: List[float]) -> float:
+    """Aggregate over the membership-degree pseudo-column (``MIN(D)`` etc.).
+
+    Used by the unnested JX'/JALL' forms where ``MIN(D)`` in the SELECT
+    clause defines the output tuple's membership degree.
+    """
+    func = func.upper()
+    if not degrees:
+        raise ValueError("cannot aggregate an empty degree group")
+    if func == "MIN":
+        return min(degrees)
+    if func == "MAX":
+        return max(degrees)
+    if func == "AVG":
+        return sum(degrees) / len(degrees)
+    raise ValueError(f"aggregate {func}(D) is not supported")

@@ -1,0 +1,363 @@
+"""Compile flat (unnested) queries into physical plans over heap files.
+
+This is the storage-level execution path for the rewrites that produce a
+single flat query — types N, J, SOME, and chain (Theorems 4.1, 4.2, 8.1):
+
+    parse -> unnest -> FlatCompiler.compile -> Operator tree -> answer
+
+The compiler pushes single-relation predicates into the scans (the paper:
+"only those tuples in R (respectively, S) that satisfy p1 (respectively,
+p2) positively should be sorted"), picks one fuzzy equi-join predicate per
+new relation as the merge-join band, folds the remaining predicates into
+the pair degree, and falls back to a block nested loop when no equi-join
+predicate links a relation in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..data.relation import FuzzyRelation
+from ..data.schema import Attribute, Schema
+from ..data.tuples import FuzzyTuple
+from ..fuzzy.compare import Op, possibility
+from ..fuzzy.linguistic import Vocabulary, lift
+from ..join.predicates import JoinPredicate, join_degree
+from ..sql.ast import ColumnRef, Comparison, Literal, SelectQuery
+from ..sql.parser import parse
+from ..storage.heap import HeapFile
+from .operators import (
+    ExecutionContext,
+    MergeJoinOp,
+    NestedLoopJoinOp,
+    Operator,
+    Project,
+    Scan,
+    Select,
+    Threshold,
+    TuplePredicate,
+    unique_names,
+)
+
+
+class CompileError(Exception):
+    """The query is outside the flat fragment the compiler supports."""
+
+
+Column = Tuple[str, str]  # (binding, attribute)
+
+
+def compile_comparison(
+    predicate: Comparison,
+    columns: List[Column],
+    domains: Dict[Column, Optional[str]],
+    vocabulary: Optional[Vocabulary] = None,
+) -> TuplePredicate:
+    """Compile ``X op Y`` into a degree function over a tuple layout.
+
+    ``columns`` lists the ``(binding, attribute)`` pairs of the tuple the
+    predicate will be evaluated against (positionally); literals resolve
+    against the vocabulary in the domain of the opposite column.
+    """
+
+    def accessor(term, other):
+        if isinstance(term, ColumnRef):
+            try:
+                index = columns.index((term.relation, term.attribute))
+            except ValueError:
+                raise CompileError(
+                    f"column {term} not available at this plan point"
+                ) from None
+            return lambda t: t[index]
+        assert isinstance(term, Literal)
+        domain = None
+        if isinstance(other, ColumnRef):
+            domain = domains.get((other.relation, other.attribute))
+        value = lift(term.value, vocabulary, domain)
+        return lambda _t: value
+
+    left = accessor(predicate.left, predicate.right)
+    right = accessor(predicate.right, predicate.left)
+    op = predicate.op
+
+    def degree(t: FuzzyTuple) -> float:
+        return possibility(left(t), op, right(t))
+
+    return TuplePredicate(degree, label=str(predicate))
+
+
+class FlatCompiler:
+    """Compiles fully-qualified flat SELECT queries to operator trees."""
+
+    def __init__(self, tables: Dict[str, HeapFile], vocabulary: Optional[Vocabulary] = None):
+        self.tables = {name.upper(): heap for name, heap in tables.items()}
+        self.vocabulary = vocabulary
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        query: Union[str, SelectQuery],
+        optimize: bool = False,
+        fanout: float = 7.0,
+    ) -> Operator:
+        """Compile to an operator tree.
+
+        With ``optimize=True`` the FROM order is replaced by the Section 8
+        dynamic-programming join order (minimizing estimated intermediate
+        sizes under a constant fan-out assumption).
+        """
+        if isinstance(query, str):
+            query = parse(query)
+        if query.group_by or any(not isinstance(i, ColumnRef) for i in query.select):
+            raise CompileError("the flat compiler supports plain column projections")
+
+        bindings, domains = self._bindings(query)
+        pushdown, joins = self._partition_predicates(query, bindings)
+        if optimize and len(query.from_tables) > 1:
+            query = self._reorder(query, joins, fanout)
+
+        plan, columns = self._initial_scan(query.from_tables[0], pushdown, domains)
+        pending = list(joins)
+        for table in query.from_tables[1:]:
+            plan, columns, pending = self._join_in(
+                plan, columns, table, pushdown, pending, bindings, domains
+            )
+
+        if pending:
+            # Cross-block correlations whose band predicate joined earlier.
+            plan = Select(
+                plan,
+                [self._combined_predicate(p, columns, domains) for p in pending],
+            )
+
+        names = self._layout_names(columns)
+        selected = [
+            names[columns.index((item.relation, item.attribute))]
+            for item in query.select
+        ]
+        plan = Project(plan, selected)
+        threshold = query.with_threshold if query.with_threshold is not None else 0.0
+        return Threshold(plan, threshold)
+
+    def execute(self, query: Union[str, SelectQuery], ctx: ExecutionContext) -> FuzzyRelation:
+        return self.compile(query).to_relation(ctx)
+
+    # ------------------------------------------------------------------
+    # Join ordering (Section 8)
+    # ------------------------------------------------------------------
+    def _reorder(self, query: SelectQuery, joins: List[Comparison], fanout: float) -> SelectQuery:
+        from .optimizer import JoinEdge, TableEstimate, optimize_join_order
+
+        estimates = {
+            table.binding: TableEstimate(self.tables[table.name.upper()].n_tuples)
+            for table in query.from_tables
+        }
+        edges = []
+        for predicate in joins:
+            if (
+                predicate.op is Op.EQ
+                and isinstance(predicate.left, ColumnRef)
+                and isinstance(predicate.right, ColumnRef)
+            ):
+                edges.append(
+                    JoinEdge(predicate.left.relation, predicate.right.relation, fanout)
+                )
+        plan = optimize_join_order(estimates, edges)
+        by_binding = {table.binding: table for table in query.from_tables}
+        ordered = tuple(by_binding[b] for b in plan.order)
+        return SelectQuery(
+            select=query.select,
+            from_tables=ordered,
+            where=query.where,
+            with_threshold=query.with_threshold,
+            group_by=query.group_by,
+            distinct=query.distinct,
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def _bindings(self, query: SelectQuery):
+        bindings: Dict[str, Schema] = {}
+        domains: Dict[Column, Optional[str]] = {}
+        for table in query.from_tables:
+            heap = self.tables.get(table.name.upper())
+            if heap is None:
+                raise CompileError(f"no heap file registered for {table.name!r}")
+            if table.binding in bindings:
+                raise CompileError(f"duplicate binding {table.binding!r}")
+            bindings[table.binding] = heap.schema
+            for attr in heap.schema:
+                domains[(table.binding, attr.name)] = attr.domain
+        return bindings, domains
+
+    def _partition_predicates(self, query: SelectQuery, bindings: Dict[str, Schema]):
+        pushdown: Dict[str, List[Comparison]] = {b: [] for b in bindings}
+        joins: List[Comparison] = []
+        for predicate in query.where:
+            if not isinstance(predicate, Comparison):
+                raise CompileError(f"unsupported predicate in flat query: {predicate!r}")
+            refs = self._referenced_bindings(predicate, bindings)
+            if len(refs) == 0:
+                raise CompileError("constant predicates are not supported")
+            if len(refs) == 1:
+                pushdown[next(iter(refs))].append(predicate)
+            else:
+                joins.append(predicate)
+        return pushdown, joins
+
+    def _referenced_bindings(self, predicate: Comparison, bindings) -> set:
+        refs = set()
+        for side in (predicate.left, predicate.right):
+            if isinstance(side, ColumnRef):
+                if side.relation is None or side.relation not in bindings:
+                    raise CompileError(
+                        f"flat compilation requires fully qualified columns, got {side}"
+                    )
+                refs.add(side.relation)
+        return refs
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def _initial_scan(self, table, pushdown, domains) -> Tuple[Operator, List[Column]]:
+        heap = self.tables[table.name.upper()]
+        columns = [(table.binding, a.name) for a in heap.schema]
+        predicates = [
+            self._combined_predicate(p, columns, domains)
+            for p in pushdown.get(table.binding, [])
+        ]
+        return Scan(heap, predicates), columns
+
+    def _join_in(self, plan, columns, table, pushdown, pending, bindings, domains):
+        heap = self.tables[table.name.upper()]
+        scan_columns = [(table.binding, a.name) for a in heap.schema]
+        scan = Scan(
+            heap,
+            [
+                self._combined_predicate(p, scan_columns, domains)
+                for p in pushdown.get(table.binding, [])
+            ],
+        )
+        joined = {binding for binding, _ in columns}
+        applicable: List[Comparison] = []
+        deferred: List[Comparison] = []
+        for predicate in pending:
+            refs = self._referenced_bindings(predicate, bindings)
+            if table.binding in refs and refs - {table.binding} <= joined:
+                applicable.append(predicate)
+            else:
+                deferred.append(predicate)
+
+        band = None
+        for predicate in applicable:
+            if (
+                predicate.op is Op.EQ
+                and isinstance(predicate.left, ColumnRef)
+                and isinstance(predicate.right, ColumnRef)
+            ):
+                band = predicate
+                break
+
+        new_columns = columns + scan_columns
+        if band is not None:
+            applicable.remove(band)
+            left_ref, right_ref = band.left, band.right
+            if left_ref.relation == table.binding:
+                left_ref, right_ref = right_ref, left_ref
+            residual = [
+                self._residual_predicate(p, columns, table.binding, heap.schema)
+                for p in applicable
+            ]
+            names = self._layout_names(columns)
+            joined_plan = MergeJoinOp(
+                plan,
+                names[columns.index((left_ref.relation, left_ref.attribute))],
+                scan,
+                right_ref.attribute,
+                residual=residual,
+            )
+        else:
+            residual = [
+                self._residual_predicate(p, columns, table.binding, heap.schema)
+                for p in applicable
+            ]
+            joined_plan = NestedLoopJoinOp(
+                plan, scan, join_degree(residual), label=table.binding
+            )
+        return joined_plan, new_columns, deferred
+
+    # ------------------------------------------------------------------
+    # Predicate compilation
+    # ------------------------------------------------------------------
+    def _residual_predicate(
+        self,
+        predicate: Comparison,
+        left_columns: List[Column],
+        right_binding: str,
+        right_schema: Schema,
+    ) -> JoinPredicate:
+        """A predicate between the accumulated left side and the new table."""
+        left_ref, right_ref = predicate.left, predicate.right
+        op = predicate.op
+        if isinstance(left_ref, ColumnRef) and left_ref.relation == right_binding:
+            left_ref, right_ref = right_ref, left_ref
+            op = op.flipped()
+        if not (isinstance(left_ref, ColumnRef) and isinstance(right_ref, ColumnRef)):
+            raise CompileError(f"join predicates must relate two columns: {predicate}")
+        left_schema = self._columns_schema(left_columns)
+        names = self._layout_names(left_columns)
+        return JoinPredicate(
+            left_schema,
+            names[left_columns.index((left_ref.relation, left_ref.attribute))],
+            op,
+            right_schema,
+            right_ref.attribute,
+        )
+
+    def _combined_predicate(
+        self, predicate: Comparison, columns: List[Column], domains
+    ) -> TuplePredicate:
+        return compile_comparison(predicate, columns, domains, self.vocabulary)
+
+    # ------------------------------------------------------------------
+    # Layout helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _layout_names(columns: List[Column]) -> List[str]:
+        """The combined-schema names, matching ``concat_schemas``."""
+        return unique_names(attr for _binding, attr in columns)
+
+    @classmethod
+    def _columns_schema(cls, columns: List[Column]) -> Schema:
+        return Schema([Attribute(name) for name in cls._layout_names(columns)])
+
+
+def execute_unnested_storage(
+    query: Union[str, SelectQuery],
+    tables: Dict[str, HeapFile],
+    ctx: ExecutionContext,
+    vocabulary: Optional[Vocabulary] = None,
+) -> FuzzyRelation:
+    """Unnest a query and run it on the storage engine.
+
+    Only nesting types whose rewrite is a single flat query (FLAT, N, J,
+    SOME, chain) are supported here; pipelined types (JX, JA, JALL) run at
+    the logical level via :func:`repro.unnest.execute_unnested`.
+    """
+    from ..data.catalog import Catalog
+    from ..unnest.rewriter import unnest
+
+    catalog = Catalog(vocabulary)
+    for name, heap in tables.items():
+        # Register empty stand-ins carrying the schemas; the rewriter only
+        # needs schemas and the vocabulary for name resolution.
+        catalog.register(name, FuzzyRelation(heap.schema))
+    plan = unnest(query, catalog)
+    if plan.steps or not isinstance(plan.final, SelectQuery):
+        raise CompileError(
+            f"nesting type {plan.nesting_type!r} needs the pipelined executor"
+        )
+    return FlatCompiler(tables, vocabulary).execute(plan.final, ctx)

@@ -1,0 +1,316 @@
+"""Physical operators over heap files.
+
+These are the building blocks the *unnested* queries run on: scans with
+selection pushdown, materialization, external sort, and the two join
+algorithms, all charging their events into a shared
+:class:`~repro.storage.stats.OperationStats`.  The naive evaluator
+(:mod:`repro.engine.semantics`) is the logical-level counterpart; this
+module exists so the paper's performance story — flat plans on the
+extended merge-join versus nested-loop evaluation — can be measured on
+the storage engine, not just on in-memory relations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..data.relation import FuzzyRelation
+from ..data.schema import Schema
+from ..data.tuples import FuzzyTuple
+from ..join.merge_join import MergeJoin
+from ..join.nested_loop import NestedLoopJoin
+from ..join.predicates import JoinPredicate, PairDegree
+from ..storage.disk import SimulatedDisk
+from ..storage.heap import HeapFile
+from ..storage.stats import OperationStats
+
+_materialize_counter = itertools.count(1)
+
+
+def unique_names(names: Iterable[str]) -> List[str]:
+    """Deterministically de-duplicate attribute names with numeric suffixes.
+
+    Shared by schema concatenation and the compiler's layout bookkeeping so
+    both always agree on the generated names.
+    """
+    out: List[str] = []
+    taken = set()
+    for name in names:
+        candidate = name
+        suffix = 0
+        while candidate in taken:
+            suffix += 1
+            candidate = f"{name}_{suffix}"
+        taken.add(candidate)
+        out.append(candidate)
+    return out
+
+
+def concat_schemas(left: Schema, right: Schema) -> Schema:
+    """Concatenate schemas, suffixing clashing attribute names.
+
+    Compiled plans address columns by position (the executor keeps a
+    layout map), so the generated names only need to be unique.
+    """
+    from ..data.schema import Attribute
+
+    attrs = list(left.attributes) + list(right.attributes)
+    names = unique_names(a.name for a in attrs)
+    return Schema(
+        [Attribute(name, attr.type, attr.domain) for name, attr in zip(names, attrs)]
+    )
+
+
+class ExecutionContext:
+    """Shared disk, buffer budget, and statistics for one plan execution."""
+
+    def __init__(self, disk: SimulatedDisk, buffer_pages: int, stats: Optional[OperationStats] = None):
+        self.disk = disk
+        self.buffer_pages = buffer_pages
+        self.stats = stats if stats is not None else OperationStats()
+
+    def scratch_name(self, prefix: str) -> str:
+        return f"__mat_{prefix}_{next(_materialize_counter)}"
+
+
+class TuplePredicate:
+    """A single-relation predicate with its satisfaction-degree function.
+
+    Used for selection pushdown: ``p1``/``p2`` of the paper's query shapes
+    are evaluated while scanning, before any join.
+    """
+
+    def __init__(self, degree: Callable[[FuzzyTuple], float], label: str = "p"):
+        self._degree = degree
+        self.label = label
+
+    def __call__(self, t: FuzzyTuple, stats: Optional[OperationStats]) -> float:
+        if stats is not None:
+            stats.count_fuzzy()
+        return self._degree(t)
+
+    def __repr__(self) -> str:
+        return f"TuplePredicate({self.label})"
+
+
+class Operator:
+    """Base class: every operator produces a stream of fuzzy tuples."""
+
+    schema: Schema
+
+    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> str:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Terminal helpers
+    # ------------------------------------------------------------------
+    def to_relation(self, ctx: ExecutionContext) -> FuzzyRelation:
+        """Run the plan and collect the answer with fuzzy-OR dedup."""
+        return FuzzyRelation(self.schema, self.tuples(ctx))
+
+
+class Scan(Operator):
+    """Sequential scan of a heap file, optionally with pushed-down selection.
+
+    Selection rescales the tuple's degree to
+    ``min(mu_R(r), d(p1(r)), ...)`` — exactly the reduction the paper
+    applies before sorting ("only those tuples that satisfy p1 positively
+    should be sorted").
+    """
+
+    def __init__(self, heap: HeapFile, predicates: Sequence[TuplePredicate] = ()):
+        self.heap = heap
+        self.predicates = list(predicates)
+        self.schema = heap.schema
+
+    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+        with ctx.disk.use_stats(ctx.stats):
+            for page_index in range(self.heap.n_pages):
+                page = ctx.disk.read_page(self.heap.name, page_index)
+                for record in page.records():
+                    t = self.heap.serializer.decode(record)
+                    degree = t.degree
+                    for predicate in self.predicates:
+                        if degree == 0.0:
+                            break
+                        degree = min(degree, predicate(t, ctx.stats))
+                    if degree > 0.0:
+                        yield t.with_degree(degree)
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        preds = ", ".join(p.label for p in self.predicates) or "true"
+        return f"{pad}Scan({self.heap.name}, filter={preds})"
+
+
+class Materialize(Operator):
+    """Write a stream to a scratch heap file (needed before sorting)."""
+
+    def __init__(self, child: Operator, fixed_tuple_size: Optional[int] = None):
+        self.child = child
+        self.schema = child.schema
+        self.fixed_tuple_size = fixed_tuple_size
+
+    def materialize(self, ctx: ExecutionContext) -> HeapFile:
+        name = ctx.scratch_name("rel")
+        with ctx.disk.use_stats(ctx.stats):
+            heap = HeapFile(name, self.schema, ctx.disk, self.fixed_tuple_size)
+            heap.load(self.child.tuples(ctx))
+        return heap
+
+    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+        heap = self.materialize(ctx)
+        with ctx.disk.use_stats(ctx.stats):
+            for page_index in range(heap.n_pages):
+                page = ctx.disk.read_page(heap.name, page_index)
+                for record in page.records():
+                    yield heap.serializer.decode(record)
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        return f"{pad}Materialize\n{self.child.explain(depth + 1)}"
+
+
+def _as_heap(source: Operator, ctx: ExecutionContext) -> HeapFile:
+    if isinstance(source, Scan) and not source.predicates:
+        return source.heap
+    return Materialize(source).materialize(ctx)
+
+
+class MergeJoinOp(Operator):
+    """Extended merge-join of two child operators on one equi-attribute pair.
+
+    Residual predicates (further join conditions of type-J/chain queries)
+    are folded into the pair degree.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        left_attr: str,
+        right: Operator,
+        right_attr: str,
+        residual: Sequence[JoinPredicate] = (),
+        pair_degree: Optional[PairDegree] = None,
+    ):
+        from ..join.predicates import join_degree
+        from ..fuzzy.compare import Op
+
+        self.left = left
+        self.right = right
+        self.left_attr = left_attr
+        self.right_attr = right_attr
+        self.schema = concat_schemas(left.schema, right.schema)
+        predicates = [
+            JoinPredicate(left.schema, left_attr, Op.EQ, right.schema, right_attr)
+        ] + list(residual)
+        self.pair_degree = pair_degree if pair_degree is not None else join_degree(predicates)
+
+    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+        left_heap = _as_heap(self.left, ctx)
+        right_heap = _as_heap(self.right, ctx)
+        join = MergeJoin(ctx.disk, ctx.buffer_pages, ctx.stats)
+        for r, s, degree in join.pairs(
+            left_heap, self.left_attr, right_heap, self.right_attr, self.pair_degree
+        ):
+            yield r.concat(s, degree)
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        return (
+            f"{pad}MergeJoin({self.left_attr} = {self.right_attr})\n"
+            f"{self.left.explain(depth + 1)}\n{self.right.explain(depth + 1)}"
+        )
+
+
+class NestedLoopJoinOp(Operator):
+    """Block nested-loop join (the baseline every nested query is stuck with)."""
+
+    def __init__(self, left: Operator, right: Operator, pair_degree: PairDegree, label: str = ""):
+        self.left = left
+        self.right = right
+        self.pair_degree = pair_degree
+        self.schema = concat_schemas(left.schema, right.schema)
+        self.label = label
+
+    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+        left_heap = _as_heap(self.left, ctx)
+        right_heap = _as_heap(self.right, ctx)
+        join = NestedLoopJoin(ctx.disk, ctx.buffer_pages, ctx.stats)
+        for r, s, degree in join.pairs(left_heap, right_heap, self.pair_degree):
+            yield r.concat(s, degree)
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        return (
+            f"{pad}NestedLoopJoin({self.label})\n"
+            f"{self.left.explain(depth + 1)}\n{self.right.explain(depth + 1)}"
+        )
+
+
+class Select(Operator):
+    """Residual selection on an intermediate stream."""
+
+    def __init__(self, child: Operator, predicates: Sequence[TuplePredicate]):
+        self.child = child
+        self.predicates = list(predicates)
+        self.schema = child.schema
+
+    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+        for t in self.child.tuples(ctx):
+            degree = t.degree
+            for predicate in self.predicates:
+                if degree == 0.0:
+                    break
+                degree = min(degree, predicate(t, ctx.stats))
+            if degree > 0.0:
+                yield t.with_degree(degree)
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        preds = ", ".join(p.label for p in self.predicates)
+        return f"{pad}Select({preds})\n{self.child.explain(depth + 1)}"
+
+
+class Project(Operator):
+    """Projection; duplicate elimination happens at `to_relation` (fuzzy OR)."""
+
+    def __init__(self, child: Operator, attributes: Sequence[str]):
+        self.child = child
+        self.attributes = list(attributes)
+        self.indices = [child.schema.index_of(a) for a in attributes]
+        self.schema = child.schema.project(attributes)
+
+    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+        for t in self.child.tuples(ctx):
+            if ctx.stats is not None:
+                ctx.stats.count_move()
+            yield t.project(self.indices)
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        return f"{pad}Project({', '.join(self.attributes)})\n{self.child.explain(depth + 1)}"
+
+
+class Threshold(Operator):
+    """The WITH clause applied to the answer stream."""
+
+    def __init__(self, child: Operator, threshold: float):
+        self.child = child
+        self.threshold = threshold
+        self.schema = child.schema
+
+    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+        from ..fuzzy.logic import meets_threshold
+
+        for t in self.child.tuples(ctx):
+            if meets_threshold(t.degree, self.threshold):
+                yield t
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        return f"{pad}Threshold(D >= {self.threshold})\n{self.child.explain(depth + 1)}"

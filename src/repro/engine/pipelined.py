@@ -1,0 +1,148 @@
+"""The Section 6 pipelined evaluation of unnested aggregate queries.
+
+"Although the unnested Query JA consists of three queries instead of one,
+by pipelining the result of one query to another, the three flat queries
+can be evaluated in parallel in the main memory. ... Since the operations
+are pipelined, this process is essentially the extended merge-join."
+
+This module implements that single-pass strategy over heap files: both
+relations are sorted once (R on U, S on V); as the merge scan walks R, the
+group ``T'(u)`` for each *distinct* outer join-value ``u`` is aggregated
+exactly once (``A'(u)``, ``D(A'(u))``) and memoized, so later R-tuples
+carrying the same value reuse it without touching S again — the paper's
+"as soon as u1 is obtained, it is pipelined to Query T2 ... then, for all
+R-tuples r with r.U = u1 ... the degree d_r is computed".
+
+The COUNT left outer join (Query COUNT') falls out naturally: an R-tuple
+whose group is empty compares against the constant 0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from ..data.relation import FuzzyRelation
+from ..data.tuples import FuzzyTuple
+from ..fuzzy.compare import Op, intervals_intersect, possibility
+from ..fuzzy.crisp import CrispNumber
+from ..join.merge_join import MergeJoin
+from ..storage.heap import HeapFile
+from ..storage.stats import OperationStats
+from .aggregates import DegreePolicy, apply_aggregate
+
+TupleDegree = Callable[[FuzzyTuple], float]
+
+
+class JAPipeline:
+    """One-pass evaluation of
+
+        SELECT R.<project> FROM R
+        WHERE p1 AND R.<y> op1 (SELECT AGG(S.<z>) FROM S
+                                WHERE p2 AND S.<v> = R.<u>)
+
+    over heap files, per the Section 6 pipelining description.
+    """
+
+    def __init__(
+        self,
+        outer: HeapFile,
+        inner: HeapFile,
+        u_attr: str,
+        v_attr: str,
+        y_attr: str,
+        op1: Op,
+        agg_func: str,
+        z_attr: str,
+        project_attr=None,
+        p1: Optional[TupleDegree] = None,
+        p2: Optional[TupleDegree] = None,
+        policy: DegreePolicy = DegreePolicy.ONE,
+        project_attrs=None,
+    ):
+        self.outer = outer
+        self.inner = inner
+        self.u_index = outer.schema.index_of(u_attr)
+        self.v_index = inner.schema.index_of(v_attr)
+        self.y_index = outer.schema.index_of(y_attr)
+        self.z_index = inner.schema.index_of(z_attr)
+        if project_attrs is None:
+            project_attrs = [project_attr] if project_attr is not None else ["ID"]
+        self.project_attrs = list(project_attrs)
+        self.project_indices = [outer.schema.index_of(a) for a in self.project_attrs]
+        self.u_attr, self.v_attr = u_attr, v_attr
+        self.op1 = op1
+        self.agg_func = agg_func.upper()
+        self.p1 = p1
+        self.p2 = p2
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, disk, buffer_pages: int, stats: Optional[OperationStats] = None) -> FuzzyRelation:
+        stats = stats if stats is not None else OperationStats()
+        join = MergeJoin(disk, buffer_pages, stats)
+        # A'(u) / D(A'(u)) memo, keyed by the value representation of u —
+        # the binary-identity grouping Theorem 6.1 relies on.
+        groups: Dict[Hashable, Optional[Tuple[object, float]]] = {}
+
+        def pair(r: FuzzyTuple, s: FuzzyTuple, st: Optional[OperationStats]) -> float:
+            u = r[self.u_index]
+            if u.key() in groups:
+                return 0.0  # group already aggregated; skip S work entirely
+            if st is not None:
+                st.count_fuzzy()
+            if not intervals_intersect(u, s[self.v_index]):
+                return 0.0
+            degree = min(s.degree, possibility(s[self.v_index], Op.EQ, u))
+            if degree > 0.0 and self.p2 is not None:
+                if st is not None:
+                    st.count_fuzzy()
+                degree = min(degree, self.p2(s))
+            return degree
+
+        def init(_r: FuzzyTuple):
+            return {}
+
+        def step(members, s: FuzzyTuple, degree: float):
+            if degree > 0.0:
+                key = s[self.z_index].key()
+                if key not in members or degree > members[key][1]:
+                    members[key] = (s[self.z_index], degree)
+            return members
+
+        answer = FuzzyRelation(self.outer.schema.project(self.project_attrs))
+        for r, members in join.fold(
+            self.outer, self.u_attr, self.inner, self.v_attr, pair, init, step
+        ):
+            u_key = r[self.u_index].key()
+            if u_key not in groups:
+                # Pipeline hand-off: T'(u) just completed; apply AGG once.
+                groups[u_key] = apply_aggregate(
+                    self.agg_func, list(members.values()), self.policy
+                )
+            degree = self._outer_degree(r, groups[u_key], stats)
+            if degree > 0.0:
+                answer.add(
+                    FuzzyTuple(tuple(r[i] for i in self.project_indices), degree)
+                )
+        return answer
+
+    def _outer_degree(self, r: FuzzyTuple, aggregate, stats: Optional[OperationStats]) -> float:
+        degree = r.degree
+        if self.p1 is not None:
+            if stats is not None:
+                stats.count_fuzzy()
+            degree = min(degree, self.p1(r))
+        if degree == 0.0:
+            return 0.0
+        if aggregate is None:
+            # Empty group: NULL for everything but COUNT...
+            if self.agg_func != "COUNT":
+                return 0.0
+            value, agg_degree = CrispNumber(0.0), 1.0  # ...the outer-join ELSE branch
+        else:
+            value, agg_degree = aggregate
+        if stats is not None:
+            stats.count_fuzzy()
+        return min(degree, agg_degree, possibility(r[self.y_index], self.op1, value))

@@ -1,0 +1,429 @@
+"""The naive evaluator: the paper's execution semantics, verbatim.
+
+This evaluator interprets a Fuzzy SQL AST directly over in-memory
+relations, evaluating every subquery once per combination of outer tuples
+(the nested-loop strategy the paper says nested queries are stuck with).
+It is deliberately simple and serves two roles:
+
+* the **correctness oracle** every unnesting rewrite is tested against
+  (Theorems 4.1-8.1 assert equivalence to exactly this semantics), and
+* the reference implementation of degree propagation: conjunction by
+  ``min``, duplicate elimination by ``max``, subquery membership by
+  ``d(r.Y in T) = max_z min(mu_T(z), d(r.Y = z))`` and its quantified and
+  negated variants.
+
+Degree auto-inclusion: ordinarily the degrees of all FROM tuples join the
+conjunction (``d = min(mu_R(r), mu_S(s), ...)``); a query that references
+degrees *explicitly* (``R.D``, the JXT form of Section 5) opts out of the
+automatic inclusion and controls degrees itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..data.catalog import Catalog
+from ..data.relation import FuzzyRelation
+from ..data.schema import Attribute, Schema
+from ..data.tuples import FuzzyTuple
+from ..fuzzy.compare import Op, possibility
+from ..fuzzy.distribution import Distribution
+from ..fuzzy.linguistic import lift
+from ..storage.stats import OperationStats
+from ..sql.ast import (
+    AggregateExpr,
+    ColumnRef,
+    Comparison,
+    DegreePredicate,
+    DegreeRef,
+    ExistsPredicate,
+    IdentityComparison,
+    InPredicate,
+    Literal,
+    NegatedConjunction,
+    QuantifiedComparison,
+    ScalarSubqueryComparison,
+    SelectQuery,
+)
+from ..sql.errors import BindError
+from ..sql.parser import parse
+from .aggregates import DegreePolicy, aggregate_degrees, apply_aggregate
+
+
+class _Env:
+    """Tuple bindings of the current block, chained to enclosing blocks."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(
+        self,
+        bindings: List[Tuple[str, Schema, FuzzyTuple]],
+        parent: Optional["_Env"] = None,
+    ):
+        self.bindings = bindings
+        self.parent = parent
+
+    def resolve(self, ref: ColumnRef) -> Tuple[Distribution, Optional[str]]:
+        """Return ``(value, domain)`` for a column reference."""
+        env: Optional[_Env] = self
+        while env is not None:
+            hit = env._resolve_local(ref)
+            if hit is not None:
+                return hit
+            env = env.parent
+        raise BindError(f"cannot resolve column {ref}")
+
+    def _resolve_local(self, ref: ColumnRef):
+        matches = []
+        for binding, schema, t in self.bindings:
+            if ref.relation is not None and ref.relation != binding:
+                continue
+            if ref.attribute in schema:
+                attr = schema.attribute(ref.attribute)
+                matches.append((t[schema.index_of(ref.attribute)], attr.domain))
+            elif ref.relation is not None:
+                raise BindError(f"no attribute {ref.attribute!r} in {binding}")
+        if len(matches) > 1:
+            raise BindError(f"ambiguous column {ref}")
+        return matches[0] if matches else None
+
+    def degree_of(self, ref: DegreeRef) -> float:
+        env: Optional[_Env] = self
+        while env is not None:
+            for binding, _schema, t in env.bindings:
+                if ref.relation is None or ref.relation == binding:
+                    return t.degree
+            env = env.parent
+        raise BindError(f"cannot resolve degree reference {ref}")
+
+
+class NaiveEvaluator:
+    """Direct interpretation of Fuzzy SQL under the paper's semantics."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        aggregate_policy: DegreePolicy = DegreePolicy.ONE,
+        stats: Optional[OperationStats] = None,
+        similarity=None,
+    ):
+        self.catalog = catalog
+        self.aggregate_policy = aggregate_policy
+        self.stats = stats
+        self.similarity = similarity
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def evaluate(self, query: Union[str, SelectQuery]) -> FuzzyRelation:
+        """Evaluate SQL text or an AST into a fuzzy relation."""
+        if isinstance(query, str):
+            query = parse(query)
+        return self._eval_block(query, None)
+
+    # ------------------------------------------------------------------
+    # Block evaluation
+    # ------------------------------------------------------------------
+    def _eval_block(self, query: SelectQuery, parent: Optional[_Env]) -> FuzzyRelation:
+        from ..sql.binder import expand_select_stars
+
+        query = expand_select_stars(query, self.catalog)
+        relations = [
+            (t.binding, self.catalog.get(t.name)) for t in query.from_tables
+        ]
+        auto_degrees = not _uses_explicit_degrees(query)
+        rows: List[Tuple[_Env, float]] = []
+        spaces = [rel.tuples() for _, rel in relations]
+        schemas = [rel.schema for _, rel in relations]
+        names = [binding for binding, _ in relations]
+        for combo in itertools.product(*spaces):
+            env = _Env(list(zip(names, schemas, combo)), parent)
+            degree = 1.0
+            if auto_degrees:
+                for t in combo:
+                    degree = min(degree, t.degree)
+            for predicate in query.where:
+                if degree == 0.0:
+                    break
+                degree = min(degree, self._predicate_degree(predicate, env))
+            rows.append((env, degree))
+
+        has_aggregates = any(isinstance(item, AggregateExpr) for item in query.select)
+        if query.group_by or has_aggregates or query.having:
+            result = self._grouped_output(query, rows)
+        else:
+            result = self._plain_output(query, rows)
+        threshold = query.with_threshold if query.with_threshold is not None else 0.0
+        return result.with_threshold(threshold)
+
+    # ------------------------------------------------------------------
+    # Output assembly
+    # ------------------------------------------------------------------
+    def _plain_output(self, query: SelectQuery, rows) -> FuzzyRelation:
+        schema = self._output_schema(query, rows)
+        out = FuzzyRelation(schema)
+        for env, degree in rows:
+            if degree <= 0.0:
+                continue
+            values = [env.resolve(item)[0] for item in query.select]
+            out.add(FuzzyTuple(values, degree))
+        return out
+
+    def _grouped_output(self, query: SelectQuery, rows) -> FuzzyRelation:
+        groups: Dict[tuple, List[Tuple[_Env, float]]] = {}
+        for env, degree in rows:
+            key = tuple(env.resolve(col)[0].key() for col in query.group_by)
+            groups.setdefault(key, []).append((env, degree))
+        if not groups and not query.group_by:
+            # An ungrouped aggregate over no rows still yields one group
+            # (COUNT of an empty set is 0 with degree 1).
+            groups[()] = []
+
+        schema = self._output_schema(query, rows)
+        out = FuzzyRelation(schema)
+        for members in groups.values():
+            t = self._group_tuple(query, members)
+            if t is not None:
+                out.add(t)
+        return out
+
+    def _group_tuple(self, query: SelectQuery, members) -> Optional[FuzzyTuple]:
+        values: List[Distribution] = []
+        degree_parts: List[float] = []
+        has_degree_agg = False
+        for item in query.select:
+            if not members and not isinstance(item, AggregateExpr):
+                return None  # no rows to project plain columns from
+            if not members and item.argument.attribute == "D":
+                return None  # a degree aggregate needs at least one row
+            if isinstance(item, AggregateExpr) and item.argument.attribute == "D":
+                # MIN(D)/MAX(D)/AVG(D): aggregates degrees over *all* group
+                # rows (zero-degree rows included — the JXT semantics).
+                has_degree_agg = True
+                degree_parts.append(
+                    aggregate_degrees(item.func, [d for _, d in members])
+                )
+            elif isinstance(item, AggregateExpr):
+                result = self._value_aggregate(item, members)
+                if result is None:
+                    return None  # empty group: no output tuple (NULL)
+                value, agg_degree = result
+                values.append(value)
+                degree_parts.append(agg_degree)
+            else:
+                env = members[0][0]
+                values.append(env.resolve(item)[0])
+        if degree_parts:
+            degree = min(degree_parts)
+        else:
+            degree = max(d for _, d in members)
+        if not has_degree_agg and not any(
+            isinstance(i, AggregateExpr) for i in query.select
+        ):
+            # Pure GROUPBY projection degenerates to projection + dedup.
+            degree = max(d for _, d in members)
+        for having in query.having:
+            if degree == 0.0:
+                break
+            having_degree = self._having_degree(having, members)
+            if having_degree is None:
+                return None  # aggregate over an empty group: no output
+            degree = min(degree, having_degree)
+        return FuzzyTuple(values, degree) if degree > 0.0 else None
+
+    def _having_degree(self, predicate, members) -> Optional[float]:
+        """Satisfaction degree of a HAVING comparison for one group."""
+        left = self._having_value(predicate.left, members, other=predicate.right)
+        right = self._having_value(predicate.right, members, other=predicate.left)
+        if left is None or right is None:
+            return None
+        if self.stats is not None:
+            self.stats.count_fuzzy()
+        return possibility(left, predicate.op, right)
+
+    def _having_value(self, term, members, other):
+        from ..fuzzy.crisp import CrispNumber
+
+        if isinstance(term, AggregateExpr):
+            if term.argument.attribute == "D":
+                if not members:
+                    return None
+                return CrispNumber(
+                    aggregate_degrees(term.func, [d for _, d in members])
+                )
+            result = self._value_aggregate(term, members)
+            return None if result is None else result[0]
+        if isinstance(term, ColumnRef):
+            if not members:
+                return None
+            return members[0][0].resolve(term)[0]
+        assert isinstance(term, Literal)
+        domain = None
+        if isinstance(other, AggregateExpr) and members and other.argument.attribute != "D":
+            env = members[0][0]
+            domain = env.resolve(other.argument)[1]
+        elif isinstance(other, ColumnRef) and members:
+            domain = members[0][0].resolve(other)[1]
+        return lift(term.value, self.catalog.vocabulary, domain)
+
+    def _value_aggregate(self, item: AggregateExpr, members):
+        """AGG over the group's distinct values with positive degree."""
+        collected: Dict = {}
+        for env, degree in members:
+            if degree <= 0.0:
+                continue
+            value = env.resolve(item.argument)[0]
+            key = value.key()
+            if key not in collected or degree > collected[key][1]:
+                collected[key] = (value, degree)
+        return apply_aggregate(
+            item.func, list(collected.values()), self.aggregate_policy
+        )
+
+    def _output_schema(self, query: SelectQuery, rows) -> Schema:
+        attrs: List[Attribute] = []
+        used: Dict[str, int] = {}
+        for item in query.select:
+            if isinstance(item, AggregateExpr):
+                if item.argument.attribute == "D":
+                    continue  # defines the degree, not a column
+                name = f"{item.func}_{item.argument.attribute}"
+                attr = Attribute(name)
+            else:
+                name = item.attribute
+                attr = self._column_attribute(query, item, rows)
+            if name in used:
+                used[name] += 1
+                attr = Attribute(f"{name}_{used[name]}", attr.type, attr.domain)
+            else:
+                used[name] = 0
+            attrs.append(attr)
+        return Schema(attrs)
+
+    def _column_attribute(self, query: SelectQuery, ref: ColumnRef, rows) -> Attribute:
+        for table in query.from_tables:
+            if ref.relation is not None and ref.relation != table.binding:
+                continue
+            relation = self.catalog.get(table.name)
+            if ref.attribute in relation.schema:
+                base = relation.schema.attribute(ref.attribute)
+                return Attribute(ref.attribute, base.type, base.domain)
+        # Correlated projection (rare); fall back to a bare attribute.
+        return Attribute(ref.attribute)
+
+    # ------------------------------------------------------------------
+    # Predicate degrees
+    # ------------------------------------------------------------------
+    def _predicate_degree(self, predicate, env: _Env) -> float:
+        if isinstance(predicate, Comparison):
+            return self._comparison_degree(predicate, env)
+        if isinstance(predicate, DegreePredicate):
+            return env.degree_of(predicate.degree)
+        if isinstance(predicate, IdentityComparison):
+            left, _ = env.resolve(predicate.left)
+            right, _ = env.resolve(predicate.right)
+            if self.stats is not None:
+                self.stats.count_crisp()
+            return 1.0 if left.key() == right.key() else 0.0
+        if isinstance(predicate, NegatedConjunction):
+            inner = 1.0
+            for p in predicate.predicates:
+                inner = min(inner, self._predicate_degree(p, env))
+                if inner == 0.0:
+                    break
+            return 1.0 - inner
+        if isinstance(predicate, InPredicate):
+            degree = self._membership_degree(predicate.column, Op.EQ, predicate.query, env)
+            return 1.0 - degree if predicate.negated else degree
+        if isinstance(predicate, QuantifiedComparison):
+            return self._quantified_degree(predicate, env)
+        if isinstance(predicate, ScalarSubqueryComparison):
+            return self._scalar_subquery_degree(predicate, env)
+        if isinstance(predicate, ExistsPredicate):
+            inner = self._eval_block(predicate.query, env)
+            degree = max((t.degree for t in inner), default=0.0)
+            return 1.0 - degree if predicate.negated else degree
+        raise BindError(f"unsupported predicate {predicate!r}")
+
+    def _comparison_degree(self, predicate: Comparison, env: _Env) -> float:
+        left, left_domain = self._term_value(predicate.left, env, None)
+        right, _ = self._term_value(predicate.right, env, left_domain)
+        if left is None:
+            # The left side was a literal needing the right side's domain.
+            right, right_domain = self._term_value(predicate.right, env, None)
+            left, _ = self._term_value(predicate.left, env, right_domain)
+        if self.stats is not None:
+            self.stats.count_fuzzy()
+        if predicate.op is Op.SIMILAR:
+            if self.similarity is None:
+                raise BindError("~= used without a configured similarity relation")
+            return self.similarity.degree(left, right)
+        return possibility(left, predicate.op, right)
+
+    def _term_value(self, term, env: _Env, domain_hint: Optional[str]):
+        if isinstance(term, ColumnRef):
+            return env.resolve(term)
+        if isinstance(term, DegreeRef):
+            raise BindError("a degree reference cannot be compared as a value")
+        assert isinstance(term, Literal)
+        if isinstance(term.value, str) and domain_hint is None:
+            # Defer literal resolution until the other side fixes the domain.
+            return None, None
+        return lift(term.value, self.catalog.vocabulary, domain_hint), domain_hint
+
+    def _membership_degree(
+        self, column: ColumnRef, op: Op, subquery: SelectQuery, env: _Env
+    ) -> float:
+        """``d(v in T)`` / the SOME quantifier: max_z min(mu_T(z), d(v op z))."""
+        value, _ = env.resolve(column)
+        inner = self._eval_block(subquery, env)
+        best = 0.0
+        for t in inner:
+            if self.stats is not None:
+                self.stats.count_fuzzy()
+            best = max(best, min(t.degree, possibility(value, op, t[0])))
+        return best
+
+    def _quantified_degree(self, predicate: QuantifiedComparison, env: _Env) -> float:
+        if predicate.quantifier in ("SOME", "ANY"):
+            return self._membership_degree(
+                predicate.column, predicate.op, predicate.query, env
+            )
+        # ALL: d(v op ALL T) = 1 - max_z min(mu_T(z), 1 - d(v op z)); 1 on empty.
+        value, _ = env.resolve(predicate.column)
+        inner = self._eval_block(predicate.query, env)
+        worst = 0.0
+        for t in inner:
+            if self.stats is not None:
+                self.stats.count_fuzzy()
+            worst = max(worst, min(t.degree, 1.0 - possibility(value, predicate.op, t[0])))
+        return 1.0 - worst
+
+    def _scalar_subquery_degree(
+        self, predicate: ScalarSubqueryComparison, env: _Env
+    ) -> float:
+        value, _ = env.resolve(predicate.column)
+        inner = self._eval_block(predicate.query, env)
+        tuples = inner.tuples()
+        if not tuples:
+            return 0.0  # NULL comparison fails (non-COUNT empty group)
+        if len(tuples) > 1:
+            raise BindError("scalar subquery returned more than one tuple")
+        result = tuples[0]
+        if self.stats is not None:
+            self.stats.count_fuzzy()
+        return min(result.degree, possibility(value, predicate.op, result[0]))
+
+
+def _uses_explicit_degrees(query: SelectQuery) -> bool:
+    """True when the WHERE clause references membership degrees itself."""
+
+    def predicate_uses(p) -> bool:
+        if isinstance(p, DegreePredicate):
+            return True
+        if isinstance(p, NegatedConjunction):
+            return any(predicate_uses(q) for q in p.predicates)
+        return False
+
+    return any(predicate_uses(p) for p in query.where)

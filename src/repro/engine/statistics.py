@@ -1,0 +1,91 @@
+"""Sampling-based statistics for fuzzy join planning.
+
+The paper leaves sampling as future work ("More research is needed to
+decide the optimal join method (and the way to conduct sampling in fuzzy
+databases)").  This module implements the obvious instantiation: sample
+tuples from both relations, count support-interval overlaps, and scale up
+to estimate the average join fan-out C — the quantity both the cost model
+and the Section 8 join-order DP depend on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..fuzzy.interval_order import overlaps
+from ..storage.heap import HeapFile
+from ..storage.stats import OperationStats
+
+
+@dataclass(frozen=True)
+class FanoutEstimate:
+    """Result of a sampled fan-out estimation."""
+
+    fanout: float          # expected joining S-tuples per R-tuple
+    outer_sampled: int
+    inner_sampled: int
+    pairs_checked: int
+
+    def edge_fanout(self, minimum: float = 1.0) -> float:
+        """A conservative value for :class:`repro.engine.optimizer.JoinEdge`."""
+        return max(minimum, self.fanout)
+
+
+def sample_tuples(heap: HeapFile, k: int, rng: random.Random, stats: Optional[OperationStats] = None):
+    """Page-level sampling: draw ``k`` tuples by sampling pages uniformly.
+
+    Charges one page read per distinct sampled page (cheaper and more
+    realistic than row-level sampling on a paged store).
+    """
+    if heap.n_pages == 0 or k <= 0:
+        return []
+    out = []
+    pages = list(range(heap.n_pages))
+    rng.shuffle(pages)
+    scratch = OperationStats()
+    with heap.disk.use_stats(stats if stats is not None else scratch):
+        for page_index in pages:
+            page = heap.disk.read_page(heap.name, page_index)
+            for record in page.records():
+                out.append(heap.serializer.decode(record))
+            if len(out) >= k:
+                break
+    rng.shuffle(out)
+    return out[:k]
+
+
+def estimate_fanout(
+    outer: HeapFile,
+    inner: HeapFile,
+    attribute: str = "X",
+    sample_size: int = 64,
+    seed: int = 0,
+    stats: Optional[OperationStats] = None,
+) -> FanoutEstimate:
+    """Estimate the average number of inner tuples joining each outer tuple.
+
+    Overlap of support intervals is the (necessary) join criterion the
+    merge-join itself uses, and checking it costs a crisp comparison, not
+    a fuzzy evaluation.
+    """
+    rng = random.Random(seed)
+    outer_index = outer.schema.index_of(attribute)
+    inner_index = inner.schema.index_of(attribute)
+    outer_sample = sample_tuples(outer, sample_size, rng, stats)
+    inner_sample = sample_tuples(inner, sample_size, rng, stats)
+    if not outer_sample or not inner_sample:
+        return FanoutEstimate(0.0, len(outer_sample), len(inner_sample), 0)
+    hits = 0
+    checked = 0
+    for r in outer_sample:
+        for s in inner_sample:
+            checked += 1
+            if stats is not None:
+                stats.count_crisp()
+            if overlaps(r[outer_index], s[inner_index]):
+                hits += 1
+    per_pair = hits / checked
+    fanout = per_pair * inner.n_tuples
+    return FanoutEstimate(fanout, len(outer_sample), len(inner_sample), checked)

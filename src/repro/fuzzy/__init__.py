@@ -1,0 +1,59 @@
+"""Possibility-theory substrate: distributions, comparisons, fuzzy logic.
+
+This package implements everything Section 2 of the paper assumes about
+fuzzy sets and the theory of possibility: trapezoidal / discrete / crisp
+possibility distributions, exact possibility degrees for comparison
+predicates, Zadeh connectives, fuzzy arithmetic on alpha-cuts, the interval
+order of Definition 3.1, and linguistic vocabularies.
+"""
+
+from .arithmetic import add, divide, multiply, scale, subtract, to_trapezoid
+from .compare import Op, intervals_intersect, necessity, possibility
+from .crisp import CrispLabel, CrispNumber
+from .discrete import DiscreteDistribution
+from .distribution import Distribution
+from .interval_order import begin, end, overlaps, precedes, precedes_eq, sort_key, strictly_before
+from .linguistic import UnknownTermError, Vocabulary, lift, paper_vocabulary
+from .logic import PRODUCT, ZADEH, Norms, f_and, f_not, f_or, meets_threshold
+from .membership import PiecewiseLinear
+from .similarity import TableSimilarity, ToleranceSimilarity
+from .trapezoid import TrapezoidalNumber
+
+__all__ = [
+    "Distribution",
+    "TrapezoidalNumber",
+    "DiscreteDistribution",
+    "CrispNumber",
+    "CrispLabel",
+    "PiecewiseLinear",
+    "Op",
+    "possibility",
+    "necessity",
+    "intervals_intersect",
+    "ToleranceSimilarity",
+    "TableSimilarity",
+    "Norms",
+    "ZADEH",
+    "PRODUCT",
+    "f_and",
+    "f_or",
+    "f_not",
+    "meets_threshold",
+    "add",
+    "subtract",
+    "multiply",
+    "divide",
+    "scale",
+    "to_trapezoid",
+    "sort_key",
+    "begin",
+    "end",
+    "precedes",
+    "precedes_eq",
+    "overlaps",
+    "strictly_before",
+    "Vocabulary",
+    "UnknownTermError",
+    "paper_vocabulary",
+    "lift",
+]

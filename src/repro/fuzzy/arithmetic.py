@@ -1,0 +1,110 @@
+"""Fuzzy arithmetic on 0-cuts and 1-cuts (Section 6 of the paper).
+
+"Fuzzy arithmetic operations take two values and determine the two intervals
+of the resulting value" — i.e. the result of an operation is the trapezoid
+whose 0-cut (support) and 1-cut (core) are obtained by interval arithmetic on
+the operands' cuts.  ``AVG`` is fuzzy addition followed by division by a
+crisp count; ``SUM`` is fuzzy addition.
+
+Operands may be any numeric :class:`~repro.fuzzy.distribution.Distribution`;
+non-trapezoidal operands are first enclosed in their *trapezoidal envelope*
+(0-cut = support span, 1-cut = span of maximal-possibility values), which is
+exact for crisp values and conservative for discrete ones.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .crisp import CrispNumber
+from .discrete import DiscreteDistribution
+from .distribution import Distribution
+from .trapezoid import TrapezoidalNumber
+
+Interval = Tuple[float, float]
+
+
+def to_trapezoid(value: Distribution) -> TrapezoidalNumber:
+    """The trapezoidal envelope of a numeric distribution."""
+    if isinstance(value, TrapezoidalNumber):
+        return value
+    if isinstance(value, CrispNumber):
+        v = value.value
+        return TrapezoidalNumber(v, v, v, v)
+    if isinstance(value, DiscreteDistribution):
+        if not value.is_numeric:
+            raise TypeError("cannot do arithmetic on symbolic distributions")
+        lo, hi = value.interval()
+        top = max(value.items.values())
+        peaks = [v for v, p in value.items.items() if p == top]
+        return TrapezoidalNumber(lo, min(peaks), max(peaks), hi)
+    raise TypeError(f"cannot do arithmetic on {type(value).__name__}")
+
+
+def _combine(x: TrapezoidalNumber, y: TrapezoidalNumber, zero: Interval, one: Interval) -> TrapezoidalNumber:
+    (z_lo, z_hi), (o_lo, o_hi) = zero, one
+    # Guard against floating drift breaking the a<=b<=c<=d invariant.
+    o_lo, o_hi = max(z_lo, o_lo), min(z_hi, o_hi)
+    if o_lo > o_hi:
+        o_lo = o_hi = (o_lo + o_hi) / 2.0
+    return TrapezoidalNumber(z_lo, o_lo, o_hi, z_hi)
+
+
+def add(left: Distribution, right: Distribution) -> TrapezoidalNumber:
+    """Fuzzy addition: cuts add end-to-end."""
+    x, y = to_trapezoid(left), to_trapezoid(right)
+    return _combine(
+        x, y,
+        zero=(x.a + y.a, x.d + y.d),
+        one=(x.b + y.b, x.c + y.c),
+    )
+
+
+def subtract(left: Distribution, right: Distribution) -> TrapezoidalNumber:
+    """Fuzzy subtraction: ``[x1-y4, x4-y1]`` on the 0-cut, etc."""
+    x, y = to_trapezoid(left), to_trapezoid(right)
+    return _combine(
+        x, y,
+        zero=(x.a - y.d, x.d - y.a),
+        one=(x.b - y.c, x.c - y.b),
+    )
+
+
+def multiply(left: Distribution, right: Distribution) -> TrapezoidalNumber:
+    """Fuzzy multiplication by interval arithmetic on both cuts."""
+    x, y = to_trapezoid(left), to_trapezoid(right)
+    return _combine(
+        x, y,
+        zero=_interval_mul((x.a, x.d), (y.a, y.d)),
+        one=_interval_mul((x.b, x.c), (y.b, y.c)),
+    )
+
+
+def divide(left: Distribution, right: Distribution) -> TrapezoidalNumber:
+    """Fuzzy division; the divisor's support must exclude 0."""
+    x, y = to_trapezoid(left), to_trapezoid(right)
+    if y.a <= 0.0 <= y.d:
+        raise ZeroDivisionError("fuzzy division by a distribution whose support contains 0")
+    return _combine(
+        x, y,
+        zero=_interval_div((x.a, x.d), (y.a, y.d)),
+        one=_interval_div((x.b, x.c), (y.b, y.c)),
+    )
+
+
+def scale(value: Distribution, factor: float) -> TrapezoidalNumber:
+    """Multiply by a crisp scalar (used by AVG: divide the SUM by COUNT)."""
+    x = to_trapezoid(value)
+    ends0 = sorted((x.a * factor, x.d * factor))
+    ends1 = sorted((x.b * factor, x.c * factor))
+    return _combine(x, x, zero=(ends0[0], ends0[1]), one=(ends1[0], ends1[1]))
+
+
+def _interval_mul(p: Interval, q: Interval) -> Interval:
+    products = [p[0] * q[0], p[0] * q[1], p[1] * q[0], p[1] * q[1]]
+    return (min(products), max(products))
+
+
+def _interval_div(p: Interval, q: Interval) -> Interval:
+    quotients = [p[0] / q[0], p[0] / q[1], p[1] / q[0], p[1] / q[1]]
+    return (min(quotients), max(quotients))

@@ -1,0 +1,93 @@
+"""Crisp (precisely known) values as degenerate possibility distributions.
+
+A crisp value ``v`` has the distribution ``mu(x) = 1 if x == v else 0``; the
+paper treats such values uniformly with fuzzy ones (its interval is the
+singleton ``[v, v]``).  Numeric and symbolic (label) crisp values are kept
+as distinct classes because only the former participate in the interval
+order and in fuzzy arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+from .distribution import Distribution
+from .membership import PiecewiseLinear
+
+
+class CrispNumber(Distribution):
+    """A precisely known numeric value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def membership(self, x) -> float:
+        try:
+            return 1.0 if float(x) == self.value else 0.0
+        except (TypeError, ValueError):
+            return 0.0
+
+    @property
+    def height(self) -> float:
+        return 1.0
+
+    @property
+    def is_crisp(self) -> bool:
+        return True
+
+    @property
+    def is_numeric(self) -> bool:
+        return True
+
+    def key(self) -> Hashable:
+        return ("num", self.value)
+
+    def interval(self) -> Tuple[float, float]:
+        return (self.value, self.value)
+
+    def as_piecewise(self) -> PiecewiseLinear:
+        # A spike; usable by the sup-min machinery because evaluation at the
+        # exact abscissa yields 1 and breakpoints are always candidates.
+        return PiecewiseLinear([(self.value, 1.0)])
+
+    def defuzzify(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"CrispNumber({self.value:g})"
+
+
+class CrispLabel(Distribution):
+    """A precisely known symbolic value (e.g. a NAME attribute)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = str(value)
+
+    def membership(self, x) -> float:
+        return 1.0 if x == self.value else 0.0
+
+    @property
+    def height(self) -> float:
+        return 1.0
+
+    @property
+    def is_crisp(self) -> bool:
+        return True
+
+    @property
+    def is_numeric(self) -> bool:
+        return False
+
+    def key(self) -> Hashable:
+        return ("label", self.value)
+
+    def interval(self) -> Tuple[str, str]:
+        """Labels order lexicographically; the 'interval' is a singleton."""
+        return (self.value, self.value)
+
+    def __repr__(self) -> str:
+        return f"CrispLabel({self.value!r})"

@@ -1,0 +1,81 @@
+"""Discrete possibility distributions (``1/y1 + 0.8/y2`` notation).
+
+The paper's appendix uses distributions like ``1/y1 + .8/y2`` — a finite set
+of candidate values, each with its own possibility degree.  Elements may be
+numbers or labels, but a single distribution must be homogeneous.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Tuple
+
+from .distribution import Distribution
+
+
+class DiscreteDistribution(Distribution):
+    """A finite possibility distribution ``{value: possibility}``.
+
+    Degrees must lie in ``(0, 1]``; zero-possibility elements are simply
+    absent.  The distribution is *normal* when some element has degree 1.
+    """
+
+    __slots__ = ("items", "_numeric")
+
+    def __init__(self, items: Mapping):
+        if not items:
+            raise ValueError("a discrete distribution needs at least one element")
+        cleaned: Dict = {}
+        numeric = True
+        for value, poss in items.items():
+            poss = float(poss)
+            if not 0.0 < poss <= 1.0:
+                raise ValueError(f"possibility degree must be in (0, 1], got {poss} for {value!r}")
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                numeric = False
+            cleaned[value] = poss
+        if numeric:
+            cleaned = {float(v): p for v, p in cleaned.items()}
+        self.items: Dict = cleaned
+        self._numeric = numeric
+
+    # ------------------------------------------------------------------
+    # Distribution protocol
+    # ------------------------------------------------------------------
+    def membership(self, x) -> float:
+        if self._numeric:
+            try:
+                x = float(x)
+            except (TypeError, ValueError):
+                return 0.0
+        return self.items.get(x, 0.0)
+
+    @property
+    def height(self) -> float:
+        return max(self.items.values())
+
+    @property
+    def is_crisp(self) -> bool:
+        return len(self.items) == 1 and next(iter(self.items.values())) == 1.0
+
+    @property
+    def is_numeric(self) -> bool:
+        return self._numeric
+
+    def key(self) -> Hashable:
+        return ("disc",) + tuple(sorted(self.items.items(), key=lambda kv: repr(kv[0])))
+
+    def interval(self) -> Tuple:
+        """Span of the candidate values (works for numbers and labels)."""
+        values = sorted(self.items)
+        return (values[0], values[-1])
+
+    def defuzzify(self) -> float:
+        """The most possible element (ties broken by value) — scalar summary."""
+        if not self._numeric:
+            raise TypeError("cannot defuzzify a symbolic discrete distribution")
+        best = max(self.items.values())
+        return min(v for v, p in self.items.items() if p == best)
+
+    def __repr__(self) -> str:
+        inner = " + ".join(f"{p:g}/{v!r}" for v, p in sorted(self.items.items(), key=lambda kv: -kv[1]))
+        return f"DiscreteDistribution({inner})"

@@ -1,0 +1,89 @@
+"""The :class:`Distribution` abstraction for possibly ill-known values.
+
+In the paper's data model every attribute value is associated with a
+possibility distribution over the attribute's (crisp) domain.  Crisp values
+are the degenerate case.  This module defines the common interface shared by
+trapezoidal, discrete, and crisp distributions, together with the
+value-identity semantics (hash/equality on the *representation*) that the
+unnesting rewrites of Section 6 rely on ("``d(r.U = u)`` is binary").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Optional, Tuple
+
+from .membership import PiecewiseLinear
+
+
+class Distribution(ABC):
+    """A possibility distribution restricting the value of an attribute.
+
+    Two distributions compare equal (``==``/``hash``) iff they have the same
+    canonical representation — this is *value identity*, not fuzzy equality.
+    Fuzzy comparison degrees live in :mod:`repro.fuzzy.compare`.
+    """
+
+    __slots__ = ()
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def membership(self, x) -> float:
+        """Possibility that the actual value equals ``x``."""
+
+    @property
+    @abstractmethod
+    def height(self) -> float:
+        """Maximal possibility degree (1.0 for normal distributions)."""
+
+    @property
+    @abstractmethod
+    def is_crisp(self) -> bool:
+        """True when the distribution pins down a single fully-possible value."""
+
+    @property
+    @abstractmethod
+    def is_numeric(self) -> bool:
+        """True when the underlying domain is numeric (supports intervals)."""
+
+    @abstractmethod
+    def key(self) -> Hashable:
+        """Canonical hashable representation (value identity)."""
+
+    # ------------------------------------------------------------------
+    # Numeric-domain protocol (interval order of Definition 3.1)
+    # ------------------------------------------------------------------
+    def interval(self) -> Tuple[float, float]:
+        """The support interval ``[b(v), e(v)]`` used by the interval order.
+
+        For a crisp value ``v`` this is ``[v, v]``; for a trapezoid the 0-cut;
+        for a discrete numeric distribution the span of its elements.
+        """
+        raise TypeError(f"{type(self).__name__} has no numeric interval")
+
+    def as_piecewise(self) -> Optional[PiecewiseLinear]:
+        """Piecewise-linear membership function, if continuous numeric."""
+        return None
+
+    def defuzzify(self) -> float:
+        """Scalar summary (center of the 1-cut) used by fuzzy MIN/MAX."""
+        raise TypeError(f"{type(self).__name__} cannot be defuzzified")
+
+    # ------------------------------------------------------------------
+    # Value identity
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Distribution):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        if eq is NotImplemented:
+            return eq
+        return not eq
+
+    def __hash__(self) -> int:
+        return hash(self.key())

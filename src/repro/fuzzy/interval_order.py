@@ -1,0 +1,67 @@
+"""The linear order on possibility distributions (Definition 3.1).
+
+Every data value ``v`` (crisp or fuzzy) represents an interval
+``[b(v), e(v)]`` on which its membership is positive; crisp values are the
+degenerate interval ``[v, v]``.  Values are ordered by
+
+    v1 < v2  iff  b(v1) < b(v2), or b(v1) = b(v2) and e(v1) < e(v2)
+
+which is the lexicographic order on ``(b, e)`` pairs.  Tuples are ordered by
+the interval of their value on the sort attribute.  This order is what the
+extended merge-join sorts both relations on, and what makes its range scan
+(`Rng(r)`) terminate correctly: once S-tuples start *beginning* after
+``e(r.X)``, none of them can intersect ``r.X`` any more.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .distribution import Distribution
+
+
+def begin(value: Distribution):
+    """``b(v)`` — where the support of ``v`` begins."""
+    return value.interval()[0]
+
+
+def end(value: Distribution):
+    """``e(v)`` — where the support of ``v`` ends."""
+    return value.interval()[1]
+
+
+def sort_key(value: Distribution) -> Tuple:
+    """The ``(b(v), e(v))`` pair; sorting by it realizes Definition 3.1.
+
+    The paper notes sorting needs at most two comparisons per pair: left
+    endpoints first, then right endpoints on ties — exactly the behaviour
+    of tuple comparison on this key.
+    """
+    return value.interval()
+
+
+def precedes(v1: Distribution, v2: Distribution) -> bool:
+    """``v1 < v2`` in the interval order (strict)."""
+    return sort_key(v1) < sort_key(v2)
+
+
+def precedes_eq(v1: Distribution, v2: Distribution) -> bool:
+    """``v1 <= v2`` in the interval order."""
+    return sort_key(v1) <= sort_key(v2)
+
+
+def overlaps(v1: Distribution, v2: Distribution) -> bool:
+    """True when the supports intersect; a prerequisite for ``d(v1 = v2) > 0``."""
+    b1, e1 = v1.interval()
+    b2, e2 = v2.interval()
+    return not (e1 < b2 or e2 < b1)
+
+
+def strictly_before(v1: Distribution, v2: Distribution) -> bool:
+    """``e(v1) < b(v2)``: the supports are disjoint with ``v1`` on the left.
+
+    During the merge scan, an S-tuple ``s`` with ``strictly_before(s.X, r.X)``
+    can be skipped for the current *and all later* R-tuples, and the scan for
+    ``r`` may stop at the first ``s`` with ``strictly_before(r.X, s.X)``.
+    """
+    return end(v1) < begin(v2)

@@ -1,0 +1,142 @@
+"""Linguistic vocabularies: named fuzzy terms ("medium young", "high", ...).
+
+Fuzzy SQL queries reference possibility distributions by name (Query 1
+compares ``M.INCOME`` with ``"medium high"``).  A :class:`Vocabulary` maps
+term names, scoped by domain, to distributions; the parser resolves quoted
+terms against it.
+
+:func:`paper_vocabulary` reconstructs the membership functions of the
+paper's Figs. 1-2 for the dating-service database.  Fig. 1 pins
+``medium young`` = Trap(20, 25, 30, 35) and ``about 35`` = Tri(30, 35, 40)
+(their intersection height is the 0.5 the text quotes).  The remaining
+shapes are not fully legible in the published figure; the ones below are
+chosen so every degree the paper's Example 4.1 derives is met exactly:
+
+* ``d(about 50 = middle age) = 0.4`` (the T-relation row "about 40K | 0.4"),
+* ``d(24 = middle age) = 0`` and ``d(about 29 = middle age) = 0``
+  (tuples 201/204 are excluded from T),
+* ``d(about 35 = medium young) = 0.5``,
+* ``d(middle age = medium young) = 0.75`` (Betty's answer degree),
+* ``d(medium high = high) = 0.7`` (Ann's answer degree),
+* ``d(about 60K = high) = 0.3`` and ``d(about 60K = about 40K) = 0``
+  (Ann's lower candidate degree 0.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .crisp import CrispLabel, CrispNumber
+from .distribution import Distribution
+from .trapezoid import TrapezoidalNumber
+
+
+class UnknownTermError(KeyError):
+    """Raised when a quoted linguistic term is not in the vocabulary."""
+
+
+class Vocabulary:
+    """A registry of named fuzzy terms, optionally scoped by domain.
+
+    Terms may be registered globally or for a specific domain name (e.g.
+    ``AGE`` vs ``INCOME``); domain-scoped entries shadow global ones.  Term
+    lookup is case-insensitive and whitespace-normalized.
+    """
+
+    def __init__(self):
+        self._global: Dict[str, Distribution] = {}
+        self._scoped: Dict[str, Dict[str, Distribution]] = {}
+
+    @staticmethod
+    def _norm(name: str) -> str:
+        return " ".join(name.lower().split())
+
+    def define(self, name: str, value: Distribution, domain: Optional[str] = None) -> None:
+        """Register ``name`` -> ``value``, optionally only within ``domain``."""
+        key = self._norm(name)
+        if domain is None:
+            self._global[key] = value
+        else:
+            self._scoped.setdefault(self._norm(domain), {})[key] = value
+
+    def resolve(self, name: str, domain: Optional[str] = None) -> Distribution:
+        """Look up a term; domain-scoped entries take precedence."""
+        key = self._norm(name)
+        if domain is not None:
+            scoped = self._scoped.get(self._norm(domain), {})
+            if key in scoped:
+                return scoped[key]
+        if key in self._global:
+            return self._global[key]
+        raise UnknownTermError(name)
+
+    def __contains__(self, name: str) -> bool:
+        key = self._norm(name)
+        if key in self._global:
+            return True
+        return any(key in scoped for scoped in self._scoped.values())
+
+    def terms(self) -> Dict[str, Distribution]:
+        """A flat snapshot of all global terms (for introspection/plots)."""
+        return dict(self._global)
+
+    def export(self):
+        """Every definition as ``(name, domain_or_None, distribution)``.
+
+        Domain-scoped entries come after global ones so replaying them
+        through :meth:`define` reproduces the same shadowing.
+        """
+        out = [(name, None, dist) for name, dist in sorted(self._global.items())]
+        for domain in sorted(self._scoped):
+            for name, dist in sorted(self._scoped[domain].items()):
+                out.append((name, domain, dist))
+        return out
+
+
+def paper_vocabulary() -> Vocabulary:
+    """The dating-service vocabulary of the paper's Figs. 1-2.
+
+    See the module docstring for which degrees these shapes are calibrated
+    to reproduce.
+    """
+    vocab = Vocabulary()
+    # --- AGE terms (years) -------------------------------------------
+    vocab.define("medium young", TrapezoidalNumber(20, 25, 30, 35), domain="AGE")
+    vocab.define("about 35", TrapezoidalNumber.triangular(30, 35, 40), domain="AGE")
+    # Up-ramp 31 -> 31+1/3 crosses medium-young's down-ramp at height 0.75;
+    # down-ramp 44 -> 50 crosses "about 50" at height 0.4.
+    vocab.define("middle age", TrapezoidalNumber(31.0, 31.0 + 1.0 / 3.0, 44, 50), domain="AGE")
+    vocab.define("about 50", TrapezoidalNumber.triangular(46, 50, 54), domain="AGE")
+    vocab.define("about 29", TrapezoidalNumber.triangular(27, 29, 31), domain="AGE")
+    vocab.define("young", TrapezoidalNumber(15, 18, 25, 30), domain="AGE")
+    vocab.define("old", TrapezoidalNumber(55, 65, 90, 100), domain="AGE")
+    # --- INCOME terms (thousands of dollars) --------------------------
+    vocab.define("low", TrapezoidalNumber(0, 0, 15, 25), domain="INCOME")
+    vocab.define("medium low", TrapezoidalNumber(20, 26, 34, 40), domain="INCOME")
+    vocab.define("about 25k", TrapezoidalNumber.triangular(20, 25, 30), domain="INCOME")
+    vocab.define("about 40k", TrapezoidalNumber.triangular(34, 40, 46), domain="INCOME")
+    # medium-high's down-ramp 62 -> 86 crosses high's up-ramp 58 -> 74 at 0.7.
+    vocab.define("medium high", TrapezoidalNumber(50, 56, 62, 86), domain="INCOME")
+    vocab.define("high", TrapezoidalNumber(58, 74, 150, 150), domain="INCOME")
+    vocab.define("about 60k", TrapezoidalNumber.triangular(56, 60, 64), domain="INCOME")
+    return vocab
+
+
+def lift(value, vocabulary: Optional[Vocabulary] = None, domain: Optional[str] = None) -> Distribution:
+    """Coerce a Python value into a :class:`Distribution`.
+
+    Numbers become :class:`CrispNumber`; strings are resolved against the
+    vocabulary when provided (falling back to :class:`CrispLabel`);
+    distributions pass through unchanged.
+    """
+    if isinstance(value, Distribution):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("boolean attribute values are not supported")
+    if isinstance(value, (int, float)):
+        return CrispNumber(value)
+    if isinstance(value, str):
+        if vocabulary is not None and value in vocabulary:
+            return vocabulary.resolve(value, domain)
+        return CrispLabel(value)
+    raise TypeError(f"cannot interpret {value!r} as an attribute value")

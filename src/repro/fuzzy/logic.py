@@ -1,0 +1,96 @@
+"""Fuzzy logical connectives used by the query semantics.
+
+The paper combines satisfaction degrees with the standard (Zadeh) system:
+conjunction by ``min``, disjunction by ``max`` (duplicate elimination keeps
+the highest degree), and negation by ``1 - d``.  A configurable
+:class:`Norms` object is provided so ablations can swap in the product
+t-norm, but every paper experiment uses :data:`ZADEH`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+def _min2(a: float, b: float) -> float:
+    return a if a < b else b
+
+
+def _max2(a: float, b: float) -> float:
+    return a if a > b else b
+
+
+def _product(a: float, b: float) -> float:
+    return a * b
+
+
+def _prob_sum(a: float, b: float) -> float:
+    return a + b - a * b
+
+
+def _complement(a: float) -> float:
+    return 1.0 - a
+
+
+@dataclass(frozen=True)
+class Norms:
+    """A t-norm / t-conorm / negation triple."""
+
+    t_norm: Callable[[float, float], float] = field(default=_min2)
+    t_conorm: Callable[[float, float], float] = field(default=_max2)
+    negation: Callable[[float], float] = field(default=_complement)
+
+    def conjunction(self, degrees: Iterable[float]) -> float:
+        """Degree of a conjunction; 1.0 for the empty conjunction."""
+        result = 1.0
+        for d in degrees:
+            result = self.t_norm(result, d)
+            if result == 0.0:
+                break
+        return result
+
+    def disjunction(self, degrees: Iterable[float]) -> float:
+        """Degree of a disjunction; 0.0 for the empty disjunction."""
+        result = 0.0
+        for d in degrees:
+            result = self.t_conorm(result, d)
+        return result
+
+    def negate(self, degree: float) -> float:
+        return self.negation(degree)
+
+
+#: The paper's connectives: min / max / complement.
+ZADEH = Norms()
+
+#: Product t-norm alternative, for ablation experiments only.
+PRODUCT = Norms(t_norm=_product, t_conorm=_prob_sum)
+
+
+def f_and(*degrees: float) -> float:
+    """min-conjunction of satisfaction degrees."""
+    return ZADEH.conjunction(degrees)
+
+
+def f_or(*degrees: float) -> float:
+    """max-disjunction of satisfaction degrees."""
+    return ZADEH.disjunction(degrees)
+
+
+def f_not(degree: float) -> float:
+    """Fuzzy negation ``1 - d``."""
+    return 1.0 - degree
+
+
+def meets_threshold(degree: float, threshold: float) -> bool:
+    """The WITH clause: keep tuples whose degree is >= the threshold.
+
+    ``WITH D > 0`` (the implicit default) keeps strictly positive degrees;
+    the paper writes both ``D > z`` and ``D >= z`` forms — we treat a zero
+    threshold as strict (membership requires degree > 0) and any positive
+    threshold as inclusive, matching the SELECT-statement description.
+    """
+    if threshold <= 0.0:
+        return degree > 0.0
+    return degree >= threshold

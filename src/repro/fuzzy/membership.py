@@ -1,0 +1,217 @@
+"""Exact algebra on piecewise-linear membership functions.
+
+The paper computes possibility degrees such as ``d(X = Y)`` as the height of
+the highest intersection point of two membership functions:
+
+    d(X = Y) = sup_x min(mu_U(x), mu_V(x))
+
+For trapezoidal (and generally piecewise-linear) membership functions this
+supremum can be computed *exactly* by enumerating segment breakpoints and
+pairwise segment intersections, with no grid sampling.  This module provides
+that machinery; it is the numeric kernel under :mod:`repro.fuzzy.compare`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+#: Tolerance used when comparing abscissae of breakpoints.
+_EPS = 1e-12
+
+
+class PiecewiseLinear:
+    """A continuous piecewise-linear function with compact support.
+
+    The function is described by a sorted sequence of ``(x, y)`` breakpoints
+    and is linearly interpolated between consecutive breakpoints.  Outside
+    the breakpoint range the function is 0 (membership functions vanish
+    outside their support).
+
+    Instances are immutable; all combinators return new objects.
+    """
+
+    __slots__ = ("xs", "ys")
+
+    def __init__(self, points: Iterable[Point]):
+        pts = _normalize(points)
+        if not pts:
+            raise ValueError("a piecewise-linear function needs at least one point")
+        self.xs: Tuple[float, ...] = tuple(p[0] for p in pts)
+        self.ys: Tuple[float, ...] = tuple(p[1] for p in pts)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, x: float) -> float:
+        xs, ys = self.xs, self.ys
+        if x < xs[0] or x > xs[-1]:
+            return 0.0
+        idx = bisect_right(xs, x)
+        if idx >= len(xs):
+            return ys[-1]
+        if idx == 0:
+            return ys[0]
+        x0, x1 = xs[idx - 1], xs[idx]
+        y0, y1 = ys[idx - 1], ys[idx]
+        if x1 == x0:
+            return max(y0, y1)
+        t = (x - x0) / (x1 - x0)
+        return y0 + t * (y1 - y0)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> float:
+        """The supremum of the function (its maximal membership degree)."""
+        return max(self.ys)
+
+    @property
+    def points(self) -> List[Point]:
+        return list(zip(self.xs, self.ys))
+
+    def argmax(self) -> float:
+        """Some abscissa attaining :attr:`height`."""
+        best = max(self.ys)
+        for x, y in zip(self.xs, self.ys):
+            if y == best:
+                return x
+        return self.xs[0]
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def sup_min(self, other: "PiecewiseLinear") -> float:
+        """Exact ``sup_x min(f(x), g(x))`` over the whole real line.
+
+        The supremum of the pointwise minimum of two piecewise-linear
+        functions is attained either at a breakpoint of one of them or at
+        an intersection of two segments; we enumerate both candidate sets.
+        """
+        lo = max(self.xs[0], other.xs[0])
+        hi = min(self.xs[-1], other.xs[-1])
+        if lo > hi:
+            return 0.0
+        candidates = set()
+        for x in self.xs:
+            if lo <= x <= hi:
+                candidates.add(x)
+        for x in other.xs:
+            if lo <= x <= hi:
+                candidates.add(x)
+        candidates.add(lo)
+        candidates.add(hi)
+        for x in _segment_intersections(self, other, lo, hi):
+            candidates.add(x)
+        best = 0.0
+        for x in candidates:
+            v = min(self(x), other(x))
+            if v > best:
+                best = v
+        return best
+
+    def running_max_right(self) -> "PiecewiseLinear":
+        """The nonincreasing envelope ``g(x) = sup_{y >= x} f(y)``.
+
+        Used for possibility of inequalities:
+        ``Poss(U <= V) = sup_x min(mu_U(x), sup_{y>=x} mu_V(y))``.
+        The envelope is again piecewise linear; to the left of the support
+        it is constant at :attr:`height` (represented by extending the
+        first breakpoint far left).
+        """
+        pts: List[Point] = []
+        running = 0.0
+        for x, y in zip(reversed(self.xs), reversed(self.ys)):
+            running = max(running, y)
+            pts.append((x, running))
+        pts.reverse()
+        # Envelope is flat at `height` for all x <= first support point.
+        first_x = pts[0][0]
+        span = max(1.0, self.xs[-1] - self.xs[0])
+        pts.insert(0, (first_x - 1e9 * span, pts[0][1]))
+        return PiecewiseLinear(_upper_staircase(pts))
+
+    def running_max_left(self) -> "PiecewiseLinear":
+        """The nondecreasing envelope ``g(x) = sup_{y <= x} f(y)``."""
+        pts: List[Point] = []
+        running = 0.0
+        for x, y in zip(self.xs, self.ys):
+            running = max(running, y)
+            pts.append((x, running))
+        last_x = pts[-1][0]
+        span = max(1.0, self.xs[-1] - self.xs[0])
+        pts.append((last_x + 1e9 * span, pts[-1][1]))
+        return PiecewiseLinear(_upper_staircase(pts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"({x:g}, {y:g})" for x, y in zip(self.xs, self.ys))
+        return f"PiecewiseLinear([{inner}])"
+
+
+def _normalize(points: Iterable[Point]) -> List[Point]:
+    """Sort points and drop exact duplicates, keeping the larger ordinate.
+
+    Only *exactly* coincident abscissae merge — an epsilon here would
+    destroy legitimately thin ramps (e.g. denormal-width trapezoids).
+    """
+    pts = sorted((float(x), float(y)) for x, y in points)
+    out: List[Point] = []
+    for x, y in pts:
+        if out and out[-1][0] == x:
+            if y > out[-1][1]:
+                out[-1] = (out[-1][0], y)
+        else:
+            out.append((x, y))
+    return out
+
+
+def _upper_staircase(points: Sequence[Point]) -> List[Point]:
+    """Collapse duplicate abscissae produced by envelope construction."""
+    out: List[Point] = []
+    for x, y in points:
+        if out and out[-1][0] == x:
+            out[-1] = (out[-1][0], max(out[-1][1], y))
+        else:
+            out.append((x, y))
+    return out
+
+
+def _segment_intersections(
+    f: PiecewiseLinear, g: PiecewiseLinear, lo: float, hi: float
+) -> List[float]:
+    """Abscissae where a segment of ``f`` crosses a segment of ``g``.
+
+    Only crossings within ``[lo, hi]`` are reported.  A quadratic pairwise
+    sweep is fine: membership functions here have a handful of segments.
+    """
+    crossings: List[float] = []
+    fseg = list(zip(zip(f.xs, f.ys), zip(f.xs[1:], f.ys[1:])))
+    gseg = list(zip(zip(g.xs, g.ys), zip(g.xs[1:], g.ys[1:])))
+    for (fx0, fy0), (fx1, fy1) in fseg:
+        for (gx0, gy0), (gx1, gy1) in gseg:
+            left = max(fx0, gx0, lo)
+            right = min(fx1, gx1, hi)
+            if left > right:
+                continue
+            # Solve f(x) = g(x) on the overlap, both linear.
+            fdx = fx1 - fx0
+            gdx = gx1 - gx0
+            fslope = (fy1 - fy0) / fdx if fdx else 0.0
+            gslope = (gy1 - gy0) / gdx if gdx else 0.0
+            # f(x) = fy0 + fslope*(x - fx0); g likewise.
+            a = fslope - gslope
+            b = (fy0 - fslope * fx0) - (gy0 - gslope * gx0)
+            if abs(a) <= _EPS:
+                continue  # parallel: extrema are at breakpoints, already candidates
+            x = -b / a
+            if left - _EPS <= x <= right + _EPS:
+                crossings.append(min(max(x, left), right))
+    return crossings
+
+
+def sup_min(f: PiecewiseLinear, g: PiecewiseLinear) -> float:
+    """Module-level convenience wrapper for :meth:`PiecewiseLinear.sup_min`."""
+    return f.sup_min(g)

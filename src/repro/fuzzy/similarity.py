@@ -1,0 +1,125 @@
+"""Nonbinary comparison relations ("the comparison theta may be nonbinary").
+
+The paper's satisfaction degree allows ``theta`` to be defined by a
+similarity relation ``mu_theta(x, y)``:
+
+    d(X theta Y) = sup_{x,y} min(mu_U(x), mu_V(y), mu_theta(x, y))
+
+Two families are provided:
+
+* :class:`ToleranceSimilarity` over numeric domains —
+  ``mu_theta(x, y) = tol(x - y)`` for a trapezoidal tolerance around 0;
+  the supremum is computed exactly through fuzzy subtraction
+  (``sup_z min(mu_{U-V}(z), tol(z))`` by the extension principle);
+* :class:`TableSimilarity` over symbolic domains — an explicit symmetric
+  table of pairwise similarity degrees (reflexive at 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from . import arithmetic
+from .compare import Op, possibility
+from .crisp import CrispLabel
+from .discrete import DiscreteDistribution
+from .distribution import Distribution
+from .trapezoid import TrapezoidalNumber
+
+
+class ToleranceSimilarity:
+    """"Approximately equal" up to a fuzzy tolerance around zero.
+
+    ``ToleranceSimilarity(full=2, zero=5)`` considers differences of at most
+    2 fully similar and differences beyond 5 entirely dissimilar, with a
+    linear ramp in between.
+    """
+
+    def __init__(self, full: float, zero: float):
+        full, zero = float(full), float(zero)
+        if not 0.0 <= full <= zero:
+            raise ValueError(f"need 0 <= full <= zero, got full={full}, zero={zero}")
+        if zero == 0.0:
+            # Degenerate: plain equality.
+            self.tolerance = TrapezoidalNumber(0.0, 0.0, 0.0, 0.0)
+        else:
+            self.tolerance = TrapezoidalNumber(-zero, -full, full, zero)
+
+    def degree(self, left: Distribution, right: Distribution) -> float:
+        """``d(left ~= right)`` — possibility the difference is tolerable."""
+        if not (left.is_numeric and right.is_numeric):
+            raise TypeError("tolerance similarity requires numeric distributions")
+        if isinstance(left, DiscreteDistribution) or isinstance(right, DiscreteDistribution):
+            return self._discrete_degree(left, right)
+        diff = arithmetic.subtract(left, right)
+        return possibility(diff, Op.EQ, self.tolerance)
+
+    def _discrete_degree(self, left: Distribution, right: Distribution) -> float:
+        """Enumerate discrete elements; exact for mixed discrete/continuous."""
+        best = 0.0
+        for x, p in _numeric_items(left):
+            for y, q in _numeric_items(right):
+                if x is None and y is None:
+                    continue
+                if x is not None and y is not None:
+                    sim = self.tolerance.membership(x - y)
+                    best = max(best, min(p, q, sim))
+                elif x is not None:
+                    shifted = _shift(self.tolerance, x)
+                    best = max(best, min(p, possibility(right, Op.EQ, shifted)))
+                else:
+                    shifted = _shift(self.tolerance, y)
+                    best = max(best, min(q, possibility(left, Op.EQ, shifted)))
+        return best
+
+
+class TableSimilarity:
+    """An explicit similarity relation on a symbolic domain.
+
+    The table is symmetrized and made reflexive automatically.  Missing
+    pairs are entirely dissimilar (degree 0).
+    """
+
+    def __init__(self, pairs: Dict[Tuple[str, str], float]):
+        table: Dict[Tuple[str, str], float] = {}
+        for (x, y), degree in pairs.items():
+            degree = float(degree)
+            if not 0.0 <= degree <= 1.0:
+                raise ValueError(f"similarity degree must be in [0, 1], got {degree}")
+            table[(x, y)] = degree
+            table[(y, x)] = degree
+        self.table = table
+
+    def mu(self, x: str, y: str) -> float:
+        if x == y:
+            return 1.0
+        return self.table.get((x, y), 0.0)
+
+    def degree(self, left: Distribution, right: Distribution) -> float:
+        """``d(left ~= right)`` over the symbolic domain."""
+        best = 0.0
+        for x, p in _label_items(left):
+            for y, q in _label_items(right):
+                best = max(best, min(p, q, self.mu(x, y)))
+        return best
+
+
+def _shift(trap: TrapezoidalNumber, offset: float) -> TrapezoidalNumber:
+    return TrapezoidalNumber(
+        trap.a + offset, trap.b + offset, trap.c + offset, trap.d + offset
+    )
+
+
+def _numeric_items(dist: Distribution):
+    """Yield ``(point, degree)`` for discrete members, ``(None, 1)`` otherwise."""
+    if isinstance(dist, DiscreteDistribution):
+        return list(dist.items.items())
+    return [(None, 1.0)]
+
+
+def _label_items(dist: Distribution):
+    if isinstance(dist, CrispLabel):
+        return [(dist.value, 1.0)]
+    if isinstance(dist, DiscreteDistribution) and not dist.is_numeric:
+        return list(dist.items.items())
+    raise TypeError(f"{type(dist).__name__} is not a symbolic distribution")

@@ -1,0 +1,124 @@
+"""Trapezoidal possibility distributions.
+
+The paper restricts continuous possibility distributions to trapezoidal
+shapes "because they are typical in practice"; triangular and rectangular
+shapes are special cases.  A trapezoid is described by four abscissae
+``a <= b <= c <= d``: membership ramps 0→1 on ``[a, b]``, is 1 on the core
+``[b, c]``, and ramps 1→0 on ``[c, d]``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+from .distribution import Distribution
+from .membership import PiecewiseLinear
+
+
+class TrapezoidalNumber(Distribution):
+    """A normal trapezoidal possibility distribution over a numeric domain.
+
+    ``a`` and ``d`` bound the support (the 0-cut ``[a, d]``); ``b`` and ``c``
+    bound the core (the 1-cut ``[b, c]``).  ``triangular(a, m, d)`` and
+    rectangles (``b == a``, ``c == d``) are degenerate constructions.
+    """
+
+    __slots__ = ("a", "b", "c", "d")
+
+    def __init__(self, a: float, b: float, c: float, d: float):
+        a, b, c, d = float(a), float(b), float(c), float(d)
+        if not (a <= b <= c <= d):
+            raise ValueError(f"trapezoid abscissae must satisfy a<=b<=c<=d, got {(a, b, c, d)}")
+        self.a, self.b, self.c, self.d = a, b, c, d
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def triangular(cls, a: float, m: float, d: float) -> "TrapezoidalNumber":
+        """A triangular distribution peaking at ``m``."""
+        return cls(a, m, m, d)
+
+    @classmethod
+    def rectangular(cls, a: float, d: float) -> "TrapezoidalNumber":
+        """An interval (rectangular) distribution: fully possible on [a, d]."""
+        return cls(a, a, d, d)
+
+    @classmethod
+    def about(cls, center: float, spread: float) -> "TrapezoidalNumber":
+        """The "about x" triangular shape used throughout the paper."""
+        return cls.triangular(center - spread, center, center + spread)
+
+    # ------------------------------------------------------------------
+    # Distribution protocol
+    # ------------------------------------------------------------------
+    def membership(self, x) -> float:
+        try:
+            x = float(x)
+        except (TypeError, ValueError):
+            return 0.0
+        if x < self.a or x > self.d:
+            return 0.0
+        if self.b <= x <= self.c:
+            return 1.0
+        if x < self.b:
+            # Rising ramp; a < b here because x in [a, b) is nonempty.
+            return (x - self.a) / (self.b - self.a)
+        return (self.d - x) / (self.d - self.c)
+
+    @property
+    def height(self) -> float:
+        return 1.0
+
+    @property
+    def is_crisp(self) -> bool:
+        return self.a == self.d
+
+    @property
+    def is_numeric(self) -> bool:
+        return True
+
+    def key(self) -> Hashable:
+        return ("trap", self.a, self.b, self.c, self.d)
+
+    def interval(self) -> Tuple[float, float]:
+        return (self.a, self.d)
+
+    def as_piecewise(self) -> PiecewiseLinear:
+        a, b, c, d = self.a, self.b, self.c, self.d
+        pts = [(a, 0.0 if a < b else 1.0), (b, 1.0), (c, 1.0), (d, 0.0 if d > c else 1.0)]
+        return PiecewiseLinear(pts)
+
+    def defuzzify(self) -> float:
+        """Center of the 1-cut, the paper's fuzzy MIN/MAX sort key."""
+        return (self.b + self.c) / 2.0
+
+    # ------------------------------------------------------------------
+    # Alpha-cuts (Section 6 uses the 0-cut and 1-cut)
+    # ------------------------------------------------------------------
+    def alpha_cut(self, alpha: float) -> Tuple[float, float]:
+        """The closed interval of values with membership >= ``alpha``.
+
+        ``alpha_cut(0.0)`` returns the support closure ``[a, d]`` (the
+        paper's "0-cut") and ``alpha_cut(1.0)`` the core ``[b, c]``.
+        """
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        lo = self.a + alpha * (self.b - self.a)
+        hi = self.d - alpha * (self.d - self.c)
+        # Mathematically lo <= b <= c <= hi; floating-point cancellation in
+        # the hi form can violate it by ~1 ulp for near-degenerate shapes.
+        if hi < lo:
+            hi = lo
+        return (lo, hi)
+
+    @property
+    def zero_cut(self) -> Tuple[float, float]:
+        return (self.a, self.d)
+
+    @property
+    def one_cut(self) -> Tuple[float, float]:
+        return (self.b, self.c)
+
+    def __repr__(self) -> str:
+        return f"TrapezoidalNumber({self.a:g}, {self.b:g}, {self.c:g}, {self.d:g})"

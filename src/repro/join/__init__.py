@@ -1,0 +1,24 @@
+"""Fuzzy join algorithms: extended merge-join and block nested loop."""
+
+from .merge_join import JOIN_PHASE, MergeJoin, WindowOverflowError
+from .nested_loop import NL_PHASE, NestedLoopJoin
+from .outer import left_outer_probe
+from .predicates import (
+    JoinPredicate,
+    all_quantifier_degree,
+    antijoin_degree,
+    join_degree,
+)
+
+__all__ = [
+    "MergeJoin",
+    "WindowOverflowError",
+    "JOIN_PHASE",
+    "NestedLoopJoin",
+    "NL_PHASE",
+    "left_outer_probe",
+    "JoinPredicate",
+    "join_degree",
+    "antijoin_degree",
+    "all_quantifier_degree",
+]

@@ -1,0 +1,220 @@
+"""The extended merge-join of Section 3.
+
+Both relations are sorted on the join attribute by the interval order
+``(b(v), e(v))``; the join phase then walks R one page at a time while
+sweeping a *window* of S-tuples.  For the current R-tuple ``r``:
+
+* S-tuples at the window front with ``e(s.X) < b(r.X)`` are retired for
+  good — R is sorted by ``b``, so no later R-tuple can reach back to them;
+* the window extends rightward while ``b(s.X) <= e(r.X)``; the first
+  S-tuple beginning after ``e(r.X)`` stops the scan for ``r`` (it stays in
+  the window for later R-tuples);
+* every window tuple scanned in between is *examined* (one fuzzy predicate
+  evaluation), including the "dangling" ones whose supports don't actually
+  intersect ``r.X`` — the inefficiency the paper discusses for very wide
+  intervals.
+
+Each page of S is read exactly once during the join phase, provided the
+buffer can hold one R page plus the pages spanned by the largest window;
+a wider window raises :class:`WindowOverflowError` (the paper assumes the
+buffer is large enough to hold the largest ``Rng(r)``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator, Tuple, TypeVar
+
+from ..data.tuples import FuzzyTuple
+from ..fuzzy.interval_order import sort_key
+from ..sort.external import ExternalSorter
+from ..storage.disk import SimulatedDisk
+from ..storage.heap import HeapFile
+from ..storage.stats import OperationStats
+from .predicates import PairDegree
+
+JOIN_PHASE = "join"
+
+State = TypeVar("State")
+
+
+class WindowOverflowError(Exception):
+    """The S window outgrew the buffer budget (largest Rng(r) too wide)."""
+
+
+class _WindowEntry:
+    __slots__ = ("tuple", "b", "e", "page")
+
+    def __init__(self, t: FuzzyTuple, key, page: int):
+        self.tuple = t
+        self.b, self.e = key
+        self.page = page
+
+
+class MergeJoin:
+    """Extended merge-join between two heap files.
+
+    ``buffer_pages`` bounds the pages held during the join phase (1 for the
+    current R page + the S window).  The same budget is given to the sort
+    phase, mirroring the paper's shared 2 MB buffer.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        buffer_pages: int,
+        stats: OperationStats,
+        indicator: bool = False,
+    ):
+        """``indicator=True`` enables the equality-indicator optimization
+        in the spirit of Zhang & Wang (TKDE 2000), which the paper cites as
+        "a further optimization of the merge-join": window tuples whose
+        support interval provably cannot intersect the current R-tuple's
+        (the "dangling" tuples) are rejected with a cheap crisp interval
+        test instead of a full fuzzy-library evaluation.  This is safe for
+        every fold in this codebase because a dangling pair's degree is
+        the fold's neutral element (0 for joins, ``mu_R(r)`` for the
+        grouped anti-joins)."""
+        self.disk = disk
+        self.buffer_pages = buffer_pages
+        self.stats = stats
+        self.indicator = indicator
+
+    # ------------------------------------------------------------------
+    # High-level API
+    # ------------------------------------------------------------------
+    def pairs(
+        self,
+        outer: HeapFile,
+        outer_attr: str,
+        inner: HeapFile,
+        inner_attr: str,
+        pair_degree: PairDegree,
+    ) -> Iterator[Tuple[FuzzyTuple, FuzzyTuple, float]]:
+        """All joining pairs ``(r, s, degree)`` with positive degree."""
+        def init(_r: FuzzyTuple):
+            return []
+
+        def step(matches, s: FuzzyTuple, degree: float):
+            if degree > 0.0:
+                matches.append((s, degree))
+            return matches
+
+        for r, matches in self.fold(outer, outer_attr, inner, inner_attr, pair_degree, init, step):
+            for s, degree in matches:
+                yield r, s, degree
+
+    def fold(
+        self,
+        outer: HeapFile,
+        outer_attr: str,
+        inner: HeapFile,
+        inner_attr: str,
+        pair_degree: PairDegree,
+        init: Callable[[FuzzyTuple], State],
+        step: Callable[[State, FuzzyTuple, float], State],
+    ) -> Iterator[Tuple[FuzzyTuple, State]]:
+        """Per-R-tuple fold over the examined S-window.
+
+        ``init(r)`` seeds the accumulator (it must already account for the
+        S-tuples *outside* ``Rng(r)``, whose predicates are unsatisfiable);
+        ``step`` is invoked once per examined pair with its degree.  Yields
+        ``(r, final_state)`` in R's sorted order.
+        """
+        with self.disk.use_stats(self.stats):
+            sorter = ExternalSorter(self.disk, self.buffer_pages, self.stats)
+            sorted_r = sorter.sort(outer, outer_attr)
+            sorted_s = sorter.sort(inner, inner_attr)
+            with self.stats.enter_phase(JOIN_PHASE):
+                yield from self._join_phase(
+                    sorted_r, outer_attr, sorted_s, inner_attr, pair_degree, init, step
+                )
+            self.disk.delete(sorted_r.name)
+            self.disk.delete(sorted_s.name)
+
+    # ------------------------------------------------------------------
+    # Join phase
+    # ------------------------------------------------------------------
+    def _join_phase(
+        self,
+        sorted_r: HeapFile,
+        outer_attr: str,
+        sorted_s: HeapFile,
+        inner_attr: str,
+        pair_degree: PairDegree,
+        init: Callable[[FuzzyTuple], State],
+        step: Callable[[State, FuzzyTuple, float], State],
+    ) -> Iterator[Tuple[FuzzyTuple, State]]:
+        r_index = sorted_r.schema.index_of(outer_attr)
+        s_index = sorted_s.schema.index_of(inner_attr)
+        window: "deque[_WindowEntry]" = deque()
+        window_pages = 0  # distinct S pages currently spanned by the window
+        s_stream = self._s_tuples(sorted_s, s_index)
+        exhausted = False
+
+        for r_page in range(sorted_r.n_pages):
+            page = self.disk.read_page(sorted_r.name, r_page)
+            for record in page.records():
+                r = sorted_r.serializer.decode(record)
+                rb, re_ = sort_key(r[r_index])
+
+                # Retire S-tuples that precede every remaining R-tuple.
+                while window:
+                    self.stats.count_crisp()
+                    if window[0].e < rb:
+                        retired = window.popleft()
+                        if not window or window[0].page != retired.page:
+                            window_pages = max(0, window_pages - 1)
+                    else:
+                        break
+
+                state = init(r)
+
+                # Examine resident window tuples beginning at or before e(r.X).
+                scan_done = False
+                for entry in window:
+                    self.stats.count_crisp()
+                    if entry.b > re_:
+                        scan_done = True
+                        break
+                    if self.indicator and entry.e < rb:
+                        self.stats.count_crisp()  # the indicator test
+                        continue  # dangling: provably non-intersecting
+                    state = step(state, entry.tuple, pair_degree(r, entry.tuple, self.stats))
+
+                # Extend the window from the S stream until past e(r.X).
+                while not scan_done and not exhausted:
+                    entry = next(s_stream, None)
+                    if entry is None:
+                        exhausted = True
+                        break
+                    if not window or window[-1].page != entry.page:
+                        window_pages += 1
+                        self._check_window(window_pages)
+                    window.append(entry)
+                    self.stats.count_crisp()
+                    if entry.b > re_:
+                        scan_done = True
+                        break
+                    if self.indicator and entry.e < rb:
+                        self.stats.count_crisp()  # the indicator test
+                        continue
+                    state = step(state, entry.tuple, pair_degree(r, entry.tuple, self.stats))
+
+                yield r, state
+
+    def _s_tuples(self, sorted_s: HeapFile, s_index: int) -> Iterator[_WindowEntry]:
+        for page_index in range(sorted_s.n_pages):
+            page = self.disk.read_page(sorted_s.name, page_index)
+            for record in page.records():
+                t = sorted_s.serializer.decode(record)
+                yield _WindowEntry(t, sort_key(t[s_index]), page_index)
+
+    def _check_window(self, window_pages: int) -> None:
+        # One frame is reserved for the current R page.
+        if window_pages > self.buffer_pages - 1:
+            raise WindowOverflowError(
+                f"S window spans {window_pages} pages but only "
+                f"{self.buffer_pages - 1} frames are available; "
+                "the largest Rng(r) exceeds the buffer (see Section 3)"
+            )

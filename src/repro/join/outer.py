@@ -1,0 +1,37 @@
+"""Left outer join with an IF-THEN-ELSE degree (Query COUNT' of Section 6).
+
+The COUNT unnesting preserves every R-tuple: when ``r`` joins a ``T2``
+group tuple ``(u, A'(u))`` the THEN-branch degree applies, otherwise the
+ELSE-branch degree (``d(r.Y op 0)``) does.  Since the probe side (``T2``)
+is keyed by *binary* value identity, the probe is a hash lookup, which the
+paper's "d(r.U = u) is binary, and there can be at most one tuple in T2"
+observation licenses even in a fuzzy database.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterator, Optional, Tuple, TypeVar
+
+from ..data.tuples import FuzzyTuple
+from ..storage.stats import OperationStats
+
+Probe = TypeVar("Probe")
+
+
+def left_outer_probe(
+    outer_tuples: Iterator[FuzzyTuple],
+    probe_key: Callable[[FuzzyTuple], Hashable],
+    lookup: Dict[Hashable, Probe],
+    then_degree: Callable[[FuzzyTuple, Probe], float],
+    else_degree: Callable[[FuzzyTuple], float],
+    stats: Optional[OperationStats] = None,
+) -> Iterator[Tuple[FuzzyTuple, float]]:
+    """Yield ``(r, degree)`` for every outer tuple, matched or not."""
+    for r in outer_tuples:
+        if stats is not None:
+            stats.count_crisp()  # the binary identity probe
+        match = lookup.get(probe_key(r))
+        if match is not None:
+            yield r, then_degree(r, match)
+        else:
+            yield r, else_degree(r)

@@ -1,0 +1,114 @@
+"""Join predicate evaluation and degree composition.
+
+Every pair degree the unnesting rewrites need is a composition of
+``min``/``1-x`` over predicate satisfaction degrees:
+
+* plain join (Queries N', J'):   ``min(mu_R(r), mu_S(s), d(p1..pk))``
+* anti join (Query JX'):          ``min(mu_R(r), 1 - min(mu_S(s), d(p1..pk)))``
+* ALL-quantifier join (JALL'):    ``min(mu_R(r), 1 - min(mu_S(s), d(join), 1 - d(compare)))``
+
+Each evaluated predicate charges one fuzzy evaluation to the stats object;
+conjunctions short-circuit on 0 exactly like a real evaluator would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..data.schema import Schema
+from ..data.tuples import FuzzyTuple
+from ..fuzzy.compare import Op, possibility
+from ..storage.stats import OperationStats
+
+
+class JoinPredicate:
+    """``R.attr op S.attr`` with positions resolved against both schemas."""
+
+    __slots__ = ("left_attr", "op", "right_attr", "left_index", "right_index", "similarity")
+
+    def __init__(
+        self,
+        left_schema: Schema,
+        left_attr: str,
+        op: Op,
+        right_schema: Schema,
+        right_attr: str,
+        similarity=None,
+    ):
+        self.left_attr = left_attr
+        self.op = op
+        self.right_attr = right_attr
+        self.left_index = left_schema.index_of(left_attr)
+        self.right_index = right_schema.index_of(right_attr)
+        self.similarity = similarity
+        if op is Op.SIMILAR and similarity is None:
+            raise ValueError("a SIMILAR predicate needs a similarity relation")
+
+    def degree(self, r: FuzzyTuple, s: FuzzyTuple, stats: Optional[OperationStats] = None) -> float:
+        if stats is not None:
+            stats.count_fuzzy()
+        left = r[self.left_index]
+        right = s[self.right_index]
+        if self.op is Op.SIMILAR:
+            return self.similarity.degree(left, right)
+        return possibility(left, self.op, right)
+
+    def __repr__(self) -> str:
+        return f"JoinPredicate(R.{self.left_attr} {self.op.value} S.{self.right_attr})"
+
+
+PairDegree = Callable[[FuzzyTuple, FuzzyTuple, Optional[OperationStats]], float]
+
+
+def join_degree(predicates: Sequence[JoinPredicate]) -> PairDegree:
+    """``min(mu_R(r), mu_S(s), d(p1), ..., d(pk))`` with short-circuiting."""
+
+    def degree(r: FuzzyTuple, s: FuzzyTuple, stats: Optional[OperationStats] = None) -> float:
+        d = min(r.degree, s.degree)
+        for p in predicates:
+            if d == 0.0:
+                return 0.0
+            d = min(d, p.degree(r, s, stats))
+        return d
+
+    return degree
+
+
+def antijoin_degree(predicates: Sequence[JoinPredicate]) -> PairDegree:
+    """Query JX' pair degree: ``min(mu_R(r), 1 - min(mu_S(s), d(p1..pk)))``.
+
+    The group aggregate over all S-tuples is MIN; pairs whose predicates
+    are unsatisfiable contribute the neutral-maximal value ``mu_R(r)``.
+    """
+
+    def degree(r: FuzzyTuple, s: FuzzyTuple, stats: Optional[OperationStats] = None) -> float:
+        inner = s.degree
+        for p in predicates:
+            if inner == 0.0:
+                break
+            inner = min(inner, p.degree(r, s, stats))
+        return min(r.degree, 1.0 - inner)
+
+    return degree
+
+
+def all_quantifier_degree(
+    join_predicates: Sequence[JoinPredicate], compare: JoinPredicate
+) -> PairDegree:
+    """Query JALL' pair degree.
+
+    ``min(mu_R(r), 1 - min(mu_S(s), d(join preds), 1 - d(r.Y op s.Z)))`` —
+    the doubly negated form of Section 7, grouped by MIN over S.
+    """
+
+    def degree(r: FuzzyTuple, s: FuzzyTuple, stats: Optional[OperationStats] = None) -> float:
+        inner = s.degree
+        for p in join_predicates:
+            if inner == 0.0:
+                break
+            inner = min(inner, p.degree(r, s, stats))
+        if inner > 0.0:
+            inner = min(inner, 1.0 - compare.degree(r, s, stats))
+        return min(r.degree, 1.0 - inner)
+
+    return degree

@@ -1,0 +1,87 @@
+"""Saving and loading a fuzzy database as a directory of JSON files.
+
+Layout::
+
+    <path>/
+      catalog.json            table schemas + vocabulary definitions
+      tables/<NAME>.json      one JSON array of records per relation
+
+Everything round-trips through the textual value syntax of
+:mod:`repro.data.io`, so saved databases are human-readable and editable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .data.io import LoadError, _value_to_json, dump_json, load_json, parse_value
+from .data.schema import Attribute, Schema
+from .data.types import AttributeType
+from .db import FuzzyDatabase
+from .fuzzy.linguistic import Vocabulary
+
+FORMAT_VERSION = 1
+
+
+def save_database(db: FuzzyDatabase, path: Union[str, Path]) -> None:
+    """Write the database's catalog, vocabulary, and tables under ``path``."""
+    root = Path(path)
+    tables_dir = root / "tables"
+    tables_dir.mkdir(parents=True, exist_ok=True)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "tables": {},
+        "vocabulary": [],
+    }
+    for name in db.tables():
+        relation = db.table(name)
+        manifest["tables"][name] = [
+            {
+                "name": attr.name,
+                "type": attr.type.value,
+                "domain": attr.domain,
+            }
+            for attr in relation.schema
+        ]
+        (tables_dir / f"{name}.json").write_text(dump_json(relation))
+    for term, domain, dist in db.catalog.vocabulary.export():
+        manifest["vocabulary"].append(
+            {"term": term, "domain": domain, "shape": _value_to_json(dist)}
+        )
+    (root / "catalog.json").write_text(json.dumps(manifest, indent=2, sort_keys=True))
+
+
+def load_database(path: Union[str, Path], **db_kwargs) -> FuzzyDatabase:
+    """Reconstruct a :class:`FuzzyDatabase` saved by :func:`save_database`."""
+    root = Path(path)
+    manifest_path = root / "catalog.json"
+    if not manifest_path.exists():
+        raise LoadError(f"no catalog.json under {root}")
+    manifest = json.loads(manifest_path.read_text())
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise LoadError(f"unsupported format version {version!r}")
+
+    vocabulary = Vocabulary()
+    for entry in manifest.get("vocabulary", []):
+        vocabulary.define(
+            entry["term"],
+            parse_value(entry["shape"]),
+            entry.get("domain"),
+        )
+
+    db = FuzzyDatabase(vocabulary, **db_kwargs)
+    for name, columns in manifest.get("tables", {}).items():
+        attrs = [
+            Attribute(c["name"], AttributeType(c["type"]), c.get("domain"))
+            for c in columns
+        ]
+        schema = Schema(attrs)
+        table_path = root / "tables" / f"{name}.json"
+        if not table_path.exists():
+            raise LoadError(f"missing table file {table_path}")
+        db.register(name, load_json(table_path.read_text(), schema, vocabulary))
+    return db

@@ -1,0 +1,349 @@
+"""A storage-backed query session: every nesting type on the disk engine.
+
+:class:`StorageSession` is the integration layer that makes the paper's
+architecture concrete end to end: relations are materialized as paged heap
+files, and ``query()`` dispatches each Fuzzy SQL query to the appropriate
+disk-level strategy —
+
+* flat / type N / J / SOME / chain  → unnest, then the
+  :class:`~repro.engine.executor.FlatCompiler` plan (merge joins with
+  selection pushdown, optional Section 8 join ordering);
+* type XN / JX (NOT IN)            → the Section 5 grouped anti-join fold;
+* type ALL / JALL                   → the Section 7 doubly negated fold;
+* type JA with one equality correlation → the Section 6 pipelined
+  T1/T2/JA' merge pass;
+* everything else (GENERAL, type A, exotic JA shapes) → relations are read
+  back through the buffer (charged) and evaluated by the naive engine.
+
+All I/O and CPU events of the last query are available in
+:attr:`last_stats`; :attr:`last_strategy` names the path taken.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from .data.catalog import Catalog
+from .data.relation import FuzzyRelation
+from .data.tuples import FuzzyTuple
+from .engine.aggregates import DegreePolicy
+from .engine.executor import CompileError, FlatCompiler, compile_comparison
+from .engine.grouped import GroupedAntiJoin, GroupMode
+from .engine.operators import ExecutionContext
+from .engine.pipelined import JAPipeline
+from .engine.semantics import NaiveEvaluator
+from .fuzzy.compare import Op
+from .fuzzy.linguistic import Vocabulary
+from .sql.ast import (
+    AggregateExpr,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    QuantifiedComparison,
+    ScalarSubqueryComparison,
+    SelectQuery,
+)
+from .sql.classify import NestingType, classify
+from .sql.parser import parse
+from .storage.disk import SimulatedDisk
+from .storage.heap import HeapFile
+from .storage.stats import OperationStats
+from .unnest.common import UnnestError, qualify, split_nesting_predicate
+from .unnest.rewriter import unnest
+
+FLAT_TYPES = {
+    NestingType.FLAT,
+    NestingType.TYPE_N,
+    NestingType.TYPE_J,
+    NestingType.TYPE_SOME,
+    NestingType.TYPE_JSOME,
+    NestingType.CHAIN,
+}
+
+
+class StorageSession:
+    """Heap-file-backed query execution with automatic unnesting."""
+
+    def __init__(
+        self,
+        vocabulary: Optional[Vocabulary] = None,
+        page_size: int = 8 * 1024,
+        buffer_pages: int = 64,
+        aggregate_policy: DegreePolicy = DegreePolicy.ONE,
+        fixed_tuple_size: Optional[int] = None,
+        optimize_joins: bool = False,
+    ):
+        self.disk = SimulatedDisk(page_size=page_size)
+        self.buffer_pages = buffer_pages
+        self.aggregate_policy = aggregate_policy
+        self.fixed_tuple_size = fixed_tuple_size
+        self.optimize_joins = optimize_joins
+        self.tables: Dict[str, HeapFile] = {}
+        #: Schema-only catalog used for classification and rewriting.
+        self.schemas = Catalog(vocabulary)
+        self.last_stats = OperationStats()
+        self.last_strategy: str = ""
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self.schemas.vocabulary
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def register(self, name: str, relation: FuzzyRelation) -> HeapFile:
+        """Materialize a relation as a heap file (load I/O is not charged)."""
+        name = name.upper()
+        scratch = OperationStats()
+        with self.disk.use_stats(scratch):
+            heap = HeapFile(name, relation.schema, self.disk, self.fixed_tuple_size)
+            heap.load(relation.tuples())
+        self.tables[name] = heap
+        self.schemas.register(name, FuzzyRelation(relation.schema))
+        return heap
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, sql: Union[str, SelectQuery]) -> FuzzyRelation:
+        from .join.merge_join import WindowOverflowError
+
+        query = parse(sql) if isinstance(sql, str) else sql
+        nesting = classify(query, self.schemas)
+        stats = OperationStats()
+        self.last_stats = stats
+        try:
+            if nesting in FLAT_TYPES:
+                return self._run_flat(query, nesting, stats)
+            if nesting in (NestingType.TYPE_XN, NestingType.TYPE_JX):
+                return self._run_grouped(query, GroupMode.NOT_IN, nesting, stats)
+            if nesting in (NestingType.TYPE_ALL, NestingType.TYPE_JALL):
+                return self._run_grouped(query, GroupMode.ALL, nesting, stats)
+            if nesting is NestingType.TYPE_JA:
+                return self._run_ja(query, nesting, stats)
+        except (UnnestError, CompileError):
+            pass
+        except WindowOverflowError:
+            # The largest Rng(r) did not fit the buffer (very wide supports,
+            # Section 3's caveat): restart on the always-applicable path.
+            stats = OperationStats()
+            self.last_stats = stats
+        return self._run_naive(query, nesting, stats)
+
+    def explain(self, sql: Union[str, SelectQuery]) -> str:
+        """Describe the strategy and plan a query would run with.
+
+        Executes nothing against the data (beyond sampling-free schema
+        work); safe to call on large sessions.
+        """
+        query = parse(sql) if isinstance(sql, str) else sql
+        nesting = classify(query, self.schemas)
+        lines = [f"nesting type: {nesting.value}"]
+        if nesting in FLAT_TYPES:
+            try:
+                plan = unnest(query, self.schemas)
+                if not plan.steps and isinstance(plan.final, SelectQuery):
+                    compiler = FlatCompiler(self.tables, self.vocabulary)
+                    operator = compiler.compile(plan.final, optimize=self.optimize_joins)
+                    lines.append("strategy: flat merge-join plan")
+                    lines.append(operator.explain())
+                    return "\n".join(lines)
+            except (UnnestError, CompileError):
+                pass
+        elif nesting in (NestingType.TYPE_XN, NestingType.TYPE_JX,
+                         NestingType.TYPE_ALL, NestingType.TYPE_JALL):
+            try:
+                self._dissect(query)
+                kind = "NOT IN" if nesting in (NestingType.TYPE_XN, NestingType.TYPE_JX) else "op ALL"
+                lines.append(f"strategy: grouped anti-join min-fold ({kind})")
+                return "\n".join(lines)
+            except (UnnestError, CompileError):
+                pass
+        elif nesting is NestingType.TYPE_JA:
+            try:
+                self._dissect(query)
+                lines.append("strategy: pipelined T1/T2 merge pass (Section 6)")
+                return "\n".join(lines)
+            except (UnnestError, CompileError):
+                pass
+        lines.append("strategy: naive in-memory nested evaluation")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Strategy: flat plans
+    # ------------------------------------------------------------------
+    def _run_flat(self, query: SelectQuery, nesting: NestingType, stats: OperationStats) -> FuzzyRelation:
+        plan = unnest(query, self.schemas)
+        if plan.steps or not isinstance(plan.final, SelectQuery):
+            raise UnnestError("not a single flat query")
+        compiler = FlatCompiler(self.tables, self.vocabulary)
+        operator = compiler.compile(plan.final, optimize=self.optimize_joins)
+        self.last_strategy = f"flat/{nesting.value}: merge-join plan"
+        return operator.to_relation(ExecutionContext(self.disk, self.buffer_pages, stats))
+
+    # ------------------------------------------------------------------
+    # Strategy: grouped anti-joins (Sections 5 and 7)
+    # ------------------------------------------------------------------
+    def _run_grouped(
+        self, query: SelectQuery, mode: GroupMode, nesting: NestingType, stats: OperationStats
+    ) -> FuzzyRelation:
+        parts = self._dissect(query)
+        (outer_name, inner_name, p1, p2, cross, nesting_pred, project_attrs) = parts
+        if mode is GroupMode.NOT_IN:
+            if not isinstance(nesting_pred, InPredicate) or not nesting_pred.negated:
+                raise CompileError("not a NOT IN query")
+            z_attr = self._single_column(nesting_pred.query).attribute
+            link = (nesting_pred.column.attribute, Op.EQ, z_attr)
+        else:
+            if not isinstance(nesting_pred, QuantifiedComparison):
+                raise CompileError("not an ALL query")
+            z_attr = self._single_column(nesting_pred.query).attribute
+            link = (nesting_pred.column.attribute, nesting_pred.op, z_attr)
+        grouped = GroupedAntiJoin(
+            self.tables[outer_name],
+            self.tables[inner_name],
+            mode,
+            link,
+            cross=cross,
+            p1=p1,
+            p2=p2,
+            project_attrs=project_attrs,
+        )
+        band = "merge-join" if grouped.band else "nested-loop"
+        self.last_strategy = f"grouped/{nesting.value}: {band} min-fold"
+        return grouped.run(self.disk, self.buffer_pages, stats)
+
+    # ------------------------------------------------------------------
+    # Strategy: the Section 6 pipeline
+    # ------------------------------------------------------------------
+    def _run_ja(self, query: SelectQuery, nesting: NestingType, stats: OperationStats) -> FuzzyRelation:
+        parts = self._dissect(query)
+        (outer_name, inner_name, p1, p2, cross, nesting_pred, project_attrs) = parts
+        if not isinstance(nesting_pred, ScalarSubqueryComparison):
+            raise CompileError("not an aggregate nesting")
+        if len(cross) != 1 or cross[0][1] is not Op.EQ:
+            raise CompileError("the pipeline needs exactly one equality correlation")
+        agg = nesting_pred.query.select[0]
+        if not isinstance(agg, AggregateExpr):
+            raise CompileError("inner block must select an aggregate")
+        u_attr, _, v_attr = cross[0]
+        pipeline = JAPipeline(
+            self.tables[outer_name],
+            self.tables[inner_name],
+            u_attr=u_attr,
+            v_attr=v_attr,
+            y_attr=nesting_pred.column.attribute,
+            op1=nesting_pred.op,
+            agg_func=agg.func,
+            z_attr=agg.argument.attribute,
+            project_attrs=project_attrs,
+            p1=p1,
+            p2=p2,
+            policy=self.aggregate_policy,
+        )
+        self.last_strategy = f"pipelined/{nesting.value}: T1/T2 merge pass"
+        return pipeline.run(self.disk, self.buffer_pages, stats)
+
+    # ------------------------------------------------------------------
+    # Fallback: naive evaluation over buffered reads
+    # ------------------------------------------------------------------
+    def _run_naive(self, query: SelectQuery, nesting: NestingType, stats: OperationStats) -> FuzzyRelation:
+        catalog = Catalog(self.vocabulary)
+        with self.disk.use_stats(stats):
+            for name, heap in self.tables.items():
+                relation = FuzzyRelation(heap.schema)
+                for page_index in range(heap.n_pages):
+                    page = self.disk.read_page(heap.name, page_index)
+                    for record in page.records():
+                        relation.add(heap.serializer.decode(record))
+                catalog.register(name, relation)
+        self.last_strategy = f"naive/{nesting.value}: in-memory nested evaluation"
+        evaluator = NaiveEvaluator(
+            catalog, aggregate_policy=self.aggregate_policy, stats=stats
+        )
+        return evaluator.evaluate(query)
+
+    # ------------------------------------------------------------------
+    # AST dissection shared by the grouped and pipelined strategies
+    # ------------------------------------------------------------------
+    def _dissect(self, query: SelectQuery):
+        q = qualify(query, self.schemas)
+        nesting_pred, rest = split_nesting_predicate(q)
+        if len(q.from_tables) != 1:
+            raise CompileError("these strategies expect a single outer relation")
+        outer = q.from_tables[0]
+        inner_query = nesting_pred.query
+        if len(inner_query.from_tables) != 1:
+            raise CompileError("these strategies expect a single inner relation")
+        inner = inner_query.from_tables[0]
+        if inner_query.group_by or inner_query.distinct or inner_query.with_threshold is not None:
+            raise CompileError("inner block must be a plain select")
+        if q.with_threshold not in (None, 0.0):
+            raise CompileError("WITH thresholds use the fallback path")
+        outer_name, inner_name = outer.name.upper(), inner.name.upper()
+        if outer_name not in self.tables or inner_name not in self.tables:
+            raise CompileError("unregistered relation")
+        outer_heap, inner_heap = self.tables[outer_name], self.tables[inner_name]
+
+        outer_columns = [(outer.binding, a.name) for a in outer_heap.schema]
+        inner_columns = [(inner.binding, a.name) for a in inner_heap.schema]
+        domains = {
+            (outer.binding, a.name): a.domain for a in outer_heap.schema
+        }
+        domains.update({(inner.binding, a.name): a.domain for a in inner_heap.schema})
+
+        p1 = self._conjunction(rest, outer_columns, domains)
+        cross: List[Tuple[str, Op, str]] = []
+        local = []
+        inner_bindings = {inner.binding}
+        for predicate in inner_query.where:
+            if not isinstance(predicate, Comparison):
+                raise CompileError(f"unsupported inner predicate {predicate!r}")
+            sides = [predicate.left, predicate.right]
+            outer_refs = [
+                s for s in sides
+                if isinstance(s, ColumnRef) and s.relation not in inner_bindings
+            ]
+            if not outer_refs:
+                local.append(predicate)
+                continue
+            if len(outer_refs) == 2:
+                raise CompileError("correlation must reference one inner column")
+            # Normalize: outer attribute first.
+            if isinstance(predicate.left, ColumnRef) and predicate.left.relation not in inner_bindings:
+                outer_ref, op, inner_ref = predicate.left, predicate.op, predicate.right
+            else:
+                outer_ref, op, inner_ref = predicate.right, predicate.op.flipped(), predicate.left
+            if not isinstance(inner_ref, ColumnRef):
+                raise CompileError("correlation must compare two columns")
+            cross.append((outer_ref.attribute, op, inner_ref.attribute))
+        p2 = self._conjunction(local, inner_columns, domains)
+
+        project_attrs = []
+        for item in q.select:
+            if not isinstance(item, ColumnRef):
+                raise CompileError("select list must be plain columns")
+            project_attrs.append(item.attribute)
+        return outer_name, inner_name, p1, p2, cross, nesting_pred, project_attrs
+
+    def _conjunction(self, predicates, columns, domains) -> Optional[Callable[[FuzzyTuple], float]]:
+        if not predicates:
+            return None
+        compiled = [
+            compile_comparison(p, columns, domains, self.vocabulary) for p in predicates
+        ]
+
+        def degree(t: FuzzyTuple) -> float:
+            d = 1.0
+            for predicate in compiled:
+                if d == 0.0:
+                    return 0.0
+                d = min(d, predicate(t, None))
+            return d
+
+        return degree
+
+    def _single_column(self, inner_query: SelectQuery) -> ColumnRef:
+        if len(inner_query.select) != 1 or not isinstance(inner_query.select[0], ColumnRef):
+            raise CompileError("inner block must select one plain column")
+        return inner_query.select[0]

@@ -1,0 +1,5 @@
+"""External sorting on the interval order (the merge-join's sort phase)."""
+
+from .external import SORT_PHASE, ExternalSorter
+
+__all__ = ["ExternalSorter", "SORT_PHASE"]

@@ -1,0 +1,64 @@
+"""Sorted-run bookkeeping for the external merge sort."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List
+
+from ..data.tuples import FuzzyTuple
+from ..storage.disk import SimulatedDisk
+from ..storage.page import Page
+from ..storage.serializer import TupleSerializer
+
+_run_counter = itertools.count()
+
+
+def fresh_run_name(base: str) -> str:
+    """A unique scratch-file name for one sorted run."""
+    return f"__run_{base}_{next(_run_counter)}"
+
+
+class RunWriter:
+    """Writes a sorted run of tuples to a scratch disk file, page by page."""
+
+    def __init__(self, disk: SimulatedDisk, name: str, serializer: TupleSerializer):
+        self.disk = disk
+        self.name = name
+        self.serializer = serializer
+        self.n_tuples = 0
+        self._page = Page(disk.page_size)
+        if not disk.exists(name):
+            disk.create(name)
+
+    def append(self, t: FuzzyTuple) -> None:
+        record = self.serializer.encode(t)
+        if not self._page.fits(record):
+            self.disk.append_page(self.name, self._page)
+            self._page = Page(self.disk.page_size)
+        self._page.append(record)
+        self.n_tuples += 1
+
+    def close(self) -> None:
+        if len(self._page):
+            self.disk.append_page(self.name, self._page)
+            self._page = Page(self.disk.page_size)
+
+
+class RunReader:
+    """Reads a run back sequentially, charging one read per page."""
+
+    def __init__(self, disk: SimulatedDisk, name: str, serializer: TupleSerializer):
+        self.disk = disk
+        self.name = name
+        self.serializer = serializer
+
+    def __iter__(self) -> Iterator[FuzzyTuple]:
+        for index in range(self.disk.n_pages(self.name)):
+            page = self.disk.read_page(self.name, index)
+            for record in page.records():
+                yield self.serializer.decode(record)
+
+
+def drop_runs(disk: SimulatedDisk, names: List[str]) -> None:
+    for name in names:
+        disk.delete(name)

@@ -1,0 +1,73 @@
+"""The Fuzzy SQL frontend: lexer, parser, binder, nesting classifier."""
+
+from .ast import (
+    AggregateExpr,
+    ColumnRef,
+    Comparison,
+    DegreePredicate,
+    DegreeRef,
+    ExistsPredicate,
+    InPredicate,
+    Literal,
+    NegatedConjunction,
+    QuantifiedComparison,
+    ScalarSubqueryComparison,
+    SelectQuery,
+    TableRef,
+    nesting_depth,
+    subqueries_of,
+)
+from .binder import Resolution, Scope, references_outer, resolve_literal, validate
+from .classify import NestingType, classify
+from .errors import BindError, FuzzySQLError, LexError, ParseError
+from .lexer import Token, TokenType, tokenize
+from .parser import parse
+from .statements import (
+    ColumnDef,
+    CreateTable,
+    DefineTerm,
+    DropTable,
+    InsertInto,
+    Statement,
+    parse_statement,
+)
+
+__all__ = [
+    "parse",
+    "parse_statement",
+    "Statement",
+    "CreateTable",
+    "ColumnDef",
+    "InsertInto",
+    "DefineTerm",
+    "DropTable",
+    "tokenize",
+    "Token",
+    "TokenType",
+    "SelectQuery",
+    "TableRef",
+    "ColumnRef",
+    "Literal",
+    "DegreeRef",
+    "AggregateExpr",
+    "Comparison",
+    "InPredicate",
+    "QuantifiedComparison",
+    "ScalarSubqueryComparison",
+    "ExistsPredicate",
+    "DegreePredicate",
+    "NegatedConjunction",
+    "subqueries_of",
+    "nesting_depth",
+    "Scope",
+    "Resolution",
+    "validate",
+    "references_outer",
+    "resolve_literal",
+    "NestingType",
+    "classify",
+    "FuzzySQLError",
+    "LexError",
+    "ParseError",
+    "BindError",
+]

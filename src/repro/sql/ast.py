@@ -1,0 +1,275 @@
+"""Abstract syntax of the Fuzzy SQL subset used in the paper.
+
+The supported fragment follows Sections 2-8: SELECT blocks whose WHERE
+clause is a conjunction of predicates ``X theta Y`` (with fuzzy
+satisfaction degrees), optional ``WITH D >= z`` thresholds, nesting via
+``[IS] [NOT] IN``, quantified comparisons (``op ALL/SOME/ANY``), scalar
+aggregate subqueries (``R.Y op (SELECT AGG(S.Z) ...)``), EXISTS, and
+GROUPBY with aggregate select items (needed to *express* the unnested
+forms JX', JA', JALL').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..fuzzy.compare import Op
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``R.X`` or a bare ``X`` (resolved by the binder)."""
+
+    relation: Optional[str]
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.attribute}" if self.relation else self.attribute
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A number, a quoted linguistic term, or a plain label."""
+
+    value: Union[int, float, str]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+Term = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``R.*`` in a SELECT list; expanded during binding."""
+
+    relation: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.relation}.*" if self.relation else "*"
+
+
+@dataclass(frozen=True)
+class AggregateExpr:
+    """``AGG(S.Z)`` — one of COUNT, SUM, AVG, MIN, MAX."""
+
+    func: str
+    argument: ColumnRef
+
+    def __str__(self) -> str:
+        return f"{self.func}({self.argument})"
+
+
+@dataclass(frozen=True)
+class DegreeRef:
+    """``R.D`` — an explicit reference to a membership-degree attribute.
+
+    Used by the unnested forms of Sections 5 and 7, where the degree itself
+    acts as a predicate ("a membership degree attribute can be used by
+    itself as a predicate").
+    """
+
+    relation: Optional[str]
+
+    def __str__(self) -> str:
+        return f"{self.relation}.D" if self.relation else "D"
+
+
+# ----------------------------------------------------------------------
+# Predicates (the WHERE clause is a conjunction of these)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Comparison:
+    """``X theta Y`` between columns/literals (fuzzy satisfaction degree)."""
+
+    left: Term
+    op: Op
+    right: Term
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """``R.Y [IS] [NOT] IN (subquery)`` — set (ex/in)clusion."""
+
+    column: ColumnRef
+    query: "SelectQuery"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        kw = "is not in" if self.negated else "is in"
+        return f"{self.column} {kw} ({self.query})"
+
+
+@dataclass(frozen=True)
+class QuantifiedComparison:
+    """``R.Y op ALL|SOME|ANY (subquery)``."""
+
+    column: ColumnRef
+    op: Op
+    quantifier: str  # "ALL" | "SOME" | "ANY"
+    query: "SelectQuery"
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op.value} {self.quantifier} ({self.query})"
+
+
+@dataclass(frozen=True)
+class ScalarSubqueryComparison:
+    """``R.Y op (SELECT AGG(S.Z) ...)`` — the type-A/JA shape."""
+
+    column: ColumnRef
+    op: Op
+    query: "SelectQuery"
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op.value} ({self.query})"
+
+
+@dataclass(frozen=True)
+class ExistsPredicate:
+    """``[NOT] EXISTS (subquery)``."""
+
+    query: "SelectQuery"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        kw = "not exists" if self.negated else "exists"
+        return f"{kw} ({self.query})"
+
+
+@dataclass(frozen=True)
+class DegreePredicate:
+    """``R.D`` used as a predicate (satisfied to the tuple's degree)."""
+
+    degree: DegreeRef
+
+    def __str__(self) -> str:
+        return str(self.degree)
+
+
+@dataclass(frozen=True)
+class IdentityComparison:
+    """Binary identity of value representations: ``R.U == T1.U``.
+
+    Used by the JA rewrite (Section 6), where "d(r.U = u) is binary" — the
+    tuple joins the group tuple built from *exactly* its own ``U`` value,
+    not any fuzzily-equal one.  Satisfied at degree 1 when the two
+    distributions have the same canonical representation, else 0.
+    """
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def __str__(self) -> str:
+        return f"{self.left} == {self.right}"
+
+
+@dataclass(frozen=True)
+class NegatedConjunction:
+    """``NOT (p1 AND p2 AND ...)`` — needed by the JX'/JALL' rewrites."""
+
+    predicates: tuple
+
+    def __str__(self) -> str:
+        inner = " AND ".join(str(p) for p in self.predicates)
+        return f"not ({inner})"
+
+
+Predicate = Union[
+    Comparison,
+    InPredicate,
+    QuantifiedComparison,
+    ScalarSubqueryComparison,
+    ExistsPredicate,
+    DegreePredicate,
+    IdentityComparison,
+    NegatedConjunction,
+]
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause entry: relation name plus optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by inside the query."""
+        return self.alias if self.alias is not None else self.name
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+SelectItem = Union[ColumnRef, AggregateExpr]
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """One SELECT block.
+
+    ``where`` is a conjunction.  ``with_threshold`` reflects an explicit
+    ``WITH D >= z`` / ``WITH D > z`` clause (None means the implicit
+    ``WITH D > 0``).  ``group_by`` supports the unnested JX'/JALL'/JA'
+    forms; ``having`` holds fuzzy comparisons over group aggregates whose
+    satisfaction degrees join each group's conjunction.
+    """
+
+    select: tuple  # of SelectItem
+    from_tables: tuple  # of TableRef
+    where: tuple = ()  # of Predicate
+    with_threshold: Optional[float] = None
+    group_by: tuple = ()  # of ColumnRef
+    distinct: bool = False
+    having: tuple = ()  # of Comparison (sides may be AggregateExpr)
+
+    def __str__(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(str(s) for s in self.select))
+        parts.append("FROM " + ", ".join(str(t) for t in self.from_tables))
+        if self.where:
+            parts.append("WHERE " + " AND ".join(str(p) for p in self.where))
+        if self.with_threshold is not None:
+            parts.append(f"WITH D >= {self.with_threshold}")
+        if self.group_by:
+            parts.append("GROUPBY " + ", ".join(str(c) for c in self.group_by))
+        if self.having:
+            parts.append("HAVING " + " AND ".join(str(p) for p in self.having))
+        return " ".join(parts)
+
+
+def subqueries_of(query: SelectQuery) -> List[SelectQuery]:
+    """Direct subqueries appearing in the WHERE clause."""
+    out: List[SelectQuery] = []
+    for p in query.where:
+        if isinstance(p, (InPredicate, QuantifiedComparison, ScalarSubqueryComparison, ExistsPredicate)):
+            out.append(p.query)
+    return out
+
+
+def nesting_depth(query: SelectQuery) -> int:
+    """1 for a flat query, 2 for one level of nesting, and so on."""
+    subs = subqueries_of(query)
+    if not subs:
+        return 1
+    return 1 + max(nesting_depth(s) for s in subs)

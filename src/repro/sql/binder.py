@@ -1,0 +1,208 @@
+"""Name resolution for Fuzzy SQL queries.
+
+The binder resolves column references against the FROM clauses of the
+current block and its enclosing blocks (for correlation predicates), and
+resolves quoted literals against the vocabulary in the domain of the
+attribute they are compared with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..data.catalog import Catalog
+from ..data.schema import Schema
+from ..fuzzy.distribution import Distribution
+from ..fuzzy.linguistic import lift
+from .ast import (
+    AggregateExpr,
+    ColumnRef,
+    Comparison,
+    DegreePredicate,
+    ExistsPredicate,
+    IdentityComparison,
+    InPredicate,
+    Literal,
+    NegatedConjunction,
+    QuantifiedComparison,
+    ScalarSubqueryComparison,
+    SelectQuery,
+)
+from .errors import BindError
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Where a column reference points.
+
+    ``level`` is 0 for the current block, 1 for the immediately enclosing
+    block, etc.; ``binding`` is the table alias; ``index`` the attribute
+    position in the table's schema.
+    """
+
+    level: int
+    binding: str
+    index: int
+    attribute: str
+    domain: Optional[str]
+
+
+class Scope:
+    """The visible bindings of one block, chained to enclosing scopes."""
+
+    def __init__(self, bindings: List[Tuple[str, Schema]], parent: Optional["Scope"] = None):
+        self.bindings = bindings
+        self.parent = parent
+        self._by_name = {name: schema for name, schema in bindings}
+        if len(self._by_name) != len(bindings):
+            raise BindError("duplicate table bindings in FROM clause")
+
+    @classmethod
+    def for_query(cls, query: SelectQuery, catalog: Catalog, parent: Optional["Scope"] = None) -> "Scope":
+        bindings = []
+        for table in query.from_tables:
+            relation = catalog.get(table.name)
+            bindings.append((table.binding, relation.schema))
+        return cls(bindings, parent)
+
+    def resolve(self, ref: ColumnRef) -> Resolution:
+        """Resolve a column reference, searching outward through scopes."""
+        level = 0
+        scope: Optional[Scope] = self
+        while scope is not None:
+            hit = scope._resolve_local(ref)
+            if hit is not None:
+                binding, schema, index = hit
+                attr = schema.attributes[index]
+                return Resolution(level, binding, index, attr.name, attr.domain)
+            scope = scope.parent
+            level += 1
+        raise BindError(f"cannot resolve column {ref}")
+
+    def _resolve_local(self, ref: ColumnRef):
+        if ref.relation is not None:
+            schema = self._by_name.get(ref.relation)
+            if schema is None or ref.attribute not in schema:
+                return None
+            return ref.relation, schema, schema.index_of(ref.attribute)
+        candidates = [
+            (name, schema, schema.index_of(ref.attribute))
+            for name, schema in self.bindings
+            if ref.attribute in schema
+        ]
+        if len(candidates) > 1:
+            raise BindError(f"ambiguous column {ref.attribute!r}")
+        return candidates[0] if candidates else None
+
+    def is_local(self, ref: ColumnRef) -> bool:
+        """True when the reference resolves in this block (not correlated)."""
+        return self._resolve_local(ref) is not None
+
+
+def resolve_literal(
+    literal: Literal, catalog: Catalog, domain: Optional[str]
+) -> Distribution:
+    """Turn a literal into a distribution, via the vocabulary for strings."""
+    return lift(literal.value, catalog.vocabulary, domain)
+
+
+def expand_select_stars(query: SelectQuery, catalog: Catalog) -> SelectQuery:
+    """Replace ``*`` / ``R.*`` select items with explicit qualified columns."""
+    from .ast import Star
+
+    if not any(isinstance(item, Star) for item in query.select):
+        return query
+    items = []
+    for item in query.select:
+        if not isinstance(item, Star):
+            items.append(item)
+            continue
+        matched = False
+        for table in query.from_tables:
+            if item.relation is None or item.relation == table.binding:
+                matched = True
+                schema = catalog.get(table.name).schema
+                items.extend(ColumnRef(table.binding, a.name) for a in schema)
+        if not matched:
+            raise BindError(f"no table {item.relation!r} for {item}")
+    return SelectQuery(
+        select=tuple(items),
+        from_tables=query.from_tables,
+        where=query.where,
+        with_threshold=query.with_threshold,
+        group_by=query.group_by,
+        distinct=query.distinct,
+        having=query.having,
+    )
+
+
+def validate(query: SelectQuery, catalog: Catalog, parent: Optional[Scope] = None) -> None:
+    """Fully bind a query tree, raising :class:`BindError` on any problem."""
+    query = expand_select_stars(query, catalog)
+    scope = Scope.for_query(query, catalog, parent)
+    for item in query.select:
+        if isinstance(item, AggregateExpr):
+            if item.argument.attribute != "D":
+                scope.resolve(item.argument)
+        else:
+            scope.resolve(item)
+    for col in query.group_by:
+        scope.resolve(col)
+    for predicate in query.where:
+        _validate_predicate(predicate, scope, catalog)
+    for predicate in query.having:
+        for side in (predicate.left, predicate.right):
+            if isinstance(side, AggregateExpr):
+                if side.argument.attribute != "D":
+                    scope.resolve(side.argument)
+            elif isinstance(side, ColumnRef):
+                scope.resolve(side)
+
+
+def _validate_predicate(predicate, scope: Scope, catalog: Catalog) -> None:
+    if isinstance(predicate, Comparison):
+        for side in (predicate.left, predicate.right):
+            if isinstance(side, ColumnRef):
+                scope.resolve(side)
+    elif isinstance(predicate, (InPredicate, QuantifiedComparison, ScalarSubqueryComparison)):
+        scope.resolve(predicate.column)
+        validate(predicate.query, catalog, scope)
+    elif isinstance(predicate, ExistsPredicate):
+        validate(predicate.query, catalog, scope)
+    elif isinstance(predicate, NegatedConjunction):
+        for inner in predicate.predicates:
+            _validate_predicate(inner, scope, catalog)
+    elif isinstance(predicate, IdentityComparison):
+        scope.resolve(predicate.left)
+        scope.resolve(predicate.right)
+    elif isinstance(predicate, DegreePredicate):
+        pass
+    else:
+        raise BindError(f"unsupported predicate {predicate!r}")
+
+
+def references_outer(query: SelectQuery, catalog: Catalog, parent: Scope) -> bool:
+    """True when ``query`` (as a subquery under ``parent``) is correlated."""
+    scope = Scope.for_query(query, catalog, parent)
+
+    def column_is_outer(ref: ColumnRef) -> bool:
+        return scope.resolve(ref).level > 0
+
+    def predicate_refs(predicate) -> bool:
+        if isinstance(predicate, Comparison):
+            return any(
+                isinstance(side, ColumnRef) and column_is_outer(side)
+                for side in (predicate.left, predicate.right)
+            )
+        if isinstance(predicate, (InPredicate, QuantifiedComparison, ScalarSubqueryComparison)):
+            if column_is_outer(predicate.column):
+                return True
+            return references_outer(predicate.query, catalog, scope)
+        if isinstance(predicate, ExistsPredicate):
+            return references_outer(predicate.query, catalog, scope)
+        if isinstance(predicate, NegatedConjunction):
+            return any(predicate_refs(p) for p in predicate.predicates)
+        return False
+
+    return any(predicate_refs(p) for p in query.where)

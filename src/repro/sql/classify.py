@@ -1,0 +1,135 @@
+"""Nesting-type classification (Kim's taxonomy extended to Fuzzy SQL).
+
+The rewriter dispatches on the type of the outermost nesting:
+
+* ``FLAT``   — no subquery;
+* ``TYPE_N`` — uncorrelated ``IN`` (Section 4, Theorem 4.1);
+* ``TYPE_J`` — correlated ``IN`` (Section 4, Theorem 4.2);
+* ``TYPE_XN``/``TYPE_JX`` — ``NOT IN``, un-/correlated (Section 5);
+* ``TYPE_A``/``TYPE_JA`` — scalar aggregate subquery, un-/correlated
+  (Section 6);
+* ``TYPE_ALL``/``TYPE_JALL`` — ``op ALL`` quantifier (Section 7);
+* ``TYPE_SOME``/``TYPE_JSOME`` — ``op SOME/ANY`` (unnests like N/J with
+  ``op`` as the join operator);
+* ``CHAIN``  — a K-level linear query (Section 8);
+* ``GENERAL`` — anything else (evaluated by the naive engine only).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..data.catalog import Catalog
+from .ast import (
+    AggregateExpr,
+    Comparison,
+    ExistsPredicate,
+    InPredicate,
+    QuantifiedComparison,
+    ScalarSubqueryComparison,
+    SelectQuery,
+)
+from .binder import Scope, references_outer
+from .errors import BindError
+
+
+class NestingType(enum.Enum):
+    FLAT = "flat"
+    TYPE_N = "N"
+    TYPE_J = "J"
+    TYPE_XN = "XN"
+    TYPE_JX = "JX"
+    TYPE_A = "A"
+    TYPE_JA = "JA"
+    TYPE_ALL = "ALL"
+    TYPE_JALL = "JALL"
+    TYPE_SOME = "SOME"
+    TYPE_JSOME = "JSOME"
+    CHAIN = "chain"
+    GENERAL = "general"
+
+
+def _subquery_predicates(query: SelectQuery):
+    return [
+        p
+        for p in query.where
+        if isinstance(p, (InPredicate, QuantifiedComparison, ScalarSubqueryComparison, ExistsPredicate))
+    ]
+
+
+def classify(query: SelectQuery, catalog: Catalog) -> NestingType:
+    """The nesting type of the outermost level of ``query``."""
+    preds = _subquery_predicates(query)
+    if not preds:
+        return NestingType.FLAT
+    if query.having:
+        return NestingType.GENERAL
+    if len(preds) > 1:
+        return NestingType.GENERAL
+    predicate = preds[0]
+    scope = Scope.for_query(query, catalog)
+    inner = predicate.query
+    correlated = references_outer(inner, catalog, scope)
+    inner_nested = bool(_subquery_predicates(inner))
+
+    if isinstance(predicate, InPredicate):
+        if inner_nested:
+            return NestingType.CHAIN if _is_chain(query, catalog) else NestingType.GENERAL
+        if predicate.negated:
+            return NestingType.TYPE_JX if correlated else NestingType.TYPE_XN
+        return NestingType.TYPE_J if correlated else NestingType.TYPE_N
+
+    if inner_nested:
+        return NestingType.GENERAL
+
+    if isinstance(predicate, ScalarSubqueryComparison):
+        if not _selects_single_aggregate(inner):
+            return NestingType.GENERAL
+        return NestingType.TYPE_JA if correlated else NestingType.TYPE_A
+
+    if isinstance(predicate, QuantifiedComparison):
+        if predicate.quantifier == "ALL":
+            return NestingType.TYPE_JALL if correlated else NestingType.TYPE_ALL
+        return NestingType.TYPE_JSOME if correlated else NestingType.TYPE_SOME
+
+    if isinstance(predicate, ExistsPredicate):
+        # EXISTS is expressible through the quantifier machinery but is not
+        # one of the paper's rewrite targets; keep it with the naive engine.
+        return NestingType.GENERAL
+
+    return NestingType.GENERAL
+
+
+def _selects_single_aggregate(query: SelectQuery) -> bool:
+    return len(query.select) == 1 and isinstance(query.select[0], AggregateExpr)
+
+
+def _is_chain(query: SelectQuery, catalog: Catalog, parent: Scope = None) -> bool:
+    """Section 8 chain shape: one block per level, IN-linked, with only
+    comparison predicates (correlation allowed to *any* outer block), no
+    aggregates, quantifiers, or set exclusion."""
+    if len(query.from_tables) != 1:
+        return False
+    if query.distinct or query.group_by:
+        return False
+    if len(query.select) != 1 or isinstance(query.select[0], AggregateExpr):
+        return False
+    scope = Scope.for_query(query, catalog, parent)
+    in_preds = []
+    for p in query.where:
+        if isinstance(p, Comparison):
+            continue
+        if isinstance(p, InPredicate) and not p.negated:
+            in_preds.append(p)
+        else:
+            return False
+    if len(in_preds) > 1:
+        return False
+    if in_preds:
+        try:
+            if scope.resolve(in_preds[0].column).level != 0:
+                return False
+        except BindError:
+            return False
+        return _is_chain(in_preds[0].query, catalog, scope)
+    return True

@@ -1,0 +1,23 @@
+"""Errors raised by the Fuzzy SQL frontend."""
+
+from __future__ import annotations
+
+
+class FuzzySQLError(Exception):
+    """Base class for all frontend errors."""
+
+
+class LexError(FuzzySQLError):
+    """Invalid character sequence in the query text."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class ParseError(FuzzySQLError):
+    """The token stream does not form a valid Fuzzy SQL query."""
+
+
+class BindError(FuzzySQLError):
+    """Name resolution failed (unknown relation, attribute, or term)."""

@@ -1,0 +1,112 @@
+"""Tokenizer for the Fuzzy SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+from .errors import LexError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "NOT", "IS", "IN",
+    "EXISTS", "ALL", "SOME", "ANY", "WITH", "GROUPBY", "GROUP", "BY",
+    "HAVING", "COUNT", "SUM", "AVG", "MIN", "MAX", "D",
+    # DDL / DML statements
+    "CREATE", "TABLE", "INSERT", "INTO", "VALUES", "DEFINE", "AS", "ON",
+    "DROP", "NUMERIC", "LABEL",
+}
+
+OPERATORS = ("<=", ">=", "<>", "!=", "~=", "=", "<", ">")
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    STAR = "*"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Union[str, float]
+    position: int
+
+    def matches_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex query text into tokens (keywords are case-insensitive)."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "'\"":
+            end = text.find(ch, i + 1)
+            if end == -1:
+                raise LexError("unterminated string literal", i)
+            yield Token(TokenType.STRING, text[i + 1:end], i)
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is a qualifier dot.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            yield Token(TokenType.NUMBER, float(text[i:j]), i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(TokenType.KEYWORD, upper, i)
+            else:
+                yield Token(TokenType.IDENT, word, i)
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                yield Token(TokenType.OPERATOR, op, i)
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        simple = {
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            ",": TokenType.COMMA,
+            ".": TokenType.DOT,
+            "*": TokenType.STAR,
+        }
+        if ch in simple:
+            yield Token(simple[ch], ch, i)
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", i)
+    yield Token(TokenType.EOF, "", n)

@@ -1,0 +1,314 @@
+"""Recursive-descent parser for the Fuzzy SQL subset.
+
+Grammar (conjunctive WHERE clauses only, per the paper's assumption)::
+
+    query     := SELECT [DISTINCT] items FROM tables
+                 [WHERE pred (AND pred)*] [WITH D (>|>=) number]
+                 [GROUPBY cols | GROUP BY cols]
+    items     := item (',' item)*          item := agg '(' column ')' | column
+    tables    := name [alias] (',' name [alias])*
+    pred      := [NOT] EXISTS '(' query ')'
+               | column [IS] [NOT] IN '(' query ')'
+               | term op ALL|SOME|ANY '(' query ')'
+               | term op '(' query ')'                 -- scalar aggregate
+               | term op term
+               | degree_ref                            -- R.D as a predicate
+               | NOT '(' pred (AND pred)* ')'
+    term      := column | degree_ref | number | string
+    column    := ident ['.' ident]
+    degree_ref:= [ident '.'] D
+
+``MIN(D)`` in a SELECT list (the JX'/JALL' form) parses as an aggregate
+over the degree pseudo-column.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..fuzzy.compare import Op
+from .ast import (
+    AggregateExpr,
+    ColumnRef,
+    Comparison,
+    DegreePredicate,
+    DegreeRef,
+    ExistsPredicate,
+    InPredicate,
+    Literal,
+    NegatedConjunction,
+    Predicate,
+    QuantifiedComparison,
+    ScalarSubqueryComparison,
+    SelectQuery,
+    TableRef,
+)
+from .errors import ParseError
+from .lexer import Token, TokenType, tokenize
+
+AGG_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+def parse(text: str) -> SelectQuery:
+    """Parse query text into a :class:`SelectQuery` AST."""
+    parser = _Parser(tokenize(text))
+    query = parser.parse_query()
+    parser.expect(TokenType.EOF)
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def check_keyword(self, *names: str) -> bool:
+        return self.current.matches_keyword(*names)
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.check_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, *names: str) -> Token:
+        if not self.check_keyword(*names):
+            raise ParseError(f"expected {'/'.join(names)}, found {self.current.value!r}")
+        return self.advance()
+
+    def expect(self, token_type: TokenType) -> Token:
+        if self.current.type is not token_type:
+            raise ParseError(f"expected {token_type.value}, found {self.current.value!r}")
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def parse_query(self) -> SelectQuery:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        select = self._select_items()
+        self.expect_keyword("FROM")
+        tables = self._table_refs()
+        where: tuple = ()
+        if self.accept_keyword("WHERE"):
+            where = tuple(self._conjunction())
+        threshold = self._with_clause()
+        group_by = self._group_by()
+        having: tuple = ()
+        if self.accept_keyword("HAVING"):
+            having = tuple(self._having_conjunction())
+        return SelectQuery(
+            select=tuple(select),
+            from_tables=tuple(tables),
+            where=where,
+            with_threshold=threshold,
+            group_by=tuple(group_by),
+            distinct=distinct,
+            having=having,
+        )
+
+    def _select_items(self) -> List:
+        items = [self._select_item()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self):
+        from .ast import Star
+
+        if self.current.type is TokenType.STAR:
+            self.advance()
+            return Star(None)
+        if (
+            self.current.type is TokenType.IDENT
+            and self.pos + 2 < len(self.tokens)
+            and self.tokens[self.pos + 1].type is TokenType.DOT
+            and self.tokens[self.pos + 2].type is TokenType.STAR
+        ):
+            relation = self.advance().value
+            self.advance()  # dot
+            self.advance()  # star
+            return Star(relation)
+        if self.check_keyword(*AGG_FUNCS):
+            func = self.advance().value
+            self.expect(TokenType.LPAREN)
+            if self.check_keyword("D"):
+                self.advance()
+                argument = ColumnRef(None, "D")
+            else:
+                argument = self._column()
+            self.expect(TokenType.RPAREN)
+            return AggregateExpr(func, argument)
+        return self._column()
+
+    def _table_refs(self) -> List[TableRef]:
+        tables = [self._table_ref()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            tables.append(self._table_ref())
+        return tables
+
+    def _table_ref(self) -> TableRef:
+        name = self.expect(TokenType.IDENT).value
+        alias = None
+        if self.current.type is TokenType.IDENT:
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    def _with_clause(self) -> Optional[float]:
+        if not self.accept_keyword("WITH"):
+            return None
+        self.expect_keyword("D")
+        op = self.expect(TokenType.OPERATOR).value
+        if op not in (">", ">="):
+            raise ParseError(f"WITH clause needs > or >=, found {op!r}")
+        value = self.expect(TokenType.NUMBER).value
+        return float(value)
+
+    def _group_by(self) -> List[ColumnRef]:
+        if self.accept_keyword("GROUPBY"):
+            pass
+        elif self.check_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+        else:
+            return []
+        cols = [self._column()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            cols.append(self._column())
+        return cols
+
+    # ------------------------------------------------------------------
+    # HAVING
+    # ------------------------------------------------------------------
+    def _having_conjunction(self) -> List[Comparison]:
+        predicates = [self._having_predicate()]
+        while self.accept_keyword("AND"):
+            predicates.append(self._having_predicate())
+        return predicates
+
+    def _having_predicate(self) -> Comparison:
+        left = self._having_term()
+        op = Op.from_symbol(self.expect(TokenType.OPERATOR).value)
+        right = self._having_term()
+        return Comparison(left, op, right)
+
+    def _having_term(self):
+        if self.check_keyword(*AGG_FUNCS):
+            return self._select_item()  # parses AGG(col)
+        return self._term()
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def _conjunction(self) -> List[Predicate]:
+        predicates = [self._predicate()]
+        while self.accept_keyword("AND"):
+            predicates.append(self._predicate())
+        return predicates
+
+    def _predicate(self) -> Predicate:
+        if self.check_keyword("NOT"):
+            return self._not_predicate()
+        if self.check_keyword("EXISTS"):
+            self.advance()
+            return ExistsPredicate(self._parenthesized_query(), negated=False)
+        left = self._term()
+        # "column IS [NOT] IN (...)" / "column [NOT] IN (...)"
+        if isinstance(left, ColumnRef) and (self.check_keyword("IS", "IN", "NOT")):
+            return self._membership_predicate(left)
+        if isinstance(left, DegreeRef) and self.current.type is not TokenType.OPERATOR:
+            return DegreePredicate(left)
+        op_token = self.expect(TokenType.OPERATOR)
+        op = Op.from_symbol(op_token.value)
+        if self.check_keyword("ALL", "SOME", "ANY"):
+            quantifier = self.advance().value
+            if not isinstance(left, ColumnRef):
+                raise ParseError("quantified comparison needs a column on the left")
+            return QuantifiedComparison(left, op, quantifier, self._parenthesized_query())
+        if self.current.type is TokenType.LPAREN and self._peek_is_select():
+            if not isinstance(left, ColumnRef):
+                raise ParseError("scalar subquery comparison needs a column on the left")
+            return ScalarSubqueryComparison(left, op, self._parenthesized_query())
+        right = self._term()
+        return Comparison(left, op, right)
+
+    def _not_predicate(self) -> Predicate:
+        self.expect_keyword("NOT")
+        if self.check_keyword("EXISTS"):
+            self.advance()
+            return ExistsPredicate(self._parenthesized_query(), negated=True)
+        if self.current.type is TokenType.LPAREN:
+            self.advance()
+            inner = self._conjunction()
+            self.expect(TokenType.RPAREN)
+            return NegatedConjunction(tuple(inner))
+        raise ParseError("NOT must be followed by EXISTS or a parenthesized conjunction")
+
+    def _membership_predicate(self, column: ColumnRef) -> Predicate:
+        self.accept_keyword("IS")
+        negated = self.accept_keyword("NOT")
+        self.expect_keyword("IN")
+        return InPredicate(column, self._parenthesized_query(), negated)
+
+    def _parenthesized_query(self) -> SelectQuery:
+        self.expect(TokenType.LPAREN)
+        query = self.parse_query()
+        self.expect(TokenType.RPAREN)
+        return query
+
+    def _peek_is_select(self) -> bool:
+        return (
+            self.pos + 1 < len(self.tokens)
+            and self.tokens[self.pos + 1].matches_keyword("SELECT")
+        )
+
+    # ------------------------------------------------------------------
+    # Terms
+    # ------------------------------------------------------------------
+    def _term(self) -> Union[ColumnRef, DegreeRef, Literal]:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.matches_keyword("D"):
+            self.advance()
+            return DegreeRef(None)
+        if token.type is TokenType.IDENT:
+            return self._column_or_degree()
+        raise ParseError(f"expected a term, found {token.value!r}")
+
+    def _column_or_degree(self) -> Union[ColumnRef, DegreeRef]:
+        first = self.expect(TokenType.IDENT).value
+        if self.current.type is TokenType.DOT:
+            self.advance()
+            if self.check_keyword("D"):
+                self.advance()
+                return DegreeRef(first)
+            second = self.expect(TokenType.IDENT).value
+            return ColumnRef(first, second)
+        return ColumnRef(None, first)
+
+    def _column(self) -> ColumnRef:
+        ref = self._column_or_degree()
+        if isinstance(ref, DegreeRef):
+            return ColumnRef(ref.relation, "D")
+        return ref

@@ -1,0 +1,189 @@
+"""DDL/DML statements: CREATE TABLE, INSERT, DEFINE term, DROP TABLE.
+
+The paper's Fuzzy SQL paper ([25]) describes a full database library; for
+this reproduction the data-definition surface is the minimum a user needs
+to build a fuzzy database from scratch in the shell or programmatically:
+
+    CREATE TABLE M (ID NUMERIC, NAME LABEL, AGE NUMERIC ON 'AGE')
+    DEFINE 'medium young' ON 'AGE' AS '[20, 25, 30, 35]'
+    INSERT INTO M VALUES (201, 'Allen', 24)
+    INSERT INTO M VALUES (202, 'Allen', 'about 50') WITH D 0.9
+    DROP TABLE M
+
+Values in INSERT use the textual value syntax of :mod:`repro.data.io`
+(numbers, linguistic terms, '[a,b,c,d]' trapezoids, '{"x": 1.0}' discrete
+distributions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from .ast import SelectQuery
+from .errors import ParseError
+from .lexer import TokenType, tokenize
+from .parser import _Parser
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str  # "NUMERIC" | "LABEL"
+    domain: Optional[str] = None
+
+    def __str__(self) -> str:
+        domain = f" ON '{self.domain}'" if self.domain else ""
+        return f"{self.name} {self.type_name}{domain}"
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: Tuple[ColumnDef, ...]
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(c) for c in self.columns)
+        return f"CREATE TABLE {self.name} ({cols})"
+
+
+@dataclass(frozen=True)
+class InsertInto:
+    table: str
+    rows: Tuple[Tuple[object, ...], ...]
+    degree: Optional[float] = None  # WITH D <z> applies to all rows
+
+    def __str__(self) -> str:
+        rows = ", ".join("(" + ", ".join(repr(v) for v in row) + ")" for row in self.rows)
+        suffix = f" WITH D {self.degree}" if self.degree is not None else ""
+        return f"INSERT INTO {self.table} VALUES {rows}{suffix}"
+
+
+@dataclass(frozen=True)
+class DefineTerm:
+    term: str
+    shape: str  # textual value syntax, e.g. "[20, 25, 30, 35]"
+    domain: Optional[str] = None
+
+    def __str__(self) -> str:
+        domain = f" ON '{self.domain}'" if self.domain else ""
+        return f"DEFINE '{self.term}'{domain} AS '{self.shape}'"
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+    def __str__(self) -> str:
+        return f"DROP TABLE {self.name}"
+
+
+Statement = Union[SelectQuery, CreateTable, InsertInto, DefineTerm, DropTable]
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse one SQL statement (SELECT, CREATE, INSERT, DEFINE, or DROP)."""
+    parser = _StatementParser(tokenize(text))
+    statement = parser.parse_statement()
+    parser.expect(TokenType.EOF)
+    return statement
+
+
+class _StatementParser(_Parser):
+    def parse_statement(self) -> Statement:
+        if self.check_keyword("SELECT"):
+            return self.parse_query()
+        if self.check_keyword("CREATE"):
+            return self._create_table()
+        if self.check_keyword("INSERT"):
+            return self._insert()
+        if self.check_keyword("DEFINE"):
+            return self._define()
+        if self.check_keyword("DROP"):
+            return self._drop()
+        raise ParseError(
+            f"expected SELECT/CREATE/INSERT/DEFINE/DROP, found {self.current.value!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # CREATE TABLE name (col TYPE [ON 'domain'], ...)
+    # ------------------------------------------------------------------
+    def _create_table(self) -> CreateTable:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        name = self.expect(TokenType.IDENT).value
+        self.expect(TokenType.LPAREN)
+        columns = [self._column_def()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            columns.append(self._column_def())
+        self.expect(TokenType.RPAREN)
+        return CreateTable(name, tuple(columns))
+
+    def _column_def(self) -> ColumnDef:
+        name = self.expect(TokenType.IDENT).value
+        type_token = self.expect_keyword("NUMERIC", "LABEL")
+        domain = None
+        if self.accept_keyword("ON"):
+            domain = self.expect(TokenType.STRING).value
+        return ColumnDef(name, type_token.value, domain)
+
+    # ------------------------------------------------------------------
+    # INSERT INTO name VALUES (...), (...) [WITH D z]
+    # ------------------------------------------------------------------
+    def _insert(self) -> InsertInto:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect(TokenType.IDENT).value
+        self.expect_keyword("VALUES")
+        rows = [self._value_row()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            rows.append(self._value_row())
+        degree = None
+        if self.accept_keyword("WITH"):
+            self.expect_keyword("D")
+            degree = float(self.expect(TokenType.NUMBER).value)
+        return InsertInto(table, tuple(rows), degree)
+
+    def _value_row(self) -> Tuple[object, ...]:
+        self.expect(TokenType.LPAREN)
+        values: List[object] = [self._insert_value()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            values.append(self._insert_value())
+        self.expect(TokenType.RPAREN)
+        return tuple(values)
+
+    def _insert_value(self):
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return token.value
+        if token.type is TokenType.STRING:
+            self.advance()
+            return token.value
+        if token.type is TokenType.OPERATOR and token.value == "<":
+            raise ParseError("use '[a,b,c,d]' strings for fuzzy values")
+        raise ParseError(f"expected a value, found {token.value!r}")
+
+    # ------------------------------------------------------------------
+    # DEFINE 'term' [ON 'domain'] AS 'shape'
+    # ------------------------------------------------------------------
+    def _define(self) -> DefineTerm:
+        self.expect_keyword("DEFINE")
+        term = self.expect(TokenType.STRING).value
+        domain = None
+        if self.accept_keyword("ON"):
+            domain = self.expect(TokenType.STRING).value
+        self.expect_keyword("AS")
+        shape = self.expect(TokenType.STRING).value
+        return DefineTerm(term, shape, domain)
+
+    # ------------------------------------------------------------------
+    # DROP TABLE name
+    # ------------------------------------------------------------------
+    def _drop(self) -> DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        return DropTable(self.expect(TokenType.IDENT).value)

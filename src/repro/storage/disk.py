@@ -1,0 +1,83 @@
+"""A simulated disk: named files of pages, with I/O counted per access.
+
+The experiments only care about *how many* page transfers each algorithm
+performs under a given buffer budget, so the "disk" is an in-memory store
+that charges one read or write per page access into the active
+:class:`~repro.storage.stats.OperationStats` phase.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from .page import DEFAULT_PAGE_SIZE, Page
+from .stats import OperationStats
+
+
+class SimulatedDisk:
+    """Page-addressed storage with per-access accounting.
+
+    All page accesses charge into :attr:`stats`; an operator measuring its
+    own cost temporarily redirects accounting with :meth:`use_stats`::
+
+        with disk.use_stats(my_stats):
+            ...  # page reads/writes now count into my_stats
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, stats: Optional[OperationStats] = None):
+        self.page_size = page_size
+        self.stats = stats if stats is not None else OperationStats()
+        self._files: Dict[str, List[bytes]] = {}
+
+    @contextmanager
+    def use_stats(self, stats: OperationStats):
+        """Temporarily redirect I/O accounting to ``stats``."""
+        previous, self.stats = self.stats, stats
+        try:
+            yield stats
+        finally:
+            self.stats = previous
+
+    # ------------------------------------------------------------------
+    # File management (not charged as I/O)
+    # ------------------------------------------------------------------
+    def create(self, name: str) -> None:
+        if name in self._files:
+            raise FileExistsError(f"disk file {name!r} already exists")
+        self._files[name] = []
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    def n_pages(self, name: str) -> int:
+        return len(self._files[name])
+
+    def files(self) -> List[str]:
+        return sorted(self._files)
+
+    # ------------------------------------------------------------------
+    # Charged page I/O
+    # ------------------------------------------------------------------
+    def read_page(self, name: str, index: int) -> Page:
+        data = self._files[name][index]
+        self.stats.count_read()
+        return Page.from_bytes(data, self.page_size)
+
+    def write_page(self, name: str, index: int, page: Page) -> None:
+        pages = self._files[name]
+        data = page.to_bytes()
+        self.stats.count_write()
+        if index == len(pages):
+            pages.append(data)
+        else:
+            pages[index] = data
+
+    def append_page(self, name: str, page: Page) -> int:
+        """Write a new page at the end of the file; returns its index."""
+        index = len(self._files[name])
+        self.write_page(name, index, page)
+        return index

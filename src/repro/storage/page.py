@@ -1,0 +1,80 @@
+"""Fixed-size slotted pages of serialized tuple records.
+
+Records are stored back-to-back with a 2-byte length prefix; a 2-byte
+header holds the record count.  The default page size is the paper's 8 KB.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List
+
+_U16 = struct.Struct(">H")
+
+DEFAULT_PAGE_SIZE = 8 * 1024
+
+
+class PageFullError(Exception):
+    """Raised when a record does not fit into the remaining page space."""
+
+
+class Page:
+    """An in-memory page image holding serialized records."""
+
+    __slots__ = ("page_size", "_records", "_used")
+
+    HEADER_SIZE = 2
+    RECORD_OVERHEAD = 2
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        self.page_size = page_size
+        self._records: List[bytes] = []
+        self._used = self.HEADER_SIZE
+
+    @property
+    def free_space(self) -> int:
+        return self.page_size - self._used
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def fits(self, record: bytes) -> bool:
+        return len(record) + self.RECORD_OVERHEAD <= self.free_space
+
+    def append(self, record: bytes) -> None:
+        if not self.fits(record):
+            raise PageFullError(
+                f"record of {len(record)} bytes does not fit in {self.free_space} free bytes"
+            )
+        self._records.append(record)
+        self._used += len(record) + self.RECORD_OVERHEAD
+
+    def records(self) -> Iterator[bytes]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        parts = [_U16.pack(len(self._records))]
+        for record in self._records:
+            parts.append(_U16.pack(len(record)))
+            parts.append(record)
+        body = b"".join(parts)
+        return body + b"\x00" * (self.page_size - len(body))
+
+    @classmethod
+    def from_bytes(cls, data: bytes, page_size: int = DEFAULT_PAGE_SIZE) -> "Page":
+        page = cls(page_size)
+        (count,) = _U16.unpack_from(data, 0)
+        offset = cls.HEADER_SIZE
+        for _ in range(count):
+            (n,) = _U16.unpack_from(data, offset)
+            offset += 2
+            page._records.append(data[offset:offset + n])
+            page._used += n + cls.RECORD_OVERHEAD
+            offset += n
+        return page
+
+    def __repr__(self) -> str:
+        return f"Page({len(self._records)} records, {self.free_space} free)"

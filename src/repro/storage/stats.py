@@ -1,0 +1,133 @@
+"""Operation statistics: the events the paper's experiments measure.
+
+The experiments of Section 9 report response time, its CPU/IO split, and
+the fraction spent sorting (Table 3).  We therefore count the underlying
+events — page reads/writes, crisp comparisons, fuzzy predicate evaluations,
+tuple moves — per *phase* (sort / merge / join / scan), and let
+:class:`repro.storage.costs.CostModel` turn them into time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class Counters:
+    """Raw event counts for one phase of an operation."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    crisp_comparisons: int = 0
+    fuzzy_evaluations: int = 0
+    tuple_moves: int = 0
+
+    def merge(self, other: "Counters") -> None:
+        self.page_reads += other.page_reads
+        self.page_writes += other.page_writes
+        self.crisp_comparisons += other.crisp_comparisons
+        self.fuzzy_evaluations += other.fuzzy_evaluations
+        self.tuple_moves += other.tuple_moves
+
+    @property
+    def page_ios(self) -> int:
+        return self.page_reads + self.page_writes
+
+    def copy(self) -> "Counters":
+        return Counters(
+            self.page_reads,
+            self.page_writes,
+            self.crisp_comparisons,
+            self.fuzzy_evaluations,
+            self.tuple_moves,
+        )
+
+
+class OperationStats:
+    """Phase-structured counters for a whole query evaluation.
+
+    ``stats.phase("sort")`` returns the :class:`Counters` for that phase,
+    creating it on first use; :attr:`total` aggregates across phases.
+    Operators record into whichever phase is *current* (set via
+    :meth:`enter_phase`, typically through the context-manager form).
+    """
+
+    DEFAULT_PHASE = "work"
+
+    def __init__(self):
+        self.phases: Dict[str, Counters] = {}
+        self._current = self.DEFAULT_PHASE
+
+    # ------------------------------------------------------------------
+    # Phase management
+    # ------------------------------------------------------------------
+    def phase(self, name: str) -> Counters:
+        if name not in self.phases:
+            self.phases[name] = Counters()
+        return self.phases[name]
+
+    @property
+    def current(self) -> Counters:
+        return self.phase(self._current)
+
+    def enter_phase(self, name: str) -> "_PhaseContext":
+        """Route subsequent counts to ``name`` (context manager)."""
+        return _PhaseContext(self, name)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def count_read(self, pages: int = 1) -> None:
+        self.current.page_reads += pages
+
+    def count_write(self, pages: int = 1) -> None:
+        self.current.page_writes += pages
+
+    def count_crisp(self, n: int = 1) -> None:
+        self.current.crisp_comparisons += n
+
+    def count_fuzzy(self, n: int = 1) -> None:
+        self.current.fuzzy_evaluations += n
+
+    def count_move(self, n: int = 1) -> None:
+        self.current.tuple_moves += n
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> Counters:
+        agg = Counters()
+        for counters in self.phases.values():
+            agg.merge(counters)
+        return agg
+
+    def merge(self, other: "OperationStats") -> None:
+        for name, counters in other.phases.items():
+            self.phase(name).merge(counters)
+
+    def items(self) -> Iterator:
+        return iter(self.phases.items())
+
+    def __repr__(self) -> str:
+        t = self.total
+        return (
+            f"OperationStats(reads={t.page_reads}, writes={t.page_writes}, "
+            f"crisp={t.crisp_comparisons}, fuzzy={t.fuzzy_evaluations})"
+        )
+
+
+class _PhaseContext:
+    def __init__(self, stats: OperationStats, name: str):
+        self._stats = stats
+        self._name = name
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> OperationStats:
+        self._previous = self._stats._current
+        self._stats._current = self._name
+        return self._stats
+
+    def __exit__(self, *exc) -> None:
+        self._stats._current = self._previous

@@ -1,0 +1,166 @@
+"""Hypothesis strategies for property-testing fuzzy-database code.
+
+Downstream users extending this library (new operators, new rewrites, new
+join algorithms) can reuse the same generators the internal test suite is
+built on::
+
+    from hypothesis import given
+    from repro.testing import fuzzy_relations, trapezoids
+
+    @given(fuzzy_relations(ncolumns=2))
+    def test_my_operator(relation):
+        ...
+
+The distribution strategies deliberately mix crisp numbers, overlapping
+trapezoids, and discrete distributions around shared anchors so that
+partial matches, ties, duplicates, and empty groups occur often — the
+regimes where fuzzy-set semantics bugs hide.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+try:
+    from hypothesis import strategies as st
+except ImportError as exc:  # pragma: no cover - test-time dependency
+    raise ImportError(
+        "repro.testing requires hypothesis (install the [test] extra)"
+    ) from exc
+
+from .data.relation import FuzzyRelation
+from .data.schema import Schema
+from .data.tuples import FuzzyTuple
+from .fuzzy.crisp import CrispLabel, CrispNumber
+from .fuzzy.discrete import DiscreteDistribution
+from .fuzzy.trapezoid import TrapezoidalNumber
+
+#: Degrees drawn for generated tuples — a small set keeps ties frequent.
+DEFAULT_DEGREES = (0.2, 0.5, 0.8, 1.0)
+
+
+@st.composite
+def trapezoids(draw, min_value: float = -50.0, max_value: float = 50.0,
+               min_ramp: float = 0.0):
+    """Arbitrary trapezoids with ``a <= b <= c <= d`` in the given range.
+
+    ``min_ramp > 0`` forces each nonzero ramp to be at least that wide —
+    useful when a grid-based oracle must observe the suprema.
+    """
+    xs = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=min_value, max_value=max_value, allow_nan=False),
+                min_size=4,
+                max_size=4,
+            )
+        )
+    )
+    a, b, c, d = xs
+    if min_ramp > 0.0:
+        if b - a < min_ramp:
+            b = a
+        if d - c < min_ramp:
+            c = d
+    return TrapezoidalNumber(a, b, c, d)
+
+
+@st.composite
+def discrete_distributions(draw, min_value: float = -50.0, max_value: float = 50.0,
+                           max_elements: int = 4):
+    items = draw(
+        st.dictionaries(
+            st.floats(min_value=min_value, max_value=max_value, allow_nan=False),
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=1,
+            max_size=max_elements,
+        )
+    )
+    return DiscreteDistribution(items)
+
+
+@st.composite
+def numeric_distributions(draw, min_value: float = -50.0, max_value: float = 50.0):
+    """A crisp number, a trapezoid, or a discrete distribution."""
+    kind = draw(st.sampled_from(["crisp", "trap", "disc"]))
+    if kind == "crisp":
+        return CrispNumber(
+            draw(st.floats(min_value=min_value, max_value=max_value, allow_nan=False))
+        )
+    if kind == "trap":
+        return draw(trapezoids(min_value=min_value, max_value=max_value))
+    return draw(discrete_distributions(min_value=min_value, max_value=max_value))
+
+
+def anchored_value_pool(anchors: Sequence[float] = (0.0, 5.0, 10.0)) -> List:
+    """A small pool of deliberately overlapping values around anchors.
+
+    Sampling attribute values from a shared pool (rather than fresh random
+    floats) is what makes joins, duplicates, and exact ties common in
+    generated relations.
+    """
+    pool: List = []
+    for anchor in anchors:
+        pool.append(CrispNumber(anchor))
+        pool.append(TrapezoidalNumber(anchor - 2, anchor - 1, anchor + 1, anchor + 2))
+        pool.append(TrapezoidalNumber(anchor - 4, anchor, anchor, anchor + 4))
+    if len(anchors) >= 2:
+        pool.append(
+            DiscreteDistribution({float(anchors[0]): 1.0, float(anchors[1]): 0.7})
+        )
+    return pool
+
+
+@st.composite
+def fuzzy_relations(
+    draw,
+    schema: Optional[Schema] = None,
+    min_size: int = 0,
+    max_size: int = 6,
+    value_pool: Optional[Sequence] = None,
+    degrees: Sequence[float] = DEFAULT_DEGREES,
+    key_attribute: bool = True,
+):
+    """Random fuzzy relations.
+
+    By default the schema is ``(K, A1, ..)`` with a crisp running key in
+    ``K`` (so tuples stay distinct) and pool-sampled values elsewhere.
+    Pass your own ``schema`` to control arity; the first attribute still
+    receives the key when ``key_attribute`` is True.
+    """
+    if schema is None:
+        schema = Schema(["K", "U", "V"])
+    pool = list(value_pool) if value_pool is not None else anchored_value_pool()
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    relation = FuzzyRelation(schema)
+    for i in range(n):
+        values = []
+        for position in range(len(schema)):
+            if key_attribute and position == 0:
+                values.append(CrispNumber(i))
+            else:
+                values.append(draw(st.sampled_from(pool)))
+        relation.add(FuzzyTuple(values, draw(st.sampled_from(list(degrees)))))
+    return relation
+
+
+@st.composite
+def labeled_relations(draw, labels: Sequence[str] = ("a", "b", "c"),
+                      min_size: int = 0, max_size: int = 6):
+    """Relations over a (KEY, TAG) schema with a symbolic second column."""
+    from .data.schema import Attribute
+    from .data.types import AttributeType
+
+    schema = Schema(
+        [Attribute("KEY"), Attribute("TAG", AttributeType.LABEL)]
+    )
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    relation = FuzzyRelation(schema)
+    for i in range(n):
+        relation.add(
+            FuzzyTuple(
+                [CrispNumber(i), CrispLabel(draw(st.sampled_from(list(labels))))],
+                draw(st.sampled_from(DEFAULT_DEGREES)),
+            )
+        )
+    return relation

@@ -1,0 +1,24 @@
+"""The paper's contribution: unnesting transformations for Fuzzy SQL."""
+
+from .chain import unnest_chain
+from .common import UnnestError, qualify
+from .pipeline import Step, UnnestedPlan
+from .rewriter import execute_unnested, unnest
+from .type_ja import unnest_aggregate
+from .type_jall import unnest_all
+from .type_jx import unnest_not_in
+from .type_n import unnest_in
+
+__all__ = [
+    "unnest",
+    "execute_unnested",
+    "UnnestedPlan",
+    "Step",
+    "UnnestError",
+    "qualify",
+    "unnest_in",
+    "unnest_not_in",
+    "unnest_aggregate",
+    "unnest_all",
+    "unnest_chain",
+]

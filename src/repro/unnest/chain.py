@@ -1,0 +1,62 @@
+"""Unnesting K-level chain (linear) queries (Section 8, Theorem 8.1).
+
+A chain query has one relation per block, blocks linked by ``IN``, and
+correlation predicates that may reference *any* outer block.  The flat
+form joins all K relations at once:
+
+    SELECT R1.X1 FROM R1, ..., RK
+    WHERE  AND_i p_i(R_i)
+      AND  AND_{i,j} p_ij(R_i, R_j)
+      AND  AND_i R_i.Y_i = R_{i+1}.X_{i+1}
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..data.catalog import Catalog
+from ..fuzzy.compare import Op
+from ..sql.ast import Comparison, InPredicate, SelectQuery, TableRef
+from .common import (
+    UnnestError,
+    deconflict,
+    qualify,
+    single_select_column,
+    split_nesting_predicate,
+)
+from .pipeline import UnnestedPlan
+
+
+def unnest_chain(query: SelectQuery, catalog: Catalog, nesting_type: str = "chain") -> UnnestedPlan:
+    """Flatten an arbitrarily deep linear query into a single K-way join."""
+    q = qualify(query, catalog)
+    taken = [t.binding for t in q.from_tables]
+    tables: List[TableRef] = list(q.from_tables)
+    predicates: List = []
+    block = q
+    while True:
+        try:
+            nesting, rest = split_nesting_predicate(block)
+        except UnnestError:
+            predicates.extend(block.where)
+            break
+        if not isinstance(nesting, InPredicate) or nesting.negated:
+            raise UnnestError("chain blocks must be linked by plain IN predicates")
+        predicates.extend(rest)
+        inner = nesting.query
+        if inner.group_by or inner.distinct or inner.with_threshold is not None:
+            raise UnnestError("chain blocks must be plain selects")
+        inner, inner_tables = deconflict(inner, taken)
+        tables.extend(inner_tables)
+        link = Comparison(nesting.column, Op.EQ, single_select_column(inner))
+        predicates.append(link)
+        block = inner
+
+    flat = SelectQuery(
+        select=q.select,
+        from_tables=tuple(tables),
+        where=tuple(predicates),
+        with_threshold=q.with_threshold,
+        distinct=q.distinct,
+    )
+    return UnnestedPlan(final=flat, nesting_type=nesting_type)

@@ -1,0 +1,67 @@
+"""Unnested query plans: temp-relation steps plus a final flat query.
+
+The paper's rewrites produce either a single flat query (types N and J) or
+a short pipeline: one or two temporary relations built by flat queries,
+then a trivial final projection (types JX, JA, JALL).  An
+:class:`UnnestedPlan` captures that shape; executing one never evaluates a
+subquery per outer tuple — which is the whole point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Union
+
+from ..data.catalog import Catalog
+from ..data.relation import FuzzyRelation
+from ..sql.ast import SelectQuery
+
+StepBody = Union[SelectQuery, Callable[[Catalog, "EvaluatorFactory"], FuzzyRelation]]
+EvaluatorFactory = Callable[[Catalog], object]  # -> an object with .evaluate()
+
+
+@dataclass
+class Step:
+    """One pipeline stage producing a temporary relation.
+
+    ``body`` is either a flat :class:`SelectQuery` or a callable for the
+    few constructs plain SELECT syntax cannot express (degree resets,
+    left outer join with IF-THEN-ELSE, empty-inner fallbacks).
+    ``description`` feeds ``explain()``.
+    """
+
+    name: str
+    body: StepBody
+    description: str = ""
+
+    def run(self, catalog: Catalog, make_evaluator: EvaluatorFactory) -> FuzzyRelation:
+        if isinstance(self.body, SelectQuery):
+            return make_evaluator(catalog).evaluate(self.body)
+        return self.body(catalog, make_evaluator)
+
+
+@dataclass
+class UnnestedPlan:
+    """A sequence of temp-relation steps and a final flat query."""
+
+    final: StepBody
+    steps: List[Step] = field(default_factory=list)
+    nesting_type: str = ""
+
+    def execute(self, catalog: Catalog, make_evaluator: EvaluatorFactory) -> FuzzyRelation:
+        """Run all steps against a scratch copy of the catalog."""
+        scratch = catalog.copy()
+        for step in self.steps:
+            scratch.register(step.name, step.run(scratch, make_evaluator))
+        if isinstance(self.final, SelectQuery):
+            return make_evaluator(scratch).evaluate(self.final)
+        return self.final(scratch, make_evaluator)
+
+    def explain(self) -> str:
+        lines = [f"unnested plan ({self.nesting_type or 'flat'})"]
+        for step in self.steps:
+            body = str(step.body) if isinstance(step.body, SelectQuery) else step.description
+            lines.append(f"  {step.name} := {body}")
+        final = str(self.final) if isinstance(self.final, SelectQuery) else "<procedural step>"
+        lines.append(f"  answer := {final}")
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Unnesting types N and J (Section 4) and the SOME/ANY quantifier.
+
+``R.Y IN (SELECT S.Z FROM S WHERE p2 [AND corr])`` becomes a flat join
+
+    SELECT R.X FROM R, S WHERE p1 AND R.Y = S.Z AND p2 [AND corr]
+
+(Theorems 4.1 and 4.2); a quantified ``R.Y op SOME (...)`` unnests the
+same way with ``op`` as the join operator, since
+``d(v op SOME T) = max_z min(mu_T(z), d(v op z))`` has exactly the shape
+of the IN-membership degree.
+"""
+
+from __future__ import annotations
+
+from ..data.catalog import Catalog
+from ..fuzzy.compare import Op
+from ..sql.ast import Comparison, InPredicate, QuantifiedComparison, SelectQuery
+from .common import (
+    UnnestError,
+    deconflict,
+    qualify,
+    single_select_column,
+    split_nesting_predicate,
+)
+from .pipeline import UnnestedPlan
+
+
+def unnest_in(query: SelectQuery, catalog: Catalog, nesting_type: str = "N/J") -> UnnestedPlan:
+    """Flatten an (optionally correlated) IN or SOME/ANY nesting."""
+    q = qualify(query, catalog)
+    nesting, rest = split_nesting_predicate(q)
+    if isinstance(nesting, InPredicate):
+        if nesting.negated:
+            raise UnnestError("NOT IN is handled by the JX rewrite")
+        op = Op.EQ
+    elif isinstance(nesting, QuantifiedComparison):
+        if nesting.quantifier not in ("SOME", "ANY"):
+            raise UnnestError("ALL is handled by the JALL rewrite")
+        op = nesting.op
+    else:
+        raise UnnestError(f"not an IN/SOME nesting: {nesting!r}")
+
+    inner = nesting.query
+    _check_plain_inner(inner)
+    taken = [t.binding for t in q.from_tables]
+    inner, inner_tables = deconflict(inner, taken)
+    z_column = single_select_column(inner)
+    join_predicate = Comparison(nesting.column, op, z_column)
+
+    flat = SelectQuery(
+        select=q.select,
+        from_tables=q.from_tables + tuple(inner_tables),
+        where=tuple(rest) + (join_predicate,) + inner.where,
+        with_threshold=q.with_threshold,
+        distinct=q.distinct,
+    )
+    return UnnestedPlan(final=flat, nesting_type=nesting_type)
+
+
+def _check_plain_inner(inner: SelectQuery) -> None:
+    if inner.group_by or inner.distinct:
+        raise UnnestError("inner block must be a plain select")
+    if inner.with_threshold is not None:
+        raise UnnestError("an inner WITH threshold is not unnestable")
+    single_select_column(inner)

@@ -1,0 +1,17 @@
+"""Workloads: synthetic experiment data and the paper's worked examples."""
+
+from .generator import JOIN_SCHEMA, JoinWorkload, WorkloadSpec, build_workload, generate_tuples
+from .paper_data import CLIENT_SCHEMA, QUERY_1, QUERY_2, QUERY_3, dating_catalog
+
+__all__ = [
+    "WorkloadSpec",
+    "JoinWorkload",
+    "build_workload",
+    "generate_tuples",
+    "JOIN_SCHEMA",
+    "dating_catalog",
+    "CLIENT_SCHEMA",
+    "QUERY_1",
+    "QUERY_2",
+    "QUERY_3",
+]

@@ -1,0 +1,116 @@
+"""Synthetic workloads for the Section 9 experiments.
+
+"Tuples of the relations are randomly generated and a tuple of one relation
+joins, on the average, C tuples of the other relation.  [...] both the
+intervals associated with the join attribute values and the average numbers
+of joining tuples are kept small" — data may be imprecise but not vague.
+
+We realize the controlled fan-out by drawing join values around
+``n / C`` well-separated *anchor* points: tuples sharing an anchor join
+(their supports overlap), tuples of different anchors never do, so each
+R-tuple joins ``n_S / n_anchors = C`` S-tuples on average.  A configurable
+fraction of values is fuzzy (narrow trapezoids around the anchor); the rest
+are crisp.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..data.schema import Attribute, Schema
+from ..data.tuples import FuzzyTuple
+from ..fuzzy.crisp import CrispNumber
+from ..fuzzy.trapezoid import TrapezoidalNumber
+from ..storage.disk import SimulatedDisk
+from ..storage.heap import HeapFile
+from ..storage.stats import OperationStats
+
+#: Join-attribute schema used by all experiments: a tuple id plus the
+#: (possibly fuzzy) join attribute X.
+JOIN_SCHEMA = Schema([Attribute("ID", domain="ID"), Attribute("X", domain="X")])
+
+#: Distance between anchors; supports never span more than half of this,
+#: so only same-anchor tuples can join.
+ANCHOR_SPACING = 100.0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic relation pair.
+
+    ``n_outer``/``n_inner`` — tuple counts; ``join_fanout`` — the paper's C;
+    ``tuple_size`` — fixed record width in bytes (the paper's 128..2048);
+    ``fuzzy_fraction`` — share of fuzzy (vs crisp) join values;
+    ``max_width`` — half-width bound of the fuzzy supports (small = the
+    paper's "imprecise but not very vague" regime).
+    """
+
+    n_outer: int
+    n_inner: int
+    join_fanout: int = 7
+    tuple_size: int = 128
+    fuzzy_fraction: float = 0.5
+    max_width: float = 4.0
+    seed: int = 1995
+
+    @property
+    def n_anchors(self) -> int:
+        return max(1, self.n_inner // max(1, self.join_fanout))
+
+
+def _join_value(rng: random.Random, anchor_index: int, spec: WorkloadSpec):
+    """A crisp or narrow-trapezoid value around the anchor's center.
+
+    Crisp values sit exactly on the center; fuzzy values jitter by at most
+    1.0 but keep supports of at least 2.0, so every same-anchor pair
+    overlaps (joins with positive degree) and no cross-anchor pair does —
+    the construction that pins the average fan-out to C.
+    """
+    center = anchor_index * ANCHOR_SPACING
+    if rng.random() >= spec.fuzzy_fraction:
+        return CrispNumber(center)
+    point = center + rng.uniform(-1.0, 1.0)
+    support = rng.uniform(2.0, max(2.5, spec.max_width))
+    core = rng.uniform(0.0, support / 2.0)
+    return TrapezoidalNumber(point - support, point - core, point + core, point + support)
+
+
+def generate_tuples(spec: WorkloadSpec, n: int, rng: random.Random, id_base: int) -> List[FuzzyTuple]:
+    """``n`` tuples with anchored join values and degrees in (0.5, 1]."""
+    out: List[FuzzyTuple] = []
+    for i in range(n):
+        anchor = rng.randrange(spec.n_anchors)
+        value = _join_value(rng, anchor, spec)
+        degree = rng.uniform(0.5, 1.0)
+        out.append(FuzzyTuple([CrispNumber(id_base + i), value], degree))
+    return out
+
+
+@dataclass
+class JoinWorkload:
+    """A materialized R/S pair on a simulated disk."""
+
+    spec: WorkloadSpec
+    disk: SimulatedDisk
+    outer: HeapFile
+    inner: HeapFile
+
+
+def build_workload(
+    spec: WorkloadSpec,
+    page_size: int = 8 * 1024,
+    disk: Optional[SimulatedDisk] = None,
+) -> JoinWorkload:
+    """Generate and materialize a workload (loading I/O is not charged)."""
+    rng = random.Random(spec.seed)
+    if disk is None:
+        disk = SimulatedDisk(page_size=page_size)
+    scratch = OperationStats()  # swallow the load-time I/O
+    with disk.use_stats(scratch):
+        outer = HeapFile("R", JOIN_SCHEMA, disk, fixed_tuple_size=spec.tuple_size)
+        outer.load(generate_tuples(spec, spec.n_outer, rng, id_base=0))
+        inner = HeapFile("S", JOIN_SCHEMA, disk, fixed_tuple_size=spec.tuple_size)
+        inner.load(generate_tuples(spec, spec.n_inner, rng, id_base=1_000_000))
+    return JoinWorkload(spec=spec, disk=disk, outer=outer, inner=inner)

@@ -1,0 +1,79 @@
+"""The paper's worked dating-service database (Example 4.1 / Fig. 2).
+
+Relations ``F`` (female clients) and ``M`` (male clients), with the
+vocabulary of :func:`repro.fuzzy.linguistic.paper_vocabulary`.  Used by
+the quickstart example and by the tests that reproduce Example 4.1's
+temporary relation T and answer relation.
+"""
+
+from __future__ import annotations
+
+from ..data.catalog import Catalog
+from ..data.relation import FuzzyRelation
+from ..data.schema import Attribute, Schema
+from ..data.types import AttributeType
+from ..fuzzy.linguistic import paper_vocabulary
+
+CLIENT_SCHEMA = Schema(
+    [
+        Attribute("ID", AttributeType.NUMERIC, domain="ID"),
+        Attribute("NAME", AttributeType.LABEL, domain="NAME"),
+        Attribute("AGE", AttributeType.NUMERIC, domain="AGE"),
+        Attribute("INCOME", AttributeType.NUMERIC, domain="INCOME"),
+    ]
+)
+
+F_ROWS = [
+    (101, "Ann", "about 35", "about 60k", 1.0),
+    (102, "Ann", "medium young", "medium high", 1.0),
+    (103, "Betty", "middle age", "high", 1.0),
+    (104, "Cathy", "about 50", "low", 1.0),
+]
+
+M_ROWS = [
+    (201, "Allen", 24, "about 25k", 1.0),
+    (202, "Allen", "about 50", "about 40k", 1.0),
+    (203, "Bill", "middle age", "high", 1.0),
+    (204, "Carl", "about 29", "medium low", 1.0),
+]
+
+
+def dating_catalog() -> Catalog:
+    """A catalog holding the paper's F and M relations and vocabulary."""
+    vocabulary = paper_vocabulary()
+    catalog = Catalog(vocabulary)
+    catalog.register(
+        "F", FuzzyRelation.from_rows(CLIENT_SCHEMA, F_ROWS, vocabulary)
+    )
+    catalog.register(
+        "M", FuzzyRelation.from_rows(CLIENT_SCHEMA, M_ROWS, vocabulary)
+    )
+    return catalog
+
+
+#: Query 2 of the paper (type N): medium-young females with a middle-aged
+#: male's income.
+QUERY_2 = """
+SELECT F.NAME
+FROM F
+WHERE F.AGE = 'medium young' AND F.INCOME IN
+    (SELECT M.INCOME
+     FROM M
+     WHERE M.AGE = 'middle age')
+"""
+
+#: Query 3 of the paper: the unnested (flat) form of Query 2.
+QUERY_3 = """
+SELECT F.NAME
+FROM F, M
+WHERE F.AGE = 'medium young' AND
+      M.AGE = 'middle age' AND
+      F.INCOME = M.INCOME
+"""
+
+#: Query 1 of the paper (flat): same-aged pairs with a well-paid male.
+QUERY_1 = """
+SELECT F.NAME, M.NAME
+FROM F, M
+WHERE F.AGE = M.AGE AND M.INCOME > 'medium high'
+"""

@@ -1,0 +1,120 @@
+"""Tests for fuzzy aggregate functions (Section 6 semantics)."""
+
+import pytest
+
+from repro.engine.aggregates import DegreePolicy, aggregate_degrees, apply_aggregate
+from repro.fuzzy import CrispNumber, TrapezoidalNumber
+
+N = CrispNumber
+T = TrapezoidalNumber
+
+
+class TestCount:
+    def test_counts_distinct_values(self):
+        members = [(N(1), 0.5), (N(2), 0.9), (N(3), 0.1)]
+        value, degree = apply_aggregate("COUNT", members)
+        assert value == N(3)
+        assert degree == 1.0
+
+    def test_empty_is_zero(self):
+        value, degree = apply_aggregate("COUNT", [])
+        assert value == N(0)
+        assert degree == 1.0
+
+
+class TestSum:
+    def test_fuzzy_addition(self):
+        members = [(T(1, 2, 3, 4), 1.0), (T(10, 20, 30, 40), 0.5)]
+        value, _ = apply_aggregate("SUM", members)
+        assert (value.a, value.b, value.c, value.d) == (11, 22, 33, 44)
+
+    def test_crisp_sum(self):
+        value, _ = apply_aggregate("SUM", [(N(2), 1.0), (N(3), 1.0)])
+        assert value.defuzzify() == 5.0
+
+    def test_empty_is_null(self):
+        assert apply_aggregate("SUM", []) is None
+
+
+class TestAvg:
+    def test_fuzzy_average(self):
+        members = [(T(0, 0, 0, 0), 1.0), (T(10, 10, 10, 10), 1.0)]
+        value, _ = apply_aggregate("AVG", members)
+        assert value.defuzzify() == pytest.approx(5.0)
+
+    def test_avg_of_one(self):
+        value, _ = apply_aggregate("AVG", [(T(1, 2, 3, 4), 1.0)])
+        assert (value.a, value.b, value.c, value.d) == (1, 2, 3, 4)
+
+    def test_empty_is_null(self):
+        assert apply_aggregate("AVG", []) is None
+
+
+class TestMinMax:
+    def test_defuzzified_ordering(self):
+        # Centers of 1-cuts: 2.5 and 20; MIN picks the first value whole.
+        low = T(1, 2, 3, 9)
+        high = T(0, 15, 25, 30)
+        members = [(high, 1.0), (low, 0.5)]
+        value, _ = apply_aggregate("MIN", members)
+        assert value == low
+        value, _ = apply_aggregate("MAX", members)
+        assert value == high
+
+    def test_returns_original_distribution(self):
+        t = T(1, 2, 3, 4)
+        value, _ = apply_aggregate("MAX", [(t, 0.8)])
+        assert value is t
+
+    def test_tie_break_is_order_independent(self):
+        """Distinct values sharing a defuzzified center must yield the same
+        MIN/MAX regardless of member enumeration order (regression: the
+        pipelined and naive evaluators disagreed on ties)."""
+        a = T(3, 5, 5, 7)   # center 5
+        b = N(5)            # center 5
+        for func in ("MIN", "MAX"):
+            v1, _ = apply_aggregate(func, [(a, 1.0), (b, 1.0)])
+            v2, _ = apply_aggregate(func, [(b, 1.0), (a, 1.0)])
+            assert v1 == v2
+
+    def test_empty_is_null(self):
+        assert apply_aggregate("MIN", []) is None
+
+
+class TestDegreePolicies:
+    MEMBERS = [(N(1), 0.4), (N(2), 0.8)]
+
+    def test_one(self):
+        _, degree = apply_aggregate("MAX", self.MEMBERS, DegreePolicy.ONE)
+        assert degree == 1.0
+
+    def test_average(self):
+        _, degree = apply_aggregate("MAX", self.MEMBERS, DegreePolicy.AVERAGE)
+        assert degree == pytest.approx(0.6)
+
+    def test_weighted(self):
+        _, degree = apply_aggregate("MAX", self.MEMBERS, DegreePolicy.WEIGHTED)
+        assert degree == pytest.approx((0.16 + 0.64) / 1.2)
+
+    def test_unknown_function(self):
+        with pytest.raises(ValueError):
+            apply_aggregate("MEDIAN", self.MEMBERS)
+
+
+class TestDegreeAggregates:
+    def test_min(self):
+        assert aggregate_degrees("MIN", [0.4, 0.9, 0.6]) == 0.4
+
+    def test_max(self):
+        assert aggregate_degrees("MAX", [0.4, 0.9, 0.6]) == 0.9
+
+    def test_avg(self):
+        assert aggregate_degrees("AVG", [0.4, 0.8]) == pytest.approx(0.6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_degrees("MIN", [])
+
+    def test_sum_of_degrees_unsupported(self):
+        with pytest.raises(ValueError):
+            aggregate_degrees("SUM", [0.5])

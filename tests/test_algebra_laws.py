@@ -1,0 +1,158 @@
+"""Property tests: algebraic laws of the fuzzy relational algebra.
+
+These are the composition properties Section 2 claims for the
+possibility-only measure — selection pushdown, commutativity, Zadeh
+lattice laws on degrees — checked on random fuzzy relations.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data import FuzzyRelation, FuzzyTuple, Schema
+from repro.data import algebra
+from repro.fuzzy import CrispNumber, DiscreteDistribution, Op, TrapezoidalNumber
+
+N = CrispNumber
+T = TrapezoidalNumber
+SCHEMA = Schema(["K", "V"])
+
+POOL = [
+    N(0),
+    N(5),
+    T(0, 1, 2, 4),
+    T(3, 5, 5, 7),
+    T(0, 2, 8, 10),
+    DiscreteDistribution({0.0: 1.0, 5.0: 0.7}),
+]
+
+
+@st.composite
+def relations(draw, max_size=5):
+    n = draw(st.integers(min_value=0, max_value=max_size))
+    rel = FuzzyRelation(SCHEMA)
+    for i in range(n):
+        rel.add(
+            FuzzyTuple(
+                [N(i), draw(st.sampled_from(POOL))],
+                draw(st.sampled_from([0.25, 0.5, 0.75, 1.0])),
+            )
+        )
+    return rel
+
+
+SETTINGS = dict(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestLatticeLaws:
+    @settings(**SETTINGS)
+    @given(relations(), relations())
+    def test_union_commutative(self, r, s):
+        assert algebra.union(r, s).same_as(algebra.union(s, r))
+
+    @settings(**SETTINGS)
+    @given(relations(), relations())
+    def test_intersect_commutative(self, r, s):
+        assert algebra.intersect(r, s).same_as(algebra.intersect(s, r))
+
+    @settings(**SETTINGS)
+    @given(relations(), relations(), relations())
+    def test_union_associative(self, r, s, t):
+        lhs = algebra.union(algebra.union(r, s), t)
+        rhs = algebra.union(r, algebra.union(s, t))
+        assert lhs.same_as(rhs)
+
+    @settings(**SETTINGS)
+    @given(relations())
+    def test_union_idempotent(self, r):
+        assert algebra.union(r, r).same_as(r)
+
+    @settings(**SETTINGS)
+    @given(relations())
+    def test_intersect_idempotent(self, r):
+        assert algebra.intersect(r, r).same_as(r)
+
+    @settings(**SETTINGS)
+    @given(relations(), relations())
+    def test_intersect_below_union(self, r, s):
+        inter = algebra.intersect(r, s)
+        uni = algebra.union(r, s)
+        for t in inter:
+            assert t.degree <= uni.degree_of(t.values) + 1e-12
+
+    @settings(**SETTINGS)
+    @given(relations())
+    def test_difference_with_self_is_complement_bounded(self, r):
+        # mu(t) in R - R is min(mu, 1 - mu) <= 0.5.
+        out = algebra.difference(r, r)
+        for t in out:
+            assert t.degree <= 0.5 + 1e-12
+
+
+class TestSelectionLaws:
+    PRED = staticmethod(lambda t: 1.0 if t[0].value < 2 else 0.0)
+
+    @settings(**SETTINGS)
+    @given(relations())
+    def test_selection_idempotent(self, r):
+        once = algebra.select(r, self.PRED)
+        twice = algebra.select(once, self.PRED)
+        assert once.same_as(twice)
+
+    @settings(**SETTINGS)
+    @given(relations())
+    def test_selection_commutes(self, r):
+        p1 = lambda t: 0.6
+        p2 = lambda t: 0.8 if t[0].value % 2 == 0 else 0.2
+        lhs = algebra.select(algebra.select(r, p1), p2)
+        rhs = algebra.select(algebra.select(r, p2), p1)
+        assert lhs.same_as(rhs)
+
+    @settings(**SETTINGS)
+    @given(relations(), relations())
+    def test_selection_pushdown_through_join(self, r, s):
+        """sigma_p(R join S) == sigma_p(R) join S for p over R's columns."""
+        joined_then_selected = algebra.select(
+            algebra.join(r, "V", Op.EQ, s, "V"),
+            lambda t: 1.0 if t[0].value < 2 else 0.3,
+        )
+        selected_then_joined = algebra.join(
+            algebra.select(r, lambda t: 1.0 if t[0].value < 2 else 0.3),
+            "V",
+            Op.EQ,
+            s,
+            "V",
+        )
+        assert joined_then_selected.same_as(selected_then_joined, 1e-9)
+
+    @settings(**SETTINGS)
+    @given(relations(), relations())
+    def test_join_commutative_up_to_column_order(self, r, s):
+        rs = algebra.join(r, "V", Op.EQ, s, "V")
+        sr = algebra.join(s, "V", Op.EQ, r, "V")
+        flipped = {
+            (t[2].key(), t[3].key(), t[0].key(), t[1].key()): t.degree for t in sr
+        }
+        original = {tuple(v.key() for v in t.values): t.degree for t in rs}
+        assert original == pytest.approx(flipped)
+
+
+class TestProjectionLaws:
+    @settings(**SETTINGS)
+    @given(relations())
+    def test_projection_degree_is_max_over_group(self, r):
+        projected = algebra.project(r, ["V"])
+        for t in projected:
+            contributors = [
+                u.degree for u in r if u[1].key() == t[0].key()
+            ]
+            assert t.degree == max(contributors)
+
+    @settings(**SETTINGS)
+    @given(relations())
+    def test_alpha_cut_monotone(self, r):
+        low = algebra.alpha_cut(r, 0.3)
+        high = algebra.alpha_cut(r, 0.8)
+        # Every tuple surviving the high cut survives the low cut.
+        for t in high:
+            assert low.degree_of(t.values) == 1.0

@@ -1,0 +1,151 @@
+"""Tests for fuzzy arithmetic on 0-cuts and 1-cuts (Section 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy import arithmetic
+from repro.fuzzy.crisp import CrispLabel, CrispNumber
+from repro.fuzzy.discrete import DiscreteDistribution
+from repro.fuzzy.trapezoid import TrapezoidalNumber
+
+T = TrapezoidalNumber
+N = CrispNumber
+
+
+@st.composite
+def trapezoids(draw):
+    xs = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+                min_size=4,
+                max_size=4,
+            )
+        )
+    )
+    return T(*xs)
+
+
+class TestAddition:
+    def test_paper_example(self):
+        # 0-cuts add end to end, 1-cuts add end to end.
+        x = T(1, 2, 3, 4)
+        y = T(10, 20, 30, 40)
+        z = arithmetic.add(x, y)
+        assert (z.a, z.b, z.c, z.d) == (11, 22, 33, 44)
+
+    def test_crisp_shifts(self):
+        z = arithmetic.add(T(1, 2, 3, 4), N(10))
+        assert (z.a, z.b, z.c, z.d) == (11, 12, 13, 14)
+
+    def test_crisp_crisp(self):
+        z = arithmetic.add(N(2), N(3))
+        assert z.is_crisp
+        assert z.a == 5
+
+    @settings(max_examples=80, deadline=None)
+    @given(trapezoids(), trapezoids())
+    def test_commutative(self, x, y):
+        z1 = arithmetic.add(x, y)
+        z2 = arithmetic.add(y, x)
+        assert (z1.a, z1.b, z1.c, z1.d) == pytest.approx((z2.a, z2.b, z2.c, z2.d))
+
+    @settings(max_examples=80, deadline=None)
+    @given(trapezoids(), trapezoids())
+    def test_valid_trapezoid(self, x, y):
+        z = arithmetic.add(x, y)
+        assert z.a <= z.b <= z.c <= z.d
+
+
+class TestSubtraction:
+    def test_cuts(self):
+        x = T(10, 20, 30, 40)
+        y = T(1, 2, 3, 4)
+        z = arithmetic.subtract(x, y)
+        assert (z.a, z.b, z.c, z.d) == (6, 17, 28, 39)
+
+    def test_self_subtraction_contains_zero(self):
+        x = T(1, 2, 3, 4)
+        z = arithmetic.subtract(x, x)
+        assert z.a <= 0 <= z.d
+        assert z.membership(0) == 1.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(trapezoids(), trapezoids())
+    def test_valid_trapezoid(self, x, y):
+        z = arithmetic.subtract(x, y)
+        assert z.a <= z.b <= z.c <= z.d
+
+
+class TestMultiplication:
+    def test_positive(self):
+        z = arithmetic.multiply(T(1, 2, 3, 4), T(2, 2, 2, 2))
+        assert (z.a, z.b, z.c, z.d) == (2, 4, 6, 8)
+
+    def test_negative_flips(self):
+        z = arithmetic.multiply(T(1, 2, 3, 4), N(-1))
+        assert (z.a, z.b, z.c, z.d) == (-4, -3, -2, -1)
+
+    def test_spanning_zero(self):
+        z = arithmetic.multiply(T(-2, -1, 1, 2), T(-3, -1, 1, 3))
+        assert z.a == -6 and z.d == 6
+
+    @settings(max_examples=80, deadline=None)
+    @given(trapezoids(), trapezoids())
+    def test_valid_trapezoid(self, x, y):
+        z = arithmetic.multiply(x, y)
+        assert z.a <= z.b <= z.c <= z.d
+
+
+class TestDivision:
+    def test_positive(self):
+        z = arithmetic.divide(T(10, 20, 30, 40), T(2, 2, 2, 2))
+        assert (z.a, z.b, z.c, z.d) == (5, 10, 15, 20)
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            arithmetic.divide(T(1, 2, 3, 4), T(-1, 0, 0, 1))
+
+    def test_negative_divisor(self):
+        z = arithmetic.divide(N(10), N(-2))
+        assert z.a == -5
+
+
+class TestScale:
+    def test_avg_shape(self):
+        total = T(30, 60, 90, 120)
+        z = arithmetic.scale(total, 1.0 / 3.0)
+        assert (z.a, z.b, z.c, z.d) == pytest.approx((10, 20, 30, 40))
+
+    def test_negative_factor_flips(self):
+        z = arithmetic.scale(T(1, 2, 3, 4), -1.0)
+        assert (z.a, z.b, z.c, z.d) == (-4, -3, -2, -1)
+
+    def test_zero_factor(self):
+        z = arithmetic.scale(T(1, 2, 3, 4), 0.0)
+        assert z.is_crisp and z.a == 0.0
+
+
+class TestEnvelope:
+    def test_crisp_to_trapezoid(self):
+        t = arithmetic.to_trapezoid(N(5))
+        assert (t.a, t.b, t.c, t.d) == (5, 5, 5, 5)
+
+    def test_discrete_envelope(self):
+        d = DiscreteDistribution({1.0: 0.5, 3.0: 1.0, 7.0: 0.2})
+        t = arithmetic.to_trapezoid(d)
+        assert (t.a, t.d) == (1.0, 7.0)
+        assert (t.b, t.c) == (3.0, 3.0)  # span of maximal-possibility elements
+
+    def test_symbolic_rejected(self):
+        with pytest.raises(TypeError):
+            arithmetic.to_trapezoid(DiscreteDistribution({"a": 1.0}))
+
+    def test_label_rejected(self):
+        with pytest.raises(TypeError):
+            arithmetic.to_trapezoid(CrispLabel("x"))
+
+    def test_trapezoid_passthrough(self):
+        t = T(1, 2, 3, 4)
+        assert arithmetic.to_trapezoid(t) is t

@@ -1,0 +1,366 @@
+"""Tests for possibility degrees of comparisons — the d(X theta Y) kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy.compare import Op, intervals_intersect, possibility
+from repro.fuzzy.crisp import CrispLabel, CrispNumber
+from repro.fuzzy.discrete import DiscreteDistribution
+from repro.fuzzy.trapezoid import TrapezoidalNumber
+
+T = TrapezoidalNumber
+N = CrispNumber
+L = CrispLabel
+D = DiscreteDistribution
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def trapezoids(draw):
+    xs = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=-50, max_value=50, allow_nan=False),
+                min_size=4,
+                max_size=4,
+            )
+        )
+    )
+    a, b, c, d = xs
+    # Ramps are either sharp jumps or at least 0.5 wide, so the grid
+    # oracle (densified around breakpoints) can observe their suprema.
+    if b - a < 0.5:
+        b = a
+    if d - c < 0.5:
+        c = d
+    return T(a, b, c, d)
+
+
+@st.composite
+def numerics(draw):
+    kind = draw(st.sampled_from(["crisp", "trap", "disc"]))
+    if kind == "crisp":
+        return N(draw(st.floats(min_value=-50, max_value=50, allow_nan=False)))
+    if kind == "trap":
+        return draw(trapezoids())
+    items = draw(
+        st.dictionaries(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return D(items)
+
+
+def _is_pointlike(dist) -> bool:
+    if isinstance(dist, N):
+        return True
+    if isinstance(dist, T):
+        return dist.a == dist.d
+    if isinstance(dist, D):
+        return True  # every element is a point
+    return False
+
+
+def grid_oracle(left, op, right, lo=-60.0, hi=60.0, steps=600):
+    """Brute-force sup over a dense grid (plus discrete support points).
+
+    For two continuous non-point distributions the implementation uses
+    closure semantics for strict operators (documented in compare.py), so
+    the oracle does too.
+    """
+    if op in (Op.LT, Op.GT) and not (_is_pointlike(left) or _is_pointlike(right)):
+        op = Op.LE if op is Op.LT else Op.GE
+    points = [lo + (hi - lo) * i / steps for i in range(steps + 1)]
+    special = []
+    for dist in (left, right):
+        if isinstance(dist, D):
+            special.extend(dist.items)
+        if isinstance(dist, N):
+            special.append(dist.value)
+        if isinstance(dist, T):
+            special.extend([dist.a, dist.b, dist.c, dist.d])
+    # Densify around breakpoints so narrow ramps are sampled near their
+    # suprema (strict comparisons exclude the breakpoint itself).
+    for p in list(special):
+        for eps in (1e-9, 1e-6, 1e-3):
+            special.extend([p - eps, p + eps])
+    points.extend(special)
+    checks = {
+        Op.EQ: lambda x, y: x == y,
+        Op.NE: lambda x, y: x != y,
+        Op.LT: lambda x, y: x < y,
+        Op.LE: lambda x, y: x <= y,
+        Op.GT: lambda x, y: x > y,
+        Op.GE: lambda x, y: x >= y,
+    }
+    check = checks[op]
+    best = 0.0
+    for x in points:
+        mx = left.membership(x)
+        if mx <= best:
+            continue
+        for y in points:
+            if check(x, y):
+                v = min(mx, right.membership(y))
+                if v > best:
+                    best = v
+    return best
+
+
+# ----------------------------------------------------------------------
+# Equality
+# ----------------------------------------------------------------------
+
+class TestEquality:
+    def test_crisp_equal(self):
+        assert possibility(N(5), Op.EQ, N(5)) == 1.0
+
+    def test_crisp_unequal(self):
+        assert possibility(N(5), Op.EQ, N(6)) == 0.0
+
+    def test_crisp_in_trapezoid(self):
+        t = T(20, 25, 30, 35)
+        assert possibility(N(24), Op.EQ, t) == pytest.approx(0.8)
+        assert possibility(t, Op.EQ, N(24)) == pytest.approx(0.8)
+
+    def test_paper_intersection_height(self):
+        medium_young = T(20, 25, 30, 35)
+        about_35 = T.triangular(30, 35, 40)
+        assert possibility(medium_young, Op.EQ, about_35) == pytest.approx(0.5)
+
+    def test_disjoint_supports(self):
+        assert possibility(T(0, 1, 2, 3), Op.EQ, T(5, 6, 7, 8)) == 0.0
+
+    def test_nested_supports(self):
+        assert possibility(T(0, 4, 6, 10), Op.EQ, T(3, 5, 5, 7)) == 1.0
+
+    def test_discrete_discrete(self):
+        d1 = D({"a": 1.0, "b": 0.6})
+        d2 = D({"b": 0.9, "c": 1.0})
+        assert possibility(d1, Op.EQ, d2) == pytest.approx(0.6)
+
+    def test_discrete_no_common(self):
+        assert possibility(D({"a": 1.0}), Op.EQ, D({"b": 1.0})) == 0.0
+
+    def test_discrete_numeric_vs_trapezoid(self):
+        d = D({24.0: 1.0, 50.0: 0.7})
+        t = T(20, 25, 30, 35)
+        assert possibility(d, Op.EQ, t) == pytest.approx(0.8)
+
+    def test_crisp_label_equality(self):
+        assert possibility(L("Ann"), Op.EQ, L("Ann")) == 1.0
+        assert possibility(L("Ann"), Op.EQ, L("Bob")) == 0.0
+
+    def test_label_in_discrete(self):
+        d = D({"y1": 1.0, "y2": 0.8})
+        assert possibility(L("y2"), Op.EQ, d) == pytest.approx(0.8)
+
+    def test_numeric_vs_symbolic_is_zero(self):
+        assert possibility(N(3), Op.EQ, L("3")) == 0.0
+
+    def test_degenerate_trapezoid_acts_crisp(self):
+        spike = T(5, 5, 5, 5)
+        assert possibility(spike, Op.EQ, N(5)) == 1.0
+        assert possibility(spike, Op.EQ, N(6)) == 0.0
+
+    def test_subnormal_discrete_caps_degree(self):
+        d = D({5.0: 0.3})
+        assert possibility(d, Op.EQ, N(5)) == pytest.approx(0.3)
+
+    @settings(max_examples=150, deadline=None)
+    @given(numerics(), numerics())
+    def test_matches_grid_oracle(self, u, v):
+        exact = possibility(u, Op.EQ, v)
+        approx = grid_oracle(u, Op.EQ, v)
+        assert exact >= approx - 1e-9
+        assert exact <= approx + 0.25  # grid resolution slack
+
+    @settings(max_examples=100, deadline=None)
+    @given(numerics(), numerics())
+    def test_symmetric(self, u, v):
+        assert possibility(u, Op.EQ, v) == pytest.approx(possibility(v, Op.EQ, u))
+
+    @settings(max_examples=100, deadline=None)
+    @given(numerics())
+    def test_reflexive_up_to_height(self, u):
+        assert possibility(u, Op.EQ, u) == pytest.approx(u.height)
+
+
+# ----------------------------------------------------------------------
+# Order comparisons
+# ----------------------------------------------------------------------
+
+class TestOrder:
+    def test_crisp_strict(self):
+        assert possibility(N(3), Op.LT, N(5)) == 1.0
+        assert possibility(N(5), Op.LT, N(5)) == 0.0
+        assert possibility(N(5), Op.LE, N(5)) == 1.0
+        assert possibility(N(6), Op.LE, N(5)) == 0.0
+
+    def test_gt_ge_flip(self):
+        assert possibility(N(7), Op.GT, N(5)) == 1.0
+        assert possibility(N(5), Op.GE, N(5)) == 1.0
+        assert possibility(N(4), Op.GT, N(5)) == 0.0
+
+    def test_trapezoid_clearly_ordered(self):
+        low = T(0, 1, 2, 3)
+        high = T(10, 11, 12, 13)
+        assert possibility(low, Op.LT, high) == 1.0
+        assert possibility(high, Op.LT, low) == 0.0
+        assert possibility(high, Op.GT, low) == 1.0
+
+    def test_overlapping_trapezoids_partial(self):
+        left = T(4, 6, 8, 10)   # falls 1->0 on [8, 10]
+        right = T(0, 2, 4, 6)   # paper-style: mostly to the left
+        # Poss(left <= right): cores at [6,8] vs [2,4]; ramps cross at 5, 0.5.
+        assert possibility(left, Op.LE, right) == pytest.approx(0.5)
+        assert possibility(left, Op.GE, right) == 1.0
+
+    def test_fuzzy_le_is_one_when_cores_ordered(self):
+        a = T(0, 2, 4, 9)
+        b = T(1, 5, 7, 8)
+        assert possibility(a, Op.LE, b) == 1.0
+
+    def test_crisp_vs_trapezoid(self):
+        t = T(20, 25, 30, 35)
+        assert possibility(N(10), Op.LT, t) == 1.0
+        assert possibility(N(40), Op.LT, t) == 0.0
+        # Only the falling tail of t lies beyond 33: sup is (35-33)/5.
+        assert possibility(N(33), Op.LT, t) == pytest.approx(0.4)
+        assert possibility(t, Op.LT, N(22)) == pytest.approx(0.4)
+
+    def test_strict_at_rectangular_boundary(self):
+        # u is fully possible on [0, 1]; nothing of u lies strictly below 0.
+        u = T(0, 0, 0, 1)
+        assert possibility(u, Op.LT, N(0)) == 0.0
+        assert possibility(u, Op.LE, N(0)) == 1.0
+        assert possibility(N(0), Op.LT, u) == 1.0  # u extends above 0
+        rect = T(2, 2, 5, 5)
+        assert possibility(N(5), Op.LT, rect) == 0.0
+        assert possibility(N(5), Op.LE, rect) == 1.0
+
+    def test_discrete_strictness(self):
+        d = D({5.0: 1.0})
+        assert possibility(d, Op.LT, N(5)) == 0.0
+        assert possibility(d, Op.LE, N(5)) == 1.0
+
+    def test_discrete_pairs(self):
+        d1 = D({1.0: 0.4, 6.0: 1.0})
+        d2 = D({5.0: 0.7})
+        assert possibility(d1, Op.LT, d2) == pytest.approx(0.4)
+        assert possibility(d1, Op.GT, d2) == pytest.approx(0.7)
+
+    def test_labels_lexicographic(self):
+        assert possibility(L("apple"), Op.LT, L("banana")) == 1.0
+        assert possibility(L("banana"), Op.LT, L("apple")) == 0.0
+
+    @settings(max_examples=150, deadline=None)
+    @given(numerics(), numerics(), st.sampled_from([Op.LT, Op.LE, Op.GT, Op.GE]))
+    def test_matches_grid_oracle(self, u, v, op):
+        exact = possibility(u, op, v)
+        approx = grid_oracle(u, op, v)
+        assert exact >= approx - 1e-9
+        assert exact <= approx + 0.25
+
+    @settings(max_examples=100, deadline=None)
+    @given(numerics(), numerics())
+    def test_flip_consistency(self, u, v):
+        assert possibility(u, Op.LT, v) == pytest.approx(possibility(v, Op.GT, u))
+        assert possibility(u, Op.LE, v) == pytest.approx(possibility(v, Op.GE, u))
+
+    @settings(max_examples=100, deadline=None)
+    @given(numerics(), numerics())
+    def test_le_dominates_lt(self, u, v):
+        assert possibility(u, Op.LE, v) >= possibility(u, Op.LT, v) - 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(numerics(), numerics())
+    def test_total_order_covers(self, u, v):
+        """Poss(u <= v) or Poss(u >= v) must reach min of heights."""
+        target = min(u.height, v.height)
+        le = possibility(u, Op.LE, v)
+        ge = possibility(u, Op.GE, v)
+        assert max(le, ge) == pytest.approx(target)
+
+
+# ----------------------------------------------------------------------
+# Inequality
+# ----------------------------------------------------------------------
+
+class TestInequality:
+    def test_crisp(self):
+        assert possibility(N(5), Op.NE, N(5)) == 0.0
+        assert possibility(N(5), Op.NE, N(6)) == 1.0
+
+    def test_fuzzy_normal_pair_is_one(self):
+        t = T(0, 1, 2, 3)
+        assert possibility(t, Op.NE, t) == 1.0
+
+    def test_crisp_vs_containing_trapezoid(self):
+        t = T(0, 1, 2, 3)
+        assert possibility(N(1.5), Op.NE, t) == 1.0
+
+    def test_single_spikes(self):
+        spike = T(5, 5, 5, 5)
+        assert possibility(spike, Op.NE, N(5)) == 0.0
+
+    def test_discrete_single_element(self):
+        d = D({5.0: 0.8})
+        assert possibility(d, Op.NE, N(5)) == 0.0
+        assert possibility(d, Op.NE, N(6)) == pytest.approx(0.8)
+
+    def test_discrete_multi_element(self):
+        d = D({5.0: 1.0, 6.0: 0.5})
+        assert possibility(d, Op.NE, N(5)) == pytest.approx(0.5)
+
+    def test_label_vs_number_ne(self):
+        assert possibility(N(3), Op.NE, L("x")) == 1.0
+
+    @settings(max_examples=120, deadline=None)
+    @given(numerics(), numerics())
+    def test_matches_grid_oracle(self, u, v):
+        exact = possibility(u, Op.NE, v)
+        approx = grid_oracle(u, Op.NE, v)
+        assert exact >= approx - 1e-9
+        assert exact <= approx + 0.25
+
+
+# ----------------------------------------------------------------------
+# Operator plumbing
+# ----------------------------------------------------------------------
+
+class TestOp:
+    def test_from_symbol(self):
+        assert Op.from_symbol("=") is Op.EQ
+        assert Op.from_symbol("<>") is Op.NE
+        assert Op.from_symbol("!=") is Op.NE
+        assert Op.from_symbol("<=") is Op.LE
+        assert Op.from_symbol("~=") is Op.SIMILAR
+
+    def test_from_symbol_unknown(self):
+        with pytest.raises(ValueError):
+            Op.from_symbol("<<")
+
+    def test_flipped(self):
+        assert Op.LT.flipped() is Op.GT
+        assert Op.GE.flipped() is Op.LE
+        assert Op.EQ.flipped() is Op.EQ
+
+    def test_negated(self):
+        assert Op.LT.negated() is Op.GE
+        assert Op.EQ.negated() is Op.NE
+
+    def test_similar_needs_tolerance(self):
+        with pytest.raises(ValueError):
+            possibility(N(1), Op.SIMILAR, N(2))
+
+    def test_intervals_intersect(self):
+        assert intervals_intersect(T(0, 1, 2, 3), T(3, 4, 5, 6))
+        assert not intervals_intersect(T(0, 1, 2, 3), T(4, 5, 6, 7))

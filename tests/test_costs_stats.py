@@ -1,0 +1,114 @@
+"""Tests for operation statistics and the calibrated cost model."""
+
+import pytest
+
+from repro.storage.costs import PAPER_1992, CostModel
+from repro.storage.stats import Counters, OperationStats
+
+
+class TestCounters:
+    def test_merge(self):
+        a = Counters(page_reads=1, crisp_comparisons=5)
+        b = Counters(page_writes=2, fuzzy_evaluations=3)
+        a.merge(b)
+        assert a.page_reads == 1 and a.page_writes == 2
+        assert a.crisp_comparisons == 5 and a.fuzzy_evaluations == 3
+
+    def test_page_ios(self):
+        assert Counters(page_reads=3, page_writes=4).page_ios == 7
+
+    def test_copy_is_independent(self):
+        a = Counters(page_reads=1)
+        b = a.copy()
+        b.page_reads = 99
+        assert a.page_reads == 1
+
+
+class TestOperationStats:
+    def test_default_phase(self):
+        stats = OperationStats()
+        stats.count_read()
+        assert stats.phase(OperationStats.DEFAULT_PHASE).page_reads == 1
+
+    def test_phase_routing(self):
+        stats = OperationStats()
+        with stats.enter_phase("sort"):
+            stats.count_read(3)
+            stats.count_crisp(10)
+        stats.count_fuzzy(5)
+        assert stats.phase("sort").page_reads == 3
+        assert stats.phase("sort").crisp_comparisons == 10
+        assert stats.phase("work").fuzzy_evaluations == 5
+        assert stats.total.page_reads == 3
+        assert stats.total.fuzzy_evaluations == 5
+
+    def test_nested_phases_restore(self):
+        stats = OperationStats()
+        with stats.enter_phase("outer"):
+            with stats.enter_phase("inner"):
+                stats.count_move()
+            stats.count_move()
+        assert stats.phase("inner").tuple_moves == 1
+        assert stats.phase("outer").tuple_moves == 1
+
+    def test_merge(self):
+        a = OperationStats()
+        with a.enter_phase("sort"):
+            a.count_read()
+        b = OperationStats()
+        with b.enter_phase("sort"):
+            b.count_read(2)
+        a.merge(b)
+        assert a.phase("sort").page_reads == 3
+
+
+class TestCostModel:
+    def test_io_seconds(self):
+        model = CostModel(io_time=0.01)
+        assert model.io_seconds(Counters(page_reads=5, page_writes=5)) == pytest.approx(0.1)
+
+    def test_cpu_seconds(self):
+        model = CostModel(fuzzy_eval_time=1e-6, crisp_compare_time=1e-7, tuple_move_time=1e-8)
+        c = Counters(fuzzy_evaluations=100, crisp_comparisons=10, tuple_moves=1)
+        assert model.cpu_seconds(c) == pytest.approx(100e-6 + 10e-7 + 1e-8)
+
+    def test_response_is_sum(self):
+        c = Counters(page_reads=2, fuzzy_evaluations=10)
+        assert PAPER_1992.response_seconds(c) == pytest.approx(
+            PAPER_1992.io_seconds(c) + PAPER_1992.cpu_seconds(c)
+        )
+
+    def test_cpu_fraction(self):
+        stats = OperationStats()
+        stats.count_fuzzy(1000)
+        assert PAPER_1992.cpu_fraction(stats) == pytest.approx(1.0)
+        stats.count_read(1000)
+        assert 0.0 < PAPER_1992.cpu_fraction(stats) < 1.0
+
+    def test_phase_fraction(self):
+        stats = OperationStats()
+        with stats.enter_phase("sort"):
+            stats.count_read(10)
+        with stats.enter_phase("join"):
+            stats.count_read(10)
+        assert PAPER_1992.phase_fraction(stats, "sort") == pytest.approx(0.5)
+        assert PAPER_1992.phase_fraction(stats, "absent") == 0.0
+
+    def test_empty_stats(self):
+        stats = OperationStats()
+        assert PAPER_1992.response_time(stats) == 0.0
+        assert PAPER_1992.cpu_fraction(stats) == 0.0
+
+    def test_paper_calibration_nested_loop_8mb(self):
+        """64,000 x 64,000 fuzzy evals + 6,144 page I/Os ~ the paper's 30,879 s."""
+        stats = OperationStats()
+        stats.count_fuzzy(64000 * 64000)
+        stats.count_read(6144)
+        assert PAPER_1992.response_time(stats) == pytest.approx(30879, rel=0.01)
+
+    def test_paper_calibration_nested_loop_1mb(self):
+        """8,000 x 8,000 fuzzy evals ~ the paper's 501 s (within 5%)."""
+        stats = OperationStats()
+        stats.count_fuzzy(8000 * 8000)
+        stats.count_read(256)
+        assert PAPER_1992.response_time(stats) == pytest.approx(501, rel=0.05)

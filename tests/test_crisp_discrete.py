@@ -1,0 +1,112 @@
+"""Tests for crisp values and discrete possibility distributions."""
+
+import pytest
+
+from repro.fuzzy.crisp import CrispLabel, CrispNumber
+from repro.fuzzy.discrete import DiscreteDistribution
+
+
+class TestCrispNumber:
+    def test_membership(self):
+        v = CrispNumber(28)
+        assert v.membership(28) == 1.0
+        assert v.membership(28.0) == 1.0
+        assert v.membership(27.999) == 0.0
+
+    def test_interval_is_singleton(self):
+        assert CrispNumber(28).interval() == (28.0, 28.0)
+
+    def test_is_crisp_and_numeric(self):
+        v = CrispNumber(3)
+        assert v.is_crisp
+        assert v.is_numeric
+        assert v.height == 1.0
+
+    def test_defuzzify(self):
+        assert CrispNumber(7).defuzzify() == 7.0
+
+    def test_identity(self):
+        assert CrispNumber(3) == CrispNumber(3.0)
+        assert CrispNumber(3) != CrispNumber(4)
+        assert hash(CrispNumber(3)) == hash(CrispNumber(3.0))
+
+    def test_membership_of_garbage(self):
+        assert CrispNumber(3).membership("x") == 0.0
+
+
+class TestCrispLabel:
+    def test_membership(self):
+        v = CrispLabel("Ann")
+        assert v.membership("Ann") == 1.0
+        assert v.membership("ann") == 0.0
+
+    def test_not_numeric(self):
+        assert not CrispLabel("x").is_numeric
+        assert CrispLabel("x").is_crisp
+
+    def test_interval_lexicographic(self):
+        assert CrispLabel("bob").interval() == ("bob", "bob")
+
+    def test_identity_distinct_from_number(self):
+        assert CrispLabel("3") != CrispNumber(3)
+
+
+class TestDiscreteDistribution:
+    def test_appendix_example(self):
+        d = DiscreteDistribution({"y1": 1.0, "y2": 0.8})
+        assert d.membership("y1") == 1.0
+        assert d.membership("y2") == 0.8
+        assert d.membership("y3") == 0.0
+
+    def test_numeric_elements_coerced(self):
+        d = DiscreteDistribution({1: 0.5, 2.0: 1.0})
+        assert d.is_numeric
+        assert d.membership(1) == 0.5
+        assert d.membership(1.0) == 0.5
+
+    def test_mixed_is_symbolic(self):
+        d = DiscreteDistribution({"a": 1.0, "b": 0.3})
+        assert not d.is_numeric
+
+    def test_height(self):
+        assert DiscreteDistribution({"a": 0.7, "b": 0.4}).height == 0.7
+
+    def test_is_crisp_single_full_member(self):
+        assert DiscreteDistribution({"a": 1.0}).is_crisp
+        assert not DiscreteDistribution({"a": 0.9}).is_crisp
+        assert not DiscreteDistribution({"a": 1.0, "b": 0.1}).is_crisp
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution({})
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution({"a": 0.0})
+
+    def test_rejects_excess_degree(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution({"a": 1.5})
+
+    def test_interval_spans_elements(self):
+        d = DiscreteDistribution({3.0: 1.0, 7.0: 0.2, 5.0: 0.5})
+        assert d.interval() == (3.0, 7.0)
+
+    def test_defuzzify_most_possible(self):
+        d = DiscreteDistribution({3.0: 0.4, 7.0: 1.0})
+        assert d.defuzzify() == 7.0
+
+    def test_defuzzify_tie_breaks_low(self):
+        d = DiscreteDistribution({3.0: 1.0, 7.0: 1.0})
+        assert d.defuzzify() == 3.0
+
+    def test_defuzzify_symbolic_raises(self):
+        with pytest.raises(TypeError):
+            DiscreteDistribution({"a": 1.0}).defuzzify()
+
+    def test_identity(self):
+        d1 = DiscreteDistribution({"a": 1.0, "b": 0.5})
+        d2 = DiscreteDistribution({"b": 0.5, "a": 1.0})
+        assert d1 == d2
+        assert hash(d1) == hash(d2)
+        assert d1 != DiscreteDistribution({"a": 1.0, "b": 0.6})

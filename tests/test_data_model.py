@@ -1,0 +1,198 @@
+"""Tests for schemas, fuzzy tuples, relations, and the catalog."""
+
+import pytest
+
+from repro.data import (
+    Attribute,
+    AttributeType,
+    Catalog,
+    FuzzyRelation,
+    FuzzyTuple,
+    Schema,
+    UnknownRelationError,
+)
+from repro.fuzzy import CrispLabel, CrispNumber, TrapezoidalNumber, paper_vocabulary
+
+N = CrispNumber
+L = CrispLabel
+T = TrapezoidalNumber
+
+
+class TestSchema:
+    def test_from_names(self):
+        s = Schema(["A", "B"])
+        assert s.names() == ["A", "B"]
+        assert s.attributes[0].type is AttributeType.NUMERIC
+
+    def test_from_pairs(self):
+        s = Schema([("NAME", AttributeType.LABEL)])
+        assert s.attribute("NAME").type is AttributeType.LABEL
+
+    def test_index_of(self):
+        s = Schema(["A", "B", "C"])
+        assert s.index_of("B") == 1
+
+    def test_index_of_missing(self):
+        with pytest.raises(KeyError):
+            Schema(["A"]).index_of("Z")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(["A", "A"])
+
+    def test_domain_defaults_to_name(self):
+        s = Schema([Attribute("AGE")])
+        assert s.attribute("AGE").domain == "AGE"
+
+    def test_project(self):
+        s = Schema(["A", "B", "C"]).project(["C", "A"])
+        assert s.names() == ["C", "A"]
+
+    def test_contains(self):
+        s = Schema(["A"])
+        assert "A" in s and "B" not in s
+
+    def test_concat_with_prefixes(self):
+        s = Schema(["A"]).concat(Schema(["A"]), "L_", "R_")
+        assert s.names() == ["L_A", "R_A"]
+
+
+class TestFuzzyTuple:
+    def test_degree_bounds(self):
+        with pytest.raises(ValueError):
+            FuzzyTuple([N(1)], 1.5)
+        with pytest.raises(ValueError):
+            FuzzyTuple([N(1)], -0.1)
+
+    def test_values_must_be_distributions(self):
+        with pytest.raises(TypeError):
+            FuzzyTuple([42], 1.0)
+
+    def test_identity_ignores_degree(self):
+        t1 = FuzzyTuple([N(1), L("x")], 0.5)
+        t2 = FuzzyTuple([N(1), L("x")], 0.9)
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_identity_distinguishes_values(self):
+        assert FuzzyTuple([N(1)], 1.0) != FuzzyTuple([N(2)], 1.0)
+
+    def test_with_degree(self):
+        t = FuzzyTuple([N(1)], 0.5).with_degree(0.9)
+        assert t.degree == 0.9
+
+    def test_project(self):
+        t = FuzzyTuple([N(1), N(2), N(3)], 0.7).project([2, 0])
+        assert t.values == (N(3), N(1))
+        assert t.degree == 0.7
+
+    def test_concat(self):
+        t = FuzzyTuple([N(1)], 0.5).concat(FuzzyTuple([N(2)], 0.9), 0.3)
+        assert t.values == (N(1), N(2))
+        assert t.degree == 0.3
+
+
+class TestFuzzyRelation:
+    def setup_method(self):
+        self.schema = Schema(["A", "B"])
+
+    def test_add_and_len(self):
+        r = FuzzyRelation(self.schema)
+        r.add(FuzzyTuple([N(1), N(2)], 0.5))
+        assert len(r) == 1
+
+    def test_zero_degree_not_member(self):
+        r = FuzzyRelation(self.schema)
+        r.add(FuzzyTuple([N(1), N(2)], 0.0))
+        assert len(r) == 0
+
+    def test_duplicates_merge_by_max(self):
+        r = FuzzyRelation(self.schema)
+        r.add(FuzzyTuple([N(1), N(2)], 0.5))
+        r.add(FuzzyTuple([N(1), N(2)], 0.8))
+        r.add(FuzzyTuple([N(1), N(2)], 0.3))
+        assert len(r) == 1
+        assert r.degree_of([N(1), N(2)]) == 0.8
+
+    def test_arity_checked(self):
+        r = FuzzyRelation(self.schema)
+        with pytest.raises(ValueError):
+            r.add(FuzzyTuple([N(1)], 1.0))
+
+    def test_from_rows_with_trailing_degree(self):
+        r = FuzzyRelation.from_rows(self.schema, [(1, 2, 0.4), (3, 4)])
+        assert r.degree_of([N(1), N(2)]) == 0.4
+        assert r.degree_of([N(3), N(4)]) == 1.0
+
+    def test_from_rows_with_vocabulary(self):
+        schema = Schema([Attribute("AGE")])
+        r = FuzzyRelation.from_rows(schema, [("medium young",)], paper_vocabulary())
+        value = r.tuples()[0][0]
+        assert isinstance(value, TrapezoidalNumber)
+        assert value.a == 20
+
+    def test_from_rows_arity_error(self):
+        with pytest.raises(ValueError):
+            FuzzyRelation.from_rows(self.schema, [(1, 2, 3, 4)])
+
+    def test_with_threshold(self):
+        r = FuzzyRelation.from_rows(self.schema, [(1, 2, 0.4), (3, 4, 0.8)])
+        assert len(r.with_threshold(0.5)) == 1
+        assert len(r.with_threshold(0.4)) == 2  # inclusive at positive z
+        assert len(r.with_threshold(0.0)) == 2
+
+    def test_project_dedups_by_max(self):
+        r = FuzzyRelation.from_rows(self.schema, [(1, 2, 0.4), (1, 9, 0.7)])
+        p = r.project(["A"])
+        assert len(p) == 1
+        assert p.degree_of([N(1)]) == 0.7
+
+    def test_column(self):
+        r = FuzzyRelation.from_rows(self.schema, [(1, 2), (3, 4)])
+        assert sorted(v.value for v in r.column("A")) == [1, 3]
+
+    def test_same_as(self):
+        r1 = FuzzyRelation.from_rows(self.schema, [(1, 2, 0.5)])
+        r2 = FuzzyRelation.from_rows(self.schema, [(1, 2, 0.5)])
+        r3 = FuzzyRelation.from_rows(self.schema, [(1, 2, 0.6)])
+        assert r1.same_as(r2)
+        assert not r1.same_as(r3)
+        assert r1.same_as(r3, tolerance=0.2)
+
+    def test_same_as_different_tuples(self):
+        r1 = FuzzyRelation.from_rows(self.schema, [(1, 2)])
+        r2 = FuzzyRelation.from_rows(self.schema, [(1, 3)])
+        assert not r1.same_as(r2)
+
+    def test_pretty_renders(self):
+        r = FuzzyRelation.from_rows(self.schema, [(1, 2, 0.5)])
+        text = r.pretty()
+        assert "A" in text and "D" in text and "0.5" in text
+
+
+class TestCatalog:
+    def test_register_and_get_case_insensitive(self):
+        c = Catalog()
+        r = FuzzyRelation(Schema(["A"]))
+        c.register("Emp", r)
+        assert c.get("EMP") is r
+        assert c.get("emp") is r
+        assert "emp" in c
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownRelationError):
+            Catalog().get("nope")
+
+    def test_copy_is_independent(self):
+        c = Catalog()
+        c.register("R", FuzzyRelation(Schema(["A"])))
+        clone = c.copy()
+        clone.register("S", FuzzyRelation(Schema(["B"])))
+        assert "S" in clone and "S" not in c
+        assert clone.vocabulary is c.vocabulary
+
+    def test_names_sorted(self):
+        c = Catalog()
+        c.register("B", FuzzyRelation(Schema(["A"])))
+        c.register("A", FuzzyRelation(Schema(["A"])))
+        assert c.names() == ["A", "B"]

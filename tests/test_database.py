@@ -1,0 +1,172 @@
+"""Tests for the FuzzyDatabase facade and the DDL/DML statements."""
+
+import pytest
+
+from repro import FuzzyDatabase, DatabaseError
+from repro.data import FuzzyRelation, Schema
+from repro.fuzzy import CrispLabel, CrispNumber, TrapezoidalNumber, paper_vocabulary
+from repro.sql import ParseError, parse_statement
+from repro.sql.statements import CreateTable, DefineTerm, DropTable, InsertInto
+
+N = CrispNumber
+L = CrispLabel
+
+
+class TestStatementParsing:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE M (ID NUMERIC, NAME LABEL, AGE NUMERIC ON 'AGE')"
+        )
+        assert isinstance(stmt, CreateTable)
+        assert stmt.name == "M"
+        assert [c.name for c in stmt.columns] == ["ID", "NAME", "AGE"]
+        assert stmt.columns[1].type_name == "LABEL"
+        assert stmt.columns[2].domain == "AGE"
+
+    def test_insert_single(self):
+        stmt = parse_statement("INSERT INTO M VALUES (1, 'Ann', 24)")
+        assert isinstance(stmt, InsertInto)
+        assert stmt.rows == ((1.0, "Ann", 24.0),)
+        assert stmt.degree is None
+
+    def test_insert_multi_with_degree(self):
+        stmt = parse_statement("INSERT INTO M VALUES (1, 'a'), (2, 'b') WITH D 0.7")
+        assert len(stmt.rows) == 2
+        assert stmt.degree == 0.7
+
+    def test_define(self):
+        stmt = parse_statement("DEFINE 'medium young' ON 'AGE' AS '[20,25,30,35]'")
+        assert isinstance(stmt, DefineTerm)
+        assert stmt.term == "medium young"
+        assert stmt.domain == "AGE"
+
+    def test_define_global(self):
+        stmt = parse_statement("DEFINE 'big' AS '[100, 200]'")
+        assert stmt.domain is None
+
+    def test_drop(self):
+        stmt = parse_statement("DROP TABLE M")
+        assert isinstance(stmt, DropTable)
+        assert stmt.name == "M"
+
+    def test_select_still_parses(self):
+        from repro.sql import SelectQuery
+
+        assert isinstance(parse_statement("SELECT R.X FROM R"), SelectQuery)
+
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("UPDATE R SET X = 1")
+
+    def test_statement_str_roundtrip(self):
+        for sql in [
+            "CREATE TABLE M (ID NUMERIC, NAME LABEL)",
+            "DROP TABLE M",
+        ]:
+            stmt = parse_statement(sql)
+            assert parse_statement(str(stmt)) == stmt
+
+
+class TestDatabase:
+    def _seeded(self):
+        db = FuzzyDatabase()
+        db.execute("CREATE TABLE M (ID NUMERIC, NAME LABEL, AGE NUMERIC ON 'AGE')")
+        db.execute("DEFINE 'medium young' ON 'AGE' AS '[20, 25, 30, 35]'")
+        db.execute("INSERT INTO M VALUES (1, 'Allen', 24), (2, 'Bob', 50)")
+        return db
+
+    def test_create_and_list(self):
+        db = self._seeded()
+        assert db.tables() == ["M"]
+        assert "M" in db
+
+    def test_create_duplicate(self):
+        db = self._seeded()
+        with pytest.raises(DatabaseError):
+            db.execute("CREATE TABLE M (X NUMERIC)")
+
+    def test_insert_and_query(self):
+        db = self._seeded()
+        out = db.execute("SELECT M.NAME FROM M WHERE M.AGE = 'medium young'")
+        assert out.degree_of([L("Allen")]) == pytest.approx(0.8)
+        assert out.degree_of([L("Bob")]) == 0.0
+
+    def test_insert_fuzzy_value_literals(self):
+        db = self._seeded()
+        db.execute("INSERT INTO M VALUES (3, 'Carl', '[30, 35, 35, 40]')")
+        value = [t for t in db.table("M") if t[0] == N(3)][0][2]
+        assert isinstance(value, TrapezoidalNumber)
+
+    def test_insert_degree(self):
+        db = self._seeded()
+        db.execute("INSERT INTO M VALUES (4, 'Dee', 30) WITH D 0.4")
+        t = [t for t in db.table("M") if t[0] == N(4)][0]
+        assert t.degree == 0.4
+
+    def test_insert_arity_error(self):
+        db = self._seeded()
+        with pytest.raises(DatabaseError):
+            db.execute("INSERT INTO M VALUES (1, 'x')")
+
+    def test_insert_unknown_table(self):
+        db = FuzzyDatabase()
+        with pytest.raises(DatabaseError):
+            db.execute("INSERT INTO NOPE VALUES (1)")
+
+    def test_drop(self):
+        db = self._seeded()
+        db.execute("DROP TABLE M")
+        assert db.tables() == []
+        with pytest.raises(DatabaseError):
+            db.execute("DROP TABLE M")
+
+    def test_nested_query_auto_unnests(self):
+        db = self._seeded()
+        sql = (
+            "SELECT M.NAME FROM M WHERE M.AGE IN "
+            "(SELECT M2.AGE FROM M M2 WHERE M2.ID = M.ID)"
+        )
+        out = db.query(sql)
+        assert len(out) == 2
+        assert "unnested plan (J)" in db.explain(sql)
+
+    def test_auto_unnest_matches_naive(self):
+        db = self._seeded()
+        db_naive = self._seeded()
+        db_naive.auto_unnest = False
+        sql = (
+            "SELECT M.NAME FROM M WHERE M.AGE NOT IN "
+            "(SELECT M2.AGE FROM M M2 WHERE M2.ID < M.ID)"
+        )
+        assert db.query(sql).same_as(db_naive.query(sql), 1e-9)
+
+    def test_explain_general_falls_back(self):
+        db = self._seeded()
+        text = db.explain(
+            "SELECT M.NAME FROM M WHERE EXISTS (SELECT M2.ID FROM M M2)"
+        )
+        assert "naive" in text
+
+    def test_explain_ddl(self):
+        db = FuzzyDatabase()
+        assert "CREATE TABLE" in db.explain("CREATE TABLE X (A NUMERIC)")
+
+    def test_query_rejects_ddl(self):
+        db = FuzzyDatabase()
+        with pytest.raises(DatabaseError):
+            db.query("DROP TABLE X")
+
+    def test_register_programmatic(self):
+        db = FuzzyDatabase(paper_vocabulary())
+        rel = FuzzyRelation.from_rows(Schema(["A"]), [(1,)])
+        db.register("R", rel)
+        assert len(db.execute("SELECT R.A FROM R")) == 1
+
+    def test_vocabulary_shared_with_queries(self):
+        db = FuzzyDatabase()
+        db.execute("CREATE TABLE T (V NUMERIC ON 'SIZE')")
+        db.execute("DEFINE 'small' ON 'SIZE' AS '[0, 0, 5, 10]'")
+        db.execute("INSERT INTO T VALUES (3), (50)")
+        out = db.execute("SELECT T.V FROM T WHERE T.V = 'small'")
+        assert out.degree_of([N(3)]) == 1.0
+        assert out.degree_of([N(50)]) == 0.0

@@ -1,0 +1,323 @@
+"""Property-based equivalence tests for the unnesting theorems.
+
+Each test realizes one theorem of the paper: for randomly generated fuzzy
+relations, the unnested plan must produce *exactly* the same fuzzy relation
+(same tuples, same membership degrees) as the naive nested-semantics
+evaluation — Theorems 4.1, 4.2, 5.1, 6.1, 7.1, and 8.1.
+
+The value pool deliberately mixes crisp numbers, overlapping trapezoids,
+and discrete distributions around a few shared anchors so that partial
+matches, duplicates, and empty groups all occur often.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data import Attribute, Catalog, FuzzyRelation, FuzzyTuple, Schema
+from repro.engine import NaiveEvaluator
+from repro.fuzzy import CrispNumber, DiscreteDistribution, TrapezoidalNumber
+from repro.sql import NestingType, classify, parse
+from repro.unnest import execute_unnested, unnest
+
+N = CrispNumber
+T = TrapezoidalNumber
+
+SCHEMA = Schema([Attribute("K"), Attribute("U"), Attribute("V")])
+
+#: A small pool of overlapping values so random relations actually join.
+VALUE_POOL = [
+    N(0),
+    N(5),
+    N(10),
+    T(0, 1, 2, 4),
+    T(3, 5, 5, 7),
+    T(4, 6, 8, 12),
+    T(9, 10, 10, 11),
+    T(0, 2, 8, 10),
+    DiscreteDistribution({0.0: 1.0, 5.0: 0.7}),
+    DiscreteDistribution({10.0: 0.9}),
+]
+
+DEGREES = [0.2, 0.5, 0.8, 1.0]
+
+
+@st.composite
+def relations(draw, min_size=0, max_size=5):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    rel = FuzzyRelation(SCHEMA)
+    for i in range(n):
+        u = draw(st.sampled_from(VALUE_POOL))
+        v = draw(st.sampled_from(VALUE_POOL))
+        degree = draw(st.sampled_from(DEGREES))
+        rel.add(FuzzyTuple([N(i), u, v], degree))
+    return rel
+
+
+def check_equivalence(sql, r, s, expected_type=None):
+    cat = Catalog()
+    cat.register("R", r)
+    cat.register("S", s)
+    if expected_type is not None:
+        assert classify(parse(sql), cat) is expected_type
+    nested = NaiveEvaluator(cat).evaluate(sql)
+    flat = execute_unnested(sql, cat)
+    assert nested.same_as(flat, tolerance=1e-9), (
+        f"nested:\n{nested.pretty()}\nunnested:\n{flat.pretty()}\n"
+        f"plan:\n{unnest(sql, cat).explain()}"
+    )
+
+
+COMMON_SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestTheorem41_TypeN:
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_equivalence(self, r, s):
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.U IN (SELECT S.V FROM S WHERE S.U = 5)",
+            r,
+            s,
+            NestingType.TYPE_N,
+        )
+
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_equivalence_without_p2(self, r, s):
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.U IN (SELECT S.V FROM S)",
+            r,
+            s,
+            NestingType.TYPE_N,
+        )
+
+
+class TestTheorem42_TypeJ:
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_equivalence(self, r, s):
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S WHERE S.U = R.U)",
+            r,
+            s,
+            NestingType.TYPE_J,
+        )
+
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_equivalence_with_p1(self, r, s):
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.U > 2 AND "
+            "R.V IN (SELECT S.V FROM S WHERE S.U = R.U)",
+            r,
+            s,
+            NestingType.TYPE_J,
+        )
+
+
+class TestTheorem51_TypeJX:
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_equivalence(self, r, s):
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.V NOT IN (SELECT S.V FROM S WHERE S.U = R.U)",
+            r,
+            s,
+            NestingType.TYPE_JX,
+        )
+
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_uncorrelated_xn(self, r, s):
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.V NOT IN (SELECT S.V FROM S WHERE S.U < 6)",
+            r,
+            s,
+            NestingType.TYPE_XN,
+        )
+
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_with_p1(self, r, s):
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.U > 2 AND "
+            "R.V NOT IN (SELECT S.V FROM S WHERE S.U = R.U)",
+            r,
+            s,
+            NestingType.TYPE_JX,
+        )
+
+
+class TestTheorem61_TypeJA:
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations(), st.sampled_from(["MAX", "MIN", "SUM", "AVG"]))
+    def test_equivalence_non_count(self, r, s, func):
+        check_equivalence(
+            f"SELECT R.K FROM R WHERE R.V > "
+            f"(SELECT {func}(S.V) FROM S WHERE S.U = R.U)",
+            r,
+            s,
+            NestingType.TYPE_JA,
+        )
+
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_equivalence_count_outer_join(self, r, s):
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.V > "
+            "(SELECT COUNT(S.V) FROM S WHERE S.U = R.U)",
+            r,
+            s,
+            NestingType.TYPE_JA,
+        )
+
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_equivalence_with_p1_p2(self, r, s):
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.U > 2 AND R.V < "
+            "(SELECT MAX(S.V) FROM S WHERE S.V > 1 AND S.U = R.U)",
+            r,
+            s,
+            NestingType.TYPE_JA,
+        )
+
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_inequality_correlation(self, r, s):
+        """op2 need not be equality: S.U < R.U still groups by R.U's value."""
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.V > "
+            "(SELECT MIN(S.V) FROM S WHERE S.U < R.U)",
+            r,
+            s,
+            NestingType.TYPE_JA,
+        )
+
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_two_correlation_predicates(self, r, s):
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.V > "
+            "(SELECT MAX(S.V) FROM S WHERE S.U = R.U AND S.K <= R.K)",
+            r,
+            s,
+            NestingType.TYPE_JA,
+        )
+
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations(), st.sampled_from(["MAX", "AVG", "COUNT"]))
+    def test_uncorrelated_type_a(self, r, s, func):
+        check_equivalence(
+            f"SELECT R.K FROM R WHERE R.V > (SELECT {func}(S.V) FROM S WHERE S.U > 3)",
+            r,
+            s,
+            NestingType.TYPE_A,
+        )
+
+
+class TestTheorem71_TypeJALL:
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_equivalence_lt(self, r, s):
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.V < ALL (SELECT S.V FROM S WHERE S.U = R.U)",
+            r,
+            s,
+            NestingType.TYPE_JALL,
+        )
+
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations(), st.sampled_from(["<", "<=", ">", ">=", "="]))
+    def test_equivalence_all_ops(self, r, s, op):
+        check_equivalence(
+            f"SELECT R.K FROM R WHERE R.V {op} ALL (SELECT S.V FROM S WHERE S.U = R.U)",
+            r,
+            s,
+            NestingType.TYPE_JALL,
+        )
+
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations())
+    def test_uncorrelated_all(self, r, s):
+        check_equivalence(
+            "SELECT R.K FROM R WHERE R.V >= ALL (SELECT S.V FROM S WHERE S.U < 6)",
+            r,
+            s,
+            NestingType.TYPE_ALL,
+        )
+
+
+class TestSomeQuantifier:
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations(), st.sampled_from(["<", ">", "="]))
+    def test_equivalence(self, r, s, op):
+        check_equivalence(
+            f"SELECT R.K FROM R WHERE R.V {op} SOME (SELECT S.V FROM S WHERE S.U = R.U)",
+            r,
+            s,
+            NestingType.TYPE_JSOME,
+        )
+
+
+class TestTheorem81_Chain:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(relations(max_size=4), relations(max_size=4), relations(max_size=4))
+    def test_three_level_chain(self, r, s, t):
+        cat = Catalog()
+        cat.register("R", r)
+        cat.register("S", s)
+        cat.register("T", t)
+        sql = (
+            "SELECT R.K FROM R WHERE R.U IN "
+            "(SELECT S.V FROM S WHERE S.U = R.V AND S.K IN "
+            "(SELECT T.V FROM T WHERE T.U = S.V AND T.K = R.K))"
+        )
+        assert classify(parse(sql), cat) is NestingType.CHAIN
+        nested = NaiveEvaluator(cat).evaluate(sql)
+        flat = execute_unnested(sql, cat)
+        assert nested.same_as(flat, tolerance=1e-9)
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(relations(max_size=3), relations(max_size=3), relations(max_size=3), relations(max_size=3))
+    def test_four_level_chain(self, r, s, t, w):
+        cat = Catalog()
+        for name, rel in [("R", r), ("S", s), ("T", t), ("W", w)]:
+            cat.register(name, rel)
+        sql = (
+            "SELECT R.K FROM R WHERE R.U IN "
+            "(SELECT S.V FROM S WHERE S.K IN "
+            "(SELECT T.V FROM T WHERE T.U = S.U AND T.K IN "
+            "(SELECT W.V FROM W WHERE W.U = R.V)))"
+        )
+        nested = NaiveEvaluator(cat).evaluate(sql)
+        flat = execute_unnested(sql, cat)
+        assert nested.same_as(flat, tolerance=1e-9)
+
+
+class TestWithThreshold:
+    @settings(**COMMON_SETTINGS)
+    @given(relations(), relations(), st.sampled_from([0.0, 0.3, 0.5, 0.9]))
+    def test_threshold_preserved(self, r, s, threshold):
+        check_equivalence(
+            f"SELECT R.K FROM R WHERE R.V IN "
+            f"(SELECT S.V FROM S WHERE S.U = R.U) WITH D >= {threshold}",
+            r,
+            s,
+        )
+
+
+class TestGeneralFallback:
+    def test_execute_unnested_falls_back(self):
+        """GENERAL queries run through the naive engine transparently."""
+        cat = Catalog()
+        cat.register("R", FuzzyRelation.from_rows(SCHEMA, [(1, 5, 5)]))
+        cat.register("S", FuzzyRelation.from_rows(SCHEMA, [(1, 5, 5)]))
+        sql = "SELECT R.K FROM R WHERE EXISTS (SELECT S.K FROM S WHERE S.U = R.U)"
+        out = execute_unnested(sql, cat)
+        assert out.degree_of([N(1)]) == 1.0

@@ -1,0 +1,270 @@
+"""Tests for the physical operators and the flat-query compiler."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data import Attribute, Catalog, FuzzyRelation, FuzzyTuple, Schema
+from repro.engine import (
+    CompileError,
+    ExecutionContext,
+    FlatCompiler,
+    NaiveEvaluator,
+    execute_unnested_storage,
+)
+from repro.engine.operators import (
+    MergeJoinOp,
+    Project,
+    Scan,
+    Threshold,
+    TuplePredicate,
+    concat_schemas,
+    unique_names,
+)
+from repro.fuzzy import CrispNumber, Op, TrapezoidalNumber, possibility
+from repro.storage import HeapFile, SimulatedDisk
+
+N = CrispNumber
+T = TrapezoidalNumber
+SCHEMA = Schema(["K", "U", "V"])
+
+POOL = [N(0), N(5), N(10), T(0, 1, 2, 4), T(3, 5, 5, 7), T(4, 6, 8, 12), T(0, 2, 8, 10)]
+
+
+def random_relation(rng, n, base):
+    rel = FuzzyRelation(SCHEMA)
+    for i in range(n):
+        rel.add(
+            FuzzyTuple(
+                [N(base + i), rng.choice(POOL), rng.choice(POOL)],
+                rng.choice([0.3, 0.6, 1.0]),
+            )
+        )
+    return rel
+
+
+def storage_setup(r, s):
+    disk = SimulatedDisk(page_size=1024)
+    tables = {
+        "R": HeapFile.from_relation("R", r, disk, fixed_tuple_size=96),
+        "S": HeapFile.from_relation("S", s, disk, fixed_tuple_size=96),
+    }
+    return disk, tables
+
+
+class TestUniqueNames:
+    def test_no_clash(self):
+        assert unique_names(["A", "B"]) == ["A", "B"]
+
+    def test_simple_clash(self):
+        assert unique_names(["A", "A"]) == ["A", "A_1"]
+
+    def test_clash_with_existing_suffix(self):
+        assert unique_names(["A", "A_1", "A"]) == ["A", "A_1", "A_2"]
+
+    def test_repeated_concat_stays_unique(self):
+        s = concat_schemas(concat_schemas(SCHEMA, SCHEMA), SCHEMA)
+        assert len(set(s.names())) == 9
+
+
+class TestOperators:
+    def test_scan_with_pushdown(self):
+        rng = random.Random(1)
+        r = random_relation(rng, 20, 0)
+        disk, tables = storage_setup(r, r)
+        predicate = TuplePredicate(
+            lambda t: possibility(t[1], Op.GT, N(2)), label="U > 2"
+        )
+        ctx = ExecutionContext(disk, 8)
+        out = Scan(tables["R"], [predicate]).to_relation(ctx)
+        expected = NaiveEvaluator(_catalog(r, r)).evaluate(
+            "SELECT R.K, R.U, R.V FROM R WHERE R.U > 2"
+        )
+        assert out.same_as(expected, 1e-9)
+        assert ctx.stats.total.page_reads == tables["R"].n_pages
+        assert ctx.stats.total.fuzzy_evaluations == 20
+
+    def test_merge_join_op_concat_degrees(self):
+        rng = random.Random(2)
+        r = random_relation(rng, 15, 0)
+        s = random_relation(rng, 15, 100)
+        disk, tables = storage_setup(r, s)
+        ctx = ExecutionContext(disk, 16)
+        join = MergeJoinOp(Scan(tables["R"]), "V", Scan(tables["S"]), "V")
+        out = join.to_relation(ctx)
+        expected = NaiveEvaluator(_catalog(r, s)).evaluate(
+            "SELECT R.K, R.U, R.V, S.K, S.U, S.V FROM R, S WHERE R.V = S.V"
+        )
+        assert len(out) == len(expected)
+
+    def test_threshold(self):
+        rng = random.Random(3)
+        r = random_relation(rng, 30, 0)
+        disk, tables = storage_setup(r, r)
+        ctx = ExecutionContext(disk, 8)
+        out = Threshold(Scan(tables["R"]), 0.5).to_relation(ctx)
+        assert all(t.degree >= 0.5 for t in out)
+
+    def test_project_dedups(self):
+        rel = FuzzyRelation(SCHEMA)
+        rel.add(FuzzyTuple([N(1), N(5), N(7)], 0.4))
+        rel.add(FuzzyTuple([N(2), N(5), N(8)], 0.9))
+        disk, tables = storage_setup(rel, rel)
+        ctx = ExecutionContext(disk, 8)
+        out = Project(Scan(tables["R"]), ["U"]).to_relation(ctx)
+        assert len(out) == 1
+        assert out.degree_of([N(5)]) == 0.9
+
+    def test_explain_tree(self):
+        rng = random.Random(4)
+        r = random_relation(rng, 5, 0)
+        disk, tables = storage_setup(r, r)
+        plan = Project(
+            MergeJoinOp(Scan(tables["R"]), "V", Scan(tables["S"]), "V"), ["K"]
+        )
+        text = plan.explain()
+        assert "MergeJoin" in text and "Scan" in text and "Project" in text
+
+
+def _catalog(r, s):
+    cat = Catalog()
+    cat.register("R", r)
+    cat.register("S", s)
+    return cat
+
+
+class TestFlatCompiler:
+    def _check(self, sql, r, s, buffer_pages=16):
+        cat = _catalog(r, s)
+        oracle = NaiveEvaluator(cat).evaluate(sql)
+        disk, tables = storage_setup(r, s)
+        ctx = ExecutionContext(disk, buffer_pages)
+        answer = execute_unnested_storage(sql, tables, ctx)
+        assert oracle.same_as(answer, 1e-9), (
+            f"oracle:\n{oracle.pretty()}\nstorage:\n{answer.pretty()}"
+        )
+        return ctx
+
+    def test_flat_join(self):
+        rng = random.Random(5)
+        self._check(
+            "SELECT R.K FROM R, S WHERE R.V = S.V",
+            random_relation(rng, 25, 0),
+            random_relation(rng, 25, 100),
+        )
+
+    def test_type_n(self):
+        rng = random.Random(6)
+        self._check(
+            "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S WHERE S.U = 5)",
+            random_relation(rng, 25, 0),
+            random_relation(rng, 25, 100),
+        )
+
+    def test_type_j_with_p1(self):
+        rng = random.Random(7)
+        self._check(
+            "SELECT R.K FROM R WHERE R.U > 2 AND "
+            "R.V IN (SELECT S.V FROM S WHERE S.U = R.U)",
+            random_relation(rng, 30, 0),
+            random_relation(rng, 30, 100),
+        )
+
+    def test_with_threshold(self):
+        rng = random.Random(8)
+        self._check(
+            "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S) WITH D >= 0.5",
+            random_relation(rng, 25, 0),
+            random_relation(rng, 25, 100),
+        )
+
+    def test_self_join(self):
+        rng = random.Random(9)
+        r = random_relation(rng, 20, 0)
+        self._check(
+            "SELECT R.K FROM R WHERE R.V IN (SELECT R.U FROM R)",
+            r,
+            r,
+        )
+
+    def test_chain_three_levels(self):
+        rng = random.Random(10)
+        r = random_relation(rng, 15, 0)
+        s = random_relation(rng, 15, 100)
+        self._check(
+            "SELECT R.K FROM R WHERE R.U IN "
+            "(SELECT S.V FROM S WHERE S.U = R.V AND S.K IN "
+            "(SELECT R2.V FROM R R2 WHERE R2.U = S.V))",
+            r,
+            s,
+        )
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_property_type_j(self, seed):
+        rng = random.Random(seed)
+        self._check(
+            "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S WHERE S.U = R.U)",
+            random_relation(rng, 12, 0),
+            random_relation(rng, 12, 100),
+        )
+
+    def test_selection_pushdown_shrinks_sort_input(self):
+        rng = random.Random(11)
+        r = random_relation(rng, 40, 0)
+        s = random_relation(rng, 40, 100)
+        sql_filtered = (
+            "SELECT R.K FROM R WHERE R.U = 0 AND "
+            "R.V IN (SELECT S.V FROM S WHERE S.U = R.U)"
+        )
+        sql_full = "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S WHERE S.U = R.U)"
+        ctx_filtered = self._check(sql_filtered, r, s)
+        ctx_full = self._check(sql_full, r, s)
+        assert (
+            ctx_filtered.stats.total.page_ios < ctx_full.stats.total.page_ios
+        )
+
+    def test_pipelined_types_rejected(self):
+        rng = random.Random(12)
+        r = random_relation(rng, 5, 0)
+        disk, tables = storage_setup(r, r)
+        ctx = ExecutionContext(disk, 8)
+        with pytest.raises(CompileError):
+            execute_unnested_storage(
+                "SELECT R.K FROM R WHERE R.V NOT IN (SELECT S.V FROM S WHERE S.U = R.U)",
+                tables,
+                ctx,
+            )
+
+    def test_unknown_table(self):
+        with pytest.raises(CompileError):
+            FlatCompiler({}).compile("SELECT R.K FROM R")
+
+    def test_aggregate_select_rejected(self):
+        rng = random.Random(13)
+        r = random_relation(rng, 5, 0)
+        _, tables = storage_setup(r, r)
+        with pytest.raises(CompileError):
+            FlatCompiler(tables).compile("SELECT MAX(R.K) FROM R")
+
+
+class TestLinguisticLiterals:
+    def test_vocabulary_literal_resolved_with_domain(self):
+        from repro.fuzzy import paper_vocabulary
+
+        vocab = paper_vocabulary()
+        schema = Schema([Attribute("ID"), Attribute("AGE")])
+        rel = FuzzyRelation.from_rows(schema, [(1, "about 35"), (2, 70)], vocab)
+        disk = SimulatedDisk(page_size=1024)
+        tables = {"R": HeapFile.from_relation("R", rel, disk, fixed_tuple_size=96)}
+        ctx = ExecutionContext(disk, 8)
+        out = execute_unnested_storage(
+            "SELECT R.ID FROM R WHERE R.AGE = 'medium young'",
+            tables,
+            ctx,
+            vocabulary=vocab,
+        )
+        assert out.degree_of([N(1)]) == pytest.approx(0.5)
+        assert out.degree_of([N(2)]) == 0.0

@@ -1,0 +1,105 @@
+"""Shape tests for the paper-reproduction experiments (tiny scale).
+
+These run the real experiment code at a very small scale and assert the
+*qualitative* findings of Section 9 — the quantities the benchmarks then
+measure at full (scaled) size.
+"""
+
+import pytest
+
+from repro.bench.experiments import ExperimentResult, fig3, table1, table2, table3, table4
+
+#: Large divisor = tiny runs; shape assertions only.
+SCALE = 64
+
+
+@pytest.fixture(scope="module")
+def t1():
+    return table1(scale=SCALE, sizes_mb=(4, 8))
+
+
+@pytest.fixture(scope="module")
+def t2_t3():
+    return table2(scale=SCALE, inner_sizes_mb=(2, 8)), table3(scale=SCALE, inner_sizes_mb=(2, 8))
+
+
+class TestTable1:
+    def test_rows_and_headers(self, t1):
+        assert len(t1.rows) == 2
+        assert "speedup" in t1.headers
+
+    def test_merge_join_wins_at_scale(self, t1):
+        big = t1.rows[-1]
+        assert big["merge_join_s"] < big["nested_loop_s"]
+
+    def test_speedup_grows_with_size(self, t1):
+        assert t1.rows[1]["speedup"] > t1.rows[0]["speedup"]
+
+    def test_paper_reference_attached(self, t1):
+        assert t1.paper[0]["nested_loop_s"] == 501
+
+    def test_format_renders(self, t1):
+        text = t1.format()
+        assert "Table 1" in text and "paper reference" in text
+
+
+class TestTable2:
+    def test_nested_loop_grows_linearly_with_inner(self, t2_t3):
+        t2, _ = t2_t3
+        ratio = t2.rows[1]["nested_loop_s"] / t2.rows[0]["nested_loop_s"]
+        # Inner size quadrupled; NL response should grow ~4x (CPU-bound).
+        assert 2.5 <= ratio <= 6.0
+
+    def test_merge_join_grows_subquadratically(self, t2_t3):
+        t2, _ = t2_t3
+        ratio = t2.rows[1]["merge_join_s"] / t2.rows[0]["merge_join_s"]
+        assert ratio < 4.0
+
+
+class TestTable3:
+    def test_sorting_share_grows_with_inner_size(self, t2_t3):
+        _, t3 = t2_t3
+        assert t3.rows[1]["sorting_pct"] >= t3.rows[0]["sorting_pct"]
+
+    def test_shares_are_percentages(self, t2_t3):
+        _, t3 = t2_t3
+        for row in t3.rows:
+            assert 0 <= row["cpu_pct"] <= 100
+            assert 0 <= row["sorting_pct"] <= 100
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def t4(self):
+        return table4(scale=SCALE, tuple_sizes=(128, 1024))
+
+    def test_both_methods_slow_down_with_tuple_size(self, t4):
+        assert t4.rows[1]["nested_loop_s"] > t4.rows[0]["nested_loop_s"]
+        assert t4.rows[1]["merge_join_s"] > t4.rows[0]["merge_join_s"]
+
+    def test_cpu_share_drops_as_tuples_grow(self, t4):
+        assert t4.rows[1]["nl_cpu_pct"] < t4.rows[0]["nl_cpu_pct"]
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def f3(self):
+        return fig3(scale=SCALE, fanouts=(1, 16))
+
+    def test_ios_stay_flat(self, f3):
+        ios = [row["page_ios"] for row in f3.rows]
+        assert max(ios) <= 1.25 * min(ios)
+
+    def test_cpu_grows_with_fanout(self, f3):
+        assert f3.rows[1]["cpu_s"] > f3.rows[0]["cpu_s"]
+
+    def test_fuzzy_evals_track_fanout(self, f3):
+        assert f3.rows[1]["fuzzy_evals"] > 4 * f3.rows[0]["fuzzy_evals"]
+
+
+class TestFormatting:
+    def test_none_renders_as_dash(self):
+        result = ExperimentResult(
+            name="x", headers=["a"], rows=[{"a": None}], paper=[], notes=""
+        )
+        assert "—" in result.format()

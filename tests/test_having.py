@@ -1,0 +1,121 @@
+"""Tests for the HAVING clause (fuzzy group filtering)."""
+
+import pytest
+
+from repro.data import Attribute, Catalog, FuzzyRelation, Schema
+from repro.engine import NaiveEvaluator
+from repro.fuzzy import CrispNumber, TrapezoidalNumber, paper_vocabulary
+from repro.sql import NestingType, classify, parse
+
+N = CrispNumber
+SCHEMA = Schema([Attribute("K"), Attribute("V")])
+
+
+def catalog_with(rows):
+    cat = Catalog(paper_vocabulary())
+    cat.register("R", FuzzyRelation.from_rows(SCHEMA, rows, cat.vocabulary))
+    return cat
+
+
+class TestParsing:
+    def test_having_parses(self):
+        q = parse("SELECT R.K, COUNT(R.V) FROM R GROUPBY R.K HAVING COUNT(R.V) > 1")
+        assert len(q.having) == 1
+        assert "HAVING" in str(q)
+
+    def test_having_with_two_predicates(self):
+        q = parse(
+            "SELECT R.K FROM R GROUPBY R.K "
+            "HAVING COUNT(R.V) > 1 AND MAX(R.V) < 100"
+        )
+        assert len(q.having) == 2
+
+    def test_having_roundtrips(self):
+        sql = "SELECT R.K FROM R GROUPBY R.K HAVING MIN(R.V) >= 3.0"
+        assert parse(str(parse(sql))) == parse(sql)
+
+
+class TestEvaluation:
+    def test_crisp_count_filter(self):
+        cat = catalog_with([(1, 10), (1, 20), (2, 30)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R GROUPBY R.K HAVING COUNT(R.V) > 1"
+        )
+        assert len(out) == 1
+        assert out.degree_of([N(1)]) == 1.0
+
+    def test_aggregate_vs_literal_fuzzy_degree(self):
+        # Group sums: K=1 -> 30, K=2 -> 5; compare against a fuzzy bound.
+        cat = Catalog()
+        rel = FuzzyRelation.from_rows(SCHEMA, [(1, 10), (1, 20), (2, 5)])
+        cat.register("R", rel)
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R GROUPBY R.K HAVING SUM(R.V) > 10"
+        )
+        assert out.degree_of([N(1)]) == 1.0
+        assert out.degree_of([N(2)]) == 0.0
+
+    def test_having_degree_joins_min(self):
+        """A partially satisfied HAVING lowers the group's degree."""
+        cat = Catalog()
+        rel = FuzzyRelation(SCHEMA)
+        from repro.data import FuzzyTuple
+
+        fuzzy_value = TrapezoidalNumber(5, 10, 10, 15)
+        rel.add(FuzzyTuple([N(1), fuzzy_value], 1.0))
+        cat.register("R", rel)
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R GROUPBY R.K HAVING MAX(R.V) > 12.5"
+        )
+        # Poss(trap(5,10,10,15) > 12.5) = (15 - 12.5)/5 = 0.5.
+        assert out.degree_of([N(1)]) == pytest.approx(0.5)
+
+    def test_having_on_degrees(self):
+        cat = catalog_with([(1, 10, 0.4), (1, 20, 0.9), (2, 30, 0.8)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R GROUPBY R.K HAVING MIN(D) >= 0.5"
+        )
+        # Group 1 has MIN(D)=0.4 -> Poss(0.4 >= 0.5) = 0 -> dropped.
+        assert len(out) == 1
+        assert out.degree_of([N(2)]) == 0.8
+
+    def test_having_without_groupby_is_global(self):
+        cat = catalog_with([(1, 10), (2, 20)])
+        kept = NaiveEvaluator(cat).evaluate(
+            "SELECT COUNT(R.V) FROM R HAVING COUNT(R.V) > 1"
+        )
+        assert len(kept) == 1
+        dropped = NaiveEvaluator(cat).evaluate(
+            "SELECT COUNT(R.V) FROM R HAVING COUNT(R.V) > 5"
+        )
+        assert len(dropped) == 0
+
+    def test_column_in_having(self):
+        cat = catalog_with([(1, 10), (2, 30)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R GROUPBY R.K HAVING R.K > 1"
+        )
+        assert len(out) == 1
+
+
+class TestClassification:
+    def test_having_with_subquery_stays_general(self):
+        cat = catalog_with([(1, 10)])
+        cat.register("S", FuzzyRelation.from_rows(SCHEMA, [(1, 10)]))
+        q = parse(
+            "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S) "
+            "GROUPBY R.K HAVING COUNT(R.V) > 0"
+        )
+        assert classify(q, cat) is NestingType.GENERAL
+
+    def test_execute_unnested_falls_back_for_having(self):
+        from repro.unnest import execute_unnested
+
+        cat = catalog_with([(1, 10), (1, 20)])
+        cat.register("S", FuzzyRelation.from_rows(SCHEMA, [(1, 10)]))
+        sql = (
+            "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S) "
+            "GROUPBY R.K HAVING COUNT(R.V) > 0"
+        )
+        nested = NaiveEvaluator(cat).evaluate(sql)
+        assert execute_unnested(sql, cat).same_as(nested)

@@ -1,0 +1,143 @@
+"""Tests for the interval order of Definition 3.1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy.crisp import CrispNumber
+from repro.fuzzy.discrete import DiscreteDistribution
+from repro.fuzzy.interval_order import (
+    begin,
+    end,
+    overlaps,
+    precedes,
+    precedes_eq,
+    sort_key,
+    strictly_before,
+)
+from repro.fuzzy.trapezoid import TrapezoidalNumber
+
+T = TrapezoidalNumber
+N = CrispNumber
+
+
+@st.composite
+def values(draw):
+    kind = draw(st.sampled_from(["crisp", "trap", "disc"]))
+    if kind == "crisp":
+        return N(draw(st.floats(min_value=-100, max_value=100, allow_nan=False)))
+    if kind == "trap":
+        xs = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=4,
+                    max_size=4,
+                )
+            )
+        )
+        return T(*xs)
+    items = draw(
+        st.dictionaries(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            st.floats(min_value=0.1, max_value=1.0),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    return DiscreteDistribution(items)
+
+
+class TestExample31:
+    """Example 3.1 of the paper, verbatim."""
+
+    def setup_method(self):
+        self.r1 = T.rectangular(30, 35)
+        self.r2 = T.rectangular(20, 28)
+        self.r3 = T.rectangular(20, 35)
+        self.s1 = T.rectangular(32, 34)
+        self.s2 = T.rectangular(20, 25)
+        self.s3 = T.rectangular(30, 40)
+
+    def test_r_order(self):
+        # [20,28] < [20,35] < [30,35]
+        assert precedes(self.r2, self.r3)
+        assert precedes(self.r3, self.r1)
+
+    def test_s_order(self):
+        # s2=[20,25] < s3=[30,40] < s1=[32,34]
+        assert precedes(self.s2, self.s3)
+        assert precedes(self.s3, self.s1)
+
+    def test_r2_joins_s2(self):
+        assert overlaps(self.r2.interval() and self.r2, self.s2)
+
+    def test_r2_stops_at_s3(self):
+        # [30,40] falls completely right of [20,28].
+        assert strictly_before(self.r2, self.s3)
+
+
+class TestBeginsEnds:
+    def test_crisp(self):
+        assert begin(N(28)) == 28 and end(N(28)) == 28
+
+    def test_trapezoid(self):
+        t = T(20, 25, 30, 35)
+        assert begin(t) == 20 and end(t) == 35
+
+    def test_discrete(self):
+        d = DiscreteDistribution({3.0: 1.0, 9.0: 0.2})
+        assert begin(d) == 3.0 and end(d) == 9.0
+
+
+class TestOrderLaws:
+    def test_lexicographic_tie_break(self):
+        # Same begin: shorter interval first.
+        assert precedes(T.rectangular(10, 12), T.rectangular(10, 20))
+
+    def test_equal_intervals_not_strict(self):
+        a = T(10, 11, 12, 20)
+        b = T(10, 14, 15, 20)
+        assert not precedes(a, b) and not precedes(b, a)
+        assert precedes_eq(a, b) and precedes_eq(b, a)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values(), values())
+    def test_totality(self, u, v):
+        assert precedes_eq(u, v) or precedes_eq(v, u)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values(), values(), values())
+    def test_transitivity(self, u, v, w):
+        if precedes_eq(u, v) and precedes_eq(v, w):
+            assert precedes_eq(u, w)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values(), values())
+    def test_strict_is_asymmetric(self, u, v):
+        assert not (precedes(u, v) and precedes(v, u))
+
+    @settings(max_examples=100, deadline=None)
+    @given(values())
+    def test_sort_key_matches_interval(self, u):
+        assert sort_key(u) == u.interval()
+
+
+class TestOverlap:
+    def test_touching_counts(self):
+        assert overlaps(T.rectangular(0, 5), T.rectangular(5, 10))
+
+    def test_disjoint(self):
+        assert not overlaps(T.rectangular(0, 5), T.rectangular(6, 10))
+        assert strictly_before(T.rectangular(0, 5), T.rectangular(6, 10))
+
+    @settings(max_examples=100, deadline=None)
+    @given(values(), values())
+    def test_overlap_symmetric(self, u, v):
+        assert overlaps(u, v) == overlaps(v, u)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values(), values())
+    def test_trichotomy(self, u, v):
+        states = [overlaps(u, v), strictly_before(u, v), strictly_before(v, u)]
+        assert sum(states) == 1

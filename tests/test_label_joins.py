@@ -1,0 +1,126 @@
+"""Joins over symbolic (LABEL) columns — the interval order degenerates to
+the lexicographic order on singleton 'intervals'."""
+
+import random
+
+import pytest
+
+from repro.data import Attribute, AttributeType, Catalog, FuzzyRelation, FuzzyTuple, Schema
+from repro.engine import NaiveEvaluator
+from repro.fuzzy import CrispLabel, CrispNumber, Op
+from repro.join import JoinPredicate, MergeJoin, NestedLoopJoin, join_degree
+from repro.session import StorageSession
+from repro.sort import ExternalSorter
+from repro.storage import BufferPool, HeapFile, OperationStats, SimulatedDisk
+
+N = CrispNumber
+L = CrispLabel
+
+SCHEMA = Schema([Attribute("ID"), Attribute("TAG", AttributeType.LABEL)])
+TAGS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+
+def build_pair(n=40, seed=3):
+    rng = random.Random(seed)
+    disk = SimulatedDisk(page_size=512)
+
+    def tuples(base):
+        return [
+            FuzzyTuple([N(base + i), L(rng.choice(TAGS))], rng.uniform(0.3, 1.0))
+            for i in range(n)
+        ]
+
+    r = HeapFile("R", SCHEMA, disk, fixed_tuple_size=48).load(tuples(0))
+    s = HeapFile("S", SCHEMA, disk, fixed_tuple_size=48).load(tuples(1000))
+    return disk, r, s
+
+
+class TestLabelSort:
+    def test_sorted_lexicographically(self):
+        disk, r, _ = build_pair()
+        out = ExternalSorter(disk, 4, OperationStats()).sort(r, "TAG")
+        pool = BufferPool(disk, 8)
+        tags = [t[1].value for t in out.scan(pool)]
+        assert tags == sorted(tags)
+
+
+class TestLabelMergeJoin:
+    def test_agrees_with_nested_loop(self):
+        disk, r, s = build_pair()
+        pred = join_degree([JoinPredicate(SCHEMA, "TAG", Op.EQ, SCHEMA, "TAG")])
+        mj = sorted(
+            (a[0].value, b[0].value, round(d, 9))
+            for a, b, d in MergeJoin(disk, 16, OperationStats()).pairs(r, "TAG", s, "TAG", pred)
+        )
+        nl = sorted(
+            (a[0].value, b[0].value, round(d, 9))
+            for a, b, d in NestedLoopJoin(disk, 16, OperationStats()).pairs(r, s, pred)
+        )
+        assert mj == nl
+        assert len(mj) > 0
+
+    def test_label_equality_is_exact(self):
+        disk, r, s = build_pair()
+        pred = join_degree([JoinPredicate(SCHEMA, "TAG", Op.EQ, SCHEMA, "TAG")])
+        pool = BufferPool(disk, 8)
+        for a, b, d in MergeJoin(disk, 16, OperationStats()).pairs(r, "TAG", s, "TAG", pred):
+            assert a[1].value == b[1].value
+            assert d == pytest.approx(min(a.degree, b.degree))
+
+
+class TestLabelSession:
+    def test_session_join_on_labels(self):
+        rng = random.Random(5)
+        rel_r = FuzzyRelation(SCHEMA)
+        rel_s = FuzzyRelation(SCHEMA)
+        for i in range(20):
+            rel_r.add(FuzzyTuple([N(i), L(rng.choice(TAGS))], 1.0))
+            rel_s.add(FuzzyTuple([N(100 + i), L(rng.choice(TAGS))], 1.0))
+        catalog = Catalog()
+        catalog.register("R", rel_r)
+        catalog.register("S", rel_s)
+        session = StorageSession(page_size=512)
+        session.register("R", rel_r)
+        session.register("S", rel_s)
+        sql = "SELECT R.ID FROM R WHERE R.TAG IN (SELECT S.TAG FROM S)"
+        expected = NaiveEvaluator(catalog).evaluate(sql)
+        assert session.query(sql).same_as(expected, 1e-9)
+        assert session.last_strategy.startswith("flat/")
+
+    def test_session_not_in_on_labels(self):
+        rng = random.Random(7)
+        rel_r = FuzzyRelation(SCHEMA)
+        rel_s = FuzzyRelation(SCHEMA)
+        for i in range(15):
+            rel_r.add(FuzzyTuple([N(i), L(rng.choice(TAGS))], rng.uniform(0.4, 1.0)))
+        for i in range(5):
+            rel_s.add(FuzzyTuple([N(100 + i), L(rng.choice(TAGS[:2]))], rng.uniform(0.4, 1.0)))
+        catalog = Catalog()
+        catalog.register("R", rel_r)
+        catalog.register("S", rel_s)
+        session = StorageSession(page_size=512)
+        session.register("R", rel_r)
+        session.register("S", rel_s)
+        sql = "SELECT R.ID FROM R WHERE R.TAG NOT IN (SELECT S.TAG FROM S)"
+        expected = NaiveEvaluator(catalog).evaluate(sql)
+        assert session.query(sql).same_as(expected, 1e-9)
+        assert session.last_strategy.startswith("grouped/")
+
+
+class TestExplain:
+    def test_explain_names_strategies(self):
+        disk, r, s = build_pair()
+        session = StorageSession(page_size=512)
+        pool = BufferPool(disk, 8)
+        session.register("R", r.to_relation(pool))
+        session.register("S", s.to_relation(pool))
+        flat = session.explain("SELECT R.ID FROM R WHERE R.TAG IN (SELECT S.TAG FROM S)")
+        assert "merge-join plan" in flat and "Scan" in flat
+        grouped = session.explain(
+            "SELECT R.ID FROM R WHERE R.TAG NOT IN (SELECT S.TAG FROM S)"
+        )
+        assert "grouped anti-join" in grouped
+        naive = session.explain(
+            "SELECT R.ID FROM R WHERE EXISTS (SELECT S.ID FROM S)"
+        )
+        assert "naive" in naive

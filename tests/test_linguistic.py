@@ -1,0 +1,120 @@
+"""Tests for linguistic vocabularies and the paper's calibrated terms."""
+
+import pytest
+
+from repro.fuzzy.compare import Op, possibility
+from repro.fuzzy.crisp import CrispLabel, CrispNumber
+from repro.fuzzy.linguistic import UnknownTermError, Vocabulary, lift, paper_vocabulary
+from repro.fuzzy.trapezoid import TrapezoidalNumber
+
+
+class TestVocabulary:
+    def test_define_and_resolve(self):
+        v = Vocabulary()
+        t = TrapezoidalNumber(0, 1, 2, 3)
+        v.define("small", t)
+        assert v.resolve("small") is t
+
+    def test_case_and_whitespace_insensitive(self):
+        v = Vocabulary()
+        v.define("Medium  Young", TrapezoidalNumber(20, 25, 30, 35))
+        assert "medium young" in v
+        assert v.resolve("MEDIUM YOUNG").b == 25
+
+    def test_domain_scoping_shadows_global(self):
+        v = Vocabulary()
+        v.define("high", TrapezoidalNumber(0, 1, 2, 3))
+        v.define("high", TrapezoidalNumber(10, 11, 12, 13), domain="INCOME")
+        assert v.resolve("high").a == 0
+        assert v.resolve("high", "INCOME").a == 10
+
+    def test_scoped_term_invisible_without_domain_falls_back(self):
+        v = Vocabulary()
+        v.define("high", TrapezoidalNumber(10, 11, 12, 13), domain="INCOME")
+        with pytest.raises(UnknownTermError):
+            v.resolve("high")
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownTermError):
+            Vocabulary().resolve("nope")
+
+    def test_contains_scoped(self):
+        v = Vocabulary()
+        v.define("x", TrapezoidalNumber(0, 0, 1, 1), domain="A")
+        assert "x" in v
+
+
+class TestLift:
+    def test_number(self):
+        assert lift(5) == CrispNumber(5)
+        assert lift(5.5) == CrispNumber(5.5)
+
+    def test_known_term(self):
+        v = paper_vocabulary()
+        assert lift("medium young", v, "AGE") == v.resolve("medium young", "AGE")
+
+    def test_unknown_string_is_label(self):
+        assert lift("Ann", paper_vocabulary(), "NAME") == CrispLabel("Ann")
+
+    def test_distribution_passthrough(self):
+        t = TrapezoidalNumber(0, 1, 2, 3)
+        assert lift(t) is t
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            lift(True)
+
+    def test_none_rejected(self):
+        with pytest.raises(TypeError):
+            lift(None)
+
+
+class TestPaperCalibration:
+    """The degrees Example 4.1 depends on, exactly."""
+
+    def setup_method(self):
+        self.v = paper_vocabulary()
+
+    def term(self, name, domain):
+        return self.v.resolve(name, domain)
+
+    def test_about35_vs_medium_young_is_half(self):
+        d = possibility(self.term("about 35", "AGE"), Op.EQ, self.term("medium young", "AGE"))
+        assert d == pytest.approx(0.5)
+
+    def test_about50_vs_middle_age(self):
+        d = possibility(self.term("about 50", "AGE"), Op.EQ, self.term("middle age", "AGE"))
+        assert d == pytest.approx(0.4)
+
+    def test_middle_age_vs_medium_young(self):
+        d = possibility(self.term("middle age", "AGE"), Op.EQ, self.term("medium young", "AGE"))
+        assert d == pytest.approx(0.75)
+
+    def test_crisp_24_vs_middle_age_excluded(self):
+        d = possibility(CrispNumber(24), Op.EQ, self.term("middle age", "AGE"))
+        assert d == 0.0
+
+    def test_about29_vs_middle_age_excluded(self):
+        d = possibility(self.term("about 29", "AGE"), Op.EQ, self.term("middle age", "AGE"))
+        assert d == 0.0
+
+    def test_medium_high_vs_high(self):
+        d = possibility(self.term("medium high", "INCOME"), Op.EQ, self.term("high", "INCOME"))
+        assert d == pytest.approx(0.7)
+
+    def test_about60k_vs_high(self):
+        d = possibility(self.term("about 60k", "INCOME"), Op.EQ, self.term("high", "INCOME"))
+        assert d == pytest.approx(0.3)
+
+    def test_about60k_vs_about40k_disjoint(self):
+        d = possibility(self.term("about 60k", "INCOME"), Op.EQ, self.term("about 40k", "INCOME"))
+        assert d == 0.0
+
+    def test_medium_high_vs_about40k_disjoint(self):
+        d = possibility(self.term("medium high", "INCOME"), Op.EQ, self.term("about 40k", "INCOME"))
+        assert d == 0.0
+
+    def test_fig1_membership_values(self):
+        medium_young = self.term("medium young", "AGE")
+        assert medium_young.membership(24) == pytest.approx(0.8)
+        assert medium_young.membership(28) == 1.0

@@ -1,0 +1,186 @@
+"""Tests for the piecewise-linear membership algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy.membership import PiecewiseLinear, sup_min
+
+
+def trap_pl(a, b, c, d):
+    return PiecewiseLinear([(a, 0.0), (b, 1.0), (c, 1.0), (d, 0.0)])
+
+
+class TestEvaluation:
+    def test_zero_outside_support(self):
+        f = trap_pl(0, 1, 2, 3)
+        assert f(-0.5) == 0.0
+        assert f(3.5) == 0.0
+
+    def test_one_on_core(self):
+        f = trap_pl(0, 1, 2, 3)
+        assert f(1.0) == 1.0
+        assert f(1.5) == 1.0
+        assert f(2.0) == 1.0
+
+    def test_linear_on_ramps(self):
+        f = trap_pl(0, 2, 4, 8)
+        assert f(1.0) == pytest.approx(0.5)
+        assert f(6.0) == pytest.approx(0.5)
+
+    def test_at_breakpoints(self):
+        f = trap_pl(0, 1, 2, 3)
+        assert f(0.0) == 0.0
+        assert f(3.0) == 0.0
+
+    def test_spike(self):
+        f = PiecewiseLinear([(5.0, 1.0)])
+        assert f(5.0) == 1.0
+        assert f(5.0001) == 0.0
+        assert f(4.9999) == 0.0
+
+    def test_needs_a_point(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([])
+
+    def test_duplicate_abscissae_keep_max(self):
+        f = PiecewiseLinear([(0, 0.0), (1, 0.3), (1, 0.9), (2, 0.0)])
+        assert f(1.0) == pytest.approx(0.9)
+
+
+class TestProperties:
+    def test_height(self):
+        f = PiecewiseLinear([(0, 0.0), (1, 0.6), (2, 0.0)])
+        assert f.height == pytest.approx(0.6)
+
+    def test_argmax_attains_height(self):
+        f = PiecewiseLinear([(0, 0.1), (1, 0.8), (2, 0.2)])
+        assert f(f.argmax()) == pytest.approx(f.height)
+
+    def test_points_roundtrip(self):
+        pts = [(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]
+        assert PiecewiseLinear(pts).points == pts
+
+
+class TestSupMin:
+    def test_disjoint_supports(self):
+        f = trap_pl(0, 1, 2, 3)
+        g = trap_pl(10, 11, 12, 13)
+        assert sup_min(f, g) == 0.0
+
+    def test_identical_normal(self):
+        f = trap_pl(0, 1, 2, 3)
+        assert sup_min(f, f) == pytest.approx(1.0)
+
+    def test_overlapping_cores(self):
+        f = trap_pl(0, 1, 5, 6)
+        g = trap_pl(4, 5, 8, 9)
+        assert sup_min(f, g) == pytest.approx(1.0)
+
+    def test_ramp_crossing_height(self):
+        # f falls 1->0 on [2, 4]; g rises 0->1 on [2, 4]; cross at 3, 0.5.
+        f = trap_pl(0, 1, 2, 4)
+        g = trap_pl(2, 4, 5, 6)
+        assert sup_min(f, g) == pytest.approx(0.5)
+
+    def test_fig1_medium_young_about_35(self):
+        medium_young = trap_pl(20, 25, 30, 35)
+        about_35 = PiecewiseLinear([(30, 0.0), (35, 1.0), (40, 0.0)])
+        assert sup_min(medium_young, about_35) == pytest.approx(0.5)
+
+    def test_touching_endpoints(self):
+        f = trap_pl(0, 1, 2, 3)
+        g = trap_pl(3, 4, 5, 6)
+        assert sup_min(f, g) == pytest.approx(0.0)
+
+    def test_commutative(self):
+        f = trap_pl(0, 2, 3, 7)
+        g = trap_pl(1, 5, 6, 9)
+        assert sup_min(f, g) == pytest.approx(sup_min(g, f))
+
+
+def _random_trap(draw_vals):
+    xs = sorted(draw_vals)
+    return trap_pl(*xs)
+
+
+@st.composite
+def trapezoids(draw):
+    xs = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+                min_size=4,
+                max_size=4,
+            )
+        )
+    )
+    a, b, c, d = xs
+    # Ramps are either sharp jumps or at least 0.5 wide, so a grid oracle
+    # (densified around breakpoints) can observe their suprema.
+    if b - a < 0.5:
+        b = a
+    if d - c < 0.5:
+        c = d
+    return trap_pl(a, b, c, d)
+
+
+class TestSupMinAgainstGridOracle:
+    """The exact sup-min must dominate any dense grid sample and match it
+    up to the grid's resolution error."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(trapezoids(), trapezoids())
+    def test_upper_bounds_grid(self, f, g):
+        exact = sup_min(f, g)
+        lo = min(f.xs[0], g.xs[0])
+        hi = max(f.xs[-1], g.xs[-1])
+        if hi == lo:
+            hi = lo + 1.0
+        steps = 400
+        samples = [lo + (hi - lo) * i / steps for i in range(steps + 1)]
+        samples.extend(f.xs)
+        samples.extend(g.xs)
+        grid_best = max(min(f(x), g(x)) for x in samples)
+        assert exact >= grid_best - 1e-9
+        # Piecewise-linear min is Lipschitz; the grid can't be far below.
+        assert exact <= grid_best + 0.2
+
+    @settings(max_examples=60, deadline=None)
+    @given(trapezoids(), trapezoids())
+    def test_bounded_by_heights(self, f, g):
+        assert sup_min(f, g) <= min(f.height, g.height) + 1e-12
+
+
+class TestEnvelopes:
+    def test_right_envelope_nonincreasing(self):
+        f = trap_pl(0, 2, 3, 5)
+        env = f.running_max_right()
+        xs = [0, 0.5, 1, 2, 2.5, 3, 4, 5]
+        values = [env(x) for x in xs]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_right_envelope_is_sup_of_tail(self):
+        f = trap_pl(0, 2, 3, 5)
+        env = f.running_max_right()
+        assert env(-10) == pytest.approx(1.0)
+        assert env(0.0) == pytest.approx(1.0)
+        assert env(3.0) == pytest.approx(1.0)
+        assert env(4.0) == pytest.approx(0.5)
+        assert env(5.0) == pytest.approx(0.0)
+
+    def test_left_envelope_nondecreasing(self):
+        f = trap_pl(0, 2, 3, 5)
+        env = f.running_max_left()
+        xs = [0, 1, 2, 3, 4, 5, 6]
+        values = [env(x) for x in xs]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_left_envelope_is_sup_of_head(self):
+        f = trap_pl(0, 2, 3, 5)
+        env = f.running_max_left()
+        assert env(1.0) == pytest.approx(0.5)
+        assert env(2.0) == pytest.approx(1.0)
+        assert env(10.0) == pytest.approx(1.0)

@@ -1,0 +1,61 @@
+"""Tests for the necessity measure (Section 2's double-measure discussion)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy import CrispNumber, Op, TrapezoidalNumber, necessity, possibility
+
+N = CrispNumber
+T = TrapezoidalNumber
+
+
+@st.composite
+def trapezoids(draw):
+    xs = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=-50, max_value=50, allow_nan=False),
+                min_size=4,
+                max_size=4,
+            )
+        )
+    )
+    return T(*xs)
+
+
+class TestNecessity:
+    def test_crisp_certainty(self):
+        assert necessity(N(3), Op.LT, N(5)) == 1.0
+        assert necessity(N(5), Op.LT, N(3)) == 0.0
+
+    def test_definition(self):
+        u = T(0, 2, 4, 6)
+        v = T(3, 5, 7, 9)
+        assert necessity(u, Op.LE, v) == pytest.approx(
+            1.0 - possibility(u, Op.GT, v)
+        )
+
+    def test_vague_equality_has_zero_necessity(self):
+        """Two overlapping fuzzy values may be equal but never necessarily."""
+        u = T(0, 2, 4, 6)
+        assert possibility(u, Op.EQ, u) == 1.0
+        assert necessity(u, Op.EQ, u) == 0.0
+
+    def test_disjoint_order_is_necessary(self):
+        low = T(0, 1, 2, 3)
+        high = T(10, 11, 12, 13)
+        assert necessity(low, Op.LT, high) == 1.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(trapezoids(), trapezoids(), st.sampled_from([Op.EQ, Op.LT, Op.LE, Op.GT, Op.GE]))
+    def test_necessity_never_exceeds_possibility(self, u, v, op):
+        """For convex normal distributions, Nec <= Poss (Section 2)."""
+        assert necessity(u, op, v) <= possibility(u, op, v) + 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(trapezoids(), trapezoids())
+    def test_duality(self, u, v):
+        assert necessity(u, Op.LE, v) == pytest.approx(
+            1.0 - possibility(u, Op.GT, v)
+        )

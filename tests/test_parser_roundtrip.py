@@ -1,0 +1,91 @@
+"""Property test: generated query ASTs survive a str() -> parse() round trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy.compare import Op
+from repro.sql import parse
+from repro.sql.ast import (
+    AggregateExpr,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    Literal,
+    QuantifiedComparison,
+    ScalarSubqueryComparison,
+    SelectQuery,
+    TableRef,
+)
+
+IDENT = st.sampled_from(["R", "S", "T2", "EMP"])
+ATTR = st.sampled_from(["X", "Y", "AGE", "INCOME", "K"])
+OPS = st.sampled_from([Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE])
+
+
+@st.composite
+def columns(draw, binding):
+    return ColumnRef(binding, draw(ATTR))
+
+
+@st.composite
+def literals(draw):
+    kind = draw(st.sampled_from(["num", "term"]))
+    if kind == "num":
+        value = draw(st.integers(min_value=0, max_value=999))
+        return Literal(float(value))
+    return Literal(draw(st.sampled_from(["medium young", "high", "about 35"])))
+
+
+@st.composite
+def comparisons(draw, binding):
+    left = draw(columns(binding))
+    right = draw(st.one_of(columns(binding), literals()))
+    return Comparison(left, draw(OPS), right)
+
+
+@st.composite
+def flat_queries(draw, binding="R", depth=0):
+    table = TableRef(draw(IDENT), binding if binding != "R" else None)
+    n_preds = draw(st.integers(min_value=0, max_value=3))
+    where = [draw(comparisons(table.binding)) for _ in range(n_preds)]
+    if depth < 2 and draw(st.booleans()):
+        inner_binding = f"B{depth}"
+        inner = draw(flat_queries(binding=inner_binding, depth=depth + 1))
+        kind = draw(st.sampled_from(["in", "not in", "all", "some", "agg"]))
+        column = draw(columns(table.binding))
+        if kind == "in":
+            where.append(InPredicate(column, inner, negated=False))
+        elif kind == "not in":
+            where.append(InPredicate(column, inner, negated=True))
+        elif kind == "all":
+            where.append(QuantifiedComparison(column, draw(OPS), "ALL", inner))
+        elif kind == "some":
+            where.append(QuantifiedComparison(column, draw(OPS), "SOME", inner))
+        else:
+            agg_inner = SelectQuery(
+                select=(AggregateExpr("MAX", ColumnRef(inner.from_tables[0].binding, "X")),),
+                from_tables=inner.from_tables,
+                where=inner.where,
+            )
+            where.append(ScalarSubqueryComparison(column, draw(OPS), agg_inner))
+    threshold = draw(st.one_of(st.none(), st.sampled_from([0.25, 0.5])))
+    return SelectQuery(
+        select=(draw(columns(table.binding)),),
+        from_tables=(table,),
+        where=tuple(where),
+        with_threshold=threshold,
+        distinct=draw(st.booleans()),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(flat_queries())
+    def test_str_parse_identity(self, query):
+        assert parse(str(query)) == query
+
+    @settings(max_examples=100, deadline=None)
+    @given(flat_queries())
+    def test_double_roundtrip_stable(self, query):
+        once = parse(str(query))
+        assert parse(str(once)) == once

@@ -1,0 +1,89 @@
+"""Tests for database persistence (save/load as JSON directories)."""
+
+import json
+
+import pytest
+
+from repro import FuzzyDatabase, load_database, save_database
+from repro.data import FuzzyRelation, FuzzyTuple, Schema, Attribute, AttributeType
+from repro.data.io import LoadError
+from repro.fuzzy import CrispLabel, CrispNumber, DiscreteDistribution, TrapezoidalNumber
+
+N = CrispNumber
+
+
+@pytest.fixture()
+def seeded():
+    db = FuzzyDatabase()
+    db.execute("CREATE TABLE M (ID NUMERIC, NAME LABEL, AGE NUMERIC ON 'AGE')")
+    db.execute("DEFINE 'medium young' ON 'AGE' AS '[20, 25, 30, 35]'")
+    db.execute("DEFINE 'universal' AS '[0, 100]'")
+    db.execute(
+        "INSERT INTO M VALUES (1, 'Ann', 'medium young'), (2, 'Bob', 50) WITH D 0.9"
+    )
+    rel = FuzzyRelation(Schema([Attribute("V")]))
+    rel.add(FuzzyTuple([DiscreteDistribution({1.0: 1.0, 2.0: 0.5})], 0.7))
+    db.register("DISC", rel)
+    return db
+
+
+class TestRoundTrip:
+    def test_tables_identical(self, seeded, tmp_path):
+        seeded.save(tmp_path)
+        loaded = FuzzyDatabase.load(tmp_path)
+        assert loaded.tables() == seeded.tables()
+        for name in seeded.tables():
+            assert loaded.table(name).same_as(seeded.table(name), 1e-12)
+
+    def test_schema_types_preserved(self, seeded, tmp_path):
+        seeded.save(tmp_path)
+        loaded = FuzzyDatabase.load(tmp_path)
+        schema = loaded.table("M").schema
+        assert schema.attribute("NAME").type is AttributeType.LABEL
+        assert schema.attribute("AGE").domain == "AGE"
+
+    def test_vocabulary_preserved(self, seeded, tmp_path):
+        seeded.save(tmp_path)
+        loaded = FuzzyDatabase.load(tmp_path)
+        term = loaded.catalog.vocabulary.resolve("medium young", "AGE")
+        assert term == TrapezoidalNumber(20, 25, 30, 35)
+        assert "universal" in loaded.catalog.vocabulary
+
+    def test_queries_work_after_load(self, seeded, tmp_path):
+        seeded.save(tmp_path)
+        loaded = FuzzyDatabase.load(tmp_path)
+        out = loaded.execute("SELECT M.NAME FROM M WHERE M.AGE = 'medium young'")
+        assert out.degree_of([CrispLabel("Ann")]) == 0.9
+
+    def test_save_is_deterministic(self, seeded, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        seeded.save(a)
+        seeded.save(b)
+        assert (a / "catalog.json").read_text() == (b / "catalog.json").read_text()
+
+    def test_files_are_editable_json(self, seeded, tmp_path):
+        seeded.save(tmp_path)
+        manifest = json.loads((tmp_path / "catalog.json").read_text())
+        assert "M" in manifest["tables"]
+        records = json.loads((tmp_path / "tables" / "M.json").read_text())
+        assert isinstance(records, list) and len(records) == 2
+
+
+class TestErrors:
+    def test_missing_catalog(self, tmp_path):
+        with pytest.raises(LoadError):
+            load_database(tmp_path / "nope")
+
+    def test_bad_version(self, seeded, tmp_path):
+        seeded.save(tmp_path)
+        manifest = json.loads((tmp_path / "catalog.json").read_text())
+        manifest["format_version"] = 99
+        (tmp_path / "catalog.json").write_text(json.dumps(manifest))
+        with pytest.raises(LoadError):
+            load_database(tmp_path)
+
+    def test_missing_table_file(self, seeded, tmp_path):
+        seeded.save(tmp_path)
+        (tmp_path / "tables" / "M.json").unlink()
+        with pytest.raises(LoadError):
+            load_database(tmp_path)

@@ -1,0 +1,101 @@
+"""Tests for the unnesting pipeline plumbing and the bench harness CLI."""
+
+import io
+
+import pytest
+
+from repro.bench.harness import main, run_all
+from repro.data import Catalog, FuzzyRelation, Schema
+from repro.engine import NaiveEvaluator
+from repro.sql import parse
+from repro.unnest.pipeline import Step, UnnestedPlan
+
+SCHEMA = Schema(["K", "V"])
+
+
+def make_catalog():
+    cat = Catalog()
+    cat.register("R", FuzzyRelation.from_rows(SCHEMA, [(1, 10, 0.5), (2, 20)]))
+    return cat
+
+
+def make_evaluator(catalog):
+    return NaiveEvaluator(catalog)
+
+
+class TestPipeline:
+    def test_sql_step_registers_temp(self):
+        plan = UnnestedPlan(
+            final=parse("SELECT T.K FROM T"),
+            steps=[Step("T", parse("SELECT R.K, R.V FROM R WHERE R.V > 15"))],
+        )
+        out = plan.execute(make_catalog(), make_evaluator)
+        assert len(out) == 1
+
+    def test_callable_step(self):
+        def body(catalog, make_eval):
+            return make_eval(catalog).evaluate("SELECT R.K FROM R")
+
+        plan = UnnestedPlan(
+            final=parse("SELECT T.K FROM T"),
+            steps=[Step("T", body, description="custom step")],
+        )
+        out = plan.execute(make_catalog(), make_evaluator)
+        assert len(out) == 2
+
+    def test_callable_final(self):
+        def final(catalog, make_eval):
+            return make_eval(catalog).evaluate("SELECT R.V FROM R")
+
+        plan = UnnestedPlan(final=final)
+        out = plan.execute(make_catalog(), make_evaluator)
+        assert len(out) == 2
+
+    def test_steps_see_previous_steps(self):
+        plan = UnnestedPlan(
+            final=parse("SELECT B.K FROM B"),
+            steps=[
+                Step("A", parse("SELECT R.K, R.V FROM R")),
+                Step("B", parse("SELECT A.K, A.V FROM A WHERE A.V < 15")),
+            ],
+        )
+        out = plan.execute(make_catalog(), make_evaluator)
+        assert len(out) == 1
+
+    def test_original_catalog_untouched(self):
+        catalog = make_catalog()
+        plan = UnnestedPlan(
+            final=parse("SELECT T.K FROM T"),
+            steps=[Step("T", parse("SELECT R.K, R.V FROM R"))],
+        )
+        plan.execute(catalog, make_evaluator)
+        assert "T" not in catalog
+
+    def test_explain_lists_steps(self):
+        plan = UnnestedPlan(
+            final=parse("SELECT T.K FROM T"),
+            steps=[Step("T", parse("SELECT R.K FROM R"), description="step one")],
+            nesting_type="demo",
+        )
+        text = plan.explain()
+        assert "demo" in text
+        assert "T := SELECT R.K FROM R" in text
+        assert "answer :=" in text
+
+
+class TestHarness:
+    def test_run_all_selected(self):
+        stream = io.StringIO()
+        results = run_all(scale=256, only=["table4"], stream=stream)
+        assert set(results) == {"table4"}
+        assert "Table 4" in stream.getvalue()
+
+    def test_main_rejects_unknown(self, capsys):
+        assert main(["not_an_experiment"]) == 2
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_main_runs_selection(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "256")
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out and "paper reference" in out

@@ -1,0 +1,280 @@
+"""Tests for the naive evaluator (the paper's execution semantics)."""
+
+import pytest
+
+from repro.data import Attribute, AttributeType, Catalog, FuzzyRelation, Schema
+from repro.engine import DegreePolicy, NaiveEvaluator
+from repro.fuzzy import (
+    CrispLabel,
+    CrispNumber,
+    TrapezoidalNumber,
+    ToleranceSimilarity,
+    paper_vocabulary,
+)
+from repro.sql.errors import BindError
+
+N = CrispNumber
+L = CrispLabel
+T = TrapezoidalNumber
+
+SIMPLE = Schema([Attribute("K"), Attribute("V")])
+
+
+def catalog_with(**relations):
+    cat = Catalog(paper_vocabulary())
+    for name, rows in relations.items():
+        cat.register(name, FuzzyRelation.from_rows(SIMPLE, rows, cat.vocabulary))
+    return cat
+
+
+class TestProjection:
+    def test_projection_keeps_degree(self):
+        cat = catalog_with(R=[(1, 10, 0.6)])
+        out = NaiveEvaluator(cat).evaluate("SELECT R.K FROM R")
+        assert out.degree_of([N(1)]) == 0.6
+
+    def test_duplicate_elimination_max(self):
+        cat = catalog_with(R=[(1, 10, 0.6), (2, 10, 0.9)])
+        out = NaiveEvaluator(cat).evaluate("SELECT R.V FROM R")
+        assert len(out) == 1
+        assert out.degree_of([N(10)]) == 0.9
+
+    def test_select_multiple_columns(self):
+        cat = catalog_with(R=[(1, 10)])
+        out = NaiveEvaluator(cat).evaluate("SELECT R.V, R.K FROM R")
+        assert out.schema.names() == ["V", "K"]
+
+    def test_duplicate_names_disambiguated(self):
+        cat = catalog_with(R=[(1, 10)], S=[(2, 20)])
+        out = NaiveEvaluator(cat).evaluate("SELECT R.K, S.K FROM R, S")
+        assert out.schema.names() == ["K", "K_1"]
+
+
+class TestSelection:
+    def test_crisp_predicate(self):
+        cat = catalog_with(R=[(1, 10), (2, 20)])
+        out = NaiveEvaluator(cat).evaluate("SELECT R.K FROM R WHERE R.V = 10")
+        assert len(out) == 1
+
+    def test_fuzzy_predicate_degree(self):
+        cat = Catalog(paper_vocabulary())
+        schema = Schema([Attribute("ID"), Attribute("AGE")])
+        cat.register("R", FuzzyRelation.from_rows(schema, [(1, "about 35")], cat.vocabulary))
+        out = NaiveEvaluator(cat).evaluate("SELECT R.ID FROM R WHERE R.AGE = 'medium young'")
+        assert out.degree_of([N(1)]) == pytest.approx(0.5)
+
+    def test_conjunction_is_min(self):
+        cat = Catalog(paper_vocabulary())
+        schema = Schema([Attribute("ID"), Attribute("AGE"), Attribute("INCOME")])
+        cat.register(
+            "R",
+            FuzzyRelation.from_rows(schema, [(1, "about 35", "medium high")], cat.vocabulary),
+        )
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.ID FROM R WHERE R.AGE = 'medium young' AND R.INCOME = 'high'"
+        )
+        assert out.degree_of([N(1)]) == pytest.approx(min(0.5, 0.7))
+
+    def test_tuple_degree_enters_min(self):
+        cat = catalog_with(R=[(1, 10, 0.3)])
+        out = NaiveEvaluator(cat).evaluate("SELECT R.K FROM R WHERE R.V = 10")
+        assert out.degree_of([N(1)]) == 0.3
+
+    def test_literal_on_left(self):
+        cat = catalog_with(R=[(1, 10), (2, 20)])
+        out = NaiveEvaluator(cat).evaluate("SELECT R.K FROM R WHERE 15 < R.V")
+        assert len(out) == 1
+        assert out.degree_of([N(2)]) == 1.0
+
+    def test_cross_product_join(self):
+        cat = catalog_with(R=[(1, 10, 0.8)], S=[(2, 10, 0.6)])
+        out = NaiveEvaluator(cat).evaluate("SELECT R.K, S.K FROM R, S WHERE R.V = S.V")
+        assert out.degree_of([N(1), N(2)]) == pytest.approx(0.6)
+
+    def test_with_threshold_filters_answer(self):
+        cat = catalog_with(R=[(1, 10, 0.3), (2, 20, 0.8)])
+        out = NaiveEvaluator(cat).evaluate("SELECT R.K FROM R WITH D >= 0.5")
+        assert len(out) == 1
+
+
+class TestSubqueries:
+    def test_in_membership_degree(self):
+        cat = catalog_with(R=[(1, 10)], S=[(5, 10, 0.4), (6, 10, 0.9)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S)"
+        )
+        assert out.degree_of([N(1)]) == pytest.approx(0.9)
+
+    def test_not_in_complement(self):
+        cat = catalog_with(R=[(1, 10)], S=[(5, 10, 0.4)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE R.V NOT IN (SELECT S.V FROM S)"
+        )
+        assert out.degree_of([N(1)]) == pytest.approx(0.6)
+
+    def test_not_in_empty_set_is_full(self):
+        cat = catalog_with(R=[(1, 10)], S=[(5, 99)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE R.V NOT IN (SELECT S.V FROM S WHERE S.K = 0)"
+        )
+        assert out.degree_of([N(1)]) == 1.0
+
+    def test_correlated_subquery(self):
+        cat = catalog_with(R=[(1, 10), (2, 20)], S=[(1, 10), (2, 99)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S WHERE S.K = R.K)"
+        )
+        assert out.degree_of([N(1)]) == 1.0
+        assert out.degree_of([N(2)]) == 0.0
+
+    def test_all_quantifier(self):
+        cat = catalog_with(R=[(1, 5)], S=[(1, 10, 0.8), (2, 20)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE R.V < ALL (SELECT S.V FROM S)"
+        )
+        assert out.degree_of([N(1)]) == 1.0
+
+    def test_all_quantifier_violated(self):
+        cat = catalog_with(R=[(1, 15)], S=[(1, 10, 0.8), (2, 20)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE R.V < ALL (SELECT S.V FROM S)"
+        )
+        # d = 1 - max min(0.8, 1 - d(15<10)) = 1 - 0.8
+        assert out.degree_of([N(1)]) == pytest.approx(0.2)
+
+    def test_all_on_empty_is_one(self):
+        cat = catalog_with(R=[(1, 15)], S=[(1, 10)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE R.V < ALL (SELECT S.V FROM S WHERE S.K = 0)"
+        )
+        assert out.degree_of([N(1)]) == 1.0
+
+    def test_some_quantifier(self):
+        cat = catalog_with(R=[(1, 15)], S=[(1, 10, 0.7), (2, 20, 0.4)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE R.V > SOME (SELECT S.V FROM S)"
+        )
+        assert out.degree_of([N(1)]) == pytest.approx(0.7)
+
+    def test_exists(self):
+        cat = catalog_with(R=[(1, 10)], S=[(1, 10, 0.6)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE EXISTS (SELECT S.K FROM S WHERE S.V = R.V)"
+        )
+        assert out.degree_of([N(1)]) == pytest.approx(0.6)
+
+    def test_not_exists(self):
+        cat = catalog_with(R=[(1, 10)], S=[(1, 10, 0.6)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE NOT EXISTS (SELECT S.K FROM S WHERE S.V = R.V)"
+        )
+        assert out.degree_of([N(1)]) == pytest.approx(0.4)
+
+    def test_scalar_aggregate_comparison(self):
+        cat = catalog_with(R=[(1, 25)], S=[(1, 10), (2, 20)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE R.V > (SELECT MAX(S.V) FROM S)"
+        )
+        assert out.degree_of([N(1)]) == 1.0
+
+    def test_scalar_aggregate_empty_non_count_fails(self):
+        cat = catalog_with(R=[(1, 25)], S=[(1, 10)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE R.V > (SELECT MAX(S.V) FROM S WHERE S.K = 0)"
+        )
+        assert len(out) == 0
+
+    def test_scalar_count_empty_is_zero(self):
+        cat = catalog_with(R=[(1, 25)], S=[(1, 10)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K FROM R WHERE R.V > (SELECT COUNT(S.V) FROM S WHERE S.K = 0)"
+        )
+        assert out.degree_of([N(1)]) == 1.0
+
+
+class TestGroupingAndAggregates:
+    def test_group_by_with_aggregate(self):
+        cat = catalog_with(R=[(1, 10), (1, 20), (2, 30)])
+        out = NaiveEvaluator(cat).evaluate(
+            "SELECT R.K, MAX(R.V) FROM R GROUPBY R.K"
+        )
+        assert len(out) == 2
+        assert out.degree_of([N(1), N(20)]) == 1.0
+        assert out.degree_of([N(2), N(30)]) == 1.0
+
+    def test_count(self):
+        cat = catalog_with(R=[(1, 10), (1, 20), (2, 30)])
+        out = NaiveEvaluator(cat).evaluate("SELECT R.K, COUNT(R.V) FROM R GROUPBY R.K")
+        assert out.degree_of([N(1), N(2)]) == 1.0
+
+    def test_sum_fuzzy_addition(self):
+        cat = Catalog()
+        schema = Schema([Attribute("K"), Attribute("V")])
+        rel = FuzzyRelation(schema)
+        from repro.data import FuzzyTuple
+
+        rel.add(FuzzyTuple([N(1), T(0, 1, 2, 3)], 1.0))
+        rel.add(FuzzyTuple([N(1), T(10, 20, 30, 40)], 1.0))
+        cat.register("R", rel)
+        out = NaiveEvaluator(cat).evaluate("SELECT R.K, SUM(R.V) FROM R GROUPBY R.K")
+        result = out.tuples()[0][1]
+        assert (result.a, result.b, result.c, result.d) == (10, 21, 32, 43)
+
+    def test_avg(self):
+        cat = catalog_with(R=[(1, 10), (1, 30)])
+        out = NaiveEvaluator(cat).evaluate("SELECT R.K, AVG(R.V) FROM R GROUPBY R.K")
+        result = out.tuples()[0][1]
+        assert result.defuzzify() == pytest.approx(20.0)
+
+    def test_min_d_defines_degree(self):
+        cat = catalog_with(R=[(1, 10, 0.6), (1, 10, 0.6)])
+        out = NaiveEvaluator(cat).evaluate("SELECT R.K, MIN(D) FROM R GROUPBY R.K")
+        assert out.schema.names() == ["K"]
+        assert out.degree_of([N(1)]) == 0.6
+
+    def test_aggregate_policy_average(self):
+        cat = catalog_with(R=[(1, 10, 0.4), (1, 20, 0.8)])
+        out = NaiveEvaluator(cat, aggregate_policy=DegreePolicy.AVERAGE).evaluate(
+            "SELECT R.K, MAX(R.V) FROM R GROUPBY R.K"
+        )
+        assert out.tuples()[0].degree == pytest.approx(0.6)
+
+    def test_ungrouped_aggregate_single_row(self):
+        cat = catalog_with(R=[(1, 10), (2, 20)])
+        out = NaiveEvaluator(cat).evaluate("SELECT COUNT(R.V) FROM R")
+        assert len(out) == 1
+        assert out.degree_of([N(2)]) == 1.0
+
+    def test_ungrouped_count_of_nothing(self):
+        cat = catalog_with(R=[(1, 10)])
+        out = NaiveEvaluator(cat).evaluate("SELECT COUNT(R.V) FROM R WHERE R.K = 99")
+        assert out.degree_of([N(0)]) == 1.0
+
+
+class TestSimilarityPredicate:
+    def test_similarity_comparison(self):
+        cat = catalog_with(R=[(1, 10), (2, 14), (3, 30)])
+        ev = NaiveEvaluator(cat, similarity=ToleranceSimilarity(full=2, zero=6))
+        out = ev.evaluate("SELECT R.K FROM R WHERE R.V ~= 11")
+        assert out.degree_of([N(1)]) == 1.0
+        assert out.degree_of([N(2)]) == pytest.approx(0.75)
+        assert out.degree_of([N(3)]) == 0.0
+
+    def test_similarity_unconfigured(self):
+        cat = catalog_with(R=[(1, 10)])
+        with pytest.raises(BindError):
+            NaiveEvaluator(cat).evaluate("SELECT R.K FROM R WHERE R.V ~= 11")
+
+
+class TestErrors:
+    def test_unknown_column(self):
+        cat = catalog_with(R=[(1, 10)])
+        with pytest.raises(BindError):
+            NaiveEvaluator(cat).evaluate("SELECT R.NOPE FROM R")
+
+    def test_scalar_subquery_multiple_rows(self):
+        cat = catalog_with(R=[(1, 10)], S=[(1, 10), (2, 20)])
+        with pytest.raises(BindError):
+            NaiveEvaluator(cat).evaluate(
+                "SELECT R.K FROM R WHERE R.V > (SELECT S.V FROM S)"
+            )

@@ -1,0 +1,146 @@
+"""Tests for similarity relations and the fuzzy logical connectives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy.crisp import CrispLabel, CrispNumber
+from repro.fuzzy.discrete import DiscreteDistribution
+from repro.fuzzy.logic import PRODUCT, ZADEH, f_and, f_not, f_or, meets_threshold
+from repro.fuzzy.similarity import TableSimilarity, ToleranceSimilarity
+from repro.fuzzy.trapezoid import TrapezoidalNumber
+
+N = CrispNumber
+T = TrapezoidalNumber
+
+
+class TestToleranceSimilarity:
+    def test_exact_match(self):
+        sim = ToleranceSimilarity(full=2, zero=5)
+        assert sim.degree(N(10), N(10)) == 1.0
+
+    def test_within_full_band(self):
+        sim = ToleranceSimilarity(full=2, zero=5)
+        assert sim.degree(N(10), N(11.5)) == 1.0
+
+    def test_on_ramp(self):
+        sim = ToleranceSimilarity(full=2, zero=5)
+        # |diff| = 3.5 -> (5 - 3.5) / (5 - 2) = 0.5
+        assert sim.degree(N(10), N(13.5)) == pytest.approx(0.5)
+
+    def test_beyond_zero_band(self):
+        sim = ToleranceSimilarity(full=2, zero=5)
+        assert sim.degree(N(10), N(16)) == 0.0
+
+    def test_symmetric(self):
+        sim = ToleranceSimilarity(full=1, zero=4)
+        assert sim.degree(N(3), N(6)) == pytest.approx(sim.degree(N(6), N(3)))
+
+    def test_fuzzy_operands(self):
+        sim = ToleranceSimilarity(full=0, zero=10)
+        a = T(0, 1, 2, 3)
+        b = T(10, 11, 12, 13)
+        # Difference support [7, 13]: partially tolerable.
+        degree = sim.degree(a, b)
+        assert 0.0 < degree < 1.0
+
+    def test_degenerate_is_equality(self):
+        sim = ToleranceSimilarity(full=0, zero=0)
+        assert sim.degree(N(5), N(5)) == 1.0
+        assert sim.degree(N(5), N(6)) == 0.0
+
+    def test_discrete_operands(self):
+        sim = ToleranceSimilarity(full=1, zero=3)
+        d = DiscreteDistribution({5.0: 1.0, 20.0: 0.4})
+        assert sim.degree(d, N(6)) == 1.0
+        assert sim.degree(d, N(21)) == pytest.approx(0.4)
+
+    def test_mixed_discrete_continuous(self):
+        sim = ToleranceSimilarity(full=0, zero=2)
+        d = DiscreteDistribution({5.0: 0.8})
+        t = T(5, 6, 6, 7)
+        assert 0.0 < sim.degree(d, t) <= 0.8
+
+    def test_rejects_bad_bands(self):
+        with pytest.raises(ValueError):
+            ToleranceSimilarity(full=5, zero=2)
+
+    def test_rejects_labels(self):
+        sim = ToleranceSimilarity(full=1, zero=2)
+        with pytest.raises(TypeError):
+            sim.degree(CrispLabel("a"), CrispLabel("b"))
+
+
+class TestTableSimilarity:
+    def test_reflexive(self):
+        sim = TableSimilarity({})
+        assert sim.degree(CrispLabel("x"), CrispLabel("x")) == 1.0
+
+    def test_symmetric_table(self):
+        sim = TableSimilarity({("red", "crimson"): 0.8})
+        assert sim.degree(CrispLabel("crimson"), CrispLabel("red")) == pytest.approx(0.8)
+
+    def test_missing_pair(self):
+        sim = TableSimilarity({("red", "crimson"): 0.8})
+        assert sim.degree(CrispLabel("red"), CrispLabel("blue")) == 0.0
+
+    def test_discrete_labels(self):
+        sim = TableSimilarity({("a", "b"): 0.5})
+        d = DiscreteDistribution({"a": 1.0, "c": 0.9})
+        assert sim.degree(d, CrispLabel("b")) == pytest.approx(0.5)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            TableSimilarity({("a", "b"): 1.5})
+
+
+class TestConnectives:
+    def test_f_and_is_min(self):
+        assert f_and(0.3, 0.8, 0.5) == 0.3
+
+    def test_f_and_empty_is_one(self):
+        assert f_and() == 1.0
+
+    def test_f_or_is_max(self):
+        assert f_or(0.3, 0.8, 0.5) == 0.8
+
+    def test_f_or_empty_is_zero(self):
+        assert f_or() == 0.0
+
+    def test_f_not(self):
+        assert f_not(0.3) == pytest.approx(0.7)
+
+    def test_product_norms(self):
+        assert PRODUCT.conjunction([0.5, 0.5]) == 0.25
+        assert PRODUCT.disjunction([0.5, 0.5]) == 0.75
+
+    def test_zadeh_short_circuits(self):
+        seen = []
+
+        def gen():
+            for d in (0.4, 0.0, 0.9):
+                seen.append(d)
+                yield d
+
+        assert ZADEH.conjunction(gen()) == 0.0
+        assert seen == [0.4, 0.0]  # stopped at the zero
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=5))
+    def test_de_morgan(self, degrees):
+        lhs = f_not(ZADEH.conjunction(degrees))
+        rhs = ZADEH.disjunction([f_not(d) for d in degrees])
+        assert lhs == pytest.approx(rhs)
+
+
+class TestThreshold:
+    def test_default_strict_positive(self):
+        assert meets_threshold(0.001, 0.0)
+        assert not meets_threshold(0.0, 0.0)
+
+    def test_positive_threshold_inclusive(self):
+        assert meets_threshold(0.5, 0.5)
+        assert not meets_threshold(0.49, 0.5)
+
+    def test_full_threshold(self):
+        assert meets_threshold(1.0, 1.0)

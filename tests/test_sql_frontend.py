@@ -1,0 +1,354 @@
+"""Tests for the Fuzzy SQL lexer, parser, binder, and classifier."""
+
+import pytest
+
+from repro.data import Attribute, AttributeType, Catalog, FuzzyRelation, Schema
+from repro.fuzzy import Op, paper_vocabulary
+from repro.sql import (
+    AggregateExpr,
+    BindError,
+    ColumnRef,
+    Comparison,
+    DegreePredicate,
+    ExistsPredicate,
+    InPredicate,
+    LexError,
+    Literal,
+    NegatedConjunction,
+    NestingType,
+    ParseError,
+    QuantifiedComparison,
+    ScalarSubqueryComparison,
+    Scope,
+    TokenType,
+    classify,
+    nesting_depth,
+    parse,
+    references_outer,
+    tokenize,
+    validate,
+)
+
+CLIENT = Schema(
+    [
+        Attribute("ID"),
+        Attribute("NAME", AttributeType.LABEL),
+        Attribute("AGE"),
+        Attribute("INCOME"),
+    ]
+)
+
+
+def make_catalog():
+    cat = Catalog(paper_vocabulary())
+    cat.register("F", FuzzyRelation(CLIENT))
+    cat.register("M", FuzzyRelation(CLIENT))
+    cat.register("EMP", FuzzyRelation(CLIENT))
+    return cat
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_qualified_identifier(self):
+        tokens = tokenize("R.X")
+        assert [t.type for t in tokens[:-1]] == [TokenType.IDENT, TokenType.DOT, TokenType.IDENT]
+
+    def test_numbers(self):
+        tokens = tokenize("3 3.5 0.25")
+        assert [t.value for t in tokens[:-1]] == [3.0, 3.5, 0.25]
+
+    def test_number_then_dot_qualifier_not_confused(self):
+        # "R1.X" is ident-dot-ident even though R1 ends in a digit.
+        tokens = tokenize("R1.X")
+        assert tokens[0].type is TokenType.IDENT
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize("'medium young' \"about 35\"")
+        assert tokens[0].value == "medium young"
+        assert tokens[1].value == "about 35"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = tokenize("= <> != <= >= < > ~=")
+        ops = [t.value for t in tokens[:-1]]
+        assert ops == ["=", "<>", "!=", "<=", ">=", "<", ">", "~="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT @")
+
+
+class TestParser:
+    def test_simple_select(self):
+        q = parse("SELECT R.X FROM R")
+        assert q.select == (ColumnRef("R", "X"),)
+        assert q.from_tables[0].name == "R"
+        assert q.where == ()
+
+    def test_alias(self):
+        q = parse("SELECT R.X FROM EMP R")
+        assert q.from_tables[0].name == "EMP"
+        assert q.from_tables[0].binding == "R"
+
+    def test_multi_table_multi_column(self):
+        q = parse("SELECT F.NAME, M.NAME FROM F, M")
+        assert len(q.select) == 2
+        assert len(q.from_tables) == 2
+
+    def test_where_conjunction(self):
+        q = parse("SELECT R.X FROM R WHERE R.X = 3 AND R.Y > 'high'")
+        assert len(q.where) == 2
+        p0 = q.where[0]
+        assert isinstance(p0, Comparison) and p0.op is Op.EQ
+        assert q.where[1].right == Literal("high")
+
+    def test_is_in(self):
+        q = parse("SELECT R.X FROM R WHERE R.Y is in (SELECT S.Z FROM S)")
+        p = q.where[0]
+        assert isinstance(p, InPredicate) and not p.negated
+
+    def test_in_without_is(self):
+        q = parse("SELECT R.X FROM R WHERE R.Y IN (SELECT S.Z FROM S)")
+        assert isinstance(q.where[0], InPredicate)
+
+    def test_is_not_in(self):
+        q = parse("SELECT R.X FROM R WHERE R.Y is not in (SELECT S.Z FROM S)")
+        p = q.where[0]
+        assert isinstance(p, InPredicate) and p.negated
+
+    def test_quantified_all(self):
+        q = parse("SELECT R.X FROM R WHERE R.Y < ALL (SELECT S.Z FROM S)")
+        p = q.where[0]
+        assert isinstance(p, QuantifiedComparison)
+        assert p.quantifier == "ALL" and p.op is Op.LT
+
+    def test_quantified_some(self):
+        q = parse("SELECT R.X FROM R WHERE R.Y >= SOME (SELECT S.Z FROM S)")
+        assert q.where[0].quantifier == "SOME"
+
+    def test_scalar_aggregate_subquery(self):
+        q = parse("SELECT R.X FROM R WHERE R.Y > (SELECT MAX(S.Z) FROM S)")
+        p = q.where[0]
+        assert isinstance(p, ScalarSubqueryComparison)
+        assert isinstance(p.query.select[0], AggregateExpr)
+        assert p.query.select[0].func == "MAX"
+
+    def test_exists(self):
+        q = parse("SELECT R.X FROM R WHERE EXISTS (SELECT S.Z FROM S)")
+        assert isinstance(q.where[0], ExistsPredicate)
+
+    def test_not_exists(self):
+        q = parse("SELECT R.X FROM R WHERE NOT EXISTS (SELECT S.Z FROM S)")
+        p = q.where[0]
+        assert isinstance(p, ExistsPredicate) and p.negated
+
+    def test_with_clause(self):
+        q = parse("SELECT R.X FROM R WITH D >= 0.5")
+        assert q.with_threshold == 0.5
+
+    def test_with_strict(self):
+        q = parse("SELECT R.X FROM R WITH D > 0")
+        assert q.with_threshold == 0.0
+
+    def test_with_bad_operator(self):
+        with pytest.raises(ParseError):
+            parse("SELECT R.X FROM R WITH D <= 0.5")
+
+    def test_groupby_forms(self):
+        q1 = parse("SELECT R.X, MIN(D) FROM R GROUPBY R.X")
+        q2 = parse("SELECT R.X, MIN(D) FROM R GROUP BY R.X")
+        assert q1.group_by == q2.group_by == (ColumnRef("R", "X"),)
+
+    def test_min_d_aggregate(self):
+        q = parse("SELECT R.X, MIN(D) FROM R GROUPBY R.X")
+        agg = q.select[1]
+        assert isinstance(agg, AggregateExpr)
+        assert agg.argument.attribute == "D"
+
+    def test_degree_predicate(self):
+        q = parse("SELECT R.X FROM R WHERE R.D AND R.X = 1")
+        assert isinstance(q.where[0], DegreePredicate)
+        assert q.where[0].degree.relation == "R"
+
+    def test_negated_conjunction(self):
+        q = parse("SELECT R.X FROM R, S WHERE R.D AND NOT (S.D AND R.X = S.X)")
+        p = q.where[1]
+        assert isinstance(p, NegatedConjunction)
+        assert len(p.predicates) == 2
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT R.X FROM R").distinct
+
+    def test_nested_depth(self):
+        q = parse(
+            "SELECT R.X FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.W IN "
+            "(SELECT T.V FROM T))"
+        )
+        assert nesting_depth(q) == 3
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("SELECT R.X FROM R extra ,")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse("SELECT R.X")
+
+    def test_roundtrip_str_parses(self):
+        sql = "SELECT R.X FROM R WHERE R.Y IN (SELECT S.Z FROM S WHERE S.V = R.U)"
+        q = parse(sql)
+        assert parse(str(q)) == q
+
+
+class TestBinder:
+    def test_validate_ok(self):
+        cat = make_catalog()
+        validate(parse("SELECT F.NAME FROM F WHERE F.AGE = 30"), cat)
+
+    def test_unknown_relation(self):
+        cat = make_catalog()
+        with pytest.raises(KeyError):
+            validate(parse("SELECT Z.X FROM Z"), cat)
+
+    def test_unknown_attribute(self):
+        cat = make_catalog()
+        with pytest.raises(BindError):
+            validate(parse("SELECT F.WRONG FROM F"), cat)
+
+    def test_unqualified_resolution(self):
+        cat = make_catalog()
+        validate(parse("SELECT NAME FROM F"), cat)
+
+    def test_ambiguous_unqualified(self):
+        cat = make_catalog()
+        with pytest.raises(BindError):
+            validate(parse("SELECT NAME FROM F, M"), cat)
+
+    def test_duplicate_binding(self):
+        cat = make_catalog()
+        with pytest.raises(BindError):
+            validate(parse("SELECT F.NAME FROM F, F"), cat)
+
+    def test_correlated_subquery_resolves(self):
+        cat = make_catalog()
+        validate(
+            parse(
+                "SELECT F.NAME FROM F WHERE F.INCOME IN "
+                "(SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)"
+            ),
+            cat,
+        )
+
+    def test_references_outer(self):
+        cat = make_catalog()
+        outer = parse(
+            "SELECT F.NAME FROM F WHERE F.INCOME IN "
+            "(SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)"
+        )
+        scope = Scope.for_query(outer, cat)
+        assert references_outer(outer.where[0].query, cat, scope)
+
+    def test_references_outer_false(self):
+        cat = make_catalog()
+        outer = parse(
+            "SELECT F.NAME FROM F WHERE F.INCOME IN "
+            "(SELECT M.INCOME FROM M WHERE M.AGE = 30)"
+        )
+        scope = Scope.for_query(outer, cat)
+        assert not references_outer(outer.where[0].query, cat, scope)
+
+
+class TestClassifier:
+    def classify_sql(self, sql):
+        return classify(parse(sql), make_catalog())
+
+    def test_flat(self):
+        assert self.classify_sql("SELECT F.NAME FROM F") is NestingType.FLAT
+
+    def test_type_n(self):
+        t = self.classify_sql(
+            "SELECT F.NAME FROM F WHERE F.INCOME IN (SELECT M.INCOME FROM M)"
+        )
+        assert t is NestingType.TYPE_N
+
+    def test_type_j(self):
+        t = self.classify_sql(
+            "SELECT F.NAME FROM F WHERE F.INCOME IN "
+            "(SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)"
+        )
+        assert t is NestingType.TYPE_J
+
+    def test_type_xn(self):
+        t = self.classify_sql(
+            "SELECT F.NAME FROM F WHERE F.INCOME NOT IN (SELECT M.INCOME FROM M)"
+        )
+        assert t is NestingType.TYPE_XN
+
+    def test_type_jx(self):
+        t = self.classify_sql(
+            "SELECT F.NAME FROM F WHERE F.INCOME NOT IN "
+            "(SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)"
+        )
+        assert t is NestingType.TYPE_JX
+
+    def test_type_a(self):
+        t = self.classify_sql(
+            "SELECT F.NAME FROM F WHERE F.INCOME > (SELECT AVG(M.INCOME) FROM M)"
+        )
+        assert t is NestingType.TYPE_A
+
+    def test_type_ja(self):
+        t = self.classify_sql(
+            "SELECT F.NAME FROM F WHERE F.INCOME > "
+            "(SELECT MAX(M.INCOME) FROM M WHERE M.AGE = F.AGE)"
+        )
+        assert t is NestingType.TYPE_JA
+
+    def test_type_jall(self):
+        t = self.classify_sql(
+            "SELECT F.NAME FROM F WHERE F.INCOME < ALL "
+            "(SELECT M.INCOME FROM M WHERE M.AGE = F.AGE)"
+        )
+        assert t is NestingType.TYPE_JALL
+
+    def test_type_some(self):
+        t = self.classify_sql(
+            "SELECT F.NAME FROM F WHERE F.INCOME > SOME (SELECT M.INCOME FROM M)"
+        )
+        assert t is NestingType.TYPE_SOME
+
+    def test_chain(self):
+        t = self.classify_sql(
+            "SELECT F.NAME FROM F WHERE F.INCOME IN "
+            "(SELECT M.INCOME FROM M WHERE M.AGE = F.AGE AND M.AGE IN "
+            "(SELECT E.AGE FROM EMP E WHERE E.INCOME = M.INCOME))"
+        )
+        assert t is NestingType.CHAIN
+
+    def test_exists_is_general(self):
+        t = self.classify_sql(
+            "SELECT F.NAME FROM F WHERE EXISTS (SELECT M.INCOME FROM M)"
+        )
+        assert t is NestingType.GENERAL
+
+    def test_two_subqueries_is_general(self):
+        t = self.classify_sql(
+            "SELECT F.NAME FROM F WHERE F.INCOME IN (SELECT M.INCOME FROM M) "
+            "AND F.AGE IN (SELECT M.AGE FROM M)"
+        )
+        assert t is NestingType.GENERAL
+
+    def test_aggregate_inside_chain_breaks_chain(self):
+        t = self.classify_sql(
+            "SELECT F.NAME FROM F WHERE F.INCOME IN "
+            "(SELECT M.INCOME FROM M WHERE M.AGE NOT IN "
+            "(SELECT E.AGE FROM EMP E))"
+        )
+        assert t is NestingType.GENERAL

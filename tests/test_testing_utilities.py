@@ -1,0 +1,87 @@
+"""Tests for the public hypothesis strategies (repro.testing)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.data import FuzzyRelation, Schema
+from repro.engine import NaiveEvaluator
+from repro.data import Catalog
+from repro.fuzzy import Op, possibility
+from repro.testing import (
+    anchored_value_pool,
+    discrete_distributions,
+    fuzzy_relations,
+    labeled_relations,
+    numeric_distributions,
+    trapezoids,
+)
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+
+class TestStrategies:
+    @settings(**SETTINGS)
+    @given(trapezoids())
+    def test_trapezoids_valid(self, t):
+        assert t.a <= t.b <= t.c <= t.d
+
+    @settings(**SETTINGS)
+    @given(trapezoids(min_ramp=0.5))
+    def test_min_ramp(self, t):
+        assert t.b - t.a == 0 or t.b - t.a >= 0.5
+        assert t.d - t.c == 0 or t.d - t.c >= 0.5
+
+    @settings(**SETTINGS)
+    @given(discrete_distributions())
+    def test_discrete_valid(self, d):
+        assert d.is_numeric
+        assert all(0 < p <= 1 for p in d.items.values())
+
+    @settings(**SETTINGS)
+    @given(numeric_distributions())
+    def test_numeric_protocol(self, v):
+        assert v.is_numeric
+        lo, hi = v.interval()
+        assert lo <= hi
+
+    @settings(**SETTINGS)
+    @given(fuzzy_relations())
+    def test_relations_valid(self, rel):
+        assert len(rel) <= 6
+        for t in rel:
+            assert 0 < t.degree <= 1.0
+            assert len(t) == 3
+
+    @settings(**SETTINGS)
+    @given(fuzzy_relations(schema=Schema(["A", "B"]), max_size=3))
+    def test_custom_schema(self, rel):
+        assert rel.schema.names() == ["A", "B"]
+
+    @settings(**SETTINGS)
+    @given(labeled_relations())
+    def test_labeled(self, rel):
+        for t in rel:
+            assert not t[1].is_numeric
+
+    def test_pool_overlaps(self):
+        pool = anchored_value_pool()
+        hits = sum(
+            1
+            for i, u in enumerate(pool)
+            for v in pool[i + 1:]
+            if possibility(u, Op.EQ, v) > 0
+        )
+        assert hits >= len(pool)  # plenty of partially-matching pairs
+
+
+class TestStrategiesDriveRealScenarios:
+    @settings(max_examples=25, deadline=None)
+    @given(fuzzy_relations(max_size=4), fuzzy_relations(max_size=4))
+    def test_usable_with_evaluator(self, r, s):
+        catalog = Catalog()
+        catalog.register("R", r)
+        catalog.register("S", s)
+        out = NaiveEvaluator(catalog).evaluate(
+            "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S)"
+        )
+        assert isinstance(out, FuzzyRelation)

@@ -1,0 +1,150 @@
+"""Tests for trapezoidal possibility distributions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy.trapezoid import TrapezoidalNumber
+
+
+@st.composite
+def trapezoids(draw):
+    xs = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=4,
+                max_size=4,
+            )
+        )
+    )
+    return TrapezoidalNumber(*xs)
+
+
+class TestConstruction:
+    def test_valid(self):
+        t = TrapezoidalNumber(1, 2, 3, 4)
+        assert (t.a, t.b, t.c, t.d) == (1, 2, 3, 4)
+
+    def test_rejects_disorder(self):
+        with pytest.raises(ValueError):
+            TrapezoidalNumber(2, 1, 3, 4)
+        with pytest.raises(ValueError):
+            TrapezoidalNumber(1, 3, 2, 4)
+        with pytest.raises(ValueError):
+            TrapezoidalNumber(1, 2, 4, 3)
+
+    def test_triangular(self):
+        t = TrapezoidalNumber.triangular(0, 5, 10)
+        assert t.b == t.c == 5
+
+    def test_rectangular(self):
+        t = TrapezoidalNumber.rectangular(1, 4)
+        assert (t.a, t.b, t.c, t.d) == (1, 1, 4, 4)
+        assert t.membership(1) == 1.0
+        assert t.membership(4) == 1.0
+
+    def test_about(self):
+        t = TrapezoidalNumber.about(35, 5)
+        assert (t.a, t.b, t.c, t.d) == (30, 35, 35, 40)
+
+    def test_degenerate_point(self):
+        t = TrapezoidalNumber(5, 5, 5, 5)
+        assert t.is_crisp
+        assert t.membership(5) == 1.0
+        assert t.membership(5.001) == 0.0
+
+
+class TestMembership:
+    def test_core_is_one(self):
+        t = TrapezoidalNumber(0, 2, 4, 6)
+        for x in (2, 3, 4):
+            assert t.membership(x) == 1.0
+
+    def test_outside_is_zero(self):
+        t = TrapezoidalNumber(0, 2, 4, 6)
+        assert t.membership(-1) == 0.0
+        assert t.membership(7) == 0.0
+
+    def test_ramps(self):
+        t = TrapezoidalNumber(0, 2, 4, 6)
+        assert t.membership(1) == pytest.approx(0.5)
+        assert t.membership(5) == pytest.approx(0.5)
+
+    def test_medium_young_from_fig1(self):
+        medium_young = TrapezoidalNumber(20, 25, 30, 35)
+        assert medium_young.membership(25) == 1.0
+        assert medium_young.membership(24) == pytest.approx(0.8)
+        assert medium_young.membership(31) == pytest.approx(0.8)
+        assert medium_young.membership(23) == pytest.approx(0.6)
+        assert medium_young.membership(32) == pytest.approx(0.6)
+        assert medium_young.membership(19) == 0.0
+        assert medium_young.membership(36) == 0.0
+
+    def test_non_numeric_is_zero(self):
+        t = TrapezoidalNumber(0, 1, 2, 3)
+        assert t.membership("abc") == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(trapezoids(), st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_membership_in_unit_interval(self, t, x):
+        assert 0.0 <= t.membership(x) <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(trapezoids())
+    def test_normal_on_core(self, t):
+        assert t.membership(t.b) == 1.0
+        assert t.membership(t.c) == 1.0
+
+
+class TestCuts:
+    def test_zero_cut(self):
+        t = TrapezoidalNumber(0, 2, 4, 6)
+        assert t.zero_cut == (0, 6)
+        assert t.alpha_cut(0.0) == (0, 6)
+
+    def test_one_cut(self):
+        t = TrapezoidalNumber(0, 2, 4, 6)
+        assert t.one_cut == (2, 4)
+        assert t.alpha_cut(1.0) == (2, 4)
+
+    def test_half_cut(self):
+        t = TrapezoidalNumber(0, 2, 4, 6)
+        assert t.alpha_cut(0.5) == (1, 5)
+
+    def test_alpha_out_of_range(self):
+        t = TrapezoidalNumber(0, 2, 4, 6)
+        with pytest.raises(ValueError):
+            t.alpha_cut(1.5)
+
+    @settings(max_examples=100, deadline=None)
+    @given(trapezoids(), st.floats(min_value=0, max_value=1))
+    def test_cuts_nested(self, t, alpha):
+        lo0, hi0 = t.alpha_cut(0.0)
+        lo, hi = t.alpha_cut(alpha)
+        assert lo0 - 1e-9 <= lo <= hi <= hi0 + 1e-9
+
+
+class TestProtocol:
+    def test_interval_is_support(self):
+        assert TrapezoidalNumber(1, 2, 3, 4).interval() == (1, 4)
+
+    def test_defuzzify_center_of_core(self):
+        assert TrapezoidalNumber(0, 2, 4, 6).defuzzify() == 3.0
+
+    def test_key_equality(self):
+        assert TrapezoidalNumber(1, 2, 3, 4) == TrapezoidalNumber(1, 2, 3, 4)
+        assert TrapezoidalNumber(1, 2, 3, 4) != TrapezoidalNumber(1, 2, 3, 5)
+
+    def test_hashable(self):
+        s = {TrapezoidalNumber(1, 2, 3, 4), TrapezoidalNumber(1, 2, 3, 4)}
+        assert len(s) == 1
+
+    def test_is_numeric(self):
+        assert TrapezoidalNumber(1, 2, 3, 4).is_numeric
+
+    def test_piecewise_matches_membership(self):
+        t = TrapezoidalNumber(0, 2, 4, 6)
+        pl = t.as_piecewise()
+        for x in (-1, 0, 1, 2, 3, 4, 5, 6, 7):
+            assert pl(x) == pytest.approx(t.membership(x))

@@ -1,0 +1,115 @@
+"""Storage-level JX/JALL evaluation must match the naive oracle."""
+
+import pytest
+
+from repro.bench.unnest_methods import (
+    run_jall_merge_join,
+    run_jall_nested_loop,
+    run_jx_merge_join,
+    run_jx_nested_loop,
+)
+from repro.data import Catalog
+from repro.engine import NaiveEvaluator
+from repro.fuzzy import Op
+from repro.storage import BufferPool
+from repro.workload.generator import WorkloadSpec, build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = WorkloadSpec(n_outer=60, n_inner=60, join_fanout=4, tuple_size=128, seed=21)
+    return build_workload(spec, page_size=1024)
+
+
+@pytest.fixture(scope="module")
+def catalog(workload):
+    pool = BufferPool(workload.disk, 16)
+    cat = Catalog()
+    cat.register("R", workload.outer.to_relation(pool))
+    cat.register("S", workload.inner.to_relation(pool))
+    return cat
+
+
+class TestJXStorage:
+    SQL = "SELECT R.ID FROM R WHERE R.X NOT IN (SELECT S.X FROM S)"
+
+    def test_merge_join_matches_oracle(self, workload, catalog):
+        oracle = NaiveEvaluator(catalog).evaluate(self.SQL)
+        result = run_jx_merge_join(workload, buffer_pages=16)
+        assert result.n_answers == len(oracle)
+
+    def test_both_methods_agree_in_degrees(self, workload, catalog):
+        oracle = NaiveEvaluator(catalog).evaluate(self.SQL)
+        mj = run_jx_merge_join(workload, buffer_pages=16)
+        nl = run_jx_nested_loop(workload, buffer_pages=16)
+        assert mj.n_answers == nl.n_answers == len(oracle)
+
+    def test_merge_join_cheaper_in_fuzzy_evals(self, workload, catalog):
+        mj = run_jx_merge_join(workload, buffer_pages=16)
+        nl = run_jx_nested_loop(workload, buffer_pages=16)
+        assert nl.stats.total.fuzzy_evaluations == 60 * 60
+        assert mj.stats.total.fuzzy_evaluations < 60 * 60 / 3
+
+
+class TestJXDegrees:
+    def test_exact_degrees_against_oracle(self, workload, catalog):
+        """Fold degrees, not just cardinalities, must match the semantics."""
+        from repro.bench.unnest_methods import _jx_pair_degree
+        from repro.join.merge_join import MergeJoin
+        from repro.storage import OperationStats
+
+        oracle = NaiveEvaluator(catalog).evaluate(
+            "SELECT R.ID FROM R WHERE R.X NOT IN (SELECT S.X FROM S)"
+        )
+        pair = _jx_pair_degree(workload, "X")
+        join = MergeJoin(workload.disk, 16, OperationStats())
+        degrees = {}
+        for r, worst in join.fold(
+            workload.outer, "X", workload.inner, "X", pair,
+            init=lambda t: t.degree,
+            step=lambda w, s, d: min(w, d),
+        ):
+            if worst > 0:
+                key = r[0].value
+                degrees[key] = max(degrees.get(key, 0.0), worst)
+        expected = {t[0].value: t.degree for t in oracle}
+        assert degrees.keys() == expected.keys()
+        for key, degree in expected.items():
+            assert degrees[key] == pytest.approx(degree, abs=1e-9)
+
+
+class TestJALLStorage:
+    SQL = "SELECT R.ID FROM R WHERE R.ID < ALL (SELECT S.ID FROM S WHERE S.X = R.X)"
+
+    def test_matches_oracle_cardinality(self, workload, catalog):
+        oracle = NaiveEvaluator(catalog).evaluate(self.SQL)
+        mj = run_jall_merge_join(workload, buffer_pages=16, op=Op.LT)
+        nl = run_jall_nested_loop(workload, buffer_pages=16, op=Op.LT)
+        assert mj.n_answers == nl.n_answers == len(oracle)
+
+    def test_exact_degrees_against_oracle(self, workload, catalog):
+        from repro.bench.unnest_methods import _jall_pair_degree
+        from repro.join.merge_join import MergeJoin
+        from repro.storage import OperationStats
+
+        oracle = NaiveEvaluator(catalog).evaluate(self.SQL)
+        pair = _jall_pair_degree(workload, "X", Op.LT)
+        join = MergeJoin(workload.disk, 16, OperationStats())
+        degrees = {}
+        for r, worst in join.fold(
+            workload.outer, "X", workload.inner, "X", pair,
+            init=lambda t: t.degree,
+            step=lambda w, s, d: min(w, d),
+        ):
+            if worst > 0:
+                key = r[0].value
+                degrees[key] = max(degrees.get(key, 0.0), worst)
+        expected = {t[0].value: t.degree for t in oracle}
+        assert degrees.keys() == expected.keys()
+        for key, degree in expected.items():
+            assert degrees[key] == pytest.approx(degree, abs=1e-9)
+
+    def test_merge_join_is_cheaper(self, workload, catalog):
+        mj = run_jall_merge_join(workload, buffer_pages=16)
+        nl = run_jall_nested_loop(workload, buffer_pages=16)
+        assert mj.stats.total.fuzzy_evaluations < nl.stats.total.fuzzy_evaluations

@@ -1,0 +1,235 @@
+"""Structural tests for the unnesting rewrites (plan shapes and edge cases)."""
+
+import pytest
+
+from repro.data import Attribute, Catalog, FuzzyRelation, FuzzyTuple, Schema
+from repro.engine import NaiveEvaluator
+from repro.fuzzy import CrispNumber, Op, TrapezoidalNumber
+from repro.sql import Comparison, InPredicate, SelectQuery, parse
+from repro.unnest import (
+    UnnestError,
+    execute_unnested,
+    qualify,
+    unnest,
+    unnest_in,
+)
+from repro.unnest.common import deconflict, split_nesting_predicate, substitute_binding
+from repro.sql.ast import ColumnRef
+
+N = CrispNumber
+T = TrapezoidalNumber
+SCHEMA = Schema([Attribute("K"), Attribute("U"), Attribute("V")])
+
+
+def make_catalog(r_rows=((1, 5, 5),), s_rows=((1, 5, 5),)):
+    cat = Catalog()
+    cat.register("R", FuzzyRelation.from_rows(SCHEMA, r_rows))
+    cat.register("S", FuzzyRelation.from_rows(SCHEMA, s_rows))
+    return cat
+
+
+class TestQualify:
+    def test_unqualified_columns_get_bindings(self):
+        cat = make_catalog()
+        q = qualify(parse("SELECT K FROM R WHERE U = 3"), cat)
+        assert q.select[0] == ColumnRef("R", "K")
+        assert q.where[0].left == ColumnRef("R", "U")
+
+    def test_local_binding_shadows_outer(self):
+        cat = make_catalog()
+        q = qualify(
+            parse("SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S WHERE U = K)"), cat
+        )
+        corr = q.where[0].query.where[0]
+        # Both schemas have U and K; the inner block's own binding wins.
+        assert corr.left == ColumnRef("S", "U")
+        assert corr.right == ColumnRef("S", "K")
+
+    def test_correlated_reference_qualified_to_outer(self):
+        cat = Catalog()
+        cat.register("OUT", FuzzyRelation.from_rows(Schema(["A", "B"]), [(1, 2)]))
+        cat.register("INN", FuzzyRelation.from_rows(Schema(["C", "E"]), [(3, 4)]))
+        q = qualify(
+            parse("SELECT OUT.A FROM OUT WHERE OUT.B IN (SELECT INN.C FROM INN WHERE E = A)"),
+            cat,
+        )
+        corr = q.where[0].query.where[0]
+        # E is local to INN; A only exists in the outer block.
+        assert corr.left == ColumnRef("INN", "E")
+        assert corr.right == ColumnRef("OUT", "A")
+
+
+class TestSubstitution:
+    def test_substitute_binding(self):
+        pred = Comparison(ColumnRef("S", "V"), Op.EQ, ColumnRef("R", "U"))
+        out = substitute_binding(pred, "S", "S_1")
+        assert out.left == ColumnRef("S_1", "V")
+        assert out.right == ColumnRef("R", "U")
+
+    def test_deconflict_renames(self):
+        cat = Catalog()
+        cat.register("R", FuzzyRelation.from_rows(SCHEMA, [(1, 2, 3)]))
+        inner = qualify(parse("SELECT R.V FROM R WHERE R.U = 1"), cat)
+        renamed, tables = deconflict(inner, ["R"])
+        assert tables[0].name == "R"
+        assert tables[0].binding == "R_1"
+        assert renamed.select[0] == ColumnRef("R_1", "V")
+
+
+class TestPlanShapes:
+    def test_type_n_is_single_flat_query(self):
+        cat = make_catalog()
+        plan = unnest(
+            "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S)", cat
+        )
+        assert plan.steps == []
+        assert isinstance(plan.final, SelectQuery)
+        assert len(plan.final.from_tables) == 2
+        # The join predicate R.V = S.V appears in the flat WHERE clause.
+        assert any(
+            isinstance(p, Comparison) and p.op is Op.EQ for p in plan.final.where
+        )
+
+    def test_type_j_join_predicates(self):
+        cat = make_catalog()
+        plan = unnest(
+            "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S WHERE S.U = R.U)", cat
+        )
+        comparisons = [p for p in plan.final.where if isinstance(p, Comparison)]
+        assert len(comparisons) == 2  # link + correlation
+
+    def test_self_join_deconflicts(self):
+        cat = make_catalog()
+        plan = unnest(
+            "SELECT R.K FROM R WHERE R.V IN (SELECT R.V FROM R)", cat
+        )
+        bindings = [t.binding for t in plan.final.from_tables]
+        assert len(set(bindings)) == 2
+
+    def test_jx_has_one_step(self):
+        cat = make_catalog()
+        plan = unnest(
+            "SELECT R.K FROM R WHERE R.V NOT IN (SELECT S.V FROM S WHERE S.U = R.U)",
+            cat,
+        )
+        assert len(plan.steps) == 1
+        assert plan.steps[0].name.startswith("__JXT")
+        assert "MIN(D)" in plan.explain()
+
+    def test_ja_has_two_steps(self):
+        cat = make_catalog()
+        plan = unnest(
+            "SELECT R.K FROM R WHERE R.V > (SELECT MAX(S.V) FROM S WHERE S.U = R.U)",
+            cat,
+        )
+        assert len(plan.steps) == 2
+        assert plan.steps[0].name.startswith("__T1")
+        assert plan.steps[1].name.startswith("__T2")
+
+    def test_jall_explain_mentions_double_negation(self):
+        cat = make_catalog()
+        plan = unnest(
+            "SELECT R.K FROM R WHERE R.V < ALL (SELECT S.V FROM S WHERE S.U = R.U)",
+            cat,
+        )
+        text = plan.explain()
+        assert text.count("not (") >= 2
+
+    def test_chain_flattens_all_tables(self):
+        cat = make_catalog()
+        cat.register("W", FuzzyRelation.from_rows(SCHEMA, [(1, 5, 5)]))
+        plan = unnest(
+            "SELECT R.K FROM R WHERE R.U IN "
+            "(SELECT S.V FROM S WHERE S.K IN (SELECT W.V FROM W WHERE W.U = R.U))",
+            cat,
+        )
+        assert plan.steps == []
+        assert len(plan.final.from_tables) == 3
+
+    def test_flat_passthrough(self):
+        cat = make_catalog()
+        plan = unnest("SELECT R.K FROM R", cat)
+        assert plan.nesting_type == "flat"
+
+    def test_general_raises(self):
+        cat = make_catalog()
+        with pytest.raises(UnnestError):
+            unnest(
+                "SELECT R.K FROM R WHERE EXISTS (SELECT S.K FROM S)", cat
+            )
+
+
+class TestEdgeCases:
+    def test_jx_empty_inner_fallback(self):
+        cat = make_catalog(r_rows=[(1, 5, 5, 0.8)], s_rows=[])
+        sql = "SELECT R.K FROM R WHERE R.V NOT IN (SELECT S.V FROM S WHERE S.U = R.U)"
+        nested = NaiveEvaluator(cat).evaluate(sql)
+        flat = execute_unnested(sql, cat)
+        assert nested.same_as(flat)
+        assert nested.degree_of([N(1)]) == 0.8
+
+    def test_jall_empty_inner_fallback(self):
+        cat = make_catalog(r_rows=[(1, 5, 5, 0.6)], s_rows=[])
+        sql = "SELECT R.K FROM R WHERE R.V < ALL (SELECT S.V FROM S WHERE S.U = R.U)"
+        nested = NaiveEvaluator(cat).evaluate(sql)
+        flat = execute_unnested(sql, cat)
+        assert nested.same_as(flat)
+        assert nested.degree_of([N(1)]) == 0.6
+
+    def test_ja_count_empty_group_else_branch(self):
+        # No S tuple joins: COUNT = 0, so R.V > 0 decides membership.
+        cat = make_catalog(r_rows=[(1, 5, 5)], s_rows=[(1, 99, 99)])
+        sql = (
+            "SELECT R.K FROM R WHERE R.V > "
+            "(SELECT COUNT(S.V) FROM S WHERE S.U = R.U)"
+        )
+        nested = NaiveEvaluator(cat).evaluate(sql)
+        flat = execute_unnested(sql, cat)
+        assert nested.same_as(flat)
+        assert nested.degree_of([N(1)]) == 1.0  # 5 > 0
+
+    def test_ja_binary_identity_not_fuzzy_equality(self):
+        """Two distinct-but-overlapping U values must form distinct groups."""
+        rel_r = FuzzyRelation(SCHEMA)
+        rel_r.add(FuzzyTuple([N(1), T(0, 1, 2, 4), N(100)], 1.0))
+        rel_s = FuzzyRelation(SCHEMA)
+        # S.U overlaps R.U fuzzily but is a different representation.
+        rel_s.add(FuzzyTuple([N(9), T(3, 5, 5, 7), N(50)], 1.0))
+        rel_s.add(FuzzyTuple([N(8), T(0, 1, 2, 4), N(60)], 1.0))
+        cat = Catalog()
+        cat.register("R", rel_r)
+        cat.register("S", rel_s)
+        sql = (
+            "SELECT R.K FROM R WHERE R.V > "
+            "(SELECT MAX(S.V) FROM S WHERE S.U = R.U)"
+        )
+        nested = NaiveEvaluator(cat).evaluate(sql)
+        flat = execute_unnested(sql, cat)
+        assert nested.same_as(flat, tolerance=1e-9)
+
+    def test_inner_with_threshold_not_unnestable(self):
+        cat = make_catalog()
+        with pytest.raises(UnnestError):
+            unnest_in(
+                parse("SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S WITH D >= 0.5)"),
+                cat,
+            )
+
+    def test_multi_column_select_jx(self):
+        cat = make_catalog(r_rows=[(1, 5, 5), (2, 6, 6)], s_rows=[(1, 5, 5)])
+        sql = (
+            "SELECT R.K, R.U FROM R WHERE R.V NOT IN "
+            "(SELECT S.V FROM S WHERE S.U = R.U)"
+        )
+        nested = NaiveEvaluator(cat).evaluate(sql)
+        flat = execute_unnested(sql, cat)
+        assert nested.same_as(flat)
+
+    def test_unnested_plan_execute_does_not_pollute_catalog(self):
+        cat = make_catalog()
+        before = set(cat.names())
+        execute_unnested(
+            "SELECT R.K FROM R WHERE R.V NOT IN (SELECT S.V FROM S WHERE S.U = R.U)",
+            cat,
+        )
+        assert set(cat.names()) == before

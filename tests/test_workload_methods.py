@@ -1,0 +1,109 @@
+"""Tests for the synthetic workload generator and the two benchmark methods."""
+
+import random
+
+import pytest
+
+from repro.bench.methods import run_merge_join, run_nested_loop, verify_methods_agree
+from repro.fuzzy.interval_order import overlaps
+from repro.sort.external import SORT_PHASE
+from repro.workload.generator import (
+    ANCHOR_SPACING,
+    JOIN_SCHEMA,
+    WorkloadSpec,
+    build_workload,
+    generate_tuples,
+)
+
+
+def small_spec(**overrides):
+    base = dict(n_outer=120, n_inner=120, join_fanout=6, tuple_size=128, seed=7)
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestGenerator:
+    def test_tuple_count_and_shape(self):
+        rng = random.Random(1)
+        tuples = generate_tuples(small_spec(), 50, rng, id_base=0)
+        assert len(tuples) == 50
+        for t in tuples:
+            assert len(t) == 2
+            assert 0.5 < t.degree <= 1.0
+
+    def test_same_anchor_tuples_always_overlap(self):
+        rng = random.Random(2)
+        spec = small_spec(join_fanout=120)  # single anchor
+        tuples = generate_tuples(spec, 40, rng, id_base=0)
+        values = [t[1] for t in tuples]
+        for i, u in enumerate(values):
+            for v in values[i + 1:]:
+                assert overlaps(u, v)
+
+    def test_cross_anchor_tuples_never_overlap(self):
+        rng = random.Random(3)
+        spec = small_spec(join_fanout=1)  # many anchors
+        tuples = generate_tuples(spec, 200, rng, id_base=0)
+        by_anchor = {}
+        for t in tuples:
+            center = t[1].interval()[0]
+            anchor = round(center / ANCHOR_SPACING)
+            by_anchor.setdefault(anchor, []).append(t[1])
+        anchors = sorted(by_anchor)
+        for a, b in zip(anchors, anchors[1:]):
+            for u in by_anchor[a]:
+                for v in by_anchor[b]:
+                    assert not overlaps(u, v)
+
+    def test_average_fanout_close_to_c(self):
+        spec = small_spec(n_outer=300, n_inner=300, join_fanout=10, seed=11)
+        workload = build_workload(spec, page_size=1024)
+        nl, mj = verify_methods_agree(workload, buffer_pages=16)
+        average = nl.n_answers / spec.n_outer
+        assert 5 <= average <= 20  # C=10 within sampling noise
+
+    def test_deterministic_by_seed(self):
+        rng1, rng2 = random.Random(5), random.Random(5)
+        t1 = generate_tuples(small_spec(), 30, rng1, id_base=0)
+        t2 = generate_tuples(small_spec(), 30, rng2, id_base=0)
+        assert t1 == t2
+
+    def test_build_workload_does_not_charge_load_io(self):
+        workload = build_workload(small_spec(), page_size=1024)
+        assert workload.disk.stats.total.page_ios == 0
+
+    def test_fixed_tuple_size_respected(self):
+        workload = build_workload(small_spec(tuple_size=256), page_size=1024)
+        # 1024-byte pages hold 3 records of 256+2 bytes.
+        assert workload.outer.n_pages == (120 + 2) // 3
+
+
+class TestMethods:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_workload(small_spec(), page_size=1024)
+
+    def test_methods_same_answers(self, workload):
+        nl = run_nested_loop(workload, buffer_pages=8)
+        mj = run_merge_join(workload, buffer_pages=8)
+        assert nl.n_answers == mj.n_answers
+        assert nl.n_answers > 0
+
+    def test_nested_loop_examines_all_pairs(self, workload):
+        nl = run_nested_loop(workload, buffer_pages=8)
+        assert nl.stats.total.fuzzy_evaluations == 120 * 120
+
+    def test_merge_join_examines_far_fewer(self, workload):
+        mj = run_merge_join(workload, buffer_pages=8)
+        assert mj.stats.total.fuzzy_evaluations < 120 * 120 / 4
+
+    def test_merge_join_has_sort_phase(self, workload):
+        mj = run_merge_join(workload, buffer_pages=8)
+        assert mj.phase_fraction(SORT_PHASE) > 0.0
+        assert 0.0 < mj.cpu_fraction < 1.0
+
+    def test_result_reports(self, workload):
+        nl = run_nested_loop(workload, buffer_pages=8)
+        assert nl.response_seconds == pytest.approx(nl.cpu_seconds + nl.io_seconds)
+        assert nl.page_ios > 0
+        assert nl.wall_seconds > 0
