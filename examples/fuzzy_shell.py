@@ -16,6 +16,7 @@ Meta commands:
     \\show <name>       print a relation
     \\terms             list linguistic terms
     \\plan <query>      show the unnesting rewrite without executing
+    \\analyze <query>   run instrumented on the storage engine (EXPLAIN ANALYZE)
     \\quit              leave
 
 Also usable non-interactively:
@@ -75,8 +76,16 @@ def handle_meta(command: str, db: FuzzyDatabase) -> bool:
             print(db.explain(parts[1]))
         except (FuzzySQLError, DatabaseError) as exc:
             print(f"cannot plan: {exc}")
+    elif head == "\\analyze" and len(parts) > 1:
+        try:
+            print(db.explain_analyze(parts[1]))
+        except (FuzzySQLError, DatabaseError) as exc:
+            print(f"cannot analyze: {exc}")
     else:
-        print("commands: \\tables  \\show <name>  \\terms  \\plan <query>  \\quit")
+        print(
+            "commands: \\tables  \\show <name>  \\terms  \\plan <query>  "
+            "\\analyze <query>  \\quit"
+        )
     return True
 
 

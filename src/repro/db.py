@@ -84,18 +84,22 @@ class FuzzyDatabase:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, query: Union[str, SelectQuery]) -> FuzzyRelation:
+    def query(self, query: Union[str, SelectQuery], metrics=None) -> FuzzyRelation:
         if isinstance(query, str):
             statement = parse_statement(query)
             if not isinstance(statement, SelectQuery):
                 raise DatabaseError("query() expects a SELECT statement")
             query = statement
+        if metrics is not None:
+            metrics.nesting_type = classify(query, self.catalog).value
         if self.auto_unnest:
             try:
                 plan = unnest(query, self.catalog)
-                return plan.execute(self.catalog, self._make_evaluator)
+                return plan.execute(self.catalog, self._make_evaluator, metrics=metrics)
             except UnnestError:
                 pass
+        if metrics is not None and metrics.rewrite is None:
+            metrics.rewrite = "none (naive fallback)"
         return self._make_evaluator(self.catalog).evaluate(query)
 
     def explain(self, sql: Union[str, SelectQuery]) -> str:
@@ -109,6 +113,30 @@ class FuzzyDatabase:
         except UnnestError:
             return f"nesting type: {nesting.value}\nnaive nested-loop evaluation"
         return f"nesting type: {nesting.value}\n{plan.explain()}"
+
+    def explain_analyze(self, sql: Union[str, SelectQuery]) -> str:
+        """Run a query fully instrumented on the storage engine.
+
+        The catalog's tables are materialized into a scratch
+        :class:`~repro.session.StorageSession` (heap files on a simulated
+        disk), the query runs there with a
+        :class:`~repro.observe.metrics.QueryMetrics` collector attached,
+        and the report shows the fired rewrite, the physical plan with
+        estimated vs. measured cardinalities, sort shapes, buffer
+        behaviour, and per-phase I/O counts.
+        """
+        from .session import StorageSession
+
+        query = parse_statement(sql) if isinstance(sql, str) else sql
+        if not isinstance(query, SelectQuery):
+            raise DatabaseError("explain_analyze() expects a SELECT statement")
+        session = StorageSession(
+            vocabulary=self.catalog.vocabulary,
+            aggregate_policy=self.aggregate_policy,
+        )
+        for name in self.catalog.names():
+            session.register(name, self.catalog.get(name))
+        return session.explain_analyze(query)
 
     def _make_evaluator(self, catalog: Catalog) -> NaiveEvaluator:
         return NaiveEvaluator(

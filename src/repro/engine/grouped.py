@@ -19,6 +19,7 @@ runs on the block nested loop — same answers, quadratic cost.
 from __future__ import annotations
 
 import enum
+import time
 from typing import Callable, Optional, Sequence, Tuple
 
 from ..data.relation import FuzzyRelation
@@ -125,12 +126,29 @@ class GroupedAntiJoin:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, disk, buffer_pages: int, stats: Optional[OperationStats] = None) -> FuzzyRelation:
+    def run(
+        self,
+        disk,
+        buffer_pages: int,
+        stats: Optional[OperationStats] = None,
+        metrics=None,
+    ) -> FuzzyRelation:
         stats = stats if stats is not None else OperationStats()
+        om = None
+        started = 0.0
+        if metrics is not None:
+            om = metrics.op(
+                self,
+                label=(
+                    f"GroupedAntiJoin[{self.mode.value}]"
+                    f"({self.outer.name} -> {self.inner.name})"
+                ),
+            )
+            started = time.perf_counter()
         step = lambda worst, _s, d: d if d < worst else worst
         if self.band is not None:
             outer_attr, inner_attr = self.band
-            join = MergeJoin(disk, buffer_pages, stats)
+            join = MergeJoin(disk, buffer_pages, stats, metrics=metrics)
             folded = join.fold(
                 self.outer, outer_attr, self.inner, inner_attr,
                 self._pair_degree, self._init, step,
@@ -142,8 +160,16 @@ class GroupedAntiJoin:
             )
         answer = FuzzyRelation(self.outer.schema.project(self.project_attrs))
         for r, worst in folded:
+            if om is not None:
+                om.rows_in += 1
             if worst > 0.0:
+                if om is not None:
+                    om.rows_out += 1
                 answer.add(
                     FuzzyTuple(tuple(r[i] for i in self.project_indices), worst)
                 )
+            elif om is not None:
+                om.prunes += 1
+        if om is not None:
+            om.wall_seconds += time.perf_counter() - started
         return answer

@@ -63,12 +63,25 @@ def concat_schemas(left: Schema, right: Schema) -> Schema:
 
 
 class ExecutionContext:
-    """Shared disk, buffer budget, and statistics for one plan execution."""
+    """Shared disk, buffer budget, and statistics for one plan execution.
 
-    def __init__(self, disk: SimulatedDisk, buffer_pages: int, stats: Optional[OperationStats] = None):
+    ``metrics`` is an optional :class:`~repro.observe.metrics.QueryMetrics`
+    collector; when it is ``None`` (the default) the operators run the
+    exact pre-observability code paths — every metrics touch point is
+    guarded by ``if ctx.metrics is not None``.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        buffer_pages: int,
+        stats: Optional[OperationStats] = None,
+        metrics=None,
+    ):
         self.disk = disk
         self.buffer_pages = buffer_pages
         self.stats = stats if stats is not None else OperationStats()
+        self.metrics = metrics
 
     def scratch_name(self, prefix: str) -> str:
         return f"__mat_{prefix}_{next(_materialize_counter)}"
@@ -98,12 +111,34 @@ class Operator:
     """Base class: every operator produces a stream of fuzzy tuples."""
 
     schema: Schema
+    #: Stamped by :func:`repro.observe.explain.annotate_estimates`.
+    estimated_rows: Optional[float] = None
 
     def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+        """The operator's output stream, instrumented iff a collector is attached."""
+        stream = self._tuples(ctx)
+        if ctx.metrics is None:
+            return stream
+        return ctx.metrics.stream(self, stream)
+
+    def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One line describing this node (no children)."""
+        return type(self).__name__
+
+    def children(self) -> List["Operator"]:
+        return []
+
     def explain(self, depth: int = 0) -> str:
-        raise NotImplementedError
+        pad = "  " * depth
+        lines = [pad + self.describe()]
+        lines.extend(child.explain(depth + 1) for child in self.children())
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # Terminal helpers
@@ -127,12 +162,15 @@ class Scan(Operator):
         self.predicates = list(predicates)
         self.schema = heap.schema
 
-    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+    def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+        om = ctx.metrics.op(self) if ctx.metrics is not None else None
         with ctx.disk.use_stats(ctx.stats):
             for page_index in range(self.heap.n_pages):
                 page = ctx.disk.read_page(self.heap.name, page_index)
                 for record in page.records():
                     t = self.heap.serializer.decode(record)
+                    if om is not None:
+                        om.rows_in += 1
                     degree = t.degree
                     for predicate in self.predicates:
                         if degree == 0.0:
@@ -140,11 +178,12 @@ class Scan(Operator):
                         degree = min(degree, predicate(t, ctx.stats))
                     if degree > 0.0:
                         yield t.with_degree(degree)
+                    elif om is not None:
+                        om.prunes += 1
 
-    def explain(self, depth: int = 0) -> str:
-        pad = "  " * depth
+    def describe(self) -> str:
         preds = ", ".join(p.label for p in self.predicates) or "true"
-        return f"{pad}Scan({self.heap.name}, filter={preds})"
+        return f"Scan({self.heap.name}, filter={preds})"
 
 
 class Materialize(Operator):
@@ -162,7 +201,7 @@ class Materialize(Operator):
             heap.load(self.child.tuples(ctx))
         return heap
 
-    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+    def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
         heap = self.materialize(ctx)
         with ctx.disk.use_stats(ctx.stats):
             for page_index in range(heap.n_pages):
@@ -170,9 +209,11 @@ class Materialize(Operator):
                 for record in page.records():
                     yield heap.serializer.decode(record)
 
-    def explain(self, depth: int = 0) -> str:
-        pad = "  " * depth
-        return f"{pad}Materialize\n{self.child.explain(depth + 1)}"
+    def describe(self) -> str:
+        return "Materialize"
+
+    def children(self) -> List[Operator]:
+        return [self.child]
 
 
 def _as_heap(source: Operator, ctx: ExecutionContext) -> HeapFile:
@@ -210,21 +251,20 @@ class MergeJoinOp(Operator):
         ] + list(residual)
         self.pair_degree = pair_degree if pair_degree is not None else join_degree(predicates)
 
-    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+    def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
         left_heap = _as_heap(self.left, ctx)
         right_heap = _as_heap(self.right, ctx)
-        join = MergeJoin(ctx.disk, ctx.buffer_pages, ctx.stats)
+        join = MergeJoin(ctx.disk, ctx.buffer_pages, ctx.stats, metrics=ctx.metrics)
         for r, s, degree in join.pairs(
             left_heap, self.left_attr, right_heap, self.right_attr, self.pair_degree
         ):
             yield r.concat(s, degree)
 
-    def explain(self, depth: int = 0) -> str:
-        pad = "  " * depth
-        return (
-            f"{pad}MergeJoin({self.left_attr} = {self.right_attr})\n"
-            f"{self.left.explain(depth + 1)}\n{self.right.explain(depth + 1)}"
-        )
+    def describe(self) -> str:
+        return f"MergeJoin({self.left_attr} = {self.right_attr})"
+
+    def children(self) -> List[Operator]:
+        return [self.left, self.right]
 
 
 class NestedLoopJoinOp(Operator):
@@ -237,19 +277,18 @@ class NestedLoopJoinOp(Operator):
         self.schema = concat_schemas(left.schema, right.schema)
         self.label = label
 
-    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+    def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
         left_heap = _as_heap(self.left, ctx)
         right_heap = _as_heap(self.right, ctx)
         join = NestedLoopJoin(ctx.disk, ctx.buffer_pages, ctx.stats)
         for r, s, degree in join.pairs(left_heap, right_heap, self.pair_degree):
             yield r.concat(s, degree)
 
-    def explain(self, depth: int = 0) -> str:
-        pad = "  " * depth
-        return (
-            f"{pad}NestedLoopJoin({self.label})\n"
-            f"{self.left.explain(depth + 1)}\n{self.right.explain(depth + 1)}"
-        )
+    def describe(self) -> str:
+        return f"NestedLoopJoin({self.label})"
+
+    def children(self) -> List[Operator]:
+        return [self.left, self.right]
 
 
 class Select(Operator):
@@ -260,8 +299,11 @@ class Select(Operator):
         self.predicates = list(predicates)
         self.schema = child.schema
 
-    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+    def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+        om = ctx.metrics.op(self) if ctx.metrics is not None else None
         for t in self.child.tuples(ctx):
+            if om is not None:
+                om.rows_in += 1
             degree = t.degree
             for predicate in self.predicates:
                 if degree == 0.0:
@@ -269,11 +311,15 @@ class Select(Operator):
                 degree = min(degree, predicate(t, ctx.stats))
             if degree > 0.0:
                 yield t.with_degree(degree)
+            elif om is not None:
+                om.prunes += 1
 
-    def explain(self, depth: int = 0) -> str:
-        pad = "  " * depth
+    def describe(self) -> str:
         preds = ", ".join(p.label for p in self.predicates)
-        return f"{pad}Select({preds})\n{self.child.explain(depth + 1)}"
+        return f"Select({preds})"
+
+    def children(self) -> List[Operator]:
+        return [self.child]
 
 
 class Project(Operator):
@@ -285,15 +331,17 @@ class Project(Operator):
         self.indices = [child.schema.index_of(a) for a in attributes]
         self.schema = child.schema.project(attributes)
 
-    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+    def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
         for t in self.child.tuples(ctx):
             if ctx.stats is not None:
                 ctx.stats.count_move()
             yield t.project(self.indices)
 
-    def explain(self, depth: int = 0) -> str:
-        pad = "  " * depth
-        return f"{pad}Project({', '.join(self.attributes)})\n{self.child.explain(depth + 1)}"
+    def describe(self) -> str:
+        return f"Project({', '.join(self.attributes)})"
+
+    def children(self) -> List[Operator]:
+        return [self.child]
 
 
 class Threshold(Operator):
@@ -304,13 +352,20 @@ class Threshold(Operator):
         self.threshold = threshold
         self.schema = child.schema
 
-    def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+    def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
         from ..fuzzy.logic import meets_threshold
 
+        om = ctx.metrics.op(self) if ctx.metrics is not None else None
         for t in self.child.tuples(ctx):
+            if om is not None:
+                om.rows_in += 1
             if meets_threshold(t.degree, self.threshold):
                 yield t
+            elif om is not None:
+                om.prunes += 1
 
-    def explain(self, depth: int = 0) -> str:
-        pad = "  " * depth
-        return f"{pad}Threshold(D >= {self.threshold})\n{self.child.explain(depth + 1)}"
+    def describe(self) -> str:
+        return f"Threshold(D >= {self.threshold})"
+
+    def children(self) -> List[Operator]:
+        return [self.child]

@@ -19,6 +19,7 @@ whose group is empty compares against the constant 0.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from ..data.relation import FuzzyRelation
@@ -79,9 +80,22 @@ class JAPipeline:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, disk, buffer_pages: int, stats: Optional[OperationStats] = None) -> FuzzyRelation:
+    def run(
+        self,
+        disk,
+        buffer_pages: int,
+        stats: Optional[OperationStats] = None,
+        metrics=None,
+    ) -> FuzzyRelation:
         stats = stats if stats is not None else OperationStats()
-        join = MergeJoin(disk, buffer_pages, stats)
+        om = None
+        started = 0.0
+        if metrics is not None:
+            om = metrics.op(
+                self, label=f"JAPipeline({self.outer.name} -> {self.inner.name})"
+            )
+            started = time.perf_counter()
+        join = MergeJoin(disk, buffer_pages, stats, metrics=metrics)
         # A'(u) / D(A'(u)) memo, keyed by the value representation of u —
         # the binary-identity grouping Theorem 6.1 relies on.
         groups: Dict[Hashable, Optional[Tuple[object, float]]] = {}
@@ -115,6 +129,8 @@ class JAPipeline:
         for r, members in join.fold(
             self.outer, self.u_attr, self.inner, self.v_attr, pair, init, step
         ):
+            if om is not None:
+                om.rows_in += 1
             u_key = r[self.u_index].key()
             if u_key not in groups:
                 # Pipeline hand-off: T'(u) just completed; apply AGG once.
@@ -123,9 +139,15 @@ class JAPipeline:
                 )
             degree = self._outer_degree(r, groups[u_key], stats)
             if degree > 0.0:
+                if om is not None:
+                    om.rows_out += 1
                 answer.add(
                     FuzzyTuple(tuple(r[i] for i in self.project_indices), degree)
                 )
+            elif om is not None:
+                om.prunes += 1
+        if om is not None:
+            om.wall_seconds += time.perf_counter() - started
         return answer
 
     def _outer_degree(self, r: FuzzyTuple, aggregate, stats: Optional[OperationStats]) -> float:

@@ -65,6 +65,7 @@ class MergeJoin:
         buffer_pages: int,
         stats: OperationStats,
         indicator: bool = False,
+        metrics=None,
     ):
         """``indicator=True`` enables the equality-indicator optimization
         in the spirit of Zhang & Wang (TKDE 2000), which the paper cites as
@@ -79,6 +80,7 @@ class MergeJoin:
         self.buffer_pages = buffer_pages
         self.stats = stats
         self.indicator = indicator
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # High-level API
@@ -122,7 +124,9 @@ class MergeJoin:
         ``(r, final_state)`` in R's sorted order.
         """
         with self.disk.use_stats(self.stats):
-            sorter = ExternalSorter(self.disk, self.buffer_pages, self.stats)
+            sorter = ExternalSorter(
+                self.disk, self.buffer_pages, self.stats, metrics=self.metrics
+            )
             sorted_r = sorter.sort(outer, outer_attr)
             sorted_s = sorter.sort(inner, inner_attr)
             with self.stats.enter_phase(JOIN_PHASE):

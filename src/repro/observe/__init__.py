@@ -1,0 +1,39 @@
+"""Query observability: metrics collection and plan introspection.
+
+The paper's whole argument is quantitative — merge-join vs nested-loop
+I/O counts, buffer locality, intermediate-relation sizes — so the engine
+must be able to *show its work*.  This package provides
+
+* :class:`~repro.observe.metrics.QueryMetrics` — an opt-in collector that
+  every layer (operators, joins, external sort, buffer pool, simulated
+  disk) reports into when one is attached to the
+  :class:`~repro.engine.operators.ExecutionContext`;
+* :mod:`~repro.observe.explain` — cardinality estimation and rendering of
+  physical plans as indented trees, with optimizer estimates next to the
+  measured counters (``EXPLAIN`` / ``EXPLAIN ANALYZE``).
+
+Collection is strictly opt-in: with no collector attached the hot paths
+run the exact same code as before (guarded by ``if ctx.metrics is not
+None`` / ``if self.metrics is not None``).
+"""
+
+from .explain import annotate_estimates, estimate_rows, render_plan, render_report
+from .metrics import (
+    BufferMetrics,
+    OperatorMetrics,
+    PageAccess,
+    QueryMetrics,
+    SortMetrics,
+)
+
+__all__ = [
+    "BufferMetrics",
+    "OperatorMetrics",
+    "PageAccess",
+    "QueryMetrics",
+    "SortMetrics",
+    "annotate_estimates",
+    "estimate_rows",
+    "render_plan",
+    "render_report",
+]

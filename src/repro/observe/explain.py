@@ -1,0 +1,184 @@
+"""EXPLAIN / EXPLAIN ANALYZE rendering for physical plans.
+
+Two jobs:
+
+* :func:`annotate_estimates` — bottom-up cardinality estimation over an
+  operator tree under the paper's constant fan-out model (each outer
+  tuple joins ``C`` inner tuples on average; selections filter by a fixed
+  factor).  Estimates are stamped onto the operators as
+  ``estimated_rows`` so the renderer — and anything else — can read them.
+* :func:`render_plan` / :func:`render_report` — the indented plan tree,
+  optionally annotated with a :class:`~repro.observe.metrics.QueryMetrics`
+  collector's *measured* counters next to the estimates, so
+  estimate-vs-actual drift is visible in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..engine.operators import (
+    Materialize,
+    MergeJoinOp,
+    NestedLoopJoinOp,
+    Operator,
+    Project,
+    Scan,
+    Select,
+    Threshold,
+)
+from .metrics import QueryMetrics
+
+#: Default join fan-out — the paper's constant C (Section 8 / Section 9).
+DEFAULT_FANOUT = 7.0
+
+#: Assumed filter factor of one pushed-down or residual fuzzy predicate.
+PREDICATE_SELECTIVITY = 0.5
+
+
+def estimate_rows(operator: Operator, fanout: float = DEFAULT_FANOUT) -> float:
+    """Estimated output cardinality of one operator (children recursed)."""
+    if isinstance(operator, Scan):
+        base = float(operator.heap.n_tuples)
+        return base * PREDICATE_SELECTIVITY ** len(operator.predicates)
+    if isinstance(operator, MergeJoinOp):
+        left = estimate_rows(operator.left, fanout)
+        right = estimate_rows(operator.right, fanout)
+        # Constant fan-out: each left tuple joins C right tuples, bounded
+        # by the cross product on tiny inputs.
+        return max(1.0, min(left * fanout, left * max(right, 1.0)))
+    if isinstance(operator, NestedLoopJoinOp):
+        left = estimate_rows(operator.left, fanout)
+        right = estimate_rows(operator.right, fanout)
+        return max(1.0, min(left * fanout, left * max(right, 1.0)))
+    if isinstance(operator, Select):
+        child = estimate_rows(operator.child, fanout)
+        return child * PREDICATE_SELECTIVITY ** len(operator.predicates)
+    if isinstance(operator, Threshold):
+        child = estimate_rows(operator.child, fanout)
+        return child if operator.threshold <= 0.0 else child * PREDICATE_SELECTIVITY
+    if isinstance(operator, (Project, Materialize)):
+        return estimate_rows(operator.child, fanout)
+    children = operator.children()
+    if len(children) == 1:
+        return estimate_rows(children[0], fanout)
+    raise TypeError(f"no cardinality estimate for {type(operator).__name__}")
+
+
+def annotate_estimates(root: Operator, fanout: float = DEFAULT_FANOUT) -> Dict[int, float]:
+    """Stamp ``estimated_rows`` on every node; returns ``{id(op): est}``."""
+    estimates: Dict[int, float] = {}
+
+    def walk(operator: Operator) -> None:
+        estimates[id(operator)] = estimate_rows(operator, fanout)
+        operator.estimated_rows = estimates[id(operator)]
+        for child in operator.children():
+            walk(child)
+
+    walk(root)
+    return estimates
+
+
+def render_plan(
+    root: Operator,
+    metrics: Optional[QueryMetrics] = None,
+    fanout: float = DEFAULT_FANOUT,
+) -> str:
+    """The indented plan tree, annotated ``(est=... [, rows=..., ...])``.
+
+    Without a collector this is EXPLAIN (estimates only); with one it is
+    the plan half of EXPLAIN ANALYZE (estimates next to actuals).
+    """
+    estimates = annotate_estimates(root, fanout)
+    lines: List[str] = []
+
+    def walk(operator: Operator, depth: int) -> None:
+        notes = [f"est={estimates[id(operator)]:.0f}"]
+        if metrics is not None:
+            om = metrics.for_node(operator)
+            if om is not None:
+                notes.append(f"rows={om.rows_out}")
+                if om.rows_in:
+                    notes.append(f"in={om.rows_in}")
+                if om.prunes:
+                    notes.append(f"prunes={om.prunes}")
+                notes.append(f"time={om.wall_seconds * 1000.0:.2f}ms")
+        lines.append("  " * depth + operator.describe() + "  (" + ", ".join(notes) + ")")
+        for child in operator.children():
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_report(
+    metrics: QueryMetrics,
+    plan: Optional[Operator] = None,
+    n_answers: Optional[int] = None,
+    buffer_pages: Optional[int] = None,
+    fanout: float = DEFAULT_FANOUT,
+) -> str:
+    """The full EXPLAIN ANALYZE text: header, plan tree, counter footers."""
+    lines: List[str] = []
+    if metrics.nesting_type is not None:
+        lines.append(f"nesting type: {metrics.nesting_type}")
+    if metrics.rewrite is not None:
+        lines.append(f"rewrite: {metrics.rewrite}")
+    if metrics.strategy is not None:
+        lines.append(f"strategy: {metrics.strategy}")
+
+    if plan is not None:
+        lines.append(render_plan(plan, metrics, fanout))
+    elif metrics.operators:
+        # Storage-level executors (grouped anti-join, JA pipeline) have no
+        # operator tree; list their counters flat.
+        for om in metrics.operators.values():
+            notes = [f"rows={om.rows_out}"]
+            if om.rows_in:
+                notes.append(f"in={om.rows_in}")
+            if om.prunes:
+                notes.append(f"prunes={om.prunes}")
+            notes.append(f"time={om.wall_seconds * 1000.0:.2f}ms")
+            lines.append(f"{om.label}  (" + ", ".join(notes) + ")")
+
+    for step in metrics.steps:
+        lines.append(
+            f"step {step.name}: rows={step.rows_out}, "
+            f"time={step.wall_seconds * 1000.0:.2f}ms"
+        )
+
+    for sort in metrics.sorts:
+        lines.append(
+            f"sort {sort.source} on {sort.attribute}: {sort.tuples} tuples, "
+            f"{sort.runs} runs, {sort.merge_passes} merge passes"
+        )
+
+    buffer = metrics.buffer
+    if buffer.accesses:
+        lines.append(
+            f"buffer: hits={buffer.hits}, misses={buffer.misses}, "
+            f"re-fetches={buffer.re_fetches}"
+        )
+    elif buffer_pages is not None and metrics.page_trace:
+        replay = metrics.buffer_replay(buffer_pages)
+        lines.append(
+            f"buffer (LRU replay, {buffer_pages} frames): "
+            f"hits={replay.hits}, misses={replay.misses}, "
+            f"re-fetches={replay.re_fetches}"
+        )
+
+    if metrics.stats is not None:
+        for name, counters in metrics.stats.items():
+            lines.append(
+                f"io[{name}]: reads={counters.page_reads}, "
+                f"writes={counters.page_writes}, "
+                f"crisp={counters.crisp_comparisons}, "
+                f"fuzzy={counters.fuzzy_evaluations}"
+            )
+
+    for name, seconds in metrics.spans.items():
+        lines.append(f"span {name}: {seconds * 1000.0:.2f}ms")
+
+    if n_answers is not None:
+        lines.append(f"answer: {n_answers} tuples")
+    return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""The :class:`QueryMetrics` collector.
+
+One collector instance accompanies one query execution.  It gathers
+
+* per-operator counters (rows in/out, degree-threshold prunes, inclusive
+  wall time) keyed by operator identity;
+* external-sort shape (initial runs, merge passes) per sort;
+* buffer-pool hits and misses (reported by a
+  :class:`~repro.storage.buffer.BufferPool` carrying the collector);
+* a page-access trace from the simulated disk (via :meth:`watch_disk`),
+  tagged with the :class:`~repro.storage.stats.OperationStats` phase that
+  was active at access time — this is what lets tests assert the paper's
+  locality claim ("a page of S is never re-read once the merge scan
+  passes it") page by page;
+* span-style wall-clock timings (:meth:`span`);
+* which unnest rewrite fired and which execution strategy ran.
+
+Everything is plain data; rendering lives in :mod:`repro.observe.explain`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..storage.stats import OperationStats
+
+
+@dataclass
+class OperatorMetrics:
+    """Counters for one plan operator (or one storage-level executor).
+
+    ``wall_seconds`` is *inclusive*: time spent producing this operator's
+    stream includes time spent pulling from its children.
+    """
+
+    label: str
+    rows_in: int = 0
+    rows_out: int = 0
+    prunes: int = 0  # tuples dropped because their degree fell to/below the bar
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class SortMetrics:
+    """Shape of one external sort: how many runs, how many merge passes."""
+
+    source: str
+    attribute: str
+    tuples: int = 0
+    runs: int = 0
+    merge_passes: int = 0
+    output: str = ""
+
+
+@dataclass
+class BufferMetrics:
+    """Buffer-pool outcome counts.
+
+    ``re_fetches`` counts misses for pages that had been fetched before —
+    the locality violations the paper argues the merge join never incurs
+    on the inner relation.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    re_fetches: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass(frozen=True)
+class PageAccess:
+    """One traced page transfer."""
+
+    kind: str  # "read" | "write"
+    file: str
+    index: int
+    phase: str
+
+
+@dataclass
+class StepMetrics:
+    """One pipeline step of an unnested plan (temp relation, final query)."""
+
+    name: str
+    rows_out: int = 0
+    wall_seconds: float = 0.0
+
+
+class QueryMetrics:
+    """Collector threaded through one query execution (strictly opt-in)."""
+
+    def __init__(self):
+        self.operators: "OrderedDict[int, OperatorMetrics]" = OrderedDict()
+        self._nodes: Dict[int, object] = {}
+        self.sorts: List[SortMetrics] = []
+        self.buffer = BufferMetrics()
+        self._buffer_seen: set = set()
+        self.spans: Dict[str, float] = {}
+        self.steps: List[StepMetrics] = []
+        self.page_trace: List[PageAccess] = []
+        self.rewrite: Optional[str] = None
+        self.nesting_type: Optional[str] = None
+        self.strategy: Optional[str] = None
+        #: The :class:`OperationStats` of the run, attached by the session.
+        self.stats: Optional[OperationStats] = None
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def op(self, operator: object, label: Optional[str] = None) -> OperatorMetrics:
+        """The (created-on-first-use) counters for ``operator``.
+
+        Keys are object identities; the operator itself is retained so a
+        later render pass can match counters back to plan nodes.
+        """
+        key = id(operator)
+        entry = self.operators.get(key)
+        if entry is None:
+            if label is None:
+                describe = getattr(operator, "describe", None)
+                label = describe() if callable(describe) else type(operator).__name__
+            entry = OperatorMetrics(label)
+            self.operators[key] = entry
+            self._nodes[key] = operator
+        return entry
+
+    def for_node(self, operator: object) -> Optional[OperatorMetrics]:
+        return self.operators.get(id(operator))
+
+    def stream(self, operator: object, iterator: Iterator) -> Iterator:
+        """Wrap an operator's tuple stream, counting rows and wall time."""
+        om = self.op(operator)
+        clock = time.perf_counter
+        while True:
+            started = clock()
+            try:
+                item = next(iterator)
+            except StopIteration:
+                om.wall_seconds += clock() - started
+                return
+            om.wall_seconds += clock() - started
+            om.rows_out += 1
+            yield item
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str):
+        """Time a region of the execution under ``name`` (re-entrant sum)."""
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - started
+            self.spans[name] = self.spans.get(name, 0.0) + elapsed
+
+    # ------------------------------------------------------------------
+    # Storage-layer reporting
+    # ------------------------------------------------------------------
+    def record_sort(self, sort: SortMetrics) -> None:
+        self.sorts.append(sort)
+
+    def record_buffer(self, hit: bool, file: str, index: int) -> None:
+        """Called by a :class:`BufferPool` carrying this collector."""
+        key = (file, index)
+        if hit:
+            self.buffer.hits += 1
+        else:
+            self.buffer.misses += 1
+            if key in self._buffer_seen:
+                self.buffer.re_fetches += 1
+        self._buffer_seen.add(key)
+
+    def record_page_access(self, kind: str, file: str, index: int, phase: str) -> None:
+        self.page_trace.append(PageAccess(kind, file, index, phase))
+
+    @contextmanager
+    def watch_disk(self, disk):
+        """Trace every page transfer of ``disk`` while the context is open.
+
+        Accesses are tagged with the phase of the disk's *active* stats
+        object, so the trace can be sliced per phase (sort/join/...).
+        """
+
+        def observer(kind: str, file: str, index: int) -> None:
+            self.record_page_access(kind, file, index, disk.stats.current_phase)
+
+        disk.add_observer(observer)
+        try:
+            yield self
+        finally:
+            disk.remove_observer(observer)
+
+    # ------------------------------------------------------------------
+    # Trace analysis
+    # ------------------------------------------------------------------
+    def page_reads(self, file: str, phase: Optional[str] = None) -> Counter:
+        """Per-page read counts for ``file`` (optionally one phase only)."""
+        counts: Counter = Counter()
+        for access in self.page_trace:
+            if access.kind != "read" or access.file != file:
+                continue
+            if phase is not None and access.phase != phase:
+                continue
+            counts[access.index] += 1
+        return counts
+
+    def reread_pages(self, file: str, phase: Optional[str] = None) -> List[int]:
+        """Pages of ``file`` read more than once — locality violations."""
+        return sorted(
+            index for index, n in self.page_reads(file, phase).items() if n > 1
+        )
+
+    def buffer_replay(
+        self, capacity: int, phase: Optional[str] = None
+    ) -> BufferMetrics:
+        """Replay the read trace through an LRU pool of ``capacity`` frames.
+
+        The join algorithms read through the accounted simulated disk, not
+        through a :class:`BufferPool`; replaying the recorded access
+        sequence against an LRU model of the same budget yields the
+        hit/miss/re-fetch profile a pool of that size *would* have had —
+        which is exactly what the paper's buffer-locality claims are
+        about.
+        """
+        metrics = BufferMetrics()
+        frames: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        seen: set = set()
+        for access in self.page_trace:
+            if access.kind != "read":
+                continue
+            if phase is not None and access.phase != phase:
+                continue
+            key = (access.file, access.index)
+            if key in frames:
+                metrics.hits += 1
+                frames.move_to_end(key)
+            else:
+                metrics.misses += 1
+                if key in seen:
+                    metrics.re_fetches += 1
+                while len(frames) >= capacity:
+                    frames.popitem(last=False)
+                frames[key] = None
+            seen.add(key)
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Pipeline steps
+    # ------------------------------------------------------------------
+    def record_step(self, name: str, rows_out: int, wall_seconds: float) -> None:
+        self.steps.append(StepMetrics(name, rows_out, wall_seconds))
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryMetrics(operators={len(self.operators)}, "
+            f"sorts={len(self.sorts)}, buffer={self.buffer.accesses} accesses, "
+            f"trace={len(self.page_trace)} transfers)"
+        )

@@ -33,6 +33,8 @@ from .engine.operators import ExecutionContext
 from .engine.pipelined import JAPipeline
 from .engine.semantics import NaiveEvaluator
 from .fuzzy.compare import Op
+from .observe.explain import render_plan, render_report
+from .observe.metrics import QueryMetrics
 from .fuzzy.linguistic import Vocabulary
 from .sql.ast import (
     AggregateExpr,
@@ -83,6 +85,12 @@ class StorageSession:
         self.schemas = Catalog(vocabulary)
         self.last_stats = OperationStats()
         self.last_strategy: str = ""
+        #: The compiled operator tree of the last flat query (None for the
+        #: storage-level strategies, which have no tree).
+        self.last_plan = None
+        #: The :class:`~repro.observe.metrics.QueryMetrics` collector of
+        #: the last instrumented run, if one was supplied.
+        self.last_metrics: Optional[QueryMetrics] = None
 
     @property
     def vocabulary(self) -> Vocabulary:
@@ -105,22 +113,52 @@ class StorageSession:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, sql: Union[str, SelectQuery]) -> FuzzyRelation:
-        from .join.merge_join import WindowOverflowError
+    def query(
+        self,
+        sql: Union[str, SelectQuery],
+        metrics: Optional[QueryMetrics] = None,
+    ) -> FuzzyRelation:
+        """Execute a query; attach a collector to instrument the run.
 
+        With ``metrics`` the whole execution is traced: every disk page
+        transfer, operator counters, sort shapes, the nesting type, which
+        rewrite fired, and the strategy taken.  Without one, nothing extra
+        runs — operators stream their raw generators.
+        """
         query = parse(sql) if isinstance(sql, str) else sql
         nesting = classify(query, self.schemas)
         stats = OperationStats()
         self.last_stats = stats
+        self.last_plan = None
+        self.last_metrics = metrics
+        if metrics is None:
+            return self._dispatch(query, nesting, stats, None)
+        metrics.nesting_type = nesting.value
+        metrics.stats = stats
+        with metrics.watch_disk(self.disk), metrics.span("query"):
+            result = self._dispatch(query, nesting, stats, metrics)
+        metrics.strategy = self.last_strategy
+        metrics.stats = self.last_stats  # the overflow path swaps stats
+        return result
+
+    def _dispatch(
+        self,
+        query: SelectQuery,
+        nesting: NestingType,
+        stats: OperationStats,
+        metrics: Optional[QueryMetrics],
+    ) -> FuzzyRelation:
+        from .join.merge_join import WindowOverflowError
+
         try:
             if nesting in FLAT_TYPES:
-                return self._run_flat(query, nesting, stats)
+                return self._run_flat(query, nesting, stats, metrics)
             if nesting in (NestingType.TYPE_XN, NestingType.TYPE_JX):
-                return self._run_grouped(query, GroupMode.NOT_IN, nesting, stats)
+                return self._run_grouped(query, GroupMode.NOT_IN, nesting, stats, metrics)
             if nesting in (NestingType.TYPE_ALL, NestingType.TYPE_JALL):
-                return self._run_grouped(query, GroupMode.ALL, nesting, stats)
+                return self._run_grouped(query, GroupMode.ALL, nesting, stats, metrics)
             if nesting is NestingType.TYPE_JA:
-                return self._run_ja(query, nesting, stats)
+                return self._run_ja(query, nesting, stats, metrics)
         except (UnnestError, CompileError):
             pass
         except WindowOverflowError:
@@ -128,7 +166,7 @@ class StorageSession:
             # Section 3's caveat): restart on the always-applicable path.
             stats = OperationStats()
             self.last_stats = stats
-        return self._run_naive(query, nesting, stats)
+        return self._run_naive(query, nesting, stats, metrics)
 
     def explain(self, sql: Union[str, SelectQuery]) -> str:
         """Describe the strategy and plan a query would run with.
@@ -145,8 +183,10 @@ class StorageSession:
                 if not plan.steps and isinstance(plan.final, SelectQuery):
                     compiler = FlatCompiler(self.tables, self.vocabulary)
                     operator = compiler.compile(plan.final, optimize=self.optimize_joins)
+                    if plan.rule:
+                        lines.append(f"rewrite: {plan.rule}")
                     lines.append("strategy: flat merge-join plan")
-                    lines.append(operator.explain())
+                    lines.append(render_plan(operator))
                     return "\n".join(lines)
             except (UnnestError, CompileError):
                 pass
@@ -169,23 +209,56 @@ class StorageSession:
         lines.append("strategy: naive in-memory nested evaluation")
         return "\n".join(lines)
 
+    def explain_analyze(self, sql: Union[str, SelectQuery]) -> str:
+        """Run the query fully instrumented and render the analysis.
+
+        The report shows the nesting type, the rewrite that fired, the
+        strategy taken, the physical plan (estimated next to measured
+        cardinalities) or the storage-level executor's counters, sort
+        shapes, buffer behaviour, and per-phase I/O and comparison counts.
+        """
+        metrics = QueryMetrics()
+        result = self.query(sql, metrics=metrics)
+        return render_report(
+            metrics,
+            plan=self.last_plan,
+            n_answers=len(result),
+            buffer_pages=self.buffer_pages,
+        )
+
     # ------------------------------------------------------------------
     # Strategy: flat plans
     # ------------------------------------------------------------------
-    def _run_flat(self, query: SelectQuery, nesting: NestingType, stats: OperationStats) -> FuzzyRelation:
+    def _run_flat(
+        self,
+        query: SelectQuery,
+        nesting: NestingType,
+        stats: OperationStats,
+        metrics: Optional[QueryMetrics] = None,
+    ) -> FuzzyRelation:
         plan = unnest(query, self.schemas)
         if plan.steps or not isinstance(plan.final, SelectQuery):
             raise UnnestError("not a single flat query")
         compiler = FlatCompiler(self.tables, self.vocabulary)
         operator = compiler.compile(plan.final, optimize=self.optimize_joins)
         self.last_strategy = f"flat/{nesting.value}: merge-join plan"
-        return operator.to_relation(ExecutionContext(self.disk, self.buffer_pages, stats))
+        self.last_plan = operator
+        if metrics is not None:
+            metrics.rewrite = plan.rule or plan.nesting_type
+        return operator.to_relation(
+            ExecutionContext(self.disk, self.buffer_pages, stats, metrics=metrics)
+        )
 
     # ------------------------------------------------------------------
     # Strategy: grouped anti-joins (Sections 5 and 7)
     # ------------------------------------------------------------------
     def _run_grouped(
-        self, query: SelectQuery, mode: GroupMode, nesting: NestingType, stats: OperationStats
+        self,
+        query: SelectQuery,
+        mode: GroupMode,
+        nesting: NestingType,
+        stats: OperationStats,
+        metrics: Optional[QueryMetrics] = None,
     ) -> FuzzyRelation:
         parts = self._dissect(query)
         (outer_name, inner_name, p1, p2, cross, nesting_pred, project_attrs) = parts
@@ -211,12 +284,24 @@ class StorageSession:
         )
         band = "merge-join" if grouped.band else "nested-loop"
         self.last_strategy = f"grouped/{nesting.value}: {band} min-fold"
-        return grouped.run(self.disk, self.buffer_pages, stats)
+        if metrics is not None:
+            metrics.rewrite = (
+                "NOT IN -> grouped anti-join min-fold (Section 5)"
+                if mode is GroupMode.NOT_IN
+                else "op ALL -> doubly-negated grouped fold (Section 7)"
+            )
+        return grouped.run(self.disk, self.buffer_pages, stats, metrics=metrics)
 
     # ------------------------------------------------------------------
     # Strategy: the Section 6 pipeline
     # ------------------------------------------------------------------
-    def _run_ja(self, query: SelectQuery, nesting: NestingType, stats: OperationStats) -> FuzzyRelation:
+    def _run_ja(
+        self,
+        query: SelectQuery,
+        nesting: NestingType,
+        stats: OperationStats,
+        metrics: Optional[QueryMetrics] = None,
+    ) -> FuzzyRelation:
         parts = self._dissect(query)
         (outer_name, inner_name, p1, p2, cross, nesting_pred, project_attrs) = parts
         if not isinstance(nesting_pred, ScalarSubqueryComparison):
@@ -242,12 +327,24 @@ class StorageSession:
             policy=self.aggregate_policy,
         )
         self.last_strategy = f"pipelined/{nesting.value}: T1/T2 merge pass"
-        return pipeline.run(self.disk, self.buffer_pages, stats)
+        if metrics is not None:
+            metrics.rewrite = (
+                "correlated aggregate -> pipelined T1/T2 merge pass (Section 6)"
+            )
+        return pipeline.run(self.disk, self.buffer_pages, stats, metrics=metrics)
 
     # ------------------------------------------------------------------
     # Fallback: naive evaluation over buffered reads
     # ------------------------------------------------------------------
-    def _run_naive(self, query: SelectQuery, nesting: NestingType, stats: OperationStats) -> FuzzyRelation:
+    def _run_naive(
+        self,
+        query: SelectQuery,
+        nesting: NestingType,
+        stats: OperationStats,
+        metrics: Optional[QueryMetrics] = None,
+    ) -> FuzzyRelation:
+        if metrics is not None and metrics.rewrite is None:
+            metrics.rewrite = "none (naive fallback)"
         catalog = Catalog(self.vocabulary)
         with self.disk.use_stats(stats):
             for name, heap in self.tables.items():

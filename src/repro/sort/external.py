@@ -50,14 +50,26 @@ class _CountingKey:
 
 
 class ExternalSorter:
-    """Sorts a heap file by the interval order of one attribute."""
+    """Sorts a heap file by the interval order of one attribute.
 
-    def __init__(self, disk: SimulatedDisk, buffer_pages: int, stats: OperationStats):
+    When a :class:`~repro.observe.metrics.QueryMetrics` collector is
+    attached, every sort reports its shape (initial run count, merge
+    passes) — the raw material for Table 3's sorting-share rows.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        buffer_pages: int,
+        stats: OperationStats,
+        metrics=None,
+    ):
         if buffer_pages < 3:
             raise ValueError("external sort needs at least 3 buffer pages")
         self.disk = disk
         self.buffer_pages = buffer_pages
         self.stats = stats
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Public API
@@ -66,9 +78,22 @@ class ExternalSorter:
         """Produce a new heap file sorted on ``attribute``."""
         out_name = out_name or f"{source.name}__sorted_{attribute}"
         key_index = source.schema.index_of(attribute)
+        record = None
+        if self.metrics is not None:
+            from ..observe.metrics import SortMetrics
+
+            record = SortMetrics(
+                source=source.name, attribute=attribute, tuples=source.n_tuples
+            )
+            self.metrics.record_sort(record)
         with self.disk.use_stats(self.stats), self.stats.enter_phase(SORT_PHASE):
             runs = self._generate_runs(source, key_index)
-            runs = self._merge_until_few(source, runs, key_index)
+            if record is not None:
+                record.runs = len(runs)
+            runs = self._merge_until_few(source, runs, key_index, record)
+            if record is not None:
+                record.merge_passes += 1  # the final merge that writes the output
+                record.output = out_name
             return self._final_merge(source, runs, key_index, out_name)
 
     # ------------------------------------------------------------------
@@ -103,9 +128,13 @@ class ExternalSorter:
     # ------------------------------------------------------------------
     # Pass 2+: K-way merges
     # ------------------------------------------------------------------
-    def _merge_until_few(self, source: HeapFile, runs: List[str], key_index: int) -> List[str]:
+    def _merge_until_few(
+        self, source: HeapFile, runs: List[str], key_index: int, record=None
+    ) -> List[str]:
         fan_in = self.buffer_pages - 1
         while len(runs) > fan_in:
+            if record is not None:
+                record.merge_passes += 1
             next_runs: List[str] = []
             for i in range(0, len(runs), fan_in):
                 group = runs[i:i + fan_in]

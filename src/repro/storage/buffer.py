@@ -26,7 +26,7 @@ class BufferExhaustedError(Exception):
 class BufferPool:
     """A page cache with LRU replacement and pin counts."""
 
-    def __init__(self, disk: SimulatedDisk, capacity: int):
+    def __init__(self, disk: SimulatedDisk, capacity: int, metrics=None):
         if capacity < 1:
             raise ValueError("buffer pool needs at least one frame")
         self.disk = disk
@@ -35,6 +35,10 @@ class BufferPool:
         self._pins: Dict[FrameKey, int] = {}
         self.hits = 0
         self.misses = 0
+        #: Optional :class:`~repro.observe.metrics.QueryMetrics` collector;
+        #: hits and misses are reported per page so locality claims can be
+        #: checked (a re-fetch = a page missed after having been resident).
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Reads
@@ -43,9 +47,13 @@ class BufferPool:
         key = (file, index)
         if key in self._frames:
             self.hits += 1
+            if self.metrics is not None:
+                self.metrics.record_buffer(True, file, index)
             self._frames.move_to_end(key)
         else:
             self.misses += 1
+            if self.metrics is not None:
+                self.metrics.record_buffer(False, file, index)
             self._evict_until_free()
             self._frames[key] = self.disk.read_page(file, index)
         if pin:

@@ -29,6 +29,7 @@ class SimulatedDisk:
         self.page_size = page_size
         self.stats = stats if stats is not None else OperationStats()
         self._files: Dict[str, List[bytes]] = {}
+        self._observers: List = []
 
     @contextmanager
     def use_stats(self, stats: OperationStats):
@@ -38,6 +39,20 @@ class SimulatedDisk:
             yield stats
         finally:
             self.stats = previous
+
+    # ------------------------------------------------------------------
+    # Observation (page-access tracing; free when no observer is attached)
+    # ------------------------------------------------------------------
+    def add_observer(self, observer) -> None:
+        """Register ``observer(kind, file, index)`` for every page transfer.
+
+        Used by :meth:`repro.observe.metrics.QueryMetrics.watch_disk`; the
+        hot path pays only a falsy check while no observer is attached.
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        self._observers.remove(observer)
 
     # ------------------------------------------------------------------
     # File management (not charged as I/O)
@@ -65,12 +80,18 @@ class SimulatedDisk:
     def read_page(self, name: str, index: int) -> Page:
         data = self._files[name][index]
         self.stats.count_read()
+        if self._observers:
+            for observer in self._observers:
+                observer("read", name, index)
         return Page.from_bytes(data, self.page_size)
 
     def write_page(self, name: str, index: int, page: Page) -> None:
         pages = self._files[name]
         data = page.to_bytes()
         self.stats.count_write()
+        if self._observers:
+            for observer in self._observers:
+                observer("write", name, index)
         if index == len(pages):
             pages.append(data)
         else:

@@ -71,6 +71,11 @@ class OperationStats:
     def current(self) -> Counters:
         return self.phase(self._current)
 
+    @property
+    def current_phase(self) -> str:
+        """The name of the phase counts are currently routed to."""
+        return self._current
+
     def enter_phase(self, name: str) -> "_PhaseContext":
         """Route subsequent counts to ``name`` (context manager)."""
         return _PhaseContext(self, name)

@@ -59,4 +59,8 @@ def unnest_chain(query: SelectQuery, catalog: Catalog, nesting_type: str = "chai
         with_threshold=q.with_threshold,
         distinct=q.distinct,
     )
-    return UnnestedPlan(final=flat, nesting_type=nesting_type)
+    return UnnestedPlan(
+        final=flat,
+        nesting_type=nesting_type,
+        rule="K-level chain -> single flat join (Theorem 8.1)",
+    )

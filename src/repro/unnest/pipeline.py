@@ -9,6 +9,7 @@ subquery per outer tuple — which is the whole point.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Union
 
@@ -42,23 +43,51 @@ class Step:
 
 @dataclass
 class UnnestedPlan:
-    """A sequence of temp-relation steps and a final flat query."""
+    """A sequence of temp-relation steps and a final flat query.
+
+    ``rule`` names the rewrite that produced this plan (which theorem of
+    the paper fired) — EXPLAIN surfaces it so a reader can tell *why* the
+    query became this pipeline.
+    """
 
     final: StepBody
     steps: List[Step] = field(default_factory=list)
     nesting_type: str = ""
+    rule: str = ""
 
-    def execute(self, catalog: Catalog, make_evaluator: EvaluatorFactory) -> FuzzyRelation:
-        """Run all steps against a scratch copy of the catalog."""
+    def execute(
+        self,
+        catalog: Catalog,
+        make_evaluator: EvaluatorFactory,
+        metrics=None,
+    ) -> FuzzyRelation:
+        """Run all steps against a scratch copy of the catalog.
+
+        With a :class:`~repro.observe.metrics.QueryMetrics` collector the
+        fired rewrite and each step's output cardinality and wall time are
+        recorded.
+        """
+        if metrics is not None:
+            metrics.rewrite = self.rule or self.nesting_type or "flat"
         scratch = catalog.copy()
         for step in self.steps:
-            scratch.register(step.name, step.run(scratch, make_evaluator))
+            if metrics is None:
+                scratch.register(step.name, step.run(scratch, make_evaluator))
+            else:
+                started = time.perf_counter()
+                result = step.run(scratch, make_evaluator)
+                metrics.record_step(
+                    step.name, len(result), time.perf_counter() - started
+                )
+                scratch.register(step.name, result)
         if isinstance(self.final, SelectQuery):
             return make_evaluator(scratch).evaluate(self.final)
         return self.final(scratch, make_evaluator)
 
     def explain(self) -> str:
         lines = [f"unnested plan ({self.nesting_type or 'flat'})"]
+        if self.rule:
+            lines.append(f"  rewrite: {self.rule}")
         for step in self.steps:
             body = str(step.body) if isinstance(step.body, SelectQuery) else step.description
             lines.append(f"  {step.name} := {body}")

@@ -44,7 +44,9 @@ def unnest(query: Union[str, SelectQuery], catalog: Catalog) -> UnnestedPlan:
         query = parse(query)
     nesting_type = classify(query, catalog)
     if nesting_type is NestingType.FLAT:
-        return UnnestedPlan(final=query, nesting_type="flat")
+        return UnnestedPlan(
+            final=query, nesting_type="flat", rule="no nesting -> pass through"
+        )
     rewrite = _REWRITES.get(nesting_type)
     if rewrite is None:
         raise UnnestError(f"no rewrite for nesting type {nesting_type.value}")

@@ -86,7 +86,12 @@ def _unnest_uncorrelated(
         with_threshold=q.with_threshold,
         distinct=q.distinct,
     )
-    return UnnestedPlan(final=final, steps=[step], nesting_type=nesting_type)
+    return UnnestedPlan(
+        final=final,
+        steps=[step],
+        nesting_type=nesting_type,
+        rule="uncorrelated aggregate -> evaluate once, flat compare (Type A)",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -153,7 +158,12 @@ def _unnest_correlated(
         final = _count_outer_join(
             q, nesting, rest, outer_table, t2_name, t1_attrs, agg_attr, correlation
         )
-        return UnnestedPlan(final=final, steps=[t1_step, t2_step], nesting_type=nesting_type)
+        return UnnestedPlan(
+            final=final,
+            steps=[t1_step, t2_step],
+            nesting_type=nesting_type,
+            rule="COUNT aggregate -> T1/T2 + left outer join (Section 6)",
+        )
 
     identity = tuple(
         IdentityComparison(outer_ref, ColumnRef(t2_name, outer_ref.attribute))
@@ -168,7 +178,12 @@ def _unnest_correlated(
         with_threshold=q.with_threshold,
         distinct=q.distinct,
     )
-    return UnnestedPlan(final=final_query, steps=[t1_step, t2_step], nesting_type=nesting_type)
+    return UnnestedPlan(
+        final=final_query,
+        steps=[t1_step, t2_step],
+        nesting_type=nesting_type,
+        rule="correlated aggregate -> T1/T2 pipeline (Section 6, Theorem 6.1)",
+    )
 
 
 def _count_outer_join(

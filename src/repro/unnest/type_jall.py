@@ -90,4 +90,9 @@ def unnest_all(query: SelectQuery, catalog: Catalog, nesting_type: str = "JALL")
         with_threshold=q.with_threshold,
         distinct=q.distinct,
     )
-    return UnnestedPlan(final=final, steps=[step], nesting_type=nesting_type)
+    return UnnestedPlan(
+        final=final,
+        steps=[step],
+        nesting_type=nesting_type,
+        rule="op ALL -> doubly-negated grouped fold (Section 7)",
+    )

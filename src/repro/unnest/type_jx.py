@@ -94,7 +94,12 @@ def unnest_not_in(query: SelectQuery, catalog: Catalog, nesting_type: str = "JX"
         with_threshold=q.with_threshold,
         distinct=q.distinct,
     )
-    return UnnestedPlan(final=final, steps=[step], nesting_type=nesting_type)
+    return UnnestedPlan(
+        final=final,
+        steps=[step],
+        nesting_type=nesting_type,
+        rule="NOT IN -> grouped anti-join min-fold (Section 5)",
+    )
 
 
 def _grouped_antijoin_step(

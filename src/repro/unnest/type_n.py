@@ -33,10 +33,12 @@ def unnest_in(query: SelectQuery, catalog: Catalog, nesting_type: str = "N/J") -
         if nesting.negated:
             raise UnnestError("NOT IN is handled by the JX rewrite")
         op = Op.EQ
+        rule = "IN -> flat equi-join (Theorems 4.1/4.2)"
     elif isinstance(nesting, QuantifiedComparison):
         if nesting.quantifier not in ("SOME", "ANY"):
             raise UnnestError("ALL is handled by the JALL rewrite")
         op = nesting.op
+        rule = f"{nesting.quantifier} -> flat {op.value}-join (Section 4)"
     else:
         raise UnnestError(f"not an IN/SOME nesting: {nesting!r}")
 
@@ -54,7 +56,7 @@ def unnest_in(query: SelectQuery, catalog: Catalog, nesting_type: str = "N/J") -
         with_threshold=q.with_threshold,
         distinct=q.distinct,
     )
-    return UnnestedPlan(final=flat, nesting_type=nesting_type)
+    return UnnestedPlan(final=flat, nesting_type=nesting_type, rule=rule)
 
 
 def _check_plain_inner(inner: SelectQuery) -> None:

@@ -1,0 +1,122 @@
+"""Property-based tests for the interval order and comparison degrees.
+
+The merge-join's correctness rests on two pillars the paper states but
+never tests: the order of Definition 3.1 is a *linear* order consistent
+with support intervals, and the possibility degree ``d(X theta Y)`` of
+Section 2 behaves like a possibility measure (symmetric for ``=``,
+monotone under support widening).  Hypothesis hammers both across crisp
+numbers, trapezoids, and discrete distributions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy.compare import Op, possibility
+from repro.fuzzy.interval_order import (
+    begin,
+    end,
+    overlaps,
+    precedes,
+    precedes_eq,
+    sort_key,
+    strictly_before,
+)
+from repro.fuzzy.trapezoid import TrapezoidalNumber
+from repro.testing import numeric_distributions
+
+values = numeric_distributions()
+
+
+class TestIntervalOrderIsLinear:
+    @given(values, values)
+    @settings(deadline=None)
+    def test_totality(self, v1, v2):
+        """Any two values are comparable: exactly one of <, =, > holds."""
+        outcomes = [
+            precedes(v1, v2),
+            precedes(v2, v1),
+            sort_key(v1) == sort_key(v2),
+        ]
+        assert sum(outcomes) == 1
+
+    @given(values, values, values)
+    @settings(deadline=None)
+    def test_transitivity(self, v1, v2, v3):
+        if precedes(v1, v2) and precedes(v2, v3):
+            assert precedes(v1, v3)
+        if precedes_eq(v1, v2) and precedes_eq(v2, v3):
+            assert precedes_eq(v1, v3)
+
+    @given(values, values)
+    @settings(deadline=None)
+    def test_antisymmetry(self, v1, v2):
+        if precedes(v1, v2):
+            assert not precedes(v2, v1)
+
+
+class TestOrderConsistentWithSupports:
+    @given(values, values)
+    @settings(deadline=None)
+    def test_strictly_before_implies_precedes(self, v1, v2):
+        """Disjoint supports sort the left interval first — the property
+        that lets the merge scan retire passed S-tuples for good."""
+        if strictly_before(v1, v2):
+            assert precedes(v1, v2)
+            assert not overlaps(v1, v2)
+
+    @given(values, values)
+    @settings(deadline=None)
+    def test_disjoint_supports_have_zero_equality_degree(self, v1, v2):
+        if not overlaps(v1, v2):
+            assert possibility(v1, Op.EQ, v2) == 0.0
+
+    @given(values)
+    @settings(deadline=None)
+    def test_support_interval_is_ordered(self, v):
+        assert begin(v) <= end(v)
+        assert sort_key(v) == (begin(v), end(v))
+
+
+class TestComparisonDegrees:
+    @given(values, values)
+    @settings(deadline=None)
+    def test_equality_is_symmetric(self, v1, v2):
+        """d(X = Y) = d(Y = X): sup-min of the intersection is symmetric."""
+        assert possibility(v1, Op.EQ, v2) == pytest.approx(
+            possibility(v2, Op.EQ, v1), abs=1e-9
+        )
+
+    @given(values, values)
+    @settings(deadline=None)
+    def test_degrees_are_possibilities(self, v1, v2):
+        for op in (Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE):
+            d = possibility(v1, op, v2)
+            assert 0.0 <= d <= 1.0
+
+    @given(values, values)
+    @settings(deadline=None)
+    def test_strict_below_weak(self, v1, v2):
+        """x < y is at most as possible as x <= y (and same for >, >=)."""
+        assert possibility(v1, Op.LT, v2) <= possibility(v1, Op.LE, v2) + 1e-9
+        assert possibility(v1, Op.GT, v2) <= possibility(v1, Op.GE, v2) + 1e-9
+
+    @given(
+        values,
+        st.floats(min_value=-20.0, max_value=20.0, allow_nan=False),
+        st.floats(min_value=-20.0, max_value=20.0, allow_nan=False),
+        st.floats(min_value=-20.0, max_value=20.0, allow_nan=False),
+        st.floats(min_value=-20.0, max_value=20.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    )
+    @settings(deadline=None)
+    def test_equality_monotone_under_support_widening(self, x, a, b, c, d, delta):
+        """Widening a trapezoid's support never lowers d(X = Y).
+
+        The widened value admits every (value, membership) witness the
+        original admits, so the sup-min can only grow.
+        """
+        a, b, c, d = sorted([a, b, c, d])
+        y = TrapezoidalNumber(a, b, c, d)
+        widened = TrapezoidalNumber(a - delta, b, c, d + delta)
+        assert possibility(x, Op.EQ, widened) >= possibility(x, Op.EQ, y) - 1e-9
