@@ -1,0 +1,301 @@
+#!/usr/bin/env python
+"""Benchmark-regression harness: one JSON trajectory per run, gated in CI.
+
+Runs a fixed, deterministic workload set —
+
+* paper experiments (Table 1 @ 1 MB, Fig. 3 @ C=16, Table 4 @ 512 B) on
+  both evaluation methods, and
+* one storage-session query per nesting type (J / JX / JALL / JA / chain)
+  at a fixed seed —
+
+and writes ``BENCH_observe.json``: per-workload *modelled* cost (the
+deterministic cost-model response time), raw event counters, answer
+cardinality, and wall time, plus the collector-overhead measurement.
+
+``--check`` compares the fresh run against a committed baseline
+(``benchmarks/BENCH_observe.json``).  Modelled cost and counters are
+deterministic at a given scale, so the gate is tight; wall time is
+recorded for trend plots but never gated (CI machines are noisy).
+
+    python benchmarks/run_bench.py                      # write BENCH_observe.json
+    python benchmarks/run_bench.py --check              # gate against the baseline
+    python benchmarks/run_bench.py --update-baseline    # refresh the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.bench.methods import run_merge_join, run_nested_loop  # noqa: E402
+from repro.bench.experiments import (  # noqa: E402
+    PAGE_SIZE,
+    TUPLES_PER_MB,
+    _buffer_pages,
+    _scaled,
+    default_scale,
+)
+from repro.data import FuzzyRelation, FuzzyTuple, Schema  # noqa: E402
+from repro.observe import QueryMetrics  # noqa: E402
+from repro.session import StorageSession  # noqa: E402
+from repro.storage.costs import PAPER_1992  # noqa: E402
+from repro.workload.generator import WorkloadSpec, build_workload  # noqa: E402
+
+VERSION = 1
+
+#: The committed baseline the ``--check`` gate compares against.
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_observe.json")
+
+#: Modelled seconds may drift this factor before the gate fails (they are
+#: deterministic at fixed scale, so any drift is a real behaviour change;
+#: the slack only absorbs intentional small cost-model adjustments).
+DEFAULT_TOLERANCE = 1.5
+
+#: Counters are gated at +/-10%.
+COUNTER_TOLERANCE = 0.10
+
+COUNTER_KEYS = (
+    "page_reads",
+    "page_writes",
+    "crisp_comparisons",
+    "fuzzy_evaluations",
+    "tuple_moves",
+)
+
+#: One query per nesting type, over the fixed R/S/W session.
+SESSION_QUERIES = {
+    "session_J": "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S WHERE S.U = R.U)",
+    "session_JX": "SELECT R.K FROM R WHERE R.V NOT IN (SELECT S.V FROM S WHERE S.U = R.U)",
+    "session_JALL": "SELECT R.K FROM R WHERE R.V < ALL (SELECT S.V FROM S WHERE S.U = R.U)",
+    "session_JA": "SELECT R.K FROM R WHERE R.V > (SELECT MAX(S.V) FROM S WHERE S.U = R.U)",
+    "session_chain": (
+        "SELECT R.K FROM R WHERE R.V IN "
+        "(SELECT S.V FROM S WHERE S.K IN (SELECT W.V FROM W WHERE W.U = R.U))"
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def _counters(stats) -> dict:
+    total = stats.total
+    return {key: getattr(total, key) for key in COUNTER_KEYS}
+
+
+def _method_workloads(scale: int) -> dict:
+    """The paper-experiment slice: three shapes, both methods where sensible."""
+    buffer_pages = _buffer_pages(scale)
+    out = {}
+
+    def run(name, spec, nested_loop=True):
+        workload = build_workload(spec, page_size=PAGE_SIZE)
+        mj = run_merge_join(workload, buffer_pages)
+        out[f"{name}/merge_join"] = {
+            "modelled_seconds": mj.response_seconds,
+            "wall_seconds": mj.wall_seconds,
+            "rows": mj.n_answers,
+            "counters": _counters(mj.stats),
+        }
+        if nested_loop:
+            nl = run_nested_loop(workload, buffer_pages)
+            out[f"{name}/nested_loop"] = {
+                "modelled_seconds": nl.response_seconds,
+                "wall_seconds": nl.wall_seconds,
+                "rows": nl.n_answers,
+                "counters": _counters(nl.stats),
+            }
+
+    n_1mb = _scaled(TUPLES_PER_MB, scale)
+    run("table1_1mb", WorkloadSpec(n_outer=n_1mb, n_inner=n_1mb, join_fanout=7, tuple_size=128))
+    n_8mb = _scaled(8 * TUPLES_PER_MB, scale)
+    run(
+        "fig3_c16",
+        WorkloadSpec(n_outer=n_8mb, n_inner=n_8mb, join_fanout=16, tuple_size=128),
+        nested_loop=False,
+    )
+    n_t4 = _scaled(8000, scale)
+    run("table4_512b", WorkloadSpec(n_outer=n_t4, n_inner=n_t4, join_fanout=1, tuple_size=512))
+    return out
+
+
+def build_session(seed: int = 23, n: int = 60) -> StorageSession:
+    """The fixed R/S/W session every ``session_*`` workload runs against."""
+    from repro.fuzzy import CrispNumber as N
+    from repro.fuzzy import TrapezoidalNumber as T
+
+    schema = Schema(["K", "U", "V"])
+    pool = [N(0), N(5), T(0, 1, 2, 4), T(3, 5, 5, 7), T(4, 6, 8, 12)]
+    rng = random.Random(seed)
+
+    def rel(base):
+        out = FuzzyRelation(schema)
+        for i in range(n):
+            out.add(
+                FuzzyTuple(
+                    [N(base + i), rng.choice(pool), rng.choice(pool)],
+                    rng.choice([0.3, 0.6, 1.0]),
+                )
+            )
+        return out
+
+    session = StorageSession(buffer_pages=16, page_size=1024)
+    session.register("R", rel(0))
+    session.register("S", rel(1000))
+    session.register("W", rel(2000))
+    return session
+
+
+def _session_workloads() -> dict:
+    out = {}
+    for name, sql in SESSION_QUERIES.items():
+        session = build_session()
+        metrics = QueryMetrics()
+        started = time.perf_counter()
+        result = session.query(sql, metrics=metrics)
+        wall = time.perf_counter() - started
+        out[name] = {
+            "modelled_seconds": PAPER_1992.response_time(session.last_stats),
+            "wall_seconds": wall,
+            "rows": len(result),
+            "strategy": session.last_strategy,
+            "counters": _counters(session.last_stats),
+        }
+    return out
+
+
+def measure_collector_overhead(repeats: int = 5) -> dict:
+    """Wall time of the type-J query with and without a collector attached.
+
+    Shared with ``benchmarks/test_bench_observe.py``, which emits the
+    numbers into the benchmark log; here they land in the JSON artifact.
+    Recorded, never gated — the structural zero-overhead *tests* are the
+    gate.
+    """
+    sql = SESSION_QUERIES["session_J"]
+    plain = build_session()
+    watched = build_session()
+    plain_seconds = watched_seconds = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        plain.query(sql)
+        plain_seconds = min(plain_seconds, time.perf_counter() - started)
+        started = time.perf_counter()
+        watched.query(sql, metrics=QueryMetrics())
+        watched_seconds = min(watched_seconds, time.perf_counter() - started)
+    return {
+        "plain_seconds": plain_seconds,
+        "collector_seconds": watched_seconds,
+        "overhead_ratio": watched_seconds / plain_seconds if plain_seconds else 1.0,
+    }
+
+
+def run_all(scale: int) -> dict:
+    workloads = {}
+    workloads.update(_method_workloads(scale))
+    workloads.update(_session_workloads())
+    return {
+        "version": VERSION,
+        "scale": scale,
+        "workloads": workloads,
+        "overhead": measure_collector_overhead(),
+    }
+
+
+# ----------------------------------------------------------------------
+# The regression gate
+# ----------------------------------------------------------------------
+def check(fresh: dict, baseline: dict, tolerance: float) -> list:
+    """Compare a fresh run against the baseline; returns failure messages."""
+    failures = []
+    if fresh.get("scale") != baseline.get("scale"):
+        return [
+            f"scale mismatch: fresh run at {fresh.get('scale')} but baseline at "
+            f"{baseline.get('scale')} — regenerate with --update-baseline"
+        ]
+    base_workloads = baseline.get("workloads", {})
+    for name, base in sorted(base_workloads.items()):
+        got = fresh["workloads"].get(name)
+        if got is None:
+            failures.append(f"{name}: missing from the fresh run")
+            continue
+        if got["rows"] != base["rows"]:
+            failures.append(f"{name}: rows {got['rows']} != baseline {base['rows']}")
+        base_cost, got_cost = base["modelled_seconds"], got["modelled_seconds"]
+        if base_cost > 0 and not (1.0 / tolerance <= got_cost / base_cost <= tolerance):
+            failures.append(
+                f"{name}: modelled cost {got_cost:.4f}s vs baseline "
+                f"{base_cost:.4f}s exceeds tolerance {tolerance}x"
+            )
+        for key, base_value in base["counters"].items():
+            got_value = got["counters"].get(key, 0)
+            slack = max(1.0, COUNTER_TOLERANCE * base_value)
+            if abs(got_value - base_value) > slack:
+                failures.append(
+                    f"{name}: counter {key} {got_value} vs baseline "
+                    f"{base_value} (+/-{COUNTER_TOLERANCE:.0%})"
+                )
+    for name in sorted(set(fresh["workloads"]) - set(base_workloads)):
+        failures.append(f"{name}: not in the baseline — run --update-baseline")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_observe.json", help="where to write the fresh run")
+    parser.add_argument("--baseline", default=BASELINE_PATH, help="baseline JSON to gate against")
+    parser.add_argument("--check", action="store_true", help="fail (exit 1) on regression vs the baseline")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE, help="modelled-cost drift factor allowed")
+    parser.add_argument("--update-baseline", action="store_true", help="overwrite the baseline with this run")
+    parser.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help="multiply this run's modelled costs by F (gate self-test)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = default_scale()
+    results = run_all(scale)
+    if args.inject_slowdown != 1.0:
+        for workload in results["workloads"].values():
+            workload["modelled_seconds"] *= args.inject_slowdown
+            workload["wall_seconds"] *= args.inject_slowdown
+
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output} ({len(results['workloads'])} workloads, scale {scale})")
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as handle:
+            json.dump(results, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if args.check:
+        if not os.path.exists(args.baseline):
+            print(f"no baseline at {args.baseline}; run --update-baseline first")
+            return 2
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        failures = check(results, baseline, args.tolerance)
+        if failures:
+            print(f"REGRESSION: {len(failures)} check(s) failed")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"ok: {len(baseline.get('workloads', {}))} workloads within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,11 +10,13 @@ collector watching.
 
 import random
 
+from repro.bench.experiments import ExperimentResult
 from repro.data import Catalog, FuzzyRelation, FuzzyTuple, Schema
 from repro.observe import QueryMetrics
 from repro.session import StorageSession
 
-from conftest import emit  # noqa: F401  (kept for parity with other benches)
+from conftest import emit
+from run_bench import measure_collector_overhead
 
 SCHEMA = Schema(["K", "U", "V"])
 SQL = "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S WHERE S.U = R.U)"
@@ -87,6 +89,32 @@ def dict_of(session):
         )
         for phase, c in session.last_stats.items()
     }
+
+
+def test_collector_overhead_is_emitted():
+    """The overhead numbers land in the benchmark log *and* the bench JSON.
+
+    Shares :func:`run_bench.measure_collector_overhead` with the
+    regression harness, so the table printed here matches what
+    ``BENCH_observe.json`` records under ``overhead``.
+    """
+    overhead = measure_collector_overhead(repeats=3)
+    emit(
+        ExperimentResult(
+            name="Collector overhead (type-J query, best of 3)",
+            headers=["plain_ms", "collector_ms", "overhead_ratio"],
+            rows=[
+                {
+                    "plain_ms": 1000.0 * overhead["plain_seconds"],
+                    "collector_ms": 1000.0 * overhead["collector_seconds"],
+                    "overhead_ratio": overhead["overhead_ratio"],
+                }
+            ],
+            notes="recorded in BENCH_observe.json; gated structurally, not by wall time",
+        )
+    )
+    assert overhead["plain_seconds"] > 0.0
+    assert overhead["collector_seconds"] > 0.0
 
 
 def test_query_throughput_without_collector(benchmark):

@@ -17,6 +17,10 @@ Meta commands:
     \\terms             list linguistic terms
     \\plan <query>      show the unnesting rewrite without executing
     \\analyze <query>   run instrumented on the storage engine (EXPLAIN ANALYZE)
+    \\trace <query>     run with span tracing; prints the span tree and
+                       writes Chrome trace_event JSON to fuzzy_trace.json
+    \\metrics           dump cumulative session counters (Prometheus format)
+    \\log               summarize the session's query log (slow queries first)
     \\quit              leave
 
 Also usable non-interactively:
@@ -45,11 +49,19 @@ def print_relation(relation):
     print(relation.pretty(value_format=short))
 
 
+#: Where ``\trace`` writes its Chrome trace_event JSON.
+TRACE_PATH = "fuzzy_trace.json"
+
+
 def make_database() -> FuzzyDatabase:
+    from repro.observe import MetricsRegistry, QueryLog
+
     catalog = dating_catalog()
     db = FuzzyDatabase(catalog.vocabulary)
     for name in catalog.names():
         db.register(name, catalog.get(name))
+    db.registry = MetricsRegistry()
+    db.query_log = QueryLog(slow_threshold_seconds=0.05)
     return db
 
 
@@ -81,10 +93,29 @@ def handle_meta(command: str, db: FuzzyDatabase) -> bool:
             print(db.explain_analyze(parts[1]))
         except (FuzzySQLError, DatabaseError) as exc:
             print(f"cannot analyze: {exc}")
+    elif head == "\\trace" and len(parts) > 1:
+        try:
+            tracer = db.trace(parts[1])
+        except (FuzzySQLError, DatabaseError) as exc:
+            print(f"cannot trace: {exc}")
+        else:
+            print(tracer.render_tree())
+            tracer.export(TRACE_PATH)
+            print(f"(chrome trace written to {TRACE_PATH})")
+    elif head == "\\metrics":
+        if db.registry is None or db.registry.queries_total == 0:
+            print("no queries observed yet")
+        else:
+            print(db.registry.render_prometheus(), end="")
+    elif head == "\\log":
+        if db.query_log is None or len(db.query_log) == 0:
+            print("query log is empty")
+        else:
+            print(db.query_log.summarize())
     else:
         print(
             "commands: \\tables  \\show <name>  \\terms  \\plan <query>  "
-            "\\analyze <query>  \\quit"
+            "\\analyze <query>  \\trace <query>  \\metrics  \\log  \\quit"
         )
     return True
 

@@ -59,6 +59,12 @@ class FuzzyDatabase:
         self.aggregate_policy = aggregate_policy
         self.similarity = similarity
         self.auto_unnest = auto_unnest
+        #: Workload-level sinks (see :mod:`repro.observe`): assign a
+        #: :class:`~repro.observe.registry.MetricsRegistry` and/or a
+        #: :class:`~repro.observe.querylog.QueryLog` and every query is
+        #: folded in / logged automatically.
+        self.registry = None
+        self.query_log = None
 
     # ------------------------------------------------------------------
     # The one entry point
@@ -66,11 +72,13 @@ class FuzzyDatabase:
     def execute(self, sql: str) -> Union[FuzzyRelation, str]:
         """Run one statement; queries return relations, DDL returns messages."""
         statement = parse_statement(sql)
-        return self.execute_statement(statement)
+        return self.execute_statement(statement, sql_text=sql)
 
-    def execute_statement(self, statement: Statement) -> Union[FuzzyRelation, str]:
+    def execute_statement(
+        self, statement: Statement, sql_text: Optional[str] = None
+    ) -> Union[FuzzyRelation, str]:
         if isinstance(statement, SelectQuery):
-            return self.query(statement)
+            return self.query(statement, sql_text=sql_text)
         if isinstance(statement, CreateTable):
             return self._create(statement)
         if isinstance(statement, InsertInto):
@@ -84,22 +92,58 @@ class FuzzyDatabase:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, query: Union[str, SelectQuery], metrics=None) -> FuzzyRelation:
+    def query(
+        self,
+        query: Union[str, SelectQuery],
+        metrics=None,
+        sql_text: Optional[str] = None,
+    ) -> FuzzyRelation:
+        if sql_text is None and isinstance(query, str):
+            sql_text = query
         if isinstance(query, str):
             statement = parse_statement(query)
             if not isinstance(statement, SelectQuery):
                 raise DatabaseError("query() expects a SELECT statement")
             query = statement
+        if self.registry is not None or self.query_log is not None:
+            import time
+
+            from .observe.metrics import QueryMetrics
+
+            collector = metrics if metrics is not None else QueryMetrics()
+            started = time.perf_counter()
+            result = self._query(query, collector)
+            wall = time.perf_counter() - started
+            if self.registry is not None:
+                self.registry.observe(collector, wall_seconds=wall, rows=len(result))
+            if self.query_log is not None:
+                self.query_log.record(
+                    sql_text if sql_text is not None else repr(query),
+                    collector,
+                    wall_seconds=wall,
+                    rows=len(result),
+                )
+            return result
+        return self._query(query, metrics)
+
+    def _query(self, query: SelectQuery, metrics) -> FuzzyRelation:
         if metrics is not None:
             metrics.nesting_type = classify(query, self.catalog).value
         if self.auto_unnest:
             try:
                 plan = unnest(query, self.catalog)
-                return plan.execute(self.catalog, self._make_evaluator, metrics=metrics)
+                result = plan.execute(
+                    self.catalog, self._make_evaluator, metrics=metrics
+                )
+                if metrics is not None and metrics.strategy is None:
+                    metrics.strategy = "memory/unnest: rewritten in-memory plan"
+                return result
             except UnnestError:
                 pass
         if metrics is not None and metrics.rewrite is None:
             metrics.rewrite = "none (naive fallback)"
+        if metrics is not None and metrics.strategy is None:
+            metrics.strategy = "memory/naive: nested-loop evaluation"
         return self._make_evaluator(self.catalog).evaluate(query)
 
     def explain(self, sql: Union[str, SelectQuery]) -> str:
@@ -137,6 +181,28 @@ class FuzzyDatabase:
         for name in self.catalog.names():
             session.register(name, self.catalog.get(name))
         return session.explain_analyze(query)
+
+    def trace(self, sql: Union[str, SelectQuery]):
+        """Run a query on the storage engine with a span tracer attached.
+
+        Like :meth:`explain_analyze`, the catalog is materialized into a
+        scratch :class:`~repro.session.StorageSession`; the returned
+        :class:`~repro.observe.trace.SpanTracer` holds the span tree
+        (``render_tree()``) and exports Chrome ``trace_event`` JSON
+        (``export(path)``).
+        """
+        from .session import StorageSession
+
+        query = parse_statement(sql) if isinstance(sql, str) else sql
+        if not isinstance(query, SelectQuery):
+            raise DatabaseError("trace() expects a SELECT statement")
+        session = StorageSession(
+            vocabulary=self.catalog.vocabulary,
+            aggregate_policy=self.aggregate_policy,
+        )
+        for name in self.catalog.names():
+            session.register(name, self.catalog.get(name))
+        return session.trace(query)
 
     def _make_evaluator(self, catalog: Catalog) -> NaiveEvaluator:
         return NaiveEvaluator(

@@ -123,6 +123,16 @@ class GroupedAntiJoin:
             degree = min(degree, self.p1(r))
         return degree
 
+    @property
+    def estimated_rows(self) -> float:
+        """Coarse output estimate: outer tuples filtered by one predicate.
+
+        The anti-join fold emits at most one answer per outer tuple; the
+        0.5 filter factor mirrors
+        :data:`repro.observe.explain.PREDICATE_SELECTIVITY`.
+        """
+        return max(1.0, 0.5 * self.outer.n_tuples)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -132,6 +142,7 @@ class GroupedAntiJoin:
         buffer_pages: int,
         stats: Optional[OperationStats] = None,
         metrics=None,
+        tracer=None,
     ) -> FuzzyRelation:
         stats = stats if stats is not None else OperationStats()
         om = None
@@ -148,7 +159,7 @@ class GroupedAntiJoin:
         step = lambda worst, _s, d: d if d < worst else worst
         if self.band is not None:
             outer_attr, inner_attr = self.band
-            join = MergeJoin(disk, buffer_pages, stats, metrics=metrics)
+            join = MergeJoin(disk, buffer_pages, stats, metrics=metrics, tracer=tracer)
             folded = join.fold(
                 self.outer, outer_attr, self.inner, inner_attr,
                 self._pair_degree, self._init, step,

@@ -66,9 +66,10 @@ class ExecutionContext:
     """Shared disk, buffer budget, and statistics for one plan execution.
 
     ``metrics`` is an optional :class:`~repro.observe.metrics.QueryMetrics`
-    collector; when it is ``None`` (the default) the operators run the
-    exact pre-observability code paths — every metrics touch point is
-    guarded by ``if ctx.metrics is not None``.
+    collector and ``tracer`` an optional
+    :class:`~repro.observe.trace.SpanTracer`; when both are ``None`` (the
+    default) the operators run the exact pre-observability code paths —
+    every touch point is guarded by an ``is not None`` check.
     """
 
     def __init__(
@@ -77,11 +78,13 @@ class ExecutionContext:
         buffer_pages: int,
         stats: Optional[OperationStats] = None,
         metrics=None,
+        tracer=None,
     ):
         self.disk = disk
         self.buffer_pages = buffer_pages
         self.stats = stats if stats is not None else OperationStats()
         self.metrics = metrics
+        self.tracer = tracer
 
     def scratch_name(self, prefix: str) -> str:
         return f"__mat_{prefix}_{next(_materialize_counter)}"
@@ -115,11 +118,13 @@ class Operator:
     estimated_rows: Optional[float] = None
 
     def tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
-        """The operator's output stream, instrumented iff a collector is attached."""
+        """The operator's output stream, instrumented iff a collector/tracer is attached."""
         stream = self._tuples(ctx)
-        if ctx.metrics is None:
-            return stream
-        return ctx.metrics.stream(self, stream)
+        if ctx.metrics is not None:
+            stream = ctx.metrics.stream(self, stream)
+        if ctx.tracer is not None:
+            stream = ctx.tracer.stream(self.describe(), stream)
+        return stream
 
     def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
         raise NotImplementedError
@@ -254,7 +259,10 @@ class MergeJoinOp(Operator):
     def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
         left_heap = _as_heap(self.left, ctx)
         right_heap = _as_heap(self.right, ctx)
-        join = MergeJoin(ctx.disk, ctx.buffer_pages, ctx.stats, metrics=ctx.metrics)
+        join = MergeJoin(
+            ctx.disk, ctx.buffer_pages, ctx.stats,
+            metrics=ctx.metrics, tracer=ctx.tracer,
+        )
         for r, s, degree in join.pairs(
             left_heap, self.left_attr, right_heap, self.right_attr, self.pair_degree
         ):

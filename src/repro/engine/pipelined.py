@@ -77,6 +77,16 @@ class JAPipeline:
         self.p2 = p2
         self.policy = policy
 
+    @property
+    def estimated_rows(self) -> float:
+        """Coarse output estimate: outer tuples filtered by the aggregate compare.
+
+        The pipeline emits at most one answer per outer tuple; the 0.5
+        filter factor mirrors
+        :data:`repro.observe.explain.PREDICATE_SELECTIVITY`.
+        """
+        return max(1.0, 0.5 * self.outer.n_tuples)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -86,6 +96,7 @@ class JAPipeline:
         buffer_pages: int,
         stats: Optional[OperationStats] = None,
         metrics=None,
+        tracer=None,
     ) -> FuzzyRelation:
         stats = stats if stats is not None else OperationStats()
         om = None
@@ -95,7 +106,7 @@ class JAPipeline:
                 self, label=f"JAPipeline({self.outer.name} -> {self.inner.name})"
             )
             started = time.perf_counter()
-        join = MergeJoin(disk, buffer_pages, stats, metrics=metrics)
+        join = MergeJoin(disk, buffer_pages, stats, metrics=metrics, tracer=tracer)
         # A'(u) / D(A'(u)) memo, keyed by the value representation of u —
         # the binary-identity grouping Theorem 6.1 relies on.
         groups: Dict[Hashable, Optional[Tuple[object, float]]] = {}

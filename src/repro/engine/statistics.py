@@ -63,16 +63,21 @@ def estimate_fanout(
     sample_size: int = 64,
     seed: int = 0,
     stats: Optional[OperationStats] = None,
+    inner_attribute: Optional[str] = None,
 ) -> FanoutEstimate:
     """Estimate the average number of inner tuples joining each outer tuple.
 
     Overlap of support intervals is the (necessary) join criterion the
     merge-join itself uses, and checking it costs a crisp comparison, not
-    a fuzzy evaluation.
+    a fuzzy evaluation.  ``inner_attribute`` names the inner side's join
+    column when it differs from the outer's (the usual case for the
+    unnested queries, which join ``R.U`` against ``S.V``).
     """
     rng = random.Random(seed)
     outer_index = outer.schema.index_of(attribute)
-    inner_index = inner.schema.index_of(attribute)
+    inner_index = inner.schema.index_of(
+        attribute if inner_attribute is None else inner_attribute
+    )
     outer_sample = sample_tuples(outer, sample_size, rng, stats)
     inner_sample = sample_tuples(inner, sample_size, rng, stats)
     if not outer_sample or not inner_sample:

@@ -66,6 +66,7 @@ class MergeJoin:
         stats: OperationStats,
         indicator: bool = False,
         metrics=None,
+        tracer=None,
     ):
         """``indicator=True`` enables the equality-indicator optimization
         in the spirit of Zhang & Wang (TKDE 2000), which the paper cites as
@@ -81,6 +82,7 @@ class MergeJoin:
         self.stats = stats
         self.indicator = indicator
         self.metrics = metrics
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # High-level API
@@ -123,13 +125,18 @@ class MergeJoin:
         ``step`` is invoked once per examined pair with its degree.  Yields
         ``(r, final_state)`` in R's sorted order.
         """
+        from ..observe.trace import maybe_span
+
         with self.disk.use_stats(self.stats):
             sorter = ExternalSorter(
-                self.disk, self.buffer_pages, self.stats, metrics=self.metrics
+                self.disk, self.buffer_pages, self.stats,
+                metrics=self.metrics, tracer=self.tracer,
             )
             sorted_r = sorter.sort(outer, outer_attr)
             sorted_s = sorter.sort(inner, inner_attr)
-            with self.stats.enter_phase(JOIN_PHASE):
+            with self.stats.enter_phase(JOIN_PHASE), maybe_span(
+                self.tracer, f"probe {outer.name} x {inner.name}"
+            ):
                 yield from self._join_phase(
                     sorted_r, outer_attr, sorted_s, inner_attr, pair_degree, init, step
                 )

@@ -10,14 +10,29 @@ must be able to *show its work*.  This package provides
   :class:`~repro.engine.operators.ExecutionContext`;
 * :mod:`~repro.observe.explain` — cardinality estimation and rendering of
   physical plans as indented trees, with optimizer estimates next to the
-  measured counters (``EXPLAIN`` / ``EXPLAIN ANALYZE``).
+  measured counters (``EXPLAIN`` / ``EXPLAIN ANALYZE``), including the
+  per-join q-error against sampled fan-outs;
+* :class:`~repro.observe.trace.SpanTracer` — a hierarchical span tracer
+  (parse / bind / rewrite / sort / merge / probe) exportable as Chrome
+  ``trace_event`` JSON for ``chrome://tracing`` / Perfetto;
+* :class:`~repro.observe.registry.MetricsRegistry` — process-lifetime
+  cumulative counters plus a latency histogram, rendered in the
+  Prometheus text exposition format;
+* :class:`~repro.observe.querylog.QueryLog` — a bounded query log with a
+  slow-query threshold and a workload summary report.
 
-Collection is strictly opt-in: with no collector attached the hot paths
-run the exact same code as before (guarded by ``if ctx.metrics is not
-None`` / ``if self.metrics is not None``).
+Collection is strictly opt-in: with no collector, tracer, registry, or
+query log attached the hot paths run the exact same code as before
+(guarded by ``if ctx.metrics is not None`` / ``if tracer is not None``).
 """
 
-from .explain import annotate_estimates, estimate_rows, render_plan, render_report
+from .explain import (
+    annotate_estimates,
+    estimate_rows,
+    q_error,
+    render_plan,
+    render_report,
+)
 from .metrics import (
     BufferMetrics,
     OperatorMetrics,
@@ -25,15 +40,26 @@ from .metrics import (
     QueryMetrics,
     SortMetrics,
 )
+from .querylog import QueryLog, QueryLogEntry
+from .registry import Histogram, MetricsRegistry
+from .trace import Span, SpanTracer, maybe_span
 
 __all__ = [
     "BufferMetrics",
+    "Histogram",
+    "MetricsRegistry",
     "OperatorMetrics",
     "PageAccess",
+    "QueryLog",
+    "QueryLogEntry",
     "QueryMetrics",
     "SortMetrics",
+    "Span",
+    "SpanTracer",
     "annotate_estimates",
     "estimate_rows",
+    "maybe_span",
+    "q_error",
     "render_plan",
     "render_report",
 ]

@@ -36,41 +36,54 @@ DEFAULT_FANOUT = 7.0
 PREDICATE_SELECTIVITY = 0.5
 
 
-def estimate_rows(operator: Operator, fanout: float = DEFAULT_FANOUT) -> float:
-    """Estimated output cardinality of one operator (children recursed)."""
+def estimate_rows(
+    operator: Operator,
+    fanout: float = DEFAULT_FANOUT,
+    edge_fanouts: Optional[Dict[int, float]] = None,
+) -> float:
+    """Estimated output cardinality of one operator (children recursed).
+
+    ``edge_fanouts`` maps ``id(join_operator)`` to a *per-edge* fan-out —
+    typically a sampled :meth:`~repro.engine.statistics.FanoutEstimate.edge_fanout`
+    — so each join can use its own measured C; joins without an entry fall
+    back to the constant ``fanout``.
+    """
     if isinstance(operator, Scan):
         base = float(operator.heap.n_tuples)
         return base * PREDICATE_SELECTIVITY ** len(operator.predicates)
-    if isinstance(operator, MergeJoinOp):
-        left = estimate_rows(operator.left, fanout)
-        right = estimate_rows(operator.right, fanout)
+    if isinstance(operator, (MergeJoinOp, NestedLoopJoinOp)):
+        left = estimate_rows(operator.left, fanout, edge_fanouts)
+        right = estimate_rows(operator.right, fanout, edge_fanouts)
+        c = fanout
+        if edge_fanouts is not None:
+            c = edge_fanouts.get(id(operator), fanout)
         # Constant fan-out: each left tuple joins C right tuples, bounded
         # by the cross product on tiny inputs.
-        return max(1.0, min(left * fanout, left * max(right, 1.0)))
-    if isinstance(operator, NestedLoopJoinOp):
-        left = estimate_rows(operator.left, fanout)
-        right = estimate_rows(operator.right, fanout)
-        return max(1.0, min(left * fanout, left * max(right, 1.0)))
+        return max(1.0, min(left * c, left * max(right, 1.0)))
     if isinstance(operator, Select):
-        child = estimate_rows(operator.child, fanout)
+        child = estimate_rows(operator.child, fanout, edge_fanouts)
         return child * PREDICATE_SELECTIVITY ** len(operator.predicates)
     if isinstance(operator, Threshold):
-        child = estimate_rows(operator.child, fanout)
+        child = estimate_rows(operator.child, fanout, edge_fanouts)
         return child if operator.threshold <= 0.0 else child * PREDICATE_SELECTIVITY
     if isinstance(operator, (Project, Materialize)):
-        return estimate_rows(operator.child, fanout)
+        return estimate_rows(operator.child, fanout, edge_fanouts)
     children = operator.children()
     if len(children) == 1:
-        return estimate_rows(children[0], fanout)
+        return estimate_rows(children[0], fanout, edge_fanouts)
     raise TypeError(f"no cardinality estimate for {type(operator).__name__}")
 
 
-def annotate_estimates(root: Operator, fanout: float = DEFAULT_FANOUT) -> Dict[int, float]:
+def annotate_estimates(
+    root: Operator,
+    fanout: float = DEFAULT_FANOUT,
+    edge_fanouts: Optional[Dict[int, float]] = None,
+) -> Dict[int, float]:
     """Stamp ``estimated_rows`` on every node; returns ``{id(op): est}``."""
     estimates: Dict[int, float] = {}
 
     def walk(operator: Operator) -> None:
-        estimates[id(operator)] = estimate_rows(operator, fanout)
+        estimates[id(operator)] = estimate_rows(operator, fanout, edge_fanouts)
         operator.estimated_rows = estimates[id(operator)]
         for child in operator.children():
             walk(child)
@@ -79,17 +92,31 @@ def annotate_estimates(root: Operator, fanout: float = DEFAULT_FANOUT) -> Dict[i
     return estimates
 
 
+def q_error(estimated: float, actual: float) -> float:
+    """The q-error ``max(est/actual, actual/est)``, both sides floored at 1.
+
+    1.0 means a perfect estimate; the factor says how far off the
+    cardinality model was, symmetrically for over- and under-estimates.
+    """
+    est = max(1.0, float(estimated))
+    act = max(1.0, float(actual))
+    return max(est / act, act / est)
+
+
 def render_plan(
     root: Operator,
     metrics: Optional[QueryMetrics] = None,
     fanout: float = DEFAULT_FANOUT,
+    edge_fanouts: Optional[Dict[int, float]] = None,
 ) -> str:
-    """The indented plan tree, annotated ``(est=... [, rows=..., ...])``.
+    """The indented plan tree, annotated ``(est=... [, rows=..., q=..., ...])``.
 
     Without a collector this is EXPLAIN (estimates only); with one it is
-    the plan half of EXPLAIN ANALYZE (estimates next to actuals).
+    the plan half of EXPLAIN ANALYZE (estimates next to actuals, and a
+    q-error per join operator).  ``edge_fanouts`` feeds sampled per-edge
+    fan-outs into the estimates (see :func:`estimate_rows`).
     """
-    estimates = annotate_estimates(root, fanout)
+    estimates = annotate_estimates(root, fanout, edge_fanouts)
     lines: List[str] = []
 
     def walk(operator: Operator, depth: int) -> None:
@@ -98,6 +125,10 @@ def render_plan(
             om = metrics.for_node(operator)
             if om is not None:
                 notes.append(f"rows={om.rows_out}")
+                if isinstance(operator, (MergeJoinOp, NestedLoopJoinOp)):
+                    notes.append(
+                        f"q={q_error(estimates[id(operator)], om.rows_out):.2f}"
+                    )
                 if om.rows_in:
                     notes.append(f"in={om.rows_in}")
                 if om.prunes:
@@ -117,6 +148,7 @@ def render_report(
     n_answers: Optional[int] = None,
     buffer_pages: Optional[int] = None,
     fanout: float = DEFAULT_FANOUT,
+    edge_fanouts: Optional[Dict[int, float]] = None,
 ) -> str:
     """The full EXPLAIN ANALYZE text: header, plan tree, counter footers."""
     lines: List[str] = []
@@ -128,12 +160,19 @@ def render_report(
         lines.append(f"strategy: {metrics.strategy}")
 
     if plan is not None:
-        lines.append(render_plan(plan, metrics, fanout))
+        lines.append(render_plan(plan, metrics, fanout, edge_fanouts))
     elif metrics.operators:
         # Storage-level executors (grouped anti-join, JA pipeline) have no
-        # operator tree; list their counters flat.
-        for om in metrics.operators.values():
-            notes = [f"rows={om.rows_out}"]
+        # operator tree; list their counters flat.  Executors that carry
+        # their own coarse ``estimated_rows`` get the est/q-error columns.
+        for node, om in metrics.iter_nodes():
+            estimated = getattr(node, "estimated_rows", None)
+            notes = []
+            if estimated is not None:
+                notes.append(f"est={estimated:.0f}")
+            notes.append(f"rows={om.rows_out}")
+            if estimated is not None:
+                notes.append(f"q={q_error(estimated, om.rows_out):.2f}")
             if om.rows_in:
                 notes.append(f"in={om.rows_in}")
             if om.prunes:

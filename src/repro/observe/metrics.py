@@ -134,6 +134,11 @@ class QueryMetrics:
     def for_node(self, operator: object) -> Optional[OperatorMetrics]:
         return self.operators.get(id(operator))
 
+    def iter_nodes(self) -> Iterator[Tuple[object, OperatorMetrics]]:
+        """``(operator, counters)`` pairs in first-touch order."""
+        for key, om in self.operators.items():
+            yield self._nodes.get(key), om
+
     def stream(self, operator: object, iterator: Iterator) -> Iterator:
         """Wrap an operator's tuple stream, counting rows and wall time."""
         om = self.op(operator)

@@ -1,0 +1,132 @@
+"""A bounded per-session query log with slow-query surfacing.
+
+Every executed statement is recorded with its SQL text, nesting type,
+fired rewrite, execution strategy, answer cardinality, page I/O, and wall
+time.  Entries above a configurable slow-query threshold are flagged, and
+:meth:`QueryLog.summarize` renders the workload view a production engine's
+``pg_stat_statements``-style report would: totals per strategy and the
+slowest statements, fuzzy joins first.
+
+Attach one by assigning ``session.query_log`` (or ``db.query_log``); the
+session records every query for you.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from .metrics import QueryMetrics
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One logged statement."""
+
+    sql: str
+    nesting_type: str
+    rewrite: str
+    strategy: str
+    rows: int
+    wall_seconds: float
+    page_reads: int
+    page_writes: int
+    fuzzy_evaluations: int
+
+    @property
+    def page_ios(self) -> int:
+        return self.page_reads + self.page_writes
+
+
+class QueryLog:
+    """A ring buffer of :class:`QueryLogEntry` with slow-query accounting."""
+
+    def __init__(self, slow_threshold_seconds: float = 0.1, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("query log capacity must be positive")
+        self.slow_threshold_seconds = slow_threshold_seconds
+        self.entries: Deque[QueryLogEntry] = deque(maxlen=capacity)
+        #: Totals survive ring-buffer eviction.
+        self.recorded_total = 0
+        self.slow_total = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        sql: str,
+        metrics: Optional[QueryMetrics] = None,
+        wall_seconds: float = 0.0,
+        rows: int = 0,
+    ) -> QueryLogEntry:
+        reads = writes = fuzzy = 0
+        nesting = rewrite = strategy = ""
+        if metrics is not None:
+            nesting = metrics.nesting_type or ""
+            rewrite = metrics.rewrite or ""
+            strategy = metrics.strategy or ""
+            if metrics.stats is not None:
+                total = metrics.stats.total
+                reads, writes = total.page_reads, total.page_writes
+                fuzzy = total.fuzzy_evaluations
+        entry = QueryLogEntry(
+            sql=" ".join(str(sql).split()),
+            nesting_type=nesting,
+            rewrite=rewrite,
+            strategy=strategy,
+            rows=rows,
+            wall_seconds=wall_seconds,
+            page_reads=reads,
+            page_writes=writes,
+            fuzzy_evaluations=fuzzy,
+        )
+        self.entries.append(entry)
+        self.recorded_total += 1
+        if entry.wall_seconds >= self.slow_threshold_seconds:
+            self.slow_total += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def slow(self) -> List[QueryLogEntry]:
+        """Retained entries at or above the slow-query threshold, slowest first."""
+        return sorted(
+            (e for e in self.entries if e.wall_seconds >= self.slow_threshold_seconds),
+            key=lambda e: e.wall_seconds,
+            reverse=True,
+        )
+
+    def summarize(self, top: int = 5) -> str:
+        """A workload report: totals, per-strategy rollup, slowest queries."""
+        lines = [
+            f"query log: {self.recorded_total} recorded "
+            f"({len(self.entries)} retained), {self.slow_total} slow "
+            f"(>= {self.slow_threshold_seconds * 1000.0:.0f}ms)"
+        ]
+        by_strategy: Counter = Counter()
+        wall_by_strategy: Counter = Counter()
+        for entry in self.entries:
+            key = entry.strategy or "(unknown)"
+            by_strategy[key] += 1
+            wall_by_strategy[key] += entry.wall_seconds
+        for key, n in by_strategy.most_common():
+            mean_ms = 1000.0 * wall_by_strategy[key] / n
+            lines.append(f"  {key}: {n} queries, mean {mean_ms:.2f}ms")
+        slowest = sorted(
+            self.entries, key=lambda e: e.wall_seconds, reverse=True
+        )[:top]
+        if slowest:
+            lines.append(f"slowest {len(slowest)}:")
+            for entry in slowest:
+                sql = entry.sql if len(entry.sql) <= 72 else entry.sql[:69] + "..."
+                lines.append(
+                    f"  {entry.wall_seconds * 1000.0:8.2f}ms  rows={entry.rows}  "
+                    f"ios={entry.page_ios}  {sql}"
+                )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,213 @@
+"""A process-lifetime metrics registry with Prometheus text exposition.
+
+:class:`QueryMetrics` observes *one* query; a :class:`MetricsRegistry`
+folds successive collectors into cumulative workload-level counters —
+queries per strategy, rewrites per rule, page I/O, comparison counts,
+sort shapes, rows returned — plus a latency histogram, and renders them
+in the Prometheus text exposition format so an exporter endpoint (or a
+test) can scrape them.
+
+Attach one to a :class:`~repro.session.StorageSession` (or a
+:class:`~repro.db.FuzzyDatabase`) by assigning ``session.registry``; the
+session then folds every query's collector in exactly once.  The fold is
+read-only over a *finished* collector, so attaching a registry never
+perturbs the per-query trace (see the no-double-counting regression test
+in ``tests/test_observe_workload.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .metrics import QueryMetrics
+
+#: Default latency buckets (seconds) — log-ish spacing from 0.5 ms to 10 s.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Prefix of every exported metric family.
+NAMESPACE = "fuzzysql"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Histogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics)."""
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self.bounds: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.bucket_counts: List[int] = [0] * len(self.bounds)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def render(self, name: str, help_text: str) -> List[str]:
+        """The ``# HELP`` / ``# TYPE`` / sample lines of this histogram."""
+        lines = [f"# HELP {name} {help_text}", f"# TYPE {name} histogram"]
+        for bound, count in zip(self.bounds, self.bucket_counts):
+            lines.append(f'{name}_bucket{{le="{_format_number(bound)}"}} {count}')
+        lines.append(f'{name}_bucket{{le="+Inf"}} {self.count}')
+        lines.append(f"{name}_sum {repr(self.sum)}")
+        lines.append(f"{name}_count {self.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Cumulative counters over every query observed in this process."""
+
+    def __init__(self, latency_buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self.queries_by_strategy: Counter = Counter()
+        self.queries_by_nesting: Counter = Counter()
+        self.rewrites: Counter = Counter()
+        self.rows_returned_total = 0
+        self.page_reads_total = 0
+        self.page_writes_total = 0
+        self.crisp_comparisons_total = 0
+        self.fuzzy_evaluations_total = 0
+        self.tuple_moves_total = 0
+        self.sort_runs_total = 0
+        self.sort_merge_passes_total = 0
+        self.operator_rows: Counter = Counter()  # keyed by operator kind
+        self.latency = Histogram(latency_buckets)
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+    @property
+    def queries_total(self) -> int:
+        return self.latency.count
+
+    def observe(
+        self,
+        metrics: QueryMetrics,
+        wall_seconds: float = 0.0,
+        rows: Optional[int] = None,
+    ) -> None:
+        """Fold one finished collector into the cumulative counters.
+
+        Call this exactly once per query; the session does so for you when
+        a registry is attached.  The collector is only *read* — folding
+        never mutates it, so a caller-supplied ``QueryMetrics`` stays
+        usable for per-query analysis afterwards.
+        """
+        self.latency.observe(wall_seconds)
+        if metrics.strategy:
+            self.queries_by_strategy[metrics.strategy] += 1
+        if metrics.nesting_type:
+            self.queries_by_nesting[metrics.nesting_type] += 1
+        if metrics.rewrite:
+            self.rewrites[metrics.rewrite] += 1
+        if rows is not None:
+            self.rows_returned_total += rows
+        if metrics.stats is not None:
+            total = metrics.stats.total
+            self.page_reads_total += total.page_reads
+            self.page_writes_total += total.page_writes
+            self.crisp_comparisons_total += total.crisp_comparisons
+            self.fuzzy_evaluations_total += total.fuzzy_evaluations
+            self.tuple_moves_total += total.tuple_moves
+        for sort in metrics.sorts:
+            self.sort_runs_total += sort.runs
+            self.sort_merge_passes_total += sort.merge_passes
+        for om in metrics.operators.values():
+            # Key by operator kind (the label up to any parenthesis) to
+            # keep the label cardinality bounded.
+            kind = om.label.split("(", 1)[0].split("[", 1)[0]
+            self.operator_rows[kind] += om.rows_out
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: List[str] = []
+        lines.extend(
+            self._counter_family(
+                "queries_total",
+                "Queries executed, by execution strategy.",
+                "strategy",
+                self.queries_by_strategy,
+            )
+        )
+        lines.extend(
+            self._counter_family(
+                "nesting_total",
+                "Queries executed, by nesting type.",
+                "nesting",
+                self.queries_by_nesting,
+            )
+        )
+        lines.extend(
+            self._counter_family(
+                "rewrites_total",
+                "Unnesting rewrites fired, by rule.",
+                "rule",
+                self.rewrites,
+            )
+        )
+        lines.extend(
+            self._counter_family(
+                "operator_rows_total",
+                "Rows produced, by operator kind.",
+                "operator",
+                self.operator_rows,
+            )
+        )
+        for name, help_text, value in (
+            ("rows_returned_total", "Answer tuples returned.", self.rows_returned_total),
+            ("page_reads_total", "Pages read from the simulated disk.", self.page_reads_total),
+            ("page_writes_total", "Pages written to the simulated disk.", self.page_writes_total),
+            ("crisp_comparisons_total", "Crisp comparisons performed.", self.crisp_comparisons_total),
+            ("fuzzy_evaluations_total", "Fuzzy predicate evaluations performed.", self.fuzzy_evaluations_total),
+            ("tuple_moves_total", "Tuple moves performed.", self.tuple_moves_total),
+            ("sort_runs_total", "Initial runs generated by external sorts.", self.sort_runs_total),
+            ("sort_merge_passes_total", "Merge passes performed by external sorts.", self.sort_merge_passes_total),
+        ):
+            qualified = f"{NAMESPACE}_{name}"
+            lines.append(f"# HELP {qualified} {help_text}")
+            lines.append(f"# TYPE {qualified} counter")
+            lines.append(f"{qualified} {_format_number(value)}")
+        lines.extend(
+            self.latency.render(
+                f"{NAMESPACE}_query_seconds", "Query wall time in seconds."
+            )
+        )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _counter_family(
+        name: str, help_text: str, label: str, values: Dict[str, int]
+    ) -> List[str]:
+        qualified = f"{NAMESPACE}_{name}"
+        lines = [f"# HELP {qualified} {help_text}", f"# TYPE {qualified} counter"]
+        for key in sorted(values):
+            lines.append(
+                f'{qualified}{{{label}="{escape_label_value(key)}"}} {values[key]}'
+            )
+        return lines
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(queries={self.queries_total}, "
+            f"reads={self.page_reads_total}, writes={self.page_writes_total})"
+        )

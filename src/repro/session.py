@@ -21,6 +21,7 @@ All I/O and CPU events of the last query are available in
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from .data.catalog import Catalog
@@ -35,6 +36,9 @@ from .engine.semantics import NaiveEvaluator
 from .fuzzy.compare import Op
 from .observe.explain import render_plan, render_report
 from .observe.metrics import QueryMetrics
+from .observe.querylog import QueryLog
+from .observe.registry import MetricsRegistry
+from .observe.trace import SpanTracer, maybe_span
 from .fuzzy.linguistic import Vocabulary
 from .sql.ast import (
     AggregateExpr,
@@ -91,6 +95,13 @@ class StorageSession:
         #: The :class:`~repro.observe.metrics.QueryMetrics` collector of
         #: the last instrumented run, if one was supplied.
         self.last_metrics: Optional[QueryMetrics] = None
+        #: Workload-level sinks.  Assign a
+        #: :class:`~repro.observe.registry.MetricsRegistry` and/or a
+        #: :class:`~repro.observe.querylog.QueryLog` and every query is
+        #: folded in / logged automatically (one collector per query, read
+        #: exactly once — see the no-double-counting regression test).
+        self.registry: Optional[MetricsRegistry] = None
+        self.query_log: Optional[QueryLog] = None
 
     @property
     def vocabulary(self) -> Vocabulary:
@@ -117,29 +128,80 @@ class StorageSession:
         self,
         sql: Union[str, SelectQuery],
         metrics: Optional[QueryMetrics] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> FuzzyRelation:
-        """Execute a query; attach a collector to instrument the run.
+        """Execute a query; attach a collector and/or tracer to instrument it.
 
         With ``metrics`` the whole execution is traced: every disk page
         transfer, operator counters, sort shapes, the nesting type, which
-        rewrite fired, and the strategy taken.  Without one, nothing extra
-        runs — operators stream their raw generators.
+        rewrite fired, and the strategy taken.  With ``tracer`` the
+        parse/bind/rewrite/sort/merge/probe phases are recorded as a span
+        tree.  When a :attr:`registry` or :attr:`query_log` is attached, a
+        collector is created as needed and folded in exactly once.  With
+        nothing attached, nothing extra runs — operators stream their raw
+        generators.
         """
-        query = parse(sql) if isinstance(sql, str) else sql
-        nesting = classify(query, self.schemas)
-        stats = OperationStats()
-        self.last_stats = stats
-        self.last_plan = None
-        self.last_metrics = metrics
-        if metrics is None:
+        need_collector = (
+            metrics is not None
+            or self.registry is not None
+            or self.query_log is not None
+        )
+        if not need_collector and tracer is None:
+            query = parse(sql) if isinstance(sql, str) else sql
+            nesting = classify(query, self.schemas)
+            stats = OperationStats()
+            self.last_stats = stats
+            self.last_plan = None
+            self.last_metrics = None
             return self._dispatch(query, nesting, stats, None)
-        metrics.nesting_type = nesting.value
-        metrics.stats = stats
-        with metrics.watch_disk(self.disk), metrics.span("query"):
-            result = self._dispatch(query, nesting, stats, metrics)
-        metrics.strategy = self.last_strategy
-        metrics.stats = self.last_stats  # the overflow path swaps stats
+
+        collector = (
+            (metrics if metrics is not None else QueryMetrics())
+            if need_collector
+            else None
+        )
+        self.last_metrics = collector
+        self.last_plan = None
+        started = time.perf_counter()
+        with maybe_span(tracer, "query"):
+            with maybe_span(tracer, "parse"):
+                query = parse(sql) if isinstance(sql, str) else sql
+            with maybe_span(tracer, "bind"):
+                nesting = classify(query, self.schemas)
+            stats = OperationStats()
+            self.last_stats = stats
+            if collector is None:
+                result = self._dispatch(query, nesting, stats, None, tracer)
+            else:
+                collector.nesting_type = nesting.value
+                collector.stats = stats
+                with collector.watch_disk(self.disk), collector.span("query"):
+                    result = self._dispatch(query, nesting, stats, collector, tracer)
+                collector.strategy = self.last_strategy
+                collector.stats = self.last_stats  # the overflow path swaps stats
+        wall = time.perf_counter() - started
+        if collector is not None:
+            if self.registry is not None:
+                self.registry.observe(collector, wall_seconds=wall, rows=len(result))
+            if self.query_log is not None:
+                self.query_log.record(
+                    sql if isinstance(sql, str) else repr(sql),
+                    collector,
+                    wall_seconds=wall,
+                    rows=len(result),
+                )
         return result
+
+    def trace(self, sql: Union[str, SelectQuery]) -> SpanTracer:
+        """Run a query with a fresh span tracer attached and return it.
+
+        The tracer's tree (``render_tree()``) shows where the time went;
+        ``export(path)`` writes Chrome ``trace_event`` JSON for
+        ``chrome://tracing`` / Perfetto.
+        """
+        tracer = SpanTracer()
+        self.query(sql, tracer=tracer)
+        return tracer
 
     def _dispatch(
         self,
@@ -147,18 +209,23 @@ class StorageSession:
         nesting: NestingType,
         stats: OperationStats,
         metrics: Optional[QueryMetrics],
+        tracer: Optional[SpanTracer] = None,
     ) -> FuzzyRelation:
         from .join.merge_join import WindowOverflowError
 
         try:
             if nesting in FLAT_TYPES:
-                return self._run_flat(query, nesting, stats, metrics)
+                return self._run_flat(query, nesting, stats, metrics, tracer)
             if nesting in (NestingType.TYPE_XN, NestingType.TYPE_JX):
-                return self._run_grouped(query, GroupMode.NOT_IN, nesting, stats, metrics)
+                return self._run_grouped(
+                    query, GroupMode.NOT_IN, nesting, stats, metrics, tracer
+                )
             if nesting in (NestingType.TYPE_ALL, NestingType.TYPE_JALL):
-                return self._run_grouped(query, GroupMode.ALL, nesting, stats, metrics)
+                return self._run_grouped(
+                    query, GroupMode.ALL, nesting, stats, metrics, tracer
+                )
             if nesting is NestingType.TYPE_JA:
-                return self._run_ja(query, nesting, stats, metrics)
+                return self._run_ja(query, nesting, stats, metrics, tracer)
         except (UnnestError, CompileError):
             pass
         except WindowOverflowError:
@@ -166,7 +233,7 @@ class StorageSession:
             # Section 3's caveat): restart on the always-applicable path.
             stats = OperationStats()
             self.last_stats = stats
-        return self._run_naive(query, nesting, stats, metrics)
+        return self._run_naive(query, nesting, stats, metrics, tracer)
 
     def explain(self, sql: Union[str, SelectQuery]) -> str:
         """Describe the strategy and plan a query would run with.
@@ -214,8 +281,9 @@ class StorageSession:
 
         The report shows the nesting type, the rewrite that fired, the
         strategy taken, the physical plan (estimated next to measured
-        cardinalities) or the storage-level executor's counters, sort
-        shapes, buffer behaviour, and per-phase I/O and comparison counts.
+        cardinalities, with per-join q-error from sampled fan-outs) or the
+        storage-level executor's counters, sort shapes, buffer behaviour,
+        and per-phase I/O and comparison counts.
         """
         metrics = QueryMetrics()
         result = self.query(sql, metrics=metrics)
@@ -224,7 +292,62 @@ class StorageSession:
             plan=self.last_plan,
             n_answers=len(result),
             buffer_pages=self.buffer_pages,
+            edge_fanouts=self.sampled_edge_fanouts(self.last_plan) or None,
         )
+
+    def sampled_edge_fanouts(
+        self, plan=None, sample_size: int = 64, seed: int = 0
+    ) -> Dict[int, float]:
+        """Sampled fan-out per merge-join of ``plan``, keyed by ``id(op)``.
+
+        For each :class:`~repro.engine.operators.MergeJoinOp` the base heap
+        files carrying the two join attributes are sampled
+        (:func:`~repro.engine.statistics.estimate_fanout`), replacing the
+        paper's constant ``C`` with a per-edge estimate.  Sampling I/O is
+        charged to a scratch ledger, never to :attr:`last_stats`.  Joins
+        whose base relations cannot be identified (or whose sample came up
+        empty) are simply absent — the caller's constant is the fallback.
+        """
+        from .engine.operators import MergeJoinOp, Scan
+        from .engine.statistics import estimate_fanout
+
+        plan = plan if plan is not None else self.last_plan
+        if plan is None:
+            return {}
+
+        def base_heap(node, attribute):
+            stack = [node]
+            while stack:
+                op = stack.pop()
+                if isinstance(op, Scan) and any(
+                    a.name == attribute for a in op.heap.schema
+                ):
+                    return op.heap
+                stack.extend(op.children())
+            return None
+
+        fanouts: Dict[int, float] = {}
+        scratch = OperationStats()
+        stack = [plan]
+        while stack:
+            op = stack.pop()
+            if isinstance(op, MergeJoinOp):
+                left = base_heap(op.left, op.left_attr)
+                right = base_heap(op.right, op.right_attr)
+                if left is not None and right is not None:
+                    estimate = estimate_fanout(
+                        left,
+                        right,
+                        attribute=op.left_attr,
+                        sample_size=sample_size,
+                        seed=seed,
+                        stats=scratch,
+                        inner_attribute=op.right_attr,
+                    )
+                    if estimate.pairs_checked:
+                        fanouts[id(op)] = estimate.edge_fanout()
+            stack.extend(op.children())
+        return fanouts
 
     # ------------------------------------------------------------------
     # Strategy: flat plans
@@ -235,18 +358,23 @@ class StorageSession:
         nesting: NestingType,
         stats: OperationStats,
         metrics: Optional[QueryMetrics] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> FuzzyRelation:
-        plan = unnest(query, self.schemas)
-        if plan.steps or not isinstance(plan.final, SelectQuery):
-            raise UnnestError("not a single flat query")
-        compiler = FlatCompiler(self.tables, self.vocabulary)
-        operator = compiler.compile(plan.final, optimize=self.optimize_joins)
+        with maybe_span(tracer, "rewrite"):
+            plan = unnest(query, self.schemas)
+            if plan.steps or not isinstance(plan.final, SelectQuery):
+                raise UnnestError("not a single flat query")
+        with maybe_span(tracer, "compile"):
+            compiler = FlatCompiler(self.tables, self.vocabulary)
+            operator = compiler.compile(plan.final, optimize=self.optimize_joins)
         self.last_strategy = f"flat/{nesting.value}: merge-join plan"
         self.last_plan = operator
         if metrics is not None:
             metrics.rewrite = plan.rule or plan.nesting_type
         return operator.to_relation(
-            ExecutionContext(self.disk, self.buffer_pages, stats, metrics=metrics)
+            ExecutionContext(
+                self.disk, self.buffer_pages, stats, metrics=metrics, tracer=tracer
+            )
         )
 
     # ------------------------------------------------------------------
@@ -259,8 +387,10 @@ class StorageSession:
         nesting: NestingType,
         stats: OperationStats,
         metrics: Optional[QueryMetrics] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> FuzzyRelation:
-        parts = self._dissect(query)
+        with maybe_span(tracer, "rewrite"):
+            parts = self._dissect(query)
         (outer_name, inner_name, p1, p2, cross, nesting_pred, project_attrs) = parts
         if mode is GroupMode.NOT_IN:
             if not isinstance(nesting_pred, InPredicate) or not nesting_pred.negated:
@@ -290,7 +420,9 @@ class StorageSession:
                 if mode is GroupMode.NOT_IN
                 else "op ALL -> doubly-negated grouped fold (Section 7)"
             )
-        return grouped.run(self.disk, self.buffer_pages, stats, metrics=metrics)
+        return grouped.run(
+            self.disk, self.buffer_pages, stats, metrics=metrics, tracer=tracer
+        )
 
     # ------------------------------------------------------------------
     # Strategy: the Section 6 pipeline
@@ -301,8 +433,10 @@ class StorageSession:
         nesting: NestingType,
         stats: OperationStats,
         metrics: Optional[QueryMetrics] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> FuzzyRelation:
-        parts = self._dissect(query)
+        with maybe_span(tracer, "rewrite"):
+            parts = self._dissect(query)
         (outer_name, inner_name, p1, p2, cross, nesting_pred, project_attrs) = parts
         if not isinstance(nesting_pred, ScalarSubqueryComparison):
             raise CompileError("not an aggregate nesting")
@@ -331,7 +465,9 @@ class StorageSession:
             metrics.rewrite = (
                 "correlated aggregate -> pipelined T1/T2 merge pass (Section 6)"
             )
-        return pipeline.run(self.disk, self.buffer_pages, stats, metrics=metrics)
+        return pipeline.run(
+            self.disk, self.buffer_pages, stats, metrics=metrics, tracer=tracer
+        )
 
     # ------------------------------------------------------------------
     # Fallback: naive evaluation over buffered reads
@@ -342,11 +478,12 @@ class StorageSession:
         nesting: NestingType,
         stats: OperationStats,
         metrics: Optional[QueryMetrics] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> FuzzyRelation:
         if metrics is not None and metrics.rewrite is None:
             metrics.rewrite = "none (naive fallback)"
         catalog = Catalog(self.vocabulary)
-        with self.disk.use_stats(stats):
+        with maybe_span(tracer, "scan tables"), self.disk.use_stats(stats):
             for name, heap in self.tables.items():
                 relation = FuzzyRelation(heap.schema)
                 for page_index in range(heap.n_pages):
@@ -358,7 +495,8 @@ class StorageSession:
         evaluator = NaiveEvaluator(
             catalog, aggregate_policy=self.aggregate_policy, stats=stats
         )
-        return evaluator.evaluate(query)
+        with maybe_span(tracer, "evaluate"):
+            return evaluator.evaluate(query)
 
     # ------------------------------------------------------------------
     # AST dissection shared by the grouped and pipelined strategies

@@ -63,6 +63,7 @@ class ExternalSorter:
         buffer_pages: int,
         stats: OperationStats,
         metrics=None,
+        tracer=None,
     ):
         if buffer_pages < 3:
             raise ValueError("external sort needs at least 3 buffer pages")
@@ -70,6 +71,7 @@ class ExternalSorter:
         self.buffer_pages = buffer_pages
         self.stats = stats
         self.metrics = metrics
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Public API
@@ -86,15 +88,20 @@ class ExternalSorter:
                 source=source.name, attribute=attribute, tuples=source.n_tuples
             )
             self.metrics.record_sort(record)
-        with self.disk.use_stats(self.stats), self.stats.enter_phase(SORT_PHASE):
-            runs = self._generate_runs(source, key_index)
-            if record is not None:
-                record.runs = len(runs)
-            runs = self._merge_until_few(source, runs, key_index, record)
-            if record is not None:
-                record.merge_passes += 1  # the final merge that writes the output
-                record.output = out_name
-            return self._final_merge(source, runs, key_index, out_name)
+        from ..observe.trace import maybe_span
+
+        with maybe_span(self.tracer, f"sort {source.name}", attribute=attribute):
+            with self.disk.use_stats(self.stats), self.stats.enter_phase(SORT_PHASE):
+                with maybe_span(self.tracer, "runs"):
+                    runs = self._generate_runs(source, key_index)
+                if record is not None:
+                    record.runs = len(runs)
+                with maybe_span(self.tracer, "merge"):
+                    runs = self._merge_until_few(source, runs, key_index, record)
+                    if record is not None:
+                        record.merge_passes += 1  # the final merge that writes the output
+                        record.output = out_name
+                    return self._final_merge(source, runs, key_index, out_name)
 
     # ------------------------------------------------------------------
     # Pass 1: run generation

@@ -1,0 +1,146 @@
+"""The benchmark-regression harness: JSON artifact, gate, self-test.
+
+Runs ``benchmarks/run_bench.py`` as a subprocess (the way CI does) at a
+large scale divisor so the whole cycle stays fast: write a baseline,
+verify ``--check`` passes against an identical run, and verify the gate
+*fails* when a 2x slowdown is injected.  Also validates the committed
+seed baseline's shape.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO, "benchmarks", "run_bench.py")
+COMMITTED_BASELINE = os.path.join(REPO, "benchmarks", "BENCH_observe.json")
+
+#: Large divisor -> tiny relations -> the full harness runs in seconds.
+FAST_ENV = {**os.environ, "REPRO_SCALE": "256"}
+
+
+def run_bench(*args, cwd):
+    return subprocess.run(
+        [sys.executable, SCRIPT, *args],
+        cwd=cwd,
+        env=FAST_ENV,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_dir(tmp_path_factory):
+    """One harness run shared by the module: baseline + fresh artifact."""
+    path = tmp_path_factory.mktemp("bench")
+    proc = run_bench(
+        "--update-baseline",
+        "--baseline", str(path / "baseline.json"),
+        "--output", str(path / "BENCH_observe.json"),
+        cwd=path,
+    )
+    assert proc.returncode == 0, proc.stderr + proc.stdout
+    return path
+
+
+class TestArtifact:
+    def test_json_is_written_and_well_formed(self, baseline_dir):
+        with open(baseline_dir / "BENCH_observe.json") as handle:
+            data = json.load(handle)
+        assert data["version"] == 1
+        assert data["scale"] == 256
+        workloads = data["workloads"]
+        assert set(workloads) >= {
+            "table1_1mb/merge_join",
+            "table1_1mb/nested_loop",
+            "fig3_c16/merge_join",
+            "table4_512b/merge_join",
+            "session_J",
+            "session_JX",
+            "session_JALL",
+            "session_JA",
+            "session_chain",
+        }
+        for name, workload in workloads.items():
+            assert workload["modelled_seconds"] > 0.0, name
+            assert workload["wall_seconds"] >= 0.0
+            assert workload["rows"] >= 0
+            assert workload["counters"]["page_reads"] >= 0
+        assert data["overhead"]["plain_seconds"] > 0.0
+        assert data["overhead"]["overhead_ratio"] > 0.0
+
+    def test_session_workloads_cover_every_strategy(self, baseline_dir):
+        with open(baseline_dir / "BENCH_observe.json") as handle:
+            workloads = json.load(handle)["workloads"]
+        strategies = {
+            workloads[name]["strategy"]
+            for name in workloads
+            if name.startswith("session_")
+        }
+        assert any("flat/J" in s for s in strategies)
+        assert any("grouped/JX" in s for s in strategies)
+        assert any("grouped/JALL" in s for s in strategies)
+        assert any("pipelined/JA" in s for s in strategies)
+        assert any("flat/chain" in s for s in strategies)
+
+
+class TestGate:
+    def test_check_passes_against_identical_baseline(self, baseline_dir):
+        proc = run_bench(
+            "--check",
+            "--baseline", str(baseline_dir / "baseline.json"),
+            "--output", str(baseline_dir / "fresh.json"),
+            cwd=baseline_dir,
+        )
+        assert proc.returncode == 0, proc.stderr + proc.stdout
+        assert "ok:" in proc.stdout
+
+    def test_check_fails_on_injected_2x_slowdown(self, baseline_dir):
+        proc = run_bench(
+            "--check",
+            "--inject-slowdown", "2",
+            "--baseline", str(baseline_dir / "baseline.json"),
+            "--output", str(baseline_dir / "slow.json"),
+            cwd=baseline_dir,
+        )
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stdout
+        assert "exceeds tolerance" in proc.stdout
+
+    def test_check_without_baseline_exits_2(self, baseline_dir, tmp_path):
+        proc = run_bench(
+            "--check",
+            "--baseline", str(tmp_path / "missing.json"),
+            "--output", str(tmp_path / "out.json"),
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 2
+        assert "no baseline" in proc.stdout
+
+    def test_scale_mismatch_is_reported(self, baseline_dir, tmp_path):
+        with open(baseline_dir / "baseline.json") as handle:
+            baseline = json.load(handle)
+        baseline["scale"] = 1
+        with open(tmp_path / "mismatch.json", "w") as handle:
+            json.dump(baseline, handle)
+        proc = run_bench(
+            "--check",
+            "--baseline", str(tmp_path / "mismatch.json"),
+            "--output", str(tmp_path / "out.json"),
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 1
+        assert "scale mismatch" in proc.stdout
+
+
+class TestCommittedBaseline:
+    def test_seed_baseline_is_committed_and_valid(self):
+        with open(COMMITTED_BASELINE) as handle:
+            data = json.load(handle)
+        assert data["version"] == 1
+        assert data["scale"] == 32  # CI runs at the default scale
+        assert len(data["workloads"]) == 10
