@@ -170,6 +170,60 @@ def _session_workloads() -> dict:
     return out
 
 
+def _service_workloads() -> dict:
+    """Plan-cache and concurrency slices: cached-vs-cold and 1-vs-N workers.
+
+    ``service_cold_J`` and ``service_cached_J`` run the same type-J query
+    twice on one session — the second run must be a plan-cache hit, and
+    both runs are gated on identical answers and I/O counters (the cache
+    must never change what a query computes).  The ``service_batch_*``
+    slices run the five nesting-type queries through ``run_batch`` with 1
+    and 4 workers; modelled cost and counters come from a serial
+    reference pass since the parallel run does the same work.
+    """
+    out = {}
+    sql = SESSION_QUERIES["session_J"]
+
+    session = build_session()
+    for name in ("service_cold_J", "service_cached_J"):
+        metrics = QueryMetrics()
+        started = time.perf_counter()
+        result = session.query(sql, metrics=metrics)
+        wall = time.perf_counter() - started
+        counters = _counters(session.last_stats)
+        counters["plan_cache_hits"] = session.plan_cache.hits
+        counters["plan_cache_misses"] = session.plan_cache.misses
+        out[name] = {
+            "modelled_seconds": PAPER_1992.response_time(session.last_stats),
+            "wall_seconds": wall,
+            "rows": len(result),
+            "plan_cache": metrics.plan_cache,
+            "counters": counters,
+        }
+
+    batch = list(SESSION_QUERIES.values())
+    reference = build_session()
+    reference_counters = {key: 0 for key in COUNTER_KEYS}
+    modelled = 0.0
+    for query in batch:
+        reference.query(query)
+        modelled += PAPER_1992.response_time(reference.last_stats)
+        for key, value in _counters(reference.last_stats).items():
+            reference_counters[key] += value
+    for name, workers in (("service_batch_w1", 1), ("service_batch_w4", 4)):
+        session = build_session()
+        started = time.perf_counter()
+        results = session.run_batch(batch, workers=workers)
+        wall = time.perf_counter() - started
+        out[name] = {
+            "modelled_seconds": modelled,
+            "wall_seconds": wall,
+            "rows": sum(len(result) for result in results),
+            "counters": dict(reference_counters),
+        }
+    return out
+
+
 def measure_collector_overhead(repeats: int = 5) -> dict:
     """Wall time of the type-J query with and without a collector attached.
 
@@ -200,6 +254,7 @@ def run_all(scale: int) -> dict:
     workloads = {}
     workloads.update(_method_workloads(scale))
     workloads.update(_session_workloads())
+    workloads.update(_service_workloads())
     return {
         "version": VERSION,
         "scale": scale,
@@ -237,9 +292,15 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> list:
             got_value = got["counters"].get(key, 0)
             slack = max(1.0, COUNTER_TOLERANCE * base_value)
             if abs(got_value - base_value) > slack:
+                delta = got_value - base_value
+                if base_value:
+                    relative = f"{delta / base_value:+.1%}"
+                else:
+                    relative = "new"
                 failures.append(
-                    f"{name}: counter {key} {got_value} vs baseline "
-                    f"{base_value} (+/-{COUNTER_TOLERANCE:.0%})"
+                    f"{name}: counter {key} = {got_value} vs baseline "
+                    f"{base_value} (delta {delta:+d}, {relative}; "
+                    f"allowed +/-{COUNTER_TOLERANCE:.0%})"
                 )
     for name in sorted(set(fresh["workloads"]) - set(base_workloads)):
         failures.append(f"{name}: not in the baseline — run --update-baseline")

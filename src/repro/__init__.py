@@ -14,6 +14,7 @@ Subpackages:
 * :mod:`repro.engine`   — naive nested-semantics evaluator, aggregates,
   physical operators, flat compiler, join-order optimizer;
 * :mod:`repro.unnest`   — the unnesting rewrites (the paper's contribution);
+* :mod:`repro.service`  — prepared statements and the LRU plan cache;
 * :mod:`repro.workload` — paper data and synthetic experiment workloads;
 * :mod:`repro.bench`    — the Section 9 experiment harness.
 """
@@ -34,6 +35,7 @@ from .fuzzy import (
     Vocabulary,
     possibility,
 )
+from .service import PlanCache, PreparedQuery, normalize_sql
 from .sql import parse
 from .unnest import execute_unnested, unnest
 
@@ -59,4 +61,7 @@ __all__ = [
     "parse",
     "unnest",
     "execute_unnested",
+    "PlanCache",
+    "PreparedQuery",
+    "normalize_sql",
 ]

@@ -41,6 +41,7 @@ class ExperimentResult:
     notes: str = ""
 
     def format(self) -> str:
+        """Render the result as an aligned fixed-width table with a title."""
         lines = [f"== {self.name} =="]
         if self.notes:
             lines.append(self.notes)

@@ -48,25 +48,31 @@ class MethodResult:
 
     @property
     def page_ios(self) -> int:
+        """Total page reads plus writes across all phases."""
         return self.stats.total.page_ios
 
     @property
     def response_seconds(self) -> float:
+        """Modelled response time (I/O + CPU) under the 1992 cost model."""
         return self.cost_model.response_time(self.stats)
 
     @property
     def cpu_seconds(self) -> float:
+        """Modelled CPU seconds across all phases."""
         return self.cost_model.cpu_seconds(self.stats.total)
 
     @property
     def io_seconds(self) -> float:
+        """Modelled I/O seconds across all phases."""
         return self.cost_model.io_seconds(self.stats.total)
 
     @property
     def cpu_fraction(self) -> float:
+        """CPU time as a fraction of response time (Table 3 row 1)."""
         return self.cost_model.cpu_fraction(self.stats)
 
     def phase_fraction(self, phase: str) -> float:
+        """Fraction of modelled response time spent in the named phase."""
         return self.cost_model.phase_fraction(self.stats, phase)
 
 

@@ -139,6 +139,7 @@ def run_jall_nested_loop(
     project_attr: str = "ID",
     cost_model: CostModel = PAPER_1992,
 ) -> MethodResult:
+    """Type-JALL baseline: evaluate the workload with a block nested loop."""
     stats = OperationStats()
     pair = _jall_pair_degree(workload, join_attr, op)
     join = NestedLoopJoin(workload.disk, buffer_pages, stats)

@@ -24,6 +24,9 @@ class Catalog:
         return name.upper()
 
     def register(self, name: str, relation: FuzzyRelation) -> None:
+        """Bind ``name`` (case-insensitive) to ``relation``, replacing any prior
+        binding.
+        """
         self._relations[self._norm(name)] = relation
 
     def remove(self, name: str) -> None:
@@ -34,6 +37,7 @@ class Catalog:
             raise UnknownRelationError(name) from None
 
     def get(self, name: str) -> FuzzyRelation:
+        """The relation bound to ``name``; raises :class:`UnknownRelationError`."""
         try:
             return self._relations[self._norm(name)]
         except KeyError:
@@ -46,6 +50,7 @@ class Catalog:
         return iter(self._relations)
 
     def names(self):
+        """Sorted names of all registered relations."""
         return sorted(self._relations)
 
     def copy(self) -> "Catalog":

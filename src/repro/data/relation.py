@@ -99,6 +99,7 @@ class FuzzyRelation:
         return bool(self._tuples)
 
     def tuples(self) -> List[FuzzyTuple]:
+        """The tuples as a list, in insertion order."""
         return list(self._tuples.values())
 
     def degree_of(self, values: Sequence[Distribution]) -> float:
@@ -108,6 +109,7 @@ class FuzzyRelation:
         return existing.degree if existing is not None else 0.0
 
     def column(self, name: str) -> List[Distribution]:
+        """Every value of attribute ``name``, in tuple order."""
         idx = self.schema.index_of(name)
         return [t[idx] for t in self]
 

@@ -93,9 +93,11 @@ class Schema:
             raise KeyError(f"no attribute {name!r} in schema {self.names()}") from None
 
     def attribute(self, name: str) -> Attribute:
+        """The :class:`Attribute` called ``name``; raises ``KeyError`` if absent."""
         return self.attributes[self.index_of(name)]
 
     def names(self) -> List[str]:
+        """Attribute names in schema order."""
         return [a.name for a in self.attributes]
 
     def project(self, names: Sequence[str]) -> "Schema":

@@ -27,8 +27,16 @@ from .data.types import AttributeType
 from .engine.aggregates import DegreePolicy
 from .engine.semantics import NaiveEvaluator
 from .fuzzy.linguistic import Vocabulary
+from .service.plancache import PlanCache, normalize_sql
+from .service.prepared import PlanArtifact, PreparedQuery
 from .sql.ast import SelectQuery
 from .sql.classify import classify
+from .sql.params import (
+    ParameterError,
+    bind_parameters,
+    count_parameters,
+    referenced_tables,
+)
 from .sql.statements import (
     CreateTable,
     DefineTerm,
@@ -65,6 +73,13 @@ class FuzzyDatabase:
         #: folded in / logged automatically.
         self.registry = None
         self.query_log = None
+        #: LRU cache of prepared plans for textual ``query()`` calls;
+        #: entries validate against tuple counts and the schema epoch.
+        #: Assign ``None`` to disable caching.
+        self.plan_cache: Optional[PlanCache] = PlanCache()
+        # Bumped by DDL (CREATE/DROP/DEFINE/register): any schema or
+        # vocabulary change invalidates every cached plan.
+        self._schema_epoch = 0
 
     # ------------------------------------------------------------------
     # The one entry point
@@ -77,6 +92,9 @@ class FuzzyDatabase:
     def execute_statement(
         self, statement: Statement, sql_text: Optional[str] = None
     ) -> Union[FuzzyRelation, str]:
+        """Execute a parsed statement: queries return a relation, DDL/DML a status
+        string.
+        """
         if isinstance(statement, SelectQuery):
             return self.query(statement, sql_text=sql_text)
         if isinstance(statement, CreateTable):
@@ -98,13 +116,20 @@ class FuzzyDatabase:
         metrics=None,
         sql_text: Optional[str] = None,
     ) -> FuzzyRelation:
+        """Run one SELECT; textual queries go through the plan cache."""
         if sql_text is None and isinstance(query, str):
             sql_text = query
         if isinstance(query, str):
+            if self.plan_cache is not None:
+                return self._query_cached(query, metrics)
             statement = parse_statement(query)
             if not isinstance(statement, SelectQuery):
                 raise DatabaseError("query() expects a SELECT statement")
             query = statement
+        elif sql_text is not None and self.plan_cache is not None:
+            # execute()/execute_statement() arrive here with the statement
+            # already parsed; the cache still keys on the SQL text.
+            return self._query_cached(sql_text, metrics, statement=query)
         if self.registry is not None or self.query_log is not None:
             import time
 
@@ -145,6 +170,168 @@ class FuzzyDatabase:
         if metrics is not None and metrics.strategy is None:
             metrics.strategy = "memory/naive: nested-loop evaluation"
         return self._make_evaluator(self.catalog).evaluate(query)
+
+    # ------------------------------------------------------------------
+    # Prepared statements and the plan cache
+    # ------------------------------------------------------------------
+    def prepare(self, sql: Union[str, SelectQuery]) -> PreparedQuery:
+        """Parse, classify, and rewrite a SELECT once; execute many times.
+
+        Statements may contain ``?`` placeholders (bound per execution,
+        the ``WITH D >= ?`` threshold included).  Placeholder-free
+        statements cache their :class:`~repro.unnest.pipeline.UnnestedPlan`
+        so repeated executions skip the Theorem 4.1–8.1 rewrite work.
+        """
+        prepared = self._prepare(sql)
+        if self.registry is not None:
+            self.registry.count_prepared()
+        return prepared
+
+    def _prepare(
+        self, sql: Union[str, SelectQuery], text: Optional[str] = None
+    ) -> PreparedQuery:
+        template = parse_statement(sql) if isinstance(sql, str) else sql
+        if not isinstance(template, SelectQuery):
+            raise DatabaseError("prepare() expects a SELECT statement")
+        nesting = classify(template, self.catalog)
+        n_params = count_parameters(template)
+        if not self.auto_unnest:
+            artifact = PlanArtifact("naive")
+        elif n_params:
+            # Rewrites are structural, but the in-memory pipeline embeds
+            # the query values; bind first, dispatch per execution.
+            artifact = PlanArtifact("dispatch")
+        else:
+            try:
+                plan = unnest(template, self.catalog)
+                artifact = PlanArtifact(
+                    "memory", plan=plan, rule=plan.rule or plan.nesting_type
+                )
+            except UnnestError:
+                artifact = PlanArtifact("naive")
+        if text is None:
+            text = sql if isinstance(sql, str) else str(sql)
+        return PreparedQuery(self, text, template, nesting, n_params, artifact)
+
+    def _query_cached(
+        self, sql: str, metrics, statement: Optional[SelectQuery] = None
+    ) -> FuzzyRelation:
+        """The plan-cache lookup behind textual ``query()`` calls.
+
+        ``statement`` carries an already-parsed AST (the ``execute()``
+        path) so a cache miss does not re-parse the text.
+        """
+        key = normalize_sql(sql)
+        prepared, outcome = self.plan_cache.lookup(key, self._stats_tokens)
+        if prepared is None:
+            prepared = self._prepare(sql if statement is None else statement, text=sql)
+            if prepared.param_count:
+                raise ParameterError(
+                    "query() cannot run a statement with ? placeholders; "
+                    "use prepare() and bind values per execution"
+                )
+            keys = sorted(referenced_tables(prepared.template)) + ["__SCHEMA__"]
+            self.plan_cache.store(key, prepared, self._stats_tokens(keys))
+        return self._execute_prepared(
+            prepared, (), metrics=metrics, plan_cache_outcome=outcome
+        )
+
+    def _stats_tokens(self, keys) -> dict:
+        """Current validity tokens: tuple counts plus the schema epoch."""
+        tokens = {}
+        for key in keys:
+            if key == "__SCHEMA__":
+                tokens[key] = self._schema_epoch
+            else:
+                try:
+                    tokens[key] = len(self.catalog.get(key))
+                except KeyError:
+                    tokens[key] = -1
+        return tokens
+
+    def _execute_prepared(
+        self,
+        prepared: PreparedQuery,
+        params: tuple = (),
+        metrics=None,
+        tracer=None,
+        plan_cache_outcome: Optional[str] = None,
+    ) -> FuzzyRelation:
+        """Run a prepared statement (the back end of ``PreparedQuery.execute``).
+
+        ``tracer`` is accepted for signature parity with
+        :class:`~repro.session.StorageSession` but the in-memory engine
+        records no spans; use :meth:`trace` for a span tree.
+        """
+        del tracer  # the in-memory engine has no span instrumentation
+        need_collector = (
+            metrics is not None
+            or self.registry is not None
+            or self.query_log is not None
+        )
+        if not need_collector:
+            result = self._run_prepared(prepared, params, None)
+            prepared.executions += 1
+            return result
+        import time
+
+        from .observe.metrics import QueryMetrics
+
+        collector = metrics if metrics is not None else QueryMetrics()
+        # query() calls served from the plan cache are not "prepared
+        # executions" — only explicit PreparedQuery.execute calls are.
+        collector.prepared = plan_cache_outcome is None
+        collector.plan_cache = plan_cache_outcome
+        collector.nesting_type = prepared.nesting.value
+        started = time.perf_counter()
+        result = self._run_prepared(prepared, params, collector)
+        wall = time.perf_counter() - started
+        if self.registry is not None:
+            self.registry.observe(collector, wall_seconds=wall, rows=len(result))
+        if self.query_log is not None:
+            self.query_log.record(
+                prepared.sql_text, collector, wall_seconds=wall, rows=len(result)
+            )
+        prepared.executions += 1
+        return result
+
+    def _run_prepared(
+        self, prepared: PreparedQuery, params: tuple, collector
+    ) -> FuzzyRelation:
+        artifact = prepared.artifact
+        if artifact.kind == "memory":
+            result = artifact.plan.execute(
+                self.catalog, self._make_evaluator, metrics=collector
+            )
+            if collector is not None and collector.strategy is None:
+                collector.strategy = "memory/unnest: rewritten in-memory plan"
+            return result
+        bound = prepared.bind(params)
+        if artifact.kind == "dispatch":
+            return self._query(bound, collector)
+        if collector is not None:
+            if collector.rewrite is None:
+                collector.rewrite = "none (naive fallback)"
+            if collector.strategy is None:
+                collector.strategy = "memory/naive: nested-loop evaluation"
+        return self._make_evaluator(self.catalog).evaluate(bound)
+
+    def run_batch(self, queries, workers: int = 1) -> List[FuzzyRelation]:
+        """Execute read-only SELECTs, optionally across worker threads.
+
+        Results come back in input order regardless of completion order;
+        ``workers <= 1`` degenerates to a serial loop.  Parallel and
+        serial runs return bit-identical relations (asserted by the
+        differential sweep) because each query is independent and the
+        shared registry/log/plan-cache are internally locked.
+        """
+        queries = list(queries)
+        if workers <= 1:
+            return [self.query(q) for q in queries]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.query, queries))
 
     def explain(self, sql: Union[str, SelectQuery]) -> str:
         """Describe how a query would be executed."""
@@ -224,6 +411,7 @@ class FuzzyDatabase:
             )
             attrs.append(Attribute(column.name, attr_type, column.domain))
         self.catalog.register(statement.name, FuzzyRelation(Schema(attrs)))
+        self._schema_epoch += 1
         return f"table {statement.name} created"
 
     def _insert(self, statement: InsertInto) -> str:
@@ -246,12 +434,15 @@ class FuzzyDatabase:
     def _define(self, statement: DefineTerm) -> str:
         value = parse_value(statement.shape, self.catalog.vocabulary, statement.domain)
         self.catalog.vocabulary.define(statement.term, value, statement.domain)
+        # Redefining a term changes what cached plans would compute.
+        self._schema_epoch += 1
         where = f" on {statement.domain}" if statement.domain else ""
         return f"term '{statement.term}' defined{where}"
 
     def _drop(self, statement: DropTable) -> str:
         self._table(statement.name)  # raises if absent
         self.catalog.remove(statement.name)
+        self._schema_epoch += 1
         return f"table {statement.name} dropped"
 
     # ------------------------------------------------------------------
@@ -266,11 +457,14 @@ class FuzzyDatabase:
     def register(self, name: str, relation: FuzzyRelation) -> None:
         """Register a programmatically built relation."""
         self.catalog.register(name, relation)
+        self._schema_epoch += 1
 
     def table(self, name: str) -> FuzzyRelation:
+        """The relation stored under ``name``."""
         return self._table(name)
 
     def tables(self) -> List[str]:
+        """Sorted names of every stored table."""
         return self.catalog.names()
 
     def __contains__(self, name: str) -> bool:

@@ -37,6 +37,7 @@ class DegreePolicy(enum.Enum):
     WEIGHTED = "weighted"    # degree-weighted mean of member degrees
 
     def degree(self, members: Sequence[Member]) -> float:
+        """Membership degree of a group under this policy (1.0 for an empty group)."""
         if not members:
             return 1.0
         if self is DegreePolicy.ONE:

@@ -142,6 +142,7 @@ class FlatCompiler:
         return Threshold(plan, threshold)
 
     def execute(self, query: Union[str, SelectQuery], ctx: ExecutionContext) -> FuzzyRelation:
+        """Compile ``query`` and run it, returning the answer relation."""
         return self.compile(query).to_relation(ctx)
 
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ CrossSpec = Tuple[str, Op, str]
 
 
 class GroupMode(enum.Enum):
+    """Which quantifier the grouped evaluation folds: ``NOT IN`` or ``ALL``."""
     NOT_IN = "not in"
     ALL = "all"
 
@@ -144,6 +145,9 @@ class GroupedAntiJoin:
         metrics=None,
         tracer=None,
     ) -> FuzzyRelation:
+        """Run the grouped evaluation on the storage engine; returns the answer
+        relation.
+        """
         stats = stats if stats is not None else OperationStats()
         om = None
         started = 0.0

@@ -87,6 +87,7 @@ class ExecutionContext:
         self.tracer = tracer
 
     def scratch_name(self, prefix: str) -> str:
+        """A fresh name for a scratch file materialized during execution."""
         return f"__mat_{prefix}_{next(_materialize_counter)}"
 
 
@@ -137,9 +138,11 @@ class Operator:
         return type(self).__name__
 
     def children(self) -> List["Operator"]:
+        """The operator's input subtrees (empty for leaves)."""
         return []
 
     def explain(self, depth: int = 0) -> str:
+        """Indented multi-line rendering of this operator subtree."""
         pad = "  " * depth
         lines = [pad + self.describe()]
         lines.extend(child.explain(depth + 1) for child in self.children())
@@ -187,6 +190,7 @@ class Scan(Operator):
                         om.prunes += 1
 
     def describe(self) -> str:
+        """One-line label: heap name plus pushed-down filters."""
         preds = ", ".join(p.label for p in self.predicates) or "true"
         return f"Scan({self.heap.name}, filter={preds})"
 
@@ -200,6 +204,7 @@ class Materialize(Operator):
         self.fixed_tuple_size = fixed_tuple_size
 
     def materialize(self, ctx: ExecutionContext) -> HeapFile:
+        """Write the child's tuples into a scratch heap file, charging the I/O."""
         name = ctx.scratch_name("rel")
         with ctx.disk.use_stats(ctx.stats):
             heap = HeapFile(name, self.schema, ctx.disk, self.fixed_tuple_size)
@@ -215,9 +220,11 @@ class Materialize(Operator):
                     yield heap.serializer.decode(record)
 
     def describe(self) -> str:
+        """One-line label for plan rendering."""
         return "Materialize"
 
     def children(self) -> List[Operator]:
+        """The single child operator."""
         return [self.child]
 
 
@@ -269,9 +276,11 @@ class MergeJoinOp(Operator):
             yield r.concat(s, degree)
 
     def describe(self) -> str:
+        """One-line label: join attributes and comparison operator."""
         return f"MergeJoin({self.left_attr} = {self.right_attr})"
 
     def children(self) -> List[Operator]:
+        """Both join inputs, outer first."""
         return [self.left, self.right]
 
 
@@ -293,9 +302,11 @@ class NestedLoopJoinOp(Operator):
             yield r.concat(s, degree)
 
     def describe(self) -> str:
+        """One-line label: join attributes and comparison operator."""
         return f"NestedLoopJoin({self.label})"
 
     def children(self) -> List[Operator]:
+        """Both join inputs, outer first."""
         return [self.left, self.right]
 
 
@@ -323,10 +334,12 @@ class Select(Operator):
                 om.prunes += 1
 
     def describe(self) -> str:
+        """One-line label listing the residual predicates."""
         preds = ", ".join(p.label for p in self.predicates)
         return f"Select({preds})"
 
     def children(self) -> List[Operator]:
+        """The single child operator."""
         return [self.child]
 
 
@@ -346,9 +359,11 @@ class Project(Operator):
             yield t.project(self.indices)
 
     def describe(self) -> str:
+        """One-line label listing the projected columns."""
         return f"Project({', '.join(self.attributes)})"
 
     def children(self) -> List[Operator]:
+        """The single child operator."""
         return [self.child]
 
 
@@ -373,7 +388,9 @@ class Threshold(Operator):
                 om.prunes += 1
 
     def describe(self) -> str:
+        """One-line label showing the ``WITH D >= z`` cut."""
         return f"Threshold(D >= {self.threshold})"
 
     def children(self) -> List[Operator]:
+        """The single child operator."""
         return [self.child]

@@ -43,6 +43,7 @@ class JoinEdge:
     fanout: float = 7.0
 
     def connects(self, subset: FrozenSet[str], binding: str) -> bool:
+        """Whether this edge joins ``binding`` to a table already in ``subset``."""
         return (self.left in subset and self.right == binding) or (
             self.right in subset and self.left == binding
         )

@@ -98,6 +98,7 @@ class JAPipeline:
         metrics=None,
         tracer=None,
     ) -> FuzzyRelation:
+        """Run the pipelined JA evaluation on the storage engine; returns the answer."""
         stats = stats if stats is not None else OperationStats()
         om = None
         started = 0.0

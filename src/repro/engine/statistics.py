@@ -11,8 +11,9 @@ and the Section 8 join-order DP depend on.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..fuzzy.interval_order import overlaps
 from ..storage.heap import HeapFile
@@ -31,6 +32,81 @@ class FanoutEstimate:
     def edge_fanout(self, minimum: float = 1.0) -> float:
         """A conservative value for :class:`repro.engine.optimizer.JoinEdge`."""
         return max(minimum, self.fanout)
+
+
+class StatisticsVersions:
+    """Monotonic per-relation version tokens for plan-cache invalidation.
+
+    A compiled plan is only as good as the statistics it was chosen under:
+    the Section 8 join-order DP and the grouped/pipelined strategy picks
+    depend on relation cardinalities and sampled fan-outs.  This class
+    assigns each relation an integer version that moves whenever either
+    input changes, so a :class:`~repro.service.plancache.PlanCache` entry
+    can record the versions it was built against and detect staleness with
+    one dict comparison.
+
+    Version bumps come from two sources:
+
+    * :meth:`observe_cardinality` — the relation's tuple count changed
+      (data was loaded, re-registered, or mutated);
+    * :meth:`record_fanout` — a sampled join fan-out for one of the
+      relation's attributes drifted by more than ``tolerance`` (relative),
+      meaning join-order and window-size decisions made under the old
+      estimate may no longer hold.
+
+    All methods are thread-safe; concurrent sessions share one instance.
+    """
+
+    def __init__(self, fanout_tolerance: float = 0.25):
+        self.fanout_tolerance = fanout_tolerance
+        self._versions: Dict[str, int] = {}
+        self._cardinalities: Dict[str, int] = {}
+        self._fanouts: Dict[Tuple[str, str], float] = {}
+        self._lock = threading.Lock()
+
+    def bump(self, name: str) -> int:
+        """Unconditionally advance ``name``'s version; returns the new one."""
+        name = name.upper()
+        with self._lock:
+            self._versions[name] = self._versions.get(name, 0) + 1
+            return self._versions[name]
+
+    def version(self, name: str) -> int:
+        """The current version of ``name`` (0 when never observed)."""
+        return self._versions.get(name.upper(), 0)
+
+    def snapshot(self, names: Iterable[str]) -> Dict[str, int]:
+        """``{name: version}`` for ``names`` — a plan-cache validity token."""
+        return {n.upper(): self.version(n) for n in names}
+
+    def observe_cardinality(self, name: str, n_tuples: int) -> bool:
+        """Record a tuple count; bump and return True when it changed."""
+        name = name.upper()
+        with self._lock:
+            known = self._cardinalities.get(name)
+            self._cardinalities[name] = n_tuples
+            if known is not None and known == n_tuples:
+                return False
+            self._versions[name] = self._versions.get(name, 0) + 1
+            return True
+
+    def record_fanout(self, name: str, attribute: str, fanout: float) -> bool:
+        """Record a sampled fan-out; bump and return True on real drift.
+
+        Drift is relative: a change beyond ``fanout_tolerance`` of the
+        previously recorded value (or any change from/to zero) counts.
+        """
+        key = (name.upper(), attribute)
+        with self._lock:
+            known = self._fanouts.get(key)
+            self._fanouts[key] = fanout
+            if known is None:
+                return False  # first observation defines the baseline
+            reference = max(abs(known), 1e-9)
+            if abs(fanout - known) / reference <= self.fanout_tolerance:
+                return False
+            self._versions[key[0]] = self._versions.get(key[0], 0) + 1
+            return True
 
 
 def sample_tuples(heap: HeapFile, k: int, rng: random.Random, stats: Optional[OperationStats] = None):

@@ -42,6 +42,7 @@ class Op(enum.Enum):
 
     @classmethod
     def from_symbol(cls, symbol: str) -> "Op":
+        """The :class:`Op` for a comparison symbol, accepting aliases like ``!=``."""
         for op in cls:
             if op.value == symbol:
                 return op

@@ -24,6 +24,7 @@ class CrispNumber(Distribution):
         self.value = float(value)
 
     def membership(self, x) -> float:
+        """1.0 exactly at the crisp value, 0.0 everywhere else."""
         try:
             return 1.0 if float(x) == self.value else 0.0
         except (TypeError, ValueError):
@@ -31,28 +32,35 @@ class CrispNumber(Distribution):
 
     @property
     def height(self) -> float:
+        """Maximum membership (always 1.0)."""
         return 1.0
 
     @property
     def is_crisp(self) -> bool:
+        """True: a crisp number is a singleton distribution."""
         return True
 
     @property
     def is_numeric(self) -> bool:
+        """True: the domain is numeric."""
         return True
 
     def key(self) -> Hashable:
+        """Hashable key used for duplicate detection and grouping."""
         return ("num", self.value)
 
     def interval(self) -> Tuple[float, float]:
+        """The degenerate support interval ``(value, value)``."""
         return (self.value, self.value)
 
     def as_piecewise(self) -> PiecewiseLinear:
         # A spike; usable by the sup-min machinery because evaluation at the
         # exact abscissa yields 1 and breakpoints are always candidates.
+        """The number as a :class:`PiecewiseLinear` spike at the value."""
         return PiecewiseLinear([(self.value, 1.0)])
 
     def defuzzify(self) -> float:
+        """The crisp value itself."""
         return self.value
 
     def __repr__(self) -> str:
@@ -68,21 +76,26 @@ class CrispLabel(Distribution):
         self.value = str(value)
 
     def membership(self, x) -> float:
+        """1.0 exactly on the label, 0.0 everywhere else."""
         return 1.0 if x == self.value else 0.0
 
     @property
     def height(self) -> float:
+        """Maximum membership (always 1.0)."""
         return 1.0
 
     @property
     def is_crisp(self) -> bool:
+        """True: a crisp label is a singleton distribution."""
         return True
 
     @property
     def is_numeric(self) -> bool:
+        """False: labels are symbolic, not numeric."""
         return False
 
     def key(self) -> Hashable:
+        """Hashable key used for duplicate detection and grouping."""
         return ("label", self.value)
 
     def interval(self) -> Tuple[str, str]:

@@ -42,6 +42,7 @@ class DiscreteDistribution(Distribution):
     # Distribution protocol
     # ------------------------------------------------------------------
     def membership(self, x) -> float:
+        """The possibility of element ``x`` (0.0 if outside the support)."""
         if self._numeric:
             try:
                 x = float(x)
@@ -51,17 +52,21 @@ class DiscreteDistribution(Distribution):
 
     @property
     def height(self) -> float:
+        """The largest membership over the support."""
         return max(self.items.values())
 
     @property
     def is_crisp(self) -> bool:
+        """Whether the distribution is a single element with membership 1."""
         return len(self.items) == 1 and next(iter(self.items.values())) == 1.0
 
     @property
     def is_numeric(self) -> bool:
+        """Whether every support element is numeric."""
         return self._numeric
 
     def key(self) -> Hashable:
+        """Hashable key used for duplicate detection and grouping."""
         return ("disc",) + tuple(sorted(self.items.items(), key=lambda kv: repr(kv[0])))
 
     def interval(self) -> Tuple:

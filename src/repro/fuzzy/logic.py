@@ -58,6 +58,7 @@ class Norms:
         return result
 
     def negate(self, degree: float) -> float:
+        """The negation of ``degree`` under this norm family."""
         return self.negation(degree)
 
 

@@ -71,6 +71,7 @@ class PiecewiseLinear:
 
     @property
     def points(self) -> List[Point]:
+        """The breakpoints as ``(x, membership)`` pairs."""
         return list(zip(self.xs, self.ys))
 
     def argmax(self) -> float:

@@ -91,6 +91,8 @@ class TableSimilarity:
         self.table = table
 
     def mu(self, x: str, y: str) -> float:
+        """Similarity of two labels: 1.0 on equality, else the table entry (0 default).
+        """
         if x == y:
             return 1.0
         return self.table.get((x, y), 0.0)

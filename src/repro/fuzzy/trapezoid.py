@@ -53,6 +53,7 @@ class TrapezoidalNumber(Distribution):
     # Distribution protocol
     # ------------------------------------------------------------------
     def membership(self, x) -> float:
+        """Membership of ``x`` under the trapezoid (0 outside ``[a, d]``)."""
         try:
             x = float(x)
         except (TypeError, ValueError):
@@ -68,23 +69,29 @@ class TrapezoidalNumber(Distribution):
 
     @property
     def height(self) -> float:
+        """Maximum membership (1.0 for a well-formed trapezoid)."""
         return 1.0
 
     @property
     def is_crisp(self) -> bool:
+        """Whether the trapezoid degenerates to a single point."""
         return self.a == self.d
 
     @property
     def is_numeric(self) -> bool:
+        """True: trapezoids live on a numeric domain."""
         return True
 
     def key(self) -> Hashable:
+        """Hashable key used for duplicate detection and grouping."""
         return ("trap", self.a, self.b, self.c, self.d)
 
     def interval(self) -> Tuple[float, float]:
+        """The support interval ``(a, d)``."""
         return (self.a, self.d)
 
     def as_piecewise(self) -> PiecewiseLinear:
+        """The trapezoid as a four-breakpoint :class:`PiecewiseLinear`."""
         a, b, c, d = self.a, self.b, self.c, self.d
         pts = [(a, 0.0 if a < b else 1.0), (b, 1.0), (c, 1.0), (d, 0.0 if d > c else 1.0)]
         return PiecewiseLinear(pts)
@@ -114,10 +121,12 @@ class TrapezoidalNumber(Distribution):
 
     @property
     def zero_cut(self) -> Tuple[float, float]:
+        """The support ``(a, d)`` — the closure of the 0-cut."""
         return (self.a, self.d)
 
     @property
     def one_cut(self) -> Tuple[float, float]:
+        """The core ``(b, c)`` where membership is 1."""
         return (self.b, self.c)
 
     def __repr__(self) -> str:

@@ -88,5 +88,6 @@ class NestedLoopJoin:
     # Analytical cost (for cross-checking measured I/O)
     # ------------------------------------------------------------------
     def expected_page_ios(self, outer: HeapFile, inner: HeapFile) -> int:
+        """Analytic page I/O: outer read once, inner re-read once per outer block."""
         blocks = math.ceil(outer.n_pages / (self.buffer_pages - 1)) if outer.n_pages else 0
         return outer.n_pages + blocks * inner.n_pages

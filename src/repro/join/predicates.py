@@ -45,6 +45,8 @@ class JoinPredicate:
             raise ValueError("a SIMILAR predicate needs a similarity relation")
 
     def degree(self, r: FuzzyTuple, s: FuzzyTuple, stats: Optional[OperationStats] = None) -> float:
+        """Fuzzy degree of the predicate on ``(r, s)``, counting one fuzzy evaluation.
+        """
         if stats is not None:
             stats.count_fuzzy()
         left = r[self.left_index]

@@ -158,6 +158,8 @@ def render_report(
         lines.append(f"rewrite: {metrics.rewrite}")
     if metrics.strategy is not None:
         lines.append(f"strategy: {metrics.strategy}")
+    if metrics.plan_cache is not None:
+        lines.append(f"plan cache: {metrics.plan_cache}")
 
     if plan is not None:
         lines.append(render_plan(plan, metrics, fanout, edge_fanouts))

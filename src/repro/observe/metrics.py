@@ -71,6 +71,7 @@ class BufferMetrics:
 
     @property
     def accesses(self) -> int:
+        """Total buffer lookups (hits plus misses)."""
         return self.hits + self.misses
 
 
@@ -108,6 +109,11 @@ class QueryMetrics:
         self.rewrite: Optional[str] = None
         self.nesting_type: Optional[str] = None
         self.strategy: Optional[str] = None
+        #: Plan-cache outcome for this query: "hit", "miss",
+        #: "invalidated", or None when no cache was consulted.
+        self.plan_cache: Optional[str] = None
+        #: True when this execution ran through a prepared statement.
+        self.prepared: bool = False
         #: The :class:`OperationStats` of the run, attached by the session.
         self.stats: Optional[OperationStats] = None
 
@@ -132,6 +138,7 @@ class QueryMetrics:
         return entry
 
     def for_node(self, operator: object) -> Optional[OperatorMetrics]:
+        """The per-operator counters for ``operator``, or ``None`` if never touched."""
         return self.operators.get(id(operator))
 
     def iter_nodes(self) -> Iterator[Tuple[object, OperatorMetrics]]:
@@ -171,6 +178,7 @@ class QueryMetrics:
     # Storage-layer reporting
     # ------------------------------------------------------------------
     def record_sort(self, sort: SortMetrics) -> None:
+        """Attach the metrics of one finished external sort."""
         self.sorts.append(sort)
 
     def record_buffer(self, hit: bool, file: str, index: int) -> None:
@@ -185,6 +193,7 @@ class QueryMetrics:
         self._buffer_seen.add(key)
 
     def record_page_access(self, kind: str, file: str, index: int, phase: str) -> None:
+        """Append one page-granularity access to the locality trace."""
         self.page_trace.append(PageAccess(kind, file, index, phase))
 
     @contextmanager
@@ -262,6 +271,7 @@ class QueryMetrics:
     # Pipeline steps
     # ------------------------------------------------------------------
     def record_step(self, name: str, rows_out: int, wall_seconds: float) -> None:
+        """Record one pipeline step's output rows and wall time."""
         self.steps.append(StepMetrics(name, rows_out, wall_seconds))
 
     def __repr__(self) -> str:

@@ -36,6 +36,7 @@ class QueryLogEntry:
 
     @property
     def page_ios(self) -> int:
+        """Total page reads plus writes for the query."""
         return self.page_reads + self.page_writes
 
 
@@ -61,6 +62,7 @@ class QueryLog:
         wall_seconds: float = 0.0,
         rows: int = 0,
     ) -> QueryLogEntry:
+        """Append one executed query, evicting the oldest beyond the capacity."""
         reads = writes = fuzzy = 0
         nesting = rewrite = strategy = ""
         if metrics is not None:

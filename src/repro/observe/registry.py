@@ -17,6 +17,7 @@ in ``tests/test_observe_workload.py``).
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -55,6 +56,7 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
+        """Fold ``value`` into the sum, count, and cumulative buckets."""
         self.sum += value
         self.count += 1
         for i, bound in enumerate(self.bounds):
@@ -87,14 +89,23 @@ class MetricsRegistry:
         self.tuple_moves_total = 0
         self.sort_runs_total = 0
         self.sort_merge_passes_total = 0
+        self.plan_cache_hits_total = 0
+        self.plan_cache_misses_total = 0
+        self.plan_cache_invalidations_total = 0
+        self.statements_prepared_total = 0
+        self.prepared_executions_total = 0
         self.operator_rows: Counter = Counter()  # keyed by operator kind
         self.latency = Histogram(latency_buckets)
+        #: Folding is serialized so concurrent sessions can share a
+        #: registry (``run_batch`` drives queries from worker threads).
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Folding
     # ------------------------------------------------------------------
     @property
     def queries_total(self) -> int:
+        """Number of queries folded into the registry so far."""
         return self.latency.count
 
     def observe(
@@ -110,30 +121,44 @@ class MetricsRegistry:
         never mutates it, so a caller-supplied ``QueryMetrics`` stays
         usable for per-query analysis afterwards.
         """
-        self.latency.observe(wall_seconds)
-        if metrics.strategy:
-            self.queries_by_strategy[metrics.strategy] += 1
-        if metrics.nesting_type:
-            self.queries_by_nesting[metrics.nesting_type] += 1
-        if metrics.rewrite:
-            self.rewrites[metrics.rewrite] += 1
-        if rows is not None:
-            self.rows_returned_total += rows
-        if metrics.stats is not None:
-            total = metrics.stats.total
-            self.page_reads_total += total.page_reads
-            self.page_writes_total += total.page_writes
-            self.crisp_comparisons_total += total.crisp_comparisons
-            self.fuzzy_evaluations_total += total.fuzzy_evaluations
-            self.tuple_moves_total += total.tuple_moves
-        for sort in metrics.sorts:
-            self.sort_runs_total += sort.runs
-            self.sort_merge_passes_total += sort.merge_passes
-        for om in metrics.operators.values():
-            # Key by operator kind (the label up to any parenthesis) to
-            # keep the label cardinality bounded.
-            kind = om.label.split("(", 1)[0].split("[", 1)[0]
-            self.operator_rows[kind] += om.rows_out
+        with self._lock:
+            self.latency.observe(wall_seconds)
+            if metrics.strategy:
+                self.queries_by_strategy[metrics.strategy] += 1
+            if metrics.nesting_type:
+                self.queries_by_nesting[metrics.nesting_type] += 1
+            if metrics.rewrite:
+                self.rewrites[metrics.rewrite] += 1
+            if metrics.plan_cache == "hit":
+                self.plan_cache_hits_total += 1
+            elif metrics.plan_cache in ("miss", "invalidated"):
+                self.plan_cache_misses_total += 1
+                if metrics.plan_cache == "invalidated":
+                    self.plan_cache_invalidations_total += 1
+            if metrics.prepared:
+                self.prepared_executions_total += 1
+            if rows is not None:
+                self.rows_returned_total += rows
+            if metrics.stats is not None:
+                total = metrics.stats.total
+                self.page_reads_total += total.page_reads
+                self.page_writes_total += total.page_writes
+                self.crisp_comparisons_total += total.crisp_comparisons
+                self.fuzzy_evaluations_total += total.fuzzy_evaluations
+                self.tuple_moves_total += total.tuple_moves
+            for sort in metrics.sorts:
+                self.sort_runs_total += sort.runs
+                self.sort_merge_passes_total += sort.merge_passes
+            for om in metrics.operators.values():
+                # Key by operator kind (the label up to any parenthesis) to
+                # keep the label cardinality bounded.
+                kind = om.label.split("(", 1)[0].split("[", 1)[0]
+                self.operator_rows[kind] += om.rows_out
+
+    def count_prepared(self) -> None:
+        """Record one ``prepare()`` call (a statement entering the service)."""
+        with self._lock:
+            self.statements_prepared_total += 1
 
     # ------------------------------------------------------------------
     # Rendering
@@ -182,6 +207,11 @@ class MetricsRegistry:
             ("tuple_moves_total", "Tuple moves performed.", self.tuple_moves_total),
             ("sort_runs_total", "Initial runs generated by external sorts.", self.sort_runs_total),
             ("sort_merge_passes_total", "Merge passes performed by external sorts.", self.sort_merge_passes_total),
+            ("plan_cache_hits_total", "Plan-cache lookups served from cache.", self.plan_cache_hits_total),
+            ("plan_cache_misses_total", "Plan-cache lookups that had to plan.", self.plan_cache_misses_total),
+            ("plan_cache_invalidations_total", "Plan-cache entries dropped for stale statistics.", self.plan_cache_invalidations_total),
+            ("statements_prepared_total", "Statements prepared via prepare().", self.statements_prepared_total),
+            ("prepared_executions_total", "Executions of prepared statements.", self.prepared_executions_total),
         ):
             qualified = f"{NAMESPACE}_{name}"
             lines.append(f"# HELP {qualified} {help_text}")

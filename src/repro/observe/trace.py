@@ -80,6 +80,7 @@ class SpanTracer:
     # Recording
     # ------------------------------------------------------------------
     def begin(self, name: str, **args) -> Span:
+        """Open a span as a child of the innermost open span and return it."""
         span = Span(name, self._clock(), args or None)
         if self._stack:
             self._stack[-1].children.append(span)
@@ -89,6 +90,7 @@ class SpanTracer:
         return span
 
     def end(self, span: Span) -> None:
+        """Close ``span``, closing anything opened after it as well."""
         span.end = self._clock()
         # Tolerate out-of-order ends (an abandoned generator, say): close
         # everything opened after ``span`` too, so the stack stays sane.
@@ -102,6 +104,7 @@ class SpanTracer:
 
     @contextmanager
     def span(self, name: str, **args):
+        """Context manager: open a span around a block of work."""
         span = self.begin(name, **args)
         try:
             yield span
@@ -122,6 +125,7 @@ class SpanTracer:
     # Introspection
     # ------------------------------------------------------------------
     def walk(self) -> Iterator[Span]:
+        """Depth-first iteration over every recorded span."""
         for root in self.roots:
             yield from root.walk()
 

@@ -1,0 +1,146 @@
+"""An LRU plan cache keyed on normalized SQL text.
+
+Entries are validated against per-relation statistics versions: each
+stored plan records the ``{relation: version}`` snapshot it was built
+under, and a lookup re-snapshots those relations — one dict comparison
+decides freshness.  A stale entry is evicted and reported as an
+*invalidation* (which also counts as a miss), so the three counters obey
+``lookups == hits + misses`` and ``invalidations <= misses``.
+
+All operations take the cache lock; the cache may be shared by threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+#: Lookup outcomes, as recorded on a query's collector.
+HIT, MISS, INVALIDATED = "hit", "miss", "invalidated"
+
+
+def normalize_sql(text: str) -> str:
+    """Collapse insignificant whitespace so equivalent texts share a key.
+
+    Runs of whitespace *outside* string literals become single spaces and
+    leading/trailing whitespace is dropped; quoted literals are copied
+    verbatim (``'very  tall'`` and ``'very tall'`` are different terms and
+    must not be conflated).  Keyword case is left alone — the lexer is
+    case-insensitive for keywords but identifiers and linguistic terms are
+    data.
+    """
+    out = []
+    pending_space = False
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            pending_space = True
+            i += 1
+            continue
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        if ch in "'\"":
+            end = text.find(ch, i + 1)
+            end = n - 1 if end == -1 else end
+            out.append(text[i:end + 1])
+            i = end + 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+@dataclass
+class CacheEntry:
+    """One cached plan plus the statistics snapshot it was built under."""
+
+    value: object
+    tokens: Dict[str, int]
+
+
+class PlanCache:
+    """A thread-safe LRU cache of prepared queries.
+
+    ``lookup`` takes a *token function* rather than a snapshot: only the
+    entry knows which relations its plan reads, so the cache asks the
+    caller to re-snapshot exactly those keys.  This avoids parsing the
+    SQL just to learn what it touches.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("a plan cache needs at least one slot")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._lock = threading.RLock()
+
+    def lookup(
+        self,
+        key: str,
+        current_tokens: Callable[[Iterable[str]], Dict[str, int]],
+    ) -> Tuple[Optional[object], str]:
+        """Return ``(value, outcome)``; ``value`` is None unless a hit.
+
+        ``outcome`` is one of ``"hit"``, ``"miss"``, ``"invalidated"`` —
+        the last meaning an entry existed but its statistics snapshot no
+        longer matches, so it was evicted.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None, MISS
+            if current_tokens(entry.tokens) != entry.tokens:
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None, INVALIDATED
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.value, HIT
+
+    def store(self, key: str, value: object, tokens: Dict[str, int]) -> None:
+        """Insert (or replace) an entry, evicting LRU entries over capacity."""
+        with self._lock:
+            self._entries[key] = CacheEntry(value, dict(tokens))
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, relation: Optional[str] = None) -> int:
+        """Drop entries touching ``relation`` (or all); returns the count."""
+        with self._lock:
+            if relation is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                name = relation.upper()
+                stale = [
+                    key for key, entry in self._entries.items()
+                    if name in entry.tokens
+                ]
+                for key in stale:
+                    del self._entries[key]
+                dropped = len(stale)
+            self.invalidations += dropped
+            return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache(entries={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"invalidations={self.invalidations})"
+        )

@@ -1,0 +1,156 @@
+"""Prepared queries: the front-end pipeline run once, executed many times.
+
+A :class:`PreparedQuery` is produced by ``StorageSession.prepare(sql)``
+or ``FuzzyDatabase.prepare(sql)``.  It owns the parsed template (which
+may contain ``?`` placeholders, including ``WITH D >= ?``), the nesting
+classification, and a :class:`PlanArtifact` describing how far the
+planner got ahead of time:
+
+========== ==========================================================
+kind       what is cached / what happens per execution
+========== ==========================================================
+``flat``   the unnested single-block query (and, when the statement has
+           no placeholders, the compiled merge-join operator tree);
+           executions with placeholders bind values then recompile the
+           predicate closures only.
+``grouped`` a ready :class:`~repro.engine.grouped.GroupedAntiJoin`
+           (Sections 5/7); placeholder-free statements only.
+``ja``     a ready :class:`~repro.engine.pipelined.JAPipeline`
+           (Section 6); placeholder-free statements only.
+``memory`` an :class:`~repro.unnest.pipeline.UnnestedPlan` for the
+           in-memory :class:`~repro.db.FuzzyDatabase` engine.
+``dispatch`` nothing beyond parse + classification: values are bound and
+           the normal strategy dispatch runs per execution (used when
+           predicate closures would bake placeholder values in).
+``naive``  parse + classification only; executions bind and run the
+           naive nested-loop evaluator (the always-correct fallback).
+========== ==========================================================
+
+Executing a prepared query never re-enters the lexer, parser, binder, or
+rewriter — the acceptance test asserts exactly that via tracer spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..sql.ast import SelectQuery
+from ..sql.params import ParameterError, bind_parameters
+
+
+@dataclass
+class PlanArtifact:
+    """What the planner pre-computed for one prepared statement."""
+
+    kind: str
+    #: ``flat``: the unnested single-block template (placeholders intact).
+    flat: Optional[SelectQuery] = None
+    #: Which rewrite fired (EXPLAIN/metrics label).
+    rule: str = ""
+    #: ``flat`` with no placeholders: the compiled operator tree.
+    operator: object = None
+    #: ``grouped`` / ``ja``: the ready storage-level executor.
+    executable: object = None
+    #: ``grouped`` / ``ja``: the session strategy string.
+    strategy: str = ""
+    #: ``memory``: the :class:`UnnestedPlan` for the in-memory engine.
+    plan: object = None
+
+
+class PreparedQuery:
+    """A statement prepared once and executable many times.
+
+    Obtained from ``session.prepare(sql)``; call :meth:`execute` with one
+    positional value per ``?`` placeholder (numbered left to right in
+    text order, the ``WITH D >= ?`` threshold included)::
+
+        stmt = session.prepare(
+            "SELECT R.K FROM R WHERE R.V = ? WITH D >= ?")
+        strict = stmt.execute(["tall", 0.8])
+        lenient = stmt.execute(["tall", 0.2])
+
+    A prepared query is bound to the session that created it and remains
+    valid across data changes — unlike a plan-cache entry it is *not*
+    invalidated when statistics move, because its rewrite is structural;
+    only the cached operator tree could grow stale, and the owning
+    session rebuilds that per execution when placeholders are present.
+    Concurrent ``execute`` calls on one instance are safe under the
+    session's thread-safety contract (see ``docs/query_service.md``).
+    """
+
+    def __init__(
+        self,
+        owner: object,
+        sql_text: str,
+        template: SelectQuery,
+        nesting: object,
+        param_count: int,
+        artifact: PlanArtifact,
+    ):
+        self._owner = owner
+        self.sql_text = sql_text
+        self.template = template
+        self.nesting = nesting
+        self.param_count = param_count
+        self.artifact = artifact
+        #: How many times this statement has been executed.
+        self.executions = 0
+
+    @property
+    def is_closed(self) -> bool:
+        """True when the statement has no placeholders to bind."""
+        return self.param_count == 0
+
+    def bind(self, params: Sequence = ()) -> SelectQuery:
+        """The template with ``params`` substituted for its placeholders.
+
+        Raises :class:`~repro.sql.params.ParameterError` unless exactly
+        ``param_count`` values are supplied.
+        """
+        self.check_arity(params)
+        if not self.param_count:
+            return self.template
+        return bind_parameters(self.template, params)
+
+    def check_arity(self, params: Sequence) -> None:
+        """Fail loudly on a placeholder/value count mismatch."""
+        if len(params) != self.param_count:
+            raise ParameterError(
+                f"statement has {self.param_count} placeholder(s) "
+                f"but {len(params)} value(s) were bound"
+            )
+
+    def execute(self, params: Sequence = (), metrics=None, tracer=None):
+        """Run the prepared statement with ``params`` bound.
+
+        Returns a :class:`~repro.data.relation.FuzzyRelation`, exactly as
+        the owning session's ``query()`` would — but without re-parsing,
+        re-binding, or re-rewriting the statement.
+        """
+        self.check_arity(params)
+        return self._owner._execute_prepared(
+            self, tuple(params), metrics=metrics, tracer=tracer
+        )
+
+    def describe(self) -> str:
+        """A one-line summary of what was cached at prepare time."""
+        cached = {
+            "flat": "unnested flat query"
+                    + (" + compiled operator tree" if self.artifact.operator is not None else ""),
+            "grouped": "grouped anti-join executor",
+            "ja": "pipelined T1/T2 executor",
+            "memory": "unnested in-memory plan",
+            "dispatch": "classification only (strategy chosen per execution)",
+            "naive": "classification only (naive fallback)",
+        }.get(self.artifact.kind, self.artifact.kind)
+        return (
+            f"prepared[{self.nesting.value}] params={self.param_count} "
+            f"cached={cached}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery({self.sql_text!r}, params={self.param_count}, "
+            f"kind={self.artifact.kind!r}, executions={self.executions})"
+        )

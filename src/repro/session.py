@@ -33,6 +33,7 @@ from .engine.grouped import GroupedAntiJoin, GroupMode
 from .engine.operators import ExecutionContext
 from .engine.pipelined import JAPipeline
 from .engine.semantics import NaiveEvaluator
+from .engine.statistics import StatisticsVersions
 from .fuzzy.compare import Op
 from .observe.explain import render_plan, render_report
 from .observe.metrics import QueryMetrics
@@ -40,6 +41,8 @@ from .observe.querylog import QueryLog
 from .observe.registry import MetricsRegistry
 from .observe.trace import SpanTracer, maybe_span
 from .fuzzy.linguistic import Vocabulary
+from .service.plancache import PlanCache, normalize_sql
+from .service.prepared import PlanArtifact, PreparedQuery
 from .sql.ast import (
     AggregateExpr,
     ColumnRef,
@@ -50,6 +53,7 @@ from .sql.ast import (
     SelectQuery,
 )
 from .sql.classify import NestingType, classify
+from .sql.params import ParameterError, bind_parameters, count_parameters, referenced_tables
 from .sql.parser import parse
 from .storage.disk import SimulatedDisk
 from .storage.heap import HeapFile
@@ -102,9 +106,17 @@ class StorageSession:
         #: exactly once — see the no-double-counting regression test).
         self.registry: Optional[MetricsRegistry] = None
         self.query_log: Optional[QueryLog] = None
+        #: Per-relation statistics versions; bumped on (re)registration and
+        #: on sampled fan-out drift.  Plan-cache entries validate against
+        #: these tokens.
+        self.stats_versions = StatisticsVersions()
+        #: LRU cache of prepared plans for textual ``query()`` calls.
+        #: Assign ``None`` to disable caching entirely.
+        self.plan_cache: Optional[PlanCache] = PlanCache()
 
     @property
     def vocabulary(self) -> Vocabulary:
+        """The linguistic vocabulary shared by the session's catalog."""
         return self.schemas.vocabulary
 
     # ------------------------------------------------------------------
@@ -115,10 +127,17 @@ class StorageSession:
         name = name.upper()
         scratch = OperationStats()
         with self.disk.use_stats(scratch):
+            # Re-registration replaces the relation; without the delete the
+            # new tuples would be appended after the old file's pages.
+            self.disk.delete(name)
             heap = HeapFile(name, relation.schema, self.disk, self.fixed_tuple_size)
             heap.load(relation.tuples())
         self.tables[name] = heap
         self.schemas.register(name, FuzzyRelation(relation.schema))
+        # Every (re)registration moves the relation's statistics version:
+        # cached plans that read this table must be re-validated.
+        if not self.stats_versions.observe_cardinality(name, heap.n_tuples):
+            self.stats_versions.bump(name)
         return heap
 
     # ------------------------------------------------------------------
@@ -140,19 +159,30 @@ class StorageSession:
         collector is created as needed and folded in exactly once.  With
         nothing attached, nothing extra runs — operators stream their raw
         generators.
+
+        Textual queries go through the :attr:`plan_cache`: the second run
+        of the same SQL skips parse/bind/rewrite (and, for flat plans,
+        compilation) entirely, and the collector records the lookup
+        outcome in ``metrics.plan_cache``.
         """
         need_collector = (
             metrics is not None
             or self.registry is not None
             or self.query_log is not None
         )
+        use_cache = isinstance(sql, str) and self.plan_cache is not None
         if not need_collector and tracer is None:
-            query = parse(sql) if isinstance(sql, str) else sql
-            nesting = classify(query, self.schemas)
             stats = OperationStats()
             self.last_stats = stats
             self.last_plan = None
             self.last_metrics = None
+            if use_cache:
+                prepared, _ = self._cached_prepared(sql, None)
+                result = self._run_prepared(prepared, (), stats, None, None)
+                prepared.executions += 1
+                return result
+            query = parse(sql) if isinstance(sql, str) else sql
+            nesting = classify(query, self.schemas)
             return self._dispatch(query, nesting, stats, None)
 
         collector = (
@@ -163,22 +193,39 @@ class StorageSession:
         self.last_metrics = collector
         self.last_plan = None
         started = time.perf_counter()
+        outcome = None
+        prepared = None
         with maybe_span(tracer, "query"):
-            with maybe_span(tracer, "parse"):
-                query = parse(sql) if isinstance(sql, str) else sql
-            with maybe_span(tracer, "bind"):
-                nesting = classify(query, self.schemas)
+            if use_cache:
+                prepared, outcome = self._cached_prepared(sql, tracer)
+                nesting = prepared.nesting
+            else:
+                with maybe_span(tracer, "parse"):
+                    query = parse(sql) if isinstance(sql, str) else sql
+                with maybe_span(tracer, "bind"):
+                    nesting = classify(query, self.schemas)
             stats = OperationStats()
             self.last_stats = stats
             if collector is None:
-                result = self._dispatch(query, nesting, stats, None, tracer)
+                if prepared is not None:
+                    result = self._run_prepared(prepared, (), stats, None, tracer)
+                else:
+                    result = self._dispatch(query, nesting, stats, None, tracer)
             else:
                 collector.nesting_type = nesting.value
+                collector.plan_cache = outcome
                 collector.stats = stats
                 with collector.watch_disk(self.disk), collector.span("query"):
-                    result = self._dispatch(query, nesting, stats, collector, tracer)
-                collector.strategy = self.last_strategy
-                collector.stats = self.last_stats  # the overflow path swaps stats
+                    if prepared is not None:
+                        result = self._run_prepared(
+                            prepared, (), stats, collector, tracer
+                        )
+                    else:
+                        result = self._dispatch(
+                            query, nesting, stats, collector, tracer
+                        )
+        if prepared is not None:
+            prepared.executions += 1
         wall = time.perf_counter() - started
         if collector is not None:
             if self.registry is not None:
@@ -202,6 +249,268 @@ class StorageSession:
         tracer = SpanTracer()
         self.query(sql, tracer=tracer)
         return tracer
+
+    # ------------------------------------------------------------------
+    # Prepared statements and the plan cache
+    # ------------------------------------------------------------------
+    def prepare(self, sql: Union[str, SelectQuery]) -> PreparedQuery:
+        """Parse, classify, and rewrite once; execute many times.
+
+        The statement may contain ``?`` placeholders (anywhere a literal
+        is legal, and as the ``WITH D >= ?`` threshold); bind one value
+        per placeholder at each :meth:`~repro.service.prepared.PreparedQuery.execute`.
+        Statements without placeholders additionally cache their compiled
+        execution plan (the flat operator tree, a grouped anti-join, or a
+        Section 6 pipeline), so repeated executions skip straight to I/O.
+        """
+        prepared = self._prepare(sql)
+        if self.registry is not None:
+            self.registry.count_prepared()
+        return prepared
+
+    def _prepare(self, sql: Union[str, SelectQuery], tracer: Optional[SpanTracer] = None) -> PreparedQuery:
+        with maybe_span(tracer, "parse"):
+            template = parse(sql) if isinstance(sql, str) else sql
+        with maybe_span(tracer, "bind"):
+            nesting = classify(template, self.schemas)
+        n_params = count_parameters(template)
+        artifact = self._plan_template(template, nesting, n_params, tracer)
+        text = sql if isinstance(sql, str) else str(sql)
+        return PreparedQuery(self, text, template, nesting, n_params, artifact)
+
+    def _cached_prepared(
+        self, sql: str, tracer: Optional[SpanTracer]
+    ) -> Tuple[PreparedQuery, str]:
+        """The plan-cache lookup behind textual ``query()`` calls."""
+        key = normalize_sql(sql)
+        prepared, outcome = self.plan_cache.lookup(
+            key, self.stats_versions.snapshot
+        )
+        if prepared is None:
+            prepared = self._prepare(sql, tracer)
+            if prepared.param_count:
+                raise ParameterError(
+                    "query() cannot run a statement with ? placeholders; "
+                    "use prepare() and bind values per execution"
+                )
+            tokens = self.stats_versions.snapshot(
+                referenced_tables(prepared.template)
+            )
+            self.plan_cache.store(key, prepared, tokens)
+        return prepared, outcome
+
+    def _plan_template(
+        self,
+        query: SelectQuery,
+        nesting: NestingType,
+        n_params: int,
+        tracer: Optional[SpanTracer] = None,
+    ) -> PlanArtifact:
+        """Run the rewrite (and, when closed, compilation) ahead of time.
+
+        Strategies whose predicate compilation bakes literal values in
+        (the grouped and pipelined paths) cannot be pre-built for
+        parameterized statements; those fall back to per-execution
+        dispatch on the bound query.
+        """
+        if nesting in FLAT_TYPES:
+            try:
+                with maybe_span(tracer, "rewrite"):
+                    plan = unnest(query, self.schemas)
+                    if plan.steps or not isinstance(plan.final, SelectQuery):
+                        raise UnnestError("not a single flat query")
+                rule = plan.rule or plan.nesting_type
+                operator = None
+                if n_params == 0:
+                    with maybe_span(tracer, "compile"):
+                        compiler = FlatCompiler(self.tables, self.vocabulary)
+                        operator = compiler.compile(
+                            plan.final, optimize=self.optimize_joins
+                        )
+                return PlanArtifact(
+                    "flat", flat=plan.final, rule=rule, operator=operator
+                )
+            except (UnnestError, CompileError):
+                return PlanArtifact("naive")
+        if n_params:
+            return PlanArtifact("dispatch")
+        try:
+            if nesting in (NestingType.TYPE_XN, NestingType.TYPE_JX):
+                with maybe_span(tracer, "rewrite"):
+                    built = self._build_grouped(query, GroupMode.NOT_IN, nesting)
+                executable, strategy, rule = built
+                return PlanArtifact(
+                    "grouped", executable=executable, strategy=strategy, rule=rule
+                )
+            if nesting in (NestingType.TYPE_ALL, NestingType.TYPE_JALL):
+                with maybe_span(tracer, "rewrite"):
+                    built = self._build_grouped(query, GroupMode.ALL, nesting)
+                executable, strategy, rule = built
+                return PlanArtifact(
+                    "grouped", executable=executable, strategy=strategy, rule=rule
+                )
+            if nesting is NestingType.TYPE_JA:
+                with maybe_span(tracer, "rewrite"):
+                    built = self._build_ja(query, nesting)
+                executable, strategy, rule = built
+                return PlanArtifact(
+                    "ja", executable=executable, strategy=strategy, rule=rule
+                )
+        except (UnnestError, CompileError):
+            pass
+        return PlanArtifact("naive")
+
+    def _execute_prepared(
+        self,
+        prepared: PreparedQuery,
+        params: tuple,
+        metrics: Optional[QueryMetrics] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> FuzzyRelation:
+        """Run a prepared statement (the back end of ``PreparedQuery.execute``)."""
+        need_collector = (
+            metrics is not None
+            or self.registry is not None
+            or self.query_log is not None
+        )
+        if not need_collector and tracer is None:
+            stats = OperationStats()
+            self.last_stats = stats
+            self.last_plan = None
+            self.last_metrics = None
+            result = self._run_prepared(prepared, params, stats, None, None)
+            prepared.executions += 1
+            return result
+        collector = (
+            (metrics if metrics is not None else QueryMetrics())
+            if need_collector
+            else None
+        )
+        self.last_metrics = collector
+        self.last_plan = None
+        started = time.perf_counter()
+        with maybe_span(tracer, "query"):
+            stats = OperationStats()
+            self.last_stats = stats
+            if collector is None:
+                result = self._run_prepared(prepared, params, stats, None, tracer)
+            else:
+                collector.nesting_type = prepared.nesting.value
+                collector.prepared = True
+                collector.stats = stats
+                with collector.watch_disk(self.disk), collector.span("query"):
+                    result = self._run_prepared(
+                        prepared, params, stats, collector, tracer
+                    )
+        prepared.executions += 1
+        wall = time.perf_counter() - started
+        if collector is not None:
+            if self.registry is not None:
+                self.registry.observe(collector, wall_seconds=wall, rows=len(result))
+            if self.query_log is not None:
+                self.query_log.record(
+                    prepared.sql_text, collector, wall_seconds=wall, rows=len(result)
+                )
+        return result
+
+    def _run_prepared(
+        self,
+        prepared: PreparedQuery,
+        params: tuple,
+        stats: OperationStats,
+        metrics: Optional[QueryMetrics],
+        tracer: Optional[SpanTracer],
+    ) -> FuzzyRelation:
+        """Execute a prepared artifact: bind values, (re)compile, run.
+
+        Never re-enters the parser, binder, or rewriter — only the value
+        substitution and (for parameterized flat plans) predicate
+        compilation happen per execution.
+        """
+        from .join.merge_join import WindowOverflowError
+
+        artifact = prepared.artifact
+        try:
+            if artifact.kind == "flat":
+                operator = artifact.operator
+                if operator is None:
+                    with maybe_span(tracer, "bind-params"):
+                        flat = (
+                            bind_parameters(artifact.flat, params)
+                            if prepared.param_count
+                            else artifact.flat
+                        )
+                    with maybe_span(tracer, "compile"):
+                        compiler = FlatCompiler(self.tables, self.vocabulary)
+                        operator = compiler.compile(
+                            flat, optimize=self.optimize_joins
+                        )
+                self.last_strategy = (
+                    f"flat/{prepared.nesting.value}: merge-join plan"
+                )
+                self.last_plan = operator
+                if metrics is not None:
+                    metrics.rewrite = artifact.rule
+                    metrics.strategy = self.last_strategy
+                return operator.to_relation(
+                    ExecutionContext(
+                        self.disk,
+                        self.buffer_pages,
+                        stats,
+                        metrics=metrics,
+                        tracer=tracer,
+                    )
+                )
+            if artifact.kind in ("grouped", "ja"):
+                self.last_strategy = artifact.strategy
+                if metrics is not None:
+                    metrics.rewrite = artifact.rule
+                    metrics.strategy = artifact.strategy
+                return artifact.executable.run(
+                    self.disk,
+                    self.buffer_pages,
+                    stats,
+                    metrics=metrics,
+                    tracer=tracer,
+                )
+            if artifact.kind == "dispatch":
+                with maybe_span(tracer, "bind-params"):
+                    bound = prepared.bind(params)
+                return self._dispatch(
+                    bound, prepared.nesting, stats, metrics, tracer
+                )
+        except (UnnestError, CompileError):
+            pass
+        except WindowOverflowError:
+            stats = OperationStats()
+            self.last_stats = stats
+            if metrics is not None:
+                metrics.stats = stats
+        with maybe_span(tracer, "bind-params"):
+            bound = prepared.bind(params)
+        return self._run_naive(bound, prepared.nesting, stats, metrics, tracer)
+
+    def run_batch(
+        self,
+        queries,
+        workers: int = 1,
+    ) -> List[FuzzyRelation]:
+        """Execute read-only queries, optionally across worker threads.
+
+        Results come back in input order regardless of completion order,
+        and with ``workers <= 1`` the loop is plain serial execution —
+        the differential tests assert both modes produce bit-identical
+        relations.  Each query gets its own stats ledger (disk accounting
+        is thread-local), and a shared :attr:`registry` / :attr:`query_log`
+        is folded under its own lock.
+        """
+        queries = list(queries)
+        if workers <= 1:
+            return [self.query(q) for q in queries]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.query, queries))
 
     def _dispatch(
         self,
@@ -233,6 +542,8 @@ class StorageSession:
             # Section 3's caveat): restart on the always-applicable path.
             stats = OperationStats()
             self.last_stats = stats
+            if metrics is not None:
+                metrics.stats = stats
         return self._run_naive(query, nesting, stats, metrics, tracer)
 
     def explain(self, sql: Union[str, SelectQuery]) -> str:
@@ -346,6 +657,15 @@ class StorageSession:
                     )
                     if estimate.pairs_checked:
                         fanouts[id(op)] = estimate.edge_fanout()
+                        # Feed the drift detector: a fan-out moving past
+                        # the tolerance bumps the relation's statistics
+                        # version and invalidates cached plans over it.
+                        self.stats_versions.record_fanout(
+                            left.name, op.left_attr, estimate.edge_fanout()
+                        )
+                        self.stats_versions.record_fanout(
+                            right.name, op.right_attr, estimate.edge_fanout()
+                        )
             stack.extend(op.children())
         return fanouts
 
@@ -371,6 +691,7 @@ class StorageSession:
         self.last_plan = operator
         if metrics is not None:
             metrics.rewrite = plan.rule or plan.nesting_type
+            metrics.strategy = self.last_strategy
         return operator.to_relation(
             ExecutionContext(
                 self.disk, self.buffer_pages, stats, metrics=metrics, tracer=tracer
@@ -380,17 +701,11 @@ class StorageSession:
     # ------------------------------------------------------------------
     # Strategy: grouped anti-joins (Sections 5 and 7)
     # ------------------------------------------------------------------
-    def _run_grouped(
-        self,
-        query: SelectQuery,
-        mode: GroupMode,
-        nesting: NestingType,
-        stats: OperationStats,
-        metrics: Optional[QueryMetrics] = None,
-        tracer: Optional[SpanTracer] = None,
-    ) -> FuzzyRelation:
-        with maybe_span(tracer, "rewrite"):
-            parts = self._dissect(query)
+    def _build_grouped(
+        self, query: SelectQuery, mode: GroupMode, nesting: NestingType
+    ) -> Tuple[GroupedAntiJoin, str, str]:
+        """Dissect and construct the Section 5/7 executor (no I/O yet)."""
+        parts = self._dissect(query)
         (outer_name, inner_name, p1, p2, cross, nesting_pred, project_attrs) = parts
         if mode is GroupMode.NOT_IN:
             if not isinstance(nesting_pred, InPredicate) or not nesting_pred.negated:
@@ -413,13 +728,29 @@ class StorageSession:
             project_attrs=project_attrs,
         )
         band = "merge-join" if grouped.band else "nested-loop"
-        self.last_strategy = f"grouped/{nesting.value}: {band} min-fold"
+        strategy = f"grouped/{nesting.value}: {band} min-fold"
+        rewrite = (
+            "NOT IN -> grouped anti-join min-fold (Section 5)"
+            if mode is GroupMode.NOT_IN
+            else "op ALL -> doubly-negated grouped fold (Section 7)"
+        )
+        return grouped, strategy, rewrite
+
+    def _run_grouped(
+        self,
+        query: SelectQuery,
+        mode: GroupMode,
+        nesting: NestingType,
+        stats: OperationStats,
+        metrics: Optional[QueryMetrics] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> FuzzyRelation:
+        with maybe_span(tracer, "rewrite"):
+            grouped, strategy, rewrite = self._build_grouped(query, mode, nesting)
+        self.last_strategy = strategy
         if metrics is not None:
-            metrics.rewrite = (
-                "NOT IN -> grouped anti-join min-fold (Section 5)"
-                if mode is GroupMode.NOT_IN
-                else "op ALL -> doubly-negated grouped fold (Section 7)"
-            )
+            metrics.rewrite = rewrite
+            metrics.strategy = strategy
         return grouped.run(
             self.disk, self.buffer_pages, stats, metrics=metrics, tracer=tracer
         )
@@ -427,16 +758,11 @@ class StorageSession:
     # ------------------------------------------------------------------
     # Strategy: the Section 6 pipeline
     # ------------------------------------------------------------------
-    def _run_ja(
-        self,
-        query: SelectQuery,
-        nesting: NestingType,
-        stats: OperationStats,
-        metrics: Optional[QueryMetrics] = None,
-        tracer: Optional[SpanTracer] = None,
-    ) -> FuzzyRelation:
-        with maybe_span(tracer, "rewrite"):
-            parts = self._dissect(query)
+    def _build_ja(
+        self, query: SelectQuery, nesting: NestingType
+    ) -> Tuple[JAPipeline, str, str]:
+        """Dissect and construct the Section 6 pipeline (no I/O yet)."""
+        parts = self._dissect(query)
         (outer_name, inner_name, p1, p2, cross, nesting_pred, project_attrs) = parts
         if not isinstance(nesting_pred, ScalarSubqueryComparison):
             raise CompileError("not an aggregate nesting")
@@ -460,11 +786,24 @@ class StorageSession:
             p2=p2,
             policy=self.aggregate_policy,
         )
-        self.last_strategy = f"pipelined/{nesting.value}: T1/T2 merge pass"
+        strategy = f"pipelined/{nesting.value}: T1/T2 merge pass"
+        rewrite = "correlated aggregate -> pipelined T1/T2 merge pass (Section 6)"
+        return pipeline, strategy, rewrite
+
+    def _run_ja(
+        self,
+        query: SelectQuery,
+        nesting: NestingType,
+        stats: OperationStats,
+        metrics: Optional[QueryMetrics] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> FuzzyRelation:
+        with maybe_span(tracer, "rewrite"):
+            pipeline, strategy, rewrite = self._build_ja(query, nesting)
+        self.last_strategy = strategy
         if metrics is not None:
-            metrics.rewrite = (
-                "correlated aggregate -> pipelined T1/T2 merge pass (Section 6)"
-            )
+            metrics.rewrite = rewrite
+            metrics.strategy = strategy
         return pipeline.run(
             self.disk, self.buffer_pages, stats, metrics=metrics, tracer=tracer
         )
@@ -492,6 +831,8 @@ class StorageSession:
                         relation.add(heap.serializer.decode(record))
                 catalog.register(name, relation)
         self.last_strategy = f"naive/{nesting.value}: in-memory nested evaluation"
+        if metrics is not None:
+            metrics.strategy = self.last_strategy
         evaluator = NaiveEvaluator(
             catalog, aggregate_policy=self.aggregate_policy, stats=stats
         )

@@ -11,6 +11,7 @@ charged as one crisp comparison.
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import Iterator, List, Optional
 
 from ..data.tuples import FuzzyTuple
@@ -77,8 +78,16 @@ class ExternalSorter:
     # Public API
     # ------------------------------------------------------------------
     def sort(self, source: HeapFile, attribute: str, out_name: Optional[str] = None) -> HeapFile:
-        """Produce a new heap file sorted on ``attribute``."""
-        out_name = out_name or f"{source.name}__sorted_{attribute}"
+        """Produce a new heap file sorted on ``attribute``.
+
+        The default output name is ``{source}__sorted_{attribute}``; worker
+        threads get a thread-id suffix so two sessions concurrently sorting
+        the same relation never overwrite each other's output file.
+        """
+        if out_name is None:
+            out_name = f"{source.name}__sorted_{attribute}"
+            if threading.current_thread() is not threading.main_thread():
+                out_name = f"{out_name}__t{threading.get_ident()}"
         key_index = source.schema.index_of(attribute)
         record = None
         if self.metrics is not None:

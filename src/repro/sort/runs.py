@@ -31,6 +31,7 @@ class RunWriter:
             disk.create(name)
 
     def append(self, t: FuzzyTuple) -> None:
+        """Serialize one tuple into the run, spilling the page when it fills."""
         record = self.serializer.encode(t)
         if not self._page.fits(record):
             self.disk.append_page(self.name, self._page)
@@ -39,6 +40,7 @@ class RunWriter:
         self.n_tuples += 1
 
     def close(self) -> None:
+        """Flush the final partial page to disk."""
         if len(self._page):
             self.disk.append_page(self.name, self._page)
             self._page = Page(self.disk.page_size)
@@ -60,5 +62,6 @@ class RunReader:
 
 
 def drop_runs(disk: SimulatedDisk, names: List[str]) -> None:
+    """Delete intermediate run files from the simulated disk."""
     for name in names:
         disk.delete(name)

@@ -44,7 +44,27 @@ class Literal:
         return str(self.value)
 
 
-Term = Union[ColumnRef, Literal]
+@dataclass(frozen=True)
+class Parameter:
+    """A ``?`` placeholder, bound to a literal value per execution.
+
+    Placeholders are the raw material of prepared statements
+    (:mod:`repro.service.prepared`): the parser numbers them left to
+    right in text order, and
+    :func:`repro.sql.params.bind_parameters` substitutes the bound
+    values back in as :class:`Literal` terms.  A query containing an
+    unbound :class:`Parameter` cannot be evaluated — every execution
+    path resolves terms through :class:`Literal`/:class:`ColumnRef`
+    only, so a forgotten binding fails loudly rather than silently.
+    """
+
+    index: int
+
+    def __str__(self) -> str:
+        return "?"
+
+
+Term = Union[ColumnRef, Literal, Parameter]
 
 
 @dataclass(frozen=True)
@@ -228,7 +248,8 @@ class SelectQuery:
 
     ``where`` is a conjunction.  ``with_threshold`` reflects an explicit
     ``WITH D >= z`` / ``WITH D > z`` clause (None means the implicit
-    ``WITH D > 0``).  ``group_by`` supports the unnested JX'/JALL'/JA'
+    ``WITH D > 0``; a :class:`Parameter` means ``WITH D >= ?``, bound per
+    execution).  ``group_by`` supports the unnested JX'/JALL'/JA'
     forms; ``having`` holds fuzzy comparisons over group aggregates whose
     satisfaction degrees join each group's conjunction.
     """
@@ -236,7 +257,7 @@ class SelectQuery:
     select: tuple  # of SelectItem
     from_tables: tuple  # of TableRef
     where: tuple = ()  # of Predicate
-    with_threshold: Optional[float] = None
+    with_threshold: Optional[Union[float, Parameter]] = None
     group_by: tuple = ()  # of ColumnRef
     distinct: bool = False
     having: tuple = ()  # of Comparison (sides may be AggregateExpr)

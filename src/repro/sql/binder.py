@@ -60,6 +60,7 @@ class Scope:
 
     @classmethod
     def for_query(cls, query: SelectQuery, catalog: Catalog, parent: Optional["Scope"] = None) -> "Scope":
+        """The scope of ``query``'s FROM list, chained to ``parent`` for correlation."""
         bindings = []
         for table in query.from_tables:
             relation = catalog.get(table.name)

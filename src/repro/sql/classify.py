@@ -34,6 +34,9 @@ from .errors import BindError
 
 
 class NestingType(enum.Enum):
+    """The paper's nesting taxonomy: Kim's N/J/XN/JX/A/JA extended with the ALL and
+    SOME families, multi-level chains, and a GENERAL fallback.
+    """
     FLAT = "flat"
     TYPE_N = "N"
     TYPE_J = "J"

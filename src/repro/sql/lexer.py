@@ -21,6 +21,7 @@ OPERATORS = ("<=", ">=", "<>", "!=", "~=", "=", "<", ">")
 
 
 class TokenType(enum.Enum):
+    """Lexical categories produced by :func:`tokenize`."""
     KEYWORD = "keyword"
     IDENT = "ident"
     NUMBER = "number"
@@ -31,16 +32,19 @@ class TokenType(enum.Enum):
     COMMA = ","
     DOT = "."
     STAR = "*"
+    PARAM = "?"
     EOF = "eof"
 
 
 @dataclass(frozen=True)
 class Token:
+    """One lexeme: its category, value, and character offset in the source."""
     type: TokenType
     value: Union[str, float]
     position: int
 
     def matches_keyword(self, *names: str) -> bool:
+        """Whether the token is one of the given keywords."""
         return self.type is TokenType.KEYWORD and self.value in names
 
 
@@ -103,6 +107,7 @@ def _tokens(text: str) -> Iterator[Token]:
             ",": TokenType.COMMA,
             ".": TokenType.DOT,
             "*": TokenType.STAR,
+            "?": TokenType.PARAM,
         }
         if ch in simple:
             yield Token(simple[ch], ch, i)

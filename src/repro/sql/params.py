@@ -1,0 +1,155 @@
+"""Placeholder bookkeeping for prepared statements.
+
+A prepared query is parsed (and classified, rewritten, compiled) once
+with ``?`` placeholders left as :class:`~repro.sql.ast.Parameter` nodes;
+each execution then substitutes the bound values back into the AST with
+:func:`bind_parameters` — a cheap structural copy, nowhere near the cost
+of a re-parse or re-rewrite.  Substitution is purely syntactic, which is
+exactly why it is safe to do *after* the unnesting rewrite: the paper's
+theorems transform query structure and never look at literal values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence, Set, Union
+
+from .ast import (
+    Comparison,
+    ExistsPredicate,
+    InPredicate,
+    Literal,
+    NegatedConjunction,
+    Parameter,
+    QuantifiedComparison,
+    ScalarSubqueryComparison,
+    SelectQuery,
+)
+from .errors import BindError
+
+
+class ParameterError(BindError):
+    """A placeholder count/value mismatch at bind time."""
+
+
+def count_parameters(query: SelectQuery) -> int:
+    """The number of distinct ``?`` placeholders in ``query``."""
+    return len(collect_parameters(query))
+
+
+def collect_parameters(query: SelectQuery) -> List[Parameter]:
+    """Every :class:`Parameter` in ``query``, de-duplicated, by index."""
+    found = {}
+
+    def visit_term(term) -> None:
+        if isinstance(term, Parameter):
+            found[term.index] = term
+
+    def visit_predicate(predicate) -> None:
+        if isinstance(predicate, Comparison):
+            visit_term(predicate.left)
+            visit_term(predicate.right)
+        elif isinstance(predicate, (InPredicate, QuantifiedComparison,
+                                    ScalarSubqueryComparison, ExistsPredicate)):
+            visit_query(predicate.query)
+        elif isinstance(predicate, NegatedConjunction):
+            for p in predicate.predicates:
+                visit_predicate(p)
+
+    def visit_query(q: SelectQuery) -> None:
+        for predicate in q.where:
+            visit_predicate(predicate)
+        for predicate in q.having:
+            visit_predicate(predicate)
+        visit_term(q.with_threshold)
+
+    visit_query(query)
+    return [found[i] for i in sorted(found)]
+
+
+def bind_parameters(query: SelectQuery, values: Sequence) -> SelectQuery:
+    """Substitute ``values`` for the ``?`` placeholders of ``query``.
+
+    ``values[i]`` replaces ``Parameter(i)``.  Values become
+    :class:`Literal` terms (numbers or linguistic-term strings), except in
+    the ``WITH D >= ?`` position where the raw float is kept.  Raises
+    :class:`ParameterError` when a placeholder index has no value — the
+    caller passed too few parameters.
+    """
+
+    def bind_term(term):
+        if not isinstance(term, Parameter):
+            return term
+        if term.index >= len(values):
+            raise ParameterError(
+                f"query needs {term.index + 1} parameter(s) "
+                f"but only {len(values)} given"
+            )
+        return Literal(values[term.index])
+
+    def bind_predicate(predicate):
+        if isinstance(predicate, Comparison):
+            left, right = bind_term(predicate.left), bind_term(predicate.right)
+            if left is predicate.left and right is predicate.right:
+                return predicate
+            return replace(predicate, left=left, right=right)
+        if isinstance(predicate, (InPredicate, QuantifiedComparison,
+                                  ScalarSubqueryComparison, ExistsPredicate)):
+            inner = bind_query(predicate.query)
+            if inner is predicate.query:
+                return predicate
+            return replace(predicate, query=inner)
+        if isinstance(predicate, NegatedConjunction):
+            bound = tuple(bind_predicate(p) for p in predicate.predicates)
+            if all(b is p for b, p in zip(bound, predicate.predicates)):
+                return predicate
+            return NegatedConjunction(bound)
+        return predicate
+
+    def bind_query(q: SelectQuery) -> SelectQuery:
+        where = tuple(bind_predicate(p) for p in q.where)
+        having = tuple(bind_predicate(p) for p in q.having)
+        threshold = q.with_threshold
+        if isinstance(threshold, Parameter):
+            bound = bind_term(threshold)
+            threshold = float(bound.value)
+        if (
+            all(b is p for b, p in zip(where, q.where))
+            and all(b is p for b, p in zip(having, q.having))
+            and threshold is q.with_threshold
+        ):
+            return q
+        return replace(q, where=where, having=having, with_threshold=threshold)
+
+    return bind_query(query)
+
+
+def referenced_tables(query: SelectQuery) -> Set[str]:
+    """Upper-cased names of every relation the query (or a subquery) reads.
+
+    The plan cache keys validity on these: a cached plan is stale as soon
+    as the statistics version of any referenced relation moves.
+    """
+    names: Set[str] = set()
+
+    def visit_predicate(predicate) -> None:
+        if isinstance(predicate, (InPredicate, QuantifiedComparison,
+                                  ScalarSubqueryComparison, ExistsPredicate)):
+            visit_query(predicate.query)
+        elif isinstance(predicate, NegatedConjunction):
+            for p in predicate.predicates:
+                visit_predicate(p)
+
+    def visit_query(q: SelectQuery) -> None:
+        for table in q.from_tables:
+            names.add(table.name.upper())
+        for predicate in q.where:
+            visit_predicate(predicate)
+        for predicate in q.having:
+            visit_predicate(predicate)
+
+    visit_query(query)
+    return names
+
+
+Bindable = Union[SelectQuery]

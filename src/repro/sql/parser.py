@@ -37,6 +37,7 @@ from .ast import (
     InPredicate,
     Literal,
     NegatedConjunction,
+    Parameter,
     Predicate,
     QuantifiedComparison,
     ScalarSubqueryComparison,
@@ -61,6 +62,14 @@ class _Parser:
     def __init__(self, tokens: List[Token]):
         self.tokens = tokens
         self.pos = 0
+        #: ``?`` placeholders are numbered left to right in text order.
+        self.n_params = 0
+
+    def _parameter(self) -> Parameter:
+        self.expect(TokenType.PARAM)
+        param = Parameter(self.n_params)
+        self.n_params += 1
+        return param
 
     # ------------------------------------------------------------------
     # Token plumbing
@@ -169,13 +178,15 @@ class _Parser:
             alias = self.advance().value
         return TableRef(name, alias)
 
-    def _with_clause(self) -> Optional[float]:
+    def _with_clause(self) -> Optional[Union[float, Parameter]]:
         if not self.accept_keyword("WITH"):
             return None
         self.expect_keyword("D")
         op = self.expect(TokenType.OPERATOR).value
         if op not in (">", ">="):
             raise ParseError(f"WITH clause needs > or >=, found {op!r}")
+        if self.current.type is TokenType.PARAM:
+            return self._parameter()
         value = self.expect(TokenType.NUMBER).value
         return float(value)
 
@@ -281,8 +292,10 @@ class _Parser:
     # ------------------------------------------------------------------
     # Terms
     # ------------------------------------------------------------------
-    def _term(self) -> Union[ColumnRef, DegreeRef, Literal]:
+    def _term(self) -> Union[ColumnRef, DegreeRef, Literal, Parameter]:
         token = self.current
+        if token.type is TokenType.PARAM:
+            return self._parameter()
         if token.type is TokenType.NUMBER:
             self.advance()
             return Literal(token.value)

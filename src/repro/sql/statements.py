@@ -28,6 +28,7 @@ from .parser import _Parser
 
 @dataclass(frozen=True)
 class ColumnDef:
+    """One column of a ``CREATE TABLE``: name, type, optional linguistic domain."""
     name: str
     type_name: str  # "NUMERIC" | "LABEL"
     domain: Optional[str] = None
@@ -39,6 +40,7 @@ class ColumnDef:
 
 @dataclass(frozen=True)
 class CreateTable:
+    """A parsed ``CREATE TABLE`` statement."""
     name: str
     columns: Tuple[ColumnDef, ...]
 
@@ -49,6 +51,7 @@ class CreateTable:
 
 @dataclass(frozen=True)
 class InsertInto:
+    """A parsed ``INSERT INTO``; an optional ``WITH D`` degree covers all rows."""
     table: str
     rows: Tuple[Tuple[object, ...], ...]
     degree: Optional[float] = None  # WITH D <z> applies to all rows
@@ -61,6 +64,7 @@ class InsertInto:
 
 @dataclass(frozen=True)
 class DefineTerm:
+    """A parsed ``DEFINE`` statement binding a linguistic term to a shape."""
     term: str
     shape: str  # textual value syntax, e.g. "[20, 25, 30, 35]"
     domain: Optional[str] = None
@@ -72,6 +76,7 @@ class DefineTerm:
 
 @dataclass(frozen=True)
 class DropTable:
+    """A parsed ``DROP TABLE`` statement."""
     name: str
 
     def __str__(self) -> str:

@@ -10,8 +10,9 @@ tracks hits/misses so tests can assert the paper's locality arguments
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from .disk import SimulatedDisk
 from .page import Page
@@ -24,7 +25,13 @@ class BufferExhaustedError(Exception):
 
 
 class BufferPool:
-    """A page cache with LRU replacement and pin counts."""
+    """A page cache with LRU replacement and pin counts.
+
+    All operations take the pool's internal lock, so one pool may be
+    shared by concurrent sessions; under contention prefer a
+    :class:`StripedBufferManager`, which shards frames across independent
+    pools so unrelated pages never serialize on one lock.
+    """
 
     def __init__(self, disk: SimulatedDisk, capacity: int, metrics=None):
         if capacity < 1:
@@ -39,54 +46,65 @@ class BufferPool:
         #: hits and misses are reported per page so locality claims can be
         #: checked (a re-fetch = a page missed after having been resident).
         self.metrics = metrics
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     def get_page(self, file: str, index: int, pin: bool = False) -> Page:
+        """Pin and return a page, reading through the LRU pool on a miss."""
         key = (file, index)
-        if key in self._frames:
-            self.hits += 1
-            if self.metrics is not None:
-                self.metrics.record_buffer(True, file, index)
-            self._frames.move_to_end(key)
-        else:
-            self.misses += 1
-            if self.metrics is not None:
-                self.metrics.record_buffer(False, file, index)
-            self._evict_until_free()
-            self._frames[key] = self.disk.read_page(file, index)
-        if pin:
-            self._pins[key] = self._pins.get(key, 0) + 1
-        return self._frames[key]
+        with self._lock:
+            if key in self._frames:
+                self.hits += 1
+                if self.metrics is not None:
+                    self.metrics.record_buffer(True, file, index)
+                self._frames.move_to_end(key)
+            else:
+                self.misses += 1
+                if self.metrics is not None:
+                    self.metrics.record_buffer(False, file, index)
+                self._evict_until_free()
+                self._frames[key] = self.disk.read_page(file, index)
+            if pin:
+                self._pins[key] = self._pins.get(key, 0) + 1
+            return self._frames[key]
 
     def unpin(self, file: str, index: int) -> None:
+        """Release one pin on a buffered page."""
         key = (file, index)
-        count = self._pins.get(key, 0)
-        if count <= 1:
-            self._pins.pop(key, None)
-        else:
-            self._pins[key] = count - 1
+        with self._lock:
+            count = self._pins.get(key, 0)
+            if count <= 1:
+                self._pins.pop(key, None)
+            else:
+                self._pins[key] = count - 1
 
     def unpin_all(self) -> None:
-        self._pins.clear()
+        """Release every pin held on every frame."""
+        with self._lock:
+            self._pins.clear()
 
     def resident(self, file: str, index: int) -> bool:
+        """Whether the page currently occupies a frame."""
         return (file, index) in self._frames
 
     def drop(self, file: str, index: int) -> None:
         """Release a frame without further use (the merge scan's page retire)."""
         key = (file, index)
-        self._pins.pop(key, None)
-        self._frames.pop(key, None)
+        with self._lock:
+            self._pins.pop(key, None)
+            self._frames.pop(key, None)
 
     def flush(self) -> None:
         """Forget all cached frames (pages here are read-only images)."""
-        self._frames.clear()
-        self._pins.clear()
+        with self._lock:
+            self._frames.clear()
+            self._pins.clear()
 
     @property
     def in_use(self) -> int:
+        """Number of currently pinned frames."""
         return len(self._frames)
 
     # ------------------------------------------------------------------
@@ -104,3 +122,71 @@ class BufferPool:
                     f"all {self.capacity} frames pinned; cannot load a new page"
                 )
             del self._frames[victim]
+
+
+class StripedBufferManager:
+    """A lock-striped buffer manager for concurrent sessions.
+
+    Frames are sharded over ``stripes`` independent :class:`BufferPool`
+    instances by page-key hash, so threads touching different pages
+    contend on different locks.  The total frame budget is divided
+    evenly; each stripe gets at least one frame.  The manager exposes the
+    same read-side API as a single pool (``get_page``/``unpin``/
+    ``resident``/``drop``/``flush``) plus aggregate hit/miss counters, so
+    existing callers can swap one in unchanged.
+    """
+
+    def __init__(self, disk: SimulatedDisk, capacity: int, stripes: int = 8, metrics=None):
+        if stripes < 1:
+            raise ValueError("need at least one stripe")
+        stripes = min(stripes, capacity)
+        per_stripe = max(1, capacity // stripes)
+        self.disk = disk
+        self.capacity = capacity
+        self.stripes: List[BufferPool] = [
+            BufferPool(disk, per_stripe, metrics=metrics) for _ in range(stripes)
+        ]
+
+    def _stripe(self, file: str, index: int) -> BufferPool:
+        return self.stripes[hash((file, index)) % len(self.stripes)]
+
+    def get_page(self, file: str, index: int, pin: bool = False) -> Page:
+        """Pin and return a page through its stripe's pool."""
+        return self._stripe(file, index).get_page(file, index, pin=pin)
+
+    def unpin(self, file: str, index: int) -> None:
+        """Release one pin via the owning stripe."""
+        self._stripe(file, index).unpin(file, index)
+
+    def unpin_all(self) -> None:
+        """Release every pin in every stripe."""
+        for pool in self.stripes:
+            pool.unpin_all()
+
+    def resident(self, file: str, index: int) -> bool:
+        """Whether the page is resident in its stripe."""
+        return self._stripe(file, index).resident(file, index)
+
+    def drop(self, file: str, index: int) -> None:
+        """Retire one page's frame in its owning stripe."""
+        self._stripe(file, index).drop(file, index)
+
+    def flush(self) -> None:
+        """Forget every stripe's cached frames."""
+        for pool in self.stripes:
+            pool.flush()
+
+    @property
+    def hits(self) -> int:
+        """Aggregate buffer hits across all stripes."""
+        return sum(pool.hits for pool in self.stripes)
+
+    @property
+    def misses(self) -> int:
+        """Aggregate buffer misses across all stripes."""
+        return sum(pool.misses for pool in self.stripes)
+
+    @property
+    def in_use(self) -> int:
+        """Aggregate pinned-frame count across all stripes."""
+        return sum(pool.in_use for pool in self.stripes)

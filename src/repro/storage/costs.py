@@ -44,9 +44,11 @@ class CostModel:
     # Time assembly
     # ------------------------------------------------------------------
     def io_seconds(self, counters: Counters) -> float:
+        """Seconds of I/O implied by the page counters."""
         return counters.page_ios * self.io_time
 
     def cpu_seconds(self, counters: Counters) -> float:
+        """Seconds of CPU implied by the comparison and move counters."""
         return (
             counters.fuzzy_evaluations * self.fuzzy_eval_time
             + counters.crisp_comparisons * self.crisp_compare_time
@@ -54,12 +56,14 @@ class CostModel:
         )
 
     def response_seconds(self, counters: Counters) -> float:
+        """I/O plus CPU seconds for one counter set."""
         return self.io_seconds(counters) + self.cpu_seconds(counters)
 
     # ------------------------------------------------------------------
     # Report helpers (the quantities the paper's tables show)
     # ------------------------------------------------------------------
     def response_time(self, stats: OperationStats) -> float:
+        """Modelled response time over all phases of ``stats``."""
         return self.response_seconds(stats.total)
 
     def cpu_fraction(self, stats: OperationStats) -> float:

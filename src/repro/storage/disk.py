@@ -8,6 +8,7 @@ that charges one read or write per page access into the active
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, List, Optional
 
@@ -23,22 +24,51 @@ class SimulatedDisk:
 
         with disk.use_stats(my_stats):
             ...  # page reads/writes now count into my_stats
+
+    Accounting and observation are **thread-local**: each worker thread
+    charges into its own active stats object and sees only its own
+    observers, so concurrent queries on one disk never cross-charge I/O
+    (the ``run_batch`` differential test relies on this).  The page store
+    itself is shared; reads are wait-free and the dict/list operations it
+    uses are atomic under CPython.
     """
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, stats: Optional[OperationStats] = None):
         self.page_size = page_size
-        self.stats = stats if stats is not None else OperationStats()
+        self._default_stats = stats if stats is not None else OperationStats()
         self._files: Dict[str, List[bytes]] = {}
-        self._observers: List = []
+        self._local = threading.local()
+
+    @property
+    def stats(self) -> OperationStats:
+        """The stats object page I/O currently charges into (per thread).
+
+        Threads that never redirected accounting share the disk-lifetime
+        default ledger, preserving the single-threaded behaviour.
+        """
+        return getattr(self._local, "stats", None) or self._default_stats
+
+    @stats.setter
+    def stats(self, stats: OperationStats) -> None:
+        self._local.stats = stats
+
+    @property
+    def _observers(self) -> List:
+        observers = getattr(self._local, "observers", None)
+        if observers is None:
+            observers = []
+            self._local.observers = observers
+        return observers
 
     @contextmanager
     def use_stats(self, stats: OperationStats):
-        """Temporarily redirect I/O accounting to ``stats``."""
-        previous, self.stats = self.stats, stats
+        """Temporarily redirect this thread's I/O accounting to ``stats``."""
+        previous = getattr(self._local, "stats", None)
+        self._local.stats = stats
         try:
             yield stats
         finally:
-            self.stats = previous
+            self._local.stats = previous
 
     # ------------------------------------------------------------------
     # Observation (page-access tracing; free when no observer is attached)
@@ -48,36 +78,45 @@ class SimulatedDisk:
 
         Used by :meth:`repro.observe.metrics.QueryMetrics.watch_disk`; the
         hot path pays only a falsy check while no observer is attached.
+        Observers are per-thread: a collector watching the disk from one
+        worker never sees another worker's page traffic.
         """
         self._observers.append(observer)
 
     def remove_observer(self, observer) -> None:
+        """Detach a previously added page-access observer (this thread only)."""
         self._observers.remove(observer)
 
     # ------------------------------------------------------------------
     # File management (not charged as I/O)
     # ------------------------------------------------------------------
     def create(self, name: str) -> None:
+        """Create an empty file; raises ``FileExistsError`` on collision."""
         if name in self._files:
             raise FileExistsError(f"disk file {name!r} already exists")
         self._files[name] = []
 
     def exists(self, name: str) -> bool:
+        """Whether a file of that name exists."""
         return name in self._files
 
     def delete(self, name: str) -> None:
+        """Remove a file if present; not charged as I/O."""
         self._files.pop(name, None)
 
     def n_pages(self, name: str) -> int:
+        """Number of pages currently in the file."""
         return len(self._files[name])
 
     def files(self) -> List[str]:
+        """Names of every file on the disk."""
         return sorted(self._files)
 
     # ------------------------------------------------------------------
     # Charged page I/O
     # ------------------------------------------------------------------
     def read_page(self, name: str, index: int) -> Page:
+        """The page at ``(name, index)``, charging one page read."""
         data = self._files[name][index]
         self.stats.count_read()
         if self._observers:
@@ -86,6 +125,7 @@ class SimulatedDisk:
         return Page.from_bytes(data, self.page_size)
 
     def write_page(self, name: str, index: int, page: Page) -> None:
+        """Overwrite the page at ``(name, index)``, charging one page write."""
         pages = self._files[name]
         data = page.to_bytes()
         self.stats.count_write()

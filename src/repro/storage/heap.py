@@ -66,6 +66,7 @@ class HeapFile:
         disk: SimulatedDisk,
         fixed_tuple_size: Optional[int] = None,
     ) -> "HeapFile":
+        """Build a heap file on ``disk`` holding ``relation``'s tuples."""
         return cls(name, relation.schema, disk, fixed_tuple_size).load(relation)
 
     # ------------------------------------------------------------------
@@ -73,6 +74,7 @@ class HeapFile:
     # ------------------------------------------------------------------
     @property
     def n_pages(self) -> int:
+        """Number of disk pages the file occupies."""
         return self.disk.n_pages(self.name)
 
     # ------------------------------------------------------------------

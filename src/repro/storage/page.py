@@ -33,15 +33,18 @@ class Page:
 
     @property
     def free_space(self) -> int:
+        """Bytes still available for records, after per-record overhead."""
         return self.page_size - self._used
 
     def __len__(self) -> int:
         return len(self._records)
 
     def fits(self, record: bytes) -> bool:
+        """Whether ``record`` fits in the remaining free space."""
         return len(record) + self.RECORD_OVERHEAD <= self.free_space
 
     def append(self, record: bytes) -> None:
+        """Add a record; raises :class:`PageFullError` when it does not fit."""
         if not self.fits(record):
             raise PageFullError(
                 f"record of {len(record)} bytes does not fit in {self.free_space} free bytes"
@@ -50,12 +53,14 @@ class Page:
         self._used += len(record) + self.RECORD_OVERHEAD
 
     def records(self) -> Iterator[bytes]:
+        """Iterate the raw records in slot order."""
         return iter(self._records)
 
     # ------------------------------------------------------------------
     # Wire format
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
+        """Serialize the page to its on-disk byte layout."""
         parts = [_U16.pack(len(self._records))]
         for record in self._records:
             parts.append(_U16.pack(len(record)))
@@ -65,6 +70,7 @@ class Page:
 
     @classmethod
     def from_bytes(cls, data: bytes, page_size: int = DEFAULT_PAGE_SIZE) -> "Page":
+        """Parse a page back from its on-disk byte layout."""
         page = cls(page_size)
         (count,) = _U16.unpack_from(data, 0)
         offset = cls.HEADER_SIZE

@@ -39,6 +39,7 @@ class SerializationError(ValueError):
 
 
 def encode_value(value: Distribution) -> bytes:
+    """Serialize one distribution to its tagged byte form."""
     if isinstance(value, CrispNumber):
         return b"N" + _F64.pack(value.value)
     if isinstance(value, CrispLabel):
@@ -62,6 +63,7 @@ def encode_value(value: Distribution) -> bytes:
 
 
 def decode_value(data: bytes, offset: int) -> Tuple[Distribution, int]:
+    """Parse one tagged distribution at ``offset``; returns ``(value, next offset)``."""
     tag = data[offset:offset + 1]
     offset += 1
     if tag == b"N":
@@ -103,6 +105,7 @@ class TupleSerializer:
         self.fixed_size = fixed_size
 
     def encode(self, t: FuzzyTuple) -> bytes:
+        """Serialize a tuple (degree then values), padding to the fixed size if set."""
         if len(t) != len(self.schema):
             raise SerializationError("tuple arity does not match serializer schema")
         body = _F64.pack(t.degree) + b"".join(encode_value(v) for v in t.values)
@@ -115,6 +118,7 @@ class TupleSerializer:
         return body + b"\x00" * (self.fixed_size - len(body))
 
     def decode(self, data: bytes) -> FuzzyTuple:
+        """Parse one encoded tuple back into a :class:`FuzzyTuple`."""
         (degree,) = _F64.unpack_from(data, 0)
         offset = 8
         values = []

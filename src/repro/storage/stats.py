@@ -24,6 +24,7 @@ class Counters:
     tuple_moves: int = 0
 
     def merge(self, other: "Counters") -> None:
+        """Add another counter set into this one."""
         self.page_reads += other.page_reads
         self.page_writes += other.page_writes
         self.crisp_comparisons += other.crisp_comparisons
@@ -32,9 +33,11 @@ class Counters:
 
     @property
     def page_ios(self) -> int:
+        """Total page reads plus writes."""
         return self.page_reads + self.page_writes
 
     def copy(self) -> "Counters":
+        """An independent copy of the counters."""
         return Counters(
             self.page_reads,
             self.page_writes,
@@ -63,12 +66,14 @@ class OperationStats:
     # Phase management
     # ------------------------------------------------------------------
     def phase(self, name: str) -> Counters:
+        """The counter set for phase ``name``, created on first use."""
         if name not in self.phases:
             self.phases[name] = Counters()
         return self.phases[name]
 
     @property
     def current(self) -> Counters:
+        """The counter set of the active phase."""
         return self.phase(self._current)
 
     @property
@@ -84,18 +89,23 @@ class OperationStats:
     # Recording
     # ------------------------------------------------------------------
     def count_read(self, pages: int = 1) -> None:
+        """Charge page read(s) to the active phase."""
         self.current.page_reads += pages
 
     def count_write(self, pages: int = 1) -> None:
+        """Charge page write(s) to the active phase."""
         self.current.page_writes += pages
 
     def count_crisp(self, n: int = 1) -> None:
+        """Charge crisp comparison(s) to the active phase."""
         self.current.crisp_comparisons += n
 
     def count_fuzzy(self, n: int = 1) -> None:
+        """Charge fuzzy evaluation(s) to the active phase."""
         self.current.fuzzy_evaluations += n
 
     def count_move(self, n: int = 1) -> None:
+        """Charge tuple move(s) to the active phase."""
         self.current.tuple_moves += n
 
     # ------------------------------------------------------------------
@@ -103,16 +113,19 @@ class OperationStats:
     # ------------------------------------------------------------------
     @property
     def total(self) -> Counters:
+        """All phases merged into one counter set."""
         agg = Counters()
         for counters in self.phases.values():
             agg.merge(counters)
         return agg
 
     def merge(self, other: "OperationStats") -> None:
+        """Fold another stats object into this one, phase by phase."""
         for name, counters in other.phases.items():
             self.phase(name).merge(counters)
 
     def items(self) -> Iterator:
+        """``(phase name, counters)`` pairs in creation order."""
         return iter(self.phases.items())
 
     def __repr__(self) -> str:

@@ -68,6 +68,7 @@ def trapezoids(draw, min_value: float = -50.0, max_value: float = 50.0,
 @st.composite
 def discrete_distributions(draw, min_value: float = -50.0, max_value: float = 50.0,
                            max_elements: int = 4):
+    """Hypothesis strategy: small discrete possibility distributions over floats."""
     items = draw(
         st.dictionaries(
             st.floats(min_value=min_value, max_value=max_value, allow_nan=False),

@@ -229,6 +229,7 @@ def single_select_column(query: SelectQuery) -> ColumnRef:
 
 
 def single_table(query: SelectQuery) -> TableRef:
+    """The sole FROM table of a single-table block; raises UnnestError otherwise."""
     if len(query.from_tables) != 1:
         raise UnnestError("this rewrite expects a single-table block")
     return query.from_tables[0]

@@ -36,6 +36,7 @@ class Step:
     description: str = ""
 
     def run(self, catalog: Catalog, make_evaluator: EvaluatorFactory) -> FuzzyRelation:
+        """Evaluate the step's body — a query or a callable — against the catalog."""
         if isinstance(self.body, SelectQuery):
             return make_evaluator(catalog).evaluate(self.body)
         return self.body(catalog, make_evaluator)
@@ -85,6 +86,7 @@ class UnnestedPlan:
         return self.final(scratch, make_evaluator)
 
     def explain(self) -> str:
+        """Human-readable rendering: nesting type, rewrite rule, then the steps."""
         lines = [f"unnested plan ({self.nesting_type or 'flat'})"]
         if self.rule:
             lines.append(f"  rewrite: {self.rule}")

@@ -57,6 +57,7 @@ class WorkloadSpec:
 
     @property
     def n_anchors(self) -> int:
+        """Number of distinct join-anchor values implied by the fan-out."""
         return max(1, self.n_inner // max(1, self.join_fanout))
 
 

@@ -1,0 +1,97 @@
+"""Docstring-coverage lint over the public API of ``src/repro/``.
+
+Every public module, class, function, and method (no leading underscore,
+not a dunder except ``__init__`` which is exempt) must carry a docstring.
+Runs as part of the test suite and as a standalone CI lint step:
+
+    python tests/test_docstring_coverage.py
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Decorators whose targets restate an interface documented at the
+#: definition site (properties mirror the attribute they wrap; overloads
+#: and overrides inherit the base docstring).
+EXEMPT_DECORATORS = {"overload", "override"}
+
+
+def _decorator_names(node):
+    names = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        while isinstance(target, ast.Attribute):
+            if target.attr in ("setter", "getter", "deleter"):
+                names.add("property_accessor")
+            target = target.value
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _is_public(name):
+    return not name.startswith("_")
+
+
+def _missing_in(tree, path):
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{path}:1 module")
+
+    def visit(node, prefix):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = child.name
+                qualified = f"{prefix}{name}"
+                public = _is_public(name)
+                decorators = (
+                    _decorator_names(child)
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    else set()
+                )
+                exempt = (
+                    decorators & EXEMPT_DECORATORS
+                    or "property_accessor" in decorators
+                )
+                if public and not exempt and ast.get_docstring(child) is None:
+                    kind = "class" if isinstance(child, ast.ClassDef) else "def"
+                    missing.append(f"{path}:{child.lineno} {kind} {qualified}")
+                # Only public classes are descended into: functions nested
+                # inside a function body and methods of private classes
+                # are implementation details, not API.
+                if isinstance(child, ast.ClassDef) and public:
+                    visit(child, f"{qualified}.")
+
+    visit(tree, "")
+    return missing
+
+
+def find_missing_docstrings():
+    """Every public definition in ``src/repro`` lacking a docstring."""
+    missing = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC.parent.parent)
+        tree = ast.parse(path.read_text())
+        missing.extend(_missing_in(tree, str(rel)))
+    return missing
+
+
+def test_public_api_is_documented():
+    missing = find_missing_docstrings()
+    assert not missing, (
+        f"{len(missing)} public definition(s) without a docstring:\n"
+        + "\n".join(missing)
+    )
+
+
+if __name__ == "__main__":
+    undocumented = find_missing_docstrings()
+    if undocumented:
+        print(f"{len(undocumented)} public definition(s) without a docstring:")
+        for entry in undocumented:
+            print(f"  {entry}")
+        sys.exit(1)
+    print("docstring coverage: all public definitions documented")

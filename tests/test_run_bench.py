@@ -143,4 +143,15 @@ class TestCommittedBaseline:
             data = json.load(handle)
         assert data["version"] == 1
         assert data["scale"] == 32  # CI runs at the default scale
-        assert len(data["workloads"]) == 10
+        assert len(data["workloads"]) == 14
+        assert set(data["workloads"]) >= {
+            "service_cold_J",
+            "service_cached_J",
+            "service_batch_w1",
+            "service_batch_w4",
+        }
+        assert data["workloads"]["service_cold_J"]["plan_cache"] == "miss"
+        assert data["workloads"]["service_cached_J"]["plan_cache"] == "hit"
+        cold = data["workloads"]["service_cold_J"]["counters"]
+        cached = data["workloads"]["service_cached_J"]["counters"]
+        assert cached["plan_cache_hits"] > cold["plan_cache_hits"]
