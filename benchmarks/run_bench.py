@@ -66,6 +66,7 @@ COUNTER_KEYS = (
     "crisp_comparisons",
     "fuzzy_evaluations",
     "tuple_moves",
+    "io_retries",
 )
 
 #: One query per nesting type, over the fixed R/S/W session.
@@ -125,7 +126,7 @@ def _method_workloads(scale: int) -> dict:
     return out
 
 
-def build_session(seed: int = 23, n: int = 60) -> StorageSession:
+def build_session(seed: int = 23, n: int = 60, disk=None) -> StorageSession:
     """The fixed R/S/W session every ``session_*`` workload runs against."""
     from repro.fuzzy import CrispNumber as N
     from repro.fuzzy import TrapezoidalNumber as T
@@ -145,7 +146,7 @@ def build_session(seed: int = 23, n: int = 60) -> StorageSession:
             )
         return out
 
-    session = StorageSession(buffer_pages=16, page_size=1024)
+    session = StorageSession(buffer_pages=16, page_size=1024, disk=disk)
     session.register("R", rel(0))
     session.register("S", rel(1000))
     session.register("W", rel(2000))
@@ -224,6 +225,42 @@ def _service_workloads() -> dict:
     return out
 
 
+def _fault_workloads() -> dict:
+    """The retry-path slice: the type-J query under an absorbed fault schedule.
+
+    A seeded ``FaultPlan`` injects transient read faults in bursts of 2 —
+    strictly below the disk's 4-attempt retry budget — so every fault is
+    absorbed and the answer must match the fault-free ``session_J`` slice.
+    The schedule is deterministic, so the ``io_retries`` counter and the
+    modelled cost (which charges each retried transfer at the full
+    page-I/O rate) gate the retry path's overhead tightly; wall time is
+    recorded but, as everywhere in this harness, never gated.
+    """
+    from repro.faults import FaultPlan, FaultyDisk
+
+    plan = FaultPlan(seed=11, transient_read_rate=0.08, transient_burst=2)
+    disk = FaultyDisk(plan, page_size=1024, armed=False)
+    session = build_session(disk=disk)
+    disk.armed = True
+    started = time.perf_counter()
+    result = session.query(SESSION_QUERIES["session_J"])
+    wall = time.perf_counter() - started
+    counters = _counters(session.last_stats)
+    if counters["io_retries"] != plan.injected.transient_reads:
+        raise AssertionError(
+            "faulted_J: io_retries does not match the injected fault count"
+        )
+    return {
+        "faulted_J": {
+            "modelled_seconds": PAPER_1992.response_time(session.last_stats),
+            "wall_seconds": wall,
+            "rows": len(result),
+            "strategy": session.last_strategy,
+            "counters": counters,
+        }
+    }
+
+
 def measure_collector_overhead(repeats: int = 5) -> dict:
     """Wall time of the type-J query with and without a collector attached.
 
@@ -255,6 +292,7 @@ def run_all(scale: int) -> dict:
     workloads.update(_method_workloads(scale))
     workloads.update(_session_workloads())
     workloads.update(_service_workloads())
+    workloads.update(_fault_workloads())
     return {
         "version": VERSION,
         "scale": scale,

@@ -15,14 +15,31 @@ Subpackages:
   physical operators, flat compiler, join-order optimizer;
 * :mod:`repro.unnest`   — the unnesting rewrites (the paper's contribution);
 * :mod:`repro.service`  — prepared statements and the LRU plan cache;
+* :mod:`repro.faults`   — seeded fault plans and the fault-injecting disk;
 * :mod:`repro.workload` — paper data and synthetic experiment workloads;
 * :mod:`repro.bench`    — the Section 9 experiment harness.
+
+Cross-cutting modules: :mod:`repro.errors` (the typed failure taxonomy),
+:mod:`repro.resilience` (deadlines, cancellation, retry policies), and
+:mod:`repro.shell` (the interactive SQL shell with ``\\log`` /
+``\\metrics`` meta-commands).
 """
 
 __version__ = "1.0.0"
 
 from .data import Catalog, FuzzyRelation, FuzzyTuple, Schema
 from .db import DatabaseError, FuzzyDatabase
+from .errors import (
+    DiskFullError,
+    FuzzyQueryError,
+    PageCorruptionError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceExhaustedError,
+    TransientIOError,
+)
+from .faults import FaultPlan, FaultyDisk
+from .resilience import CancelToken, Deadline, QueryGuard, RetryPolicy
 from .persist import load_database, save_database
 from .session import StorageSession
 from .engine import NaiveEvaluator
@@ -36,6 +53,7 @@ from .fuzzy import (
     possibility,
 )
 from .service import PlanCache, PreparedQuery, normalize_sql
+from .shell import FuzzyShell
 from .sql import parse
 from .unnest import execute_unnested, unnest
 
@@ -64,4 +82,18 @@ __all__ = [
     "PlanCache",
     "PreparedQuery",
     "normalize_sql",
+    "FuzzyShell",
+    "FuzzyQueryError",
+    "TransientIOError",
+    "DiskFullError",
+    "PageCorruptionError",
+    "ResourceExhaustedError",
+    "QueryTimeoutError",
+    "QueryCancelledError",
+    "CancelToken",
+    "Deadline",
+    "QueryGuard",
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultyDisk",
 ]

@@ -161,6 +161,14 @@ class GroupedAntiJoin:
             )
             started = time.perf_counter()
         step = lambda worst, _s, d: d if d < worst else worst
+        answer = self._collect(disk, buffer_pages, stats, metrics, tracer, step, om)
+        if om is not None:
+            om.wall_seconds += time.perf_counter() - started
+        return answer
+
+    def _collect(self, disk, buffer_pages, stats, metrics, tracer, step, om) -> FuzzyRelation:
+        from ..errors import DiskFullError
+
         if self.band is not None:
             outer_attr, inner_attr = self.band
             join = MergeJoin(disk, buffer_pages, stats, metrics=metrics, tracer=tracer)
@@ -168,11 +176,24 @@ class GroupedAntiJoin:
                 self.outer, outer_attr, self.inner, inner_attr,
                 self._pair_degree, self._init, step,
             )
-        else:
-            join = NestedLoopJoin(disk, buffer_pages, stats)
-            folded = join.fold(
-                self.outer, self.inner, self._pair_degree, self._init, step
-            )
+            try:
+                return self._fold_answer(folded, om)
+            except DiskFullError:
+                # The merge path failed while spilling sort runs; nothing
+                # was folded yet (sorts precede the first pair).  The
+                # nested-loop fold below only reads, computes the same
+                # min-fold, and needs no out-of-range allowance because
+                # pairs outside Rng(r) contribute the neutral degree.
+                if metrics is not None:
+                    metrics.degraded = True
+                    metrics.degraded_reason = (
+                        "grouped anti-join spill hit DiskFullError; nested-loop fallback"
+                    )
+        join = NestedLoopJoin(disk, buffer_pages, stats)
+        folded = join.fold(self.outer, self.inner, self._pair_degree, self._init, step)
+        return self._fold_answer(folded, om)
+
+    def _fold_answer(self, folded, om) -> FuzzyRelation:
         answer = FuzzyRelation(self.outer.schema.project(self.project_attrs))
         for r, worst in folded:
             if om is not None:
@@ -185,6 +206,4 @@ class GroupedAntiJoin:
                 )
             elif om is not None:
                 om.prunes += 1
-        if om is not None:
-            om.wall_seconds += time.perf_counter() - started
         return answer

@@ -79,16 +79,47 @@ class ExecutionContext:
         stats: Optional[OperationStats] = None,
         metrics=None,
         tracer=None,
+        pool=None,
     ):
         self.disk = disk
         self.buffer_pages = buffer_pages
         self.stats = stats if stats is not None else OperationStats()
         self.metrics = metrics
         self.tracer = tracer
+        #: Optional :class:`~repro.storage.buffer.BufferPool` (or striped
+        #: manager); :meth:`release` unpins all of its frames so a failed
+        #: query can never wedge a shared pool into
+        #: :class:`~repro.storage.buffer.BufferExhaustedError`.
+        self.pool = pool
+        #: Scratch heap files materialized during this execution; deleted
+        #: by :meth:`release` whether the plan finished or failed.
+        self.scratch_files: List[str] = []
 
     def scratch_name(self, prefix: str) -> str:
         """A fresh name for a scratch file materialized during execution."""
-        return f"__mat_{prefix}_{next(_materialize_counter)}"
+        name = f"__mat_{prefix}_{next(_materialize_counter)}"
+        self.scratch_files.append(name)
+        return name
+
+    def mark_degraded(self, reason: str) -> None:
+        """Record that execution fell back to a degraded strategy."""
+        if self.metrics is not None:
+            self.metrics.degraded = True
+            self.metrics.degraded_reason = reason
+
+    def release(self) -> None:
+        """Free everything this execution held: scratch files and pins.
+
+        Idempotent, and called from a ``finally`` in
+        :meth:`Operator.to_relation` so that neither a completed nor a
+        failed plan leaks scratch heaps onto the shared disk or leaves
+        pages pinned in a shared buffer pool.
+        """
+        for name in self.scratch_files:
+            self.disk.delete(name)
+        self.scratch_files.clear()
+        if self.pool is not None:
+            self.pool.unpin_all()
 
 
 class TuplePredicate:
@@ -152,8 +183,16 @@ class Operator:
     # Terminal helpers
     # ------------------------------------------------------------------
     def to_relation(self, ctx: ExecutionContext) -> FuzzyRelation:
-        """Run the plan and collect the answer with fuzzy-OR dedup."""
-        return FuzzyRelation(self.schema, self.tuples(ctx))
+        """Run the plan and collect the answer with fuzzy-OR dedup.
+
+        Whatever happens — success, a typed storage fault, a timeout —
+        the context is released afterwards, deleting scratch heaps and
+        unpinning any attached buffer pool.
+        """
+        try:
+            return FuzzyRelation(self.schema, self.tuples(ctx))
+        finally:
+            ctx.release()
 
 
 class Scan(Operator):
@@ -264,15 +303,33 @@ class MergeJoinOp(Operator):
         self.pair_degree = pair_degree if pair_degree is not None else join_degree(predicates)
 
     def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
+        from ..errors import DiskFullError
+
         left_heap = _as_heap(self.left, ctx)
         right_heap = _as_heap(self.right, ctx)
         join = MergeJoin(
             ctx.disk, ctx.buffer_pages, ctx.stats,
             metrics=ctx.metrics, tracer=ctx.tracer,
         )
-        for r, s, degree in join.pairs(
-            left_heap, self.left_attr, right_heap, self.right_attr, self.pair_degree
-        ):
+        yielded = False
+        try:
+            for r, s, degree in join.pairs(
+                left_heap, self.left_attr, right_heap, self.right_attr, self.pair_degree
+            ):
+                yielded = True
+                yield r.concat(s, degree)
+            return
+        except DiskFullError:
+            # The external sort could not spill its runs.  Nothing has
+            # been yielded yet (every sort write precedes the first join
+            # pair; the join phase itself only reads), so we can degrade
+            # to the read-only nested-loop path and still produce the
+            # exact same join result.
+            if yielded:
+                raise
+            ctx.mark_degraded("merge-join spill hit DiskFullError; nested-loop fallback")
+        fallback = NestedLoopJoin(ctx.disk, ctx.buffer_pages, ctx.stats)
+        for r, s, degree in fallback.pairs(left_heap, right_heap, self.pair_degree):
             yield r.concat(s, degree)
 
     def describe(self) -> str:

@@ -137,10 +137,36 @@ class JAPipeline:
                     members[key] = (s[self.z_index], degree)
             return members
 
-        answer = FuzzyRelation(self.outer.schema.project(self.project_attrs))
-        for r, members in join.fold(
+        from ..errors import DiskFullError
+        from ..join.nested_loop import NestedLoopJoin
+
+        folded = join.fold(
             self.outer, self.u_attr, self.inner, self.v_attr, pair, init, step
-        ):
+        )
+        try:
+            answer = self._fold_answer(folded, groups, stats, om)
+        except DiskFullError:
+            # The merge path failed while spilling sort runs; nothing was
+            # folded yet, so rerun the same pair/init/step fold on the
+            # read-only nested loop.  The group memo stays correct: pairs
+            # outside Rng(r) contribute degree 0 and aggregation still
+            # happens exactly once per distinct u.
+            if metrics is not None:
+                metrics.degraded = True
+                metrics.degraded_reason = (
+                    "JA pipeline spill hit DiskFullError; nested-loop fallback"
+                )
+            groups.clear()
+            fallback = NestedLoopJoin(disk, buffer_pages, stats)
+            folded = fallback.fold(self.outer, self.inner, pair, init, step)
+            answer = self._fold_answer(folded, groups, stats, om)
+        if om is not None:
+            om.wall_seconds += time.perf_counter() - started
+        return answer
+
+    def _fold_answer(self, folded, groups, stats, om) -> FuzzyRelation:
+        answer = FuzzyRelation(self.outer.schema.project(self.project_attrs))
+        for r, members in folded:
             if om is not None:
                 om.rows_in += 1
             u_key = r[self.u_index].key()
@@ -158,8 +184,6 @@ class JAPipeline:
                 )
             elif om is not None:
                 om.prunes += 1
-        if om is not None:
-            om.wall_seconds += time.perf_counter() - started
         return answer
 
     def _outer_degree(self, r: FuzzyTuple, aggregate, stats: Optional[OperationStats]) -> float:

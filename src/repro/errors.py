@@ -1,0 +1,77 @@
+"""The typed failure taxonomy for resilient query execution.
+
+Every failure the engine can surface to a caller is an instance of
+:class:`FuzzyQueryError`; a served system can therefore promise that a
+query either returns the bit-identical possibility-measure result or
+raises one of the classes below — never a bare ``KeyError`` escaping from
+a page parse or a silently wrong answer after a torn write.
+
+The taxonomy splits along two axes:
+
+* **storage faults** (:class:`TransientIOError`, :class:`DiskFullError`,
+  :class:`PageCorruptionError`) — raised by the disk layer, possibly
+  injected by :mod:`repro.faults`; transient ones are retried at the
+  disk boundary, persistent ones propagate or trigger degradation;
+* **query-lifecycle faults** (:class:`QueryTimeoutError`,
+  :class:`QueryCancelledError`, :class:`ResourceExhaustedError`) —
+  raised cooperatively by :class:`repro.resilience.QueryGuard` checks or
+  by the buffer pool when every frame is pinned.
+"""
+
+from __future__ import annotations
+
+
+class FuzzyQueryError(Exception):
+    """Base class of every typed error the engine raises to callers."""
+
+
+class StorageFaultError(FuzzyQueryError):
+    """Base class for faults originating at the storage layer."""
+
+
+class TransientIOError(StorageFaultError):
+    """A page transfer failed but is expected to succeed on retry.
+
+    The disk's bounded exponential-backoff retry loop absorbs bursts
+    shorter than its attempt budget; longer bursts escape as this error.
+    """
+
+
+class DiskFullError(StorageFaultError):
+    """An append was refused because the disk has no capacity left.
+
+    During an external-sort spill this triggers graceful degradation to
+    the nested-loop join path instead of failing the query.
+    """
+
+
+class PageCorruptionError(StorageFaultError):
+    """A page image failed its checksum or could not be parsed.
+
+    Torn writes are detected at *read* time: the page checksum written by
+    :meth:`repro.storage.page.Page.to_bytes` no longer matches.
+    """
+
+
+class ResourceExhaustedError(FuzzyQueryError):
+    """A bounded runtime resource (buffer frames, memory budget) ran out."""
+
+
+class QueryTimeoutError(FuzzyQueryError):
+    """The query exceeded its ``timeout_ms`` deadline."""
+
+
+class QueryCancelledError(FuzzyQueryError):
+    """The query observed its :class:`~repro.resilience.CancelToken` set."""
+
+
+__all__ = [
+    "FuzzyQueryError",
+    "StorageFaultError",
+    "TransientIOError",
+    "DiskFullError",
+    "PageCorruptionError",
+    "ResourceExhaustedError",
+    "QueryTimeoutError",
+    "QueryCancelledError",
+]

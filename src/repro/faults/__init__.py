@@ -1,0 +1,13 @@
+"""Deterministic fault injection for chaos-testing the engine.
+
+The package pairs a seeded :class:`FaultPlan` (which storage accesses
+fail, and how) with a :class:`FaultyDisk` (a drop-in
+:class:`~repro.storage.disk.SimulatedDisk` that executes the plan), so
+the differential test sweep can be re-run under reproducible fault
+schedules: same seed, same faults, same outcome.
+"""
+
+from .injector import FaultyDisk
+from .plan import FaultCounters, FaultPlan
+
+__all__ = ["FaultPlan", "FaultCounters", "FaultyDisk"]

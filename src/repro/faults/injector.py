@@ -1,0 +1,119 @@
+"""A fault-injecting drop-in replacement for :class:`SimulatedDisk`.
+
+:class:`FaultyDisk` overrides the raw transfer hooks (``_fetch`` /
+``_store``) underneath the accounting, retry and guard machinery of
+:class:`~repro.storage.disk.SimulatedDisk`, so injected faults exercise
+exactly the code paths a real device error would:
+
+* transient read faults surface *below* the retry loop — short bursts
+  are absorbed and counted as ``io_retries``, long ones escape typed;
+* torn writes persist a corrupted page image whose checksum mismatch is
+  caught by :meth:`Page.from_bytes` on the next read;
+* latency spikes sleep inside the transfer (capped to the active query
+  guard's remaining deadline, so a spiked read never oversleeps a
+  ``timeout_ms`` by more than scheduling noise);
+* a capacity limit makes appends raise
+  :class:`~repro.errors.DiskFullError` once the disk holds its budget.
+
+Set :attr:`armed` to ``False`` while loading base tables so only query
+execution sees faults, then arm the disk for the chaos run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import DiskFullError, TransientIOError
+from ..storage.disk import SimulatedDisk
+from ..storage.page import DEFAULT_PAGE_SIZE
+from .plan import FaultPlan
+
+
+class FaultyDisk(SimulatedDisk):
+    """A :class:`SimulatedDisk` whose transfers fail on a seeded schedule."""
+
+    def __init__(self, plan: FaultPlan, page_size: int = DEFAULT_PAGE_SIZE, armed: bool = True):
+        super().__init__(page_size=page_size)
+        self.plan = plan
+        #: When ``False`` the disk behaves exactly like its parent; flip
+        #: to ``True`` after loading fixtures to start injecting faults.
+        self.armed = armed
+        self._read_ordinal = 0
+        self._write_ordinal = 0
+        # Burst state of the read currently being retried: the page key it
+        # belongs to and how many more attempts must still fail.
+        self._retry_key = None
+        self._retry_pending = 0
+
+    # ------------------------------------------------------------------
+    # Fault-injecting transfer hooks
+    # ------------------------------------------------------------------
+    def _fetch(self, name: str, index: int) -> bytes:
+        if not self.armed:
+            return super()._fetch(name, index)
+        key = (name, index)
+        if self._retry_key == key:
+            if self._retry_pending > 0:
+                # A retry of a read whose fault burst is still draining.
+                self._retry_pending -= 1
+                self.plan.injected.transient_reads += 1
+                raise TransientIOError(
+                    f"injected transient fault reading {name!r} page {index}"
+                )
+            # The burst drained: this retry succeeds, and it is the *same*
+            # logical read — it must not consume a new schedule ordinal,
+            # or retries would shift (and re-roll) the fault schedule.
+            self._retry_key = None
+            return super()._fetch(name, index)
+        # A different page while burst state lingers means the faulted
+        # read was abandoned (its error escaped the retry budget).
+        self._retry_key, self._retry_pending = None, 0
+        ordinal = self._read_ordinal
+        self._read_ordinal += 1
+        spike = self.plan.read_spike_seconds(ordinal)
+        if spike > 0.0:
+            self.plan.injected.latency_spikes += 1
+            self._sleep_spike(spike)
+        attempts = self.plan.read_fault_attempts(ordinal)
+        if attempts > 0:
+            self._retry_key, self._retry_pending = key, attempts - 1
+            self.plan.injected.transient_reads += 1
+            raise TransientIOError(
+                f"injected transient fault reading {name!r} page {index}"
+            )
+        return super()._fetch(name, index)
+
+    def _store(self, name: str, index: int, data: bytes) -> None:
+        if not self.armed:
+            return super()._store(name, index, data)
+        ordinal = self._write_ordinal
+        self._write_ordinal += 1
+        appending = index >= len(self._files.get(name, ()))
+        capacity = self.plan.disk_capacity_pages
+        if appending and capacity is not None and self.total_pages() >= capacity:
+            self.plan.injected.disk_full += 1
+            raise DiskFullError(
+                f"disk full: {self.total_pages()} pages stored, capacity {capacity}"
+            )
+        if self.plan.write_torn(ordinal):
+            self.plan.injected.torn_writes += 1
+            data = self.plan.corrupt(data)
+        super()._store(name, index, data)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _sleep_spike(self, seconds: float) -> None:
+        """Sleep out a latency spike, but never past the guard's deadline.
+
+        The post-transfer guard check in ``read_page`` then raises the
+        typed :class:`~repro.errors.QueryTimeoutError` promptly.
+        """
+        guard = self.guard
+        if guard is not None and guard.deadline is not None:
+            seconds = min(seconds, guard.deadline.remaining() + 0.001)
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+__all__ = ["FaultyDisk"]

@@ -132,16 +132,24 @@ class MergeJoin:
                 self.disk, self.buffer_pages, self.stats,
                 metrics=self.metrics, tracer=self.tracer,
             )
-            sorted_r = sorter.sort(outer, outer_attr)
-            sorted_s = sorter.sort(inner, inner_attr)
-            with self.stats.enter_phase(JOIN_PHASE), maybe_span(
-                self.tracer, f"probe {outer.name} x {inner.name}"
-            ):
-                yield from self._join_phase(
-                    sorted_r, outer_attr, sorted_s, inner_attr, pair_degree, init, step
-                )
-            self.disk.delete(sorted_r.name)
-            self.disk.delete(sorted_s.name)
+            sorted_r = sorted_s = None
+            # The sorted temporaries are deleted in a finally so a fault
+            # during the sort or join phase (or an abandoned generator)
+            # cannot strand them on the shared disk.
+            try:
+                sorted_r = sorter.sort(outer, outer_attr)
+                sorted_s = sorter.sort(inner, inner_attr)
+                with self.stats.enter_phase(JOIN_PHASE), maybe_span(
+                    self.tracer, f"probe {outer.name} x {inner.name}"
+                ):
+                    yield from self._join_phase(
+                        sorted_r, outer_attr, sorted_s, inner_attr, pair_degree, init, step
+                    )
+            finally:
+                if sorted_r is not None:
+                    self.disk.delete(sorted_r.name)
+                if sorted_s is not None:
+                    self.disk.delete(sorted_s.name)
 
     # ------------------------------------------------------------------
     # Join phase

@@ -160,6 +160,13 @@ def render_report(
         lines.append(f"strategy: {metrics.strategy}")
     if metrics.plan_cache is not None:
         lines.append(f"plan cache: {metrics.plan_cache}")
+    if metrics.degraded:
+        reason = metrics.degraded_reason or "fallback strategy"
+        lines.append(f"degraded=True ({reason})")
+    if metrics.outcome != "ok":
+        lines.append(f"outcome: {metrics.outcome}")
+    if metrics.stats is not None and metrics.stats.total.io_retries:
+        lines.append(f"io retries: {metrics.stats.total.io_retries}")
 
     if plan is not None:
         lines.append(render_plan(plan, metrics, fanout, edge_fanouts))

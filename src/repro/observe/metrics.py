@@ -116,6 +116,14 @@ class QueryMetrics:
         self.prepared: bool = False
         #: The :class:`OperationStats` of the run, attached by the session.
         self.stats: Optional[OperationStats] = None
+        #: True when execution fell back to a degraded strategy (e.g. a
+        #: merge-join spill hit :class:`~repro.errors.DiskFullError` and
+        #: the nested loop produced the answer instead).
+        self.degraded: bool = False
+        #: Human-readable reason for the degradation, if any.
+        self.degraded_reason: Optional[str] = None
+        #: How the query ended: "ok", "timeout", "cancelled", or "error".
+        self.outcome: str = "ok"
 
     # ------------------------------------------------------------------
     # Operators

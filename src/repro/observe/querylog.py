@@ -33,6 +33,12 @@ class QueryLogEntry:
     page_reads: int
     page_writes: int
     fuzzy_evaluations: int
+    #: How the query ended: "ok", "timeout", "cancelled", or "error".
+    outcome: str = "ok"
+    #: True when the answer came from a degraded fallback strategy.
+    degraded: bool = False
+    #: Page transfers re-issued after transient faults.
+    io_retries: int = 0
 
     @property
     def page_ios(self) -> int:
@@ -63,16 +69,20 @@ class QueryLog:
         rows: int = 0,
     ) -> QueryLogEntry:
         """Append one executed query, evicting the oldest beyond the capacity."""
-        reads = writes = fuzzy = 0
+        reads = writes = fuzzy = retries = 0
         nesting = rewrite = strategy = ""
+        outcome, degraded = "ok", False
         if metrics is not None:
             nesting = metrics.nesting_type or ""
             rewrite = metrics.rewrite or ""
             strategy = metrics.strategy or ""
+            outcome = getattr(metrics, "outcome", "ok")
+            degraded = bool(getattr(metrics, "degraded", False))
             if metrics.stats is not None:
                 total = metrics.stats.total
                 reads, writes = total.page_reads, total.page_writes
                 fuzzy = total.fuzzy_evaluations
+                retries = total.io_retries
         entry = QueryLogEntry(
             sql=" ".join(str(sql).split()),
             nesting_type=nesting,
@@ -83,6 +93,9 @@ class QueryLog:
             page_reads=reads,
             page_writes=writes,
             fuzzy_evaluations=fuzzy,
+            outcome=outcome,
+            degraded=degraded,
+            io_retries=retries,
         )
         self.entries.append(entry)
         self.recorded_total += 1
@@ -117,6 +130,14 @@ class QueryLog:
         for key, n in by_strategy.most_common():
             mean_ms = 1000.0 * wall_by_strategy[key] / n
             lines.append(f"  {key}: {n} queries, mean {mean_ms:.2f}ms")
+        outcomes: Counter = Counter(e.outcome for e in self.entries)
+        degraded = sum(1 for e in self.entries if e.degraded)
+        retries = sum(e.io_retries for e in self.entries)
+        if degraded or retries or set(outcomes) - {"ok"}:
+            rollup = " ".join(f"{k}={outcomes[k]}" for k in sorted(outcomes))
+            lines.append(
+                f"outcomes: {rollup} (degraded={degraded}, io_retries={retries})"
+            )
         slowest = sorted(
             self.entries, key=lambda e: e.wall_seconds, reverse=True
         )[:top]

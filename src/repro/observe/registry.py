@@ -94,6 +94,11 @@ class MetricsRegistry:
         self.plan_cache_invalidations_total = 0
         self.statements_prepared_total = 0
         self.prepared_executions_total = 0
+        self.io_retries_total = 0
+        self.queries_degraded_total = 0
+        self.queries_timeout_total = 0
+        self.queries_cancelled_total = 0
+        self.queries_failed_total = 0
         self.operator_rows: Counter = Counter()  # keyed by operator kind
         self.latency = Histogram(latency_buckets)
         #: Folding is serialized so concurrent sessions can share a
@@ -137,6 +142,15 @@ class MetricsRegistry:
                     self.plan_cache_invalidations_total += 1
             if metrics.prepared:
                 self.prepared_executions_total += 1
+            if metrics.degraded:
+                self.queries_degraded_total += 1
+            outcome = getattr(metrics, "outcome", "ok")
+            if outcome == "timeout":
+                self.queries_timeout_total += 1
+            elif outcome == "cancelled":
+                self.queries_cancelled_total += 1
+            elif outcome != "ok":
+                self.queries_failed_total += 1
             if rows is not None:
                 self.rows_returned_total += rows
             if metrics.stats is not None:
@@ -146,6 +160,7 @@ class MetricsRegistry:
                 self.crisp_comparisons_total += total.crisp_comparisons
                 self.fuzzy_evaluations_total += total.fuzzy_evaluations
                 self.tuple_moves_total += total.tuple_moves
+                self.io_retries_total += total.io_retries
             for sort in metrics.sorts:
                 self.sort_runs_total += sort.runs
                 self.sort_merge_passes_total += sort.merge_passes
@@ -212,6 +227,11 @@ class MetricsRegistry:
             ("plan_cache_invalidations_total", "Plan-cache entries dropped for stale statistics.", self.plan_cache_invalidations_total),
             ("statements_prepared_total", "Statements prepared via prepare().", self.statements_prepared_total),
             ("prepared_executions_total", "Executions of prepared statements.", self.prepared_executions_total),
+            ("io_retries_total", "Page transfers re-issued after a transient fault.", self.io_retries_total),
+            ("queries_degraded_total", "Queries answered via a degraded fallback strategy.", self.queries_degraded_total),
+            ("queries_timeout_total", "Queries that exceeded their deadline.", self.queries_timeout_total),
+            ("queries_cancelled_total", "Queries cancelled via a CancelToken.", self.queries_cancelled_total),
+            ("queries_failed_total", "Queries that failed with a typed error.", self.queries_failed_total),
         ):
             qualified = f"{NAMESPACE}_{name}"
             lines.append(f"# HELP {qualified} {help_text}")

@@ -1,0 +1,169 @@
+"""Resilience primitives: deadlines, cancellation, bounded retries.
+
+These are deliberately tiny, dependency-free building blocks:
+
+* :class:`CancelToken` — a thread-safe flag a caller sets to abandon a
+  running query; checked cooperatively at page-I/O and batch boundaries.
+* :class:`Deadline` — an absolute point in monotonic time derived from a
+  per-query ``timeout_ms``.
+* :class:`QueryGuard` — bundles both and raises the matching typed error
+  from :mod:`repro.errors` when either trips.  The disk consults the
+  thread's active guard on every page transfer, so even a query deep in
+  an external sort notices a timeout within one page access.
+* :class:`RetryPolicy` — bounded exponential backoff for
+  :class:`~repro.errors.TransientIOError` at the disk boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from .errors import QueryCancelledError, QueryTimeoutError, TransientIOError
+
+
+class CancelToken:
+    """A thread-safe cancellation flag shared between caller and query."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation; safe to call from any thread, idempotent."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+
+class Deadline:
+    """An absolute monotonic-clock deadline for one query."""
+
+    __slots__ = ("timeout_seconds", "_expires_at", "_clock")
+
+    def __init__(self, timeout_seconds: float, clock: Callable[[], float] = time.monotonic):
+        if timeout_seconds <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout_seconds = timeout_seconds
+        self._clock = clock
+        self._expires_at = clock() + timeout_seconds
+
+    @classmethod
+    def from_timeout_ms(cls, timeout_ms: float) -> "Deadline":
+        """A deadline ``timeout_ms`` milliseconds from now."""
+        return cls(timeout_ms / 1000.0)
+
+    def remaining(self) -> float:
+        """Seconds until expiry; never negative."""
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        """Whether the deadline has passed."""
+        return self._clock() >= self._expires_at
+
+
+class QueryGuard:
+    """Raises typed errors when a query's deadline or cancel token trips.
+
+    A guard with neither a deadline nor a token is legal and never trips;
+    :meth:`check` is cheap enough to call per page access.
+    """
+
+    __slots__ = ("deadline", "token")
+
+    def __init__(self, deadline: Optional[Deadline] = None, token: Optional[CancelToken] = None):
+        self.deadline = deadline
+        self.token = token
+
+    @classmethod
+    def create(
+        cls, timeout_ms: Optional[float] = None, cancel: Optional[CancelToken] = None
+    ) -> Optional["QueryGuard"]:
+        """A guard for the given limits, or ``None`` when there are none."""
+        if timeout_ms is None and cancel is None:
+            return None
+        deadline = Deadline.from_timeout_ms(timeout_ms) if timeout_ms is not None else None
+        return cls(deadline=deadline, token=cancel)
+
+    def check(self) -> None:
+        """Raise the matching typed error if cancellation or expiry tripped."""
+        if self.token is not None and self.token.cancelled:
+            raise QueryCancelledError("query cancelled by its CancelToken")
+        if self.deadline is not None and self.deadline.expired():
+            timeout_ms = self.deadline.timeout_seconds * 1000.0
+            raise QueryTimeoutError(f"query exceeded its {timeout_ms:.0f} ms deadline")
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left on the deadline, or ``None`` when unbounded."""
+        if self.deadline is None:
+            return None
+        return self.deadline.remaining()
+
+
+class RetryPolicy:
+    """Bounded exponential backoff for transient storage faults.
+
+    ``attempts`` counts *total* tries: the default of 4 means one initial
+    attempt plus up to three retries.  Backoff delays are tiny (the
+    simulated disk has no real latency to wait out) but still exponential
+    so the policy's shape matches a production retry loop; a guard passed
+    to :meth:`backoff` is re-checked before every sleep so a query does
+    not sit out its own deadline inside a retry storm.
+    """
+
+    __slots__ = ("attempts", "base_delay", "max_delay", "multiplier", "_sleep")
+
+    def __init__(
+        self,
+        attempts: int = 4,
+        base_delay: float = 0.0002,
+        max_delay: float = 0.005,
+        multiplier: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if attempts < 1:
+            raise ValueError("retry policy needs at least one attempt")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self._sleep = sleep
+
+    def delay(self, attempt: int) -> float:
+        """Backoff delay in seconds before retry number ``attempt`` (1-based)."""
+        return min(self.max_delay, self.base_delay * (self.multiplier ** (attempt - 1)))
+
+    def backoff(self, attempt: int, guard: Optional[QueryGuard] = None) -> None:
+        """Sleep before retry ``attempt``, honouring the guard's deadline."""
+        if guard is not None:
+            guard.check()
+        delay = self.delay(attempt)
+        if guard is not None and guard.deadline is not None:
+            delay = min(delay, guard.deadline.remaining())
+        if delay > 0:
+            self._sleep(delay)
+
+    def run(self, operation: Callable[[], object], *, on_retry=None, guard=None):
+        """Call ``operation`` with retries on :class:`TransientIOError`.
+
+        ``on_retry(attempt, error)`` is invoked once per failed attempt
+        that will be retried (accounting hook); the final failure is
+        re-raised unchanged.
+        """
+        attempt = 1
+        while True:
+            try:
+                return operation()
+            except TransientIOError as exc:
+                if attempt >= self.attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.backoff(attempt, guard)
+                attempt += 1
+
+
+__all__ = ["CancelToken", "Deadline", "QueryGuard", "RetryPolicy"]

@@ -22,9 +22,12 @@ All I/O and CPU events of the last query are available in
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from .data.catalog import Catalog
+from .errors import FuzzyQueryError, QueryCancelledError, QueryTimeoutError
+from .resilience import CancelToken, QueryGuard
 from .data.relation import FuzzyRelation
 from .data.tuples import FuzzyTuple
 from .engine.aggregates import DegreePolicy
@@ -82,8 +85,11 @@ class StorageSession:
         aggregate_policy: DegreePolicy = DegreePolicy.ONE,
         fixed_tuple_size: Optional[int] = None,
         optimize_joins: bool = False,
+        disk: Optional[SimulatedDisk] = None,
     ):
-        self.disk = SimulatedDisk(page_size=page_size)
+        #: Pass ``disk`` to run the session on a caller-provided device —
+        #: e.g. a :class:`~repro.faults.FaultyDisk` for chaos testing.
+        self.disk = disk if disk is not None else SimulatedDisk(page_size=page_size)
         self.buffer_pages = buffer_pages
         self.aggregate_policy = aggregate_policy
         self.fixed_tuple_size = fixed_tuple_size
@@ -148,6 +154,8 @@ class StorageSession:
         sql: Union[str, SelectQuery],
         metrics: Optional[QueryMetrics] = None,
         tracer: Optional[SpanTracer] = None,
+        timeout_ms: Optional[float] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> FuzzyRelation:
         """Execute a query; attach a collector and/or tracer to instrument it.
 
@@ -160,11 +168,21 @@ class StorageSession:
         nothing attached, nothing extra runs — operators stream their raw
         generators.
 
+        ``timeout_ms`` sets a per-query deadline and ``cancel`` a
+        cooperative :class:`~repro.resilience.CancelToken`; both are
+        checked at every page transfer, raising
+        :class:`~repro.errors.QueryTimeoutError` /
+        :class:`~repro.errors.QueryCancelledError`.  Failed queries are
+        still folded into the registry and query log with their typed
+        outcome before the error propagates.
+
         Textual queries go through the :attr:`plan_cache`: the second run
         of the same SQL skips parse/bind/rewrite (and, for flat plans,
         compilation) entirely, and the collector records the lookup
         outcome in ``metrics.plan_cache``.
         """
+        guard = QueryGuard.create(timeout_ms, cancel)
+        guard_ctx = self.disk.use_guard(guard) if guard is not None else nullcontext()
         need_collector = (
             metrics is not None
             or self.registry is not None
@@ -176,14 +194,15 @@ class StorageSession:
             self.last_stats = stats
             self.last_plan = None
             self.last_metrics = None
-            if use_cache:
-                prepared, _ = self._cached_prepared(sql, None)
-                result = self._run_prepared(prepared, (), stats, None, None)
-                prepared.executions += 1
-                return result
-            query = parse(sql) if isinstance(sql, str) else sql
-            nesting = classify(query, self.schemas)
-            return self._dispatch(query, nesting, stats, None)
+            with guard_ctx:
+                if use_cache:
+                    prepared, _ = self._cached_prepared(sql, None)
+                    result = self._run_prepared(prepared, (), stats, None, None)
+                    prepared.executions += 1
+                    return result
+                query = parse(sql) if isinstance(sql, str) else sql
+                nesting = classify(query, self.schemas)
+                return self._dispatch(query, nesting, stats, None)
 
         collector = (
             (metrics if metrics is not None else QueryMetrics())
@@ -195,35 +214,44 @@ class StorageSession:
         started = time.perf_counter()
         outcome = None
         prepared = None
-        with maybe_span(tracer, "query"):
-            if use_cache:
-                prepared, outcome = self._cached_prepared(sql, tracer)
-                nesting = prepared.nesting
-            else:
-                with maybe_span(tracer, "parse"):
-                    query = parse(sql) if isinstance(sql, str) else sql
-                with maybe_span(tracer, "bind"):
-                    nesting = classify(query, self.schemas)
-            stats = OperationStats()
-            self.last_stats = stats
-            if collector is None:
-                if prepared is not None:
-                    result = self._run_prepared(prepared, (), stats, None, tracer)
+        try:
+            with guard_ctx, maybe_span(tracer, "query"):
+                if use_cache:
+                    prepared, outcome = self._cached_prepared(sql, tracer)
+                    nesting = prepared.nesting
                 else:
-                    result = self._dispatch(query, nesting, stats, None, tracer)
-            else:
-                collector.nesting_type = nesting.value
-                collector.plan_cache = outcome
-                collector.stats = stats
-                with collector.watch_disk(self.disk), collector.span("query"):
+                    with maybe_span(tracer, "parse"):
+                        query = parse(sql) if isinstance(sql, str) else sql
+                    with maybe_span(tracer, "bind"):
+                        nesting = classify(query, self.schemas)
+                stats = OperationStats()
+                self.last_stats = stats
+                if collector is None:
                     if prepared is not None:
-                        result = self._run_prepared(
-                            prepared, (), stats, collector, tracer
-                        )
+                        result = self._run_prepared(prepared, (), stats, None, tracer)
                     else:
-                        result = self._dispatch(
-                            query, nesting, stats, collector, tracer
-                        )
+                        result = self._dispatch(query, nesting, stats, None, tracer)
+                else:
+                    collector.nesting_type = nesting.value
+                    collector.plan_cache = outcome
+                    collector.stats = stats
+                    with collector.watch_disk(self.disk), collector.span("query"):
+                        if prepared is not None:
+                            result = self._run_prepared(
+                                prepared, (), stats, collector, tracer
+                            )
+                        else:
+                            result = self._dispatch(
+                                query, nesting, stats, collector, tracer
+                            )
+        except FuzzyQueryError as exc:
+            self._record_failure(
+                sql if isinstance(sql, str) else repr(sql),
+                collector,
+                started,
+                exc,
+            )
+            raise
         if prepared is not None:
             prepared.executions += 1
         wall = time.perf_counter() - started
@@ -238,6 +266,28 @@ class StorageSession:
                     rows=len(result),
                 )
         return result
+
+    def _record_failure(
+        self,
+        sql_text: str,
+        collector: Optional[QueryMetrics],
+        started: float,
+        exc: FuzzyQueryError,
+    ) -> None:
+        """Fold a failed query into the registry/log with its typed outcome."""
+        if collector is None:
+            return
+        if isinstance(exc, QueryTimeoutError):
+            collector.outcome = "timeout"
+        elif isinstance(exc, QueryCancelledError):
+            collector.outcome = "cancelled"
+        else:
+            collector.outcome = "error"
+        wall = time.perf_counter() - started
+        if self.registry is not None:
+            self.registry.observe(collector, wall_seconds=wall, rows=0)
+        if self.query_log is not None:
+            self.query_log.record(sql_text, collector, wall_seconds=wall, rows=0)
 
     def trace(self, sql: Union[str, SelectQuery]) -> SpanTracer:
         """Run a query with a fresh span tracer attached and return it.
@@ -389,19 +439,23 @@ class StorageSession:
         self.last_metrics = collector
         self.last_plan = None
         started = time.perf_counter()
-        with maybe_span(tracer, "query"):
-            stats = OperationStats()
-            self.last_stats = stats
-            if collector is None:
-                result = self._run_prepared(prepared, params, stats, None, tracer)
-            else:
-                collector.nesting_type = prepared.nesting.value
-                collector.prepared = True
-                collector.stats = stats
-                with collector.watch_disk(self.disk), collector.span("query"):
-                    result = self._run_prepared(
-                        prepared, params, stats, collector, tracer
-                    )
+        try:
+            with maybe_span(tracer, "query"):
+                stats = OperationStats()
+                self.last_stats = stats
+                if collector is None:
+                    result = self._run_prepared(prepared, params, stats, None, tracer)
+                else:
+                    collector.nesting_type = prepared.nesting.value
+                    collector.prepared = True
+                    collector.stats = stats
+                    with collector.watch_disk(self.disk), collector.span("query"):
+                        result = self._run_prepared(
+                            prepared, params, stats, collector, tracer
+                        )
+        except FuzzyQueryError as exc:
+            self._record_failure(prepared.sql_text, collector, started, exc)
+            raise
         prepared.executions += 1
         wall = time.perf_counter() - started
         if collector is not None:
@@ -494,6 +548,8 @@ class StorageSession:
         self,
         queries,
         workers: int = 1,
+        timeout_ms: Optional[float] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> List[FuzzyRelation]:
         """Execute read-only queries, optionally across worker threads.
 
@@ -503,14 +559,25 @@ class StorageSession:
         relations.  Each query gets its own stats ledger (disk accounting
         is thread-local), and a shared :attr:`registry` / :attr:`query_log`
         is folded under its own lock.
+
+        ``timeout_ms`` applies per query (not to the whole batch); a
+        shared ``cancel`` token abandons the batch cooperatively — it is
+        checked between queries and, inside each running query, at every
+        page transfer.
         """
         queries = list(queries)
+
+        def run_one(q):
+            if cancel is not None and cancel.cancelled:
+                raise QueryCancelledError("batch cancelled by its CancelToken")
+            return self.query(q, timeout_ms=timeout_ms, cancel=cancel)
+
         if workers <= 1:
-            return [self.query(q) for q in queries]
+            return [run_one(q) for q in queries]
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self.query, queries))
+            return list(pool.map(run_one, queries))
 
     def _dispatch(
         self,

@@ -1,0 +1,138 @@
+"""A line-oriented shell over :class:`~repro.session.StorageSession`.
+
+Plain lines are Fuzzy SQL and execute through the session (so they hit
+the plan cache, the registry, and the query log exactly like library
+callers); lines starting with a backslash are meta-commands in the
+``psql`` tradition:
+
+========== ===========================================================
+Command    Effect
+========== ===========================================================
+``\\log``     the query-log workload report (strategy rollup, failure
+              outcomes, slowest statements)
+``\\metrics`` the metrics registry in Prometheus text exposition
+``\\explain`` EXPLAIN for the rest of the line (no execution)
+``\\analyze`` EXPLAIN ANALYZE for the rest of the line (executes)
+``\\trace``   span tree of the rest of the line (executes)
+``\\timeout`` set/clear the per-query deadline in ms (no argument
+              clears it)
+``\\help``    list the meta-commands
+========== ===========================================================
+
+The shell owns a :class:`~repro.observe.registry.MetricsRegistry` and a
+:class:`~repro.observe.querylog.QueryLog` (attaching them to the session
+unless it already has its own), so failure outcomes — timeouts,
+cancellations, degraded fallbacks, retry counts — surface directly in
+``\\log`` and ``\\metrics``.  :meth:`FuzzyShell.execute` returns the
+rendered output instead of printing, which keeps the shell fully
+scriptable and testable; :meth:`FuzzyShell.run` is the interactive loop.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Optional
+
+from .errors import FuzzyQueryError
+from .observe.querylog import QueryLog
+from .observe.registry import MetricsRegistry
+from .session import StorageSession
+
+#: One help line per meta-command, rendered by ``\help``.
+HELP = """\
+\\log        query log report: strategies, outcomes, slowest statements
+\\metrics    metrics registry (Prometheus text exposition)
+\\explain Q  strategy and plan of query Q, without executing it
+\\analyze Q  EXPLAIN ANALYZE of query Q (executes it)
+\\trace Q    span tree of query Q (executes it)
+\\timeout N  set the per-query deadline to N ms (\\timeout alone clears it)
+\\help       this list
+anything else runs as Fuzzy SQL"""
+
+
+class FuzzyShell:
+    """Dispatch SQL lines and backslash meta-commands against one session."""
+
+    def __init__(self, session: StorageSession):
+        self.session = session
+        if session.registry is None:
+            session.registry = MetricsRegistry()
+        if session.query_log is None:
+            session.query_log = QueryLog()
+        #: Deadline applied to every SQL line, in milliseconds (``None``
+        #: = unbounded); set interactively with ``\timeout``.
+        self.timeout_ms: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def execute(self, line: str) -> str:
+        """Run one input line — meta-command or SQL — and return its output.
+
+        Typed query failures (timeouts, storage faults, …) are rendered
+        as ``error: …`` lines rather than raised: a shell must survive a
+        failing statement, and the failure is already recorded in the
+        query log and registry for ``\\log`` / ``\\metrics`` to show.
+        """
+        line = line.strip()
+        if not line:
+            return ""
+        if line.startswith("\\"):
+            return self._meta(line)
+        return self._sql(line)
+
+    def _meta(self, line: str) -> str:
+        command, _, argument = line.partition(" ")
+        argument = argument.strip()
+        if command == "\\log":
+            return self.session.query_log.summarize()
+        if command == "\\metrics":
+            return self.session.registry.render_prometheus()
+        if command == "\\explain":
+            return self.session.explain(argument)
+        if command == "\\analyze":
+            return self.session.explain_analyze(argument)
+        if command == "\\trace":
+            return self.session.trace(argument).render_tree()
+        if command == "\\timeout":
+            if not argument:
+                self.timeout_ms = None
+                return "timeout cleared"
+            self.timeout_ms = float(argument)
+            return f"timeout set to {self.timeout_ms:.0f} ms"
+        if command == "\\help":
+            return HELP
+        return f"unknown command {command} (try \\help)"
+
+    def _sql(self, sql: str) -> str:
+        try:
+            result = self.session.query(sql, timeout_ms=self.timeout_ms)
+        except FuzzyQueryError as exc:
+            return f"error: {type(exc).__name__}: {exc}"
+        lines = [
+            "(" + ", ".join(str(v) for v in t.values) + f")  D={t.degree:g}"
+            for t in result
+        ]
+        lines.append(f"({len(result)} tuples)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Interactive loop
+    # ------------------------------------------------------------------
+    def run(self, lines: Optional[Iterable[str]] = None, out=None) -> None:
+        """Feed ``lines`` (default: stdin) through :meth:`execute`.
+
+        Stops on end of input or a ``\\quit`` line.  Output goes to
+        ``out`` (default: stdout).
+        """
+        out = out if out is not None else sys.stdout
+        source = lines if lines is not None else sys.stdin
+        for line in source:
+            if line.strip() == "\\quit":
+                break
+            rendered = self.execute(line)
+            if rendered:
+                print(rendered, file=out)
+
+
+__all__ = ["FuzzyShell", "HELP"]

@@ -99,23 +99,33 @@ class ExternalSorter:
             self.metrics.record_sort(record)
         from ..observe.trace import maybe_span
 
-        with maybe_span(self.tracer, f"sort {source.name}", attribute=attribute):
-            with self.disk.use_stats(self.stats), self.stats.enter_phase(SORT_PHASE):
-                with maybe_span(self.tracer, "runs"):
-                    runs = self._generate_runs(source, key_index)
-                if record is not None:
-                    record.runs = len(runs)
-                with maybe_span(self.tracer, "merge"):
-                    runs = self._merge_until_few(source, runs, key_index, record)
+        # Every scratch run created by this sort is tracked in ``live`` so
+        # that a fault mid-sort (torn page, disk full, timeout) never
+        # leaks half-written runs onto the shared disk: the except path
+        # deletes them all, plus any partial output file, and re-raises.
+        live: List[str] = []
+        try:
+            with maybe_span(self.tracer, f"sort {source.name}", attribute=attribute):
+                with self.disk.use_stats(self.stats), self.stats.enter_phase(SORT_PHASE):
+                    with maybe_span(self.tracer, "runs"):
+                        runs = self._generate_runs(source, key_index, live)
                     if record is not None:
-                        record.merge_passes += 1  # the final merge that writes the output
-                        record.output = out_name
-                    return self._final_merge(source, runs, key_index, out_name)
+                        record.runs = len(runs)
+                    with maybe_span(self.tracer, "merge"):
+                        runs = self._merge_until_few(source, runs, key_index, record, live)
+                        if record is not None:
+                            record.merge_passes += 1  # the final merge that writes the output
+                            record.output = out_name
+                        return self._final_merge(source, runs, key_index, out_name)
+        except BaseException:
+            drop_runs(self.disk, live)
+            self.disk.delete(out_name)
+            raise
 
     # ------------------------------------------------------------------
     # Pass 1: run generation
     # ------------------------------------------------------------------
-    def _generate_runs(self, source: HeapFile, key_index: int) -> List[str]:
+    def _generate_runs(self, source: HeapFile, key_index: int, live: List[str]) -> List[str]:
         runs: List[str] = []
         batch: List[FuzzyTuple] = []
         batch_pages = 0
@@ -125,29 +135,46 @@ class ExternalSorter:
                 batch.append(source.serializer.decode(record))
             batch_pages += 1
             if batch_pages >= self.buffer_pages:
-                runs.append(self._write_run(source, batch, key_index))
+                runs.append(self._write_run(source, batch, key_index, live))
                 batch, batch_pages = [], 0
         if batch:
-            runs.append(self._write_run(source, batch, key_index))
+            runs.append(self._write_run(source, batch, key_index, live))
         return runs
 
-    def _write_run(self, source: HeapFile, batch: List[FuzzyTuple], key_index: int) -> str:
+    def _write_run(
+        self, source: HeapFile, batch: List[FuzzyTuple], key_index: int, live: List[str]
+    ) -> str:
         batch.sort(key=lambda t: _CountingKey(t[key_index], self.stats))
         name = fresh_run_name(source.name)
+        live.append(name)
         writer = RunWriter(self.disk, name, source.serializer)
-        for t in batch:
-            self.stats.count_move()
-            writer.append(t)
-        writer.close()
+        ok = False
+        try:
+            for t in batch:
+                self.stats.count_move()
+                writer.append(t)
+            ok = True
+        finally:
+            if ok:
+                writer.close()
+            else:
+                # Flushing after a failed append could raise again (e.g. a
+                # second DiskFullError) and mask the original fault; drop
+                # the buffered page and let the sort-level handler delete
+                # the partial run file.
+                writer.discard()
         return name
 
     # ------------------------------------------------------------------
     # Pass 2+: K-way merges
     # ------------------------------------------------------------------
     def _merge_until_few(
-        self, source: HeapFile, runs: List[str], key_index: int, record=None
+        self, source: HeapFile, runs: List[str], key_index: int, record=None,
+        live: Optional[List[str]] = None,
     ) -> List[str]:
         fan_in = self.buffer_pages - 1
+        if live is None:
+            live = []
         while len(runs) > fan_in:
             if record is not None:
                 record.merge_passes += 1
@@ -158,10 +185,18 @@ class ExternalSorter:
                     next_runs.append(group[0])
                     continue
                 name = fresh_run_name(source.name)
+                live.append(name)
                 writer = RunWriter(self.disk, name, source.serializer)
-                for t in self._merged(source, group, key_index):
-                    writer.append(t)
-                writer.close()
+                ok = False
+                try:
+                    for t in self._merged(source, group, key_index):
+                        writer.append(t)
+                    ok = True
+                finally:
+                    if ok:
+                        writer.close()
+                    else:
+                        writer.discard()
                 drop_runs(self.disk, group)
                 next_runs.append(name)
             runs = next_runs

@@ -45,6 +45,10 @@ class RunWriter:
             self.disk.append_page(self.name, self._page)
             self._page = Page(self.disk.page_size)
 
+    def discard(self) -> None:
+        """Drop the buffered page without flushing (error-path close)."""
+        self._page = Page(self.disk.page_size)
+
 
 class RunReader:
     """Reads a run back sequentially, charging one read per page."""

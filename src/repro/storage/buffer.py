@@ -14,13 +14,14 @@ import threading
 from collections import OrderedDict
 from typing import Dict, List, Tuple
 
+from ..errors import ResourceExhaustedError
 from .disk import SimulatedDisk
 from .page import Page
 
 FrameKey = Tuple[str, int]
 
 
-class BufferExhaustedError(Exception):
+class BufferExhaustedError(ResourceExhaustedError):
     """All frames are pinned and a new page was requested."""
 
 
@@ -105,7 +106,8 @@ class BufferPool:
     @property
     def in_use(self) -> int:
         """Number of currently pinned frames."""
-        return len(self._frames)
+        with self._lock:
+            return sum(1 for count in self._pins.values() if count > 0)
 
     # ------------------------------------------------------------------
     # Replacement

@@ -44,8 +44,14 @@ class CostModel:
     # Time assembly
     # ------------------------------------------------------------------
     def io_seconds(self, counters: Counters) -> float:
-        """Seconds of I/O implied by the page counters."""
-        return counters.page_ios * self.io_time
+        """Seconds of I/O implied by the page counters.
+
+        Retried page transfers (transient-fault attempts that were
+        re-issued) are charged at the full page-I/O rate: the device did
+        the work even though the first attempt failed, so the retry path's
+        overhead shows up in modelled response time.
+        """
+        return (counters.page_ios + counters.io_retries) * self.io_time
 
     def cpu_seconds(self, counters: Counters) -> float:
         """Seconds of CPU implied by the comparison and move counters."""

@@ -4,6 +4,18 @@ The experiments only care about *how many* page transfers each algorithm
 performs under a given buffer budget, so the "disk" is an in-memory store
 that charges one read or write per page access into the active
 :class:`~repro.storage.stats.OperationStats` phase.
+
+Resilience hooks
+----------------
+Raw page transfers go through the :meth:`_fetch` / :meth:`_store` hooks,
+which :class:`repro.faults.FaultyDisk` overrides to inject faults.  Around
+them, :meth:`read_page` runs a bounded exponential-backoff
+:class:`~repro.resilience.RetryPolicy` that absorbs short
+:class:`~repro.errors.TransientIOError` bursts (counting each re-issued
+transfer via ``stats.count_retry``), and both directions consult the
+thread's active :class:`~repro.resilience.QueryGuard` — installed with
+:meth:`use_guard` — so a cancelled or timed-out query stops within one
+page access.
 """
 
 from __future__ import annotations
@@ -12,6 +24,8 @@ import threading
 from contextlib import contextmanager
 from typing import Dict, List, Optional
 
+from ..errors import TransientIOError
+from ..resilience import QueryGuard, RetryPolicy
 from .page import DEFAULT_PAGE_SIZE, Page
 from .stats import OperationStats
 
@@ -25,12 +39,13 @@ class SimulatedDisk:
         with disk.use_stats(my_stats):
             ...  # page reads/writes now count into my_stats
 
-    Accounting and observation are **thread-local**: each worker thread
-    charges into its own active stats object and sees only its own
-    observers, so concurrent queries on one disk never cross-charge I/O
-    (the ``run_batch`` differential test relies on this).  The page store
-    itself is shared; reads are wait-free and the dict/list operations it
-    uses are atomic under CPython.
+    Accounting, observation and guards are **thread-local**: each worker
+    thread charges into its own active stats object and sees only its own
+    observers and query guard, so concurrent queries on one disk never
+    cross-charge I/O or cancel each other (the ``run_batch`` differential
+    test relies on this).  The page store itself is shared; reads are
+    wait-free and the dict/list operations it uses are atomic under
+    CPython.
     """
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, stats: Optional[OperationStats] = None):
@@ -38,6 +53,10 @@ class SimulatedDisk:
         self._default_stats = stats if stats is not None else OperationStats()
         self._files: Dict[str, List[bytes]] = {}
         self._local = threading.local()
+        #: Retry policy applied to transient read faults; swap in a
+        #: different :class:`~repro.resilience.RetryPolicy` to change the
+        #: attempt budget or backoff shape.
+        self.retry_policy = RetryPolicy()
 
     @property
     def stats(self) -> OperationStats:
@@ -69,6 +88,35 @@ class SimulatedDisk:
             yield stats
         finally:
             self._local.stats = previous
+
+    # ------------------------------------------------------------------
+    # Query guards (deadline / cancellation, checked per page access)
+    # ------------------------------------------------------------------
+    @property
+    def guard(self) -> Optional[QueryGuard]:
+        """This thread's active query guard, if any."""
+        return getattr(self._local, "guard", None)
+
+    @contextmanager
+    def use_guard(self, guard: Optional[QueryGuard]):
+        """Install ``guard`` as this thread's query guard for the block.
+
+        Every charged page transfer inside the block calls
+        ``guard.check()``, raising the typed timeout/cancellation error at
+        the next I/O boundary after the limit trips.
+        """
+        previous = getattr(self._local, "guard", None)
+        self._local.guard = guard
+        try:
+            yield guard
+        finally:
+            self._local.guard = previous
+
+    def check_guard(self) -> None:
+        """Raise this thread's guard error, if one is active and tripped."""
+        guard = getattr(self._local, "guard", None)
+        if guard is not None:
+            guard.check()
 
     # ------------------------------------------------------------------
     # Observation (page-access tracing; free when no observer is attached)
@@ -108,34 +156,69 @@ class SimulatedDisk:
         """Number of pages currently in the file."""
         return len(self._files[name])
 
+    def total_pages(self) -> int:
+        """Pages currently stored across every file (capacity accounting)."""
+        return sum(len(pages) for pages in self._files.values())
+
     def files(self) -> List[str]:
         """Names of every file on the disk."""
         return sorted(self._files)
 
     # ------------------------------------------------------------------
-    # Charged page I/O
+    # Raw transfer hooks (fault injection overrides these)
     # ------------------------------------------------------------------
-    def read_page(self, name: str, index: int) -> Page:
-        """The page at ``(name, index)``, charging one page read."""
-        data = self._files[name][index]
-        self.stats.count_read()
-        if self._observers:
-            for observer in self._observers:
-                observer("read", name, index)
-        return Page.from_bytes(data, self.page_size)
+    def _fetch(self, name: str, index: int) -> bytes:
+        """Return the raw bytes of one page (fault-injection hook)."""
+        return self._files[name][index]
 
-    def write_page(self, name: str, index: int, page: Page) -> None:
-        """Overwrite the page at ``(name, index)``, charging one page write."""
+    def _store(self, name: str, index: int, data: bytes) -> None:
+        """Persist the raw bytes of one page (fault-injection hook)."""
         pages = self._files[name]
-        data = page.to_bytes()
-        self.stats.count_write()
-        if self._observers:
-            for observer in self._observers:
-                observer("write", name, index)
         if index == len(pages):
             pages.append(data)
         else:
             pages[index] = data
+
+    # ------------------------------------------------------------------
+    # Charged page I/O
+    # ------------------------------------------------------------------
+    def read_page(self, name: str, index: int) -> Page:
+        """The page at ``(name, index)``, charging one page read.
+
+        Transient fetch faults are retried under :attr:`retry_policy`;
+        each re-issued transfer is charged as an ``io_retries`` event.
+        The thread's query guard is checked before and after the
+        transfer, so a latency spike cannot outlive a deadline by more
+        than its own duration.
+        """
+        guard = getattr(self._local, "guard", None)
+        if guard is not None:
+            guard.check()
+        stats = self.stats
+        data = self.retry_policy.run(
+            lambda: self._fetch(name, index),
+            on_retry=lambda attempt, exc: stats.count_retry(),
+            guard=guard,
+        )
+        stats.count_read()
+        if self._observers:
+            for observer in self._observers:
+                observer("read", name, index)
+        if guard is not None:
+            guard.check()
+        return Page.from_bytes(data, self.page_size)
+
+    def write_page(self, name: str, index: int, page: Page) -> None:
+        """Overwrite the page at ``(name, index)``, charging one page write."""
+        guard = getattr(self._local, "guard", None)
+        if guard is not None:
+            guard.check()
+        data = page.to_bytes()
+        self._store(name, index, data)
+        self.stats.count_write()
+        if self._observers:
+            for observer in self._observers:
+                observer("write", name, index)
 
     def append_page(self, name: str, page: Page) -> int:
         """Write a new page at the end of the file; returns its index."""

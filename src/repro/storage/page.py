@@ -1,15 +1,24 @@
 """Fixed-size slotted pages of serialized tuple records.
 
-Records are stored back-to-back with a 2-byte length prefix; a 2-byte
-header holds the record count.  The default page size is the paper's 8 KB.
+Records are stored back-to-back with a 2-byte length prefix; a 6-byte
+header holds the record count and a CRC-32 checksum of the page image.
+The checksum is verified on every parse, so a torn write (a page whose
+bytes were only partially persisted, as injected by
+:class:`repro.faults.FaultyDisk`) surfaces as a typed
+:class:`~repro.errors.PageCorruptionError` at read time rather than a
+silently wrong query answer.  The default page size is the paper's 8 KB.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Iterator, List
 
+from ..errors import PageCorruptionError
+
 _U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
 
 DEFAULT_PAGE_SIZE = 8 * 1024
 
@@ -23,7 +32,7 @@ class Page:
 
     __slots__ = ("page_size", "_records", "_used")
 
-    HEADER_SIZE = 2
+    HEADER_SIZE = 6  # u16 record count + u32 CRC-32 of the page body
     RECORD_OVERHEAD = 2
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
@@ -60,26 +69,52 @@ class Page:
     # Wire format
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Serialize the page to its on-disk byte layout."""
-        parts = [_U16.pack(len(self._records))]
+        """Serialize the page to its on-disk byte layout, checksummed."""
+        parts = []
         for record in self._records:
             parts.append(_U16.pack(len(record)))
             parts.append(record)
         body = b"".join(parts)
-        return body + b"\x00" * (self.page_size - len(body))
+        count = _U16.pack(len(self._records))
+        body += b"\x00" * (self.page_size - self.HEADER_SIZE - len(body))
+        checksum = zlib.crc32(body, zlib.crc32(count))
+        return count + _U32.pack(checksum) + body
 
     @classmethod
     def from_bytes(cls, data: bytes, page_size: int = DEFAULT_PAGE_SIZE) -> "Page":
-        """Parse a page back from its on-disk byte layout."""
-        page = cls(page_size)
+        """Parse a page image, verifying its checksum.
+
+        Raises :class:`~repro.errors.PageCorruptionError` when the stored
+        CRC-32 does not match the page body or the slot directory is
+        malformed — the read-time signature of a torn write.
+        """
+        if len(data) < cls.HEADER_SIZE:
+            raise PageCorruptionError(
+                f"page image of {len(data)} bytes is shorter than the {cls.HEADER_SIZE}-byte header"
+            )
         (count,) = _U16.unpack_from(data, 0)
+        (stored,) = _U32.unpack_from(data, 2)
+        actual = zlib.crc32(data[cls.HEADER_SIZE:], zlib.crc32(data[:2]))
+        if stored != actual:
+            raise PageCorruptionError(
+                f"page checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )
+        page = cls(page_size)
         offset = cls.HEADER_SIZE
-        for _ in range(count):
-            (n,) = _U16.unpack_from(data, offset)
-            offset += 2
-            page._records.append(data[offset:offset + n])
-            page._used += n + cls.RECORD_OVERHEAD
-            offset += n
+        try:
+            for _ in range(count):
+                (n,) = _U16.unpack_from(data, offset)
+                offset += 2
+                end = offset + n
+                if end > len(data):
+                    raise PageCorruptionError(
+                        f"record slot overruns the page image ({end} > {len(data)})"
+                    )
+                page._records.append(data[offset:end])
+                page._used += n + cls.RECORD_OVERHEAD
+                offset = end
+        except struct.error as exc:
+            raise PageCorruptionError(f"malformed page slot directory: {exc}") from exc
         return page
 
     def __repr__(self) -> str:

@@ -22,6 +22,7 @@ class Counters:
     crisp_comparisons: int = 0
     fuzzy_evaluations: int = 0
     tuple_moves: int = 0
+    io_retries: int = 0
 
     def merge(self, other: "Counters") -> None:
         """Add another counter set into this one."""
@@ -30,6 +31,7 @@ class Counters:
         self.crisp_comparisons += other.crisp_comparisons
         self.fuzzy_evaluations += other.fuzzy_evaluations
         self.tuple_moves += other.tuple_moves
+        self.io_retries += other.io_retries
 
     @property
     def page_ios(self) -> int:
@@ -44,6 +46,7 @@ class Counters:
             self.crisp_comparisons,
             self.fuzzy_evaluations,
             self.tuple_moves,
+            self.io_retries,
         )
 
 
@@ -107,6 +110,10 @@ class OperationStats:
     def count_move(self, n: int = 1) -> None:
         """Charge tuple move(s) to the active phase."""
         self.current.tuple_moves += n
+
+    def count_retry(self, n: int = 1) -> None:
+        """Charge retried page transfer(s) to the active phase."""
+        self.current.io_retries += n
 
     # ------------------------------------------------------------------
     # Aggregation

@@ -1,0 +1,286 @@
+"""Chaos suite: the differential sweep re-run under seeded fault schedules.
+
+The resilience contract under injected storage faults is three-sided:
+
+* a query either returns the **bit-identical** answer of a fault-free run
+  (faults absorbed by retries or a degraded fallback), or raises a
+  **typed** error from :mod:`repro.errors` — never a wrong answer and
+  never a bare ``KeyError``/``IndexError``;
+* no resources leak across the failure: no orphaned sort-run or scratch
+  files on the disk, no pages left pinned in a shared buffer pool;
+* the failure is **observable**: retries, degradations, timeouts and
+  cancellations land in the stats ledger, the metrics registry, the
+  query log, and EXPLAIN ANALYZE.
+
+Fault schedules are deterministic (seeded :class:`~repro.faults.FaultPlan`),
+so every failure here replays exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.data import FuzzyRelation, FuzzyTuple, Schema
+from repro.engine.operators import ExecutionContext, Scan
+from repro.errors import (
+    FuzzyQueryError,
+    PageCorruptionError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    TransientIOError,
+)
+from repro.faults import FaultPlan, FaultyDisk
+from repro.fuzzy import CrispNumber, TrapezoidalNumber
+from repro.observe.metrics import QueryMetrics
+from repro.observe.querylog import QueryLog
+from repro.observe.registry import MetricsRegistry
+from repro.resilience import CancelToken
+from repro.session import StorageSession
+from repro.storage.buffer import BufferPool
+
+N = CrispNumber
+T = TrapezoidalNumber
+SCHEMA = Schema(["K", "U", "V"])
+
+POOL = [
+    N(0), N(2), N(5), N(9),
+    T(0, 1, 2, 4), T(1, 3, 4, 6), T(3, 5, 5, 7), T(4, 6, 8, 11),
+]
+
+#: The five nesting types of the paper's taxonomy — the same queries the
+#: fault-free differential sweep (tests/test_differential.py) runs.
+CASES = {
+    "N": "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S)",
+    "J": "SELECT R.K FROM R WHERE R.V IN (SELECT S.V FROM S WHERE S.U = R.U)",
+    "JX": "SELECT R.K FROM R WHERE R.V NOT IN (SELECT S.V FROM S WHERE S.U = R.U)",
+    "JA": "SELECT R.K FROM R WHERE R.V > (SELECT MAX(S.V) FROM S WHERE S.U = R.U)",
+    "chain": (
+        "SELECT R.K FROM R WHERE R.U IN "
+        "(SELECT S.V FROM S WHERE S.K IN (SELECT S2.V FROM S S2 WHERE S2.U = R.V))"
+    ),
+}
+
+#: Fault schedules the sweep crosses with every nesting type.  Bursts of
+#: 2 sit under the default 4-attempt retry budget (absorbable); bursts of
+#: 6 exceed it (must escape typed); torn writes corrupt spilled runs.
+def fault_plans(seed):
+    return [
+        FaultPlan(seed=seed, transient_read_rate=0.08, transient_burst=2),
+        FaultPlan(seed=seed, transient_read_rate=0.04, transient_burst=6),
+        FaultPlan(seed=seed, torn_write_rate=0.2),
+        FaultPlan(
+            seed=seed,
+            transient_read_rate=0.05,
+            transient_burst=2,
+            torn_write_rate=0.1,
+        ),
+    ]
+
+
+def make_relation(rng, n, base):
+    rel = FuzzyRelation(SCHEMA)
+    for i in range(n):
+        rel.add(
+            FuzzyTuple(
+                [N(base + i), rng.choice(POOL), rng.choice(POOL)],
+                rng.choice([0.3, 0.6, 0.8, 1.0]),
+            )
+        )
+    return rel
+
+
+def build_session(seed, disk=None, n_low=4, n_high=10):
+    rng = random.Random(seed)
+    r = make_relation(rng, rng.randint(n_low, n_high), 0)
+    s = make_relation(rng, rng.randint(n_low, n_high), 1000)
+    session = StorageSession(buffer_pages=16, page_size=512, disk=disk)
+    session.register("R", r)
+    session.register("S", s)
+    return session
+
+
+def build_faulted(seed, plan, **kwargs):
+    """A session on a :class:`FaultyDisk` that was disarmed while loading."""
+    disk = FaultyDisk(plan, page_size=512, armed=False)
+    session = build_session(seed, disk=disk, **kwargs)
+    disk.armed = True
+    return session
+
+
+def assert_no_leaks(session):
+    """No scratch/run files survive, however the query ended."""
+    leftovers = [name for name in session.disk.files() if name.startswith("__")]
+    assert leftovers == [], f"leaked scratch files: {leftovers}"
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_fault_sweep_identical_or_typed(label):
+    sql = CASES[label]
+    for data_seed in range(4):
+        expected = build_session(data_seed).query(sql)
+        for fault_seed in range(3):
+            for plan in fault_plans(fault_seed):
+                session = build_faulted(data_seed, plan)
+                try:
+                    got = session.query(sql)
+                except FuzzyQueryError:
+                    pass  # a typed failure is an acceptable outcome
+                else:
+                    assert got.same_as(expected, 0.0), (
+                        f"{label} data_seed={data_seed} plan={plan}: "
+                        "faulted run returned a different answer"
+                    )
+                assert_no_leaks(session)
+
+
+def test_absorbed_faults_are_counted():
+    sql = CASES["J"]
+    expected = build_session(0).query(sql)
+    plan = FaultPlan(seed=3, transient_read_rate=0.1, transient_burst=2)
+    session = build_faulted(0, plan)
+    session.registry = MetricsRegistry()
+    session.query_log = QueryLog()
+    got = session.query(sql)
+    assert got.same_as(expected, 0.0)
+    assert plan.injected.transient_reads > 0, "schedule injected nothing"
+    retries = session.last_stats.total.io_retries
+    assert retries == plan.injected.transient_reads
+    assert session.registry.io_retries_total == retries
+    entry = session.query_log.entries[-1]
+    assert entry.outcome == "ok" and entry.io_retries == retries
+    assert "io_retries" in session.query_log.summarize()
+
+
+def test_scripted_burst_beyond_budget_escapes_typed():
+    plan = FaultPlan().fail_read(0, times=10)
+    session = build_faulted(0, plan)
+    session.registry = MetricsRegistry()
+    with pytest.raises(TransientIOError):
+        session.query(CASES["J"])
+    assert session.registry.queries_failed_total == 1
+    assert_no_leaks(session)
+
+
+# ----------------------------------------------------------------------
+# Timeouts and cancellation
+# ----------------------------------------------------------------------
+def test_latency_spike_trips_timeout():
+    plan = FaultPlan().spike_read(2, seconds=5.0)
+    session = build_faulted(0, plan)
+    session.registry = MetricsRegistry()
+    session.query_log = QueryLog()
+    with pytest.raises(QueryTimeoutError):
+        session.query(CASES["J"], timeout_ms=50)
+    # The spike sleep is capped to the guard's remaining deadline, so the
+    # 5-second stall cannot make the query oversleep its 50 ms budget.
+    assert plan.injected.latency_spikes == 1
+    assert session.registry.queries_timeout_total == 1
+    assert session.query_log.entries[-1].outcome == "timeout"
+    assert_no_leaks(session)
+
+
+def test_precancelled_token_aborts_immediately():
+    session = build_session(0)
+    session.registry = MetricsRegistry()
+    token = CancelToken()
+    token.cancel()
+    with pytest.raises(QueryCancelledError):
+        session.query(CASES["J"], cancel=token)
+    assert session.registry.queries_cancelled_total == 1
+    assert_no_leaks(session)
+
+
+def test_run_batch_honours_shared_cancel_token():
+    session = build_session(0)
+    token = CancelToken()
+    token.cancel()
+    with pytest.raises(QueryCancelledError):
+        session.run_batch([CASES["N"], CASES["J"]], cancel=token)
+    assert_no_leaks(session)
+
+
+def test_timeout_leaves_session_usable():
+    plan = FaultPlan().spike_read(2, seconds=5.0)
+    session = build_faulted(0, plan)
+    with pytest.raises(QueryTimeoutError):
+        session.query(CASES["J"], timeout_ms=50)
+    expected = build_session(0).query(CASES["J"])
+    assert session.query(CASES["J"]).same_as(expected, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Torn writes
+# ----------------------------------------------------------------------
+def test_torn_spill_write_surfaces_as_corruption():
+    # The first armed write is a sort-run page: its checksum mismatch must
+    # surface typed when the run is read back, and the failed sort must
+    # delete every partial run file.
+    plan = FaultPlan(seed=4).tear_write(0)
+    session = build_faulted(0, plan)
+    with pytest.raises(PageCorruptionError):
+        session.query(CASES["J"])
+    assert plan.injected.torn_writes == 1
+    assert_no_leaks(session)
+
+
+# ----------------------------------------------------------------------
+# Disk-full degradation
+# ----------------------------------------------------------------------
+def degraded_session(label, data_seed=0):
+    plan = FaultPlan(disk_capacity_pages=1)
+    session = build_faulted(data_seed, plan)
+    # Capacity below what is already stored: every armed append (i.e.
+    # every sort spill) raises DiskFullError immediately.
+    assert session.disk.total_pages() >= 1
+    return session, plan
+
+
+@pytest.mark.parametrize("label", ["J", "JX", "JA"])
+def test_disk_full_degrades_to_correct_nested_loop(label):
+    sql = CASES[label]
+    expected = build_session(0).query(sql)
+    session, plan = degraded_session(label)
+    session.registry = MetricsRegistry()
+    session.query_log = QueryLog()
+    metrics = QueryMetrics()
+    got = session.query(sql, metrics=metrics)
+    assert got.same_as(expected, 0.0)
+    assert metrics.degraded and "nested-loop fallback" in metrics.degraded_reason
+    assert plan.injected.disk_full > 0
+    assert session.registry.queries_degraded_total == 1
+    assert session.query_log.entries[-1].degraded
+    assert_no_leaks(session)
+
+
+def test_disk_full_degradation_shows_in_explain_analyze():
+    session, _plan = degraded_session("J")
+    report = session.explain_analyze(CASES["J"])
+    assert any(line.startswith("degraded=True") for line in report.splitlines())
+    prometheus = MetricsRegistry()
+    session.registry = prometheus
+    session.query(CASES["J"])
+    assert "fuzzysql_queries_degraded_total 1" in prometheus.render_prometheus()
+
+
+# ----------------------------------------------------------------------
+# Pin release on failure
+# ----------------------------------------------------------------------
+def test_failed_plan_releases_pinned_pages():
+    plan = FaultPlan().fail_read(1, times=10)
+    disk = FaultyDisk(plan, page_size=512, armed=False)
+    session = build_session(0, disk=disk, n_low=8, n_high=8)
+    pool = BufferPool(disk, capacity=8)
+    heap = session.tables["R"]
+    pool.get_page(heap.name, 0, pin=True)  # an operator-held pin
+    assert pool.in_use == 1
+    disk.armed = True
+    ctx = ExecutionContext(disk, session.buffer_pages, pool=pool)
+    with pytest.raises(TransientIOError):
+        Scan(heap).to_relation(ctx)
+    # to_relation released the context even though the scan failed.
+    assert pool.in_use == 0
+    disk.armed = False
+    assert_no_leaks(session)

@@ -1,0 +1,60 @@
+"""Property test: survivable fault schedules never change an answer.
+
+Hypothesis draws arbitrary transient-fault schedules whose bursts sit
+strictly below the disk's retry budget.  Every such schedule is
+*survivable* by construction — the retry loop must absorb each burst —
+so the faulted merge-join run has to produce the tuple-for-tuple,
+degree-for-degree identical answer of a fault-free run, leak nothing,
+and account every re-issued transfer in ``io_retries``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan
+from repro.storage.disk import SimulatedDisk
+
+from tests.test_chaos import CASES, build_faulted, build_session
+
+#: Total tries the disk's default policy makes per logical read.
+RETRY_BUDGET = SimulatedDisk(page_size=512).retry_policy.attempts
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fault_seed=st.integers(min_value=0, max_value=10_000),
+    burst=st.integers(min_value=1, max_value=RETRY_BUDGET - 1),
+    rate=st.floats(min_value=0.0, max_value=0.2),
+)
+def test_survivable_schedules_are_invisible(fault_seed, burst, rate):
+    sql = CASES["J"]
+    expected = build_session(1).query(sql)
+    plan = FaultPlan(seed=fault_seed, transient_read_rate=rate, transient_burst=burst)
+    session = build_faulted(1, plan)
+    got = session.query(sql)
+    assert got.same_as(expected, 0.0), (
+        f"burst={burst} < budget={RETRY_BUDGET} must be absorbed, "
+        "but the answer changed"
+    )
+    assert session.last_stats.total.io_retries == plan.injected.transient_reads
+    leftovers = [n for n in session.disk.files() if n.startswith("__")]
+    assert leftovers == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    fault_seed=st.integers(min_value=0, max_value=10_000),
+    data_seed=st.integers(min_value=0, max_value=50),
+)
+def test_max_absorbable_burst_across_datasets(fault_seed, data_seed):
+    """The worst still-absorbable burst, crossed with randomized data."""
+    sql = CASES["J"]
+    expected = build_session(data_seed).query(sql)
+    plan = FaultPlan(
+        seed=fault_seed,
+        transient_read_rate=0.15,
+        transient_burst=RETRY_BUDGET - 1,
+    )
+    session = build_faulted(data_seed, plan)
+    got = session.query(sql)
+    assert got.same_as(expected, 0.0)

@@ -1,0 +1,304 @@
+"""Unit tests for the resilience primitives and the fault-aware storage layer.
+
+Covers, bottom-up: the typed failure taxonomy, page checksums, the
+bounded-backoff retry policy, deadlines / cancellation / the query guard,
+pin accounting in the buffer pool, the fault-injecting disk, and the cost
+model's retry charge.
+"""
+
+import pytest
+
+from repro.data import FuzzyTuple, Schema
+from repro.errors import (
+    DiskFullError,
+    FuzzyQueryError,
+    PageCorruptionError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceExhaustedError,
+    StorageFaultError,
+    TransientIOError,
+)
+from repro.faults import FaultPlan, FaultyDisk
+from repro.fuzzy import CrispNumber
+from repro.resilience import CancelToken, Deadline, QueryGuard, RetryPolicy
+from repro.storage.buffer import BufferExhaustedError, BufferPool
+from repro.storage.costs import CostModel
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.storage.page import Page
+from repro.storage.stats import Counters, OperationStats
+
+
+# ----------------------------------------------------------------------
+# Taxonomy
+# ----------------------------------------------------------------------
+def test_taxonomy_hierarchy():
+    for exc in (TransientIOError, DiskFullError, PageCorruptionError):
+        assert issubclass(exc, StorageFaultError)
+    for exc in (
+        StorageFaultError,
+        ResourceExhaustedError,
+        QueryTimeoutError,
+        QueryCancelledError,
+        BufferExhaustedError,
+    ):
+        assert issubclass(exc, FuzzyQueryError)
+    assert issubclass(BufferExhaustedError, ResourceExhaustedError)
+
+
+# ----------------------------------------------------------------------
+# Page checksums
+# ----------------------------------------------------------------------
+def test_page_checksum_roundtrip():
+    page = Page(page_size=256)
+    page.append(b"hello")
+    page.append(b"world" * 10)
+    wire = page.to_bytes()
+    assert len(wire) == 256
+    back = Page.from_bytes(wire, page_size=256)
+    assert list(back.records()) == [b"hello", b"world" * 10]
+
+
+@pytest.mark.parametrize("position", [6, 40, 255])
+def test_page_checksum_detects_flipped_byte(position):
+    page = Page(page_size=256)
+    page.append(b"payload")
+    wire = bytearray(page.to_bytes())
+    wire[position] ^= 0xFF
+    with pytest.raises(PageCorruptionError):
+        Page.from_bytes(bytes(wire), page_size=256)
+
+
+def test_page_checksum_detects_truncation():
+    page = Page(page_size=256)
+    page.append(b"payload")
+    with pytest.raises(PageCorruptionError):
+        Page.from_bytes(page.to_bytes()[:100], page_size=256)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+def _no_sleep_policy(attempts=4):
+    return RetryPolicy(attempts=attempts, sleep=lambda _s: None)
+
+
+def test_retry_policy_absorbs_short_burst():
+    failures = [TransientIOError("a"), TransientIOError("b")]
+    retried = []
+
+    def op():
+        if failures:
+            raise failures.pop(0)
+        return "ok"
+
+    policy = _no_sleep_policy()
+    assert policy.run(op, on_retry=lambda a, e: retried.append(a)) == "ok"
+    assert retried == [1, 2]
+
+
+def test_retry_policy_exhausts_budget():
+    policy = _no_sleep_policy(attempts=3)
+    calls = []
+
+    def op():
+        calls.append(1)
+        raise TransientIOError("always")
+
+    with pytest.raises(TransientIOError):
+        policy.run(op)
+    assert len(calls) == 3
+
+
+def test_retry_policy_does_not_retry_permanent_errors():
+    calls = []
+
+    def op():
+        calls.append(1)
+        raise PageCorruptionError("torn")
+
+    with pytest.raises(PageCorruptionError):
+        _no_sleep_policy().run(op)
+    assert len(calls) == 1
+
+
+def test_retry_policy_backoff_is_bounded_and_monotone():
+    policy = RetryPolicy(base_delay=0.001, max_delay=0.004, multiplier=2.0)
+    delays = [policy.delay(a) for a in range(1, 6)]
+    assert delays == sorted(delays)
+    assert max(delays) <= 0.004
+
+
+def test_retry_policy_respects_expired_deadline():
+    now = [0.0]
+    guard = QueryGuard(deadline=Deadline(1.0, clock=lambda: now[0]))
+    now[0] = 10.0  # the deadline passes while the first attempt runs
+    policy = _no_sleep_policy()
+
+    def op():
+        raise TransientIOError("fault")
+
+    with pytest.raises(QueryTimeoutError):
+        policy.run(op, guard=guard)
+
+
+# ----------------------------------------------------------------------
+# Deadline / CancelToken / QueryGuard
+# ----------------------------------------------------------------------
+def test_deadline_remaining_and_expiry():
+    ticks = iter([0.0, 0.4, 1.1])
+    deadline = Deadline(1.0, clock=lambda: next(ticks))
+    assert deadline.remaining() == pytest.approx(0.6)
+    assert deadline.expired()
+
+
+def test_query_guard_create_is_none_without_inputs():
+    assert QueryGuard.create(None, None) is None
+    assert QueryGuard.create(50, None) is not None
+    assert QueryGuard.create(None, CancelToken()) is not None
+
+
+def test_query_guard_raises_cancelled_before_timeout():
+    token = CancelToken()
+    token.cancel()
+    now = [0.0]
+    guard = QueryGuard(deadline=Deadline(0.5, clock=lambda: now[0]), token=token)
+    now[0] = 1.0  # deadline also expired — cancellation must win
+    with pytest.raises(QueryCancelledError):
+        guard.check()
+
+
+def test_query_guard_raises_timeout():
+    now = [0.0]
+    guard = QueryGuard(deadline=Deadline(0.010, clock=lambda: now[0]))
+    guard.check()  # within budget
+    now[0] = 0.011
+    with pytest.raises(QueryTimeoutError):
+        guard.check()
+
+
+# ----------------------------------------------------------------------
+# Buffer pool pin accounting
+# ----------------------------------------------------------------------
+def _heap(disk, name="T", rows=200):
+    schema = Schema(["K"])
+    heap = HeapFile(name, schema, disk)
+    heap.load(FuzzyTuple([CrispNumber(i)], 1.0) for i in range(rows))
+    return heap
+
+
+def test_buffer_in_use_counts_pins_not_residency():
+    disk = SimulatedDisk(page_size=512)
+    heap = _heap(disk)
+    pool = BufferPool(disk, capacity=4)
+    pool.get_page(heap.name, 0)
+    assert pool.in_use == 0  # resident but unpinned
+    pool.get_page(heap.name, 1, pin=True)
+    pool.get_page(heap.name, 2, pin=True)
+    assert pool.in_use == 2
+    pool.unpin(heap.name, 1)
+    assert pool.in_use == 1
+    pool.unpin_all()
+    assert pool.in_use == 0
+
+
+def test_buffer_exhaustion_is_typed():
+    disk = SimulatedDisk(page_size=512)
+    heap = _heap(disk)
+    pool = BufferPool(disk, capacity=2)
+    pool.get_page(heap.name, 0, pin=True)
+    pool.get_page(heap.name, 1, pin=True)
+    with pytest.raises(BufferExhaustedError):
+        pool.get_page(heap.name, 2, pin=True)
+    pool.unpin_all()
+    assert isinstance(pool.get_page(heap.name, 2, pin=True), Page)
+
+
+# ----------------------------------------------------------------------
+# FaultyDisk
+# ----------------------------------------------------------------------
+def test_scripted_read_fault_is_absorbed_and_counted():
+    plan = FaultPlan().fail_read(0, times=2)
+    disk = FaultyDisk(plan, page_size=512)
+    disk.armed = False
+    heap = _heap(disk)
+    disk.armed = True
+    stats = OperationStats()
+    with disk.use_stats(stats):
+        page = disk.read_page(heap.name, 0)
+    assert len(page) > 0
+    assert plan.injected.transient_reads == 2
+    assert stats.total.io_retries == 2
+    assert stats.total.page_reads == 1  # the logical read is charged once
+
+
+def test_burst_at_retry_budget_escapes_typed():
+    attempts = SimulatedDisk(page_size=512).retry_policy.attempts
+    plan = FaultPlan().fail_read(0, times=attempts)
+    disk = FaultyDisk(plan, page_size=512)
+    disk.armed = False
+    heap = _heap(disk)
+    disk.armed = True
+    with pytest.raises(TransientIOError):
+        disk.read_page(heap.name, 0)
+    # The device recovered: the next logical read of the page succeeds.
+    assert len(disk.read_page(heap.name, 0)) > 0
+
+
+def test_retry_does_not_shift_the_fault_schedule():
+    # Ordinal 1 faults once; ordinal 2 faults once.  If retries consumed
+    # ordinals, the retry of read 1 would swallow ordinal 2's fault.
+    plan = FaultPlan().fail_read(1).fail_read(2)
+    disk = FaultyDisk(plan, page_size=512)
+    disk.armed = False
+    heap = _heap(disk, rows=120)
+    disk.armed = True
+    stats = OperationStats()
+    with disk.use_stats(stats):
+        for index in range(3):
+            disk.read_page(heap.name, index)
+    assert plan.injected.transient_reads == 2
+    assert stats.total.io_retries == 2
+
+
+def test_torn_write_surfaces_as_corruption_on_read():
+    plan = FaultPlan(seed=5).tear_write(0)
+    disk = FaultyDisk(plan, page_size=512)
+    page = Page(page_size=512)
+    page.append(b"record")
+    disk.create("F")
+    disk.write_page("F", 0, page)
+    assert plan.injected.torn_writes == 1
+    with pytest.raises(PageCorruptionError):
+        disk.read_page("F", 0)
+
+
+def test_disk_full_on_append_is_typed():
+    plan = FaultPlan(disk_capacity_pages=2)
+    disk = FaultyDisk(plan, page_size=512)
+    page = Page(page_size=512)
+    page.append(b"x")
+    disk.create("F")
+    disk.write_page("F", 0, page)
+    disk.write_page("F", 1, page)
+    with pytest.raises(DiskFullError):
+        disk.write_page("F", 2, page)
+    # Overwrites of existing pages are not appends and still succeed.
+    disk.write_page("F", 1, page)
+    assert plan.injected.disk_full == 1
+
+
+def test_fault_plan_validates_burst():
+    with pytest.raises(ValueError):
+        FaultPlan(transient_burst=0)
+
+
+# ----------------------------------------------------------------------
+# Cost model retry charge
+# ----------------------------------------------------------------------
+def test_cost_model_charges_retries_as_page_ios():
+    model = CostModel(io_time=0.01)
+    clean = Counters(page_reads=10)
+    faulted = Counters(page_reads=10, io_retries=3)
+    assert model.io_seconds(faulted) == pytest.approx(model.io_seconds(clean) + 0.03)

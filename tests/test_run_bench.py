@@ -143,15 +143,26 @@ class TestCommittedBaseline:
             data = json.load(handle)
         assert data["version"] == 1
         assert data["scale"] == 32  # CI runs at the default scale
-        assert len(data["workloads"]) == 14
+        assert len(data["workloads"]) == 15
         assert set(data["workloads"]) >= {
             "service_cold_J",
             "service_cached_J",
             "service_batch_w1",
             "service_batch_w4",
+            "faulted_J",
         }
         assert data["workloads"]["service_cold_J"]["plan_cache"] == "miss"
         assert data["workloads"]["service_cached_J"]["plan_cache"] == "hit"
         cold = data["workloads"]["service_cold_J"]["counters"]
         cached = data["workloads"]["service_cached_J"]["counters"]
         assert cached["plan_cache_hits"] > cold["plan_cache_hits"]
+        # The retry slice must actually exercise the retry path (absorbed
+        # faults, so same answer as the fault-free type-J slice) and its
+        # modelled cost must carry the retry charge.
+        faulted = data["workloads"]["faulted_J"]
+        assert faulted["counters"]["io_retries"] > 0
+        assert faulted["rows"] == data["workloads"]["session_J"]["rows"]
+        assert (
+            faulted["modelled_seconds"]
+            > data["workloads"]["session_J"]["modelled_seconds"]
+        )

@@ -1,0 +1,77 @@
+"""The shell's meta-commands, and failure outcomes surfacing through them."""
+
+import io
+
+import pytest
+
+from repro.faults import FaultPlan, FaultyDisk
+from repro.shell import FuzzyShell
+
+from tests.test_chaos import CASES, build_faulted, build_session
+
+
+@pytest.fixture
+def shell():
+    return FuzzyShell(build_session(0))
+
+
+def test_sql_lines_render_tuples_and_count(shell):
+    out = shell.execute(CASES["J"])
+    assert out.endswith("tuples)")
+    assert "D=" in out.splitlines()[0]
+
+
+def test_help_and_unknown_command(shell):
+    assert "\\metrics" in shell.execute("\\help")
+    assert "unknown command" in shell.execute("\\frobnicate")
+    assert shell.execute("   ") == ""
+
+
+def test_explain_analyze_and_trace(shell):
+    assert "strategy:" in shell.execute("\\explain " + CASES["J"])
+    assert "nesting type" in shell.execute("\\analyze " + CASES["J"])
+    assert "query" in shell.execute("\\trace " + CASES["J"])
+
+
+def test_log_and_metrics_show_clean_traffic(shell):
+    shell.execute(CASES["J"])
+    assert "query log: 1 recorded" in shell.execute("\\log")
+    metrics = shell.execute("\\metrics")
+    assert 'fuzzysql_queries_total{strategy=' in metrics
+    assert "fuzzysql_query_seconds_count 1" in metrics
+
+
+def test_failure_outcomes_surface_in_log_and_metrics():
+    plan = FaultPlan().spike_read(2, seconds=5.0)
+    disk = FaultyDisk(plan, page_size=512, armed=False)
+    session = build_session(0, disk=disk)
+    shell = FuzzyShell(session)
+    disk.armed = True
+
+    assert "timeout set" in shell.execute("\\timeout 50")
+    out = shell.execute(CASES["J"])
+    assert out.startswith("error: QueryTimeoutError")
+
+    disk.armed = False
+    assert "timeout cleared" in shell.execute("\\timeout")
+    shell.execute(CASES["J"])  # a clean query afterwards
+
+    log = shell.execute("\\log")
+    assert "outcomes:" in log and "timeout=1" in log and "ok=1" in log
+    metrics = shell.execute("\\metrics")
+    assert "fuzzysql_queries_timeout_total 1" in metrics
+
+
+def test_degraded_outcome_surfaces_in_log():
+    session = build_faulted(0, FaultPlan(disk_capacity_pages=1))
+    shell = FuzzyShell(session)
+    shell.execute(CASES["J"])
+    log = shell.execute("\\log")
+    assert "degraded=1" in log
+    assert "fuzzysql_queries_degraded_total 1" in shell.execute("\\metrics")
+
+
+def test_run_loop_stops_on_quit(shell):
+    out = io.StringIO()
+    shell.run([CASES["J"], "\\quit", CASES["J"]], out=out)
+    assert out.getvalue().count("tuples)") == 1
