@@ -225,6 +225,70 @@ def _service_workloads() -> dict:
     return out
 
 
+def _parallel_workloads() -> dict:
+    """The intra-query parallelism slice: type-J serial vs ``workers=4``.
+
+    Both runs must return the identical answer; the ``workers=4`` run must
+    actually execute the range-partitioned plan (non-empty
+    ``metrics.partitions`` — a silent degrade to serial would make this
+    slice meaningless).  The gated modelled cost is the *parallel*
+    response time — coordinator work plus the slowest partition, via
+    :meth:`CostModel.parallel_response_time` — and the partition count is
+    gated as a counter, so ``--check`` fails if the partitioned plan stops
+    running or its shape drifts.  Wall time is recorded, never gated.
+    """
+    sql = SESSION_QUERIES["session_J"]
+    serial_session = build_session()
+    serial = serial_session.query(sql)
+    serial_modelled = PAPER_1992.response_time(serial_session.last_stats)
+
+    session = build_session()
+    metrics = QueryMetrics()
+    started = time.perf_counter()
+    result = session.query(sql, metrics=metrics, workers=4)
+    wall = time.perf_counter() - started
+    if not result.same_as(serial, 0.0):
+        raise AssertionError("parallel_J: workers=4 answer differs from serial")
+    if not metrics.partitions:
+        raise AssertionError(
+            f"parallel_J: partitioned plan did not run "
+            f"(degraded: {metrics.degraded_reason})"
+        )
+    partition_stats = [p.stats for p in metrics.partitions if p.stats is not None]
+    modelled = PAPER_1992.parallel_response_time(session.last_stats, partition_stats)
+    counters = _counters(session.last_stats)
+    counters["partitions"] = len(metrics.partitions)
+    counters["partition_rows"] = sum(p.rows_out for p in metrics.partitions)
+    # The planner's cost trajectory over partition counts: the serial cost
+    # divided by n plus the measured partitioning overhead added back —
+    # the curve EXPERIMENTS.md plots.  At this benchmark's deliberately
+    # tiny scale the overhead term dominates (recorded, not judged);
+    # the curve's *shape* is what the artifact documents.
+    from repro.engine.optimizer import parallel_join_cost
+
+    partition_phase = session.last_stats.phases.get("partition")
+    overhead = (
+        PAPER_1992.response_seconds(partition_phase)
+        if partition_phase is not None
+        else 0.0
+    )
+    planner_costs = {
+        str(n): parallel_join_cost(serial_modelled, n, overhead)
+        for n in (1, 2, 4, 8)
+    }
+    return {
+        "parallel_J": {
+            "modelled_seconds": modelled,
+            "serial_modelled_seconds": serial_modelled,
+            "planner_costs": planner_costs,
+            "wall_seconds": wall,
+            "rows": len(result),
+            "strategy": session.last_strategy,
+            "counters": counters,
+        }
+    }
+
+
 def _fault_workloads() -> dict:
     """The retry-path slice: the type-J query under an absorbed fault schedule.
 
@@ -292,6 +356,7 @@ def run_all(scale: int) -> dict:
     workloads.update(_method_workloads(scale))
     workloads.update(_session_workloads())
     workloads.update(_service_workloads())
+    workloads.update(_parallel_workloads())
     workloads.update(_fault_workloads())
     return {
         "version": VERSION,

@@ -325,13 +325,9 @@ class FuzzyDatabase:
         differential sweep) because each query is independent and the
         shared registry/log/plan-cache are internally locked.
         """
-        queries = list(queries)
-        if workers <= 1:
-            return [self.query(q) for q in queries]
-        from concurrent.futures import ThreadPoolExecutor
+        from .parallel.executor import run_ordered
 
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self.query, queries))
+        return run_ordered(queries, self.query, workers)
 
     def explain(self, sql: Union[str, SelectQuery]) -> str:
         """Describe how a query would be executed."""

@@ -70,6 +70,12 @@ class ExecutionContext:
     :class:`~repro.observe.trace.SpanTracer`; when both are ``None`` (the
     default) the operators run the exact pre-observability code paths —
     every touch point is guarded by an ``is not None`` check.
+
+    ``workers`` is an *execution-time* knob, never baked into a plan:
+    cached operator trees are shared across sessions and threads, so the
+    parallel/serial decision — and the per-execution comparison kernel —
+    live here.  ``guard`` carries the query's deadline/cancel limits so
+    partition workers can derive their own linked guards.
     """
 
     def __init__(
@@ -80,12 +86,24 @@ class ExecutionContext:
         metrics=None,
         tracer=None,
         pool=None,
+        workers: int = 1,
+        guard=None,
+        kernel=None,
     ):
+        from ..fuzzy.compare import ComparisonKernel
+
         self.disk = disk
         self.buffer_pages = buffer_pages
         self.stats = stats if stats is not None else OperationStats()
         self.metrics = metrics
         self.tracer = tracer
+        self.workers = max(1, workers)
+        self.guard = guard
+        #: Per-execution memoizing comparison kernel, shared by every
+        #: operator (and every partition worker) of this one execution.
+        self.kernel = kernel if kernel is not None else ComparisonKernel()
+        if metrics is not None:
+            metrics.parallel_workers = self.workers
         #: Optional :class:`~repro.storage.buffer.BufferPool` (or striped
         #: manager); :meth:`release` unpins all of its frames so a failed
         #: query can never wedge a shared pool into
@@ -300,21 +318,60 @@ class MergeJoinOp(Operator):
         predicates = [
             JoinPredicate(left.schema, left_attr, Op.EQ, right.schema, right_attr)
         ] + list(residual)
+        # Retained so a per-execution comparison kernel can be woven into
+        # the degree closure without baking it into (cached) plans.
+        self._predicates = predicates if pair_degree is None else None
         self.pair_degree = pair_degree if pair_degree is not None else join_degree(predicates)
+
+    def pair_degree_with(self, kernel) -> PairDegree:
+        """The pair degree routed through ``kernel``, when we own the closure.
+
+        A caller-supplied ``pair_degree`` is opaque and returned as-is;
+        the default conjunction is rebuilt over the kernel so repeated
+        ``(probe, candidate)`` evaluations hit its memo.
+        """
+        from ..join.predicates import join_degree
+
+        if kernel is None or self._predicates is None:
+            return self.pair_degree
+        return join_degree(self._predicates, kernel)
 
     def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
         from ..errors import DiskFullError
 
         left_heap = _as_heap(self.left, ctx)
         right_heap = _as_heap(self.right, ctx)
+        pair_degree = self.pair_degree_with(ctx.kernel)
+
+        if ctx.workers > 1:
+            from ..parallel.join import PartitionedMergeJoin
+
+            parallel = PartitionedMergeJoin(
+                ctx.disk, ctx.buffer_pages, ctx.stats, ctx.workers,
+                metrics=ctx.metrics, tracer=ctx.tracer, guard=ctx.guard,
+                kernel=ctx.kernel,
+            )
+            pairs = parallel.run(
+                left_heap, self.left_attr, right_heap, self.right_attr, pair_degree
+            )
+            if pairs is not None:
+                for r, s, degree in pairs:
+                    yield r.concat(s, degree)
+                return
+            # Partitioning declined (no statistics, skew, disk full, ...):
+            # the serial path below produces the identical answer.
+            ctx.mark_degraded(
+                f"parallel join fell back to serial: {parallel.fallback_reason}"
+            )
+
         join = MergeJoin(
             ctx.disk, ctx.buffer_pages, ctx.stats,
-            metrics=ctx.metrics, tracer=ctx.tracer,
+            metrics=ctx.metrics, tracer=ctx.tracer, kernel=ctx.kernel,
         )
         yielded = False
         try:
             for r, s, degree in join.pairs(
-                left_heap, self.left_attr, right_heap, self.right_attr, self.pair_degree
+                left_heap, self.left_attr, right_heap, self.right_attr, pair_degree
             ):
                 yielded = True
                 yield r.concat(s, degree)
@@ -329,7 +386,7 @@ class MergeJoinOp(Operator):
                 raise
             ctx.mark_degraded("merge-join spill hit DiskFullError; nested-loop fallback")
         fallback = NestedLoopJoin(ctx.disk, ctx.buffer_pages, ctx.stats)
-        for r, s, degree in fallback.pairs(left_heap, right_heap, self.pair_degree):
+        for r, s, degree in fallback.pairs(left_heap, right_heap, pair_degree):
             yield r.concat(s, degree)
 
     def describe(self) -> str:

@@ -98,6 +98,33 @@ def optimize_join_order(
     return JoinPlan(order=order, cost=cost, result_rows=rows)
 
 
+def parallel_join_cost(
+    serial_cost: float,
+    n_partitions: int,
+    partition_overhead: float,
+    skew: float = 1.0,
+) -> float:
+    """Planner-side estimate of a range-partitioned join's cost.
+
+    The partitions run concurrently, so the serial join cost divides by
+    the partition count — inflated by ``skew`` (max partition size over
+    mean partition size, >= 1) because response time is the *max* over
+    partitions, not the mean — and the coordinator's partitioning pass
+    (one read plus one write of both inputs, in the same cost unit as
+    ``serial_cost``) is added back as serial work:
+
+        cost = overhead + skew * serial_cost / n_partitions
+
+    With one partition this is serial cost plus pure overhead — which is
+    why the executor degrades to the serial path instead.
+    """
+    if n_partitions < 1:
+        raise ValueError("need at least one partition")
+    if skew < 1.0:
+        raise ValueError("skew is max/mean partition size; it cannot be < 1")
+    return partition_overhead + skew * serial_cost / n_partitions
+
+
 def _join_rows(
     subset: FrozenSet[str],
     subset_rows: float,

@@ -21,7 +21,9 @@ Binary operators admit closed forms:
 from __future__ import annotations
 
 import enum
-from typing import Optional, Tuple
+import threading
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
 
 from .crisp import CrispLabel, CrispNumber
 from .discrete import DiscreteDistribution
@@ -339,3 +341,87 @@ def _label_items(dist: Distribution):
     if isinstance(dist, DiscreteDistribution) and not dist.is_numeric:
         return list(dist.items.items())
     raise TypeError(f"{type(dist).__name__} is not a symbolic distribution")
+
+
+# ----------------------------------------------------------------------
+# Batched comparison-degree kernel
+# ----------------------------------------------------------------------
+
+class ComparisonKernel:
+    """Batched, memoized evaluation of ``d(probe op candidate)``.
+
+    The merge-join inner loop evaluates one probe value against every
+    candidate resident in the sliding window; the associative-array view of
+    fuzzy relations shows that this is a *block* operation, not ``k``
+    independent ones.  :meth:`batch` evaluates one probe distribution
+    against a block of candidates in a single call and stores every degree
+    in a bounded LRU memo keyed on ``(probe.key(), op, candidate.key())``,
+    so repeated pairs — ubiquitous when attribute values are drawn from a
+    small vocabulary of linguistic terms — are computed once per query.
+
+    The kernel is thread-safe (a single lock guards the memo) so one
+    instance can be shared by all partition workers of a parallel join.
+    Memo hits deliberately do **not** change the ``fuzzy_evaluations``
+    accounting done by callers: the counters measure logical work, keeping
+    EXPLAIN ANALYZE output bit-identical with and without the kernel.
+    """
+
+    __slots__ = ("capacity", "_memo", "_lock", "hits", "misses")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("kernel capacity must be positive")
+        self.capacity = capacity
+        self._memo: "OrderedDict[Tuple, float]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def possibility(self, left: Distribution, op: Op, right: Distribution) -> float:
+        """Memoized ``possibility(left, op, right)``."""
+        key = (left.key(), op, right.key())
+        with self._lock:
+            cached = self._memo.get(key)
+            if cached is not None:
+                self._memo.move_to_end(key)
+                self.hits += 1
+                return cached
+        degree = possibility(left, op, right)
+        self._store(key, degree)
+        return degree
+
+    def batch(
+        self, probe: Distribution, op: Op, candidates: Sequence[Distribution]
+    ) -> List[float]:
+        """Degrees of one probe against a block of candidates, priming the memo.
+
+        Equivalent to ``[possibility(probe, op, c) for c in candidates]``
+        but resolves the probe's key once and fills the memo in a single
+        pass, which is what both join paths call per window scan.
+        """
+        probe_key = probe.key()
+        degrees: List[float] = []
+        for candidate in candidates:
+            key = (probe_key, op, candidate.key())
+            with self._lock:
+                cached = self._memo.get(key)
+                if cached is not None:
+                    self._memo.move_to_end(key)
+                    self.hits += 1
+                    degrees.append(cached)
+                    continue
+            degree = possibility(probe, op, candidate)
+            self._store(key, degree)
+            degrees.append(degree)
+        return degrees
+
+    def _store(self, key: Tuple, degree: float) -> None:
+        with self._lock:
+            self.misses += 1
+            self._memo[key] = degree
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.capacity:
+                self._memo.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._memo)

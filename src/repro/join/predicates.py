@@ -17,7 +17,7 @@ from typing import Callable, Optional, Sequence
 
 from ..data.schema import Schema
 from ..data.tuples import FuzzyTuple
-from ..fuzzy.compare import Op, possibility
+from ..fuzzy.compare import ComparisonKernel, Op, possibility
 from ..storage.stats import OperationStats
 
 
@@ -44,8 +44,18 @@ class JoinPredicate:
         if op is Op.SIMILAR and similarity is None:
             raise ValueError("a SIMILAR predicate needs a similarity relation")
 
-    def degree(self, r: FuzzyTuple, s: FuzzyTuple, stats: Optional[OperationStats] = None) -> float:
+    def degree(
+        self,
+        r: FuzzyTuple,
+        s: FuzzyTuple,
+        stats: Optional[OperationStats] = None,
+        kernel: Optional[ComparisonKernel] = None,
+    ) -> float:
         """Fuzzy degree of the predicate on ``(r, s)``, counting one fuzzy evaluation.
+
+        ``kernel`` routes the possibility computation through a memoizing
+        :class:`~repro.fuzzy.compare.ComparisonKernel`; the fuzzy-evaluation
+        counter is charged either way so accounting stays kernel-agnostic.
         """
         if stats is not None:
             stats.count_fuzzy()
@@ -53,6 +63,8 @@ class JoinPredicate:
         right = s[self.right_index]
         if self.op is Op.SIMILAR:
             return self.similarity.degree(left, right)
+        if kernel is not None:
+            return kernel.possibility(left, self.op, right)
         return possibility(left, self.op, right)
 
     def __repr__(self) -> str:
@@ -62,7 +74,9 @@ class JoinPredicate:
 PairDegree = Callable[[FuzzyTuple, FuzzyTuple, Optional[OperationStats]], float]
 
 
-def join_degree(predicates: Sequence[JoinPredicate]) -> PairDegree:
+def join_degree(
+    predicates: Sequence[JoinPredicate], kernel: Optional[ComparisonKernel] = None
+) -> PairDegree:
     """``min(mu_R(r), mu_S(s), d(p1), ..., d(pk))`` with short-circuiting."""
 
     def degree(r: FuzzyTuple, s: FuzzyTuple, stats: Optional[OperationStats] = None) -> float:
@@ -70,13 +84,15 @@ def join_degree(predicates: Sequence[JoinPredicate]) -> PairDegree:
         for p in predicates:
             if d == 0.0:
                 return 0.0
-            d = min(d, p.degree(r, s, stats))
+            d = min(d, p.degree(r, s, stats, kernel))
         return d
 
     return degree
 
 
-def antijoin_degree(predicates: Sequence[JoinPredicate]) -> PairDegree:
+def antijoin_degree(
+    predicates: Sequence[JoinPredicate], kernel: Optional[ComparisonKernel] = None
+) -> PairDegree:
     """Query JX' pair degree: ``min(mu_R(r), 1 - min(mu_S(s), d(p1..pk)))``.
 
     The group aggregate over all S-tuples is MIN; pairs whose predicates
@@ -88,14 +104,16 @@ def antijoin_degree(predicates: Sequence[JoinPredicate]) -> PairDegree:
         for p in predicates:
             if inner == 0.0:
                 break
-            inner = min(inner, p.degree(r, s, stats))
+            inner = min(inner, p.degree(r, s, stats, kernel))
         return min(r.degree, 1.0 - inner)
 
     return degree
 
 
 def all_quantifier_degree(
-    join_predicates: Sequence[JoinPredicate], compare: JoinPredicate
+    join_predicates: Sequence[JoinPredicate],
+    compare: JoinPredicate,
+    kernel: Optional[ComparisonKernel] = None,
 ) -> PairDegree:
     """Query JALL' pair degree.
 
@@ -108,9 +126,9 @@ def all_quantifier_degree(
         for p in join_predicates:
             if inner == 0.0:
                 break
-            inner = min(inner, p.degree(r, s, stats))
+            inner = min(inner, p.degree(r, s, stats, kernel))
         if inner > 0.0:
-            inner = min(inner, 1.0 - compare.degree(r, s, stats))
+            inner = min(inner, 1.0 - compare.degree(r, s, stats, kernel))
         return min(r.degree, 1.0 - inner)
 
     return degree

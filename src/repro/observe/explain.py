@@ -142,6 +142,13 @@ def render_plan(
     return "\n".join(lines)
 
 
+def _partition_bounds(lower, upper) -> str:
+    """Render a partition's half-open ``b(v)`` range, ``[lo, hi)``."""
+    lo = "-inf" if lower is None else f"{lower:g}"
+    hi = "+inf" if upper is None else f"{upper:g}"
+    return f"[{lo}, {hi})"
+
+
 def render_report(
     metrics: QueryMetrics,
     plan: Optional[Operator] = None,
@@ -160,6 +167,10 @@ def render_report(
         lines.append(f"strategy: {metrics.strategy}")
     if metrics.plan_cache is not None:
         lines.append(f"plan cache: {metrics.plan_cache}")
+    if metrics.parallel_workers > 1:
+        lines.append(f"parallel_workers={metrics.parallel_workers}")
+    if metrics.partitions:
+        lines.append(f"partitions={len(metrics.partitions)}")
     if metrics.degraded:
         reason = metrics.degraded_reason or "fallback strategy"
         lines.append(f"degraded=True ({reason})")
@@ -194,6 +205,19 @@ def render_report(
             f"step {step.name}: rows={step.rows_out}, "
             f"time={step.wall_seconds * 1000.0:.2f}ms"
         )
+
+    for part in metrics.partitions:
+        bounds = _partition_bounds(part.lower, part.upper)
+        notes = [
+            f"rows={part.rows_out}",
+            f"outer={part.outer_tuples}t/{part.outer_pages}p",
+            f"inner={part.inner_tuples}t/{part.inner_pages}p",
+        ]
+        if part.stats is not None:
+            from ..storage.costs import PAPER_1992
+
+            notes.append(f"model={PAPER_1992.response_time(part.stats):.3f}s")
+        lines.append(f"partition {part.index} {bounds}: " + ", ".join(notes))
 
     for sort in metrics.sorts:
         lines.append(

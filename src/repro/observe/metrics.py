@@ -94,6 +94,29 @@ class StepMetrics:
     wall_seconds: float = 0.0
 
 
+@dataclass
+class PartitionMetrics:
+    """One range partition of a parallel sort + merge-join.
+
+    ``outer_tuples``/``inner_tuples`` count the partition's inputs *after*
+    replication (the inner side's overlap band appears in every adjacent
+    partition it reaches), so their sum across partitions can legitimately
+    exceed the inner relation's cardinality.  ``stats`` is the worker's own
+    :class:`~repro.storage.stats.OperationStats` ledger — the per-partition
+    response times the parallel cost model takes its ``max`` over.
+    """
+
+    index: int
+    lower: Optional[object] = None
+    upper: Optional[object] = None
+    outer_tuples: int = 0
+    inner_tuples: int = 0
+    outer_pages: int = 0
+    inner_pages: int = 0
+    rows_out: int = 0
+    stats: Optional[OperationStats] = None
+
+
 class QueryMetrics:
     """Collector threaded through one query execution (strictly opt-in)."""
 
@@ -124,6 +147,18 @@ class QueryMetrics:
         self.degraded_reason: Optional[str] = None
         #: How the query ended: "ok", "timeout", "cancelled", or "error".
         self.outcome: str = "ok"
+        #: Worker budget the query ran with (1 = serial; 0 = the executor
+        #: never stamped a budget, e.g. a storage-level strategy).
+        self.parallel_workers: int = 0
+        #: Per-partition counters when the partitioned join path ran.
+        self.partitions: List[PartitionMetrics] = []
+
+    # ------------------------------------------------------------------
+    # Parallel execution
+    # ------------------------------------------------------------------
+    def record_partition(self, partition: "PartitionMetrics") -> None:
+        """Attach one partition's counters (coordinator-side, in order)."""
+        self.partitions.append(partition)
 
     # ------------------------------------------------------------------
     # Operators

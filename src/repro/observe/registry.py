@@ -95,6 +95,8 @@ class MetricsRegistry:
         self.statements_prepared_total = 0
         self.prepared_executions_total = 0
         self.io_retries_total = 0
+        self.partitions_total = 0
+        self.parallel_queries_total = 0
         self.queries_degraded_total = 0
         self.queries_timeout_total = 0
         self.queries_cancelled_total = 0
@@ -142,6 +144,13 @@ class MetricsRegistry:
                     self.plan_cache_invalidations_total += 1
             if metrics.prepared:
                 self.prepared_executions_total += 1
+            partitions = getattr(metrics, "partitions", None)
+            if partitions:
+                # A query counts as parallel only when a partitioned plan
+                # actually ran — a worker budget alone (parallel_workers)
+                # may have degraded to the serial path.
+                self.parallel_queries_total += 1
+                self.partitions_total += len(partitions)
             if metrics.degraded:
                 self.queries_degraded_total += 1
             outcome = getattr(metrics, "outcome", "ok")
@@ -228,6 +237,8 @@ class MetricsRegistry:
             ("statements_prepared_total", "Statements prepared via prepare().", self.statements_prepared_total),
             ("prepared_executions_total", "Executions of prepared statements.", self.prepared_executions_total),
             ("io_retries_total", "Page transfers re-issued after a transient fault.", self.io_retries_total),
+            ("partitions_total", "Partitions executed by range-partitioned parallel joins.", self.partitions_total),
+            ("parallel_queries_total", "Queries that ran a range-partitioned parallel join.", self.parallel_queries_total),
             ("queries_degraded_total", "Queries answered via a degraded fallback strategy.", self.queries_degraded_total),
             ("queries_timeout_total", "Queries that exceeded their deadline.", self.queries_timeout_total),
             ("queries_cancelled_total", "Queries cancelled via a CancelToken.", self.queries_cancelled_total),

@@ -111,6 +111,28 @@ class SpanTracer:
         finally:
             self.end(span)
 
+    def record(self, name: str, start: float, end: float, **args) -> Span:
+        """Append an already-finished span under the innermost open span.
+
+        The tracer's open-span stack is not thread-safe, so partition
+        workers cannot call :meth:`begin`/:meth:`end` concurrently.
+        Instead each worker timestamps its own task with the tracer's
+        clock and the *coordinator* records the completed spans after the
+        gather — one span per partition task, correctly parented under
+        the coordinator's open join span.
+        """
+        span = Span(name, start, args or None)
+        span.end = end
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def now(self) -> float:
+        """The tracer's clock, for worker threads timestamping their spans."""
+        return self._clock()
+
     def stream(self, name: str, iterator: Iterator, **args) -> Iterator:
         """Wrap a tuple stream in a span opened at first pull.
 

@@ -1,0 +1,124 @@
+"""Range partitioning on the ``b(v)`` left endpoints of the interval order.
+
+A boundary list ``[c_1 < c_2 < ... < c_{k-1}]`` splits a relation into
+``k`` half-open slices ``{t : c_i <= b(t.X) < c_{i+1}}`` (the first slice
+is unbounded below, the last unbounded above).  Because every ``b`` in
+slice ``i`` is strictly below every ``b`` in slice ``i+1``, the slices
+are *order-disjoint* under Definition 3.1's ``(b, e)`` lexicographic
+order: sorting each slice independently and concatenating them yields
+exactly the globally sorted file, with no merge across slices.
+
+Boundaries are chosen as quantiles of sampled ``b`` values
+(:func:`repro.engine.statistics.sample_tuples` — page-level sampling, so
+the partitioner's cost is a handful of charged page reads).  When the
+sample is too small, collapses to fewer than two distinct slices, or the
+attribute's endpoints are not mutually comparable, :meth:`from_sample`
+returns ``None`` and the caller degrades to the serial path.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..fuzzy.interval_order import sort_key
+from ..storage.heap import HeapFile
+from ..storage.stats import OperationStats
+from .executor import DEFAULT_SAMPLE_SIZE
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One half-open slice ``[lower, upper)`` of the ``b(v)`` axis.
+
+    ``lower is None`` means unbounded below; ``upper is None`` unbounded
+    above.  Bounds are compared with the tuple's *left* endpoint only —
+    the right endpoint never affects which slice a tuple lands in.
+    """
+
+    index: int
+    lower: Optional[object]
+    upper: Optional[object]
+
+    def contains(self, b) -> bool:
+        """Whether a left endpoint ``b`` falls inside this slice."""
+        if self.lower is not None and b < self.lower:
+            return False
+        if self.upper is not None and b >= self.upper:
+            return False
+        return True
+
+
+class RangePartitioner:
+    """Maps left endpoints to partition indices via sampled boundaries."""
+
+    def __init__(self, boundaries: List):
+        if not boundaries:
+            raise ValueError("a range partitioner needs at least one boundary")
+        self.boundaries = list(boundaries)
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of slices (one more than the boundary count)."""
+        return len(self.boundaries) + 1
+
+    def partition_index(self, value) -> int:
+        """The slice the distribution ``value`` sorts into (by ``b(value)``)."""
+        b, _ = sort_key(value)
+        return bisect.bisect_right(self.boundaries, b)
+
+    def specs(self) -> List[PartitionSpec]:
+        """The slices as explicit ``[lower, upper)`` specs, in order."""
+        bounds = [None] + self.boundaries + [None]
+        return [
+            PartitionSpec(i, bounds[i], bounds[i + 1])
+            for i in range(self.n_partitions)
+        ]
+
+    @classmethod
+    def from_sample(
+        cls,
+        heap: HeapFile,
+        attribute: str,
+        workers: int,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        seed: int = 0,
+        stats: Optional[OperationStats] = None,
+    ) -> Optional["RangePartitioner"]:
+        """Pick up to ``workers - 1`` boundaries from a page sample of ``heap``.
+
+        Boundaries are the ``i/workers`` quantiles of the sampled left
+        endpoints, deduplicated, so the slices come out roughly equal in
+        tuples (hence pages, under the fixed-size serializer).  Returns
+        ``None`` — degrade to serial — when ``workers < 2``, the sample is
+        empty, every sampled endpoint is equal (no usable boundary), or
+        the endpoints are not mutually comparable (a mixed
+        numeric/symbolic domain).
+        """
+        if workers < 2:
+            return None
+        rng = random.Random(seed)
+        from ..engine.statistics import sample_tuples
+
+        sample = sample_tuples(heap, sample_size, rng, stats)
+        if len(sample) < 2:
+            return None
+        index = heap.schema.index_of(attribute)
+        try:
+            endpoints = sorted(sort_key(t[index])[0] for t in sample)
+        except TypeError:
+            return None  # mixed domains: b values not mutually comparable
+        boundaries: List = []
+        for i in range(1, workers):
+            cut = endpoints[min(len(endpoints) - 1, i * len(endpoints) // workers)]
+            if not boundaries or cut > boundaries[-1]:
+                boundaries.append(cut)
+        # A boundary equal to the global minimum would make the first
+        # slice empty by construction; drop it.
+        if boundaries and boundaries[0] <= endpoints[0]:
+            boundaries = boundaries[1:]
+        if not boundaries:
+            return None
+        return cls(boundaries)

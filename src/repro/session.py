@@ -86,11 +86,15 @@ class StorageSession:
         fixed_tuple_size: Optional[int] = None,
         optimize_joins: bool = False,
         disk: Optional[SimulatedDisk] = None,
+        workers: int = 1,
     ):
         #: Pass ``disk`` to run the session on a caller-provided device —
         #: e.g. a :class:`~repro.faults.FaultyDisk` for chaos testing.
         self.disk = disk if disk is not None else SimulatedDisk(page_size=page_size)
         self.buffer_pages = buffer_pages
+        #: Default intra-query worker budget; ``query(..., workers=N)``
+        #: overrides it per call.  With 1 every plan runs serially.
+        self.workers = max(1, workers)
         self.aggregate_policy = aggregate_policy
         self.fixed_tuple_size = fixed_tuple_size
         self.optimize_joins = optimize_joins
@@ -156,6 +160,7 @@ class StorageSession:
         tracer: Optional[SpanTracer] = None,
         timeout_ms: Optional[float] = None,
         cancel: Optional[CancelToken] = None,
+        workers: Optional[int] = None,
     ) -> FuzzyRelation:
         """Execute a query; attach a collector and/or tracer to instrument it.
 
@@ -180,7 +185,15 @@ class StorageSession:
         of the same SQL skips parse/bind/rewrite (and, for flat plans,
         compilation) entirely, and the collector records the lookup
         outcome in ``metrics.plan_cache``.
+
+        ``workers`` sets this query's intra-query parallelism budget
+        (default: the session's :attr:`workers`).  With ``workers > 1``
+        flat merge-join plans partition both join inputs by ranges of the
+        interval order and sort + join the partitions concurrently,
+        degrading to the serial path — with bit-identical results —
+        whenever usable boundaries cannot be sampled.
         """
+        workers = self.workers if workers is None else max(1, workers)
         guard = QueryGuard.create(timeout_ms, cancel)
         guard_ctx = self.disk.use_guard(guard) if guard is not None else nullcontext()
         need_collector = (
@@ -197,12 +210,16 @@ class StorageSession:
             with guard_ctx:
                 if use_cache:
                     prepared, _ = self._cached_prepared(sql, None)
-                    result = self._run_prepared(prepared, (), stats, None, None)
+                    result = self._run_prepared(
+                        prepared, (), stats, None, None, workers=workers, guard=guard
+                    )
                     prepared.executions += 1
                     return result
                 query = parse(sql) if isinstance(sql, str) else sql
                 nesting = classify(query, self.schemas)
-                return self._dispatch(query, nesting, stats, None)
+                return self._dispatch(
+                    query, nesting, stats, None, workers=workers, guard=guard
+                )
 
         collector = (
             (metrics if metrics is not None else QueryMetrics())
@@ -228,9 +245,15 @@ class StorageSession:
                 self.last_stats = stats
                 if collector is None:
                     if prepared is not None:
-                        result = self._run_prepared(prepared, (), stats, None, tracer)
+                        result = self._run_prepared(
+                            prepared, (), stats, None, tracer,
+                            workers=workers, guard=guard,
+                        )
                     else:
-                        result = self._dispatch(query, nesting, stats, None, tracer)
+                        result = self._dispatch(
+                            query, nesting, stats, None, tracer,
+                            workers=workers, guard=guard,
+                        )
                 else:
                     collector.nesting_type = nesting.value
                     collector.plan_cache = outcome
@@ -238,11 +261,13 @@ class StorageSession:
                     with collector.watch_disk(self.disk), collector.span("query"):
                         if prepared is not None:
                             result = self._run_prepared(
-                                prepared, (), stats, collector, tracer
+                                prepared, (), stats, collector, tracer,
+                                workers=workers, guard=guard,
                             )
                         else:
                             result = self._dispatch(
-                                query, nesting, stats, collector, tracer
+                                query, nesting, stats, collector, tracer,
+                                workers=workers, guard=guard,
                             )
         except FuzzyQueryError as exc:
             self._record_failure(
@@ -474,6 +499,8 @@ class StorageSession:
         stats: OperationStats,
         metrics: Optional[QueryMetrics],
         tracer: Optional[SpanTracer],
+        workers: int = 1,
+        guard: Optional[QueryGuard] = None,
     ) -> FuzzyRelation:
         """Execute a prepared artifact: bind values, (re)compile, run.
 
@@ -513,6 +540,8 @@ class StorageSession:
                         stats,
                         metrics=metrics,
                         tracer=tracer,
+                        workers=workers,
+                        guard=guard,
                     )
                 )
             if artifact.kind in ("grouped", "ja"):
@@ -531,7 +560,8 @@ class StorageSession:
                 with maybe_span(tracer, "bind-params"):
                     bound = prepared.bind(params)
                 return self._dispatch(
-                    bound, prepared.nesting, stats, metrics, tracer
+                    bound, prepared.nesting, stats, metrics, tracer,
+                    workers=workers, guard=guard,
                 )
         except (UnnestError, CompileError):
             pass
@@ -565,19 +595,14 @@ class StorageSession:
         checked between queries and, inside each running query, at every
         page transfer.
         """
-        queries = list(queries)
+        from .parallel.executor import run_ordered
 
         def run_one(q):
             if cancel is not None and cancel.cancelled:
                 raise QueryCancelledError("batch cancelled by its CancelToken")
             return self.query(q, timeout_ms=timeout_ms, cancel=cancel)
 
-        if workers <= 1:
-            return [run_one(q) for q in queries]
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_one, queries))
+        return run_ordered(queries, run_one, workers)
 
     def _dispatch(
         self,
@@ -586,12 +611,17 @@ class StorageSession:
         stats: OperationStats,
         metrics: Optional[QueryMetrics],
         tracer: Optional[SpanTracer] = None,
+        workers: int = 1,
+        guard: Optional[QueryGuard] = None,
     ) -> FuzzyRelation:
         from .join.merge_join import WindowOverflowError
 
         try:
             if nesting in FLAT_TYPES:
-                return self._run_flat(query, nesting, stats, metrics, tracer)
+                return self._run_flat(
+                    query, nesting, stats, metrics, tracer,
+                    workers=workers, guard=guard,
+                )
             if nesting in (NestingType.TYPE_XN, NestingType.TYPE_JX):
                 return self._run_grouped(
                     query, GroupMode.NOT_IN, nesting, stats, metrics, tracer
@@ -654,17 +684,22 @@ class StorageSession:
         lines.append("strategy: naive in-memory nested evaluation")
         return "\n".join(lines)
 
-    def explain_analyze(self, sql: Union[str, SelectQuery]) -> str:
+    def explain_analyze(
+        self, sql: Union[str, SelectQuery], workers: Optional[int] = None
+    ) -> str:
         """Run the query fully instrumented and render the analysis.
 
         The report shows the nesting type, the rewrite that fired, the
         strategy taken, the physical plan (estimated next to measured
         cardinalities, with per-join q-error from sampled fan-outs) or the
         storage-level executor's counters, sort shapes, buffer behaviour,
-        and per-phase I/O and comparison counts.
+        and per-phase I/O and comparison counts.  With ``workers > 1``
+        the report additionally shows the partition table of the parallel
+        merge-join (per-partition rows and pages) and the modelled
+        parallel response time.
         """
         metrics = QueryMetrics()
-        result = self.query(sql, metrics=metrics)
+        result = self.query(sql, metrics=metrics, workers=workers)
         return render_report(
             metrics,
             plan=self.last_plan,
@@ -746,6 +781,8 @@ class StorageSession:
         stats: OperationStats,
         metrics: Optional[QueryMetrics] = None,
         tracer: Optional[SpanTracer] = None,
+        workers: int = 1,
+        guard: Optional[QueryGuard] = None,
     ) -> FuzzyRelation:
         with maybe_span(tracer, "rewrite"):
             plan = unnest(query, self.schemas)
@@ -761,7 +798,8 @@ class StorageSession:
             metrics.strategy = self.last_strategy
         return operator.to_relation(
             ExecutionContext(
-                self.disk, self.buffer_pages, stats, metrics=metrics, tracer=tracer
+                self.disk, self.buffer_pages, stats, metrics=metrics,
+                tracer=tracer, workers=workers, guard=guard,
             )
         )
 

@@ -88,6 +88,30 @@ class CostModel:
             return 0.0
         return self.response_seconds(stats.phases[phase]) / total
 
+    # ------------------------------------------------------------------
+    # Intra-query parallelism
+    # ------------------------------------------------------------------
+    def parallel_response_time(self, stats, partition_stats) -> float:
+        """Modelled response time of a partitioned execution.
+
+        ``stats`` is the coordinator's merged ledger (its own partitioning
+        overhead *plus* every worker's counters, folded in after the
+        gather); ``partition_stats`` are the workers' individual ledgers.
+        Workers run concurrently, so their modelled time enters as the
+        *maximum* over partitions rather than the sum:
+
+            T_parallel = T(total) - sum_i T(worker_i) + max_i T(worker_i)
+
+        i.e. the serial coordinator work (partitioning overhead, sampling,
+        scans, splices) plus the slowest partition.  With an empty
+        ``partition_stats`` this degrades to plain :meth:`response_time`.
+        """
+        total = self.response_time(stats)
+        if not partition_stats:
+            return total
+        worker_times = [self.response_time(ws) for ws in partition_stats]
+        return total - sum(worker_times) + max(worker_times)
+
 
 #: The calibrated model used by all paper-reproduction benchmarks.
 PAPER_1992 = CostModel()

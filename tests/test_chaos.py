@@ -116,8 +116,16 @@ def assert_no_leaks(session):
 # ----------------------------------------------------------------------
 # The sweep
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 4], ids=["serial", "workers4"])
 @pytest.mark.parametrize("label", sorted(CASES))
-def test_fault_sweep_identical_or_typed(label):
+def test_fault_sweep_identical_or_typed(label, workers):
+    """The resilience contract, in serial and parallel modes alike.
+
+    With ``workers=4`` the flat strategies may run the range-partitioned
+    parallel join; a fault inside one partition worker must cancel its
+    siblings and surface as a single typed error — never a wrong answer,
+    never a leak — and an absorbed schedule must still be invisible.
+    """
     sql = CASES[label]
     for data_seed in range(4):
         expected = build_session(data_seed).query(sql)
@@ -125,15 +133,80 @@ def test_fault_sweep_identical_or_typed(label):
             for plan in fault_plans(fault_seed):
                 session = build_faulted(data_seed, plan)
                 try:
-                    got = session.query(sql)
+                    got = session.query(sql, workers=workers)
                 except FuzzyQueryError:
                     pass  # a typed failure is an acceptable outcome
                 else:
                     assert got.same_as(expected, 0.0), (
-                        f"{label} data_seed={data_seed} plan={plan}: "
-                        "faulted run returned a different answer"
+                        f"{label} data_seed={data_seed} workers={workers} "
+                        f"plan={plan}: faulted run returned a different answer"
                     )
                 assert_no_leaks(session)
+
+
+def test_parallel_worker_faults_cancel_siblings_and_stay_typed():
+    """Burst faults inside partition workers: typed error or exact answer.
+
+    At this relation size the type-J query runs the range-partitioned
+    join (asserted on a fault-free run first), so over-budget bursts land
+    inside partition workers.  Every outcome must be a typed error — the
+    root-cause fault, not a sibling's cancellation — or the bit-identical
+    answer, with no scratch files left either way.
+    """
+    sql = CASES["J"]
+    expected = build_session(0, n_low=40, n_high=40).query(sql)
+    clean = build_session(0, n_low=40, n_high=40)
+    metrics = QueryMetrics()
+    got = clean.query(sql, workers=4, metrics=metrics)
+    assert got.same_as(expected, 0.0)
+    assert metrics.partitions, "partitioned plan must run at this size"
+
+    failures = 0
+    for fault_seed in range(6):
+        plan = FaultPlan(seed=fault_seed, transient_read_rate=0.05, transient_burst=6)
+        session = build_faulted(0, plan, n_low=40, n_high=40)
+        try:
+            got = session.query(sql, workers=4)
+        except QueryCancelledError:  # pragma: no cover - would be a regression
+            pytest.fail(
+                f"seed={fault_seed}: a sibling cancellation escaped instead "
+                "of the root-cause fault"
+            )
+        except FuzzyQueryError:
+            failures += 1
+        else:
+            assert got.same_as(expected, 0.0), f"seed={fault_seed}"
+        assert_no_leaks(session)
+    assert failures > 0, "no schedule exceeded the retry budget; weaken the plan"
+
+
+def test_parallel_timeout_stays_typed_and_leak_free():
+    plan = FaultPlan().spike_read(2, seconds=5.0)
+    session = build_faulted(0, plan, n_low=40, n_high=40)
+    with pytest.raises(QueryTimeoutError):
+        session.query(CASES["J"], timeout_ms=50, workers=4)
+    assert_no_leaks(session)
+
+
+def test_parallel_precancelled_token_aborts():
+    session = build_session(0, n_low=40, n_high=40)
+    token = CancelToken()
+    token.cancel()
+    with pytest.raises(QueryCancelledError):
+        session.query(CASES["J"], cancel=token, workers=4)
+    assert_no_leaks(session)
+
+
+def test_parallel_disk_full_degrades_to_identical_answer():
+    sql = CASES["J"]
+    expected = build_session(0).query(sql)
+    session, plan = degraded_session("J")
+    metrics = QueryMetrics()
+    got = session.query(sql, workers=4, metrics=metrics)
+    assert got.same_as(expected, 0.0)
+    assert metrics.degraded
+    assert plan.injected.disk_full > 0
+    assert_no_leaks(session)
 
 
 def test_absorbed_faults_are_counted():

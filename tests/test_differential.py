@@ -120,6 +120,28 @@ def test_three_engines_agree(label):
         )
 
 
+@pytest.mark.parametrize("workers", [1, 2, 4], ids=["workers1", "workers2", "workers4"])
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_stored_engine_parallel_workers_agree(label, workers):
+    """The ``workers=N`` option never changes an answer, for any nesting type.
+
+    The storage session may run the range-partitioned parallel join, or
+    degrade to the serial path (tiny relations often yield no usable
+    boundaries) — either way the answer must be bit-identical to the
+    serial run, across the same seed sweep as the engine-vs-engine test.
+    """
+    sql, _ = CASES[label]
+    for seed in range(N_CASES):
+        _catalog, session = build(1000 * hash(label) % 7919 + seed)
+        serial = session.query(sql)
+        _catalog, parallel_session = build(1000 * hash(label) % 7919 + seed)
+        got = parallel_session.query(sql, workers=workers)
+        assert serial.same_as(got, 0.0), (
+            f"{label} seed={seed} workers={workers}: parallel answer diverged\n"
+            f"serial:\n{serial.pretty()}\nparallel:\n{got.pretty()}"
+        )
+
+
 def test_unnest_never_silently_skipped():
     """Every differential case actually exercises its rewrite."""
     for label, (sql, _) in CASES.items():

@@ -1,0 +1,223 @@
+"""Property tests: partitioned execution is bit-identical to serial.
+
+Hypothesis draws random relations (overlapping crisp and trapezoidal
+values, duplicated keys, arbitrary degrees) *and* arbitrary partition
+boundary lists, then checks the two invariants the parallel layer rests
+on:
+
+* **Sort**: partitioning on ``b(v)``, sorting each slice independently,
+  and concatenating is exactly the serial external sort's ``(b, e)``
+  order — for *any* boundary choice, because half-open ``b`` ranges are
+  order-disjoint.
+* **Join**: the partitioned merge-join returns the same pairs as the
+  serial merge-join — for any boundary choice — because the outer side
+  is partitioned disjointly while the inner side is replicated into the
+  ``Rng(r)`` overlap band of every slice it can reach.  Folding the
+  pairs into a :class:`~repro.data.FuzzyRelation` then ``max``-merges
+  duplicates identically on both paths.
+
+The boundaries here are adversarial on purpose: cuts straddling dense
+value clusters, cuts outside the domain, duplicate-heavy relations.  The
+sampled-boundary production path is exercised end-to-end by
+``tests/test_parallel.py`` and the differential sweep.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import FuzzyRelation, FuzzyTuple, Schema
+from repro.fuzzy import CrispNumber, Op, TrapezoidalNumber
+from repro.fuzzy.interval_order import sort_key
+from repro.join import JoinPredicate, MergeJoin, WindowOverflowError, join_degree
+from repro.parallel import PartitionedMergeJoin, RangePartitioner, parallel_sort
+from repro.sort import ExternalSorter
+from repro.storage import BufferPool, HeapFile, OperationStats, SimulatedDisk
+
+N = CrispNumber
+T = TrapezoidalNumber
+SCHEMA = Schema(["ID", "X"])
+EQ_PRED = [JoinPredicate(SCHEMA, "X", Op.EQ, SCHEMA, "X")]
+
+#: A deliberately narrow domain: heavy overlap, many exact duplicates.
+centers = st.integers(min_value=0, max_value=20)
+widths = st.integers(min_value=1, max_value=5)
+degrees = st.sampled_from([0.3, 0.6, 0.8, 1.0])
+
+
+@st.composite
+def fuzzy_values(draw):
+    c = draw(centers)
+    if draw(st.booleans()):
+        return N(c)
+    w = draw(widths)
+    return T(c - w, c, c, c + w)
+
+
+value_lists = st.lists(
+    st.tuples(fuzzy_values(), degrees), min_size=2, max_size=24
+)
+
+#: Boundary cuts anywhere on (and beyond) the value domain, strictly
+#: increasing after dedup; empty and degenerate lists are separate tests.
+boundary_lists = st.lists(
+    st.integers(min_value=-2, max_value=24), min_size=1, max_size=5
+).map(lambda cuts: sorted(set(float(c) for c in cuts)))
+
+
+def make_heap(disk, values, name, base=0):
+    tuples = [
+        FuzzyTuple([N(base + i), v], d) for i, (v, d) in enumerate(values)
+    ]
+    return HeapFile(name, SCHEMA, disk, fixed_tuple_size=64).load(tuples)
+
+
+def heap_keys(disk, heap):
+    return [sort_key(t[1]) for t in heap.scan(BufferPool(disk, 8))]
+
+
+def as_triples(pairs):
+    return sorted(
+        (rt[0].value, st_[0].value, round(d, 12)) for rt, st_, d in pairs
+    )
+
+
+def fold(pairs):
+    """The answer relation a session would build: max-merged duplicates."""
+    out = FuzzyRelation(Schema(["RID"]))
+    for rt, _st, d in pairs:
+        out.add(FuzzyTuple([rt[0]], min(d, rt.degree)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Sort
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(values=value_lists, boundaries=boundary_lists)
+def test_partitioned_sort_matches_serial_for_any_boundaries(values, boundaries):
+    serial_disk = SimulatedDisk(page_size=256)
+    serial = ExternalSorter(serial_disk, 4, OperationStats()).sort(
+        make_heap(serial_disk, values, "h"), "X"
+    )
+    parallel_disk = SimulatedDisk(page_size=256)
+    heap = make_heap(parallel_disk, values, "h")
+    merged, _ = parallel_sort(
+        parallel_disk, 4, OperationStats(), heap, "X",
+        RangePartitioner(boundaries), workers=4,
+    )
+    assert heap_keys(parallel_disk, merged) == heap_keys(serial_disk, serial)
+    assert merged.n_tuples == len(values)
+    leftovers = [n for n in parallel_disk.files() if n.startswith("__part")]
+    assert leftovers == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=value_lists)
+def test_sampled_boundaries_sort_identically(values):
+    serial_disk = SimulatedDisk(page_size=256)
+    serial = ExternalSorter(serial_disk, 4, OperationStats()).sort(
+        make_heap(serial_disk, values, "h"), "X"
+    )
+    parallel_disk = SimulatedDisk(page_size=256)
+    out = ExternalSorter(parallel_disk, 4, OperationStats()).sort_parallel(
+        make_heap(parallel_disk, values, "h"), "X", workers=4
+    )
+    assert heap_keys(parallel_disk, out) == heap_keys(serial_disk, serial)
+
+
+# ----------------------------------------------------------------------
+# Join
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    r_values=value_lists,
+    s_values=value_lists,
+    boundaries=boundary_lists,
+)
+def test_partitioned_join_matches_serial_for_any_boundaries(
+    r_values, s_values, boundaries
+):
+    disk = SimulatedDisk(page_size=256)
+    r = make_heap(disk, r_values, "R")
+    s = make_heap(disk, s_values, "S", base=1000)
+    try:
+        expected = list(
+            MergeJoin(disk, 8, OperationStats()).pairs(
+                r, "X", s, "X", join_degree(EQ_PRED)
+            )
+        )
+    except WindowOverflowError:
+        # Duplicate-heavy draws can overflow even the *serial* merge
+        # window — there is no serial answer to compare against.  The
+        # partitioned path handles the same condition by degrading, which
+        # the run below exercises on other draws.
+        return
+    join = PartitionedMergeJoin(
+        disk, 8, OperationStats(), workers=4,
+        partitioner=RangePartitioner(boundaries),
+    )
+    pairs = join.run(r, "X", s, "X", join_degree(EQ_PRED))
+    if pairs is None:
+        # Legitimate degrades only: skew or a collapsed partitioning —
+        # never an error, and never a wrong answer.
+        assert join.fallback_reason is not None
+        return
+    # Pair-for-pair identical, and the overlap band never duplicates a
+    # pair (R is partitioned disjointly).
+    assert as_triples(pairs) == as_triples(expected)
+    assert len(pairs) == len(expected)
+    # The folded answer relations — what a query returns after the
+    # max-merge of duplicate projected tuples — agree exactly.
+    assert fold(pairs).same_as(fold(expected), 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(r_values=value_lists, s_values=value_lists)
+def test_sampled_boundaries_join_identically(r_values, s_values):
+    disk = SimulatedDisk(page_size=256)
+    r = make_heap(disk, r_values, "R")
+    s = make_heap(disk, s_values, "S", base=1000)
+    try:
+        expected = list(
+            MergeJoin(disk, 8, OperationStats()).pairs(
+                r, "X", s, "X", join_degree(EQ_PRED)
+            )
+        )
+    except WindowOverflowError:
+        return  # no serial answer to compare against (see above)
+    join = PartitionedMergeJoin(disk, 8, OperationStats(), workers=4)
+    pairs = join.run(r, "X", s, "X", join_degree(EQ_PRED))
+    if pairs is None:
+        assert join.fallback_reason is not None
+        return
+    assert as_triples(pairs) == as_triples(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r_values=value_lists,
+    s_values=value_lists,
+    boundaries=boundary_lists,
+    workers=st.integers(min_value=2, max_value=6),
+)
+def test_worker_count_never_changes_the_answer(
+    r_values, s_values, boundaries, workers
+):
+    """Same boundaries, any worker-pool width: identical pairs."""
+    disk = SimulatedDisk(page_size=256)
+    r = make_heap(disk, r_values, "R")
+    s = make_heap(disk, s_values, "S", base=1000)
+    reference = None
+    for w in (2, workers):
+        join = PartitionedMergeJoin(
+            disk, 8, OperationStats(), workers=w,
+            partitioner=RangePartitioner(boundaries),
+        )
+        pairs = join.run(r, "X", s, "X", join_degree(EQ_PRED))
+        if pairs is None:
+            return  # degrades identically regardless of pool width
+        if reference is None:
+            reference = as_triples(pairs)
+        else:
+            assert as_triples(pairs) == reference

@@ -143,12 +143,13 @@ class TestCommittedBaseline:
             data = json.load(handle)
         assert data["version"] == 1
         assert data["scale"] == 32  # CI runs at the default scale
-        assert len(data["workloads"]) == 15
+        assert len(data["workloads"]) == 16
         assert set(data["workloads"]) >= {
             "service_cold_J",
             "service_cached_J",
             "service_batch_w1",
             "service_batch_w4",
+            "parallel_J",
             "faulted_J",
         }
         assert data["workloads"]["service_cold_J"]["plan_cache"] == "miss"
@@ -166,3 +167,11 @@ class TestCommittedBaseline:
             faulted["modelled_seconds"]
             > data["workloads"]["session_J"]["modelled_seconds"]
         )
+        # The parallel slice must actually have run the partitioned plan
+        # (not silently degraded), returned the serial answer, and its
+        # planner curve must fall monotonically with the partition count.
+        parallel = data["workloads"]["parallel_J"]
+        assert parallel["counters"]["partitions"] >= 2
+        assert parallel["rows"] == data["workloads"]["session_J"]["rows"]
+        planner = [parallel["planner_costs"][k] for k in ("1", "2", "4", "8")]
+        assert planner == sorted(planner, reverse=True)
