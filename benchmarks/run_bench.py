@@ -126,8 +126,14 @@ def _method_workloads(scale: int) -> dict:
     return out
 
 
-def build_session(seed: int = 23, n: int = 60, disk=None) -> StorageSession:
-    """The fixed R/S/W session every ``session_*`` workload runs against."""
+def build_session(
+    seed: int = 23, n: int = 60, disk=None, shards: int = 1
+) -> StorageSession:
+    """The fixed R/S/W session every ``session_*`` workload runs against.
+
+    With ``shards >= 2`` the relations are additionally placed across
+    that many simulated shard disks on ``V`` (the ``sharded_J`` slice).
+    """
     from repro.fuzzy import CrispNumber as N
     from repro.fuzzy import TrapezoidalNumber as T
 
@@ -146,7 +152,9 @@ def build_session(seed: int = 23, n: int = 60, disk=None) -> StorageSession:
             )
         return out
 
-    session = StorageSession(buffer_pages=16, page_size=1024, disk=disk)
+    session = StorageSession(
+        buffer_pages=16, page_size=1024, disk=disk, shards=shards, shard_on="V"
+    )
     session.register("R", rel(0))
     session.register("S", rel(1000))
     session.register("W", rel(2000))
@@ -289,6 +297,60 @@ def _parallel_workloads() -> dict:
     }
 
 
+def _sharded_workloads() -> dict:
+    """The scatter-gather slice: type-J serial vs a 4-node sharded session.
+
+    Both runs must return the identical answer; the sharded run must
+    actually execute shard tasks (non-empty ``metrics.shards`` — a silent
+    degrade to local execution would make this slice meaningless) with
+    zero failovers (all nodes are healthy here; the failover path is the
+    chaos suite's job).  The gated modelled cost is
+    :meth:`CostModel.sharded_response_time` — coordinator work plus the
+    slowest shard — and the shard count, spliced rows, and the summed
+    per-shard page reads are gated as counters, so ``--check`` fails if
+    the scatter-gather plan stops running or its I/O shape drifts.  Wall
+    time is recorded, never gated.
+    """
+    sql = SESSION_QUERIES["session_J"]
+    serial_session = build_session()
+    serial = serial_session.query(sql)
+
+    session = build_session(shards=4)
+    metrics = QueryMetrics()
+    started = time.perf_counter()
+    result = session.query(sql, metrics=metrics)
+    wall = time.perf_counter() - started
+    if not result.same_as(serial, 0.0):
+        raise AssertionError("sharded_J: shards=4 answer differs from serial")
+    if not metrics.shards:
+        raise AssertionError(
+            f"sharded_J: scatter-gather plan did not run "
+            f"(degraded: {metrics.degraded_reason})"
+        )
+    if metrics.shard_failovers:
+        raise AssertionError(
+            f"sharded_J: {metrics.shard_failovers} failover(s) on healthy nodes"
+        )
+    shard_stats = [sh.stats for sh in metrics.shards if sh.stats is not None]
+    modelled = PAPER_1992.sharded_response_time(session.last_stats, shard_stats)
+    counters = _counters(session.last_stats)
+    counters["shards"] = len(metrics.shards)
+    counters["shard_rows"] = sum(sh.rows_out for sh in metrics.shards)
+    counters["shard_page_reads"] = sum(ws.total.page_reads for ws in shard_stats)
+    return {
+        "sharded_J": {
+            "modelled_seconds": modelled,
+            "serial_modelled_seconds": PAPER_1992.response_time(
+                serial_session.last_stats
+            ),
+            "wall_seconds": wall,
+            "rows": len(result),
+            "strategy": session.last_strategy,
+            "counters": counters,
+        }
+    }
+
+
 def _fault_workloads() -> dict:
     """The retry-path slice: the type-J query under an absorbed fault schedule.
 
@@ -357,6 +419,7 @@ def run_all(scale: int) -> dict:
     workloads.update(_session_workloads())
     workloads.update(_service_workloads())
     workloads.update(_parallel_workloads())
+    workloads.update(_sharded_workloads())
     workloads.update(_fault_workloads())
     return {
         "version": VERSION,

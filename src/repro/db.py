@@ -115,10 +115,26 @@ class FuzzyDatabase:
         query: Union[str, SelectQuery],
         metrics=None,
         sql_text: Optional[str] = None,
+        shards: Optional[int] = None,
+        shard_on: Optional[str] = None,
     ) -> FuzzyRelation:
-        """Run one SELECT; textual queries go through the plan cache."""
+        """Run one SELECT; textual queries go through the plan cache.
+
+        With ``shards=N`` (N >= 2) the catalog is materialized into a
+        scratch *sharded* :class:`~repro.session.StorageSession` — each
+        relation placed across N simulated disks on ``shard_on`` — and
+        the query executes there via scatter-gather, bypassing this
+        database's in-memory plan cache.  Results are bit-identical to
+        the in-memory engine.
+        """
         if sql_text is None and isinstance(query, str):
             sql_text = query
+        if shards is not None and shards > 1:
+            session = self._storage_session(shards=shards, shard_on=shard_on)
+            statement = parse_statement(query) if isinstance(query, str) else query
+            if not isinstance(statement, SelectQuery):
+                raise DatabaseError("query() expects a SELECT statement")
+            return session.query(statement, metrics=metrics)
         if isinstance(query, str):
             if self.plan_cache is not None:
                 return self._query_cached(query, metrics)
@@ -341,7 +357,12 @@ class FuzzyDatabase:
             return f"nesting type: {nesting.value}\nnaive nested-loop evaluation"
         return f"nesting type: {nesting.value}\n{plan.explain()}"
 
-    def explain_analyze(self, sql: Union[str, SelectQuery]) -> str:
+    def explain_analyze(
+        self,
+        sql: Union[str, SelectQuery],
+        shards: Optional[int] = None,
+        shard_on: Optional[str] = None,
+    ) -> str:
         """Run a query fully instrumented on the storage engine.
 
         The catalog's tables are materialized into a scratch
@@ -350,20 +371,31 @@ class FuzzyDatabase:
         :class:`~repro.observe.metrics.QueryMetrics` collector attached,
         and the report shows the fired rewrite, the physical plan with
         estimated vs. measured cardinalities, sort shapes, buffer
-        behaviour, and per-phase I/O counts.
+        behaviour, and per-phase I/O counts.  With ``shards=N`` the
+        scratch session is sharded (placement on ``shard_on``) and the
+        report gains the ``shard i [lo, hi)`` table and failover counts.
         """
-        from .session import StorageSession
-
         query = parse_statement(sql) if isinstance(sql, str) else sql
         if not isinstance(query, SelectQuery):
             raise DatabaseError("explain_analyze() expects a SELECT statement")
+        session = self._storage_session(shards=shards, shard_on=shard_on)
+        return session.explain_analyze(query)
+
+    def _storage_session(
+        self, shards: Optional[int] = None, shard_on: Optional[str] = None
+    ):
+        """A scratch storage session over the catalog's current contents."""
+        from .session import StorageSession
+
         session = StorageSession(
             vocabulary=self.catalog.vocabulary,
             aggregate_policy=self.aggregate_policy,
+            shards=shards if shards is not None else 1,
+            shard_on=shard_on,
         )
         for name in self.catalog.names():
             session.register(name, self.catalog.get(name))
-        return session.explain_analyze(query)
+        return session
 
     def trace(self, sql: Union[str, SelectQuery]):
         """Run a query on the storage engine with a span tracer attached.

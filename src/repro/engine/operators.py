@@ -71,11 +71,14 @@ class ExecutionContext:
     default) the operators run the exact pre-observability code paths —
     every touch point is guarded by an ``is not None`` check.
 
-    ``workers`` is an *execution-time* knob, never baked into a plan:
-    cached operator trees are shared across sessions and threads, so the
-    parallel/serial decision — and the per-execution comparison kernel —
-    live here.  ``guard`` carries the query's deadline/cancel limits so
-    partition workers can derive their own linked guards.
+    ``workers`` and ``shards`` are *execution-time* knobs, never baked
+    into a plan: cached operator trees are shared across sessions and
+    threads, so the parallel/serial and sharded/local decisions — and the
+    per-execution comparison kernel — live here.  ``guard`` carries the
+    query's deadline/cancel limits so partition workers can derive their
+    own linked guards, and ``sharded`` the session's
+    :class:`~repro.shard.ShardedStorage` (when one exists) so merge-joins
+    over placed base relations can scatter-gather across the shard nodes.
     """
 
     def __init__(
@@ -89,6 +92,8 @@ class ExecutionContext:
         workers: int = 1,
         guard=None,
         kernel=None,
+        shards: int = 1,
+        sharded=None,
     ):
         from ..fuzzy.compare import ComparisonKernel
 
@@ -99,11 +104,14 @@ class ExecutionContext:
         self.tracer = tracer
         self.workers = max(1, workers)
         self.guard = guard
+        self.shards = max(1, shards)
+        self.sharded = sharded
         #: Per-execution memoizing comparison kernel, shared by every
         #: operator (and every partition worker) of this one execution.
         self.kernel = kernel if kernel is not None else ComparisonKernel()
         if metrics is not None:
             metrics.parallel_workers = self.workers
+            metrics.requested_shards = self.shards if sharded is not None else 0
         #: Optional :class:`~repro.storage.buffer.BufferPool` (or striped
         #: manager); :meth:`release` unpins all of its frames so a failed
         #: query can never wedge a shared pool into
@@ -342,6 +350,32 @@ class MergeJoinOp(Operator):
         left_heap = _as_heap(self.left, ctx)
         right_heap = _as_heap(self.right, ctx)
         pair_degree = self.pair_degree_with(ctx.kernel)
+
+        if ctx.shards > 1 and ctx.sharded is not None:
+            from ..shard.executor import ShardedMergeJoin
+
+            sharded = ShardedMergeJoin(
+                ctx.sharded, ctx.buffer_pages, ctx.stats,
+                metrics=ctx.metrics, tracer=ctx.tracer, guard=ctx.guard,
+                kernel=ctx.kernel,
+            )
+            pairs = sharded.run(
+                left_heap, self.left_attr, right_heap, self.right_attr, pair_degree
+            )
+            if pairs is not None:
+                if sharded.failovers:
+                    ctx.mark_degraded(
+                        f"shard failover: {sharded.failovers} slice read(s) "
+                        "completed from mirror replicas"
+                    )
+                for r, s, degree in pairs:
+                    yield r.concat(s, degree)
+                return
+            # Scatter-gather declined (unplaced input, collapsed layout,
+            # ...): the local paths below produce the identical answer.
+            ctx.mark_degraded(
+                f"sharded join fell back to local execution: {sharded.fallback_reason}"
+            )
 
         if ctx.workers > 1:
             from ..parallel.join import PartitionedMergeJoin

@@ -171,6 +171,12 @@ def render_report(
         lines.append(f"parallel_workers={metrics.parallel_workers}")
     if metrics.partitions:
         lines.append(f"partitions={len(metrics.partitions)}")
+    if getattr(metrics, "requested_shards", 0) > 1:
+        lines.append(f"requested_shards={metrics.requested_shards}")
+    if getattr(metrics, "shards", None):
+        lines.append(f"shards={len(metrics.shards)}")
+    if getattr(metrics, "shard_failovers", 0):
+        lines.append(f"shard failovers: {metrics.shard_failovers}")
     if metrics.degraded:
         reason = metrics.degraded_reason or "fallback strategy"
         lines.append(f"degraded=True ({reason})")
@@ -218,6 +224,19 @@ def render_report(
 
             notes.append(f"model={PAPER_1992.response_time(part.stats):.3f}s")
         lines.append(f"partition {part.index} {bounds}: " + ", ".join(notes))
+
+    for shard in getattr(metrics, "shards", ()):
+        bounds = _partition_bounds(shard.lower, shard.upper)
+        notes = [
+            f"rows={shard.rows_out}",
+            f"outer={shard.outer_tuples}t/{shard.outer_pages}p",
+            f"inner={shard.inner_tuples}t/{shard.inner_pages}p",
+        ]
+        if shard.stats is not None:
+            from ..storage.costs import PAPER_1992
+
+            notes.append(f"model={PAPER_1992.response_time(shard.stats):.3f}s")
+        lines.append(f"shard {shard.index} {bounds}: " + ", ".join(notes))
 
     for sort in metrics.sorts:
         lines.append(

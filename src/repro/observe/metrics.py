@@ -152,13 +152,26 @@ class QueryMetrics:
         self.parallel_workers: int = 0
         #: Per-partition counters when the partitioned join path ran.
         self.partitions: List[PartitionMetrics] = []
+        #: Shard budget the query ran with (0 = the session had no
+        #: sharded storage or the executor never stamped one).
+        self.requested_shards: int = 0
+        #: Per-shard counters when the scatter-gather join path ran (the
+        #: same shape as :attr:`partitions` — shards *are* durable
+        #: partitions).
+        self.shards: List[PartitionMetrics] = []
+        #: Replica failovers performed by shard tasks during this query.
+        self.shard_failovers: int = 0
 
     # ------------------------------------------------------------------
-    # Parallel execution
+    # Parallel / sharded execution
     # ------------------------------------------------------------------
     def record_partition(self, partition: "PartitionMetrics") -> None:
         """Attach one partition's counters (coordinator-side, in order)."""
         self.partitions.append(partition)
+
+    def record_shard(self, shard: "PartitionMetrics") -> None:
+        """Attach one shard task's counters (coordinator-side, in order)."""
+        self.shards.append(shard)
 
     # ------------------------------------------------------------------
     # Operators

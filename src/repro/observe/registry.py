@@ -97,6 +97,9 @@ class MetricsRegistry:
         self.io_retries_total = 0
         self.partitions_total = 0
         self.parallel_queries_total = 0
+        self.shards_total = 0
+        self.sharded_queries_total = 0
+        self.shard_failovers_total = 0
         self.queries_degraded_total = 0
         self.queries_timeout_total = 0
         self.queries_cancelled_total = 0
@@ -151,6 +154,13 @@ class MetricsRegistry:
                 # may have degraded to the serial path.
                 self.parallel_queries_total += 1
                 self.partitions_total += len(partitions)
+            shards = getattr(metrics, "shards", None)
+            if shards:
+                # Same discipline as parallel queries: a shard budget
+                # alone may have degraded to local execution.
+                self.sharded_queries_total += 1
+                self.shards_total += len(shards)
+            self.shard_failovers_total += getattr(metrics, "shard_failovers", 0)
             if metrics.degraded:
                 self.queries_degraded_total += 1
             outcome = getattr(metrics, "outcome", "ok")
@@ -239,6 +249,9 @@ class MetricsRegistry:
             ("io_retries_total", "Page transfers re-issued after a transient fault.", self.io_retries_total),
             ("partitions_total", "Partitions executed by range-partitioned parallel joins.", self.partitions_total),
             ("parallel_queries_total", "Queries that ran a range-partitioned parallel join.", self.parallel_queries_total),
+            ("shards_total", "Shard tasks executed by scatter-gather joins.", self.shards_total),
+            ("sharded_queries_total", "Queries that ran a scatter-gather sharded join.", self.sharded_queries_total),
+            ("shard_failovers_total", "Shard reads completed from a mirror replica after a storage fault.", self.shard_failovers_total),
             ("queries_degraded_total", "Queries answered via a degraded fallback strategy.", self.queries_degraded_total),
             ("queries_timeout_total", "Queries that exceeded their deadline.", self.queries_timeout_total),
             ("queries_cancelled_total", "Queries cancelled via a CancelToken.", self.queries_cancelled_total),

@@ -87,6 +87,9 @@ class StorageSession:
         optimize_joins: bool = False,
         disk: Optional[SimulatedDisk] = None,
         workers: int = 1,
+        shards: int = 1,
+        shard_on: Optional[str] = None,
+        shard_disks: Optional[List[SimulatedDisk]] = None,
     ):
         #: Pass ``disk`` to run the session on a caller-provided device —
         #: e.g. a :class:`~repro.faults.FaultyDisk` for chaos testing.
@@ -95,10 +98,36 @@ class StorageSession:
         #: Default intra-query worker budget; ``query(..., workers=N)``
         #: overrides it per call.  With 1 every plan runs serially.
         self.workers = max(1, workers)
+        #: Default shard budget; ``query(..., shards=N)`` overrides it per
+        #: call.  With ``shards >= 2`` the session additionally places
+        #: registered relations across that many independent disk nodes
+        #: (:class:`~repro.shard.ShardedStorage`) and merge-joins over
+        #: placed base relations scatter-gather across them.  Pass
+        #: ``shard_disks`` to run specific nodes on caller-provided
+        #: devices (e.g. one :class:`~repro.faults.FaultyDisk` for chaos
+        #: testing) and ``shard_on`` as the default placement attribute
+        #: for :meth:`register`.
+        self.shards = max(1, shards)
+        self.shard_on = shard_on
+        from .shard import ShardedStorage
+
+        self.sharded: Optional[ShardedStorage] = (
+            ShardedStorage(
+                self.shards,
+                page_size=page_size,
+                fixed_tuple_size=fixed_tuple_size,
+                disks=shard_disks,
+            )
+            if self.shards > 1
+            else None
+        )
         self.aggregate_policy = aggregate_policy
         self.fixed_tuple_size = fixed_tuple_size
         self.optimize_joins = optimize_joins
         self.tables: Dict[str, HeapFile] = {}
+        #: In-memory relations retained for re-placement (:meth:`reshard`);
+        #: only populated on sharded sessions.
+        self._relations: Dict[str, FuzzyRelation] = {}
         #: Schema-only catalog used for classification and rewriting.
         self.schemas = Catalog(vocabulary)
         self.last_stats = OperationStats()
@@ -132,8 +161,20 @@ class StorageSession:
     # ------------------------------------------------------------------
     # Data
     # ------------------------------------------------------------------
-    def register(self, name: str, relation: FuzzyRelation) -> HeapFile:
-        """Materialize a relation as a heap file (load I/O is not charged)."""
+    def register(
+        self,
+        name: str,
+        relation: FuzzyRelation,
+        shard_on: Optional[str] = None,
+    ) -> HeapFile:
+        """Materialize a relation as a heap file (load I/O is not charged).
+
+        On a sharded session the relation is *additionally* placed across
+        the shard nodes on ``shard_on`` (default: the session-level
+        :attr:`shard_on`, when that attribute exists in the schema) — the
+        main-disk heap stays authoritative for every strategy the
+        scatter-gather executor does not cover.
+        """
         name = name.upper()
         scratch = OperationStats()
         with self.disk.use_stats(scratch):
@@ -144,11 +185,41 @@ class StorageSession:
             heap.load(relation.tuples())
         self.tables[name] = heap
         self.schemas.register(name, FuzzyRelation(relation.schema))
+        if self.sharded is not None:
+            attribute = shard_on if shard_on is not None else self.shard_on
+            names = {a.name for a in relation.schema}
+            if attribute is not None and attribute in names:
+                self._relations[name] = relation
+                self.sharded.place(name, relation, attribute)
         # Every (re)registration moves the relation's statistics version:
         # cached plans that read this table must be re-validated.
         if not self.stats_versions.observe_cardinality(name, heap.n_tuples):
             self.stats_versions.bump(name)
         return heap
+
+    def reshard(
+        self,
+        name: str,
+        boundaries: Optional[List] = None,
+        shard_on: Optional[str] = None,
+    ) -> None:
+        """Re-place an already registered relation with a new shard layout.
+
+        Changes the placement *only* — the relation's statistics version
+        is deliberately left alone, so the layout token in the plan-cache
+        validation pair ``(stats version, layout token)`` is what
+        invalidates cached plans over this relation (the stale-layout
+        regression test drives exactly this path).
+        """
+        name = name.upper()
+        if self.sharded is None:
+            raise FuzzyQueryError("reshard() needs a session with shards >= 2")
+        relation = self._relations.get(name)
+        if relation is None:
+            raise FuzzyQueryError(f"relation {name} was never placed on the shards")
+        layout = self.sharded.layout(name)
+        attribute = shard_on if shard_on is not None else layout.attribute
+        self.sharded.place(name, relation, attribute, boundaries=boundaries)
 
     # ------------------------------------------------------------------
     # Queries
@@ -161,6 +232,7 @@ class StorageSession:
         timeout_ms: Optional[float] = None,
         cancel: Optional[CancelToken] = None,
         workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> FuzzyRelation:
         """Execute a query; attach a collector and/or tracer to instrument it.
 
@@ -192,8 +264,16 @@ class StorageSession:
         interval order and sort + join the partitions concurrently,
         degrading to the serial path — with bit-identical results —
         whenever usable boundaries cannot be sampled.
+
+        ``shards`` sets this query's scatter-gather budget (default: the
+        session's :attr:`shards`).  On a sharded session merge-joins over
+        placed base relations run shard-local against the placed slices
+        and splice the results — again degrading, bit-identically, when
+        the placement does not cover the join.  Pass ``shards=1`` to pin
+        one query to local execution.
         """
         workers = self.workers if workers is None else max(1, workers)
+        shards = self.shards if shards is None else max(1, shards)
         guard = QueryGuard.create(timeout_ms, cancel)
         guard_ctx = self.disk.use_guard(guard) if guard is not None else nullcontext()
         need_collector = (
@@ -211,14 +291,16 @@ class StorageSession:
                 if use_cache:
                     prepared, _ = self._cached_prepared(sql, None)
                     result = self._run_prepared(
-                        prepared, (), stats, None, None, workers=workers, guard=guard
+                        prepared, (), stats, None, None, workers=workers,
+                        guard=guard, shards=shards,
                     )
                     prepared.executions += 1
                     return result
                 query = parse(sql) if isinstance(sql, str) else sql
                 nesting = classify(query, self.schemas)
                 return self._dispatch(
-                    query, nesting, stats, None, workers=workers, guard=guard
+                    query, nesting, stats, None, workers=workers, guard=guard,
+                    shards=shards,
                 )
 
         collector = (
@@ -247,12 +329,12 @@ class StorageSession:
                     if prepared is not None:
                         result = self._run_prepared(
                             prepared, (), stats, None, tracer,
-                            workers=workers, guard=guard,
+                            workers=workers, guard=guard, shards=shards,
                         )
                     else:
                         result = self._dispatch(
                             query, nesting, stats, None, tracer,
-                            workers=workers, guard=guard,
+                            workers=workers, guard=guard, shards=shards,
                         )
                 else:
                     collector.nesting_type = nesting.value
@@ -262,12 +344,12 @@ class StorageSession:
                         if prepared is not None:
                             result = self._run_prepared(
                                 prepared, (), stats, collector, tracer,
-                                workers=workers, guard=guard,
+                                workers=workers, guard=guard, shards=shards,
                             )
                         else:
                             result = self._dispatch(
                                 query, nesting, stats, collector, tracer,
-                                workers=workers, guard=guard,
+                                workers=workers, guard=guard, shards=shards,
                             )
         except FuzzyQueryError as exc:
             self._record_failure(
@@ -353,14 +435,31 @@ class StorageSession:
         text = sql if isinstance(sql, str) else str(sql)
         return PreparedQuery(self, text, template, nesting, n_params, artifact)
 
+    def _plan_tokens(self, names) -> Dict[str, Tuple[int, int]]:
+        """Validation tokens per relation: ``(stats version, layout token)``.
+
+        Plan-cache entries are stale when *either* component moved — a
+        re-registration bumps the statistics version, while
+        :meth:`reshard` advances only the layout token (placement changes
+        which physical files a scatter-gather join reads, so a cached
+        plan's sharded execution must be re-validated even though the
+        data — and hence the statistics — did not change).
+        """
+        versions = self.stats_versions.snapshot(names)
+        return {
+            name: (
+                version,
+                self.sharded.catalog.token(name) if self.sharded is not None else 0,
+            )
+            for name, version in versions.items()
+        }
+
     def _cached_prepared(
         self, sql: str, tracer: Optional[SpanTracer]
     ) -> Tuple[PreparedQuery, str]:
         """The plan-cache lookup behind textual ``query()`` calls."""
         key = normalize_sql(sql)
-        prepared, outcome = self.plan_cache.lookup(
-            key, self.stats_versions.snapshot
-        )
+        prepared, outcome = self.plan_cache.lookup(key, self._plan_tokens)
         if prepared is None:
             prepared = self._prepare(sql, tracer)
             if prepared.param_count:
@@ -368,9 +467,7 @@ class StorageSession:
                     "query() cannot run a statement with ? placeholders; "
                     "use prepare() and bind values per execution"
                 )
-            tokens = self.stats_versions.snapshot(
-                referenced_tables(prepared.template)
-            )
+            tokens = self._plan_tokens(referenced_tables(prepared.template))
             self.plan_cache.store(key, prepared, tokens)
         return prepared, outcome
 
@@ -501,6 +598,7 @@ class StorageSession:
         tracer: Optional[SpanTracer],
         workers: int = 1,
         guard: Optional[QueryGuard] = None,
+        shards: int = 1,
     ) -> FuzzyRelation:
         """Execute a prepared artifact: bind values, (re)compile, run.
 
@@ -542,6 +640,8 @@ class StorageSession:
                         tracer=tracer,
                         workers=workers,
                         guard=guard,
+                        shards=shards,
+                        sharded=self.sharded,
                     )
                 )
             if artifact.kind in ("grouped", "ja"):
@@ -561,7 +661,7 @@ class StorageSession:
                     bound = prepared.bind(params)
                 return self._dispatch(
                     bound, prepared.nesting, stats, metrics, tracer,
-                    workers=workers, guard=guard,
+                    workers=workers, guard=guard, shards=shards,
                 )
         except (UnnestError, CompileError):
             pass
@@ -613,6 +713,7 @@ class StorageSession:
         tracer: Optional[SpanTracer] = None,
         workers: int = 1,
         guard: Optional[QueryGuard] = None,
+        shards: int = 1,
     ) -> FuzzyRelation:
         from .join.merge_join import WindowOverflowError
 
@@ -620,7 +721,7 @@ class StorageSession:
             if nesting in FLAT_TYPES:
                 return self._run_flat(
                     query, nesting, stats, metrics, tracer,
-                    workers=workers, guard=guard,
+                    workers=workers, guard=guard, shards=shards,
                 )
             if nesting in (NestingType.TYPE_XN, NestingType.TYPE_JX):
                 return self._run_grouped(
@@ -685,7 +786,10 @@ class StorageSession:
         return "\n".join(lines)
 
     def explain_analyze(
-        self, sql: Union[str, SelectQuery], workers: Optional[int] = None
+        self,
+        sql: Union[str, SelectQuery],
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> str:
         """Run the query fully instrumented and render the analysis.
 
@@ -699,7 +803,7 @@ class StorageSession:
         parallel response time.
         """
         metrics = QueryMetrics()
-        result = self.query(sql, metrics=metrics, workers=workers)
+        result = self.query(sql, metrics=metrics, workers=workers, shards=shards)
         return render_report(
             metrics,
             plan=self.last_plan,
@@ -783,6 +887,7 @@ class StorageSession:
         tracer: Optional[SpanTracer] = None,
         workers: int = 1,
         guard: Optional[QueryGuard] = None,
+        shards: int = 1,
     ) -> FuzzyRelation:
         with maybe_span(tracer, "rewrite"):
             plan = unnest(query, self.schemas)
@@ -800,6 +905,7 @@ class StorageSession:
             ExecutionContext(
                 self.disk, self.buffer_pages, stats, metrics=metrics,
                 tracer=tracer, workers=workers, guard=guard,
+                shards=shards, sharded=self.sharded,
             )
         )
 

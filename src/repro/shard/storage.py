@@ -1,0 +1,177 @@
+"""Sharded placement: N independent disks, band replicas, factor-2 mirrors.
+
+:class:`ShardedStorage` scatters each placed relation across ``n_shards``
+independent :class:`~repro.storage.disk.SimulatedDisk` instances.  Node
+``i`` carries four heap files per relation ``NAME``:
+
+* ``NAME``            — the **primary** slice: tuples whose left endpoint
+  ``b(v)`` falls in shard ``i``'s half-open range.
+* ``NAME#band``       — the ``Rng(r)`` **overlap band**: replicas of
+  tuples whose primary shard is *below* ``i`` but whose support ``[b, e]``
+  crosses into shard ``i``'s range (``e >= lower_i``).  PR 5 replicated
+  this band into per-query slice files; here it is part of the durable
+  placement, so a shard-local merge-join never misses a boundary-crossing
+  pair.
+* ``NAME#mirror`` / ``NAME#mirrorband`` — a factor-2 **mirror** of node
+  ``i-1``'s primary and band (indices mod N), giving every shard exactly
+  one replica to fail over to when its home disk dies
+  (:class:`~repro.errors.StorageFaultError`).  Primary and band are
+  mirrored as separate files because outer-side failover must read the
+  primaries *alone* — merging them would duplicate joining pairs.
+
+Loading is charged to a scratch ledger (placement happens at
+registration, like :meth:`StorageSession.register
+<repro.session.StorageSession.register>`); every query-time page touch on
+a node is charged to that node's cumulative :attr:`ShardNode.stats`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..data.relation import FuzzyRelation
+from ..storage.disk import SimulatedDisk
+from ..storage.heap import HeapFile
+from ..storage.stats import OperationStats
+from .catalog import ShardCatalog, ShardLayout, select_boundaries
+from ..fuzzy.interval_order import sort_key
+
+#: Suffixes of the four per-relation files a node can carry.  None of
+#: them start with ``__`` — placements are durable, not scratch, and the
+#: chaos suite's leak check asserts exactly that.
+BAND_SUFFIX = "#band"
+MIRROR_SUFFIX = "#mirror"
+MIRROR_BAND_SUFFIX = "#mirrorband"
+
+
+class ShardNode:
+    """One simulated disk plus its cumulative per-shard statistics."""
+
+    def __init__(self, index: int, disk: SimulatedDisk):
+        self.index = index
+        self.disk = disk
+        #: Cumulative query-time I/O and CPU charged to this shard across
+        #: the session — the per-shard ``Statistics`` of the tentpole.
+        self.stats = OperationStats()
+        #: Heap handles by file name (primary, band, and mirror files).
+        self.heaps: Dict[str, HeapFile] = {}
+
+    def heap(self, name: str) -> Optional[HeapFile]:
+        """The node's heap handle for ``name`` (``None`` if absent)."""
+        return self.heaps.get(name)
+
+    def __repr__(self) -> str:
+        return f"ShardNode({self.index}, files={sorted(self.heaps)})"
+
+
+class ShardedStorage:
+    """Places relations across N disk nodes and owns their layouts."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        page_size: int = 8 * 1024,
+        fixed_tuple_size: Optional[int] = None,
+        disks: Optional[List[SimulatedDisk]] = None,
+    ):
+        #: Pass ``disks`` to run specific nodes on caller-provided devices
+        #: — e.g. one :class:`~repro.faults.FaultyDisk` for chaos testing.
+        if disks is not None and len(disks) != n_shards:
+            raise ValueError(
+                f"expected {n_shards} disks, got {len(disks)}"
+            )
+        self.n_shards = max(2, n_shards)
+        self.page_size = page_size
+        self.fixed_tuple_size = fixed_tuple_size
+        self.nodes = [
+            ShardNode(i, disks[i] if disks is not None else SimulatedDisk(page_size=page_size))
+            for i in range(self.n_shards)
+        ]
+        self.catalog = ShardCatalog()
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        name: str,
+        relation: FuzzyRelation,
+        attribute: str,
+        boundaries: Optional[List] = None,
+    ) -> ShardLayout:
+        """(Re)place a relation across the nodes on ``attribute``.
+
+        Boundaries default to the quantiles of *all* left endpoints
+        (:func:`~repro.shard.catalog.select_boundaries`); pass an explicit
+        list to pin the layout (the property tests drive adversarial
+        cuts, :meth:`StorageSession.reshard
+        <repro.session.StorageSession.reshard>` drives re-layouts).  Each
+        tuple is written to its primary shard, replicated into every
+        *adjacent* shard its support crosses into (the band), and both
+        slices are mirrored onto the next node.  Load I/O is charged to a
+        scratch ledger, like heap registration.
+        """
+        name = name.upper()
+        key_index = relation.schema.index_of(attribute)
+        tuples = list(relation.tuples())
+        if boundaries is None:
+            boundaries = select_boundaries(
+                [sort_key(t[key_index])[0] for t in tuples], self.n_shards
+            )
+        layout = self.catalog.record(name, attribute, boundaries)
+
+        primaries: List[List] = [[] for _ in range(self.n_shards)]
+        bands: List[List] = [[] for _ in range(self.n_shards)]
+        for t in tuples:
+            first, last = layout.replica_range(t[key_index])
+            first = min(first, self.n_shards - 1)
+            last = min(last, self.n_shards - 1)
+            primaries[first].append(t)
+            for j in range(first + 1, last + 1):
+                bands[j].append(t)
+
+        scratch = OperationStats()
+        for i, node in enumerate(self.nodes):
+            mirror_of = self.nodes[(i + 1) % self.n_shards]
+            with node.disk.use_stats(scratch), mirror_of.disk.use_stats(scratch):
+                self._load(node, name, relation.schema, primaries[i])
+                self._load(node, name + BAND_SUFFIX, relation.schema, bands[i])
+                self._load(mirror_of, name + MIRROR_SUFFIX, relation.schema, primaries[i])
+                self._load(
+                    mirror_of, name + MIRROR_BAND_SUFFIX, relation.schema, bands[i]
+                )
+        return layout
+
+    def _load(self, node: ShardNode, file_name: str, schema, tuples) -> HeapFile:
+        node.disk.delete(file_name)
+        heap = HeapFile(file_name, schema, node.disk, self.fixed_tuple_size)
+        heap.load(tuples)
+        node.heaps[file_name] = heap
+        return heap
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def primary(self, shard: int, name: str) -> Optional[HeapFile]:
+        """Shard ``shard``'s primary slice of ``name`` on its home node."""
+        return self.nodes[shard].heap(name.upper())
+
+    def band(self, shard: int, name: str) -> Optional[HeapFile]:
+        """Shard ``shard``'s overlap-band slice on its home node."""
+        return self.nodes[shard].heap(name.upper() + BAND_SUFFIX)
+
+    def mirror_node(self, shard: int) -> ShardNode:
+        """The node carrying shard ``shard``'s mirror (the next node)."""
+        return self.nodes[(shard + 1) % self.n_shards]
+
+    def mirror_primary(self, shard: int, name: str) -> Optional[HeapFile]:
+        """The mirror of shard ``shard``'s primary slice, on the next node."""
+        return self.mirror_node(shard).heap(name.upper() + MIRROR_SUFFIX)
+
+    def mirror_band(self, shard: int, name: str) -> Optional[HeapFile]:
+        """The mirror of shard ``shard``'s band slice, on the next node."""
+        return self.mirror_node(shard).heap(name.upper() + MIRROR_BAND_SUFFIX)
+
+    def layout(self, name: str) -> Optional[ShardLayout]:
+        """The persisted layout of ``name`` (``None`` if never placed)."""
+        return self.catalog.get(name)

@@ -16,6 +16,8 @@ Command    Effect
 ``\\trace``   span tree of the rest of the line (executes)
 ``\\timeout`` set/clear the per-query deadline in ms (no argument
               clears it)
+``\\shards``  set/clear the per-query shard budget (no argument
+              clears it back to the session default)
 ``\\help``    list the meta-commands
 ========== ===========================================================
 
@@ -46,6 +48,7 @@ HELP = """\
 \\analyze Q  EXPLAIN ANALYZE of query Q (executes it)
 \\trace Q    span tree of query Q (executes it)
 \\timeout N  set the per-query deadline to N ms (\\timeout alone clears it)
+\\shards N   set the shard budget for queries (\\shards alone clears it)
 \\help       this list
 anything else runs as Fuzzy SQL"""
 
@@ -62,6 +65,9 @@ class FuzzyShell:
         #: Deadline applied to every SQL line, in milliseconds (``None``
         #: = unbounded); set interactively with ``\timeout``.
         self.timeout_ms: Optional[float] = None
+        #: Shard budget applied to every SQL line (``None`` = the
+        #: session's own default); set interactively with ``\shards``.
+        self.shards: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -91,7 +97,7 @@ class FuzzyShell:
         if command == "\\explain":
             return self.session.explain(argument)
         if command == "\\analyze":
-            return self.session.explain_analyze(argument)
+            return self.session.explain_analyze(argument, shards=self.shards)
         if command == "\\trace":
             return self.session.trace(argument).render_tree()
         if command == "\\timeout":
@@ -100,13 +106,21 @@ class FuzzyShell:
                 return "timeout cleared"
             self.timeout_ms = float(argument)
             return f"timeout set to {self.timeout_ms:.0f} ms"
+        if command == "\\shards":
+            if not argument:
+                self.shards = None
+                return "shard budget cleared (session default)"
+            self.shards = max(1, int(argument))
+            return f"shard budget set to {self.shards}"
         if command == "\\help":
             return HELP
         return f"unknown command {command} (try \\help)"
 
     def _sql(self, sql: str) -> str:
         try:
-            result = self.session.query(sql, timeout_ms=self.timeout_ms)
+            result = self.session.query(
+                sql, timeout_ms=self.timeout_ms, shards=self.shards
+            )
         except FuzzyQueryError as exc:
             return f"error: {type(exc).__name__}: {exc}"
         lines = [

@@ -357,3 +357,135 @@ def test_failed_plan_releases_pinned_pages():
     assert pool.in_use == 0
     disk.armed = False
     assert_no_leaks(session)
+
+
+# ----------------------------------------------------------------------
+# Shard-level chaos: dead disks, replica failover, double faults
+# ----------------------------------------------------------------------
+from repro.storage import SimulatedDisk  # noqa: E402  (section-local import)
+
+
+def dead_disk_plan():
+    """Every read fails, in bursts far beyond the retry budget: the disk
+    is effectively dead from the moment it is armed."""
+    return FaultPlan(transient_read_rate=1.0, transient_burst=8)
+
+
+def build_sharded_chaos(seed, dead=(), plans=None, n=40, shards=4):
+    """A 4-node sharded session whose nodes in ``dead`` are FaultyDisks.
+
+    The faulty disks are disarmed while the relations are placed (loading
+    is registration-time work) and armed afterwards, so every injected
+    fault lands on the query path.  ``plans`` overrides the per-node
+    fault plan (keyed by node index); the default is a dead disk.
+    """
+    rng = random.Random(seed)
+    r = make_relation(rng, n, 0)
+    s = make_relation(rng, n, 1000)
+    disks, faulty = [], []
+    for i in range(shards):
+        if i in dead:
+            plan = (plans or {}).get(i, dead_disk_plan())
+            disk = FaultyDisk(plan, page_size=512, armed=False)
+            faulty.append(disk)
+        else:
+            disk = SimulatedDisk(page_size=512)
+        disks.append(disk)
+    session = StorageSession(
+        buffer_pages=16, page_size=512, shards=shards, shard_on="V",
+        shard_disks=disks,
+    )
+    session.register("R", r)
+    session.register("S", s)
+    for disk in faulty:
+        disk.armed = True
+    serial = StorageSession(buffer_pages=16, page_size=512)
+    serial.register("R", r)
+    serial.register("S", s)
+    return session, serial
+
+
+def assert_no_shard_leaks(session):
+    """No scratch slices survive on the session disk or any shard node."""
+    assert_no_leaks(session)
+    for node in session.sharded.nodes:
+        leftovers = [f for f in node.disk.files() if f.startswith("__")]
+        assert leftovers == [], (
+            f"shard {node.index} leaked scratch files: {leftovers}"
+        )
+
+
+def test_shard_single_fault_completes_from_replica():
+    """One dead shard node: the query completes via the factor-2 mirror,
+    flagged degraded, with the failovers counted in metrics and registry."""
+    session, serial = build_sharded_chaos(0, dead={1})
+    registry = MetricsRegistry()
+    session.registry = registry
+    expected = serial.query(CASES["J"])
+    metrics = QueryMetrics()
+    got = session.query(CASES["J"], metrics=metrics)
+    assert expected.same_as(got, 0.0)
+    assert metrics.shards, "sharded path did not engage"
+    assert metrics.shard_failovers > 0
+    assert metrics.degraded is True
+    assert registry.shard_failovers_total == metrics.shard_failovers
+    assert registry.queries_degraded_total == 1
+    assert "fuzzysql_shard_failovers_total" in registry.render_prometheus()
+    assert_no_shard_leaks(session)
+
+
+def test_shard_dies_mid_scan_completes_from_replica():
+    """A node that fails partway through its reads (not at the first page)
+    still degrades to the replica instead of failing the query.
+
+    The death is scripted ordinal by ordinal — the first two reads
+    succeed, everything after fails beyond the retry budget — rather
+    than as one burst, because concurrent shard tasks interleave reads
+    on the node and a single burst could be absorbed between them.
+    """
+    died = FaultPlan()
+    for ordinal in range(2, 512):
+        died.fail_read(ordinal, times=16)
+    session, serial = build_sharded_chaos(3, dead={2}, plans={2: died})
+    metrics = QueryMetrics()
+    got = session.query(CASES["J"], metrics=metrics)
+    assert serial.query(CASES["J"]).same_as(got, 0.0)
+    assert metrics.shard_failovers > 0
+    assert metrics.degraded is True
+    assert_no_shard_leaks(session)
+
+
+def test_shard_double_fault_raises_one_typed_error():
+    """A shard *and* its replica dead: exactly one typed error, no leaks.
+
+    Node 2 mirrors node 1, so killing both leaves shard 1 with no copy;
+    the contract is a typed ``FuzzyQueryError`` (never a wrong answer,
+    never a bare exception, never a cancellation masquerading as the
+    root cause), and a clean disk on every surviving node.
+    """
+    session, _serial = build_sharded_chaos(0, dead={1, 2})
+    with pytest.raises(FuzzyQueryError) as excinfo:
+        session.query(CASES["J"])
+    assert not isinstance(excinfo.value, QueryCancelledError)
+    assert_no_shard_leaks(session)
+    # the session survives the failure and still answers on its own disk
+    assert session.query(CASES["J"], shards=1) is not None
+
+
+@pytest.mark.parametrize("label", ["N", "J", "JX", "JA", "chain"])
+def test_shard_fault_sweep_identical_or_typed(label):
+    """The resilience contract across every nesting type with a dead node:
+    the bit-identical answer (failover or a path that never touches the
+    shards) or a single typed error — and no scratch leaks either way."""
+    for seed in range(3):
+        session, serial = build_sharded_chaos(seed, dead={1})
+        expected = serial.query(CASES[label])
+        try:
+            got = session.query(CASES[label])
+        except FuzzyQueryError:
+            pass  # a typed failure is an acceptable outcome
+        else:
+            assert expected.same_as(got, 0.0), (
+                f"{label} seed={seed}: sharded faulted run diverged"
+            )
+        assert_no_shard_leaks(session)

@@ -231,6 +231,41 @@ class TestSessionPlanCache:
         got = session.query(sql)
         assert expected.same_as(got, 1e-9)
 
+    def test_reshard_invalidates_without_stats_bump(self):
+        """Changing a relation's shard layout drops its cached plans.
+
+        ``reshard()`` deliberately leaves the statistics version alone —
+        the *layout token* half of the plan-cache validation pair is what
+        must catch the stale placement.
+        """
+        rng = random.Random(23)
+        r, s = make_relation(rng, 25, 0), make_relation(rng, 25, 1000)
+        session = StorageSession(
+            buffer_pages=32, page_size=1024, shards=4, shard_on="V"
+        )
+        session.register("R", r)
+        session.register("S", s)
+        sql = SWEEP[1]
+        first = session.query(sql)  # populate the cache
+        warm = QueryMetrics()
+        session.query(sql, metrics=warm)
+        assert warm.plan_cache == "hit"
+
+        versions_before = session.stats_versions.snapshot(["R", "S"])
+        session.reshard("R", boundaries=[2.0, 5.0, 8.0])
+        assert session.stats_versions.snapshot(["R", "S"]) == versions_before
+
+        stale = QueryMetrics()
+        got = session.query(sql, metrics=stale)
+        assert stale.plan_cache == "invalidated"
+        assert session.plan_cache.invalidations == 1
+        # same data, new layout: the refreshed plan answers identically
+        assert first.same_as(got, 0.0)
+        # and the re-planned entry is immediately warm again
+        rewarmed = QueryMetrics()
+        session.query(sql, metrics=rewarmed)
+        assert rewarmed.plan_cache == "hit"
+
     def test_metrics_and_registry_record_outcomes(self):
         _, session = build()
         registry = MetricsRegistry()

@@ -143,13 +143,14 @@ class TestCommittedBaseline:
             data = json.load(handle)
         assert data["version"] == 1
         assert data["scale"] == 32  # CI runs at the default scale
-        assert len(data["workloads"]) == 16
+        assert len(data["workloads"]) == 17
         assert set(data["workloads"]) >= {
             "service_cold_J",
             "service_cached_J",
             "service_batch_w1",
             "service_batch_w4",
             "parallel_J",
+            "sharded_J",
             "faulted_J",
         }
         assert data["workloads"]["service_cold_J"]["plan_cache"] == "miss"
@@ -175,3 +176,15 @@ class TestCommittedBaseline:
         assert parallel["rows"] == data["workloads"]["session_J"]["rows"]
         planner = [parallel["planner_costs"][k] for k in ("1", "2", "4", "8")]
         assert planner == sorted(planner, reverse=True)
+        # The sharded slice must actually have run shard tasks (not
+        # silently degraded to local execution), with zero failovers on
+        # healthy nodes, returning the serial answer; the gated per-shard
+        # page reads account for every read the run charged.
+        sharded = data["workloads"]["sharded_J"]
+        assert sharded["counters"]["shards"] >= 2
+        assert sharded["rows"] == data["workloads"]["session_J"]["rows"]
+        assert sharded["counters"]["shard_page_reads"] > 0
+        assert (
+            sharded["counters"]["shard_page_reads"]
+            <= sharded["counters"]["page_reads"]
+        )

@@ -1,0 +1,272 @@
+"""Property tests: the durable shard placement and scatter-gather join.
+
+Hypothesis draws random relations (overlapping crisp and trapezoidal
+values, duplicated keys, arbitrary degrees) *and* arbitrary shard
+boundary lists, then checks the invariants the shard layer rests on:
+
+* **Placement is a partition**: every tuple lands on exactly one primary
+  shard — the one owning its left endpoint ``b(v)`` — so the union of
+  the primary slices is the relation, with no duplicates.
+* **Bands are exactly the adjacent-shard replicas**: shard ``j``'s band
+  holds precisely the tuples whose primary shard is below ``j`` and
+  whose support ``[b, e]`` crosses into shard ``j``'s range.
+* **Mirrors are faithful**: node ``i+1`` carries byte-identical copies
+  of node ``i``'s primary and band slices.
+* **Sort splice**: sorting each primary slice shard-locally and
+  concatenating in shard order is exactly the serial external sort's
+  ``(b, e)`` order — no global merge pass needed.
+* **Join splice**: the scatter-gather merge-join returns the same pairs
+  as the serial merge-join, for any boundary choice; when it declines it
+  says why, and it never leaves scratch slices on any node disk.
+
+The boundaries are adversarial on purpose: cuts straddling dense value
+clusters, cuts outside the domain, more cuts than the node count (the
+clamping path).  The sampled-boundary production path is exercised
+end-to-end by the differential matrix and ``tests/test_shard.py``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import FuzzyRelation, FuzzyTuple, Schema
+from repro.fuzzy import CrispNumber, Op, TrapezoidalNumber
+from repro.fuzzy.interval_order import sort_key
+from repro.join import JoinPredicate, MergeJoin, WindowOverflowError, join_degree
+from repro.shard import ShardedMergeJoin, ShardedStorage, sharded_sort
+from repro.sort import ExternalSorter
+from repro.storage import BufferPool, HeapFile, OperationStats, SimulatedDisk
+
+N = CrispNumber
+T = TrapezoidalNumber
+SCHEMA = Schema(["ID", "X"])
+EQ_PRED = [JoinPredicate(SCHEMA, "X", Op.EQ, SCHEMA, "X")]
+
+#: A deliberately narrow domain: heavy overlap, many exact duplicates.
+centers = st.integers(min_value=0, max_value=20)
+widths = st.integers(min_value=1, max_value=5)
+degrees = st.sampled_from([0.3, 0.6, 0.8, 1.0])
+
+
+@st.composite
+def fuzzy_values(draw):
+    c = draw(centers)
+    if draw(st.booleans()):
+        return N(c)
+    w = draw(widths)
+    return T(c - w, c, c, c + w)
+
+
+value_lists = st.lists(
+    st.tuples(fuzzy_values(), degrees), min_size=2, max_size=24
+)
+
+#: Boundary cuts anywhere on (and beyond) the value domain, strictly
+#: increasing after dedup — sometimes *more* cuts than shard nodes, which
+#: exercises the replica-range clamping in placement.
+boundary_lists = st.lists(
+    st.integers(min_value=-2, max_value=24), min_size=1, max_size=5
+).map(lambda cuts: sorted(set(float(c) for c in cuts)))
+
+n_shard_choices = st.integers(min_value=2, max_value=4)
+
+
+def make_relation(values, base=0):
+    rel = FuzzyRelation(SCHEMA)
+    for i, (v, d) in enumerate(values):
+        rel.add(FuzzyTuple([N(base + i), v], d))
+    return rel
+
+
+def make_heap(disk, values, name, base=0):
+    tuples = [
+        FuzzyTuple([N(base + i), v], d) for i, (v, d) in enumerate(values)
+    ]
+    return HeapFile(name, SCHEMA, disk, fixed_tuple_size=64).load(tuples)
+
+
+def heap_ids(node, heap):
+    """The ID column of one shard-resident heap, in storage order."""
+    if heap is None:
+        return []
+    return [int(t[0].value) for t in heap.scan(BufferPool(node.disk, 8))]
+
+
+def heap_keys(node, heap):
+    return [sort_key(t[1]) for t in heap.scan(BufferPool(node.disk, 8))]
+
+
+def as_triples(pairs):
+    return sorted(
+        (rt[0].value, st_[0].value, round(d, 12)) for rt, st_, d in pairs
+    )
+
+
+def placed(values, boundaries, n_shards, name="R"):
+    storage = ShardedStorage(n_shards, page_size=256, fixed_tuple_size=64)
+    storage.place(name, make_relation(values), "X", boundaries=boundaries)
+    return storage
+
+
+# ----------------------------------------------------------------------
+# Placement
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(values=value_lists, boundaries=boundary_lists, n_shards=n_shard_choices)
+def test_placement_is_a_partition(values, boundaries, n_shards):
+    """Every tuple on exactly one primary — the shard owning its b(v)."""
+    storage = placed(values, boundaries, n_shards)
+    layout = storage.layout("R")
+    seen = []
+    for node in storage.nodes:
+        ids = heap_ids(node, storage.primary(node.index, "R"))
+        for tid in ids:
+            v = values[tid][0]
+            expected = min(layout.shard_of(v), storage.n_shards - 1)
+            assert expected == node.index, (
+                f"tuple {tid} (b={sort_key(v)[0]}) placed on shard "
+                f"{node.index}, owner is {expected}"
+            )
+        seen.extend(ids)
+    assert sorted(seen) == list(range(len(values)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=value_lists, boundaries=boundary_lists, n_shards=n_shard_choices)
+def test_band_replicas_reach_exactly_the_adjacent_shards(
+    values, boundaries, n_shards
+):
+    """Shard j's band = tuples with primary < j whose support crosses in."""
+    storage = placed(values, boundaries, n_shards)
+    layout = storage.layout("R")
+    last = storage.n_shards - 1
+    expected_bands = [set() for _ in range(storage.n_shards)]
+    for tid, (v, _d) in enumerate(values):
+        first, reach = layout.replica_range(v)
+        for j in range(min(first, last) + 1, min(reach, last) + 1):
+            expected_bands[j].add(tid)
+    for node in storage.nodes:
+        got = sorted(heap_ids(node, storage.band(node.index, "R")))
+        assert got == sorted(expected_bands[node.index]), (
+            f"shard {node.index} band mismatch"
+        )
+    assert not expected_bands[0], "shard 0 can never receive band replicas"
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=value_lists, boundaries=boundary_lists, n_shards=n_shard_choices)
+def test_mirrors_are_faithful_copies(values, boundaries, n_shards):
+    """Node i+1 mirrors node i's primary and band, tuple for tuple."""
+    storage = placed(values, boundaries, n_shards)
+    for node in storage.nodes:
+        i = node.index
+        mirror = storage.mirror_node(i)
+        assert heap_ids(node, storage.primary(i, "R")) == heap_ids(
+            mirror, storage.mirror_primary(i, "R")
+        )
+        assert heap_ids(node, storage.band(i, "R")) == heap_ids(
+            mirror, storage.mirror_band(i, "R")
+        )
+
+
+# ----------------------------------------------------------------------
+# Sort
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(values=value_lists, boundaries=boundary_lists, n_shards=n_shard_choices)
+def test_sharded_sort_splice_matches_serial(values, boundaries, n_shards):
+    """Shard-local sorts, spliced in shard order, *are* the global sort."""
+    serial_disk = SimulatedDisk(page_size=256)
+    serial = ExternalSorter(serial_disk, 4, OperationStats()).sort(
+        make_heap(serial_disk, values, "R"), "X"
+    )
+    serial_keys = [
+        sort_key(t[1]) for t in serial.scan(BufferPool(serial_disk, 8))
+    ]
+    storage = placed(values, boundaries, n_shards)
+    spliced = []
+    for node, sorted_heap in sharded_sort(
+        storage, "R", "X", 4, OperationStats()
+    ):
+        spliced.extend(heap_keys(node, sorted_heap))
+    assert spliced == serial_keys
+
+
+# ----------------------------------------------------------------------
+# Join
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    r_values=value_lists,
+    s_values=value_lists,
+    boundaries=boundary_lists,
+    n_shards=n_shard_choices,
+)
+def test_scatter_gather_join_matches_serial_for_any_boundaries(
+    r_values, s_values, boundaries, n_shards
+):
+    serial_disk = SimulatedDisk(page_size=256)
+    r = make_heap(serial_disk, r_values, "R")
+    s = make_heap(serial_disk, s_values, "S", base=1000)
+    try:
+        expected = list(
+            MergeJoin(serial_disk, 8, OperationStats()).pairs(
+                r, "X", s, "X", join_degree(EQ_PRED)
+            )
+        )
+    except WindowOverflowError:
+        # Duplicate-heavy draws can overflow even the *serial* merge
+        # window — there is no serial answer to compare against.
+        return
+
+    storage = ShardedStorage(n_shards, page_size=256, fixed_tuple_size=64)
+    storage.place("R", make_relation(r_values), "X", boundaries=boundaries)
+    storage.place(
+        "S", make_relation(s_values, base=1000), "X", boundaries=boundaries
+    )
+    join = ShardedMergeJoin(storage, 8, OperationStats())
+    pairs = join.run(r, "X", s, "X", join_degree(EQ_PRED))
+    if pairs is None:
+        # Legitimate declines only (collapsed layout, a lone non-empty
+        # shard, a tight slice window) — never an error or wrong answer.
+        assert join.fallback_reason is not None
+    else:
+        assert join.failovers == 0
+        assert as_triples(pairs) == as_triples(expected)
+        assert len(pairs) == len(expected)
+    for node in storage.nodes:
+        leaked = [f for f in node.disk.files() if f.startswith("__")]
+        assert leaked == [], f"shard {node.index} leaked scratch: {leaked}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r_values=value_lists,
+    s_values=value_lists,
+    r_cuts=boundary_lists,
+    s_cuts=boundary_lists,
+)
+def test_mismatched_r_and_s_layouts_still_agree(r_values, s_values, r_cuts, s_cuts):
+    """R and S may be placed on *different* cuts; the slice is rebuilt per
+    shard from S's own layout, so the answer never depends on alignment."""
+    serial_disk = SimulatedDisk(page_size=256)
+    r = make_heap(serial_disk, r_values, "R")
+    s = make_heap(serial_disk, s_values, "S", base=1000)
+    try:
+        expected = list(
+            MergeJoin(serial_disk, 8, OperationStats()).pairs(
+                r, "X", s, "X", join_degree(EQ_PRED)
+            )
+        )
+    except WindowOverflowError:
+        return
+    storage = ShardedStorage(3, page_size=256, fixed_tuple_size=64)
+    storage.place("R", make_relation(r_values), "X", boundaries=r_cuts)
+    storage.place(
+        "S", make_relation(s_values, base=1000), "X", boundaries=s_cuts
+    )
+    join = ShardedMergeJoin(storage, 8, OperationStats())
+    pairs = join.run(r, "X", s, "X", join_degree(EQ_PRED))
+    if pairs is None:
+        assert join.fallback_reason is not None
+        return
+    assert as_triples(pairs) == as_triples(expected)
