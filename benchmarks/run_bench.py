@@ -10,7 +10,9 @@ Runs a fixed, deterministic workload set —
 
 and writes ``BENCH_observe.json``: per-workload *modelled* cost (the
 deterministic cost-model response time), raw event counters, answer
-cardinality, and wall time, plus the collector-overhead measurement.
+cardinality, and wall time, plus the collector- and flight-recorder
+overhead measurements (the latter hard-fails unless counters are exactly
+identical with the recorder detached and attached).
 
 ``--check`` compares the fresh run against a committed baseline
 (``benchmarks/BENCH_observe.json``).  Modelled cost and counters are
@@ -42,7 +44,7 @@ from repro.bench.experiments import (  # noqa: E402
     default_scale,
 )
 from repro.data import FuzzyRelation, FuzzyTuple, Schema  # noqa: E402
-from repro.observe import QueryMetrics  # noqa: E402
+from repro.observe import FlightRecorder, MetricsRegistry, QueryMetrics  # noqa: E402
 from repro.session import StorageSession  # noqa: E402
 from repro.storage.costs import PAPER_1992  # noqa: E402
 from repro.workload.generator import WorkloadSpec, build_workload  # noqa: E402
@@ -413,6 +415,75 @@ def measure_collector_overhead(repeats: int = 5) -> dict:
     }
 
 
+def measure_recorder_overhead(repeats: int = 5) -> dict:
+    """The flight recorder's cost: wall time with/without one attached.
+
+    The zero-overhead-when-off proof this artifact carries: the plain
+    run's event counters (page I/O, comparisons, moves) must be exactly
+    equal to the recorder-attached run's — the recorder reads the
+    collector at the query boundary only and never touches the execution
+    path.  Counter inequality here is a hard failure, not a recorded
+    number.  Wall times are recorded, never gated.
+    """
+    sql = SESSION_QUERIES["session_J"]
+    plain = build_session()
+    recorded = build_session()
+    recorded.recorder = FlightRecorder()
+    plain_seconds = recorded_seconds = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        plain.query(sql)
+        plain_seconds = min(plain_seconds, time.perf_counter() - started)
+        started = time.perf_counter()
+        recorded.query(sql)
+        recorded_seconds = min(recorded_seconds, time.perf_counter() - started)
+    plain_counters = _counters(plain.last_stats)
+    recorded_counters = _counters(recorded.last_stats)
+    if plain_counters != recorded_counters:
+        raise AssertionError(
+            f"recorder overhead: counters diverged with a recorder attached "
+            f"({plain_counters} != {recorded_counters})"
+        )
+    return {
+        "plain_seconds": plain_seconds,
+        "recorder_seconds": recorded_seconds,
+        "overhead_ratio": recorded_seconds / plain_seconds if plain_seconds else 1.0,
+        "counters_identical": True,
+        "counters": plain_counters,
+    }
+
+
+def emit_events(events_path: str, health_path: str) -> None:
+    """The observability artifact pass: run the differential sweep with
+    every workload sink attached, dump the flight-recorder events as
+    JSONL, and render the health report.
+
+    Runs on its own sessions *after* the gated workloads, so the emitted
+    events never perturb the regression numbers.  Every line of the JSONL
+    must parse back (checked here, so a malformed event fails the bench
+    job, not a downstream consumer).
+    """
+    session = build_session()
+    session.registry = MetricsRegistry()
+    session.recorder = FlightRecorder()
+    for sql in SESSION_QUERIES.values():
+        session.query(sql)
+        session.query(sql)  # the cached re-run, so hit rates are realistic
+    count = session.recorder.dump_jsonl(events_path)
+    with open(events_path) as handle:
+        parsed = [json.loads(line) for line in handle if line.strip()]
+    if len(parsed) != count or count != 2 * len(SESSION_QUERIES):
+        raise AssertionError(
+            f"emit-events: expected {2 * len(SESSION_QUERIES)} parseable "
+            f"events, wrote {count}, parsed {len(parsed)}"
+        )
+    report = session.health()
+    with open(health_path, "w") as handle:
+        handle.write(report.render())
+        handle.write("\n")
+    print(f"wrote {events_path} ({count} events) and {health_path} ({report.level})")
+
+
 def run_all(scale: int) -> dict:
     workloads = {}
     workloads.update(_method_workloads(scale))
@@ -426,6 +497,7 @@ def run_all(scale: int) -> dict:
         "scale": scale,
         "workloads": workloads,
         "overhead": measure_collector_overhead(),
+        "recorder_overhead": measure_recorder_overhead(),
     }
 
 
@@ -481,6 +553,13 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE, help="modelled-cost drift factor allowed")
     parser.add_argument("--update-baseline", action="store_true", help="overwrite the baseline with this run")
     parser.add_argument(
+        "--emit-events",
+        metavar="PATH",
+        help="additionally run the sweep with a flight recorder attached and "
+        "write its events (JSONL) to PATH plus a rendered health report "
+        "next to it (PATH's extension replaced by _health.txt)",
+    )
+    parser.add_argument(
         "--inject-slowdown",
         type=float,
         default=1.0,
@@ -500,6 +579,10 @@ def main(argv=None) -> int:
         json.dump(results, handle, indent=1, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.output} ({len(results['workloads'])} workloads, scale {scale})")
+
+    if args.emit_events:
+        root, _ = os.path.splitext(args.emit_events)
+        emit_events(args.emit_events, root + "_health.txt")
 
     if args.update_baseline:
         with open(args.baseline, "w") as handle:

@@ -19,8 +19,12 @@ Meta commands:
     \\analyze <query>   run instrumented on the storage engine (EXPLAIN ANALYZE)
     \\trace <query>     run with span tracing; prints the span tree and
                        writes Chrome trace_event JSON to fuzzy_trace.json
-    \\metrics           dump cumulative session counters (Prometheus format)
+    \\metrics [prefix]  dump cumulative session counters (Prometheus format,
+                       optionally filtered to names starting with prefix)
     \\log               summarize the session's query log (slow queries first)
+    \\top [k]           top K statement templates from the flight recorder
+    \\health            the health report (ok / warn / critical)
+    \\events [n]        last N flight-recorder events as JSON Lines
     \\quit              leave
 
 Also usable non-interactively:
@@ -54,7 +58,7 @@ TRACE_PATH = "fuzzy_trace.json"
 
 
 def make_database() -> FuzzyDatabase:
-    from repro.observe import MetricsRegistry, QueryLog
+    from repro.observe import FlightRecorder, MetricsRegistry, QueryLog
 
     catalog = dating_catalog()
     db = FuzzyDatabase(catalog.vocabulary)
@@ -62,6 +66,7 @@ def make_database() -> FuzzyDatabase:
         db.register(name, catalog.get(name))
     db.registry = MetricsRegistry()
     db.query_log = QueryLog(slow_threshold_seconds=0.05)
+    db.recorder = FlightRecorder()
     return db
 
 
@@ -106,16 +111,35 @@ def handle_meta(command: str, db: FuzzyDatabase) -> bool:
         if db.registry is None or db.registry.queries_total == 0:
             print("no queries observed yet")
         else:
-            print(db.registry.render_prometheus(), end="")
+            prefix = parts[1].strip() if len(parts) > 1 else None
+            print(db.registry.render_prometheus(name_prefix=prefix), end="")
     elif head == "\\log":
         if db.query_log is None or len(db.query_log) == 0:
             print("query log is empty")
         else:
             print(db.query_log.summarize())
+    elif head == "\\top":
+        if db.recorder is None or db.recorder.recorded_total == 0:
+            print("no queries recorded yet")
+        else:
+            k = int(parts[1]) if len(parts) > 1 else 5
+            print(db.recorder.render_top(k))
+    elif head == "\\health":
+        if db.registry is None or db.registry.queries_total == 0:
+            print("no queries observed yet")
+        else:
+            print(db.health().render())
+    elif head == "\\events":
+        if db.recorder is None or len(db.recorder) == 0:
+            print("no events recorded yet")
+        else:
+            n = int(parts[1]) if len(parts) > 1 else 10
+            print(db.recorder.to_jsonl(last=n), end="")
     else:
         print(
             "commands: \\tables  \\show <name>  \\terms  \\plan <query>  "
-            "\\analyze <query>  \\trace <query>  \\metrics  \\log  \\quit"
+            "\\analyze <query>  \\trace <query>  \\metrics [prefix]  \\log  "
+            "\\top [k]  \\health  \\events [n]  \\quit"
         )
     return True
 

@@ -68,11 +68,13 @@ class FuzzyDatabase:
         self.similarity = similarity
         self.auto_unnest = auto_unnest
         #: Workload-level sinks (see :mod:`repro.observe`): assign a
-        #: :class:`~repro.observe.registry.MetricsRegistry` and/or a
-        #: :class:`~repro.observe.querylog.QueryLog` and every query is
-        #: folded in / logged automatically.
+        #: :class:`~repro.observe.registry.MetricsRegistry`, a
+        #: :class:`~repro.observe.querylog.QueryLog`, and/or a
+        #: :class:`~repro.observe.recorder.FlightRecorder` and every query
+        #: is folded in / logged / recorded automatically.
         self.registry = None
         self.query_log = None
+        self.recorder = None
         #: LRU cache of prepared plans for textual ``query()`` calls;
         #: entries validate against tuple counts and the schema epoch.
         #: Assign ``None`` to disable caching.
@@ -146,7 +148,11 @@ class FuzzyDatabase:
             # execute()/execute_statement() arrive here with the statement
             # already parsed; the cache still keys on the SQL text.
             return self._query_cached(sql_text, metrics, statement=query)
-        if self.registry is not None or self.query_log is not None:
+        if (
+            self.registry is not None
+            or self.query_log is not None
+            or self.recorder is not None
+        ):
             import time
 
             from .observe.metrics import QueryMetrics
@@ -155,17 +161,40 @@ class FuzzyDatabase:
             started = time.perf_counter()
             result = self._query(query, collector)
             wall = time.perf_counter() - started
-            if self.registry is not None:
-                self.registry.observe(collector, wall_seconds=wall, rows=len(result))
-            if self.query_log is not None:
-                self.query_log.record(
-                    sql_text if sql_text is not None else repr(query),
-                    collector,
-                    wall_seconds=wall,
-                    rows=len(result),
-                )
+            self._observe_query(
+                sql_text if sql_text is not None else repr(query),
+                collector,
+                wall,
+                len(result),
+            )
             return result
         return self._query(query, metrics)
+
+    def _observe_query(self, sql_text, collector, wall, rows) -> None:
+        """Fold one finished query into every attached workload sink."""
+        if self.registry is not None:
+            self.registry.observe(collector, wall_seconds=wall, rows=rows)
+        if self.query_log is not None:
+            self.query_log.record(sql_text, collector, wall_seconds=wall, rows=rows)
+        if self.recorder is not None:
+            self.recorder.record(sql_text, collector, wall_seconds=wall, rows=rows)
+
+    def health(self, thresholds=None):
+        """Evaluate the health rules over this database's lifetime registry.
+
+        See :meth:`repro.session.StorageSession.health`; the in-memory
+        engine has no time series, so the report always covers the
+        :attr:`registry`'s totals.
+        """
+        from .observe.health import evaluate_health
+        from .observe.timeseries import lifetime_window
+
+        if self.registry is None:
+            raise DatabaseError(
+                "health() needs a registry attached "
+                "(assign db.registry = MetricsRegistry())"
+            )
+        return evaluate_health(lifetime_window(self.registry), thresholds)
 
     def _query(self, query: SelectQuery, metrics) -> FuzzyRelation:
         if metrics is not None:
@@ -284,6 +313,7 @@ class FuzzyDatabase:
             metrics is not None
             or self.registry is not None
             or self.query_log is not None
+            or self.recorder is not None
         )
         if not need_collector:
             result = self._run_prepared(prepared, params, None)
@@ -302,12 +332,7 @@ class FuzzyDatabase:
         started = time.perf_counter()
         result = self._run_prepared(prepared, params, collector)
         wall = time.perf_counter() - started
-        if self.registry is not None:
-            self.registry.observe(collector, wall_seconds=wall, rows=len(result))
-        if self.query_log is not None:
-            self.query_log.record(
-                prepared.sql_text, collector, wall_seconds=wall, rows=len(result)
-            )
+        self._observe_query(prepared.sql_text, collector, wall, len(result))
         prepared.executions += 1
         return result
 

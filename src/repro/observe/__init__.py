@@ -19,19 +19,46 @@ must be able to *show its work*.  This package provides
   cumulative counters plus a latency histogram, rendered in the
   Prometheus text exposition format;
 * :class:`~repro.observe.querylog.QueryLog` — a bounded query log with a
-  slow-query threshold and a workload summary report.
+  slow-query threshold and a workload summary report;
+* :mod:`~repro.observe.fingerprint` — the shared statement canonicalizer
+  and ``pg_stat_statements``-style fingerprinting (literals → ``?``) that
+  the plan cache, query log, flight recorder, and shell analytics all key
+  statement identity on;
+* :class:`~repro.observe.recorder.FlightRecorder` — a bounded ring of
+  structured per-query events (plan summary, cache outcome, per-shard
+  I/O, q-errors, typed failures) exportable as JSONL, with per-fingerprint
+  top-K aggregation;
+* :class:`~repro.observe.timeseries.TimeSeries` — windowed snapshots of
+  registry counter deltas exposing rates (queries/s, degraded rate,
+  failover rate, cache hit rate, shard skew) over time;
+* :mod:`~repro.observe.health` — threshold rules over those rates folding
+  into an ``ok / warn / critical`` :class:`~repro.observe.health.HealthReport`.
 
-Collection is strictly opt-in: with no collector, tracer, registry, or
-query log attached the hot paths run the exact same code as before
+Collection is strictly opt-in: with no collector, tracer, registry, query
+log, or recorder attached the hot paths run the exact same code as before
 (guarded by ``if ctx.metrics is not None`` / ``if tracer is not None``).
 """
 
 from .explain import (
     annotate_estimates,
     estimate_rows,
+    join_q_errors,
     q_error,
     render_plan,
     render_report,
+)
+from .fingerprint import (
+    Fingerprint,
+    canonicalize_sql,
+    fingerprint,
+    fingerprint_sql,
+    statement_template,
+)
+from .health import (
+    HealthReport,
+    HealthSignal,
+    HealthThresholds,
+    evaluate_health,
 )
 from .metrics import (
     BufferMetrics,
@@ -41,25 +68,44 @@ from .metrics import (
     SortMetrics,
 )
 from .querylog import QueryLog, QueryLogEntry
+from .recorder import FingerprintSummary, FlightRecorder, QueryEvent, ShardIO
 from .registry import Histogram, MetricsRegistry
+from .timeseries import TimeSeries, Window, lifetime_window
 from .trace import Span, SpanTracer, maybe_span
 
 __all__ = [
     "BufferMetrics",
+    "Fingerprint",
+    "FingerprintSummary",
+    "FlightRecorder",
+    "HealthReport",
+    "HealthSignal",
+    "HealthThresholds",
     "Histogram",
     "MetricsRegistry",
     "OperatorMetrics",
     "PageAccess",
+    "QueryEvent",
     "QueryLog",
     "QueryLogEntry",
     "QueryMetrics",
+    "ShardIO",
     "SortMetrics",
     "Span",
     "SpanTracer",
+    "TimeSeries",
+    "Window",
     "annotate_estimates",
+    "canonicalize_sql",
     "estimate_rows",
+    "evaluate_health",
+    "fingerprint",
+    "fingerprint_sql",
+    "join_q_errors",
+    "lifetime_window",
     "maybe_span",
     "q_error",
     "render_plan",
     "render_report",
+    "statement_template",
 ]

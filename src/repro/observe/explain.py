@@ -103,6 +103,35 @@ def q_error(estimated: float, actual: float) -> float:
     return max(est / act, act / est)
 
 
+def join_q_errors(
+    root: Operator,
+    metrics: QueryMetrics,
+    fanout: float = DEFAULT_FANOUT,
+    edge_fanouts: Optional[Dict[int, float]] = None,
+) -> List[float]:
+    """Per-join q-errors of an executed plan, in plan order.
+
+    Pure arithmetic over the cardinality model and the collector's
+    measured ``rows_out`` — no sampling, no I/O — so the session can
+    stamp these onto every instrumented query for the registry's q-error
+    drift signal.  Joins the collector never touched (e.g. short-circuited
+    subtrees) are skipped.
+    """
+    estimates = annotate_estimates(root, fanout, edge_fanouts)
+    out: List[float] = []
+
+    def walk(operator: Operator) -> None:
+        if isinstance(operator, (MergeJoinOp, NestedLoopJoinOp)):
+            om = metrics.for_node(operator)
+            if om is not None:
+                out.append(q_error(estimates[id(operator)], om.rows_out))
+        for child in operator.children():
+            walk(child)
+
+    walk(root)
+    return out
+
+
 def render_plan(
     root: Operator,
     metrics: Optional[QueryMetrics] = None,

@@ -115,6 +115,9 @@ class PartitionMetrics:
     inner_pages: int = 0
     rows_out: int = 0
     stats: Optional[OperationStats] = None
+    #: Replica failovers this task performed (shard tasks only; range
+    #: partitions have no replicas and leave it 0).
+    failovers: int = 0
 
 
 class QueryMetrics:
@@ -161,6 +164,12 @@ class QueryMetrics:
         self.shards: List[PartitionMetrics] = []
         #: Replica failovers performed by shard tasks during this query.
         self.shard_failovers: int = 0
+        #: Per-join q-errors of the executed plan (estimate vs measured
+        #: rows), stamped by the session when a flat plan ran under a
+        #: collector.  Pure arithmetic over counters already gathered —
+        #: no extra I/O — and the input of the registry's q-error drift
+        #: signal.
+        self.q_errors: List[float] = []
 
     # ------------------------------------------------------------------
     # Parallel / sharded execution

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional
 
+from .fingerprint import canonicalize_sql, fingerprint
 from .metrics import QueryMetrics
 
 
@@ -25,6 +26,9 @@ class QueryLogEntry:
     """One logged statement."""
 
     sql: str
+    #: Stable statement-template id (same statement, different literal
+    #: bindings → same fingerprint); see :mod:`repro.observe.fingerprint`.
+    fingerprint: str
     nesting_type: str
     rewrite: str
     strategy: str
@@ -83,8 +87,10 @@ class QueryLog:
                 reads, writes = total.page_reads, total.page_writes
                 fuzzy = total.fuzzy_evaluations
                 retries = total.io_retries
+        canonical = canonicalize_sql(str(sql))
         entry = QueryLogEntry(
-            sql=" ".join(str(sql).split()),
+            sql=canonical,
+            fingerprint=fingerprint(canonical).id,
             nesting_type=nesting,
             rewrite=rewrite,
             strategy=strategy,
@@ -114,8 +120,20 @@ class QueryLog:
             reverse=True,
         )
 
+    def by_fingerprint(self) -> Dict[str, List[QueryLogEntry]]:
+        """Retained entries grouped by statement fingerprint.
+
+        The grouping a ``pg_stat_statements`` view needs: the same
+        statement with different literal bindings lands in one group.
+        """
+        out: Dict[str, List[QueryLogEntry]] = {}
+        for entry in self.entries:
+            out.setdefault(entry.fingerprint, []).append(entry)
+        return out
+
     def summarize(self, top: int = 5) -> str:
-        """A workload report: totals, per-strategy rollup, slowest queries."""
+        """A workload report: totals, per-strategy and per-fingerprint
+        rollups, slowest queries."""
         lines = [
             f"query log: {self.recorded_total} recorded "
             f"({len(self.entries)} retained), {self.slow_total} slow "
@@ -138,6 +156,22 @@ class QueryLog:
             lines.append(
                 f"outcomes: {rollup} (degraded={degraded}, io_retries={retries})"
             )
+        groups = sorted(
+            self.by_fingerprint().items(),
+            key=lambda kv: (sum(e.wall_seconds for e in kv[1]), len(kv[1])),
+            reverse=True,
+        )[:top]
+        if groups:
+            lines.append(f"top {len(groups)} statements by total wall time:")
+            for fp, entries in groups:
+                total_ms = 1000.0 * sum(e.wall_seconds for e in entries)
+                ios = sum(e.page_ios for e in entries)
+                sql = entries[-1].sql
+                sql = sql if len(sql) <= 60 else sql[:57] + "..."
+                lines.append(
+                    f"  {fp}  n={len(entries)}  total={total_ms:.2f}ms  "
+                    f"ios={ios}  {sql}"
+                )
         slowest = sorted(
             self.entries, key=lambda e: e.wall_seconds, reverse=True
         )[:top]

@@ -105,6 +105,14 @@ class MetricsRegistry:
         self.queries_cancelled_total = 0
         self.queries_failed_total = 0
         self.operator_rows: Counter = Counter()  # keyed by operator kind
+        #: Per-shard page I/O, keyed by shard index (as a string label) —
+        #: the raw material of the time-series shard-skew signal.
+        self.shard_page_reads: Counter = Counter()
+        self.shard_page_writes: Counter = Counter()
+        #: Join q-error accumulation (sum + observation count), folded
+        #: from collectors whose session stamped per-join q-errors.
+        self.join_q_error_sum = 0.0
+        self.join_q_error_count = 0
         self.latency = Histogram(latency_buckets)
         #: Folding is serialized so concurrent sessions can share a
         #: registry (``run_batch`` drives queries from worker threads).
@@ -160,7 +168,15 @@ class MetricsRegistry:
                 # alone may have degraded to local execution.
                 self.sharded_queries_total += 1
                 self.shards_total += len(shards)
+                for shard in shards:
+                    if shard.stats is not None:
+                        total = shard.stats.total
+                        self.shard_page_reads[str(shard.index)] += total.page_reads
+                        self.shard_page_writes[str(shard.index)] += total.page_writes
             self.shard_failovers_total += getattr(metrics, "shard_failovers", 0)
+            for q in getattr(metrics, "q_errors", ()):
+                self.join_q_error_sum += q
+                self.join_q_error_count += 1
             if metrics.degraded:
                 self.queries_degraded_total += 1
             outcome = getattr(metrics, "outcome", "ok")
@@ -195,12 +211,55 @@ class MetricsRegistry:
             self.statements_prepared_total += 1
 
     # ------------------------------------------------------------------
+    # Snapshots (the time-series feed)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, float]:
+        """A flat, lock-consistent copy of every counter.
+
+        Scalar counters appear under their attribute name; labelled
+        families under ``family:label`` (``shard_page_reads:0``); the
+        latency histogram under ``latency_sum`` / ``latency_count`` /
+        ``latency_bucket:<bound>``.  This is what
+        :class:`~repro.observe.timeseries.TimeSeries` diffs window to
+        window, so it must cover every signal a health rule reads.
+        """
+        with self._lock:
+            state: Dict[str, float] = {
+                name: float(value)
+                for name, value in vars(self).items()
+                if isinstance(value, (int, float)) and not name.startswith("_")
+            }
+            state["queries"] = float(self.latency.count)
+            for family, counts in (
+                ("strategy", self.queries_by_strategy),
+                ("nesting", self.queries_by_nesting),
+                ("rewrite", self.rewrites),
+                ("operator_rows", self.operator_rows),
+                ("shard_page_reads", self.shard_page_reads),
+                ("shard_page_writes", self.shard_page_writes),
+            ):
+                for key, value in counts.items():
+                    state[f"{family}:{key}"] = float(value)
+            state["latency_sum"] = self.latency.sum
+            state["latency_count"] = float(self.latency.count)
+            for bound, count in zip(self.latency.bounds, self.latency.bucket_counts):
+                state[f"latency_bucket:{_format_number(bound)}"] = float(count)
+        return state
+
+    # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
-    def render_prometheus(self) -> str:
-        """The registry in the Prometheus text exposition format."""
-        lines: List[str] = []
-        lines.extend(
+    def render_prometheus(self, name_prefix: Optional[str] = None) -> str:
+        """The registry in the Prometheus text exposition format.
+
+        ``name_prefix`` keeps only the metric families whose qualified
+        name starts with it (``fuzzysql_`` is implied when the prefix
+        does not carry it), so a reader can slice the growing exposition
+        — e.g. ``render_prometheus("fuzzysql_shard")`` or, through the
+        shell, ``\\metrics shard``.
+        """
+        families: List[List[str]] = []
+        families.append(
             self._counter_family(
                 "queries_total",
                 "Queries executed, by execution strategy.",
@@ -208,7 +267,7 @@ class MetricsRegistry:
                 self.queries_by_strategy,
             )
         )
-        lines.extend(
+        families.append(
             self._counter_family(
                 "nesting_total",
                 "Queries executed, by nesting type.",
@@ -216,7 +275,7 @@ class MetricsRegistry:
                 self.queries_by_nesting,
             )
         )
-        lines.extend(
+        families.append(
             self._counter_family(
                 "rewrites_total",
                 "Unnesting rewrites fired, by rule.",
@@ -224,12 +283,28 @@ class MetricsRegistry:
                 self.rewrites,
             )
         )
-        lines.extend(
+        families.append(
             self._counter_family(
                 "operator_rows_total",
                 "Rows produced, by operator kind.",
                 "operator",
                 self.operator_rows,
+            )
+        )
+        families.append(
+            self._counter_family(
+                "shard_page_reads_total",
+                "Pages read by shard tasks, by shard index.",
+                "shard",
+                self.shard_page_reads,
+            )
+        )
+        families.append(
+            self._counter_family(
+                "shard_page_writes_total",
+                "Pages written by shard tasks, by shard index.",
+                "shard",
+                self.shard_page_writes,
             )
         )
         for name, help_text, value in (
@@ -256,16 +331,32 @@ class MetricsRegistry:
             ("queries_timeout_total", "Queries that exceeded their deadline.", self.queries_timeout_total),
             ("queries_cancelled_total", "Queries cancelled via a CancelToken.", self.queries_cancelled_total),
             ("queries_failed_total", "Queries that failed with a typed error.", self.queries_failed_total),
+            ("join_q_error_sum", "Sum of per-join q-errors stamped on collectors.", self.join_q_error_sum),
+            ("join_q_error_count", "Number of per-join q-error observations.", self.join_q_error_count),
         ):
             qualified = f"{NAMESPACE}_{name}"
-            lines.append(f"# HELP {qualified} {help_text}")
-            lines.append(f"# TYPE {qualified} counter")
-            lines.append(f"{qualified} {_format_number(value)}")
-        lines.extend(
+            families.append([
+                f"# HELP {qualified} {help_text}",
+                f"# TYPE {qualified} counter",
+                f"{qualified} {_format_number(value)}",
+            ])
+        families.append(
             self.latency.render(
                 f"{NAMESPACE}_query_seconds", "Query wall time in seconds."
             )
         )
+        if name_prefix:
+            prefix = (
+                name_prefix
+                if name_prefix.startswith(NAMESPACE)
+                else f"{NAMESPACE}_{name_prefix}"
+            )
+            families = [
+                family
+                for family in families
+                if family[0].split(" ", 2)[2].split(" ", 1)[0].startswith(prefix)
+            ]
+        lines = [line for family in families for line in family]
         return "\n".join(lines) + "\n"
 
     @staticmethod

@@ -1,0 +1,237 @@
+"""A windowed time-series over :class:`~repro.observe.registry.MetricsRegistry`.
+
+The registry answers "how much, ever"; operations questions are about
+*trends*: is the degraded rate climbing, did the cache hit rate collapse
+after a reshard, is shard 3 absorbing all the I/O this minute?  This
+module keeps a bounded ring of registry snapshots and derives per-window
+**deltas** — counter increments and latency-histogram increments between
+consecutive snapshots — so those rates fall out without the registry ever
+resetting (Prometheus discipline: counters only go up; rates live in the
+scrape layer).
+
+Usage::
+
+    ts = TimeSeries(session.registry)
+    ... run traffic ...
+    ts.snapshot()              # close window 1
+    ... run more traffic ...
+    ts.snapshot()              # close window 2
+    window = ts.merged(last=2) # one aggregate over both windows
+    window.degraded_rate, window.cache_hit_rate, window.shard_skew
+
+Timestamps default to :func:`time.monotonic`; pass ``at=`` for
+deterministic tests.  The health rules in
+:mod:`repro.observe.health` evaluate exactly these window rates.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Mapping, Optional
+
+from .registry import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class Window:
+    """Counter increments between two snapshots, plus derived rates."""
+
+    start: float
+    end: float
+    deltas: Mapping[str, float]
+
+    @property
+    def duration(self) -> float:
+        """Window length in seconds (0 for a degenerate window)."""
+        return max(0.0, self.end - self.start)
+
+    def delta(self, key: str) -> float:
+        """The increment of one counter over this window (0 if absent)."""
+        return self.deltas.get(key, 0.0)
+
+    # ------------------------------------------------------------------
+    # Rates the health rules read
+    # ------------------------------------------------------------------
+    @property
+    def queries(self) -> float:
+        """Queries folded into the registry during this window."""
+        return self.delta("queries")
+
+    @property
+    def queries_per_second(self) -> float:
+        """Query throughput over the window (0 when duration is 0)."""
+        return self.queries / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of the window's queries answered degraded."""
+        return self._per_query("queries_degraded_total")
+
+    @property
+    def failover_rate(self) -> float:
+        """Replica failovers per query over the window."""
+        return self._per_query("shard_failovers_total")
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of the window's queries that failed or timed out."""
+        failed = (
+            self.delta("queries_failed_total")
+            + self.delta("queries_timeout_total")
+            + self.delta("queries_cancelled_total")
+        )
+        return failed / self.queries if self.queries > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Plan-cache hit fraction, or ``None`` with no lookups to judge."""
+        hits = self.delta("plan_cache_hits_total")
+        lookups = hits + self.delta("plan_cache_misses_total")
+        return hits / lookups if lookups > 0 else None
+
+    @property
+    def mean_q_error(self) -> Optional[float]:
+        """Mean per-join q-error, or ``None`` with no observations."""
+        count = self.delta("join_q_error_count")
+        return self.delta("join_q_error_sum") / count if count > 0 else None
+
+    def shard_io(self) -> Dict[str, float]:
+        """Per-shard page I/O (reads + writes) incremented this window."""
+        out: Dict[str, float] = {}
+        for key, value in self.deltas.items():
+            family, _, label = key.partition(":")
+            if family in ("shard_page_reads", "shard_page_writes") and label:
+                out[label] = out.get(label, 0.0) + value
+        return out
+
+    @property
+    def shard_skew(self) -> float:
+        """Max-over-mean per-shard I/O this window (1.0 = balanced).
+
+        1.0 when fewer than two shards saw traffic — skew is undefined,
+        not alarming, on an unsharded or idle window.
+        """
+        io = [v for v in self.shard_io().values() if v > 0]
+        if len(io) < 2:
+            return 1.0
+        mean = sum(io) / len(io)
+        return max(io) / mean if mean > 0 else 1.0
+
+    def latency_quantile(self, q: float) -> float:
+        """Interpolated latency quantile (seconds) from bucket deltas.
+
+        Prometheus-style ``histogram_quantile`` over this window's bucket
+        increments; 0.0 on an empty window.
+        """
+        buckets: List[tuple] = []
+        for key, value in self.deltas.items():
+            family, _, label = key.partition(":")
+            if family == "latency_bucket" and label:
+                buckets.append((float(label), value))
+        buckets.sort()
+        count = self.delta("latency_count")
+        if count <= 0 or not buckets:
+            return 0.0
+        # Bucket counts are cumulative over the bounds within each
+        # snapshot, so their per-window differences stay cumulative.
+        rank = q * count
+        below = 0.0
+        lower = 0.0
+        for bound, cumulative in buckets:
+            if cumulative >= rank:
+                in_bucket = cumulative - below
+                if in_bucket <= 0:
+                    return bound
+                fraction = (rank - below) / in_bucket
+                return lower + (bound - lower) * fraction
+            below = cumulative
+            lower = bound
+        return buckets[-1][0]
+
+    def _per_query(self, key: str) -> float:
+        return self.delta(key) / self.queries if self.queries > 0 else 0.0
+
+
+class TimeSeries:
+    """A bounded ring of registry snapshots with per-window deltas."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        capacity: int = 240,
+        at: Optional[float] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError("time series capacity must be positive")
+        self.registry = registry
+        self.capacity = capacity
+        self._windows: Deque[Window] = deque(maxlen=capacity)
+        #: The open window's baseline: the state at the last snapshot.
+        self._last_state = registry.snapshot_state()
+        self._last_at = time.monotonic() if at is None else at
+        #: Snapshots taken, surviving ring eviction.
+        self.snapshots_total = 0
+
+    def snapshot(self, at: Optional[float] = None) -> Window:
+        """Close the current window: diff the registry against the last
+        snapshot, append the delta window, and open the next one."""
+        now_at = time.monotonic() if at is None else at
+        state = self.registry.snapshot_state()
+        deltas = {
+            key: state[key] - self._last_state.get(key, 0.0)
+            for key in state
+        }
+        window = Window(self._last_at, now_at, deltas)
+        self._windows.append(window)
+        self._last_state = state
+        self._last_at = now_at
+        self.snapshots_total += 1
+        return window
+
+    def windows(self, last: Optional[int] = None) -> List[Window]:
+        """The retained windows, oldest first (optionally the last N)."""
+        out = list(self._windows)
+        return out if last is None else out[-max(0, last):]
+
+    def merged(self, last: Optional[int] = None) -> Window:
+        """One window aggregating the last N retained windows.
+
+        Counter deltas sum; the span runs from the first window's start
+        to the last window's end.  With no retained windows the result is
+        an empty degenerate window (all rates 0 / undefined).
+        """
+        windows = self.windows(last)
+        if not windows:
+            at = self._last_at
+            return Window(at, at, {})
+        deltas: Dict[str, float] = {}
+        for window in windows:
+            for key, value in window.deltas.items():
+                deltas[key] = deltas.get(key, 0.0) + value
+        return Window(windows[0].start, windows[-1].end, deltas)
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeries(windows={len(self._windows)}/{self.capacity}, "
+            f"snapshots={self.snapshots_total})"
+        )
+
+
+def lifetime_window(registry: MetricsRegistry) -> Window:
+    """The registry's whole life as one degenerate window.
+
+    Deltas are the raw totals (baseline zero) and the duration is 0 —
+    ratios (degraded rate, cache hit rate, skew) are meaningful,
+    throughput is not.  This is what ``session.health()`` evaluates when
+    no :class:`TimeSeries` has been attached.
+    """
+    state = registry.snapshot_state()
+    return Window(0.0, 0.0, dict(state))
+
+
+__all__ = ["TimeSeries", "Window", "lifetime_window"]

@@ -17,41 +17,19 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
+from ..observe.fingerprint import canonicalize_sql
+
 #: Lookup outcomes, as recorded on a query's collector.
 HIT, MISS, INVALIDATED = "hit", "miss", "invalidated"
 
-
-def normalize_sql(text: str) -> str:
-    """Collapse insignificant whitespace so equivalent texts share a key.
-
-    Runs of whitespace *outside* string literals become single spaces and
-    leading/trailing whitespace is dropped; quoted literals are copied
-    verbatim (``'very  tall'`` and ``'very tall'`` are different terms and
-    must not be conflated).  Keyword case is left alone — the lexer is
-    case-insensitive for keywords but identifiers and linguistic terms are
-    data.
-    """
-    out = []
-    pending_space = False
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        if ch.isspace():
-            pending_space = True
-            i += 1
-            continue
-        if pending_space and out:
-            out.append(" ")
-        pending_space = False
-        if ch in "'\"":
-            end = text.find(ch, i + 1)
-            end = n - 1 if end == -1 else end
-            out.append(text[i:end + 1])
-            i = end + 1
-            continue
-        out.append(ch)
-        i += 1
-    return "".join(out)
+#: The cache key normalizer — the *shared* statement canonicalizer
+#: (:func:`repro.observe.fingerprint.canonicalize_sql`), so the plan
+#: cache, the query log, and workload fingerprinting can never disagree
+#: about statement identity.  Literals are preserved: the cache must not
+#: conflate ``'very  tall'`` with ``'very tall'`` (different terms) nor
+#: two statements differing only in a constant a compiled predicate bakes
+#: in; only the literal-folding *fingerprint* conflates those.
+normalize_sql = canonicalize_sql
 
 
 @dataclass

@@ -38,10 +38,13 @@ from .engine.pipelined import JAPipeline
 from .engine.semantics import NaiveEvaluator
 from .engine.statistics import StatisticsVersions
 from .fuzzy.compare import Op
-from .observe.explain import render_plan, render_report
+from .observe.explain import join_q_errors, render_plan, render_report
+from .observe.health import HealthReport, HealthThresholds, evaluate_health
 from .observe.metrics import QueryMetrics
 from .observe.querylog import QueryLog
+from .observe.recorder import FlightRecorder
 from .observe.registry import MetricsRegistry
+from .observe.timeseries import TimeSeries, lifetime_window
 from .observe.trace import SpanTracer, maybe_span
 from .fuzzy.linguistic import Vocabulary
 from .service.plancache import PlanCache, normalize_sql
@@ -139,12 +142,20 @@ class StorageSession:
         #: the last instrumented run, if one was supplied.
         self.last_metrics: Optional[QueryMetrics] = None
         #: Workload-level sinks.  Assign a
-        #: :class:`~repro.observe.registry.MetricsRegistry` and/or a
-        #: :class:`~repro.observe.querylog.QueryLog` and every query is
-        #: folded in / logged automatically (one collector per query, read
-        #: exactly once — see the no-double-counting regression test).
+        #: :class:`~repro.observe.registry.MetricsRegistry`, a
+        #: :class:`~repro.observe.querylog.QueryLog`, and/or a
+        #: :class:`~repro.observe.recorder.FlightRecorder` and every query
+        #: is folded in / logged / recorded automatically (one collector
+        #: per query, read exactly once — see the no-double-counting
+        #: regression test).  All three key statement identity on the
+        #: shared canonicalizer in :mod:`repro.observe.fingerprint`.
         self.registry: Optional[MetricsRegistry] = None
         self.query_log: Optional[QueryLog] = None
+        self.recorder: Optional[FlightRecorder] = None
+        #: Optional :class:`~repro.observe.timeseries.TimeSeries` over the
+        #: registry; when attached (and snapshotted), :meth:`health`
+        #: evaluates the merged recent windows instead of lifetime totals.
+        self.timeseries: Optional[TimeSeries] = None
         #: Per-relation statistics versions; bumped on (re)registration and
         #: on sampled fan-out drift.  Plan-cache entries validate against
         #: these tokens.
@@ -280,6 +291,7 @@ class StorageSession:
             metrics is not None
             or self.registry is not None
             or self.query_log is not None
+            or self.recorder is not None
         )
         use_cache = isinstance(sql, str) and self.plan_cache is not None
         if not need_collector and tracer is None:
@@ -362,17 +374,43 @@ class StorageSession:
         if prepared is not None:
             prepared.executions += 1
         wall = time.perf_counter() - started
-        if collector is not None:
-            if self.registry is not None:
-                self.registry.observe(collector, wall_seconds=wall, rows=len(result))
-            if self.query_log is not None:
-                self.query_log.record(
-                    sql if isinstance(sql, str) else repr(sql),
-                    collector,
-                    wall_seconds=wall,
-                    rows=len(result),
-                )
+        self._observe_query(
+            sql if isinstance(sql, str) else repr(sql),
+            collector,
+            wall,
+            len(result),
+        )
         return result
+
+    def _observe_query(
+        self,
+        sql_text: str,
+        collector: Optional[QueryMetrics],
+        wall: float,
+        rows: int,
+        error: str = "",
+    ) -> None:
+        """Fold one finished query into every attached workload sink.
+
+        The single funnel for the registry, query log, and flight
+        recorder, so all three always agree on query counts and statement
+        identity.  Per-join q-errors are stamped onto the collector first
+        (successful flat plans only) — pure arithmetic over the compiled
+        plan and the collector's already-measured row counts, no extra
+        I/O — so every sink sees the same estimate-drift numbers.
+        """
+        if collector is None:
+            return
+        if not error and self.last_plan is not None:
+            collector.q_errors = join_q_errors(self.last_plan, collector)
+        if self.registry is not None:
+            self.registry.observe(collector, wall_seconds=wall, rows=rows)
+        if self.query_log is not None:
+            self.query_log.record(sql_text, collector, wall_seconds=wall, rows=rows)
+        if self.recorder is not None:
+            self.recorder.record(
+                sql_text, collector, wall_seconds=wall, rows=rows, error=error
+            )
 
     def _record_failure(
         self,
@@ -381,7 +419,7 @@ class StorageSession:
         started: float,
         exc: FuzzyQueryError,
     ) -> None:
-        """Fold a failed query into the registry/log with its typed outcome."""
+        """Fold a failed query into the sinks with its typed outcome."""
         if collector is None:
             return
         if isinstance(exc, QueryTimeoutError):
@@ -391,10 +429,36 @@ class StorageSession:
         else:
             collector.outcome = "error"
         wall = time.perf_counter() - started
-        if self.registry is not None:
-            self.registry.observe(collector, wall_seconds=wall, rows=0)
-        if self.query_log is not None:
-            self.query_log.record(sql_text, collector, wall_seconds=wall, rows=0)
+        self._observe_query(
+            sql_text, collector, wall, 0, error=type(exc).__name__
+        )
+
+    def health(
+        self,
+        thresholds: Optional[HealthThresholds] = None,
+        last: Optional[int] = None,
+    ) -> HealthReport:
+        """Evaluate the health rules over this session's workload.
+
+        With a :attr:`timeseries` attached and at least one snapshot
+        taken, the report covers the merged recent windows (optionally the
+        ``last`` N); otherwise it covers the :attr:`registry`'s lifetime
+        totals.  Raises :class:`~repro.errors.FuzzyQueryError` when
+        neither sink is attached — there is nothing to judge.
+        """
+        if self.timeseries is not None and len(self.timeseries):
+            window = self.timeseries.merged(last)
+        else:
+            registry = self.registry
+            if registry is None and self.timeseries is not None:
+                registry = self.timeseries.registry
+            if registry is None:
+                raise FuzzyQueryError(
+                    "health() needs a registry or timeseries attached "
+                    "(assign session.registry = MetricsRegistry())"
+                )
+            window = lifetime_window(registry)
+        return evaluate_health(window, thresholds)
 
     def trace(self, sql: Union[str, SelectQuery]) -> SpanTracer:
         """Run a query with a fresh span tracer attached and return it.
@@ -544,6 +608,7 @@ class StorageSession:
             metrics is not None
             or self.registry is not None
             or self.query_log is not None
+            or self.recorder is not None
         )
         if not need_collector and tracer is None:
             stats = OperationStats()
@@ -580,13 +645,7 @@ class StorageSession:
             raise
         prepared.executions += 1
         wall = time.perf_counter() - started
-        if collector is not None:
-            if self.registry is not None:
-                self.registry.observe(collector, wall_seconds=wall, rows=len(result))
-            if self.query_log is not None:
-                self.query_log.record(
-                    prepared.sql_text, collector, wall_seconds=wall, rows=len(result)
-                )
+        self._observe_query(prepared.sql_text, collector, wall, len(result))
         return result
 
     def _run_prepared(

@@ -244,6 +244,7 @@ class ShardedMergeJoin:
                     inner_pages=result.slice_pages,
                     rows_out=len(result.pairs),
                     stats=result.stats,
+                    failovers=result.failovers,
                 ))
             if self.tracer is not None:
                 self.tracer.record(

@@ -11,6 +11,11 @@ Command    Effect
 ``\\log``     the query-log workload report (strategy rollup, failure
               outcomes, slowest statements)
 ``\\metrics`` the metrics registry in Prometheus text exposition
+              (optional name-prefix filter: ``\\metrics fuzzysql_shard``)
+``\\top``     per-fingerprint top-K from the flight recorder (count,
+              modelled cost, page I/O, p50/p95 latency)
+``\\health``  the health report: threshold rules over workload rates
+``\\events``  the flight recorder's last N events as JSONL
 ``\\explain`` EXPLAIN for the rest of the line (no execution)
 ``\\analyze`` EXPLAIN ANALYZE for the rest of the line (executes)
 ``\\trace``   span tree of the rest of the line (executes)
@@ -21,13 +26,15 @@ Command    Effect
 ``\\help``    list the meta-commands
 ========== ===========================================================
 
-The shell owns a :class:`~repro.observe.registry.MetricsRegistry` and a
-:class:`~repro.observe.querylog.QueryLog` (attaching them to the session
-unless it already has its own), so failure outcomes — timeouts,
+The shell owns a :class:`~repro.observe.registry.MetricsRegistry`, a
+:class:`~repro.observe.querylog.QueryLog`, and a
+:class:`~repro.observe.recorder.FlightRecorder` (attaching them to the
+session unless it already has its own), so failure outcomes — timeouts,
 cancellations, degraded fallbacks, retry counts — surface directly in
-``\\log`` and ``\\metrics``.  :meth:`FuzzyShell.execute` returns the
-rendered output instead of printing, which keeps the shell fully
-scriptable and testable; :meth:`FuzzyShell.run` is the interactive loop.
+``\\log``, ``\\metrics``, ``\\top``, ``\\health``, and ``\\events``.
+:meth:`FuzzyShell.execute` returns the rendered output instead of
+printing, which keeps the shell fully scriptable and testable;
+:meth:`FuzzyShell.run` is the interactive loop.
 """
 
 from __future__ import annotations
@@ -37,13 +44,17 @@ from typing import Iterable, Optional
 
 from .errors import FuzzyQueryError
 from .observe.querylog import QueryLog
+from .observe.recorder import FlightRecorder
 from .observe.registry import MetricsRegistry
 from .session import StorageSession
 
 #: One help line per meta-command, rendered by ``\help``.
 HELP = """\
 \\log        query log report: strategies, outcomes, slowest statements
-\\metrics    metrics registry (Prometheus text exposition)
+\\metrics P  metrics registry (Prometheus text; optional name prefix P)
+\\top K      top K statements by fingerprint (default 5)
+\\health     health report: ok/warn/critical over workload rates
+\\events N   last N flight-recorder events as JSONL (default 10)
 \\explain Q  strategy and plan of query Q, without executing it
 \\analyze Q  EXPLAIN ANALYZE of query Q (executes it)
 \\trace Q    span tree of query Q (executes it)
@@ -62,6 +73,8 @@ class FuzzyShell:
             session.registry = MetricsRegistry()
         if session.query_log is None:
             session.query_log = QueryLog()
+        if session.recorder is None:
+            session.recorder = FlightRecorder()
         #: Deadline applied to every SQL line, in milliseconds (``None``
         #: = unbounded); set interactively with ``\timeout``.
         self.timeout_ms: Optional[float] = None
@@ -93,7 +106,17 @@ class FuzzyShell:
         if command == "\\log":
             return self.session.query_log.summarize()
         if command == "\\metrics":
-            return self.session.registry.render_prometheus()
+            return self.session.registry.render_prometheus(
+                name_prefix=argument or None
+            )
+        if command == "\\top":
+            k = int(argument) if argument else 5
+            return self.session.recorder.render_top(k)
+        if command == "\\health":
+            return self.session.health().render()
+        if command == "\\events":
+            n = int(argument) if argument else 10
+            return self.session.recorder.to_jsonl(last=n)
         if command == "\\explain":
             return self.session.explain(argument)
         if command == "\\analyze":
