@@ -69,6 +69,9 @@ COUNTER_KEYS = (
     "fuzzy_evaluations",
     "tuple_moves",
     "io_retries",
+    "index_pages_read",
+    "columns_scanned",
+    "kernel_batches",
 )
 
 #: One query per nesting type, over the fixed R/S/W session.
@@ -389,6 +392,110 @@ def _fault_workloads() -> dict:
     }
 
 
+#: The columnar/index slices: ``(n per relation, tables, SQL, counters
+#: that must be nonzero — proof the index path actually ran)``.
+COLUMNAR_QUERIES = {
+    "columnar_J": (
+        240,
+        ("R",),
+        "SELECT R.K FROM R WHERE R.V = 0 WITH D >= 0.5",
+        ("index_pages_read", "columns_scanned", "kernel_batches"),
+    ),
+    "indexed_J": (
+        60,
+        ("R", "S"),
+        "SELECT R.K, S.K FROM R, S WHERE R.V = S.V AND R.U = S.U WITH D >= 0.6",
+        ("index_pages_read",),
+    ),
+}
+
+
+def _columnar_session(n: int, tables, index_attr=None, seed: int = 23):
+    """A session clustered on ``V`` for the columnar slices.
+
+    Rows are inserted in support-interval order of ``V`` so the heap is
+    clustered on the indexed attribute — the layout the support-interval
+    index is designed for.  The row baseline is built from the *same*
+    generator sequence (indexes are simply not created), so the two runs
+    see byte-identical heaps and the counter comparison is fair.
+    """
+    from repro.fuzzy import CrispNumber as N
+    from repro.fuzzy import TrapezoidalNumber as T
+
+    schema = Schema(["K", "V", "U"])
+    pool = [N(0.0), N(5.0), T(0, 1, 2, 4), T(3, 5, 5, 7), T(4, 6, 8, 12)]
+    rng = random.Random(seed)
+
+    def rel():
+        rows = [
+            FuzzyTuple(
+                [N(float(i)), rng.choice(pool), rng.choice(pool)],
+                rng.choice([0.3, 0.6, 1.0]),
+            )
+            for i in range(n)
+        ]
+        rows.sort(key=lambda t: t[1].interval())
+        return FuzzyRelation(schema, rows)
+
+    session = StorageSession(buffer_pages=16, page_size=1024)
+    for name in tables:
+        session.register(name, rel())
+    if index_attr is not None:
+        for name in tables:
+            session.create_index(name, index_attr)
+    return session
+
+
+def _columnar_workloads() -> dict:
+    """The columnar/index slices: index path vs row path, gated on counters.
+
+    ``columnar_J`` runs a selective ``WITH D >=`` threshold scan through
+    the support-interval index (``IndexScan`` + vectorized kernel);
+    ``indexed_J`` runs a selective two-predicate join through the
+    index-assisted merge-join.  Each slice hard-fails unless the indexed
+    answer is *bit-identical* to the row path's, the index path actually
+    ran (its counters are nonzero), and it did *strictly less* work than
+    the row path on both ``page_reads`` and ``fuzzy_evaluations``.  The
+    row baseline's counters are committed alongside so the artifact
+    records the delta; wall time is recorded, never gated.
+    """
+    out = {}
+    for name, (n, tables, sql, must_be_nonzero) in COLUMNAR_QUERIES.items():
+        row_session = _columnar_session(n, tables)
+        row_result = row_session.query(sql)
+        row_counters = _counters(row_session.last_stats)
+
+        session = _columnar_session(n, tables, index_attr="V")
+        started = time.perf_counter()
+        result = session.query(sql)
+        wall = time.perf_counter() - started
+        if not result.same_as(row_result, 0.0):
+            raise AssertionError(f"{name}: indexed answer differs from the row path")
+        counters = _counters(session.last_stats)
+        for key in must_be_nonzero:
+            if not counters[key]:
+                raise AssertionError(
+                    f"{name}: counter {key} is zero — the index path did not run"
+                )
+        for key in ("page_reads", "fuzzy_evaluations"):
+            if counters[key] >= row_counters[key]:
+                raise AssertionError(
+                    f"{name}: {key} = {counters[key]} is not strictly below "
+                    f"the row path's {row_counters[key]}"
+                )
+        counters["row_page_reads"] = row_counters["page_reads"]
+        counters["row_fuzzy_evaluations"] = row_counters["fuzzy_evaluations"]
+        out[name] = {
+            "modelled_seconds": PAPER_1992.response_time(session.last_stats),
+            "row_modelled_seconds": PAPER_1992.response_time(row_session.last_stats),
+            "wall_seconds": wall,
+            "rows": len(result),
+            "strategy": session.last_strategy,
+            "counters": counters,
+        }
+    return out
+
+
 def measure_collector_overhead(repeats: int = 5) -> dict:
     """Wall time of the type-J query with and without a collector attached.
 
@@ -492,6 +599,7 @@ def run_all(scale: int) -> dict:
     workloads.update(_parallel_workloads())
     workloads.update(_sharded_workloads())
     workloads.update(_fault_workloads())
+    workloads.update(_columnar_workloads())
     return {
         "version": VERSION,
         "scale": scale,

@@ -1,0 +1,31 @@
+"""Columnar storage, vectorized trapezoid kernels, and the support-interval index.
+
+The paper replaces tuple-at-a-time nested iteration with sort-merge over
+the support-interval order ``(b(v), e(v))``; this package pushes the same
+idea one layer down.  Trapezoid attributes are stored column-at-a-time
+(:mod:`~repro.columnar.pages`), comparison degrees for a probe against a
+whole column batch are computed in one pass by a pure-python vectorized
+kernel (:mod:`~repro.columnar.kernel`), and a persistent secondary index
+keyed on the interval order (:mod:`~repro.columnar.index`) turns selective
+``WITH D >= z`` predicates and joins into index range scans and
+index-assisted merge-joins (:mod:`~repro.columnar.operators`) instead of
+full external sorts.
+"""
+
+from .index import SupportIntervalIndex, UnsupportedIndexError, index_file_name
+from .kernel import batch_eq_possibility, batch_eq_necessity
+from .operators import IndexMergeJoinOp, IndexScan
+from .pages import ColumnarPage, KIND_POINT, KIND_TRAPEZOID
+
+__all__ = [
+    "ColumnarPage",
+    "IndexMergeJoinOp",
+    "IndexScan",
+    "KIND_POINT",
+    "KIND_TRAPEZOID",
+    "SupportIntervalIndex",
+    "UnsupportedIndexError",
+    "batch_eq_necessity",
+    "batch_eq_possibility",
+    "index_file_name",
+]

@@ -1,0 +1,154 @@
+"""Vectorized trapezoid comparison kernels over column batches.
+
+One probe distribution is compared against a whole columnar page in a
+single pass over the ``(a, b, e, d)`` columns, instead of lifting each
+entry back into a :class:`~repro.fuzzy.trapezoid.TrapezoidalNumber` and
+dispatching through :func:`repro.fuzzy.compare.possibility` one value at
+a time.
+
+**Bit-identicality contract.**  ``batch_eq_possibility(probe, ...)[i]``
+equals ``possibility(value_i, Op.EQ, probe)`` *bit for bit*, where
+``value_i`` is the distribution the columns encode.  The kernel only uses
+closed forms for the cases where they provably reproduce the scalar
+library's float arithmetic exactly:
+
+* both sides points — value equality, degree 1.0 or 0.0;
+* point vs trapezoid — the trapezoid membership formula, replicated
+  branch-for-branch from :meth:`TrapezoidalNumber.membership`;
+* disjoint supports — 0.0 (the scalar path's ``intervals_intersect``
+  gate);
+* overlapping cores — exactly 1.0 (normal trapezoids: the sup-min of two
+  membership curves whose cores share a point is attained there at
+  height 1.0, and the piecewise-linear evaluation yields exactly 1.0 at
+  core abscissae).
+
+The one genuinely geometric case — two proper trapezoids whose supports
+overlap but whose cores do not, so the degree is a ramp intersection —
+falls back to the scalar library on a trapezoid reconstructed from the
+columns.  f64 values round-trip the columnar encoding exactly, so the
+fallback is bit-identical by construction.  The kernels therefore never
+approximate: they just skip object construction and dispatch for the
+overwhelmingly common cheap cases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..fuzzy.compare import Op, possibility
+from ..fuzzy.trapezoid import TrapezoidalNumber
+from .pages import KIND_POINT
+
+__all__ = ["batch_eq_possibility", "batch_eq_necessity"]
+
+
+def _probe_shape(probe) -> tuple:
+    """``(is_point, value, a, b, e, d)`` for a numeric probe distribution.
+
+    Accepts :class:`~repro.fuzzy.crisp.CrispNumber` and
+    :class:`TrapezoidalNumber` (the only shapes the support-interval index
+    stores or is probed with); degenerate trapezoids (``a == d``) count as
+    points, mirroring ``_as_point`` in the scalar library.
+    """
+    if isinstance(probe, TrapezoidalNumber):
+        if probe.a == probe.d:
+            return (True, probe.a, probe.a, probe.a, probe.a, probe.a)
+        return (False, None, probe.a, probe.b, probe.c, probe.d)
+    value = getattr(probe, "value", None)
+    if value is not None and probe.is_numeric:
+        return (True, value, value, value, value, value)
+    raise TypeError(
+        f"vectorized kernel expects a numeric crisp or trapezoidal probe, "
+        f"got {type(probe).__name__}"
+    )
+
+
+def batch_eq_possibility(
+    probe,
+    col_a: Sequence[float],
+    col_b: Sequence[float],
+    col_e: Sequence[float],
+    col_d: Sequence[float],
+    kinds: Sequence[int],
+    probe_on_left: bool = False,
+) -> List[float]:
+    """``[possibility(value_i, Op.EQ, probe)]`` over a column batch.
+
+    ``col_e`` is the core-end column (the row trapezoid's ``c``); the
+    default operand order matches compiled predicates, which place the
+    stored attribute on the left and the query literal on the right.
+    ``probe_on_left=True`` flips the scalar-fallback orientation to
+    ``possibility(probe, Op.EQ, value_i)`` — the
+    :class:`~repro.fuzzy.compare.ComparisonKernel` convention — so memo
+    entries stay bit-identical to the scalar path either way (the closed
+    forms are exactly symmetric; only the ramp fallback cares).
+    """
+    is_point, pv, pa, pb, pe, pd = _probe_shape(probe)
+    degrees: List[float] = []
+    fallback = None
+    for i in range(len(col_a)):
+        a = col_a[i]
+        entry_point = kinds[i] == KIND_POINT
+        if is_point:
+            if entry_point:
+                degrees.append(1.0 if a == pv else 0.0)
+                continue
+            # Point probe against trapezoid entry: the entry's membership
+            # at pv, branch-for-branch as TrapezoidalNumber.membership.
+            b, e, d = col_b[i], col_e[i], col_d[i]
+            if pv < a or pv > d:
+                degrees.append(0.0)
+            elif b <= pv <= e:
+                degrees.append(1.0)
+            elif pv < b:
+                degrees.append((pv - a) / (b - a))
+            else:
+                degrees.append((d - pv) / (d - e))
+            continue
+        if entry_point:
+            # Point entry against trapezoid probe: probe membership at the
+            # entry's value (the library's own exact formula).
+            degrees.append(probe.membership(a))
+            continue
+        b, e, d = col_b[i], col_e[i], col_d[i]
+        if d < pa or pd < a:
+            degrees.append(0.0)          # disjoint supports
+        elif max(b, pb) <= min(e, pe):
+            degrees.append(1.0)          # overlapping cores
+        else:
+            # Ramp intersection: defer to the scalar library on the
+            # reconstructed trapezoid for bitwise-identical arithmetic.
+            if fallback is None:
+                fallback = probe
+            value = TrapezoidalNumber(a, b, e, d)
+            if probe_on_left:
+                degrees.append(possibility(fallback, Op.EQ, value))
+            else:
+                degrees.append(possibility(value, Op.EQ, fallback))
+    return degrees
+
+
+def batch_eq_necessity(
+    probe,
+    col_a: Sequence[float],
+    col_b: Sequence[float],
+    col_e: Sequence[float],
+    col_d: Sequence[float],
+    kinds: Sequence[int],
+) -> List[float]:
+    """``[necessity(value_i, Op.EQ, probe)]`` over a column batch.
+
+    ``Nec(u = v) = 1 - Poss(u != v)`` collapses to a pure closed form for
+    the shapes the index stores: the inequality possibility is 1.0 unless
+    *both* sides are points (a continuous distribution always admits some
+    ``x != y`` at full height), so the necessity is 1.0 exactly when both
+    sides are the same point and 0.0 otherwise.
+    """
+    is_point, pv, _pa, _pb, _pe, _pd = _probe_shape(probe)
+    degrees: List[float] = []
+    for i in range(len(col_a)):
+        if is_point and kinds[i] == KIND_POINT and col_a[i] == pv:
+            degrees.append(1.0)
+        else:
+            degrees.append(0.0)
+    return degrees

@@ -1,0 +1,162 @@
+"""Columnar pages: trapezoid attributes as contiguous parallel columns.
+
+A :class:`ColumnarPage` stores one attribute of many tuples column-major:
+the four trapezoid abscissae as parallel ``(a, b, e, d)`` float columns
+(``a``/``d`` bound the support, ``b``/``e`` the core — ``e`` is the
+row-format trapezoid's ``c``), the tuple's membership degree, the row id
+``(heap page, slot)`` it came from, and a one-byte kind tag.  A crisp
+number ``v`` is the degenerate column entry ``a = b = e = d = v``.
+
+The layout exists for the vectorized kernel
+(:mod:`repro.columnar.kernel`): a probe is compared against a whole page
+by sweeping each column once, instead of decoding and dispatching one
+tuple object at a time.  Entries are ~47 bytes, so one columnar page holds
+roughly four times as many values as a heap page holds tuples — the
+density argument behind the index's I/O savings.
+
+On disk a columnar page is carried as the *single record* of an ordinary
+slotted :class:`~repro.storage.page.Page`, so it inherits the CRC32
+checksum, the fault-injection hooks, and the per-access I/O accounting of
+the storage layer unchanged.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import Iterator, Tuple
+
+_HEADER = struct.Struct(">H")  # entry count
+
+#: Bytes one entry occupies in the serialized column layout:
+#: 4 abscissae + degree (5 f64) + page (u32) + slot (u16) + kind (u8).
+ENTRY_BYTES = 5 * 8 + 4 + 2 + 1
+
+#: Kind tags for the ``kind`` column.
+KIND_POINT = 0      # crisp number, or a trapezoid degenerated to a == d
+KIND_TRAPEZOID = 1  # proper trapezoid (a < d)
+
+
+class ColumnarPage:
+    """One page worth of column-major ``(a, b, e, d)`` entries.
+
+    Append entries with :meth:`append` until :meth:`fits` says the page is
+    full, then serialize with :meth:`to_bytes`; :meth:`from_bytes` is the
+    exact inverse (doubles round-trip bit-for-bit through the big-endian
+    f64 encoding, which is what keeps the vectorized kernel's inputs
+    identical to the row path's decoded values).
+    """
+
+    __slots__ = ("col_a", "col_b", "col_e", "col_d", "degrees", "pages", "slots", "kinds")
+
+    def __init__(self):
+        self.col_a = array("d")
+        self.col_b = array("d")
+        self.col_e = array("d")
+        self.col_d = array("d")
+        self.degrees = array("d")
+        self.pages = array("L")
+        self.slots = array("H")
+        self.kinds = array("B")
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    @staticmethod
+    def capacity(page_size: int) -> int:
+        """Entries one serialized page can hold inside a slotted Page record."""
+        from ..storage.page import Page
+
+        usable = page_size - Page.HEADER_SIZE - Page.RECORD_OVERHEAD - _HEADER.size
+        return max(1, usable // ENTRY_BYTES)
+
+    def fits(self, page_size: int) -> bool:
+        """Whether one more entry still fits at ``page_size``."""
+        return len(self) < self.capacity(page_size)
+
+    def append(
+        self,
+        a: float,
+        b: float,
+        e: float,
+        d: float,
+        degree: float,
+        page: int,
+        slot: int,
+        kind: int,
+    ) -> None:
+        """Append one entry to every column."""
+        self.col_a.append(a)
+        self.col_b.append(b)
+        self.col_e.append(e)
+        self.col_d.append(d)
+        self.degrees.append(degree)
+        self.pages.append(page)
+        self.slots.append(slot)
+        self.kinds.append(kind)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.col_a)
+
+    def entry(self, i: int) -> Tuple[float, float, float, float, float, int, int, int]:
+        """Row ``i`` gathered back from the columns (tests and repr only)."""
+        return (
+            self.col_a[i], self.col_b[i], self.col_e[i], self.col_d[i],
+            self.degrees[i], self.pages[i], self.slots[i], self.kinds[i],
+        )
+
+    def supports(self) -> Iterator[Tuple[float, float]]:
+        """The ``(b(v), e(v))`` support intervals, i.e. the ``(a, d)`` columns."""
+        return zip(self.col_a, self.col_d)
+
+    @property
+    def min_a(self) -> float:
+        """Smallest support begin on the page (pages are sorted, so entry 0)."""
+        return self.col_a[0]
+
+    @property
+    def max_a(self) -> float:
+        """Largest support begin on the page (pages are sorted, so the last)."""
+        return self.col_a[-1]
+
+    @property
+    def max_d(self) -> float:
+        """Largest support end on the page — the fence key range scans prune on."""
+        return max(self.col_d)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize column-major: count header, then each column contiguous."""
+        n = len(self)
+        parts = [_HEADER.pack(n)]
+        for col in (self.col_a, self.col_b, self.col_e, self.col_d, self.degrees):
+            parts.append(struct.pack(f">{n}d", *col))
+        parts.append(struct.pack(f">{n}L", *self.pages))
+        parts.append(struct.pack(f">{n}H", *self.slots))
+        parts.append(bytes(self.kinds))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ColumnarPage":
+        """Parse a serialized columnar page (inverse of :meth:`to_bytes`)."""
+        (n,) = _HEADER.unpack_from(data, 0)
+        offset = _HEADER.size
+        page = cls()
+        for name in ("col_a", "col_b", "col_e", "col_d", "degrees"):
+            col = array("d", struct.unpack_from(f">{n}d", data, offset))
+            setattr(page, name, col)
+            offset += 8 * n
+        page.pages = array("L", struct.unpack_from(f">{n}L", data, offset))
+        offset += 4 * n
+        page.slots = array("H", struct.unpack_from(f">{n}H", data, offset))
+        offset += 2 * n
+        page.kinds = array("B", data[offset:offset + n])
+        return page
+
+    def __repr__(self) -> str:
+        return f"ColumnarPage({len(self)} entries)"

@@ -87,11 +87,29 @@ def compile_comparison(
 
 
 class FlatCompiler:
-    """Compiles fully-qualified flat SELECT queries to operator trees."""
+    """Compiles fully-qualified flat SELECT queries to operator trees.
 
-    def __init__(self, tables: Dict[str, HeapFile], vocabulary: Optional[Vocabulary] = None):
+    ``indexes`` maps ``(TABLE, attribute)`` to a
+    :class:`~repro.columnar.SupportIntervalIndex`; when present, the
+    compiler costs the index access paths (``index_scan``,
+    ``index_merge_join``) against the row paths with ``cost_model`` and
+    picks the cheaper plan.  Either choice produces the bit-identical
+    query answer, so the decision is pure economics.
+    """
+
+    def __init__(
+        self,
+        tables: Dict[str, HeapFile],
+        vocabulary: Optional[Vocabulary] = None,
+        indexes: Optional[Dict[Tuple[str, str], "object"]] = None,
+        cost_model=None,
+    ):
+        from ..storage.costs import PAPER_1992
+
         self.tables = {name.upper(): heap for name, heap in tables.items()}
         self.vocabulary = vocabulary
+        self.indexes = dict(indexes) if indexes else {}
+        self.cost_model = cost_model if cost_model is not None else PAPER_1992
 
     # ------------------------------------------------------------------
     # Entry point
@@ -118,11 +136,18 @@ class FlatCompiler:
         if optimize and len(query.from_tables) > 1:
             query = self._reorder(query, joins, fanout)
 
-        plan, columns = self._initial_scan(query.from_tables[0], pushdown, domains)
+        # By compile time the WITH cut is a concrete float (prepared-query
+        # placeholders are substituted before recompilation), so index
+        # access paths can bake it in for result-preserving pruning.
+        threshold = query.with_threshold if query.with_threshold is not None else 0.0
+
+        plan, columns = self._initial_scan(
+            query.from_tables[0], pushdown, domains, threshold
+        )
         pending = list(joins)
         for table in query.from_tables[1:]:
             plan, columns, pending = self._join_in(
-                plan, columns, table, pushdown, pending, bindings, domains
+                plan, columns, table, pushdown, pending, bindings, domains, threshold
             )
 
         if pending:
@@ -138,7 +163,6 @@ class FlatCompiler:
             for item in query.select
         ]
         plan = Project(plan, selected)
-        threshold = query.with_threshold if query.with_threshold is not None else 0.0
         return Threshold(plan, threshold)
 
     def execute(self, query: Union[str, SelectQuery], ctx: ExecutionContext) -> FuzzyRelation:
@@ -223,16 +247,73 @@ class FlatCompiler:
     # ------------------------------------------------------------------
     # Plan construction
     # ------------------------------------------------------------------
-    def _initial_scan(self, table, pushdown, domains) -> Tuple[Operator, List[Column]]:
+    def _initial_scan(
+        self, table, pushdown, domains, threshold: float = 0.0
+    ) -> Tuple[Operator, List[Column]]:
         heap = self.tables[table.name.upper()]
         columns = [(table.binding, a.name) for a in heap.schema]
+        predicates_ast = pushdown.get(table.binding, [])
         predicates = [
-            self._combined_predicate(p, columns, domains)
-            for p in pushdown.get(table.binding, [])
+            self._combined_predicate(p, columns, domains) for p in predicates_ast
         ]
+        indexed = self._index_scan_path(
+            table, heap, predicates_ast, predicates, domains, threshold
+        )
+        if indexed is not None:
+            return indexed, columns
         return Scan(heap, predicates), columns
 
-    def _join_in(self, plan, columns, table, pushdown, pending, bindings, domains):
+    def _index_scan_path(
+        self, table, heap, predicates_ast, predicates, domains, threshold
+    ) -> Optional[Operator]:
+        """An :class:`~repro.columnar.IndexScan` when one wins on cost.
+
+        Applicable iff the binding's entire pushdown is a single
+        ``attribute = literal`` equality, the attribute is indexed, and
+        the lifted literal has a single-interval support (crisp number or
+        trapezoid) — the shapes the vectorized kernel covers exactly.
+        """
+        if not self.indexes or len(predicates_ast) != 1:
+            return None
+        predicate = predicates_ast[0]
+        if predicate.op is not Op.EQ:
+            return None
+        column, literal = predicate.left, predicate.right
+        if isinstance(literal, ColumnRef):
+            column, literal = literal, column
+        if not isinstance(column, ColumnRef) or not isinstance(literal, Literal):
+            return None
+        index = self.indexes.get((heap.name.upper(), column.attribute))
+        if index is None:
+            return None
+        from ..columnar import IndexScan
+        from ..columnar.index import probe_support
+        from ..fuzzy.crisp import CrispNumber
+        from ..fuzzy.trapezoid import TrapezoidalNumber
+
+        probe = lift(
+            literal.value,
+            self.vocabulary,
+            domains.get((column.relation, column.attribute)),
+        )
+        if not isinstance(probe, (CrispNumber, TrapezoidalNumber)):
+            return None
+        begin, end = probe_support(probe)
+        index_pages = len(index.overlapping_pages(begin, end))
+        candidates = index.candidate_entries(begin, end)
+        per_page = max(1, heap.n_tuples // max(1, heap.n_pages))
+        data_pages = min(heap.n_pages, -(-candidates // per_page))
+        index_cost = self.cost_model.index_scan_seconds(
+            index_pages, candidates, data_pages
+        )
+        seq_cost = self.cost_model.seq_scan_seconds(heap.n_pages, heap.n_tuples)
+        if index_cost >= seq_cost:
+            return None
+        return IndexScan(heap, predicates, index, probe, threshold)
+
+    def _join_in(
+        self, plan, columns, table, pushdown, pending, bindings, domains, threshold=0.0
+    ):
         heap = self.tables[table.name.upper()]
         scan_columns = [(table.binding, a.name) for a in heap.schema]
         scan = Scan(
@@ -273,13 +354,18 @@ class FlatCompiler:
                 for p in applicable
             ]
             names = self._layout_names(columns)
-            joined_plan = MergeJoinOp(
-                plan,
-                names[columns.index((left_ref.relation, left_ref.attribute))],
-                scan,
-                right_ref.attribute,
-                residual=residual,
+            left_attr = names[columns.index((left_ref.relation, left_ref.attribute))]
+            joined_plan = self._index_join_path(
+                plan, left_attr, left_ref, scan, right_ref, residual, threshold
             )
+            if joined_plan is None:
+                joined_plan = MergeJoinOp(
+                    plan,
+                    left_attr,
+                    scan,
+                    right_ref.attribute,
+                    residual=residual,
+                )
         else:
             residual = [
                 self._residual_predicate(p, columns, table.binding, heap.schema)
@@ -289,6 +375,53 @@ class FlatCompiler:
                 plan, scan, join_degree(residual), label=table.binding
             )
         return joined_plan, new_columns, deferred
+
+    def _index_join_path(
+        self, plan, left_attr, left_ref, scan, right_ref, residual, threshold
+    ) -> Optional[Operator]:
+        """An :class:`~repro.columnar.IndexMergeJoinOp` when one wins on cost.
+
+        Applicable iff both band inputs are predicate-free base-table
+        scans (the index enumerates the *whole* relation, so any pushed
+        selection would be lost) with support-interval indexes on both
+        band attributes.  Residual predicates ride along in the pair
+        degree, exactly as on the sort-merge path.
+        """
+        if not self.indexes:
+            return None
+        if type(plan) is not Scan or plan.predicates:
+            return None
+        if type(scan) is not Scan or scan.predicates:
+            return None
+        left_index = self.indexes.get((plan.heap.name.upper(), left_ref.attribute))
+        right_index = self.indexes.get((scan.heap.name.upper(), right_ref.attribute))
+        if left_index is None or right_index is None:
+            return None
+        from ..columnar import IndexMergeJoinOp
+
+        index_pages = left_index.n_pages + right_index.n_pages
+        entries = left_index.n_entries + right_index.n_entries
+        index_cost = self.cost_model.index_merge_join_seconds(
+            index_pages, entries, plan.heap.n_pages + scan.heap.n_pages
+        )
+        sort_cost = self.cost_model.sort_merge_join_seconds(
+            plan.heap.n_pages,
+            scan.heap.n_pages,
+            plan.heap.n_tuples,
+            scan.heap.n_tuples,
+        )
+        if index_cost >= sort_cost:
+            return None
+        return IndexMergeJoinOp(
+            plan,
+            left_attr,
+            scan,
+            right_ref.attribute,
+            left_index,
+            right_index,
+            residual=residual,
+            threshold=threshold,
+        )
 
     # ------------------------------------------------------------------
     # Predicate compilation

@@ -347,6 +347,39 @@ def _label_items(dist: Distribution):
 # Batched comparison-degree kernel
 # ----------------------------------------------------------------------
 
+def _as_columns(values: Sequence[Distribution]):
+    """``(a, b, e, d, kinds)`` parallel columns, or None for other shapes.
+
+    Only crisp numbers and trapezoids lower to the column form the
+    vectorized kernel understands; any other distribution in the block
+    vetoes vectorization (the scalar path handles it instead).
+    """
+    from ..columnar.pages import KIND_POINT, KIND_TRAPEZOID
+
+    col_a: List[float] = []
+    col_b: List[float] = []
+    col_e: List[float] = []
+    col_d: List[float] = []
+    kinds: List[int] = []
+    for value in values:
+        if isinstance(value, CrispNumber):
+            v = value.value
+            col_a.append(v)
+            col_b.append(v)
+            col_e.append(v)
+            col_d.append(v)
+            kinds.append(KIND_POINT)
+        elif isinstance(value, TrapezoidalNumber):
+            col_a.append(value.a)
+            col_b.append(value.b)
+            col_e.append(value.c)
+            col_d.append(value.d)
+            kinds.append(KIND_POINT if value.a == value.d else KIND_TRAPEZOID)
+        else:
+            return None
+    return col_a, col_b, col_e, col_d, kinds
+
+
 class ComparisonKernel:
     """Batched, memoized evaluation of ``d(probe op candidate)``.
 
@@ -369,8 +402,11 @@ class ComparisonKernel:
     __slots__ = ("capacity", "_memo", "_lock", "hits", "misses")
 
     def __init__(self, capacity: int = 4096):
-        if capacity < 1:
-            raise ValueError("kernel capacity must be positive")
+        if capacity < 0:
+            raise ValueError("kernel capacity must be non-negative")
+        #: Memo bound; 0 disables memoization entirely (every call is a
+        #: miss), which the boundary tests use to pin the memo-off
+        #: behaviour of the batched paths.
         self.capacity = capacity
         self._memo: "OrderedDict[Tuple, float]" = OrderedDict()
         self._lock = threading.Lock()
@@ -397,27 +433,49 @@ class ComparisonKernel:
 
         Equivalent to ``[possibility(probe, op, c) for c in candidates]``
         but resolves the probe's key once and fills the memo in a single
-        pass, which is what both join paths call per window scan.
+        pass, which is what both join paths call per window scan.  Memo
+        misses for an equality over purely crisp/trapezoidal operands are
+        computed by the vectorized column kernel
+        (:func:`repro.columnar.kernel.batch_eq_possibility`) in one sweep
+        — bit-identical to the scalar library by that kernel's contract —
+        instead of ``k`` dispatches through :func:`possibility`.
         """
         probe_key = probe.key()
-        degrees: List[float] = []
-        for candidate in candidates:
+        degrees: List[Optional[float]] = [None] * len(candidates)
+        missing: List[int] = []
+        for i, candidate in enumerate(candidates):
             key = (probe_key, op, candidate.key())
             with self._lock:
                 cached = self._memo.get(key)
                 if cached is not None:
                     self._memo.move_to_end(key)
                     self.hits += 1
-                    degrees.append(cached)
+                    degrees[i] = cached
                     continue
-            degree = possibility(probe, op, candidate)
-            self._store(key, degree)
-            degrees.append(degree)
+            missing.append(i)
+        if missing:
+            computed = self._compute_block(probe, op, [candidates[i] for i in missing])
+            for i, degree in zip(missing, computed):
+                self._store((probe_key, op, candidates[i].key()), degree)
+                degrees[i] = degree
         return degrees
+
+    def _compute_block(
+        self, probe: Distribution, op: Op, block: Sequence[Distribution]
+    ) -> List[float]:
+        """Degrees for the memo misses — vectorized when the shapes allow."""
+        columns = _as_columns(block) if op is Op.EQ else None
+        if columns is not None and _as_columns([probe]) is not None:
+            from ..columnar.kernel import batch_eq_possibility
+
+            return batch_eq_possibility(probe, *columns, probe_on_left=True)
+        return [possibility(probe, op, candidate) for candidate in block]
 
     def _store(self, key: Tuple, degree: float) -> None:
         with self._lock:
             self.misses += 1
+            if self.capacity == 0:
+                return
             self._memo[key] = degree
             self._memo.move_to_end(key)
             while len(self._memo) > self.capacity:

@@ -128,6 +128,10 @@ class StorageSession:
         self.fixed_tuple_size = fixed_tuple_size
         self.optimize_joins = optimize_joins
         self.tables: Dict[str, HeapFile] = {}
+        #: Support-interval indexes by ``(TABLE, attribute)``; created via
+        #: :meth:`create_index`, rebuilt automatically on re-registration,
+        #: and offered to every compiled plan as candidate access paths.
+        self.indexes: Dict[Tuple[str, str], "SupportIntervalIndex"] = {}
         #: In-memory relations retained for re-placement (:meth:`reshard`);
         #: only populated on sharded sessions.
         self._relations: Dict[str, FuzzyRelation] = {}
@@ -206,7 +210,36 @@ class StorageSession:
         # cached plans that read this table must be re-validated.
         if not self.stats_versions.observe_cardinality(name, heap.n_tuples):
             self.stats_versions.bump(name)
+        # Indexes follow their relation: rebuild any that exist on it so
+        # index plans never read postings for replaced tuples.
+        for (table, attribute) in [k for k in self.indexes if k[0] == name]:
+            self.create_index(table, attribute)
         return heap
+
+    def create_index(self, name: str, attribute: str) -> "SupportIntervalIndex":
+        """Build (or rebuild) a support-interval index on ``name.attribute``.
+
+        The index persists the paper's interval order ``(b(v), e(v))`` for
+        one attribute as columnar pages on the session disk; compiled
+        plans then cost ``index_scan`` / ``index_merge_join`` access paths
+        against the row paths.  Build I/O goes to a scratch ledger (like
+        :meth:`register`), and the relation's statistics version is bumped
+        so cached plans recompile against the new access path.  Raises
+        :class:`~repro.columnar.UnsupportedIndexError` for attributes
+        whose values have no single-interval support.
+        """
+        from .columnar import SupportIntervalIndex
+
+        name = name.upper()
+        heap = self.tables.get(name)
+        if heap is None:
+            raise FuzzyQueryError(f"no relation registered as {name!r}")
+        scratch = OperationStats()
+        with self.disk.use_stats(scratch):
+            index = SupportIntervalIndex.build(name, attribute, heap, self.disk)
+        self.indexes[(name, attribute)] = index
+        self.stats_versions.bump(name)
+        return index
 
     def reshard(
         self,
@@ -559,7 +592,7 @@ class StorageSession:
                 operator = None
                 if n_params == 0:
                     with maybe_span(tracer, "compile"):
-                        compiler = FlatCompiler(self.tables, self.vocabulary)
+                        compiler = FlatCompiler(self.tables, self.vocabulary, indexes=self.indexes)
                         operator = compiler.compile(
                             plan.final, optimize=self.optimize_joins
                         )
@@ -679,7 +712,7 @@ class StorageSession:
                             else artifact.flat
                         )
                     with maybe_span(tracer, "compile"):
-                        compiler = FlatCompiler(self.tables, self.vocabulary)
+                        compiler = FlatCompiler(self.tables, self.vocabulary, indexes=self.indexes)
                         operator = compiler.compile(
                             flat, optimize=self.optimize_joins
                         )
@@ -816,7 +849,7 @@ class StorageSession:
             try:
                 plan = unnest(query, self.schemas)
                 if not plan.steps and isinstance(plan.final, SelectQuery):
-                    compiler = FlatCompiler(self.tables, self.vocabulary)
+                    compiler = FlatCompiler(self.tables, self.vocabulary, indexes=self.indexes)
                     operator = compiler.compile(plan.final, optimize=self.optimize_joins)
                     if plan.rule:
                         lines.append(f"rewrite: {plan.rule}")
@@ -953,7 +986,7 @@ class StorageSession:
             if plan.steps or not isinstance(plan.final, SelectQuery):
                 raise UnnestError("not a single flat query")
         with maybe_span(tracer, "compile"):
-            compiler = FlatCompiler(self.tables, self.vocabulary)
+            compiler = FlatCompiler(self.tables, self.vocabulary, indexes=self.indexes)
             operator = compiler.compile(plan.final, optimize=self.optimize_joins)
         self.last_strategy = f"flat/{nesting.value}: merge-join plan"
         self.last_plan = operator

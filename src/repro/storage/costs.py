@@ -89,6 +89,75 @@ class CostModel:
         return self.response_seconds(stats.phases[phase]) / total
 
     # ------------------------------------------------------------------
+    # Access-path estimates (planner inputs, same unit costs)
+    # ------------------------------------------------------------------
+    def seq_scan_seconds(self, n_pages: int, n_tuples: int) -> float:
+        """Estimated cost of a full scan with one pushed-down fuzzy filter."""
+        return n_pages * self.io_time + n_tuples * self.fuzzy_eval_time
+
+    def index_scan_seconds(self, index_pages: int, candidates: int, data_pages: int) -> float:
+        """Estimated cost of an index range scan.
+
+        ``index_pages`` come from the fence-key directory, ``candidates``
+        is the posting count on those pages (each costs one crisp overlap
+        test plus one kernel-computed fuzzy degree), and ``data_pages``
+        bounds the row fetches for qualifying entries.
+        """
+        return (index_pages + data_pages) * self.io_time + candidates * (
+            self.fuzzy_eval_time + self.crisp_compare_time
+        )
+
+    def sort_merge_join_seconds(
+        self,
+        left_pages: int,
+        right_pages: int,
+        left_tuples: int,
+        right_tuples: int,
+        fanout: float = 8.0,
+    ) -> float:
+        """Estimated cost of the sort-based extended merge-join.
+
+        Both inputs pay an external sort (write + re-read of every page,
+        ``n log n`` interval comparisons) before the window merge, which
+        examines ``fanout`` window tuples per outer tuple.
+        """
+        from math import log2
+
+        sort_io = 4.0 * (left_pages + right_pages) * self.io_time
+        sort_cpu = sum(
+            n * log2(max(n, 2)) for n in (left_tuples, right_tuples)
+        ) * self.crisp_compare_time
+        join_io = (left_pages + right_pages) * self.io_time
+        join_cpu = (
+            (left_tuples + right_tuples) * self.crisp_compare_time
+            + left_tuples * fanout * self.fuzzy_eval_time
+        )
+        return sort_io + sort_cpu + join_io + join_cpu
+
+    def index_merge_join_seconds(
+        self,
+        index_pages: int,
+        entries: int,
+        data_pages: int,
+        fanout: float = 8.0,
+    ) -> float:
+        """Estimated cost of the index-assisted merge-join.
+
+        The indexes already hold the interval order, so there is no sort:
+        the window merge runs over ``entries`` postings from
+        ``index_pages`` index pages, and only surviving pairs (``fanout``
+        per outer entry, before threshold pruning) fetch ``data_pages``
+        worth of rows and pay full pair-degree evaluations.
+        """
+        merge_cpu = 3.0 * entries * self.crisp_compare_time
+        survivors = (entries / 2.0) * fanout
+        return (
+            (index_pages + data_pages) * self.io_time
+            + merge_cpu
+            + survivors * self.fuzzy_eval_time
+        )
+
+    # ------------------------------------------------------------------
     # Intra-query parallelism
     # ------------------------------------------------------------------
     def parallel_response_time(self, stats, partition_stats) -> float:

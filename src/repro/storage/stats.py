@@ -23,6 +23,16 @@ class Counters:
     fuzzy_evaluations: int = 0
     tuple_moves: int = 0
     io_retries: int = 0
+    #: Index pages read by the columnar access paths.  Every index page
+    #: read *also* charges :attr:`page_reads` (the device did the same
+    #: work), so the cost model is unchanged; this counter only splits
+    #: out how much of the I/O was index traffic.
+    index_pages_read: int = 0
+    #: Column arrays processed by the vectorized kernel (4 abscissa
+    #: columns per columnar page batch).
+    columns_scanned: int = 0
+    #: Vectorized kernel invocations (one per column batch).
+    kernel_batches: int = 0
 
     def merge(self, other: "Counters") -> None:
         """Add another counter set into this one."""
@@ -32,6 +42,9 @@ class Counters:
         self.fuzzy_evaluations += other.fuzzy_evaluations
         self.tuple_moves += other.tuple_moves
         self.io_retries += other.io_retries
+        self.index_pages_read += other.index_pages_read
+        self.columns_scanned += other.columns_scanned
+        self.kernel_batches += other.kernel_batches
 
     @property
     def page_ios(self) -> int:
@@ -47,6 +60,9 @@ class Counters:
             self.fuzzy_evaluations,
             self.tuple_moves,
             self.io_retries,
+            self.index_pages_read,
+            self.columns_scanned,
+            self.kernel_batches,
         )
 
 
@@ -114,6 +130,22 @@ class OperationStats:
     def count_retry(self, n: int = 1) -> None:
         """Charge retried page transfer(s) to the active phase."""
         self.current.io_retries += n
+
+    def count_index_read(self, pages: int = 1) -> None:
+        """Note index page read(s) — an overlay on :meth:`count_read`.
+
+        Callers charge the plain read separately (the device transfers the
+        same bytes either way); this counter only classifies the traffic.
+        """
+        self.current.index_pages_read += pages
+
+    def count_columns(self, n: int = 1) -> None:
+        """Charge column array(s) processed by a vectorized kernel batch."""
+        self.current.columns_scanned += n
+
+    def count_kernel_batch(self, n: int = 1) -> None:
+        """Charge vectorized kernel batch invocation(s)."""
+        self.current.kernel_batches += n
 
     # ------------------------------------------------------------------
     # Aggregation

@@ -1,0 +1,100 @@
+"""ComparisonKernel memo boundaries and batch/scalar agreement.
+
+The kernel's LRU memo is an *optimization only*: its capacity — zero,
+one, or anything larger — must never change a computed degree, and its
+eviction order must be true LRU (hit-refreshed, oldest-out).  These
+tests pin the boundary behaviours the join paths rely on.
+"""
+
+from repro.fuzzy import CrispNumber, DiscreteDistribution, TrapezoidalNumber
+from repro.fuzzy.compare import ComparisonKernel, Op, possibility
+
+import pytest
+
+N = CrispNumber
+T = TrapezoidalNumber
+
+#: Values picked so equality degrees span {0, ramp, 1} and repeats occur.
+VALUES = [N(0), N(5), T(0, 1, 2, 4), T(3, 5, 5, 7), T(4, 6, 8, 12)]
+
+
+class TestCapacityBoundaries:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonKernel(capacity=-1)
+
+    def test_capacity_zero_disables_memo_but_not_answers(self):
+        kernel = ComparisonKernel(capacity=0)
+        probe = T(0, 1, 2, 4)
+        for _ in range(2):  # the second pass must *also* be all misses
+            got = kernel.batch(probe, Op.EQ, VALUES)
+            assert got == [possibility(probe, Op.EQ, v) for v in VALUES]
+        assert len(kernel) == 0
+        assert kernel.hits == 0
+        assert kernel.misses == 2 * len(VALUES)
+
+    def test_capacity_one_keeps_only_the_latest_pair(self):
+        kernel = ComparisonKernel(capacity=1)
+        probe = N(0)
+        kernel.possibility(probe, Op.EQ, VALUES[0])   # miss, cached
+        kernel.possibility(probe, Op.EQ, VALUES[0])   # hit
+        kernel.possibility(probe, Op.EQ, VALUES[1])   # miss, evicts [0]
+        kernel.possibility(probe, Op.EQ, VALUES[0])   # miss again
+        assert len(kernel) == 1
+        assert kernel.hits == 1
+        assert kernel.misses == 3
+
+
+class TestEvictionOrder:
+    def test_lru_not_fifo(self):
+        # Capacity 2; touch A, B, then A again — the next insert must
+        # evict B (least recently used), not A (first in).
+        kernel = ComparisonKernel(capacity=2)
+        probe = N(0)
+        a, b, c = VALUES[0], VALUES[1], VALUES[2]
+        kernel.possibility(probe, Op.EQ, a)  # miss
+        kernel.possibility(probe, Op.EQ, b)  # miss
+        kernel.possibility(probe, Op.EQ, a)  # hit: refreshes A
+        kernel.possibility(probe, Op.EQ, c)  # miss: evicts B
+        assert kernel.possibility(probe, Op.EQ, a) == possibility(probe, Op.EQ, a)
+        assert kernel.hits == 2             # the refresh and the final A
+        kernel.possibility(probe, Op.EQ, b)
+        assert kernel.misses == 4           # A, B, C, and B's re-miss
+
+    def test_batch_primes_the_memo_in_order(self):
+        kernel = ComparisonKernel(capacity=len(VALUES))
+        probe = T(0, 1, 2, 4)
+        kernel.batch(probe, Op.EQ, VALUES)
+        assert (kernel.hits, kernel.misses) == (0, len(VALUES))
+        kernel.batch(probe, Op.EQ, VALUES)
+        assert (kernel.hits, kernel.misses) == (len(VALUES), len(VALUES))
+        assert len(kernel) == len(VALUES)
+
+
+class TestBatchScalarAgreement:
+    def test_batch_equals_scalar_loop_bitwise(self):
+        # Mixed shapes: crisp + trapezoid operands go through the
+        # vectorized column kernel, the discrete one forces the scalar
+        # fallback inside the same block — both must match possibility().
+        candidates = VALUES + [DiscreteDistribution({0.0: 1.0, 5.0: 0.5})]
+        for probe in [N(0), T(0, 1, 2, 4), DiscreteDistribution({1.0: 1.0})]:
+            for capacity in (0, 1, 4096):
+                kernel = ComparisonKernel(capacity=capacity)
+                got = kernel.batch(probe, Op.EQ, candidates)
+                want = [possibility(probe, Op.EQ, c) for c in candidates]
+                assert [repr(d) for d in got] == [repr(d) for d in want]
+
+    def test_batch_agrees_for_non_eq_operators(self):
+        kernel = ComparisonKernel()
+        probe = T(0, 1, 2, 4)
+        for op in (Op.LT, Op.LE, Op.GT, Op.GE, Op.NE):
+            got = kernel.batch(probe, op, VALUES)
+            assert got == [possibility(probe, op, v) for v in VALUES]
+
+    def test_memo_hits_return_identical_floats(self):
+        kernel = ComparisonKernel()
+        probe = T(0, 1, 2, 4)
+        cold = kernel.batch(probe, Op.EQ, VALUES)
+        warm = kernel.batch(probe, Op.EQ, VALUES)
+        assert [repr(d) for d in cold] == [repr(d) for d in warm]
+        assert kernel.hits == len(VALUES)

@@ -174,6 +174,81 @@ def test_stored_engine_sharded_agree(label, shards):
         )
 
 
+#: Every ``(table, attribute)`` the indexed differential sweep indexes —
+#: both join attributes on both relations, so any index-eligible access
+#: path the planner can pick is actually on offer.
+INDEXED_ATTRS = (("R", "V"), ("R", "U"), ("S", "V"), ("S", "U"))
+
+#: Indexed sweeps build four indexes per seed, so they run a reduced seed
+#: count; the index paths themselves are deterministic, so breadth in the
+#: data pool matters more than seed volume here.
+N_INDEXED_CASES = 20
+
+
+def build_indexed(seed: int, shards: int = 1) -> StorageSession:
+    """The same relations as :func:`build`, with every attr indexed.
+
+    The generator sequence is identical to :func:`build`'s, so the heaps
+    are byte-for-byte the same and any divergence is the index path's.
+    """
+    rng = random.Random(seed)
+    r = make_relation(rng, rng.randint(2, 8), 0)
+    s = make_relation(rng, rng.randint(2, 8), 1000)
+    if shards > 1:
+        session = StorageSession(
+            buffer_pages=16, page_size=512, shards=shards, shard_on="V"
+        )
+    else:
+        session = StorageSession(buffer_pages=16, page_size=512)
+    session.register("R", r)
+    session.register("S", s)
+    for table, attribute in INDEXED_ATTRS:
+        session.create_index(table, attribute)
+    return session
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4], ids=["shards1", "shards2", "shards4"])
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_indexed_session_agrees(label, shards):
+    """Support-interval indexes never change an answer, for any nesting type.
+
+    With every join attribute indexed the planner is free to pick the
+    index-assisted access paths wherever its cost model says they win —
+    and free to decline them.  Either way the answer, *including
+    degrees*, must be bit-identical to the plain session's, across
+    nesting types and shard counts (sharded execution delegates the join
+    back to the row path; the index must not interfere).
+    """
+    sql, _ = CASES[label]
+    for seed in range(N_INDEXED_CASES):
+        base_seed = 1000 * hash(label) % 7919 + seed
+        _catalog, session = build(base_seed)
+        serial = session.query(sql)
+        indexed = build_indexed(base_seed, shards=shards)
+        got = indexed.query(sql)
+        assert serial.same_as(got, 0.0), (
+            f"{label} seed={seed} shards={shards}: indexed answer diverged\n"
+            f"plain:\n{serial.pretty()}\nindexed:\n{got.pretty()}"
+        )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4], ids=["workers1", "workers2", "workers4"])
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_indexed_session_parallel_workers_agree(label, workers):
+    """Indexes plus ``workers=N`` still never change an answer."""
+    sql, _ = CASES[label]
+    for seed in range(N_INDEXED_CASES):
+        base_seed = 1000 * hash(label) % 7919 + seed
+        _catalog, session = build(base_seed)
+        serial = session.query(sql)
+        indexed = build_indexed(base_seed)
+        got = indexed.query(sql, workers=workers)
+        assert serial.same_as(got, 0.0), (
+            f"{label} seed={seed} workers={workers}: indexed answer diverged\n"
+            f"plain:\n{serial.pretty()}\nindexed:\n{got.pretty()}"
+        )
+
+
 def test_sharded_path_actually_engages():
     """On inputs large enough to yield boundaries, shard tasks really run.
 

@@ -1,0 +1,78 @@
+"""Documentation link integrity: no broken links, no orphaned pages.
+
+Two structural guarantees over README.md and ``docs/*.md``:
+
+* every relative markdown link points at a file that exists (anchors are
+  stripped; external ``http(s)``/``mailto`` links are out of scope);
+* every page under ``docs/`` is reachable from the documentation map
+  (``docs/index.md``) by following relative links — an unreachable page
+  is dead weight the reader can never find.
+
+Runs in the CI lint leg next to the docstring-coverage gate.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+#: Inline markdown links ``[text](target)``; images share the syntax.
+LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+#: Link targets that are not files in this repository.
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def fenced_stripped(text: str) -> str:
+    """Markdown with fenced code blocks removed (code is not hypertext)."""
+    return re.sub(r"^```.*?^```[ \t]*$", "", text, flags=re.MULTILINE | re.DOTALL)
+
+
+def relative_links(path: Path):
+    """Repo-file targets of every relative link in ``path``."""
+    targets = []
+    for target in LINK.findall(fenced_stripped(path.read_text())):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        targets.append(target.split("#", 1)[0])
+    return targets
+
+
+def doc_files():
+    return [REPO / "README.md"] + sorted(DOCS.glob("*.md"))
+
+
+def test_no_broken_relative_links():
+    broken = []
+    for path in doc_files():
+        for target in relative_links(path):
+            if not (path.parent / target).exists():
+                broken.append(f"{path.relative_to(REPO)} -> {target}")
+    assert not broken, "broken relative links:\n" + "\n".join(broken)
+
+
+def test_every_docs_page_reachable_from_index():
+    index = DOCS / "index.md"
+    assert index.exists(), "docs/index.md (the documentation map) is missing"
+    seen = {index}
+    frontier = [index]
+    while frontier:
+        page = frontier.pop()
+        for target in relative_links(page):
+            resolved = (page.parent / target).resolve()
+            if resolved.parent == DOCS and resolved.suffix == ".md":
+                if resolved.exists() and resolved not in seen:
+                    seen.add(resolved)
+                    frontier.append(resolved)
+    orphans = sorted(
+        p.name for p in DOCS.glob("*.md") if p.resolve() not in seen
+    )
+    assert not orphans, (
+        "docs pages unreachable from docs/index.md: " + ", ".join(orphans)
+    )
+
+
+def test_readme_links_into_the_docs_map():
+    """The entry point must actually be linked from the front door."""
+    assert "docs/index.md" in (REPO / "README.md").read_text()

@@ -178,9 +178,11 @@ class TestComparisonKernel:
         kernel.possibility(N(9), Op.EQ, N(10))
         assert kernel.hits == 1
 
-    def test_rejects_nonpositive_capacity(self):
+    def test_rejects_negative_capacity(self):
+        # Capacity 0 is legal (memo disabled; see test_comparison_kernel);
+        # only negative bounds are nonsense.
         with pytest.raises(ValueError):
-            ComparisonKernel(capacity=0)
+            ComparisonKernel(capacity=-1)
 
 
 # ----------------------------------------------------------------------

@@ -143,7 +143,7 @@ class TestCommittedBaseline:
             data = json.load(handle)
         assert data["version"] == 1
         assert data["scale"] == 32  # CI runs at the default scale
-        assert len(data["workloads"]) == 17
+        assert len(data["workloads"]) == 19
         assert set(data["workloads"]) >= {
             "service_cold_J",
             "service_cached_J",
@@ -152,6 +152,8 @@ class TestCommittedBaseline:
             "parallel_J",
             "sharded_J",
             "faulted_J",
+            "columnar_J",
+            "indexed_J",
         }
         assert data["workloads"]["service_cold_J"]["plan_cache"] == "miss"
         assert data["workloads"]["service_cached_J"]["plan_cache"] == "hit"
@@ -188,3 +190,15 @@ class TestCommittedBaseline:
             sharded["counters"]["shard_page_reads"]
             <= sharded["counters"]["page_reads"]
         )
+        # The columnar slices must have run the index access paths (their
+        # tagged counters are nonzero) and beaten the row path strictly on
+        # page reads and fuzzy evaluations — the committed win the
+        # subsystem exists for.  The harness itself hard-fails on
+        # bit-identity, so rows alone suffice here.
+        for name in ("columnar_J", "indexed_J"):
+            counters = data["workloads"][name]["counters"]
+            assert counters["index_pages_read"] > 0
+            assert counters["page_reads"] < counters["row_page_reads"]
+            assert counters["fuzzy_evaluations"] < counters["row_fuzzy_evaluations"]
+        assert data["workloads"]["columnar_J"]["counters"]["kernel_batches"] > 0
+        assert data["workloads"]["columnar_J"]["counters"]["columns_scanned"] > 0
