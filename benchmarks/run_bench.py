@@ -591,6 +591,112 @@ def emit_events(events_path: str, health_path: str) -> None:
     print(f"wrote {events_path} ({count} events) and {health_path} ({report.level})")
 
 
+#: The ``fuzzysql_wal_*`` registry scalars gated by the write-path slice.
+WAL_COUNTER_KEYS = (
+    "wal_records_total",
+    "wal_commits_total",
+    "wal_syncs_total",
+    "wal_group_commits_total",
+    "wal_snapshots_total",
+    "wal_index_delta_merges_total",
+    "wal_index_rebuilds_total",
+    "wal_recoveries_total",
+    "wal_replayed_records_total",
+)
+
+
+def _wal_statements(n: int = 24, seed: int = 31) -> list:
+    """A deterministic DML stream: inserts with a sprinkle of update/delete."""
+    rng = random.Random(seed)
+    pool = ["0", "2", "5", "9", "'[0, 1, 2, 4]'", "'[3, 5, 5, 7]'"]
+    statements = []
+    for i in range(n):
+        if i and i % 8 == 5:
+            statements.append(f"UPDATE T SET U = {rng.choice(pool)} WHERE K = {i - 3}")
+        elif i and i % 8 == 7:
+            statements.append(f"DELETE FROM T WHERE K = {i - 5}")
+        else:
+            statements.append(
+                f"INSERT INTO T VALUES ({i}, {rng.choice(pool)}, {rng.choice(pool)}) "
+                f"WITH D {rng.choice([0.3, 0.6, 1.0])}"
+            )
+    return statements
+
+
+def _wal_workloads() -> dict:
+    """The write-path slices: WAL ingest and crash recovery, counter-gated.
+
+    ``wal_ingest`` runs a deterministic DML stream (statement-at-a-time,
+    so each is one WAL transaction) through a session with an index to
+    maintain; the gated modelled cost is the summed per-statement
+    response time, and the ``fuzzysql_wal_*`` registry scalars are gated
+    alongside the I/O counters — ``--check`` fails if the log stops
+    framing records, group commit stops engaging on the final batched
+    flush, or index maintenance changes path.  ``wal_recovery`` then
+    restarts a fresh session over the same disk and replays the log; it
+    hard-fails unless recovery restores the exact ingested row count.
+    Wall time is recorded, never gated.
+    """
+    out = {}
+    session = StorageSession(buffer_pages=16, page_size=1024)
+    session.registry = MetricsRegistry()
+    session.execute("CREATE TABLE T (K NUMERIC, U NUMERIC, V NUMERIC)")
+    session.create_index("T", "V")
+    statements = _wal_statements()
+    totals = {key: 0 for key in COUNTER_KEYS}
+    modelled = 0.0
+    started = time.perf_counter()
+    for sql in statements:
+        session.execute(sql)
+        modelled += PAPER_1992.response_time(session.last_stats)
+        for key, value in _counters(session.last_stats).items():
+            totals[key] += value
+    # The batched flush: the tail of the stream again, as one list —
+    # exactly one sync must cover all of its transactions.
+    session.execute(statements[-4:])
+    modelled += PAPER_1992.response_time(session.last_stats)
+    for key, value in _counters(session.last_stats).items():
+        totals[key] += value
+    wall = time.perf_counter() - started
+    state = session.registry.snapshot_state()
+    for key in WAL_COUNTER_KEYS:
+        totals[key] = state[key]
+    if not totals["wal_group_commits_total"]:
+        raise AssertionError("wal_ingest: the batched flush never group-committed")
+    if not totals["wal_index_delta_merges_total"]:
+        raise AssertionError("wal_ingest: no insert-only txn took the delta-merge path")
+    out["wal_ingest"] = {
+        "modelled_seconds": modelled,
+        "wall_seconds": wall,
+        "rows": session.tables["T"].n_tuples,
+        "counters": totals,
+    }
+
+    survivor = StorageSession(buffer_pages=16, page_size=1024, disk=session.disk)
+    survivor.registry = MetricsRegistry()
+    survivor.attach("T", session.tables["T"].schema)
+    started = time.perf_counter()
+    report = survivor.recover()
+    wall = time.perf_counter() - started
+    if survivor.tables["T"].n_tuples != session.tables["T"].n_tuples:
+        raise AssertionError(
+            f"wal_recovery: restored {survivor.tables['T'].n_tuples} rows, "
+            f"ingested {session.tables['T'].n_tuples}"
+        )
+    counters = _counters(survivor.last_stats)
+    recovery_state = survivor.registry.snapshot_state()
+    for key in WAL_COUNTER_KEYS:
+        counters[key] = recovery_state[key]
+    counters["txns_replayed"] = report.txns_replayed
+    out["wal_recovery"] = {
+        "modelled_seconds": PAPER_1992.response_time(survivor.last_stats),
+        "wall_seconds": wall,
+        "rows": survivor.tables["T"].n_tuples,
+        "counters": counters,
+    }
+    return out
+
+
 def run_all(scale: int) -> dict:
     workloads = {}
     workloads.update(_method_workloads(scale))
@@ -600,6 +706,7 @@ def run_all(scale: int) -> dict:
     workloads.update(_sharded_workloads())
     workloads.update(_fault_workloads())
     workloads.update(_columnar_workloads())
+    workloads.update(_wal_workloads())
     return {
         "version": VERSION,
         "scale": scale,

@@ -7,6 +7,8 @@ blank line):
     SELECT ... FROM ... WHERE ... [WITH D >= z] [GROUPBY ...] [HAVING ...]
     CREATE TABLE name (col NUMERIC|LABEL [ON 'domain'], ...)
     INSERT INTO name VALUES (v, ...) [, (...)] [WITH D z]
+    UPDATE name SET col = v, ... [WHERE ...] [WITH D >= z]
+    DELETE FROM name [WHERE ...] [WITH D >= z]
     DEFINE 'term' [ON 'domain'] AS '[a, b, c, d]'
     DROP TABLE name
 

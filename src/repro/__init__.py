@@ -15,6 +15,8 @@ Subpackages:
   physical operators, flat compiler, join-order optimizer;
 * :mod:`repro.unnest`   — the unnesting rewrites (the paper's contribution);
 * :mod:`repro.service`  — prepared statements and the LRU plan cache;
+* :mod:`repro.wal`      — checksummed write-ahead log, group commit,
+  epoch snapshots, crash recovery;
 * :mod:`repro.faults`   — seeded fault plans and the fault-injecting disk;
 * :mod:`repro.workload` — paper data and synthetic experiment workloads;
 * :mod:`repro.bench`    — the Section 9 experiment harness.
@@ -35,10 +37,14 @@ from .errors import (
     PageCorruptionError,
     QueryCancelledError,
     QueryTimeoutError,
+    RecoveryError,
     ResourceExhaustedError,
+    SnapshotTooOldError,
     TransientIOError,
+    WalCorruptionError,
 )
-from .faults import FaultPlan, FaultyDisk
+from .faults import CrashPointError, FaultPlan, FaultyDisk
+from .wal import RecoveryReport, Snapshot, WriteAheadLog, WriteManager
 from .resilience import CancelToken, Deadline, QueryGuard, RetryPolicy
 from .persist import load_database, save_database
 from .session import StorageSession
@@ -96,4 +102,12 @@ __all__ = [
     "RetryPolicy",
     "FaultPlan",
     "FaultyDisk",
+    "CrashPointError",
+    "WalCorruptionError",
+    "RecoveryError",
+    "SnapshotTooOldError",
+    "WriteAheadLog",
+    "WriteManager",
+    "Snapshot",
+    "RecoveryReport",
 ]

@@ -23,7 +23,7 @@ ANALYZE can split index traffic from data traffic.
 
 from __future__ import annotations
 
-from typing import Iterator, List, NamedTuple, Tuple
+from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 from ..errors import FuzzyQueryError
 from ..fuzzy.crisp import CrispNumber
@@ -94,12 +94,15 @@ class SupportIntervalIndex:
     buffer pool).
     """
 
-    def __init__(self, table: str, attribute: str, column: int):
+    def __init__(self, table: str, attribute: str, column: int, file_name: Optional[str] = None):
         self.table = table
         self.attribute = attribute
         #: Position of the indexed attribute in the relation's schema.
         self.column = column
-        self.file = index_file_name(table, attribute)
+        #: Versioned indexes (the write path) override the default name
+        #: with an epoch-suffixed one so in-flight snapshot reads keep a
+        #: consistent index while a new version is staged.
+        self.file = file_name or index_file_name(table, attribute)
         #: Fence keys per index page: ``(first_a, last_a, max_d, n_entries)``.
         self.directory: List[Tuple[float, float, float, int]] = []
         self.n_entries = 0
@@ -108,7 +111,14 @@ class SupportIntervalIndex:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, table: str, attribute: str, heap: HeapFile, disk: SimulatedDisk) -> "SupportIntervalIndex":
+    def build(
+        cls,
+        table: str,
+        attribute: str,
+        heap: HeapFile,
+        disk: SimulatedDisk,
+        file_name: Optional[str] = None,
+    ) -> "SupportIntervalIndex":
         """Scan ``heap`` and persist a fresh index of ``attribute``.
 
         The build reads every data page once and writes the sorted
@@ -119,32 +129,79 @@ class SupportIntervalIndex:
         any value of the attribute lacks a single-interval support.
         """
         column = heap.schema.index_of(attribute)
-        index = cls(table, attribute, column)
+        index = cls(table, attribute, column, file_name)
         postings = []
         for page_index in range(heap.n_pages):
             page = disk.read_page(heap.name, page_index)
             for slot, record in enumerate(page.records()):
                 t = heap.serializer.decode(record)
                 postings.append(_entry_of(t.values[column], t.degree, page_index, slot))
+        index._persist(postings, disk)
+        return index
+
+    def _persist(self, postings: List[tuple], disk: SimulatedDisk) -> None:
+        """Sort ``postings`` into interval order and (re)write the file.
+
+        The sort key ends in ``(page, slot)`` — a unique tie-break — so
+        the persisted image is a pure function of the posting *set*: a
+        staged delta merge and a from-scratch rebuild produce
+        bit-identical files (the recovery-idempotence property test
+        leans on this).
+        """
         # The interval order: support begin, then support end; page/slot
         # break ties deterministically.
         postings.sort(key=lambda p: (p[0], p[3], p[5], p[6]))
 
-        disk.delete(index.file)
-        disk.create(index.file)
+        disk.delete(self.file)
+        disk.create(self.file)
         capacity = ColumnarPage.capacity(disk.page_size)
+        self.directory = []
         for start in range(0, len(postings), capacity):
             columnar = ColumnarPage()
             for posting in postings[start:start + capacity]:
                 columnar.append(*posting)
             carrier = Page(disk.page_size)
             carrier.append(columnar.to_bytes())
-            disk.append_page(index.file, carrier)
-            index.directory.append(
+            disk.append_page(self.file, carrier)
+            self.directory.append(
                 (columnar.min_a, columnar.max_a, columnar.max_d, len(columnar))
             )
-        index.n_entries = len(postings)
-        return index
+        self.n_entries = len(postings)
+
+    def merged_with_tail(
+        self,
+        heap: HeapFile,
+        disk: SimulatedDisk,
+        first_new_page: int,
+        skip_slots: int,
+        file_name: str,
+    ) -> "SupportIntervalIndex":
+        """Staged delta + merge for an append-only heap change.
+
+        When a committed transaction only *appended* tuples, every
+        existing posting's ``(page, slot)`` row id is still valid — the
+        deterministic greedy repack leaves the shared prefix of pages
+        untouched.  The delta is the postings of the appended tail:
+        heap pages from ``first_new_page`` on, skipping the first
+        ``skip_slots`` records of that page (they predate the append).
+        Existing postings are read back from this index (charged as
+        index reads), merged with the delta, and persisted under
+        ``file_name`` as a new index version — no full heap rescan.
+        """
+        postings = [
+            (e.a, e.b, e.e, e.d, e.degree, e.page, e.slot, e.kind)
+            for e in self.scan_entries(disk)
+        ]
+        for page_index in range(first_new_page, heap.n_pages):
+            page = disk.read_page(heap.name, page_index)
+            for slot, record in enumerate(page.records()):
+                if page_index == first_new_page and slot < skip_slots:
+                    continue
+                t = heap.serializer.decode(record)
+                postings.append(_entry_of(t.values[self.column], t.degree, page_index, slot))
+        merged = SupportIntervalIndex(self.table, self.attribute, self.column, file_name)
+        merged._persist(postings, disk)
+        return merged
 
     # ------------------------------------------------------------------
     # Access

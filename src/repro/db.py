@@ -40,9 +40,11 @@ from .sql.params import (
 from .sql.statements import (
     CreateTable,
     DefineTerm,
+    DeleteFrom,
     DropTable,
     InsertInto,
     Statement,
+    Update,
     parse_statement,
 )
 from .unnest.common import UnnestError
@@ -107,6 +109,10 @@ class FuzzyDatabase:
             return self._define(statement)
         if isinstance(statement, DropTable):
             return self._drop(statement)
+        if isinstance(statement, Update):
+            return self._update(statement)
+        if isinstance(statement, DeleteFrom):
+            return self._delete(statement)
         raise DatabaseError(f"unsupported statement {statement!r}")
 
     # ------------------------------------------------------------------
@@ -483,6 +489,99 @@ class FuzzyDatabase:
             relation.add(FuzzyTuple(values, degree))
         n = len(statement.rows)
         return f"{n} tuple{'s' if n != 1 else ''} inserted into {statement.table}"
+
+    def _update(self, statement: Update) -> str:
+        """Rewrite matching rows in place; a DML counts as an epoch bump.
+
+        A row matches when ``min(degree, mu(WHERE))`` clears the ``WITH
+        D >= z`` threshold (any positive match without one).  Updated
+        rows keep their membership degree.
+        """
+        relation = self._table(statement.table)
+        schema = relation.schema
+        match = self._dml_match(statement.table, relation, statement.where)
+        threshold = statement.threshold
+        fresh = FuzzyRelation(schema)
+        changed = 0
+        for t in relation:
+            d = min(t.degree, match(t))
+            hit = (d >= threshold) if threshold is not None else (d > 0.0)
+            if not hit:
+                fresh.add(t)
+                continue
+            values = list(t.values)
+            for column, raw in statement.assignments:
+                try:
+                    at = schema.index_of(column)
+                except KeyError as exc:
+                    raise DatabaseError(str(exc)) from None
+                values[at] = parse_value(
+                    raw, self.catalog.vocabulary, schema.attributes[at].domain
+                )
+            fresh.add(FuzzyTuple(values, t.degree))
+            changed += 1
+        self.catalog.register(statement.table, fresh)
+        self._schema_epoch += 1
+        return f"{changed} tuple{'s' if changed != 1 else ''} updated in {statement.table}"
+
+    def _delete(self, statement: DeleteFrom) -> str:
+        """Remove matching rows; a DML counts as an epoch bump."""
+        relation = self._table(statement.table)
+        match = self._dml_match(statement.table, relation, statement.where)
+        threshold = statement.threshold
+        fresh = FuzzyRelation(relation.schema)
+        removed = 0
+        for t in relation:
+            d = min(t.degree, match(t))
+            hit = (d >= threshold) if threshold is not None else (d > 0.0)
+            if hit:
+                removed += 1
+            else:
+                fresh.add(t)
+        self.catalog.register(statement.table, fresh)
+        self._schema_epoch += 1
+        return f"{removed} tuple{'s' if removed != 1 else ''} deleted from {statement.table}"
+
+    def _dml_match(self, table_as_typed: str, relation: FuzzyRelation, where):
+        """Compile the WHERE conjunction of an UPDATE / DELETE.
+
+        Mirrors :meth:`repro.session.StorageSession._dml_match`: only
+        flat comparisons, columns unqualified or qualified by the table
+        name.
+        """
+        if not where:
+            return lambda t: 1.0
+        from .engine.executor import CompileError, DmlColumns, compile_comparison
+        from .sql.ast import Comparison
+
+        columns = DmlColumns(
+            {None, table_as_typed, table_as_typed.upper()}, relation.schema
+        )
+        compiled = []
+        for predicate in where:
+            if not isinstance(predicate, Comparison):
+                raise DatabaseError(
+                    "UPDATE/DELETE WHERE accepts only flat comparisons, "
+                    f"not {predicate!r}"
+                )
+            try:
+                compiled.append(
+                    compile_comparison(
+                        predicate, columns, columns, self.catalog.vocabulary
+                    )
+                )
+            except CompileError as exc:
+                raise DatabaseError(str(exc)) from None
+
+        def degree(t: FuzzyTuple) -> float:
+            d = 1.0
+            for predicate in compiled:
+                if d == 0.0:
+                    return 0.0
+                d = min(d, predicate(t, None))
+            return d
+
+        return degree
 
     def _define(self, statement: DefineTerm) -> str:
         value = parse_value(statement.shape, self.catalog.vocabulary, statement.domain)

@@ -86,6 +86,35 @@ def compile_comparison(
     return TuplePredicate(degree, label=str(predicate))
 
 
+class DmlColumns:
+    """Alias-tolerant column lookup for UPDATE / DELETE predicates.
+
+    Serves :func:`compile_comparison` both as the positional ``columns``
+    list (via :meth:`index`) and as the ``domains`` mapping (via
+    :meth:`get`): a reference resolves when its binding is one of the
+    accepted aliases (``None`` for unqualified columns, or the table name
+    as typed / upper-cased) and its attribute exists in the schema.
+    """
+
+    def __init__(self, aliases, schema: Schema):
+        self._aliases = aliases
+        self._schema = schema
+
+    def index(self, key) -> int:
+        """Tuple position of ``(binding, attribute)``; ``ValueError`` if absent."""
+        binding, attribute = key
+        if binding in self._aliases and attribute in self._schema:
+            return self._schema.index_of(attribute)
+        raise ValueError(key)
+
+    def get(self, key, default=None):
+        """The linguistic domain of ``(binding, attribute)`` (domains view)."""
+        binding, attribute = key
+        if binding in self._aliases and attribute in self._schema:
+            return self._schema.attribute(attribute).domain
+        return default
+
+
 class FlatCompiler:
     """Compiles fully-qualified flat SELECT queries to operator trees.
 

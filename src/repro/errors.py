@@ -65,6 +65,32 @@ class QueryCancelledError(FuzzyQueryError):
     """The query observed its :class:`~repro.resilience.CancelToken` set."""
 
 
+class WalCorruptionError(StorageFaultError):
+    """A write-ahead-log frame failed its CRC32 or structural checks.
+
+    Recovery never *raises* this for a torn tail — a bad frame simply
+    ends the committed prefix and the tail is truncated.  It surfaces
+    only when a caller strictly decodes a frame it believed durable.
+    """
+
+
+class RecoveryError(FuzzyQueryError):
+    """Crash recovery could not restore a consistent table state.
+
+    Raised when replay references a table the session never attached, or
+    when the base heap file a committed transaction builds on is missing.
+    """
+
+
+class SnapshotTooOldError(FuzzyQueryError):
+    """A snapshot read referenced an epoch the version store already GC'd.
+
+    Snapshots pin their epochs while open; reading through a released
+    snapshot whose version files were retired raises this instead of
+    silently serving newer data.
+    """
+
+
 __all__ = [
     "FuzzyQueryError",
     "StorageFaultError",
@@ -74,4 +100,7 @@ __all__ = [
     "ResourceExhaustedError",
     "QueryTimeoutError",
     "QueryCancelledError",
+    "WalCorruptionError",
+    "RecoveryError",
+    "SnapshotTooOldError",
 ]

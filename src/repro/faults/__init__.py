@@ -7,7 +7,7 @@ the differential test sweep can be re-run under reproducible fault
 schedules: same seed, same faults, same outcome.
 """
 
-from .injector import FaultyDisk
+from .injector import CrashPointError, FaultyDisk
 from .plan import FaultCounters, FaultPlan
 
-__all__ = ["FaultPlan", "FaultCounters", "FaultyDisk"]
+__all__ = ["CrashPointError", "FaultPlan", "FaultCounters", "FaultyDisk"]

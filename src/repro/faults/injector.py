@@ -13,20 +13,37 @@ exactly the code paths a real device error would:
   guard's remaining deadline, so a spiked read never oversleeps a
   ``timeout_ms`` by more than scheduling noise);
 * a capacity limit makes appends raise
-  :class:`~repro.errors.DiskFullError` once the disk holds its budget.
+  :class:`~repro.errors.DiskFullError` once the disk holds its budget;
+* scripted crash points abort a ``_store`` mid-transfer (persisting only
+  a byte prefix) with :class:`CrashPointError`, and the ``_sync`` hook
+  tracks per-file durable images — :meth:`FaultyDisk.crash` then reverts
+  the disk to what an honest fsync actually made durable, dropping
+  unsynced tails and files exactly as a power loss would.
 
 Set :attr:`armed` to ``False`` while loading base tables so only query
-execution sees faults, then arm the disk for the chaos run.
+execution sees faults, then arm the disk for the chaos run (arming
+snapshots the current files as the durable baseline).
 """
 
 from __future__ import annotations
 
 import time
+from typing import Dict, List
 
-from ..errors import DiskFullError, TransientIOError
+from ..errors import DiskFullError, StorageFaultError, TransientIOError
 from ..storage.disk import SimulatedDisk
 from ..storage.page import DEFAULT_PAGE_SIZE
 from .plan import FaultPlan
+
+
+class CrashPointError(StorageFaultError):
+    """The process "died" at a scripted crash point mid-write.
+
+    Raised by :meth:`FaultyDisk._store` when the plan scripted a crash at
+    that write ordinal; the session that sees it is considered dead, and
+    the test follows up with :meth:`FaultyDisk.crash` plus a fresh
+    session running recovery.
+    """
 
 
 class FaultyDisk(SimulatedDisk):
@@ -35,15 +52,33 @@ class FaultyDisk(SimulatedDisk):
     def __init__(self, plan: FaultPlan, page_size: int = DEFAULT_PAGE_SIZE, armed: bool = True):
         super().__init__(page_size=page_size)
         self.plan = plan
+        #: Per-file images as of the last honest fsync (or of arm time);
+        #: :meth:`crash` restores exactly these.
+        self._durable: Dict[str, List[bytes]] = {}
+        self._armed = False
         #: When ``False`` the disk behaves exactly like its parent; flip
         #: to ``True`` after loading fixtures to start injecting faults.
         self.armed = armed
         self._read_ordinal = 0
         self._write_ordinal = 0
+        self._sync_ordinal = 0
         # Burst state of the read currently being retried: the page key it
         # belongs to and how many more attempts must still fail.
         self._retry_key = None
         self._retry_pending = 0
+
+    @property
+    def armed(self) -> bool:
+        """Whether the fault schedule is live."""
+        return self._armed
+
+    @armed.setter
+    def armed(self, value: bool) -> None:
+        """Arm or disarm; arming snapshots all files as durably written."""
+        value = bool(value)
+        if value and not self._armed:
+            self._durable = {name: list(pages) for name, pages in self._files.items()}
+        self._armed = value
 
     # ------------------------------------------------------------------
     # Fault-injecting transfer hooks
@@ -95,10 +130,49 @@ class FaultyDisk(SimulatedDisk):
             raise DiskFullError(
                 f"disk full: {self.total_pages()} pages stored, capacity {capacity}"
             )
+        keep = self.plan.write_crash(ordinal)
+        if keep is not None:
+            self.plan.injected.crash_points += 1
+            if keep > 0 and appending:
+                super()._store(name, index, data[:keep])
+            elif keep > 0:
+                old = self._files[name][index]
+                super()._store(name, index, data[:keep] + old[keep:])
+            raise CrashPointError(
+                f"scripted crash writing {name!r} entry {index} "
+                f"({keep} of {len(data)} bytes persisted)"
+            )
         if self.plan.write_torn(ordinal):
             self.plan.injected.torn_writes += 1
             data = self.plan.corrupt(data)
         super()._store(name, index, data)
+
+    def _sync(self, name: str) -> None:
+        if not self.armed:
+            return super()._sync(name)
+        ordinal = self._sync_ordinal
+        self._sync_ordinal += 1
+        if self.plan.sync_lost(ordinal):
+            # The fsync lies: the caller sees success, but the durable
+            # image is not advanced — a later crash() drops the tail.
+            self.plan.injected.lost_syncs += 1
+            return
+        self._durable[name] = list(self._files.get(name, ()))
+
+    # ------------------------------------------------------------------
+    # Crash simulation
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Simulate power loss: revert every file to its durable image.
+
+        Files created after arming that were never honestly fsynced
+        vanish; synced files revert to the bytes their last honest
+        :meth:`_sync` captured.  The disk stays usable afterwards (a new
+        session attaches to it and runs recovery), with the fault
+        schedule left armed and its ordinals advancing where they were.
+        """
+        self._files = {name: list(pages) for name, pages in self._durable.items()}
+        self._retry_key, self._retry_pending = None, 0
 
     # ------------------------------------------------------------------
     # Helpers
@@ -116,4 +190,4 @@ class FaultyDisk(SimulatedDisk):
             time.sleep(seconds)
 
 
-__all__ = ["FaultyDisk"]
+__all__ = ["CrashPointError", "FaultyDisk"]

@@ -26,10 +26,19 @@ class FaultCounters:
     torn_writes: int = 0
     disk_full: int = 0
     latency_spikes: int = 0
+    lost_syncs: int = 0
+    crash_points: int = 0
 
     def total(self) -> int:
         """All injected faults, every kind."""
-        return self.transient_reads + self.torn_writes + self.disk_full + self.latency_spikes
+        return (
+            self.transient_reads
+            + self.torn_writes
+            + self.disk_full
+            + self.latency_spikes
+            + self.lost_syncs
+            + self.crash_points
+        )
 
 
 @dataclass
@@ -51,6 +60,9 @@ class FaultPlan:
     torn_write_rate: float = 0.0
     latency_spike_rate: float = 0.0
     latency_spike_seconds: float = 0.0
+    #: Probability that an fsync silently fails to make bytes durable
+    #: (the write *appears* to succeed; a later crash loses the tail).
+    sync_loss_rate: float = 0.0
     #: Hard page budget for the whole disk; appends beyond it raise
     #: :class:`~repro.errors.DiskFullError` (``None`` = unbounded).
     disk_capacity_pages: Optional[int] = None
@@ -60,6 +72,8 @@ class FaultPlan:
     _scripted_read_faults: Dict[int, int] = field(default_factory=dict, init=False, repr=False)
     _scripted_spikes: Dict[int, float] = field(default_factory=dict, init=False, repr=False)
     _scripted_torn: Set[int] = field(default_factory=set, init=False, repr=False)
+    _scripted_sync_losses: Set[int] = field(default_factory=set, init=False, repr=False)
+    _scripted_crashes: Dict[int, int] = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.transient_burst < 1:
@@ -82,6 +96,30 @@ class FaultPlan:
     def tear_write(self, ordinal: int) -> "FaultPlan":
         """Corrupt the page image of logical write number ``ordinal``."""
         self._scripted_torn.add(ordinal)
+        return self
+
+    def lose_sync(self, ordinal: int) -> "FaultPlan":
+        """Make fsync number ``ordinal`` silently fail to reach the platter.
+
+        The caller sees success; a subsequent :meth:`FaultyDisk.crash`
+        reverts the file to its state at the last *honest* sync, dropping
+        the unsynced tail deterministically.
+        """
+        self._scripted_sync_losses.add(ordinal)
+        return self
+
+    def crash_write(self, ordinal: int, keep_bytes: int = 0) -> "FaultPlan":
+        """Crash the process at logical write number ``ordinal``.
+
+        Exactly ``keep_bytes`` bytes of that write's payload reach the
+        store before :class:`~repro.faults.CrashPointError` aborts the
+        transfer — the scripted analogue of losing power mid-``write()``.
+        Sweeping ``keep_bytes`` over every offset of a WAL append is how
+        the chaos suite proves recovery at every byte boundary.
+        """
+        if keep_bytes < 0:
+            raise ValueError("keep_bytes must be non-negative")
+        self._scripted_crashes[ordinal] = keep_bytes
         return self
 
     # ------------------------------------------------------------------
@@ -110,6 +148,16 @@ class FaultPlan:
         if ordinal in self._scripted_torn:
             return True
         return self.torn_write_rate > 0.0 and self._rng.random() < self.torn_write_rate
+
+    def write_crash(self, ordinal: int) -> Optional[int]:
+        """Bytes to keep before crashing this write (``None`` = no crash)."""
+        return self._scripted_crashes.get(ordinal)
+
+    def sync_lost(self, ordinal: int) -> bool:
+        """Whether fsync number ``ordinal`` silently loses its bytes."""
+        if ordinal in self._scripted_sync_losses:
+            return True
+        return self.sync_loss_rate > 0.0 and self._rng.random() < self.sync_loss_rate
 
     def corrupt(self, data: bytes) -> bytes:
         """A deterministically damaged copy of ``data`` (one byte flipped).

@@ -104,7 +104,23 @@ class MetricsRegistry:
         self.queries_timeout_total = 0
         self.queries_cancelled_total = 0
         self.queries_failed_total = 0
+        #: Write-ahead-log counters, fed by the
+        #: :class:`~repro.wal.manager.WriteManager` via :meth:`count_wal`.
+        self.wal_records_total = 0
+        self.wal_commits_total = 0
+        self.wal_syncs_total = 0
+        self.wal_group_commits_total = 0
+        self.wal_bytes_synced_total = 0
+        self.wal_truncated_bytes_total = 0
+        self.wal_snapshots_total = 0
+        self.wal_index_delta_merges_total = 0
+        self.wal_index_rebuilds_total = 0
+        self.wal_recoveries_total = 0
+        self.wal_replayed_records_total = 0
         self.operator_rows: Counter = Counter()  # keyed by operator kind
+        #: Typed errors raised, keyed by exception class name — every name
+        #: in :data:`repro.errors.__all__` is a possible label.
+        self.errors_by_type: Counter = Counter()
         #: Per-shard page I/O, keyed by shard index (as a string label) —
         #: the raw material of the time-series shard-skew signal.
         self.shard_page_reads: Counter = Counter()
@@ -210,6 +226,39 @@ class MetricsRegistry:
         with self._lock:
             self.statements_prepared_total += 1
 
+    def count_wal(
+        self,
+        records: int = 0,
+        commits: int = 0,
+        syncs: int = 0,
+        group_commits: int = 0,
+        bytes_synced: int = 0,
+        snapshots: int = 0,
+        index_delta_merges: int = 0,
+        index_rebuilds: int = 0,
+        recoveries: int = 0,
+        replayed_records: int = 0,
+        truncated_bytes: int = 0,
+    ) -> None:
+        """Fold one write-path event into the ``fuzzysql_wal_*`` counters."""
+        with self._lock:
+            self.wal_records_total += records
+            self.wal_commits_total += commits
+            self.wal_syncs_total += syncs
+            self.wal_group_commits_total += group_commits
+            self.wal_bytes_synced_total += bytes_synced
+            self.wal_snapshots_total += snapshots
+            self.wal_index_delta_merges_total += index_delta_merges
+            self.wal_index_rebuilds_total += index_rebuilds
+            self.wal_recoveries_total += recoveries
+            self.wal_replayed_records_total += replayed_records
+            self.wal_truncated_bytes_total += truncated_bytes
+
+    def count_error(self, type_name: str) -> None:
+        """Record one raised error by its exception class name."""
+        with self._lock:
+            self.errors_by_type[type_name] += 1
+
     # ------------------------------------------------------------------
     # Snapshots (the time-series feed)
     # ------------------------------------------------------------------
@@ -235,6 +284,7 @@ class MetricsRegistry:
                 ("nesting", self.queries_by_nesting),
                 ("rewrite", self.rewrites),
                 ("operator_rows", self.operator_rows),
+                ("errors", self.errors_by_type),
                 ("shard_page_reads", self.shard_page_reads),
                 ("shard_page_writes", self.shard_page_writes),
             ):
@@ -293,6 +343,14 @@ class MetricsRegistry:
         )
         families.append(
             self._counter_family(
+                "errors_total",
+                "Typed errors raised, by exception class name.",
+                "type",
+                self.errors_by_type,
+            )
+        )
+        families.append(
+            self._counter_family(
                 "shard_page_reads_total",
                 "Pages read by shard tasks, by shard index.",
                 "shard",
@@ -331,6 +389,17 @@ class MetricsRegistry:
             ("queries_timeout_total", "Queries that exceeded their deadline.", self.queries_timeout_total),
             ("queries_cancelled_total", "Queries cancelled via a CancelToken.", self.queries_cancelled_total),
             ("queries_failed_total", "Queries that failed with a typed error.", self.queries_failed_total),
+            ("wal_records_total", "Frames appended to the write-ahead log.", self.wal_records_total),
+            ("wal_commits_total", "Transactions committed through the write-ahead log.", self.wal_commits_total),
+            ("wal_syncs_total", "Durability barriers issued by the write-ahead log.", self.wal_syncs_total),
+            ("wal_group_commits_total", "Syncs that covered two or more commits.", self.wal_group_commits_total),
+            ("wal_bytes_synced_total", "Bytes made durable by WAL syncs.", self.wal_bytes_synced_total),
+            ("wal_truncated_bytes_total", "Torn WAL tail bytes truncated by recovery.", self.wal_truncated_bytes_total),
+            ("wal_snapshots_total", "Heap versions installed by the write path.", self.wal_snapshots_total),
+            ("wal_index_delta_merges_total", "Index maintenance runs taking the staged delta-merge path.", self.wal_index_delta_merges_total),
+            ("wal_index_rebuilds_total", "Index maintenance runs taking the full-rebuild path.", self.wal_index_rebuilds_total),
+            ("wal_recoveries_total", "Crash recoveries completed.", self.wal_recoveries_total),
+            ("wal_replayed_records_total", "Row records replayed by crash recovery.", self.wal_replayed_records_total),
             ("join_q_error_sum", "Sum of per-join q-errors stamped on collectors.", self.join_q_error_sum),
             ("join_q_error_count", "Number of per-join q-error observations.", self.join_q_error_count),
         ):

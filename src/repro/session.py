@@ -28,10 +28,13 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from .data.catalog import Catalog
 from .errors import FuzzyQueryError, QueryCancelledError, QueryTimeoutError
 from .resilience import CancelToken, QueryGuard
+from .data.io import parse_value
 from .data.relation import FuzzyRelation
+from .data.schema import Attribute, Schema
+from .data.types import AttributeType
 from .data.tuples import FuzzyTuple
 from .engine.aggregates import DegreePolicy
-from .engine.executor import CompileError, FlatCompiler, compile_comparison
+from .engine.executor import CompileError, DmlColumns, FlatCompiler, compile_comparison
 from .engine.grouped import GroupedAntiJoin, GroupMode
 from .engine.operators import ExecutionContext
 from .engine.pipelined import JAPipeline
@@ -61,6 +64,16 @@ from .sql.ast import (
 from .sql.classify import NestingType, classify
 from .sql.params import ParameterError, bind_parameters, count_parameters, referenced_tables
 from .sql.parser import parse
+from .sql.statements import (
+    CreateTable,
+    DefineTerm,
+    DeleteFrom,
+    DropTable,
+    InsertInto,
+    Statement,
+    Update,
+    parse_statement,
+)
 from .storage.disk import SimulatedDisk
 from .storage.heap import HeapFile
 from .storage.stats import OperationStats
@@ -75,6 +88,8 @@ FLAT_TYPES = {
     NestingType.TYPE_JSOME,
     NestingType.CHAIN,
 }
+
+
 
 
 class StorageSession:
@@ -167,6 +182,10 @@ class StorageSession:
         #: LRU cache of prepared plans for textual ``query()`` calls.
         #: Assign ``None`` to disable caching entirely.
         self.plan_cache: Optional[PlanCache] = PlanCache()
+        #: The lazily created :class:`~repro.wal.WriteManager` behind
+        #: :attr:`writes`; ``None`` until the first DML / recovery call,
+        #: so read-only sessions never create a WAL file.
+        self._writes = None
 
     @property
     def vocabulary(self) -> Vocabulary:
@@ -195,6 +214,8 @@ class StorageSession:
         with self.disk.use_stats(scratch):
             # Re-registration replaces the relation; without the delete the
             # new tuples would be appended after the old file's pages.
+            if self._writes is not None:
+                self._writes.snapshots.forget(name)
             self.disk.delete(name)
             heap = HeapFile(name, relation.schema, self.disk, self.fixed_tuple_size)
             heap.load(relation.tuples())
@@ -264,6 +285,289 @@ class StorageSession:
         layout = self.sharded.layout(name)
         attribute = shard_on if shard_on is not None else layout.attribute
         self.sharded.place(name, relation, attribute, boundaries=boundaries)
+
+    # ------------------------------------------------------------------
+    # Writes: WAL-backed DML, snapshots, recovery
+    # ------------------------------------------------------------------
+    @property
+    def writes(self):
+        """The session's :class:`~repro.wal.WriteManager` (created lazily).
+
+        The WAL file itself appears on disk only at the first sync, so
+        merely touching this property keeps read-only sessions unchanged.
+        """
+        if self._writes is None:
+            from .wal import WriteManager
+
+            self._writes = WriteManager(self)
+        return self._writes
+
+    def _replace_placement(self, name: str, relation: FuzzyRelation) -> None:
+        """Refresh the sharded placement of ``name`` after a write.
+
+        Tables never placed (unsharded sessions, or relations without the
+        shard attribute) stay unplaced — the main-disk heap remains
+        authoritative and scatter-gather joins simply degrade to it.
+        """
+        if self.sharded is None or name not in self._relations:
+            return
+        layout = self.sharded.layout(name)
+        self._relations[name] = relation
+        self.sharded.place(name, relation, layout.attribute)
+
+    def attach(self, name: str, schema) -> HeapFile:
+        """Adopt an existing heap file after a restart (no data load).
+
+        Schemas are not self-describing on the simulated disk, so crash
+        recovery starts with ``attach(name, schema)`` for every table and
+        then :meth:`recover`.  Raises ``FileNotFoundError`` when the base
+        file does not exist.
+        """
+        name = name.upper()
+        schema = schema if isinstance(schema, Schema) else Schema(schema)
+        scratch = OperationStats()
+        with self.disk.use_stats(scratch):
+            heap = HeapFile.attach(name, schema, self.disk, self.fixed_tuple_size)
+        self.tables[name] = heap
+        self.schemas.register(name, FuzzyRelation(schema))
+        if not self.stats_versions.observe_cardinality(name, heap.n_tuples):
+            self.stats_versions.bump(name)
+        return heap
+
+    def snapshot(self):
+        """Pin every table's current epoch for consistent reads.
+
+        Returns a :class:`~repro.wal.Snapshot` (usable as a context
+        manager); concurrent DML keeps publishing new epochs while the
+        snapshot still reads the pinned ones.
+        """
+        from .wal import Snapshot
+
+        return Snapshot(self.writes.snapshots, self.tables)
+
+    def recover(self, tracer: Optional[SpanTracer] = None):
+        """Run crash recovery over the attached tables.
+
+        See :meth:`~repro.wal.WriteManager.recover`; returns its
+        :class:`~repro.wal.RecoveryReport`.
+        """
+        return self.writes.recover(tracer=tracer)
+
+    def checkpoint(self, tracer: Optional[SpanTracer] = None) -> str:
+        """Fold every table version into its base file and reset the WAL."""
+        return self.writes.checkpoint(tracer=tracer)
+
+    def wal_status(self) -> str:
+        """The ``\\wal`` shell view (an idle line before the first write)."""
+        if self._writes is None:
+            return "wal: idle (no writes this session)"
+        return self._writes.status()
+
+    def execute(self, statements, tracer: Optional[SpanTracer] = None):
+        """Execute SQL statements: SELECT, DDL, and WAL-logged DML.
+
+        ``statements`` may be one statement (text or parsed) or a list;
+        in a list, consecutive INSERT / UPDATE / DELETE statements are
+        logged as one group-committed WAL batch.  Returns the single
+        result for a single statement (a
+        :class:`~repro.data.relation.FuzzyRelation` for SELECT, a status
+        string otherwise) or the list of results.
+
+        Victim sets of UPDATE / DELETE are computed against the table
+        version current when the statement enters the batch.
+        """
+        single = not isinstance(statements, (list, tuple))
+        items = [statements] if single else list(statements)
+        parsed = [parse_statement(s) if isinstance(s, str) else s for s in items]
+        results: list = []
+        pending: List[Tuple[str, str, list]] = []
+
+        def flush() -> None:
+            if pending:
+                results.extend(self.writes.apply_ops(list(pending), tracer=tracer))
+                pending.clear()
+
+        for stmt in parsed:
+            if isinstance(stmt, SelectQuery):
+                flush()
+                results.append(self.query(stmt, tracer=tracer))
+            elif isinstance(stmt, CreateTable):
+                flush()
+                results.append(self._execute_create(stmt))
+            elif isinstance(stmt, InsertInto):
+                pending.append(self._insert_op(stmt))
+            elif isinstance(stmt, (Update, DeleteFrom)):
+                # Victim scans read the installed table version, so any
+                # pending ops on the same table must apply first.
+                if any(op[1] == stmt.table.upper() for op in pending):
+                    flush()
+                build = self._update_op if isinstance(stmt, Update) else self._delete_op
+                pending.append(build(stmt))
+            elif isinstance(stmt, DefineTerm):
+                flush()
+                results.append(self._execute_define(stmt))
+            elif isinstance(stmt, DropTable):
+                flush()
+                results.append(self._execute_drop(stmt))
+            else:
+                raise FuzzyQueryError(f"unsupported statement {stmt!r}")
+        flush()
+        return results[0] if single else results
+
+    def _execute_create(self, stmt: CreateTable) -> str:
+        """CREATE TABLE: register an empty relation from the column defs."""
+        attrs = [
+            Attribute(
+                col.name,
+                AttributeType.LABEL if col.type_name == "LABEL" else AttributeType.NUMERIC,
+                col.domain,
+            )
+            for col in stmt.columns
+        ]
+        self.register(stmt.name, FuzzyRelation(Schema(attrs)))
+        return f"table {stmt.name.upper()} created"
+
+    def _execute_define(self, stmt: DefineTerm) -> str:
+        """DEFINE: bind a linguistic term and invalidate cached plans."""
+        value = parse_value(stmt.shape, self.vocabulary, stmt.domain)
+        self.vocabulary.define(stmt.term, value, stmt.domain)
+        # Term redefinitions change predicate semantics everywhere.
+        for name in self.tables:
+            self.stats_versions.bump(name)
+        return f"term '{stmt.term}' defined"
+
+    def _execute_drop(self, stmt: DropTable) -> str:
+        """DROP TABLE: retire the heap, its versions, and its indexes."""
+        from .columnar.index import index_file_name
+
+        name = stmt.name.upper()
+        heap = self.tables.pop(name, None)
+        if heap is None:
+            raise FuzzyQueryError(f"no relation registered as {name!r}")
+        scratch = OperationStats()
+        with self.disk.use_stats(scratch):
+            if self._writes is not None:
+                self._writes.snapshots.forget(name)
+            self.disk.delete(heap.name)
+            self.disk.delete(name)
+            for key in [k for k in self.indexes if k[0] == name]:
+                index = self.indexes.pop(key)
+                self.disk.delete(index.file)
+                self.disk.delete(index_file_name(name, key[1]))
+        self.schemas.remove(name)
+        self._relations.pop(name, None)
+        self.stats_versions.bump(name)
+        return f"table {name} dropped"
+
+    def _heap_of(self, table: str) -> HeapFile:
+        """The heap of ``table`` for DML, or a typed error."""
+        heap = self.tables.get(table.upper())
+        if heap is None:
+            raise FuzzyQueryError(f"no relation registered as {table.upper()!r}")
+        return heap
+
+    def _insert_op(self, stmt: InsertInto) -> Tuple[str, str, list]:
+        """Build the write-manager op of one INSERT statement."""
+        heap = self._heap_of(stmt.table)
+        schema = heap.schema
+        degree = 1.0 if stmt.degree is None else float(stmt.degree)
+        rows = []
+        for row in stmt.rows:
+            if len(row) != len(schema):
+                raise FuzzyQueryError(
+                    f"INSERT arity mismatch: {len(row)} values for "
+                    f"{len(schema)} columns of {heap.name.split('@', 1)[0]}"
+                )
+            values = [
+                parse_value(raw, self.vocabulary, attr.domain)
+                for raw, attr in zip(row, schema)
+            ]
+            rows.append(FuzzyTuple(values, degree))
+        return ("insert", stmt.table.upper(), rows)
+
+    def _delete_op(self, stmt: DeleteFrom) -> Tuple[str, str, list]:
+        """Build the write-manager op of one DELETE statement."""
+        name = stmt.table.upper()
+        victims = self._dml_victims(name, stmt.table, stmt.where, stmt.threshold)
+        return ("delete", name, victims)
+
+    def _update_op(self, stmt: Update) -> Tuple[str, str, list]:
+        """Build the write-manager op of one UPDATE statement."""
+        name = stmt.table.upper()
+        heap = self._heap_of(name)
+        schema = heap.schema
+        victims = self._dml_victims(name, stmt.table, stmt.where, stmt.threshold)
+        pairs = []
+        for old in victims:
+            values = list(old.values)
+            for column, raw in stmt.assignments:
+                try:
+                    at = schema.index_of(column)
+                except KeyError as exc:
+                    raise FuzzyQueryError(str(exc)) from None
+                values[at] = parse_value(
+                    raw, self.vocabulary, schema.attributes[at].domain
+                )
+            pairs.append((old, FuzzyTuple(values, old.degree)))
+        return ("update", name, pairs)
+
+    def _dml_victims(self, name, table_as_typed, where, threshold) -> List[FuzzyTuple]:
+        """Rows of ``name`` whose match degree passes the DML threshold.
+
+        The match degree of a row is ``min(μ(row), μ(WHERE))``; with no
+        threshold any positive match qualifies, with ``WITH D >= z`` the
+        degree must reach ``z``.  The scan is charged to a scratch ledger
+        (the WAL apply owns the statement's ledger).
+        """
+        heap = self._heap_of(name)
+        match = self._dml_match(heap, table_as_typed, where)
+        victims = []
+        scratch = OperationStats()
+        with self.disk.use_stats(scratch):
+            for page_index in range(heap.n_pages):
+                page = self.disk.read_page(heap.name, page_index)
+                for record in page.records():
+                    t = heap.serializer.decode(record)
+                    d = min(t.degree, match(t))
+                    if (d >= threshold) if threshold is not None else (d > 0.0):
+                        victims.append(t)
+        return victims
+
+    def _dml_match(self, heap: HeapFile, table_as_typed: str, where):
+        """Compile the WHERE conjunction of an UPDATE / DELETE.
+
+        Only flat comparisons are accepted; column references may be
+        unqualified or qualified by the table name (as typed or upper).
+        """
+        if not where:
+            return lambda t: 1.0
+        columns = DmlColumns(
+            {None, table_as_typed, table_as_typed.upper(), heap.name},
+            heap.schema,
+        )
+        compiled = []
+        for predicate in where:
+            if not isinstance(predicate, Comparison):
+                raise FuzzyQueryError(
+                    "UPDATE/DELETE WHERE accepts only flat comparisons, "
+                    f"not {predicate!r}"
+                )
+            try:
+                compiled.append(
+                    compile_comparison(predicate, columns, columns, self.vocabulary)
+                )
+            except CompileError as exc:
+                raise FuzzyQueryError(str(exc)) from None
+
+        def degree(t: FuzzyTuple) -> float:
+            d = 1.0
+            for predicate in compiled:
+                if d == 0.0:
+                    return 0.0
+                d = min(d, predicate(t, None))
+            return d
+
+        return degree
 
     # ------------------------------------------------------------------
     # Queries
@@ -453,6 +757,8 @@ class StorageSession:
         exc: FuzzyQueryError,
     ) -> None:
         """Fold a failed query into the sinks with its typed outcome."""
+        if self.registry is not None:
+            self.registry.count_error(type(exc).__name__)
         if collector is None:
             return
         if isinstance(exc, QueryTimeoutError):

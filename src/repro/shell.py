@@ -23,8 +23,15 @@ Command    Effect
               clears it)
 ``\\shards``  set/clear the per-query shard budget (no argument
               clears it back to the session default)
+``\\wal``     write-ahead-log status: durable bytes, commits, group
+              commits, index maintenance, per-table epochs, snapshots
 ``\\help``    list the meta-commands
 ========== ===========================================================
+
+SQL lines beginning with CREATE / INSERT / UPDATE / DELETE / DEFINE /
+DROP route through :meth:`~repro.session.StorageSession.execute` — DML
+is WAL-logged, group-committed, and crash-recoverable; the shell prints
+the status line of each statement.
 
 The shell owns a :class:`~repro.observe.registry.MetricsRegistry`, a
 :class:`~repro.observe.querylog.QueryLog`, and a
@@ -60,8 +67,12 @@ HELP = """\
 \\trace Q    span tree of query Q (executes it)
 \\timeout N  set the per-query deadline to N ms (\\timeout alone clears it)
 \\shards N   set the shard budget for queries (\\shards alone clears it)
+\\wal        write-ahead-log status: durable bytes, epochs, snapshots
 \\help       this list
-anything else runs as Fuzzy SQL"""
+anything else runs as Fuzzy SQL (DML is WAL-logged and recoverable)"""
+
+#: First keywords that route a SQL line through ``session.execute()``.
+DML_KEYWORDS = {"CREATE", "INSERT", "UPDATE", "DELETE", "DEFINE", "DROP"}
 
 
 class FuzzyShell:
@@ -135,11 +146,19 @@ class FuzzyShell:
                 return "shard budget cleared (session default)"
             self.shards = max(1, int(argument))
             return f"shard budget set to {self.shards}"
+        if command == "\\wal":
+            return self.session.wal_status()
         if command == "\\help":
             return HELP
         return f"unknown command {command} (try \\help)"
 
     def _sql(self, sql: str) -> str:
+        first = sql.split(None, 1)[0].upper() if sql.split() else ""
+        if first in DML_KEYWORDS:
+            try:
+                return str(self.session.execute(sql))
+            except (FuzzyQueryError, ValueError) as exc:
+                return f"error: {type(exc).__name__}: {exc}"
         try:
             result = self.session.query(
                 sql, timeout_ms=self.timeout_ms, shards=self.shards
@@ -172,4 +191,4 @@ class FuzzyShell:
                 print(rendered, file=out)
 
 
-__all__ = ["FuzzyShell", "HELP"]
+__all__ = ["DML_KEYWORDS", "FuzzyShell", "HELP"]

@@ -14,7 +14,7 @@ KEYWORDS = {
     "HAVING", "COUNT", "SUM", "AVG", "MIN", "MAX", "D",
     # DDL / DML statements
     "CREATE", "TABLE", "INSERT", "INTO", "VALUES", "DEFINE", "AS", "ON",
-    "DROP", "NUMERIC", "LABEL",
+    "DROP", "NUMERIC", "LABEL", "DELETE", "UPDATE", "SET",
 }
 
 OPERATORS = ("<=", ">=", "<>", "!=", "~=", "=", "<", ">")

@@ -1,4 +1,4 @@
-"""DDL/DML statements: CREATE TABLE, INSERT, DEFINE term, DROP TABLE.
+"""DDL/DML statements: CREATE/DROP TABLE, INSERT, UPDATE, DELETE, DEFINE.
 
 The paper's Fuzzy SQL paper ([25]) describes a full database library; for
 this reproduction the data-definition surface is the minimum a user needs
@@ -8,11 +8,17 @@ to build a fuzzy database from scratch in the shell or programmatically:
     DEFINE 'medium young' ON 'AGE' AS '[20, 25, 30, 35]'
     INSERT INTO M VALUES (201, 'Allen', 24)
     INSERT INTO M VALUES (202, 'Allen', 'about 50') WITH D 0.9
+    UPDATE M SET AGE = 25 WHERE M.ID = 201
+    DELETE FROM M WHERE M.AGE = 'medium young' WITH D >= 0.5
     DROP TABLE M
 
-Values in INSERT use the textual value syntax of :mod:`repro.data.io`
-(numbers, linguistic terms, '[a,b,c,d]' trapezoids, '{"x": 1.0}' discrete
-distributions).
+Values in INSERT / UPDATE use the textual value syntax of
+:mod:`repro.data.io` (numbers, linguistic terms, '[a,b,c,d]' trapezoids,
+'{"x": 1.0}' discrete distributions).  The ``WHERE`` conjunction of
+UPDATE / DELETE reuses the SELECT predicate grammar but the engine
+accepts only flat comparisons there (no subqueries); the optional
+``WITH D >= z`` clause thresholds the *match degree*
+``min(μ(row), μ(predicate))`` that marks a row as affected.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
-from .ast import SelectQuery
+from .ast import Predicate, SelectQuery
 from .errors import ParseError
 from .lexer import TokenType, tokenize
 from .parser import _Parser
@@ -83,11 +89,41 @@ class DropTable:
         return f"DROP TABLE {self.name}"
 
 
-Statement = Union[SelectQuery, CreateTable, InsertInto, DefineTerm, DropTable]
+@dataclass(frozen=True)
+class DeleteFrom:
+    """A parsed ``DELETE FROM`` with an optional predicate and threshold."""
+    table: str
+    where: Tuple[Predicate, ...] = ()
+    threshold: Optional[float] = None  # WITH D >= z on the match degree
+
+    def __str__(self) -> str:
+        where = " WHERE " + " AND ".join(str(p) for p in self.where) if self.where else ""
+        suffix = f" WITH D >= {self.threshold}" if self.threshold is not None else ""
+        return f"DELETE FROM {self.table}{where}{suffix}"
+
+
+@dataclass(frozen=True)
+class Update:
+    """A parsed ``UPDATE ... SET`` with an optional predicate and threshold."""
+    table: str
+    assignments: Tuple[Tuple[str, object], ...]
+    where: Tuple[Predicate, ...] = ()
+    threshold: Optional[float] = None  # WITH D >= z on the match degree
+
+    def __str__(self) -> str:
+        sets = ", ".join(f"{name} = {value!r}" for name, value in self.assignments)
+        where = " WHERE " + " AND ".join(str(p) for p in self.where) if self.where else ""
+        suffix = f" WITH D >= {self.threshold}" if self.threshold is not None else ""
+        return f"UPDATE {self.table} SET {sets}{where}{suffix}"
+
+
+Statement = Union[
+    SelectQuery, CreateTable, InsertInto, Update, DeleteFrom, DefineTerm, DropTable
+]
 
 
 def parse_statement(text: str) -> Statement:
-    """Parse one SQL statement (SELECT, CREATE, INSERT, DEFINE, or DROP)."""
+    """Parse one SQL statement (SELECT, CREATE, INSERT, UPDATE, DELETE, DEFINE, or DROP)."""
     parser = _StatementParser(tokenize(text))
     statement = parser.parse_statement()
     parser.expect(TokenType.EOF)
@@ -102,12 +138,17 @@ class _StatementParser(_Parser):
             return self._create_table()
         if self.check_keyword("INSERT"):
             return self._insert()
+        if self.check_keyword("UPDATE"):
+            return self._update()
+        if self.check_keyword("DELETE"):
+            return self._delete()
         if self.check_keyword("DEFINE"):
             return self._define()
         if self.check_keyword("DROP"):
             return self._drop()
         raise ParseError(
-            f"expected SELECT/CREATE/INSERT/DEFINE/DROP, found {self.current.value!r}"
+            "expected SELECT/CREATE/INSERT/UPDATE/DELETE/DEFINE/DROP, "
+            f"found {self.current.value!r}"
         )
 
     # ------------------------------------------------------------------
@@ -171,6 +212,45 @@ class _StatementParser(_Parser):
         if token.type is TokenType.OPERATOR and token.value == "<":
             raise ParseError("use '[a,b,c,d]' strings for fuzzy values")
         raise ParseError(f"expected a value, found {token.value!r}")
+
+    # ------------------------------------------------------------------
+    # UPDATE name SET col = value, ... [WHERE conj] [WITH D >= z]
+    # DELETE FROM name [WHERE conj] [WITH D >= z]
+    # ------------------------------------------------------------------
+    def _update(self) -> Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect(TokenType.IDENT).value
+        self.expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            assignments.append(self._assignment())
+        where, threshold = self._dml_suffix()
+        return Update(table, tuple(assignments), where, threshold)
+
+    def _assignment(self) -> Tuple[str, object]:
+        name = self.expect(TokenType.IDENT).value
+        op = self.expect(TokenType.OPERATOR)
+        if op.value != "=":
+            raise ParseError(f"SET needs '=', found {op.value!r}")
+        return name, self._insert_value()
+
+    def _delete(self) -> DeleteFrom:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect(TokenType.IDENT).value
+        where, threshold = self._dml_suffix()
+        return DeleteFrom(table, where, threshold)
+
+    def _dml_suffix(self) -> Tuple[Tuple[Predicate, ...], Optional[float]]:
+        """The shared ``[WHERE conj] [WITH D >= z]`` tail of UPDATE/DELETE."""
+        where: Tuple[Predicate, ...] = ()
+        if self.accept_keyword("WHERE"):
+            where = tuple(self._conjunction())
+        threshold = self._with_clause()
+        if threshold is not None and not isinstance(threshold, float):
+            raise ParseError("UPDATE/DELETE thresholds cannot be '?' placeholders")
+        return where, threshold
 
     # ------------------------------------------------------------------
     # DEFINE 'term' [ON 'domain'] AS 'shape'

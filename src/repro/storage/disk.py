@@ -196,6 +196,27 @@ class SimulatedDisk:
         else:
             pages[index] = data
 
+    def _sync(self, name: str) -> None:
+        """Durability barrier for one file (fault-injection hook).
+
+        The in-memory disk is always "durable", so the base implementation
+        is a no-op; :class:`repro.faults.FaultyDisk` overrides it to track
+        which bytes would survive a crash (and to drop fsyncs on a
+        schedule).
+        """
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def sync(self, name: str) -> None:
+        """Flush ``name`` through the durability barrier.
+
+        Not charged as page I/O — the transfers being made durable were
+        already charged when written.  The write-ahead log calls this
+        after every group commit.
+        """
+        self._sync(name)
+
     # ------------------------------------------------------------------
     # Charged page I/O
     # ------------------------------------------------------------------
@@ -242,3 +263,56 @@ class SimulatedDisk:
         index = len(self._files[name])
         self.write_page(name, index, page)
         return index
+
+    # ------------------------------------------------------------------
+    # Charged blob I/O (variable-length entries, used by the WAL)
+    # ------------------------------------------------------------------
+    def _blob_transfers(self, data: bytes) -> int:
+        """Page transfers charged for a blob of ``len(data)`` bytes."""
+        return max(1, -(-len(data) // self.page_size))
+
+    def append_blob(self, name: str, data: bytes) -> int:
+        """Append a raw variable-length entry to ``name``; returns its index.
+
+        Blobs share the file store with pages but are *not* page images —
+        readers must use :meth:`read_blob`, not :meth:`read_page`.  The
+        transfer is charged as one page write per started ``page_size``
+        chunk and routes through :meth:`_store`, so fault injection (torn
+        writes, scripted crash points, capacity limits) applies to the
+        write-ahead log exactly as to data pages.
+        """
+        guard = getattr(self._local, "guard", None)
+        if guard is not None:
+            guard.check()
+        index = len(self._files[name])
+        self._store(name, index, data)
+        stats = self.stats
+        for _ in range(self._blob_transfers(data)):
+            stats.count_write()
+        if self._observers:
+            for observer in self._observers:
+                observer("write", name, index)
+        return index
+
+    def read_blob(self, name: str, index: int) -> bytes:
+        """The raw bytes of blob ``index`` in ``name``, charged as page I/O.
+
+        Shares the retry/guard machinery of :meth:`read_page` but skips the
+        page-image parse: the caller (the WAL scanner) does its own CRC
+        framing over the bytes.
+        """
+        guard = getattr(self._local, "guard", None)
+        if guard is not None:
+            guard.check()
+        stats = self.stats
+        data = self.retry_policy.run(
+            lambda: self._fetch(name, index),
+            on_retry=lambda attempt, exc: stats.count_retry(),
+            guard=guard,
+        )
+        for _ in range(self._blob_transfers(data)):
+            stats.count_read()
+        if self._observers:
+            for observer in self._observers:
+                observer("read", name, index)
+        return data

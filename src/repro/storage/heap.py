@@ -69,6 +69,30 @@ class HeapFile:
         """Build a heap file on ``disk`` holding ``relation``'s tuples."""
         return cls(name, relation.schema, disk, fixed_tuple_size).load(relation)
 
+    @classmethod
+    def attach(
+        cls,
+        name: str,
+        schema: Schema,
+        disk: SimulatedDisk,
+        fixed_tuple_size: Optional[int] = None,
+    ) -> "HeapFile":
+        """Adopt an *existing* file (crash recovery), recounting its tuples.
+
+        The counting scan charges page reads into the active stats
+        context; recovery wraps it in a scratch ledger.  Raises
+        ``FileNotFoundError`` if the file does not exist — attach never
+        silently creates an empty table where data was expected.
+        """
+        if not disk.exists(name):
+            raise FileNotFoundError(f"no heap file {name!r} on the disk")
+        heap = cls(name, schema, disk, fixed_tuple_size)
+        heap.n_tuples = sum(
+            len(list(disk.read_page(name, index).records()))
+            for index in range(disk.n_pages(name))
+        )
+        return heap
+
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------

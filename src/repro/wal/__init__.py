@@ -1,0 +1,54 @@
+"""Durable fuzzy writes: WAL, group commit, snapshots, crash recovery.
+
+The package turns the read-only storage engine into one with a real
+write path while keeping every paper-era invariant intact:
+
+* :mod:`repro.wal.record` — CRC32-framed, length-prefixed log records
+  whose :func:`~repro.wal.record.scan` never panics on a torn tail;
+* :mod:`repro.wal.log` — the :class:`WriteAheadLog`: buffered frames,
+  one durability barrier per group commit, torn-tail truncation;
+* :mod:`repro.wal.snapshot` — epoch-based immutable heap versions with
+  pinning, bounded retention, and typed too-old errors;
+* :mod:`repro.wal.manager` — the :class:`WriteManager` driving
+  log → sync → apply, staged index delta-merges, checkpoints, and the
+  deterministic crash recovery the chaos suite replays at every byte
+  offset of the log.
+"""
+
+from .log import WAL_FILE, WriteAheadLog
+from .manager import RecoveryReport, TableState, WriteManager, replay_record
+from .record import (
+    KIND_BEGIN,
+    KIND_COMMIT,
+    KIND_DELETE,
+    KIND_INSERT,
+    ScannedRecord,
+    ScanResult,
+    WalRecord,
+    decode_frame,
+    encode_record,
+    scan,
+)
+from .snapshot import Snapshot, SnapshotManager, version_file_name
+
+__all__ = [
+    "KIND_BEGIN",
+    "KIND_COMMIT",
+    "KIND_DELETE",
+    "KIND_INSERT",
+    "RecoveryReport",
+    "ScanResult",
+    "ScannedRecord",
+    "Snapshot",
+    "SnapshotManager",
+    "TableState",
+    "WAL_FILE",
+    "WalRecord",
+    "WriteAheadLog",
+    "WriteManager",
+    "decode_frame",
+    "encode_record",
+    "replay_record",
+    "scan",
+    "version_file_name",
+]

@@ -1,0 +1,511 @@
+"""The write path: WAL-logged transactions, versioned installs, recovery.
+
+:class:`WriteManager` is the only component that mutates tables after
+registration.  Every statement runs the same discipline:
+
+1. **Log** — one transaction per statement: a BEGIN frame, one INSERT /
+   DELETE frame per affected row (an UPDATE is DELETE-old + INSERT-new),
+   and a COMMIT frame, all buffered in the
+   :class:`~repro.wal.log.WriteAheadLog`;
+2. **Sync** — the buffered frames flush as one blob through the disk's
+   durability barrier; a sync whose blob carries several COMMITs is a
+   group commit;
+3. **Apply** — the logged records replay against the table's current
+   contents via :func:`replay_record` — the *same* function crash
+   recovery uses, so the live state and the recovered state are
+   byte-identical by construction — and the result is packed into a
+   fresh immutable heap version (``NAME@e<epoch>``), registered with the
+   :class:`~repro.wal.snapshot.SnapshotManager`, and swapped in.
+
+Crash recovery (:meth:`WriteManager.recover`) deletes every untrusted
+version file, scans the durable WAL image, truncates any torn tail,
+replays the committed transactions in commit order from the epoch-0 base
+files, and rebuilds secondary indexes.  Because the replay, the greedy
+heap packing, and the index sort are all deterministic, running recovery
+twice — or crashing in the middle of it and running it again — produces
+bit-identical files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..columnar.index import SupportIntervalIndex, index_file_name
+from ..data.relation import FuzzyRelation
+from ..data.tuples import FuzzyTuple
+from ..errors import RecoveryError
+from ..observe.trace import maybe_span
+from ..storage.heap import HeapFile
+from ..storage.serializer import TupleSerializer
+from ..storage.stats import OperationStats
+from .log import WriteAheadLog
+from .record import (
+    KIND_BEGIN,
+    KIND_COMMIT,
+    KIND_DELETE,
+    KIND_INSERT,
+    WalRecord,
+    scan,
+)
+from .snapshot import SnapshotManager, version_file_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..session import StorageSession
+
+
+class TableState:
+    """Mutable replay state of one table: its tuples in storage order.
+
+    Both the live apply path and crash recovery mutate a ``TableState``
+    with :meth:`insert` / :meth:`delete` and then pack ``tuples`` into a
+    heap file — one code path, one deterministic result.
+    """
+
+    def __init__(self, serializer: TupleSerializer, tuples: List[FuzzyTuple]):
+        self.serializer = serializer
+        self.tuples = list(tuples)
+        self._positions = {t.value_key(): i for i, t in enumerate(self.tuples)}
+        #: ``True`` while every change so far only appended new rows at
+        #: the end — the condition for staged index delta-merges.
+        self.appended_only = True
+
+    def insert(self, row: bytes) -> None:
+        """Apply one INSERT record (fuzzy-OR: duplicates keep max degree)."""
+        t = self.serializer.decode(row)
+        key = t.value_key()
+        at = self._positions.get(key)
+        if at is None:
+            self._positions[key] = len(self.tuples)
+            self.tuples.append(t)
+        elif t.degree > self.tuples[at].degree:
+            self.tuples[at] = FuzzyTuple(self.tuples[at].values, t.degree)
+            self.appended_only = False
+
+    def delete(self, row: bytes) -> None:
+        """Apply one DELETE record (value-identity match; no-op if absent)."""
+        key = self.serializer.decode(row).value_key()
+        at = self._positions.pop(key, None)
+        if at is None:
+            return
+        del self.tuples[at]
+        for k, i in self._positions.items():
+            if i > at:
+                self._positions[k] = i - 1
+        self.appended_only = False
+
+
+def replay_record(state: TableState, record: WalRecord) -> None:
+    """Apply one row record to ``state`` — shared by live apply and recovery."""
+    if record.kind == KIND_INSERT:
+        state.insert(record.row)
+    elif record.kind == KIND_DELETE:
+        state.delete(record.row)
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`WriteManager.recover` run restored."""
+
+    txns_replayed: int = 0
+    records_replayed: int = 0
+    truncated_bytes: int = 0
+    #: Per-table outcome: ``name -> (epoch installed, rows)``.
+    tables: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """A human-readable summary (the shell prints this)."""
+        lines = [
+            f"recovery: {self.txns_replayed} txns / {self.records_replayed} "
+            f"records replayed, {self.truncated_bytes} torn bytes truncated"
+        ]
+        for name in sorted(self.tables):
+            epoch, rows = self.tables[name]
+            lines.append(f"  {name}: epoch {epoch}, {rows} rows")
+        return "\n".join(lines)
+
+
+class WriteManager:
+    """Durable fuzzy writes for one :class:`~repro.session.StorageSession`."""
+
+    def __init__(self, session: "StorageSession"):
+        self.session = session
+        self.wal = WriteAheadLog(session.disk)
+        self.snapshots = SnapshotManager(session.disk)
+        self.next_txn = 1
+        self.statements = 0
+        self.index_delta_merges = 0
+        self.index_rebuilds = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    # The write path
+    # ------------------------------------------------------------------
+    def apply_ops(self, ops: List[Tuple[str, str, list]], tracer=None) -> List[str]:
+        """Run DML operations as one group-committed batch.
+
+        ``ops`` is a list of ``(verb, table, payload)``:
+
+        * ``("insert", name, [FuzzyTuple, ...])``
+        * ``("delete", name, [FuzzyTuple victims, ...])``
+        * ``("update", name, [(old FuzzyTuple, new FuzzyTuple), ...])``
+
+        Each op is one transaction; the whole batch shares a single WAL
+        sync (group commit when it covers ≥ 2 commits).  Apply happens
+        only after the sync returns, so a crash during the sync loses
+        whole transactions, never halves of one.  Returns one status
+        string per op.
+        """
+        session = self.session
+        stats = OperationStats()
+        with session.disk.use_stats(stats):
+            txns = []
+            with maybe_span(tracer, "wal-append", ops=len(ops)):
+                for verb, name, payload in ops:
+                    txn = self.next_txn
+                    self.next_txn += 1
+                    records = self._records_of(verb, name.upper(), payload, txn)
+                    for record in records:
+                        self.wal.append(record)
+                    txns.append((verb, name.upper(), records))
+            with maybe_span(tracer, "wal-sync"):
+                synced = self.wal.sync()
+            statuses = []
+            with maybe_span(tracer, "wal-apply"):
+                for verb, name, records in txns:
+                    rows = [r for r in records if r.kind in (KIND_INSERT, KIND_DELETE)]
+                    epoch = self._apply_rows(name, rows)
+                    statuses.append(self._status_of(verb, name, payload_len=len(rows), epoch=epoch))
+        self.statements += len(ops)
+        session.last_stats = stats
+        registry = getattr(session, "registry", None)
+        if registry is not None:
+            registry.count_wal(
+                records=sum(len(records) for _, _, records in txns),
+                commits=len(txns),
+                syncs=1,
+                group_commits=1 if len(txns) >= 2 else 0,
+                bytes_synced=synced,
+            )
+        return statuses
+
+    def _records_of(self, verb: str, name: str, payload: list, txn: int) -> List[WalRecord]:
+        """The WAL records of one transaction (BEGIN ... COMMIT)."""
+        serializer = self._serializer(name)
+        records = [WalRecord(KIND_BEGIN, txn, "", b"")]
+        if verb == "insert":
+            for t in payload:
+                records.append(WalRecord(KIND_INSERT, txn, name, serializer.encode(t)))
+        elif verb == "delete":
+            for t in payload:
+                records.append(WalRecord(KIND_DELETE, txn, name, serializer.encode(t)))
+        elif verb == "update":
+            for old, new in payload:
+                records.append(WalRecord(KIND_DELETE, txn, name, serializer.encode(old)))
+                records.append(WalRecord(KIND_INSERT, txn, name, serializer.encode(new)))
+        else:  # pragma: no cover - internal misuse
+            raise ValueError(f"unknown write verb {verb!r}")
+        records.append(WalRecord(KIND_COMMIT, txn, "", b""))
+        return records
+
+    @staticmethod
+    def _status_of(verb: str, name: str, payload_len: int, epoch: int) -> str:
+        """The human-readable outcome line of one applied transaction."""
+        if verb == "update":
+            n = payload_len // 2
+            noun = "tuple" if n == 1 else "tuples"
+            return f"{n} {noun} updated in {name} (epoch {epoch})"
+        n = payload_len
+        noun = "tuple" if n == 1 else "tuples"
+        done = "inserted into" if verb == "insert" else "deleted from"
+        return f"{n} {noun} {done} {name} (epoch {epoch})"
+
+    def _apply_rows(self, name: str, rows: List[WalRecord]) -> int:
+        """Replay ``rows`` onto ``name`` and install the new heap version."""
+        session = self.session
+        heap = session.tables[name]
+        state = TableState(heap.serializer, self._contents(heap))
+        for record in rows:
+            replay_record(state, record)
+        epoch = self.snapshots.epoch(name) + 1
+        return self._install(name, heap, state, epoch)
+
+    # ------------------------------------------------------------------
+    # Version install (shared by live apply and recovery)
+    # ------------------------------------------------------------------
+    def _install(self, name: str, old_heap: HeapFile, state: TableState, epoch: int) -> int:
+        """Pack ``state`` as epoch ``epoch`` of ``name`` and swap it in."""
+        session = self.session
+        disk = session.disk
+        file = version_file_name(name, epoch)
+        disk.delete(file)
+        new_heap = HeapFile(file, old_heap.schema, disk, session.fixed_tuple_size)
+        new_heap.load(state.tuples)
+        index_files = self._maintain_indexes(name, old_heap, new_heap, state, epoch)
+        if epoch > 0:
+            self.snapshots.publish(name, epoch, [file] + index_files)
+        session.tables[name] = new_heap
+        session.stats_versions.observe_cardinality(name, new_heap.n_tuples)
+        session.stats_versions.bump(name)
+        session._replace_placement(name, FuzzyRelation(new_heap.schema, state.tuples))
+        registry = getattr(session, "registry", None)
+        if registry is not None:
+            registry.count_wal(snapshots=1)
+        return epoch
+
+    def _maintain_indexes(
+        self,
+        name: str,
+        old_heap: HeapFile,
+        new_heap: HeapFile,
+        state: TableState,
+        epoch: int,
+    ) -> List[str]:
+        """Carry every index of ``name`` over to the new heap version.
+
+        Append-only transactions take the staged delta + merge path
+        (existing postings are reused verbatim — the shared page prefix
+        kept its row ids — and only the appended tail is scanned);
+        anything that deleted or re-weighted a row falls back to a full
+        rebuild, because row ids after the first removed tuple shifted.
+        """
+        session = self.session
+        disk = session.disk
+        files = []
+        for (tname, attr), index in sorted(session.indexes.items()):
+            if tname != name:
+                continue
+            new_file = version_file_name(index_file_name(name, attr), epoch)
+            if state.appended_only:
+                first_new_page = max(0, old_heap.n_pages - 1)
+                skip = 0
+                if old_heap.n_pages:
+                    skip = len(list(
+                        disk.read_page(old_heap.name, first_new_page).records()
+                    ))
+                new_index = index.merged_with_tail(
+                    new_heap, disk, first_new_page, skip, new_file
+                )
+                self.index_delta_merges += 1
+                delta, rebuilds = 1, 0
+            else:
+                new_index = SupportIntervalIndex.build(
+                    name, attr, new_heap, disk, new_file
+                )
+                self.index_rebuilds += 1
+                delta, rebuilds = 0, 1
+            session.indexes[(tname, attr)] = new_index
+            files.append(new_file)
+            registry = getattr(session, "registry", None)
+            if registry is not None:
+                registry.count_wal(index_delta_merges=delta, index_rebuilds=rebuilds)
+        return files
+
+    def _contents(self, heap: HeapFile) -> List[FuzzyTuple]:
+        """Decode a heap file's tuples in storage order (charged reads)."""
+        disk = self.session.disk
+        tuples: List[FuzzyTuple] = []
+        for page_index in range(heap.n_pages):
+            page = disk.read_page(heap.name, page_index)
+            tuples.extend(heap.serializer.decode(r) for r in page.records())
+        return tuples
+
+    def _serializer(self, name: str) -> TupleSerializer:
+        """The serializer of table ``name`` (WAL rows share its layout)."""
+        try:
+            return self.session.tables[name].serializer
+        except KeyError:
+            raise RecoveryError(f"no table {name} registered in this session") from None
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+    def checkpoint(self, tracer=None) -> str:
+        """Fold every current version into its base file and reset the WAL.
+
+        After a checkpoint the epoch-0 files *are* the committed state,
+        so the log can be emptied; the next crash recovers from the new
+        bases alone.  Base files are pushed through the durability
+        barrier explicitly.
+        """
+        session = self.session
+        disk = session.disk
+        stats = OperationStats()
+        folded = 0
+        with session.disk.use_stats(stats), maybe_span(tracer, "wal-checkpoint"):
+            for name in sorted(session.tables):
+                heap = session.tables[name]
+                if self.snapshots.epoch(name) == 0:
+                    disk.sync(name)
+                    continue
+                contents = self._contents(heap)
+                self.snapshots.forget(name)
+                disk.delete(name)
+                base = HeapFile(name, heap.schema, disk, session.fixed_tuple_size)
+                base.load(contents)
+                disk.sync(name)
+                session.tables[name] = base
+                for (tname, attr), index in sorted(session.indexes.items()):
+                    if tname != name:
+                        continue
+                    rebuilt = SupportIntervalIndex.build(name, attr, base, disk)
+                    disk.sync(rebuilt.file)
+                    session.indexes[(tname, attr)] = rebuilt
+                session.stats_versions.bump(name)
+                folded += 1
+            self.wal.reset()
+            disk.sync(self.wal.file)
+        session.last_stats = stats
+        return f"checkpoint: {folded} tables folded to base, wal reset"
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def recover(self, tracer=None) -> RecoveryReport:
+        """Restore the committed state after a crash.
+
+        The session must have :meth:`~repro.session.StorageSession.attach`-ed
+        every table (schemas are not self-describing on this disk).  The
+        sequence — delete untrusted version files, scan the durable WAL,
+        truncate the torn tail, replay committed transactions from the
+        bases, rebuild indexes — is deterministic end to end, so running
+        it twice yields bit-identical files.
+        """
+        session = self.session
+        disk = session.disk
+        stats = OperationStats()
+        report = RecoveryReport()
+        with session.disk.use_stats(stats), maybe_span(tracer, "recovery"):
+            for file in list(disk.files()):
+                if "@e" in file:
+                    disk.delete(file)
+            # Replay starts from the epoch-0 bases: re-point every table
+            # (and any index whose version file was just deleted) at the
+            # base file, so recovery is restartable — a second run, or one
+            # on a session that already holds versioned heaps, sees the
+            # same starting state.
+            for name in sorted(session.tables):
+                heap = session.tables[name]
+                if heap.name != name:
+                    session.tables[name] = HeapFile.attach(
+                        name, heap.schema, disk, session.fixed_tuple_size
+                    )
+                    session.stats_versions.bump(name)
+            for (tname, attr), index in sorted(session.indexes.items()):
+                if "@e" in index.file:
+                    session.indexes[(tname, attr)] = SupportIntervalIndex.build(
+                        tname, attr, session.tables[tname], disk
+                    )
+            self.snapshots = SnapshotManager(disk, self.snapshots.retain)
+            image = self.wal.image()
+            result = scan(image)
+            torn = len(image) - result.good_length
+            if torn:
+                with maybe_span(tracer, "wal-truncate", bytes=torn):
+                    self.wal.truncate_to(result.good_length, image)
+            report.truncated_bytes = torn
+            states: Dict[str, TableState] = {}
+            touched: Dict[str, int] = {}
+            ops_by_txn: Dict[int, List[WalRecord]] = {}
+            max_txn = 0
+            with maybe_span(tracer, "wal-replay"):
+                for entry in result.entries:
+                    record = entry.record
+                    max_txn = max(max_txn, record.txn)
+                    if record.kind == KIND_BEGIN:
+                        ops_by_txn[record.txn] = []
+                    elif record.kind in (KIND_INSERT, KIND_DELETE):
+                        ops_by_txn.setdefault(record.txn, []).append(record)
+                    elif record.kind == KIND_COMMIT:
+                        rows = ops_by_txn.pop(record.txn, [])
+                        for row in rows:
+                            replay_record(self._recovery_state(states, row.table), row)
+                        for table in sorted({row.table for row in rows}):
+                            touched[table] = touched.get(table, 0) + 1
+                        report.txns_replayed += 1
+                        report.records_replayed += len(rows)
+            for name in sorted(touched):
+                epoch = touched[name]
+                state = states[name]
+                # Recovery rebuilds from scratch: append-only detection
+                # does not apply across a whole log of transactions.
+                state.appended_only = False
+                self._recover_base_indexes(name)
+                self._install(name, session.tables[name], state, epoch)
+                report.tables[name] = (epoch, len(state.tuples))
+            self.next_txn = max(self.next_txn, max_txn + 1)
+        self.recoveries += 1
+        session.last_stats = stats
+        registry = getattr(session, "registry", None)
+        if registry is not None:
+            registry.count_wal(
+                recoveries=1,
+                replayed_records=report.records_replayed,
+                truncated_bytes=torn,
+            )
+        return report
+
+    def _recovery_state(self, states: Dict[str, TableState], name: str) -> TableState:
+        """The replay state of ``name``, seeded from its base heap file."""
+        state = states.get(name)
+        if state is None:
+            heap = self.session.tables.get(name)
+            if heap is None:
+                raise RecoveryError(
+                    f"WAL references table {name} but the session never attached it"
+                )
+            states[name] = state = TableState(heap.serializer, self._contents(heap))
+        return state
+
+    def _recover_base_indexes(self, name: str) -> None:
+        """Re-register indexes whose base files survived the crash.
+
+        A pre-crash ``create_index`` left ``__idx_<table>_<attr>`` on the
+        disk; recovery adopts it into ``session.indexes`` (built against
+        the base, epoch 0) so the subsequent install carries it forward
+        to the recovered epoch — no stale index entry can outlive a
+        crash.
+        """
+        session = self.session
+        heap = session.tables[name]
+        for attr in heap.schema.names():
+            if (name, attr) in session.indexes:
+                continue
+            base_file = index_file_name(name, attr)
+            if session.disk.exists(base_file):
+                column = heap.schema.index_of(attr)
+                session.indexes[(name, attr)] = SupportIntervalIndex.build(
+                    name, attr, heap, session.disk
+                )
+                assert session.indexes[(name, attr)].column == column
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    def status(self) -> str:
+        """The ``\\wal`` shell view: log, commit, and snapshot health."""
+        wal = self.wal
+        session = self.session
+        durable = wal.synced_bytes
+        lines = [
+            f"wal: file {wal.file!r}, {durable} durable bytes, "
+            f"{wal.pending_frames} pending frames",
+            f"records={wal.records_appended} commits={wal.commits_appended} "
+            f"syncs={wal.syncs} group_commits={wal.group_commits} "
+            f"truncated_bytes={wal.truncated_bytes}",
+            f"index maintenance: {self.index_delta_merges} delta merges, "
+            f"{self.index_rebuilds} rebuilds; recoveries={self.recoveries}",
+        ]
+        versions = ", ".join(
+            f"{name}@e{self.snapshots.epoch(name)} ({session.tables[name].n_tuples} rows)"
+            for name in sorted(session.tables)
+        )
+        lines.append(f"tables: {versions or '(none)'}")
+        lines.append(
+            f"snapshots: retain={self.snapshots.retain} "
+            f"pinned={self.snapshots.pinned()} published={self.snapshots.published}"
+        )
+        return "\n".join(lines)
+
+
+__all__ = ["RecoveryReport", "TableState", "WriteManager", "replay_record"]

@@ -1,0 +1,174 @@
+"""CRC32-framed, length-prefixed write-ahead-log records.
+
+Every mutation the engine accepts is logged before it is applied, as a
+sequence of frames::
+
+    +----------+----------+--------------------------+
+    | length   | crc32    | payload (length bytes)   |
+    | u32 BE   | u32 BE   |                          |
+    +----------+----------+--------------------------+
+
+    payload := kind (1 byte) + txn (u64 BE) [+ body]
+    body    := u16 BE table-name length + table name (UTF-8)
+             + u32 BE row length + row bytes        (INSERT / DELETE only)
+
+Row bytes are exactly what :class:`~repro.storage.serializer.TupleSerializer`
+produces, so replaying a record re-creates the bit-identical stored tuple.
+The CRC covers the payload only — a frame whose length field itself is
+torn fails the bounds checks and ends the committed prefix just the same.
+
+:func:`scan` is the recovery entrypoint: it walks frames left to right and
+**never raises** — the first incomplete, oversized, or CRC-mismatched
+frame simply terminates the well-formed prefix, which is the property the
+crash-at-every-offset chaos suite leans on.  Strict single-frame decoding
+for callers that believe their bytes are durable lives in
+:func:`decode_frame` and raises :class:`~repro.errors.WalCorruptionError`.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, NamedTuple, Tuple
+
+from ..errors import WalCorruptionError
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+#: Frame header: payload length + payload CRC32.
+HEADER_SIZE = 8
+
+#: Record kinds (single ASCII byte at the head of each payload).
+KIND_BEGIN = "B"
+KIND_INSERT = "I"
+KIND_DELETE = "D"
+KIND_COMMIT = "C"
+
+_KINDS = {KIND_BEGIN, KIND_INSERT, KIND_DELETE, KIND_COMMIT}
+_ROW_KINDS = {KIND_INSERT, KIND_DELETE}
+
+#: Upper bound on a sane payload; a torn length field almost always
+#: decodes far beyond it, ending the scan cleanly.
+MAX_PAYLOAD = 1 << 20
+
+
+class WalRecord(NamedTuple):
+    """One logical WAL record (decoded payload of one frame)."""
+
+    #: One of :data:`KIND_BEGIN` / ``KIND_INSERT`` / ``KIND_DELETE`` /
+    #: ``KIND_COMMIT``.
+    kind: str
+    #: Transaction id the record belongs to (monotonically assigned).
+    txn: int
+    #: Target table (empty for BEGIN / COMMIT).
+    table: str
+    #: Serialized tuple image (empty for BEGIN / COMMIT).
+    row: bytes
+
+
+class ScannedRecord(NamedTuple):
+    """A record plus the byte extent of its frame in the log image."""
+
+    record: WalRecord
+    #: Offset of the frame's first header byte.
+    offset: int
+    #: Offset one past the frame's last payload byte.
+    end: int
+
+
+class ScanResult(NamedTuple):
+    """Outcome of scanning a WAL image: the well-formed prefix."""
+
+    entries: List[ScannedRecord]
+    #: Length of the well-formed prefix; bytes past it are a torn tail.
+    good_length: int
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """Serialize ``record`` into one framed byte string."""
+    payload = record.kind.encode("ascii") + _U64.pack(record.txn)
+    if record.kind in _ROW_KINDS:
+        table = record.table.encode("utf-8")
+        payload += _U16.pack(len(table)) + table + _U32.pack(len(record.row)) + record.row
+    return _U32.pack(len(payload)) + _U32.pack(zlib.crc32(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> WalRecord:
+    """Decode one verified payload; raises on structural damage."""
+    kind = payload[:1].decode("ascii", errors="replace")
+    if kind not in _KINDS:
+        raise WalCorruptionError(f"unknown WAL record kind {kind!r}")
+    (txn,) = _U64.unpack_from(payload, 1)
+    if kind not in _ROW_KINDS:
+        if len(payload) != 9:
+            raise WalCorruptionError(f"{kind} record has trailing bytes")
+        return WalRecord(kind, txn, "", b"")
+    (name_len,) = _U16.unpack_from(payload, 9)
+    name_end = 11 + name_len
+    if name_end + 4 > len(payload):
+        raise WalCorruptionError("WAL record table name overruns the payload")
+    table = payload[11:name_end].decode("utf-8")
+    (row_len,) = _U32.unpack_from(payload, name_end)
+    row = payload[name_end + 4:]
+    if len(row) != row_len:
+        raise WalCorruptionError("WAL record row image overruns the payload")
+    return WalRecord(kind, txn, table, row)
+
+
+def decode_frame(data: bytes, offset: int = 0) -> Tuple[WalRecord, int]:
+    """Strictly decode the frame at ``offset``; returns ``(record, end)``.
+
+    Raises :class:`~repro.errors.WalCorruptionError` on any damage —
+    use :func:`scan` instead when a torn tail is an expected outcome.
+    """
+    if offset + HEADER_SIZE > len(data):
+        raise WalCorruptionError("WAL frame header is incomplete")
+    (length,) = _U32.unpack_from(data, offset)
+    (crc,) = _U32.unpack_from(data, offset + 4)
+    if length < 9 or length > MAX_PAYLOAD:
+        raise WalCorruptionError(f"implausible WAL frame length {length}")
+    end = offset + HEADER_SIZE + length
+    if end > len(data):
+        raise WalCorruptionError("WAL frame payload is incomplete")
+    payload = data[offset + HEADER_SIZE:end]
+    if zlib.crc32(payload) != crc:
+        raise WalCorruptionError("WAL frame CRC32 mismatch (torn write)")
+    return _decode_payload(payload), end
+
+
+def scan(data: bytes) -> ScanResult:
+    """Walk every well-formed frame from offset 0; never raises.
+
+    The scan stops at the first frame that is incomplete, implausibly
+    sized, CRC-mismatched, or structurally damaged; ``good_length`` is
+    the byte length of the clean prefix before it.  A crash at any byte
+    offset therefore yields *some* clean prefix — recovery truncates the
+    rest.
+    """
+    entries: List[ScannedRecord] = []
+    offset = 0
+    while True:
+        try:
+            record, end = decode_frame(data, offset)
+        except WalCorruptionError:
+            return ScanResult(entries, offset)
+        entries.append(ScannedRecord(record, offset, end))
+        offset = end
+
+
+__all__ = [
+    "HEADER_SIZE",
+    "KIND_BEGIN",
+    "KIND_COMMIT",
+    "KIND_DELETE",
+    "KIND_INSERT",
+    "MAX_PAYLOAD",
+    "ScanResult",
+    "ScannedRecord",
+    "WalRecord",
+    "decode_frame",
+    "encode_record",
+    "scan",
+]

@@ -1,0 +1,182 @@
+"""Epoch-based snapshot reads over immutable heap versions.
+
+The write path never mutates a heap file in place: each committed
+transaction builds a **new** version file (``NAME@e<epoch>``) and swaps
+the session's table pointer.  Operators that captured the old
+:class:`~repro.storage.heap.HeapFile` object keep scanning the old bytes,
+so an in-flight query (or a ``run_batch`` worker) reads one consistent
+table version end to end — snapshot isolation at query granularity,
+without locks.
+
+:class:`SnapshotManager` is the version store: it records which epoch
+file is current, retains a bounded window of older epochs for open
+snapshots, garbage-collects the rest, and answers epoch lookups.  An
+explicit :class:`Snapshot` (from ``session.snapshot()``) pins every
+table's current epoch for as long as it is open; reading through a
+released snapshot whose files were retired raises
+:class:`~repro.errors.SnapshotTooOldError`.
+
+Epoch 0 — the bulk-loaded base file — is never collected: it is the
+root the WAL replays against during crash recovery.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..data.relation import FuzzyRelation
+from ..errors import SnapshotTooOldError
+from ..storage.disk import SimulatedDisk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.heap import HeapFile
+
+
+def version_file_name(table: str, epoch: int) -> str:
+    """On-disk file name of ``table``'s heap at ``epoch`` (0 = base)."""
+    return table if epoch == 0 else f"{table}@e{epoch}"
+
+
+class SnapshotManager:
+    """Bookkeeping for immutable per-table heap versions."""
+
+    def __init__(self, disk: SimulatedDisk, retain: int = 2):
+        self.disk = disk
+        #: How many epochs (beyond pins and the base) stay readable.
+        self.retain = max(1, retain)
+        #: ``table -> {epoch: [files belonging to that epoch]}``.
+        self._versions: Dict[str, Dict[int, List[str]]] = {}
+        self._current: Dict[str, int] = {}
+        self._pins: Dict[Tuple[str, int], int] = {}
+        #: Lifetime count of versions published (feeds the registry).
+        self.published = 0
+        self.collected = 0
+
+    def epoch(self, table: str) -> int:
+        """The current epoch of ``table`` (0 until its first write)."""
+        return self._current.get(table, 0)
+
+    def track(self, table: str, epoch: int, files: List[str]) -> None:
+        """Record ``files`` as the image of ``table`` at ``epoch`` (no GC)."""
+        self._versions.setdefault(table, {})[epoch] = list(files)
+        self._current[table] = max(self._current.get(table, 0), epoch)
+
+    def publish(self, table: str, epoch: int, files: List[str]) -> None:
+        """Install ``epoch`` as current for ``table`` and GC old versions."""
+        self.track(table, epoch, files)
+        self._current[table] = epoch
+        self.published += 1
+        self.collect(table)
+
+    def collect(self, table: str) -> None:
+        """Delete unpinned versions older than the retention window.
+
+        Epoch 0 (the recovery base) is always kept.
+        """
+        versions = self._versions.get(table, {})
+        current = self._current.get(table, 0)
+        for epoch in sorted(versions):
+            if epoch == 0 or epoch > current - self.retain:
+                continue
+            if self._pins.get((table, epoch), 0) > 0:
+                continue
+            for file in versions.pop(epoch):
+                self.disk.delete(file)
+            self.collected += 1
+
+    def forget(self, table: str) -> None:
+        """Drop every version of ``table`` from disk and the catalog."""
+        for files in self._versions.pop(table, {}).values():
+            for file in files:
+                self.disk.delete(file)
+        self._current.pop(table, None)
+
+    # ------------------------------------------------------------------
+    # Pinning (used by Snapshot)
+    # ------------------------------------------------------------------
+    def pin(self, table: str, epoch: int) -> None:
+        """Protect ``(table, epoch)`` from collection while pinned."""
+        key = (table, epoch)
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, table: str, epoch: int) -> None:
+        """Release one pin; collection may now retire the version."""
+        key = (table, epoch)
+        count = self._pins.get(key, 0) - 1
+        if count <= 0:
+            self._pins.pop(key, None)
+        else:
+            self._pins[key] = count
+        self.collect(table)
+
+    def pinned(self) -> int:
+        """Total outstanding pins across all tables."""
+        return sum(self._pins.values())
+
+    def resolve(self, table: str, epoch: int) -> str:
+        """Heap file name of ``table`` at ``epoch``; raises if retired."""
+        if epoch == 0:
+            file = version_file_name(table, 0)
+        else:
+            files = self._versions.get(table, {}).get(epoch)
+            if not files:
+                raise SnapshotTooOldError(
+                    f"epoch {epoch} of table {table} was garbage-collected"
+                )
+            file = files[0]
+        if not self.disk.exists(file):
+            raise SnapshotTooOldError(
+                f"epoch {epoch} of table {table} was garbage-collected"
+            )
+        return file
+
+
+class Snapshot:
+    """A pinned, consistent view of every table at one instant.
+
+    Use as a context manager::
+
+        with session.snapshot() as snap:
+            before = snap.read("R")   # unaffected by concurrent ingest
+    """
+
+    def __init__(self, manager: SnapshotManager, heaps: Dict[str, "HeapFile"]):
+        self.manager = manager
+        self._heaps = dict(heaps)
+        self._epochs = {name: manager.epoch(name) for name in heaps}
+        self._released = False
+        for name, epoch in self._epochs.items():
+            manager.pin(name, epoch)
+
+    def epoch_of(self, table: str) -> int:
+        """The epoch this snapshot pinned for ``table``."""
+        return self._epochs[table.upper()]
+
+    def read(self, table: str) -> FuzzyRelation:
+        """Materialize ``table`` as of the snapshot, charging page reads."""
+        name = table.upper()
+        heap = self._heaps[name]
+        file = self.manager.resolve(name, self._epochs[name])
+        disk = self.manager.disk
+        tuples = []
+        for index in range(disk.n_pages(file)):
+            page = disk.read_page(file, index)
+            tuples.extend(heap.serializer.decode(r) for r in page.records())
+        return FuzzyRelation(heap.schema, tuples)
+
+    def release(self) -> None:
+        """Unpin every table version (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        for name, epoch in self._epochs.items():
+            self.manager.unpin(name, epoch)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+__all__ = ["Snapshot", "SnapshotManager", "version_file_name"]

@@ -6,7 +6,7 @@ from repro import FuzzyDatabase, DatabaseError
 from repro.data import FuzzyRelation, Schema
 from repro.fuzzy import CrispLabel, CrispNumber, TrapezoidalNumber, paper_vocabulary
 from repro.sql import ParseError, parse_statement
-from repro.sql.statements import CreateTable, DefineTerm, DropTable, InsertInto
+from repro.sql.statements import CreateTable, DefineTerm, DeleteFrom, DropTable, InsertInto, Update
 
 N = CrispNumber
 L = CrispLabel
@@ -56,7 +56,23 @@ class TestStatementParsing:
 
     def test_garbage(self):
         with pytest.raises(ParseError):
-            parse_statement("UPDATE R SET X = 1")
+            parse_statement("ALTER TABLE R")
+
+    def test_update_parses(self):
+        stmt = parse_statement("UPDATE R SET X = 1 WHERE R.Y = 2 WITH D >= 0.5")
+        assert isinstance(stmt, Update)
+        assert stmt.assignments == (("X", 1.0),)
+        assert stmt.threshold == 0.5
+
+    def test_delete_parses(self):
+        stmt = parse_statement("DELETE FROM R WHERE R.X = 'big'")
+        assert isinstance(stmt, DeleteFrom)
+        assert stmt.table == "R"
+        assert stmt.threshold is None
+
+    def test_dml_rejects_param_threshold(self):
+        with pytest.raises(ParseError):
+            parse_statement("DELETE FROM R WITH D >= ?")
 
     def test_statement_str_roundtrip(self):
         for sql in [

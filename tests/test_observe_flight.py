@@ -598,6 +598,17 @@ class TestExposition:
             assert f"# TYPE {qualified} counter" in text, name
             assert f"\n{qualified} " in text, name
 
+    def test_every_taxonomy_error_renders_in_the_errors_family(self):
+        import repro.errors as errors_module
+
+        registry = MetricsRegistry()
+        for name in errors_module.__all__:
+            registry.count_error(name)
+        text = registry.render_prometheus()
+        assert "# HELP fuzzysql_errors_total " in text
+        for name in errors_module.__all__:
+            assert f'fuzzysql_errors_total{{type="{name}"}} 1' in text, name
+
     def test_labelled_families_and_histogram_are_exposed(self):
         registry = MetricsRegistry()
         text = registry.render_prometheus()

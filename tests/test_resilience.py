@@ -15,11 +15,14 @@ from repro.errors import (
     PageCorruptionError,
     QueryCancelledError,
     QueryTimeoutError,
+    RecoveryError,
     ResourceExhaustedError,
+    SnapshotTooOldError,
     StorageFaultError,
     TransientIOError,
+    WalCorruptionError,
 )
-from repro.faults import FaultPlan, FaultyDisk
+from repro.faults import CrashPointError, FaultPlan, FaultyDisk
 from repro.fuzzy import CrispNumber
 from repro.resilience import CancelToken, Deadline, QueryGuard, RetryPolicy
 from repro.storage.buffer import BufferExhaustedError, BufferPool
@@ -34,7 +37,13 @@ from repro.storage.stats import Counters, OperationStats
 # Taxonomy
 # ----------------------------------------------------------------------
 def test_taxonomy_hierarchy():
-    for exc in (TransientIOError, DiskFullError, PageCorruptionError):
+    for exc in (
+        TransientIOError,
+        DiskFullError,
+        PageCorruptionError,
+        WalCorruptionError,
+        CrashPointError,
+    ):
         assert issubclass(exc, StorageFaultError)
     for exc in (
         StorageFaultError,
@@ -42,6 +51,8 @@ def test_taxonomy_hierarchy():
         QueryTimeoutError,
         QueryCancelledError,
         BufferExhaustedError,
+        RecoveryError,
+        SnapshotTooOldError,
     ):
         assert issubclass(exc, FuzzyQueryError)
     assert issubclass(BufferExhaustedError, ResourceExhaustedError)

@@ -143,12 +143,14 @@ class TestCommittedBaseline:
             data = json.load(handle)
         assert data["version"] == 1
         assert data["scale"] == 32  # CI runs at the default scale
-        assert len(data["workloads"]) == 19
+        assert len(data["workloads"]) == 21
         assert set(data["workloads"]) >= {
             "service_cold_J",
             "service_cached_J",
             "service_batch_w1",
             "service_batch_w4",
+            "wal_ingest",
+            "wal_recovery",
             "parallel_J",
             "sharded_J",
             "faulted_J",
@@ -202,3 +204,17 @@ class TestCommittedBaseline:
             assert counters["fuzzy_evaluations"] < counters["row_fuzzy_evaluations"]
         assert data["workloads"]["columnar_J"]["counters"]["kernel_batches"] > 0
         assert data["workloads"]["columnar_J"]["counters"]["columns_scanned"] > 0
+        # The WAL slices must have exercised the durable write path: group
+        # commit engaged, indexes maintained by delta merges (not only full
+        # rebuilds), and recovery actually replayed the ingested log.
+        ingest = data["workloads"]["wal_ingest"]["counters"]
+        assert ingest["wal_commits_total"] > 0
+        assert ingest["wal_group_commits_total"] > 0
+        assert ingest["wal_index_delta_merges_total"] > 0
+        recovery = data["workloads"]["wal_recovery"]["counters"]
+        assert recovery["wal_recoveries_total"] == 1
+        assert recovery["txns_replayed"] == ingest["wal_commits_total"]
+        assert (
+            data["workloads"]["wal_recovery"]["rows"]
+            == data["workloads"]["wal_ingest"]["rows"]
+        )

@@ -1,0 +1,418 @@
+"""Unit tests for the durable write path: WAL, snapshots, DML, recovery.
+
+Covers, bottom-up: record framing and the panic-free torn-tail scan, the
+group-committing :class:`WriteAheadLog`, epoch snapshots with pinning and
+bounded retention, ``session.execute()`` DML (insert / update / delete,
+thresholds, batching), crash recovery and checkpoints, the registry's
+``fuzzysql_wal_*`` counters, the shell's DML routing and ``\\wal``
+command, and the in-memory :class:`FuzzyDatabase` DML parity.
+"""
+
+import pytest
+
+from repro.data.schema import Attribute, Schema
+from repro.data.types import AttributeType
+from repro.db import DatabaseError, FuzzyDatabase
+from repro.engine.executor import DmlColumns
+from repro.errors import FuzzyQueryError, SnapshotTooOldError, WalCorruptionError
+from repro.observe.registry import MetricsRegistry
+from repro.session import StorageSession
+from repro.shell import DML_KEYWORDS, FuzzyShell
+from repro.wal import (
+    KIND_BEGIN,
+    KIND_COMMIT,
+    KIND_INSERT,
+    WAL_FILE,
+    WalRecord,
+    WriteAheadLog,
+    decode_frame,
+    encode_record,
+    scan,
+)
+
+DDL = [
+    "CREATE TABLE M (ID NUMERIC, NAME LABEL, AGE NUMERIC ON 'AGE')",
+    "DEFINE 'young' ON 'AGE' AS '[18, 20, 26, 30]'",
+]
+
+ROWS = [
+    "INSERT INTO M VALUES (1, 'Allen', 24)",
+    "INSERT INTO M VALUES (2, 'Bea', 55)",
+    "INSERT INTO M VALUES (3, 'Cid', 28)",
+]
+
+
+def fresh_session(disk=None):
+    return StorageSession(page_size=512, buffer_pages=16, disk=disk)
+
+
+def loaded_session():
+    session = fresh_session()
+    session.execute(DDL + ROWS)
+    return session
+
+
+def names_of(result):
+    return sorted(t.values[0].value for t in result)
+
+
+# ----------------------------------------------------------------------
+# Record framing
+# ----------------------------------------------------------------------
+class TestRecordFraming:
+    def test_roundtrip_every_kind(self):
+        for record in (
+            WalRecord(KIND_BEGIN, 7, "", b""),
+            WalRecord(KIND_INSERT, 7, "M", b"\x01\x02rowbytes"),
+            WalRecord("D", 7, "M", b"\x00" * 40),
+            WalRecord(KIND_COMMIT, 7, "", b""),
+        ):
+            frame = encode_record(record)
+            back, end = decode_frame(frame)
+            assert back == record
+            assert end == len(frame)
+
+    def test_decode_frame_raises_on_any_flipped_byte(self):
+        frame = encode_record(WalRecord(KIND_INSERT, 3, "M", b"payload"))
+        flipped = 0
+        for position in range(len(frame)):
+            wire = bytearray(frame)
+            wire[position] ^= 0xFF
+            try:
+                record, _ = decode_frame(bytes(wire))
+            except WalCorruptionError:
+                flipped += 1
+            else:  # a same-decode would be a CRC collision; reject drift
+                assert record != WalRecord(KIND_INSERT, 3, "M", b"payload")
+                flipped += 1
+        assert flipped == len(frame)
+
+    def test_scan_stops_at_torn_tail_without_raising(self):
+        good = encode_record(WalRecord(KIND_BEGIN, 1, "", b""))
+        good += encode_record(WalRecord(KIND_COMMIT, 1, "", b""))
+        torn = encode_record(WalRecord(KIND_INSERT, 2, "M", b"x" * 20))[:-3]
+        result = scan(good + torn)
+        assert [e.record.kind for e in result.entries] == [KIND_BEGIN, KIND_COMMIT]
+        assert result.good_length == len(good)
+
+    def test_scan_never_raises_at_any_truncation_offset(self):
+        image = b"".join(
+            encode_record(r)
+            for r in (
+                WalRecord(KIND_BEGIN, 1, "", b""),
+                WalRecord(KIND_INSERT, 1, "M", b"row-one"),
+                WalRecord(KIND_COMMIT, 1, "", b""),
+            )
+        )
+        for cut in range(len(image) + 1):
+            result = scan(image[:cut])
+            assert result.good_length <= cut
+
+
+# ----------------------------------------------------------------------
+# The write-ahead log
+# ----------------------------------------------------------------------
+class TestWriteAheadLog:
+    def test_sync_makes_appended_frames_durable(self):
+        session = fresh_session()
+        wal = WriteAheadLog(session.disk)
+        wal.append(WalRecord(KIND_BEGIN, 1, "", b""))
+        wal.append(WalRecord(KIND_COMMIT, 1, "", b""))
+        assert wal.pending_frames == 2
+        synced = wal.sync()
+        assert synced > 0 and wal.pending_frames == 0
+        result = wal.scan_image()
+        assert [e.record.txn for e in result.entries] == [1, 1]
+        assert result.good_length == len(wal.image())
+
+    def test_sync_with_nothing_pending_is_a_no_op(self):
+        wal = WriteAheadLog(fresh_session().disk)
+        assert wal.sync() == 0
+        assert wal.syncs == 0
+
+    def test_one_sync_covering_two_commits_counts_a_group_commit(self):
+        wal = WriteAheadLog(fresh_session().disk)
+        for txn in (1, 2):
+            wal.append(WalRecord(KIND_BEGIN, txn, "", b""))
+            wal.append(WalRecord(KIND_COMMIT, txn, "", b""))
+        wal.sync()
+        assert wal.syncs == 1
+        assert wal.commits_appended == 2
+        assert wal.group_commits == 1
+
+    def test_truncate_to_drops_the_torn_tail(self):
+        wal = WriteAheadLog(fresh_session().disk)
+        wal.append(WalRecord(KIND_BEGIN, 1, "", b""))
+        wal.append(WalRecord(KIND_COMMIT, 1, "", b""))
+        wal.sync()
+        image = wal.image() + b"\xde\xad\xbe\xef"
+        good = scan(image).good_length
+        dropped = wal.truncate_to(good, image)
+        assert dropped == 4
+        assert wal.image() == image[:good]
+
+
+# ----------------------------------------------------------------------
+# DML through session.execute()
+# ----------------------------------------------------------------------
+class TestSessionDml:
+    def test_create_insert_select_roundtrip(self):
+        session = loaded_session()
+        assert names_of(session.query("SELECT M.NAME FROM M")) == [
+            "Allen", "Bea", "Cid",
+        ]
+        assert session.tables["M"].n_tuples == 3
+
+    def test_insert_with_degree(self):
+        session = fresh_session()
+        session.execute(DDL)
+        session.execute("INSERT INTO M VALUES (9, 'Dot', 21) WITH D 0.4")
+        (t,) = list(session.query("SELECT M.NAME FROM M"))
+        assert t.degree == pytest.approx(0.4)
+
+    def test_update_rewrites_matching_rows(self):
+        session = loaded_session()
+        status = session.execute("UPDATE M SET AGE = 30 WHERE NAME = 'Bea'")
+        assert status.startswith("1 tuple updated in M")
+        ages = {
+            t.values[0].value: t.values[1]
+            for t in session.query("SELECT M.NAME, M.AGE FROM M")
+        }
+        assert "30" in repr(ages["Bea"])
+
+    def test_delete_with_threshold_spares_weak_matches(self):
+        session = loaded_session()
+        # AGE = 'young' matches Allen fully, Cid partially, Bea not at all.
+        status = session.execute(
+            "DELETE FROM M WHERE M.AGE = 'young' WITH D >= 0.9"
+        )
+        assert status.startswith("1 tuple deleted")
+        assert names_of(session.query("SELECT M.NAME FROM M")) == ["Bea", "Cid"]
+
+    def test_batched_statements_share_one_group_commit(self):
+        session = fresh_session()
+        session.execute(DDL)
+        statuses = session.execute(ROWS)
+        assert len(statuses) == 3
+        assert session.writes.wal.syncs == 1
+        assert session.writes.wal.group_commits == 1
+
+    def test_batch_update_sees_earlier_inserts_in_the_same_list(self):
+        session = fresh_session()
+        statuses = session.execute(
+            DDL + ROWS + ["UPDATE M SET AGE = 99 WHERE NAME = 'Cid'"]
+        )
+        assert statuses[-1].startswith("1 tuple updated")
+
+    def test_insert_arity_mismatch_is_typed(self):
+        session = fresh_session()
+        session.execute(DDL)
+        with pytest.raises(FuzzyQueryError):
+            session.execute("INSERT INTO M VALUES (1, 'Allen')")
+
+    def test_drop_removes_table_and_versions(self):
+        session = loaded_session()
+        session.execute("DROP TABLE M")
+        assert "M" not in session.tables
+        assert not any("M@e" in name for name in session.disk.files())
+
+    def test_wal_status_idle_before_any_write(self):
+        session = fresh_session()
+        assert "idle" in session.wal_status()
+
+    def test_wal_status_reports_epochs_and_snapshots(self):
+        session = loaded_session()
+        status = session.wal_status()
+        assert "M@e3" in status
+        assert "commits=3" in status
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+class TestSnapshots:
+    def test_snapshot_keeps_reading_the_pinned_epoch(self):
+        session = loaded_session()
+        with session.snapshot() as snap:
+            before = snap.epoch_of("M")
+            session.execute("INSERT INTO M VALUES (4, 'Eve', 40)")
+            assert len(snap.read("M")) == 3
+            assert snap.epoch_of("M") == before
+        assert len(session.query("SELECT M.NAME FROM M")) == 4
+
+    def test_released_old_epoch_is_garbage_collected(self):
+        session = loaded_session()
+        snap = session.snapshot()
+        old = snap.epoch_of("M")
+        snap.release()
+        for i in range(5, 9):
+            session.execute(f"INSERT INTO M VALUES ({i}, 'X{i}', {20 + i})")
+        with pytest.raises(SnapshotTooOldError):
+            session.writes.snapshots.resolve("M", old)
+
+
+# ----------------------------------------------------------------------
+# Recovery and checkpoints
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_restart_recovers_every_committed_row(self):
+        session = loaded_session()
+        schema = session.tables["M"].schema
+        expected = names_of(session.query("SELECT M.NAME FROM M"))
+        survivor = fresh_session(disk=session.disk)
+        survivor.attach("M", schema)
+        report = survivor.recover()
+        assert report.txns_replayed == 3
+        assert names_of(survivor.query("SELECT M.NAME FROM M")) == expected
+
+    def test_recovery_is_idempotent(self):
+        session = loaded_session()
+        first = session.recover()
+        second = session.recover()
+        assert first.tables == second.tables
+        assert names_of(session.query("SELECT M.NAME FROM M")) == [
+            "Allen", "Bea", "Cid",
+        ]
+
+    def test_checkpoint_folds_versions_and_resets_the_log(self):
+        session = loaded_session()
+        message = session.checkpoint()
+        assert "checkpoint" in message
+        assert session.tables["M"].name == "M"
+        assert scan(session.writes.wal.image()).entries == []
+        # Post-checkpoint recovery replays nothing and keeps the rows.
+        report = session.recover()
+        assert report.txns_replayed == 0
+        assert len(session.query("SELECT M.NAME FROM M")) == 3
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+class TestWalObservability:
+    def test_registry_counts_wal_traffic(self):
+        session = fresh_session()
+        session.registry = MetricsRegistry()
+        session.execute(DDL + ROWS)
+        state = session.registry.snapshot_state()
+        assert state["wal_commits_total"] == 3
+        assert state["wal_records_total"] == 3 * 3  # BEGIN + row + COMMIT
+        assert state["wal_syncs_total"] == 1
+        assert state["wal_group_commits_total"] == 1
+        assert state["wal_bytes_synced_total"] > 0
+        assert state["wal_snapshots_total"] == 3
+
+    def test_registry_counts_recoveries_and_errors(self):
+        session = loaded_session()
+        session.registry = MetricsRegistry()
+        session.recover()
+        state = session.registry.snapshot_state()
+        assert state["wal_recoveries_total"] == 1
+        assert state["wal_replayed_records_total"] == 3
+        with pytest.raises(FuzzyQueryError):
+            session.query("SELECT M.NAME FROM M", timeout_ms=0.000001)
+        text = session.registry.render_prometheus()
+        assert 'fuzzysql_errors_total{type="QueryTimeoutError"} 1' in text
+
+    def test_wal_spans_appear_in_the_trace(self):
+        from repro.observe.trace import SpanTracer
+
+        session = fresh_session()
+        tracer = SpanTracer()
+        session.execute(DDL + ROWS, tracer=tracer)
+        names = {
+            span.name for root in tracer.roots for span in root.walk()
+        }
+        assert {"wal-append", "wal-sync", "wal-apply"} <= names
+
+
+# ----------------------------------------------------------------------
+# The shell
+# ----------------------------------------------------------------------
+class TestShellDml:
+    def test_dml_lines_route_through_execute(self):
+        shell = FuzzyShell(fresh_session())
+        for sql in DDL + ROWS:
+            out = shell.execute(sql)
+            assert not out.startswith("error:"), out
+        assert "3 tuples" in shell.execute("SELECT M.NAME FROM M")
+        assert "deleted" in shell.execute("DELETE FROM M WHERE NAME = 'Bea'")
+
+    def test_wal_meta_command(self):
+        shell = FuzzyShell(fresh_session())
+        assert "idle" in shell.execute("\\wal")
+        for sql in DDL + ROWS:
+            shell.execute(sql)
+        assert "commits=3" in shell.execute("\\wal")
+
+    def test_dml_errors_render_instead_of_raising(self):
+        shell = FuzzyShell(fresh_session())
+        out = shell.execute("INSERT INTO NOPE VALUES (1)")
+        assert out.startswith("error:")
+
+    def test_keyword_set_is_exactly_the_dml_surface(self):
+        assert DML_KEYWORDS == {
+            "CREATE", "INSERT", "UPDATE", "DELETE", "DEFINE", "DROP",
+        }
+
+
+# ----------------------------------------------------------------------
+# FuzzyDatabase parity
+# ----------------------------------------------------------------------
+class TestDatabaseDml:
+    def build(self):
+        db = FuzzyDatabase()
+        for sql in DDL + ROWS:
+            db.execute(sql)
+        return db
+
+    def test_update_and_delete(self):
+        db = self.build()
+        assert db.execute("UPDATE M SET AGE = 30 WHERE NAME = 'Bea'").startswith("1 ")
+        assert db.execute("DELETE FROM M WHERE ID = 3").startswith("1 ")
+        assert len(db.table("M")) == 2
+
+    def test_threshold_gates_the_match_degree(self):
+        db = self.build()
+        status = db.execute("DELETE FROM M WHERE M.AGE = 'young' WITH D >= 0.9")
+        assert status.startswith("1 tuple deleted")
+
+    def test_dml_invalidates_cached_plans(self):
+        db = self.build()
+        sql = "SELECT M.NAME FROM M WHERE M.AGE = 'young'"
+        before = {str(t.values[0]) for t in db.query(sql)}
+        # Same cardinality before/after: only the epoch bump can invalidate.
+        db.execute("UPDATE M SET AGE = 55 WHERE NAME = 'Allen'")
+        after = {str(t.values[0]) for t in db.query(sql)}
+        assert "Allen" in "".join(before)
+        assert "Allen" not in "".join(after)
+
+    def test_non_comparison_where_is_rejected(self):
+        db = self.build()
+        with pytest.raises(DatabaseError):
+            db.execute(
+                "DELETE FROM M WHERE AGE = (SELECT M.AGE FROM M)"
+            )
+
+
+# ----------------------------------------------------------------------
+# DmlColumns
+# ----------------------------------------------------------------------
+class TestDmlColumns:
+    def schema(self):
+        return Schema([
+            Attribute("ID", AttributeType.NUMERIC),
+            Attribute("AGE", AttributeType.NUMERIC, "AGE"),
+        ])
+
+    def test_alias_tolerant_lookup(self):
+        columns = DmlColumns({None, "m", "M"}, self.schema())
+        assert columns.index((None, "AGE")) == 1
+        assert columns.index(("m", "ID")) == 0
+        assert columns.get(("M", "AGE")) == "AGE"
+
+    def test_unknown_binding_or_attribute(self):
+        columns = DmlColumns({None, "M"}, self.schema())
+        with pytest.raises(ValueError):
+            columns.index(("OTHER", "AGE"))
+        assert columns.get((None, "NOPE"), "fallback") == "fallback"
