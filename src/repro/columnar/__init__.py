@@ -13,7 +13,12 @@ full external sorts.
 """
 
 from .index import SupportIntervalIndex, UnsupportedIndexError, index_file_name
-from .kernel import batch_eq_possibility, batch_eq_necessity
+from .kernel import (
+    batch_eq_necessity,
+    batch_eq_possibility,
+    batch_le_possibility,
+    batch_lt_possibility,
+)
 from .operators import IndexMergeJoinOp, IndexScan
 from .pages import ColumnarPage, KIND_POINT, KIND_TRAPEZOID
 
@@ -27,5 +32,7 @@ __all__ = [
     "UnsupportedIndexError",
     "batch_eq_necessity",
     "batch_eq_possibility",
+    "batch_le_possibility",
+    "batch_lt_possibility",
     "index_file_name",
 ]

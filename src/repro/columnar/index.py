@@ -168,6 +168,36 @@ class SupportIntervalIndex:
             )
         self.n_entries = len(postings)
 
+    @classmethod
+    def from_rows(
+        cls,
+        table: str,
+        attribute: str,
+        schema,
+        tuples,
+        placements: List[Tuple[int, int]],
+        disk: SimulatedDisk,
+        file_name: Optional[str] = None,
+    ) -> "SupportIntervalIndex":
+        """Persist an index from in-memory rows and their known row ids.
+
+        The write path already holds the installed version's tuples in
+        memory *and* their ``(page, slot)`` placements (recorded by
+        :meth:`~repro.storage.heap.HeapFile.load`), so small update /
+        delete transactions can patch the index image without re-reading
+        a single heap page.  :meth:`_persist` sorts deterministically, so
+        the result is bit-identical to a full :meth:`build` over the same
+        heap — the patch is pure I/O savings, never a different file.
+        """
+        column = schema.index_of(attribute)
+        index = cls(table, attribute, column, file_name)
+        postings = [
+            _entry_of(t.values[column], t.degree, page, slot)
+            for t, (page, slot) in zip(tuples, placements)
+        ]
+        index._persist(postings, disk)
+        return index
+
     def merged_with_tail(
         self,
         heap: HeapFile,
@@ -227,6 +257,45 @@ class SupportIntervalIndex:
             hits.append(i)
         return hits
 
+    def pages_below(self, end: float) -> List[int]:
+        """Index pages that may hold entries with support begin ≤ ``end``.
+
+        The page prune for ``attr < probe`` / ``attr <= probe``: a tuple
+        whose support starts above the probe's support end is certainly
+        greater, degree 0.  Pages are sorted by first support begin, so
+        the qualifying pages are a prefix.
+        """
+        hits = []
+        for i, (first_a, _last_a, _max_d, _n) in enumerate(self.directory):
+            if first_a > end:
+                break
+            hits.append(i)
+        return hits
+
+    def pages_above(self, begin: float) -> List[int]:
+        """Index pages that may hold entries with support end ≥ ``begin``.
+
+        The page prune for ``attr > probe`` / ``attr >= probe``: a tuple
+        whose support ends below the probe's support begin is certainly
+        smaller, degree 0.  Support *ends* are not sorted, so there is no
+        early stop — only the per-page ``max_d`` fence skips pages.
+        """
+        return [
+            i
+            for i, (_first_a, _last_a, max_d, _n) in enumerate(self.directory)
+            if max_d >= begin
+        ]
+
+    def probe_pages(self, op, begin: float, end: float) -> List[int]:
+        """The index pages an ``attr op probe[begin, end]`` scan must visit."""
+        from ..fuzzy.compare import Op
+
+        if op in (Op.LT, Op.LE):
+            return self.pages_below(end)
+        if op in (Op.GT, Op.GE):
+            return self.pages_above(begin)
+        return self.overlapping_pages(begin, end)
+
     def candidate_entries(self, begin: float, end: float) -> int:
         """Postings on the pages a range scan for ``[begin, end]`` would touch.
 
@@ -234,6 +303,10 @@ class SupportIntervalIndex:
         the vectorized kernel will actually examine.
         """
         return sum(self.directory[i][3] for i in self.overlapping_pages(begin, end))
+
+    def candidate_entries_for(self, op, begin: float, end: float) -> int:
+        """Postings on the pages an ``op`` probe scan would touch."""
+        return sum(self.directory[i][3] for i in self.probe_pages(op, begin, end))
 
     def fetch(self, disk: SimulatedDisk, page_index: int) -> ColumnarPage:
         """Read one index page, charging a (tagged) page read."""

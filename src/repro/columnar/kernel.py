@@ -39,7 +39,12 @@ from ..fuzzy.compare import Op, possibility
 from ..fuzzy.trapezoid import TrapezoidalNumber
 from .pages import KIND_POINT
 
-__all__ = ["batch_eq_possibility", "batch_eq_necessity"]
+__all__ = [
+    "batch_eq_possibility",
+    "batch_eq_necessity",
+    "batch_lt_possibility",
+    "batch_le_possibility",
+]
 
 
 def _probe_shape(probe) -> tuple:
@@ -126,6 +131,134 @@ def batch_eq_possibility(
             else:
                 degrees.append(possibility(value, Op.EQ, fallback))
     return degrees
+
+
+def _sup_below_cols(a: float, b: float, v: float, strict: bool) -> float:
+    """``sup_{x < v} mu(x)`` of a trapezoid rising ramp ``(a, b)``.
+
+    Branch-for-branch the scalar library's ``_sup_below`` for trapezoids
+    (the non-strict middle branch is ``membership(v)``, which on
+    ``[a, b)`` is exactly the rising-ramp expression used here).
+    """
+    if strict:
+        if v <= a:
+            return 0.0
+        if v >= b:
+            return 1.0
+        return (v - a) / (b - a)
+    if v < a:
+        return 0.0
+    if v >= b:
+        return 1.0
+    return (v - a) / (b - a)
+
+
+def _sup_above_cols(e: float, d: float, v: float, strict: bool) -> float:
+    """``sup_{y > v} mu(y)`` of a trapezoid falling ramp ``(e, d)``."""
+    if strict:
+        if v >= d:
+            return 0.0
+        if v <= e:
+            return 1.0
+        return (d - v) / (d - e)
+    if v > d:
+        return 0.0
+    if v <= e:
+        return 1.0
+    return (d - v) / (d - e)
+
+
+def _batch_order(
+    probe,
+    col_a: Sequence[float],
+    col_b: Sequence[float],
+    col_e: Sequence[float],
+    col_d: Sequence[float],
+    kinds: Sequence[int],
+    strict: bool,
+    probe_on_left: bool,
+) -> List[float]:
+    """Shared body of the LT / LE kernels.
+
+    Computes ``possibility(value_i, op, probe)`` (``probe_on_left=False``;
+    the compiled-predicate orientation: stored attribute on the left) or
+    ``possibility(probe, op, value_i)`` (``probe_on_left=True``; the
+    :class:`~repro.fuzzy.compare.ComparisonKernel` orientation), with
+    ``op`` = ``<`` when ``strict`` else ``<=``.  Unlike equality, order is
+    *not* symmetric, so the flag swaps the whole comparison, not just the
+    fallback operand order.  Every point-involved case uses the scalar
+    library's ``_sup_below`` / ``_sup_above`` envelopes replicated
+    branch-for-branch; the one genuinely geometric case — two proper
+    trapezoids, where the degree is a sup-min against a running-max
+    envelope — falls back to the scalar library on the reconstructed
+    trapezoid, which is bit-identical because f64 columns round-trip.
+    """
+    is_point, pv, pa, pb, pe, pd = _probe_shape(probe)
+    op = Op.LT if strict else Op.LE
+    degrees: List[float] = []
+    for i in range(len(col_a)):
+        a = col_a[i]
+        entry_point = kinds[i] == KIND_POINT
+        if probe_on_left:
+            if is_point and entry_point:
+                ok = pv < a if strict else pv <= a
+                degrees.append(1.0 if ok else 0.0)
+            elif is_point:
+                degrees.append(_sup_above_cols(col_e[i], col_d[i], pv, strict))
+            elif entry_point:
+                degrees.append(_sup_below_cols(pa, pb, a, strict))
+            else:
+                value = TrapezoidalNumber(a, col_b[i], col_e[i], col_d[i])
+                degrees.append(possibility(probe, op, value))
+        else:
+            if is_point and entry_point:
+                ok = a < pv if strict else a <= pv
+                degrees.append(1.0 if ok else 0.0)
+            elif entry_point:
+                degrees.append(_sup_above_cols(pe, pd, a, strict))
+            elif is_point:
+                degrees.append(_sup_below_cols(a, col_b[i], pv, strict))
+            else:
+                value = TrapezoidalNumber(a, col_b[i], col_e[i], col_d[i])
+                degrees.append(possibility(value, op, probe))
+    return degrees
+
+
+def batch_lt_possibility(
+    probe,
+    col_a: Sequence[float],
+    col_b: Sequence[float],
+    col_e: Sequence[float],
+    col_d: Sequence[float],
+    kinds: Sequence[int],
+    probe_on_left: bool = False,
+) -> List[float]:
+    """``[possibility(value_i, Op.LT, probe)]`` over a column batch.
+
+    ``probe_on_left=True`` computes ``possibility(probe, Op.LT, value_i)``
+    instead.  ``GT`` needs no kernel of its own: the scalar library
+    evaluates ``x > y`` as ``y < x``, so a GT caller passes the *other*
+    orientation flag (``possibility(value, Op.GT, probe)`` is exactly
+    ``batch_lt_possibility(probe, ..., probe_on_left=True)``).
+    """
+    return _batch_order(probe, col_a, col_b, col_e, col_d, kinds, True, probe_on_left)
+
+
+def batch_le_possibility(
+    probe,
+    col_a: Sequence[float],
+    col_b: Sequence[float],
+    col_e: Sequence[float],
+    col_d: Sequence[float],
+    kinds: Sequence[int],
+    probe_on_left: bool = False,
+) -> List[float]:
+    """``[possibility(value_i, Op.LE, probe)]`` over a column batch.
+
+    ``probe_on_left=True`` computes ``possibility(probe, Op.LE, value_i)``;
+    ``GE`` callers flip the flag, mirroring :func:`batch_lt_possibility`.
+    """
+    return _batch_order(probe, col_a, col_b, col_e, col_d, kinds, False, probe_on_left)
 
 
 def batch_eq_necessity(

@@ -28,12 +28,13 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..data.tuples import FuzzyTuple
 from ..engine.operators import ExecutionContext, MergeJoinOp, Operator, Scan, TuplePredicate
+from ..fuzzy.compare import Op
 from ..fuzzy.logic import meets_threshold
 from ..join.merge_join import JOIN_PHASE, WindowOverflowError
 from ..join.predicates import JoinPredicate
 from ..storage.heap import HeapFile
 from .index import IndexEntry, SupportIntervalIndex, probe_support
-from .kernel import batch_eq_possibility
+from .kernel import batch_eq_possibility, batch_le_possibility, batch_lt_possibility
 
 
 class _PageCache:
@@ -66,7 +67,7 @@ class _PageCache:
 
 
 class IndexScan(Scan):
-    """Index range scan replacing a full scan with one ``attr = literal`` filter.
+    """Index scan replacing a full scan with one ``attr op literal`` filter.
 
     Subclasses :class:`Scan` so cardinality estimation and plan rendering
     treat it as a (filtered) leaf; ``predicates`` keeps the row-path
@@ -75,6 +76,11 @@ class IndexScan(Scan):
     minus those that provably cannot meet the query threshold — which the
     downstream :class:`~repro.engine.operators.Threshold` would drop
     anyway, so the query answer is bit-identical.
+
+    ``op`` is one of ``=``, ``<``, ``<=``, ``>``, ``>=`` (with the stored
+    attribute on the left); each op has its own page prune
+    (:meth:`SupportIntervalIndex.probe_pages`), its own provably-zero
+    entry prefilter, and its own vectorized kernel.
     """
 
     def __init__(
@@ -84,11 +90,39 @@ class IndexScan(Scan):
         index: SupportIntervalIndex,
         probe,
         threshold: float = 0.0,
+        op: Op = Op.EQ,
     ):
         super().__init__(heap, predicates)
         self.index = index
         self.probe = probe
         self.threshold = threshold
+        self.op = op
+
+    def _zero_entry(self, a: float, d: float, begin: float, end: float) -> bool:
+        """Whether the entry's degree is provably 0 on supports alone."""
+        if self.op in (Op.LT, Op.LE):
+            # Every x in the entry's support exceeds every y in the
+            # probe's: the entry is certainly greater.
+            return a > end
+        if self.op in (Op.GT, Op.GE):
+            return d < begin
+        return d < begin or end < a
+
+    def _batch_degrees(self, col_a, col_b, col_e, col_d, kinds) -> List[float]:
+        """The op's kernel over one candidate batch (attribute on the left)."""
+        if self.op is Op.EQ:
+            return batch_eq_possibility(self.probe, col_a, col_b, col_e, col_d, kinds)
+        # The scalar library evaluates x > y as y < x, so GT/GE reuse the
+        # LT/LE kernels with the probe on the left.
+        if self.op in (Op.LT, Op.GT):
+            return batch_lt_possibility(
+                self.probe, col_a, col_b, col_e, col_d, kinds,
+                probe_on_left=(self.op is Op.GT),
+            )
+        return batch_le_possibility(
+            self.probe, col_a, col_b, col_e, col_d, kinds,
+            probe_on_left=(self.op is Op.GE),
+        )
 
     def _tuples(self, ctx: ExecutionContext) -> Iterator[FuzzyTuple]:
         om = ctx.metrics.op(self) if ctx.metrics is not None else None
@@ -96,16 +130,16 @@ class IndexScan(Scan):
         begin, end = probe_support(self.probe)
         qualifying: List[Tuple[int, int, float]] = []
         with ctx.disk.use_stats(stats):
-            for idx_page in self.index.overlapping_pages(begin, end):
+            for idx_page in self.index.probe_pages(self.op, begin, end):
                 columnar = self.index.fetch(ctx.disk, idx_page)
-                # Crisp support-overlap filter over the (a, d) columns:
-                # entries outside the probe's support have degree 0.
+                # Crisp prefilter over the (a, d) columns: entries whose
+                # support relation to the probe's forces degree 0.
                 candidates = []
                 for i in range(len(columnar)):
                     stats.count_crisp()
                     if om is not None:
                         om.rows_in += 1
-                    if columnar.col_d[i] < begin or end < columnar.col_a[i]:
+                    if self._zero_entry(columnar.col_a[i], columnar.col_d[i], begin, end):
                         if om is not None:
                             om.prunes += 1
                         continue
@@ -115,8 +149,7 @@ class IndexScan(Scan):
                 stats.count_kernel_batch()
                 stats.count_columns(4)
                 stats.count_fuzzy(len(candidates))
-                degrees = batch_eq_possibility(
-                    self.probe,
+                degrees = self._batch_degrees(
                     [columnar.col_a[i] for i in candidates],
                     [columnar.col_b[i] for i in candidates],
                     [columnar.col_e[i] for i in candidates],
@@ -142,10 +175,10 @@ class IndexScan(Scan):
                 yield tuples[slot].with_degree(degree)
 
     def describe(self) -> str:
-        """One-line label: index key plus the probed literal's support."""
+        """One-line label: index key, operator, and the probed support."""
         begin, end = probe_support(self.probe)
         return (
-            f"IndexScan({self.heap.name}, {self.index.attribute} = "
+            f"IndexScan({self.heap.name}, {self.index.attribute} {self.op.value} "
             f"probe[{begin:g}, {end:g}], threshold={self.threshold:g})"
         )
 

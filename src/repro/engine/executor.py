@@ -132,6 +132,9 @@ class FlatCompiler:
         vocabulary: Optional[Vocabulary] = None,
         indexes: Optional[Dict[Tuple[str, str], "object"]] = None,
         cost_model=None,
+        histograms=None,
+        bushy: bool = False,
+        plan_memo=None,
     ):
         from ..storage.costs import PAPER_1992
 
@@ -139,6 +142,15 @@ class FlatCompiler:
         self.vocabulary = vocabulary
         self.indexes = dict(indexes) if indexes else {}
         self.cost_model = cost_model if cost_model is not None else PAPER_1992
+        #: Optional :class:`~repro.engine.histogram.HistogramStore` — when
+        #: present, join-edge fan-outs come from support-interval overlap
+        #: counts instead of the constant ``fanout`` default.
+        self.histograms = histograms
+        #: Allow the Section 8 DP to consider bushy join trees.
+        self.bushy = bushy
+        #: Optional :class:`~repro.engine.optimizer.PlanMemo` shared
+        #: across compilations (keyed on the statistics the DP saw).
+        self.plan_memo = plan_memo
 
     # ------------------------------------------------------------------
     # Entry point
@@ -162,22 +174,29 @@ class FlatCompiler:
 
         bindings, domains = self._bindings(query)
         pushdown, joins = self._partition_predicates(query, bindings)
+        tree = None
         if optimize and len(query.from_tables) > 1:
-            query = self._reorder(query, joins, fanout)
+            query, tree = self._reorder(query, joins, fanout)
 
         # By compile time the WITH cut is a concrete float (prepared-query
         # placeholders are substituted before recompilation), so index
         # access paths can bake it in for result-preserving pruning.
         threshold = query.with_threshold if query.with_threshold is not None else 0.0
 
-        plan, columns = self._initial_scan(
-            query.from_tables[0], pushdown, domains, threshold
-        )
-        pending = list(joins)
-        for table in query.from_tables[1:]:
-            plan, columns, pending = self._join_in(
-                plan, columns, table, pushdown, pending, bindings, domains, threshold
+        if tree is not None and self._is_bushy(tree):
+            by_binding = {table.binding: table for table in query.from_tables}
+            plan, columns, pending = self._compile_tree(
+                tree, by_binding, pushdown, list(joins), bindings, domains, threshold
             )
+        else:
+            plan, columns = self._initial_scan(
+                query.from_tables[0], pushdown, domains, threshold
+            )
+            pending = list(joins)
+            for table in query.from_tables[1:]:
+                plan, columns, pending = self._join_in(
+                    plan, columns, table, pushdown, pending, bindings, domains, threshold
+                )
 
         if pending:
             # Cross-block correlations whose band predicate joined earlier.
@@ -201,9 +220,10 @@ class FlatCompiler:
     # ------------------------------------------------------------------
     # Join ordering (Section 8)
     # ------------------------------------------------------------------
-    def _reorder(self, query: SelectQuery, joins: List[Comparison], fanout: float) -> SelectQuery:
+    def _reorder(self, query: SelectQuery, joins: List[Comparison], fanout: float):
         from .optimizer import JoinEdge, TableEstimate, optimize_join_order
 
+        by_binding = {table.binding: table for table in query.from_tables}
         estimates = {
             table.binding: TableEstimate(self.tables[table.name.upper()].n_tuples)
             for table in query.from_tables
@@ -216,18 +236,158 @@ class FlatCompiler:
                 and isinstance(predicate.right, ColumnRef)
             ):
                 edges.append(
-                    JoinEdge(predicate.left.relation, predicate.right.relation, fanout)
+                    JoinEdge(
+                        predicate.left.relation,
+                        predicate.right.relation,
+                        self._edge_fanout(by_binding, predicate, fanout),
+                    )
                 )
-        plan = optimize_join_order(estimates, edges)
-        by_binding = {table.binding: table for table in query.from_tables}
+        plan = optimize_join_order(
+            estimates, edges, bushy=self.bushy, memo=self.plan_memo
+        )
         ordered = tuple(by_binding[b] for b in plan.order)
-        return SelectQuery(
+        reordered = SelectQuery(
             select=query.select,
             from_tables=ordered,
             where=query.where,
             with_threshold=query.with_threshold,
             group_by=query.group_by,
             distinct=query.distinct,
+        )
+        return reordered, plan.tree
+
+    def _edge_fanout(self, by_binding, predicate: Comparison, default: float) -> float:
+        """Per-edge fan-out from the histogram store, or the constant default."""
+        if self.histograms is None:
+            return default
+        left_table = by_binding[predicate.left.relation].name
+        right_table = by_binding[predicate.right.relation].name
+        return self.histograms.edge_fanout(
+            left_table,
+            predicate.left.attribute,
+            right_table,
+            predicate.right.attribute,
+            default,
+        )
+
+    @staticmethod
+    def _is_bushy(tree) -> bool:
+        """True when ``tree`` is not purely left-deep.
+
+        Left-deep trees compile through the original incremental
+        :meth:`_join_in` loop (so the plans the non-adaptive path has
+        always produced stay byte-for-byte the same); only genuinely
+        bushy shapes take the recursive :meth:`_compile_tree` path.
+        """
+        while isinstance(tree, tuple):
+            if isinstance(tree[1], tuple):
+                return True
+            tree = tree[0]
+        return False
+
+    def _compile_tree(
+        self, tree, by_binding, pushdown, pending, bindings, domains, threshold
+    ):
+        """Recursively compile one :data:`~repro.engine.optimizer.JoinTree`.
+
+        Leaves are bindings (compiled exactly like the first table of the
+        left-deep path); internal nodes join two subplans with the first
+        crossing fuzzy equi-join predicate as the merge band, the other
+        crossing predicates folded into the pair degree, and a block
+        nested loop when no equi-join predicate crosses the cut.  A
+        binary join predicate is consumed at the unique node where its
+        two bindings first share a subtree, so every predicate is applied
+        exactly once — the same discipline as the incremental path.
+        """
+        if isinstance(tree, str):
+            plan, columns = self._initial_scan(
+                by_binding[tree], pushdown, domains, threshold
+            )
+            return plan, columns, pending
+        left_plan, left_columns, pending = self._compile_tree(
+            tree[0], by_binding, pushdown, pending, bindings, domains, threshold
+        )
+        right_plan, right_columns, pending = self._compile_tree(
+            tree[1], by_binding, pushdown, pending, bindings, domains, threshold
+        )
+        left_bound = {binding for binding, _ in left_columns}
+        right_bound = {binding for binding, _ in right_columns}
+        applicable: List[Comparison] = []
+        deferred: List[Comparison] = []
+        for predicate in pending:
+            refs = self._referenced_bindings(predicate, bindings)
+            if refs & left_bound and refs & right_bound:
+                applicable.append(predicate)
+            else:
+                deferred.append(predicate)
+
+        band = None
+        for predicate in applicable:
+            if (
+                predicate.op is Op.EQ
+                and isinstance(predicate.left, ColumnRef)
+                and isinstance(predicate.right, ColumnRef)
+            ):
+                band = predicate
+                break
+
+        new_columns = left_columns + right_columns
+        if band is not None:
+            applicable.remove(band)
+            left_ref, right_ref = band.left, band.right
+            if left_ref.relation not in left_bound:
+                left_ref, right_ref = right_ref, left_ref
+            residual = [
+                self._tree_residual(p, left_columns, right_columns)
+                for p in applicable
+            ]
+            left_names = self._layout_names(left_columns)
+            right_names = self._layout_names(right_columns)
+            joined_plan = MergeJoinOp(
+                left_plan,
+                left_names[left_columns.index((left_ref.relation, left_ref.attribute))],
+                right_plan,
+                right_names[
+                    right_columns.index((right_ref.relation, right_ref.attribute))
+                ],
+                residual=residual,
+            )
+        else:
+            residual = [
+                self._tree_residual(p, left_columns, right_columns)
+                for p in applicable
+            ]
+            joined_plan = NestedLoopJoinOp(
+                left_plan,
+                right_plan,
+                join_degree(residual),
+                label="+".join(sorted(right_bound)),
+            )
+        return joined_plan, new_columns, deferred
+
+    def _tree_residual(
+        self,
+        predicate: Comparison,
+        left_columns: List[Column],
+        right_columns: List[Column],
+    ) -> JoinPredicate:
+        """A predicate between two compiled subtrees (bushy residual)."""
+        left_ref, right_ref = predicate.left, predicate.right
+        op = predicate.op
+        left_bound = {binding for binding, _ in left_columns}
+        if isinstance(left_ref, ColumnRef) and left_ref.relation not in left_bound:
+            left_ref, right_ref = right_ref, left_ref
+            op = op.flipped()
+        if not (isinstance(left_ref, ColumnRef) and isinstance(right_ref, ColumnRef)):
+            raise CompileError(f"join predicates must relate two columns: {predicate}")
+        left_names = self._layout_names(left_columns)
+        right_names = self._layout_names(right_columns)
+        return JoinPredicate(
+            self._columns_schema(left_columns),
+            left_names[left_columns.index((left_ref.relation, left_ref.attribute))],
+            op,
+            self._columns_schema(right_columns),
+            right_names[right_columns.index((right_ref.relation, right_ref.attribute))],
         )
 
     # ------------------------------------------------------------------
@@ -298,18 +458,22 @@ class FlatCompiler:
         """An :class:`~repro.columnar.IndexScan` when one wins on cost.
 
         Applicable iff the binding's entire pushdown is a single
-        ``attribute = literal`` equality, the attribute is indexed, and
-        the lifted literal has a single-interval support (crisp number or
-        trapezoid) — the shapes the vectorized kernel covers exactly.
+        ``attribute op literal`` comparison with ``op`` in
+        ``{=, <, <=, >, >=}``, the attribute is indexed, and the lifted
+        literal has a single-interval support (crisp number or trapezoid)
+        — the shapes the vectorized kernels cover exactly.  A literal on
+        the left flips the operator (``10 < X`` is ``X > 10``).
         """
         if not self.indexes or len(predicates_ast) != 1:
             return None
         predicate = predicates_ast[0]
-        if predicate.op is not Op.EQ:
+        if predicate.op not in (Op.EQ, Op.LT, Op.LE, Op.GT, Op.GE):
             return None
+        op = predicate.op
         column, literal = predicate.left, predicate.right
         if isinstance(literal, ColumnRef):
             column, literal = literal, column
+            op = op.flipped()
         if not isinstance(column, ColumnRef) or not isinstance(literal, Literal):
             return None
         index = self.indexes.get((heap.name.upper(), column.attribute))
@@ -328,8 +492,8 @@ class FlatCompiler:
         if not isinstance(probe, (CrispNumber, TrapezoidalNumber)):
             return None
         begin, end = probe_support(probe)
-        index_pages = len(index.overlapping_pages(begin, end))
-        candidates = index.candidate_entries(begin, end)
+        index_pages = len(index.probe_pages(op, begin, end))
+        candidates = index.candidate_entries_for(op, begin, end)
         per_page = max(1, heap.n_tuples // max(1, heap.n_pages))
         data_pages = min(heap.n_pages, -(-candidates // per_page))
         index_cost = self.cost_model.index_scan_seconds(
@@ -338,7 +502,7 @@ class FlatCompiler:
         seq_cost = self.cost_model.seq_scan_seconds(heap.n_pages, heap.n_tuples)
         if index_cost >= seq_cost:
             return None
-        return IndexScan(heap, predicates, index, probe, threshold)
+        return IndexScan(heap, predicates, index, probe, threshold, op=op)
 
     def _join_in(
         self, plan, columns, table, pushdown, pending, bindings, domains, threshold=0.0

@@ -94,6 +94,7 @@ class ExecutionContext:
         kernel=None,
         shards: int = 1,
         sharded=None,
+        adapt=None,
     ):
         from ..fuzzy.compare import ComparisonKernel
 
@@ -106,6 +107,11 @@ class ExecutionContext:
         self.guard = guard
         self.shards = max(1, shards)
         self.sharded = sharded
+        #: Optional :class:`~repro.engine.adaptive.AdaptiveController`;
+        #: when present, every merge-join edge re-costs itself against
+        #: observed input cardinalities before dispatching.  ``None``
+        #: (the default) keeps the exact pre-adaptive code paths.
+        self.adapt = adapt
         #: Per-execution memoizing comparison kernel, shared by every
         #: operator (and every partition worker) of this one execution.
         self.kernel = kernel if kernel is not None else ComparisonKernel()
@@ -132,6 +138,25 @@ class ExecutionContext:
         if self.metrics is not None:
             self.metrics.degraded = True
             self.metrics.degraded_reason = reason
+
+    def count_replan(self) -> None:
+        """Record that a join edge re-costed itself mid-query."""
+        if self.metrics is not None:
+            self.metrics.replans += 1
+
+    def mark_adapted(self, reason: str) -> None:
+        """Record that re-costing actually changed an edge's execution.
+
+        Mirrors :meth:`mark_degraded`: metrics-guarded, and additionally
+        emits a ``replan`` tracer span so the switch is visible in the
+        span tree next to the join phases it altered.
+        """
+        if self.metrics is not None:
+            self.metrics.adapted = True
+            self.metrics.adapt_reason = reason
+        if self.tracer is not None:
+            with self.tracer.span(f"replan: {reason}"):
+                pass
 
     def release(self) -> None:
         """Free everything this execution held: scratch files and pins.
@@ -351,6 +376,29 @@ class MergeJoinOp(Operator):
         right_heap = _as_heap(self.right, ctx)
         pair_degree = self.pair_degree_with(ctx.kernel)
 
+        workers = ctx.workers
+        if ctx.adapt is not None:
+            # The feedback loop: the inputs are materialized, so their
+            # true cardinalities are known.  Past the q-error threshold
+            # the edge re-costs itself and may switch join method or
+            # give back its parallel budget — both alternatives are
+            # bit-identical in results (the nested-loop path is PR 4's
+            # degrade target, the serial path is PR 5's baseline).
+            decision = ctx.adapt.consider(self, left_heap, right_heap, workers)
+            if decision is not None:
+                ctx.count_replan()
+                if decision.method == "nested-loop":
+                    ctx.mark_adapted(decision.reason)
+                    fallback = NestedLoopJoin(ctx.disk, ctx.buffer_pages, ctx.stats)
+                    for r, s, degree in fallback.pairs(
+                        left_heap, right_heap, pair_degree
+                    ):
+                        yield r.concat(s, degree)
+                    return
+                if decision.workers != workers:
+                    ctx.mark_adapted(decision.reason)
+                    workers = decision.workers
+
         if ctx.shards > 1 and ctx.sharded is not None:
             from ..shard.executor import ShardedMergeJoin
 
@@ -377,11 +425,11 @@ class MergeJoinOp(Operator):
                 f"sharded join fell back to local execution: {sharded.fallback_reason}"
             )
 
-        if ctx.workers > 1:
+        if workers > 1:
             from ..parallel.join import PartitionedMergeJoin
 
             parallel = PartitionedMergeJoin(
-                ctx.disk, ctx.buffer_pages, ctx.stats, ctx.workers,
+                ctx.disk, ctx.buffer_pages, ctx.stats, workers,
                 metrics=ctx.metrics, tracer=ctx.tracer, guard=ctx.guard,
                 kernel=ctx.kernel,
             )

@@ -90,6 +90,18 @@ class StatisticsVersions:
             self._versions[name] = self._versions.get(name, 0) + 1
             return True
 
+    def note_cardinality(self, name: str, n_tuples: int) -> None:
+        """Record a tuple count *without* bumping the version.
+
+        The adaptive write path uses this for benign ingest: when the
+        histogram drift check says cached plans are still good, the
+        cardinality book-keeping must not evict them as a side effect —
+        statistics drift, not every version bump, is the invalidation
+        rule there.
+        """
+        with self._lock:
+            self._cardinalities[name.upper()] = n_tuples
+
     def record_fanout(self, name: str, attribute: str, fanout: float) -> bool:
         """Record a sampled fan-out; bump and return True on real drift.
 

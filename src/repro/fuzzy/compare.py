@@ -464,11 +464,27 @@ class ComparisonKernel:
         self, probe: Distribution, op: Op, block: Sequence[Distribution]
     ) -> List[float]:
         """Degrees for the memo misses — vectorized when the shapes allow."""
-        columns = _as_columns(block) if op is Op.EQ else None
+        vectorized = op in (Op.EQ, Op.LT, Op.LE, Op.GT, Op.GE)
+        columns = _as_columns(block) if vectorized else None
         if columns is not None and _as_columns([probe]) is not None:
-            from ..columnar.kernel import batch_eq_possibility
+            from ..columnar.kernel import (
+                batch_eq_possibility,
+                batch_le_possibility,
+                batch_lt_possibility,
+            )
 
-            return batch_eq_possibility(probe, *columns, probe_on_left=True)
+            if op is Op.EQ:
+                return batch_eq_possibility(probe, *columns, probe_on_left=True)
+            # The scalar library evaluates GT/GE as flipped LT/LE, so the
+            # orientation flag encodes the operator pair: probe-left LT is
+            # "probe < value_i", probe-left GT is "value_i < probe".
+            if op in (Op.LT, Op.GT):
+                return batch_lt_possibility(
+                    probe, *columns, probe_on_left=(op is Op.LT)
+                )
+            return batch_le_possibility(
+                probe, *columns, probe_on_left=(op is Op.LE)
+            )
         return [possibility(probe, op, candidate) for candidate in block]
 
     def _store(self, key: Tuple, degree: float) -> None:

@@ -209,6 +209,11 @@ def render_report(
     if metrics.degraded:
         reason = metrics.degraded_reason or "fallback strategy"
         lines.append(f"degraded=True ({reason})")
+    if getattr(metrics, "adapted", False):
+        reason = metrics.adapt_reason or "mid-query re-plan"
+        lines.append(f"adapted=True ({reason})")
+    if getattr(metrics, "replans", 0):
+        lines.append(f"replans={metrics.replans}")
     if metrics.outcome != "ok":
         lines.append(f"outcome: {metrics.outcome}")
     if metrics.stats is not None and metrics.stats.total.io_retries:

@@ -170,6 +170,14 @@ class QueryMetrics:
         #: no extra I/O — and the input of the registry's q-error drift
         #: signal.
         self.q_errors: List[float] = []
+        #: True when mid-query re-planning changed how an edge executed
+        #: (merge-join ↔ nested-loop, or a workers adjustment).
+        self.adapted: bool = False
+        #: Human-readable reason for the last adaptation, if any.
+        self.adapt_reason: Optional[str] = None
+        #: Join edges that re-costed themselves mid-query (each one past
+        #: the q-error threshold, whether or not the plan changed).
+        self.replans: int = 0
 
     # ------------------------------------------------------------------
     # Parallel / sharded execution

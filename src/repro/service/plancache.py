@@ -92,6 +92,31 @@ class PlanCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
 
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """The entry under ``key`` — no counters, no validation, no LRU touch.
+
+        Introspection only (the shell's ``\\explain`` uses it to show the
+        statistics tokens a cached plan was costed against); never use it
+        to serve a plan.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
+    def evict_if(self, predicate: Callable[[str, CacheEntry], bool]) -> int:
+        """Drop entries matching ``predicate(key, entry)``; returns the count.
+
+        The adaptive write path uses this for benign installs: flat plans
+        survive (their scans rebind to the new heap version at execution),
+        but grouped / pipelined artifacts bake heap references into their
+        executables and must go even though no statistics version moved.
+        """
+        with self._lock:
+            stale = [key for key, entry in self._entries.items() if predicate(key, entry)]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
     def invalidate(self, relation: Optional[str] = None) -> int:
         """Drop entries touching ``relation`` (or all); returns the count."""
         with self._lock:

@@ -33,15 +33,18 @@ from .data.relation import FuzzyRelation
 from .data.schema import Attribute, Schema
 from .data.types import AttributeType
 from .data.tuples import FuzzyTuple
+from .engine.adaptive import AdaptiveController
 from .engine.aggregates import DegreePolicy
 from .engine.executor import CompileError, DmlColumns, FlatCompiler, compile_comparison
 from .engine.grouped import GroupedAntiJoin, GroupMode
-from .engine.operators import ExecutionContext
+from .engine.histogram import HistogramStore
+from .engine.operators import ExecutionContext, Scan
+from .engine.optimizer import PlanMemo
 from .engine.pipelined import JAPipeline
 from .engine.semantics import NaiveEvaluator
 from .engine.statistics import StatisticsVersions
 from .fuzzy.compare import Op
-from .observe.explain import join_q_errors, render_plan, render_report
+from .observe.explain import annotate_estimates, join_q_errors, render_plan, render_report
 from .observe.health import HealthReport, HealthThresholds, evaluate_health
 from .observe.metrics import QueryMetrics
 from .observe.querylog import QueryLog
@@ -108,6 +111,10 @@ class StorageSession:
         shards: int = 1,
         shard_on: Optional[str] = None,
         shard_disks: Optional[List[SimulatedDisk]] = None,
+        adaptive: bool = False,
+        adapt_threshold: float = 4.0,
+        histogram_buckets: int = 8,
+        drift_threshold: float = 0.25,
     ):
         #: Pass ``disk`` to run the session on a caller-provided device —
         #: e.g. a :class:`~repro.faults.FaultyDisk` for chaos testing.
@@ -179,6 +186,26 @@ class StorageSession:
         #: on sampled fan-out drift.  Plan-cache entries validate against
         #: these tokens.
         self.stats_versions = StatisticsVersions()
+        #: Adaptive feedback-driven optimization.  Histograms over the
+        #: join attributes' support intervals are maintained
+        #: unconditionally (register builds, the WAL apply path delta-
+        #: refreshes) — they are pure CPU over in-memory rows and touch no
+        #: gated counter.  Everything that changes *behaviour* is gated on
+        #: ``adaptive=True``: histogram-fed edge fan-outs and bushy join
+        #: trees in the Section 8 DP, drift-based (rather than
+        #: version-bump) plan-cache invalidation on ingest, and mid-query
+        #: re-planning past ``adapt_threshold`` q-error.
+        self.adaptive = adaptive
+        self.histograms = HistogramStore(
+            buckets=histogram_buckets, drift_threshold=drift_threshold
+        )
+        #: The session's re-planner (None when ``adaptive`` is off); its
+        #: ``replans`` tally is what benchmarks gate on.
+        self.adapt_controller = (
+            AdaptiveController(threshold=adapt_threshold) if adaptive else None
+        )
+        #: Cross-query memo of Section 8 DP subplans (adaptive only).
+        self._plan_memo = PlanMemo() if adaptive else None
         #: LRU cache of prepared plans for textual ``query()`` calls.
         #: Assign ``None`` to disable caching entirely.
         self.plan_cache: Optional[PlanCache] = PlanCache()
@@ -221,6 +248,13 @@ class StorageSession:
             heap.load(relation.tuples())
         self.tables[name] = heap
         self.schemas.register(name, FuzzyRelation(relation.schema))
+        # Equi-depth histograms over the support intervals (b(v), e(v)):
+        # the planner's per-edge fan-outs and the drift-invalidation rule
+        # both read them.  Pure CPU over the in-memory rows — no counter,
+        # no I/O — so non-adaptive workloads are untouched.
+        built = self.histograms.build_table(name, relation.schema, relation.tuples())
+        if built and self.registry is not None:
+            self.registry.count_histogram(builds=built)
         if self.sharded is not None:
             attribute = shard_on if shard_on is not None else self.shard_on
             names = {a.name for a in relation.schema}
@@ -328,8 +362,16 @@ class StorageSession:
         scratch = OperationStats()
         with self.disk.use_stats(scratch):
             heap = HeapFile.attach(name, schema, self.disk, self.fixed_tuple_size)
+            contents = [
+                heap.serializer.decode(record)
+                for page_index in range(heap.n_pages)
+                for record in self.disk.read_page(heap.name, page_index).records()
+            ]
         self.tables[name] = heap
         self.schemas.register(name, FuzzyRelation(schema))
+        built = self.histograms.build_table(name, schema, contents)
+        if built and self.registry is not None:
+            self.registry.count_histogram(builds=built)
         if not self.stats_versions.observe_cardinality(name, heap.n_tuples):
             self.stats_versions.bump(name)
         return heap
@@ -456,6 +498,7 @@ class StorageSession:
                 self.disk.delete(index_file_name(name, key[1]))
         self.schemas.remove(name)
         self._relations.pop(name, None)
+        self.histograms.forget(name)
         self.stats_versions.bump(name)
         return f"table {name} dropped"
 
@@ -838,24 +881,94 @@ class StorageSession:
         text = sql if isinstance(sql, str) else str(sql)
         return PreparedQuery(self, text, template, nesting, n_params, artifact)
 
-    def _plan_tokens(self, names) -> Dict[str, Tuple[int, int]]:
-        """Validation tokens per relation: ``(stats version, layout token)``.
+    def _plan_tokens(self, names) -> Dict[str, Tuple[int, int, int]]:
+        """Validation tokens per relation:
+        ``(stats version, layout token, histogram fingerprint)``.
 
-        Plan-cache entries are stale when *either* component moved — a
-        re-registration bumps the statistics version, while
-        :meth:`reshard` advances only the layout token (placement changes
-        which physical files a scatter-gather join reads, so a cached
-        plan's sharded execution must be re-validated even though the
-        data — and hence the statistics — did not change).
+        Plan-cache entries are stale when *any* component moved — a
+        re-registration bumps the statistics version, :meth:`reshard`
+        advances only the layout token (placement changes which physical
+        files a scatter-gather join reads, so a cached plan's sharded
+        execution must be re-validated even though the data — and hence
+        the statistics — did not change), and the histogram fingerprint
+        records the distribution a plan was *costed* against: it changes
+        only when a histogram is rebuilt (registration, or an adaptive
+        drift-triggered rebuild), so benign ingest below the drift
+        threshold leaves cached plans valid.
         """
         versions = self.stats_versions.snapshot(names)
         return {
             name: (
                 version,
                 self.sharded.catalog.token(name) if self.sharded is not None else 0,
+                self.histograms.fingerprint(name),
             )
             for name, version in versions.items()
         }
+
+    def _compiler(self) -> FlatCompiler:
+        """A flat compiler over the current tables (adaptive features gated).
+
+        Non-adaptive sessions get the exact pre-adaptive compiler — no
+        histograms, left-deep DP only — so their plans stay byte-for-byte
+        identical; adaptive sessions feed histogram edge fan-outs into
+        the Section 8 DP, allow bushy trees, and share the subplan memo.
+        """
+        if not self.adaptive:
+            return FlatCompiler(self.tables, self.vocabulary, indexes=self.indexes)
+        return FlatCompiler(
+            self.tables,
+            self.vocabulary,
+            indexes=self.indexes,
+            histograms=self.histograms,
+            bushy=True,
+            plan_memo=self._plan_memo,
+        )
+
+    def _rebind_plan(self, operator) -> None:
+        """Point a cached flat plan's leaves at the current table versions.
+
+        Benign adaptive installs keep cached plans alive without a
+        statistics-version bump, so a cached plan's Scan / IndexScan
+        leaves may still hold a replaced heap epoch; rebinding by base
+        name (``T@e3`` → the session's current ``T`` heap) preserves the
+        compiled shape while reading the live data.
+        """
+        from .columnar.operators import IndexScan
+
+        stack = [operator]
+        while stack:
+            op = stack.pop()
+            if isinstance(op, Scan):
+                base = op.heap.name.split("@", 1)[0]
+                current = self.tables.get(base)
+                if current is not None and current is not op.heap:
+                    op.heap = current
+                if isinstance(op, IndexScan):
+                    index = self.indexes.get((base, op.index.attribute))
+                    if index is not None:
+                        op.index = index
+            stack.extend(op.children())
+
+    def _evict_baked_plans(self, name: str) -> None:
+        """Drop cached grouped / pipelined artifacts reading ``name``.
+
+        Flat plans survive a benign install (their leaves rebind), but
+        the grouped and Section 6 executables bake heap references into
+        their construction and cannot be rebound — a benign install must
+        still evict them even though no validation token moved.
+        """
+        if self.plan_cache is None:
+            return
+        name = name.upper()
+
+        def stale(_key: str, entry) -> bool:
+            artifact = getattr(entry.value, "artifact", None)
+            if artifact is None or artifact.kind not in ("grouped", "ja"):
+                return False
+            return name in entry.tokens
+
+        self.plan_cache.evict_if(stale)
 
     def _cached_prepared(
         self, sql: str, tracer: Optional[SpanTracer]
@@ -898,8 +1011,7 @@ class StorageSession:
                 operator = None
                 if n_params == 0:
                     with maybe_span(tracer, "compile"):
-                        compiler = FlatCompiler(self.tables, self.vocabulary, indexes=self.indexes)
-                        operator = compiler.compile(
+                        operator = self._compiler().compile(
                             plan.final, optimize=self.optimize_joins
                         )
                 return PlanArtifact(
@@ -1018,10 +1130,16 @@ class StorageSession:
                             else artifact.flat
                         )
                     with maybe_span(tracer, "compile"):
-                        compiler = FlatCompiler(self.tables, self.vocabulary, indexes=self.indexes)
-                        operator = compiler.compile(
+                        operator = self._compiler().compile(
                             flat, optimize=self.optimize_joins
                         )
+                elif self.adaptive:
+                    # A cached plan may have outlived a benign install
+                    # (no version bump): rebind its leaves to the live
+                    # heap versions before running it.
+                    self._rebind_plan(operator)
+                if self.adaptive:
+                    annotate_estimates(operator)
                 self.last_strategy = (
                     f"flat/{prepared.nesting.value}: merge-join plan"
                 )
@@ -1040,6 +1158,7 @@ class StorageSession:
                         guard=guard,
                         shards=shards,
                         sharded=self.sharded,
+                        adapt=self.adapt_controller,
                     )
                 )
             if artifact.kind in ("grouped", "ja"):
@@ -1155,8 +1274,7 @@ class StorageSession:
             try:
                 plan = unnest(query, self.schemas)
                 if not plan.steps and isinstance(plan.final, SelectQuery):
-                    compiler = FlatCompiler(self.tables, self.vocabulary, indexes=self.indexes)
-                    operator = compiler.compile(plan.final, optimize=self.optimize_joins)
+                    operator = self._compiler().compile(plan.final, optimize=self.optimize_joins)
                     if plan.rule:
                         lines.append(f"rewrite: {plan.rule}")
                     lines.append("strategy: flat merge-join plan")
@@ -1292,8 +1410,9 @@ class StorageSession:
             if plan.steps or not isinstance(plan.final, SelectQuery):
                 raise UnnestError("not a single flat query")
         with maybe_span(tracer, "compile"):
-            compiler = FlatCompiler(self.tables, self.vocabulary, indexes=self.indexes)
-            operator = compiler.compile(plan.final, optimize=self.optimize_joins)
+            operator = self._compiler().compile(plan.final, optimize=self.optimize_joins)
+        if self.adaptive:
+            annotate_estimates(operator)
         self.last_strategy = f"flat/{nesting.value}: merge-join plan"
         self.last_plan = operator
         if metrics is not None:
@@ -1304,6 +1423,7 @@ class StorageSession:
                 self.disk, self.buffer_pages, stats, metrics=metrics,
                 tracer=tracer, workers=workers, guard=guard,
                 shards=shards, sharded=self.sharded,
+                adapt=self.adapt_controller,
             )
         )
 

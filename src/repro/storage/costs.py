@@ -134,6 +134,25 @@ class CostModel:
         )
         return sort_io + sort_cpu + join_io + join_cpu
 
+    def nested_loop_join_seconds(
+        self,
+        left_pages: int,
+        right_pages: int,
+        left_tuples: int,
+        right_tuples: int,
+    ) -> float:
+        """Estimated cost of the block nested-loop join.
+
+        One pass over the outer plus one inner pass per outer page, and a
+        fuzzy evaluation for every tuple pair.  No sorts — which is why
+        the adaptive re-planner picks it when an input turns out far
+        smaller than estimated: the sort-merge path's fixed sorting cost
+        dominates tiny inputs.
+        """
+        io = (left_pages + max(1, left_pages) * right_pages) * self.io_time
+        cpu = left_tuples * right_tuples * self.fuzzy_eval_time
+        return io + cpu
+
     def index_merge_join_seconds(
         self,
         index_pages: int,

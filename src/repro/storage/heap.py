@@ -40,9 +40,20 @@ class HeapFile:
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
-    def load(self, tuples: Iterable[FuzzyTuple]) -> "HeapFile":
-        """Append tuples, packing pages greedily; returns self for chaining."""
+    def load(
+        self,
+        tuples: Iterable[FuzzyTuple],
+        placements: Optional[List[Tuple[int, int]]] = None,
+    ) -> "HeapFile":
+        """Append tuples, packing pages greedily; returns self for chaining.
+
+        Pass a list as ``placements`` to receive one ``(page, slot)`` row
+        id per loaded tuple, in load order — index maintenance uses this
+        to rebuild postings from in-memory rows without re-scanning the
+        freshly written pages.
+        """
         page = Page(self.disk.page_size)
+        page_index = self.n_pages
         for t in tuples:
             record = self.serializer.encode(t)
             if not page.fits(record):
@@ -52,6 +63,9 @@ class HeapFile:
                     )
                 self.disk.append_page(self.name, page)
                 page = Page(self.disk.page_size)
+                page_index += 1
+            if placements is not None:
+                placements.append((page_index, len(page)))
             page.append(record)
             self.n_tuples += 1
         if len(page):

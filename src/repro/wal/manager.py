@@ -69,6 +69,12 @@ class TableState:
         #: ``True`` while every change so far only appended new rows at
         #: the end — the condition for staged index delta-merges.
         self.appended_only = True
+        #: Set by the live apply path for single-row update / delete
+        #: transactions: indexes may be patched from the in-memory rows
+        #: and their recorded placements instead of rescanning the heap.
+        #: Recovery never sets it (row ids shift arbitrarily across a
+        #: whole log of transactions).
+        self.patchable = False
 
     def insert(self, row: bytes) -> None:
         """Apply one INSERT record (fuzzy-OR: duplicates keep max degree)."""
@@ -136,6 +142,10 @@ class WriteManager:
         self.statements = 0
         self.index_delta_merges = 0
         self.index_rebuilds = 0
+        #: Index maintenance runs that patched postings from the in-memory
+        #: rows (single-row update / delete) instead of re-scanning the
+        #: heap — each one is a full rebuild avoided.
+        self.index_patches = 0
         self.recoveries = 0
 
     # ------------------------------------------------------------------
@@ -227,6 +237,12 @@ class WriteManager:
         state = TableState(heap.serializer, self._contents(heap))
         for record in rows:
             replay_record(state, record)
+        # A single-row update is DELETE-old + INSERT-new; a single-row
+        # delete is one DELETE.  Either way at most one row id shifted
+        # region exists and the in-memory tuples + load placements fully
+        # describe the new image — indexes can be patched, not rebuilt.
+        deletes = sum(1 for r in rows if r.kind == KIND_DELETE)
+        state.patchable = deletes == 1 and len(rows) <= 2
         epoch = self.snapshots.epoch(name) + 1
         return self._install(name, heap, state, epoch)
 
@@ -240,18 +256,50 @@ class WriteManager:
         file = version_file_name(name, epoch)
         disk.delete(file)
         new_heap = HeapFile(file, old_heap.schema, disk, session.fixed_tuple_size)
-        new_heap.load(state.tuples)
-        index_files = self._maintain_indexes(name, old_heap, new_heap, state, epoch)
+        placements: List[Tuple[int, int]] = []
+        new_heap.load(state.tuples, placements=placements)
+        index_files = self._maintain_indexes(
+            name, old_heap, new_heap, state, epoch, placements
+        )
         if epoch > 0:
             self.snapshots.publish(name, epoch, [file] + index_files)
         session.tables[name] = new_heap
-        session.stats_versions.observe_cardinality(name, new_heap.n_tuples)
-        session.stats_versions.bump(name)
-        session._replace_placement(name, FuzzyRelation(new_heap.schema, state.tuples))
         registry = getattr(session, "registry", None)
+        if getattr(session, "adaptive", False):
+            self._refresh_statistics(name, new_heap, state, registry)
+        else:
+            session.stats_versions.observe_cardinality(name, new_heap.n_tuples)
+            session.stats_versions.bump(name)
+        session._replace_placement(name, FuzzyRelation(new_heap.schema, state.tuples))
         if registry is not None:
             registry.count_wal(snapshots=1)
         return epoch
+
+    def _refresh_statistics(self, name: str, new_heap: HeapFile, state: TableState, registry) -> None:
+        """Adaptive-session statistics maintenance after an install.
+
+        Live bucket counts are refreshed first; only when the table has
+        *drifted* past the session threshold do the histograms rebuild —
+        changing their fingerprints and bumping the statistics version,
+        which together evict every dependent plan-cache entry.  A benign
+        ingest instead records the new cardinality without a version bump,
+        so flat cached plans stay hits (they rebind their scans to the new
+        heap version at execution); grouped / pipelined artifacts bake
+        heap references into executables and are evicted either way.
+        """
+        session = self.session
+        refreshed = session.histograms.refresh_table(name, new_heap.schema, state.tuples)
+        if refreshed and registry is not None:
+            registry.count_histogram(refreshes=refreshed)
+        if session.histograms.drifted(name):
+            rebuilt = session.histograms.build_table(name, new_heap.schema, state.tuples)
+            if rebuilt and registry is not None:
+                registry.count_histogram(drift_rebuilds=rebuilt)
+            session.stats_versions.observe_cardinality(name, new_heap.n_tuples)
+            session.stats_versions.bump(name)
+        else:
+            session.stats_versions.note_cardinality(name, new_heap.n_tuples)
+            session._evict_baked_plans(name)
 
     def _maintain_indexes(
         self,
@@ -260,14 +308,20 @@ class WriteManager:
         new_heap: HeapFile,
         state: TableState,
         epoch: int,
+        placements: Optional[List[Tuple[int, int]]] = None,
     ) -> List[str]:
         """Carry every index of ``name`` over to the new heap version.
 
         Append-only transactions take the staged delta + merge path
         (existing postings are reused verbatim — the shared page prefix
-        kept its row ids — and only the appended tail is scanned);
-        anything that deleted or re-weighted a row falls back to a full
-        rebuild, because row ids after the first removed tuple shifted.
+        kept its row ids — and only the appended tail is scanned).
+        Single-row update / delete transactions are *patched*: the write
+        path already holds the new image's tuples in memory and the
+        placements :meth:`~repro.storage.heap.HeapFile.load` just
+        recorded, so the postings are regenerated from those without
+        touching a heap page — :meth:`SupportIntervalIndex.from_rows`
+        persists a file bit-identical to a full rebuild.  Anything larger
+        falls back to the full heap-scanning rebuild.
         """
         session = self.session
         disk = session.disk
@@ -276,6 +330,7 @@ class WriteManager:
             if tname != name:
                 continue
             new_file = version_file_name(index_file_name(name, attr), epoch)
+            delta, rebuilds, patches = 0, 0, 0
             if state.appended_only:
                 first_new_page = max(0, old_heap.n_pages - 1)
                 skip = 0
@@ -287,18 +342,29 @@ class WriteManager:
                     new_heap, disk, first_new_page, skip, new_file
                 )
                 self.index_delta_merges += 1
-                delta, rebuilds = 1, 0
+                delta = 1
+            elif state.patchable and placements is not None:
+                new_index = SupportIntervalIndex.from_rows(
+                    name, attr, new_heap.schema, state.tuples, placements,
+                    disk, new_file,
+                )
+                self.index_patches += 1
+                patches = 1
             else:
                 new_index = SupportIntervalIndex.build(
                     name, attr, new_heap, disk, new_file
                 )
                 self.index_rebuilds += 1
-                delta, rebuilds = 0, 1
+                rebuilds = 1
             session.indexes[(tname, attr)] = new_index
             files.append(new_file)
             registry = getattr(session, "registry", None)
             if registry is not None:
-                registry.count_wal(index_delta_merges=delta, index_rebuilds=rebuilds)
+                registry.count_wal(
+                    index_delta_merges=delta,
+                    index_rebuilds=rebuilds,
+                    index_patches=patches,
+                )
         return files
 
     def _contents(self, heap: HeapFile) -> List[FuzzyTuple]:
@@ -494,6 +560,7 @@ class WriteManager:
             f"syncs={wal.syncs} group_commits={wal.group_commits} "
             f"truncated_bytes={wal.truncated_bytes}",
             f"index maintenance: {self.index_delta_merges} delta merges, "
+            f"{self.index_patches} patches, "
             f"{self.index_rebuilds} rebuilds; recoveries={self.recoveries}",
         ]
         versions = ", ".join(

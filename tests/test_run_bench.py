@@ -143,7 +143,7 @@ class TestCommittedBaseline:
             data = json.load(handle)
         assert data["version"] == 1
         assert data["scale"] == 32  # CI runs at the default scale
-        assert len(data["workloads"]) == 21
+        assert len(data["workloads"]) == 23
         assert set(data["workloads"]) >= {
             "service_cold_J",
             "service_cached_J",
@@ -156,6 +156,8 @@ class TestCommittedBaseline:
             "faulted_J",
             "columnar_J",
             "indexed_J",
+            "adaptive_J",
+            "histogram_build",
         }
         assert data["workloads"]["service_cold_J"]["plan_cache"] == "miss"
         assert data["workloads"]["service_cached_J"]["plan_cache"] == "hit"
@@ -204,13 +206,29 @@ class TestCommittedBaseline:
             assert counters["fuzzy_evaluations"] < counters["row_fuzzy_evaluations"]
         assert data["workloads"]["columnar_J"]["counters"]["kernel_batches"] > 0
         assert data["workloads"]["columnar_J"]["counters"]["columns_scanned"] > 0
+        # The adaptive slice must prove the feedback loop pays for itself:
+        # re-planning engaged and the adapted modelled cost landed strictly
+        # below the static plan's (the harness also hard-fails on
+        # bit-identity).  The histogram slice must exercise every
+        # maintenance path: registration builds, write-path delta
+        # refreshes, and a drift-triggered rebuild.
+        adaptive = data["workloads"]["adaptive_J"]
+        assert adaptive["counters"]["replans_total"] >= 1
+        assert adaptive["counters"]["queries_adapted_total"] >= 1
+        assert adaptive["modelled_seconds"] < adaptive["static_modelled_seconds"]
+        upkeep = data["workloads"]["histogram_build"]["counters"]
+        assert upkeep["histogram_builds_total"] > 0
+        assert upkeep["histogram_refreshes_total"] > 0
+        assert upkeep["histogram_drift_rebuilds_total"] > 0
         # The WAL slices must have exercised the durable write path: group
-        # commit engaged, indexes maintained by delta merges (not only full
-        # rebuilds), and recovery actually replayed the ingested log.
+        # commit engaged, indexes maintained by delta merges and single-row
+        # patches (not only full rebuilds), and recovery actually replayed
+        # the ingested log.
         ingest = data["workloads"]["wal_ingest"]["counters"]
         assert ingest["wal_commits_total"] > 0
         assert ingest["wal_group_commits_total"] > 0
         assert ingest["wal_index_delta_merges_total"] > 0
+        assert ingest["wal_index_patches_total"] > 0
         recovery = data["workloads"]["wal_recovery"]["counters"]
         assert recovery["wal_recoveries_total"] == 1
         assert recovery["txns_replayed"] == ingest["wal_commits_total"]
